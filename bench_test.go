@@ -1,0 +1,208 @@
+// bench_test.go provides testing.B entry points for every table and figure
+// of the paper's evaluation (§7) plus the ablations DESIGN.md calls out.
+// Each benchmark delegates to the experiment drivers in internal/bench;
+// cmd/benchrunner prints the same rows at a larger scale.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// benchScale is larger than the unit-test scale but still laptop-friendly.
+func benchScale() workload.Scale {
+	sc := workload.DefaultScale()
+	sc.SSDBGrid = 96
+	sc.Lineitem = 20000
+	sc.StoreSales = 15000
+	sc.WebSales = 15000
+	sc.WebReturns = 1500
+	return sc
+}
+
+func benchCfg() bench.EnvConfig {
+	return bench.EnvConfig{Scale: benchScale(), RowsPerFile: 10000}
+}
+
+// BenchmarkTable2StorageEfficiency regenerates Table 2 (and Figure 9's
+// load times, which share the measurement).
+func BenchmarkTable2StorageEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunStorage(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				if r.Variant == "ORC File" {
+					b.ReportMetric(float64(r.Bytes), r.Dataset+"_orc_bytes")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9LoadTimes regenerates Figure 9.
+func BenchmarkFig9LoadTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunStorage(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10SSDBQuery1 regenerates Figure 10 (elapsed times and DFS
+// bytes for SS-DB query 1 easy/medium/hard).
+func BenchmarkFig10SSDBQuery1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Difficulty == "1.easy" {
+					b.ReportMetric(float64(r.BytesRead), "easy_bytes_"+shortConfig(r.Config))
+				}
+			}
+		}
+	}
+}
+
+func shortConfig(c string) string {
+	switch c {
+	case "RCFile (No PPD)":
+		return "rc"
+	case "ORC File (No PPD)":
+		return "orc"
+	case "ORC File (PPD)":
+		return "orc_ppd"
+	}
+	return "x"
+}
+
+// BenchmarkFig11aQ27 regenerates Figure 11(a): TPC-DS query 27 with and
+// without unnecessary Map phases.
+func BenchmarkFig11aQ27(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig11a(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].Jobs), "jobs_with_um")
+			b.ReportMetric(float64(rows[1].Jobs), "jobs_without_um")
+		}
+	}
+}
+
+// BenchmarkFig11bQ95 regenerates Figure 11(b): the flattened TPC-DS query
+// 95 under the three planner configurations.
+func BenchmarkFig11bQ95(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig11b(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				switch r.Config {
+				case "w/ UM CO=off":
+					b.ReportMetric(float64(r.Jobs), "jobs_base")
+				case "w/o UM CO=on":
+					b.ReportMetric(float64(r.Jobs), "jobs_optimized")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Vectorization regenerates Figure 12: TPC-H q1/q6 elapsed
+// and cumulative CPU under the row and vectorized engines.
+func BenchmarkFig12Vectorization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig12(benchCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Query == "q1" {
+					switch r.Config {
+					case "ORC File (No Vector)":
+						b.ReportMetric(float64(r.CumulativeCPU.Microseconds()), "q1_row_cpu_us")
+					case "ORC File (Vector)":
+						b.ReportMetric(float64(r.CumulativeCPU.Microseconds()), "q1_vec_cpu_us")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStripeSize is A1.
+func BenchmarkAblationStripeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunStripeSizeAblation(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDictionary is A2.
+func BenchmarkAblationDictionary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunDictionaryAblation(30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Param == "low-cardinality dict<=0.8" {
+					b.ReportMetric(float64(r.FileBytes), "low_card_dict_bytes")
+				}
+				if r.Param == "low-cardinality dict=off" {
+					b.ReportMetric(float64(r.FileBytes), "low_card_nodict_bytes")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBatchSize is A3.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunBatchSizeAblation(benchCfg(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIndexGroup is A4.
+func BenchmarkAblationIndexGroup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunIndexGroupAblation(benchCfg(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTez is E7: the §9 Tez-style engine vs MapReduce.
+func BenchmarkExtensionTez(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTezComparison(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].Elapsed.Milliseconds()), "mr_ms")
+			b.ReportMetric(float64(rows[1].Elapsed.Milliseconds()), "tez_ms")
+		}
+	}
+}

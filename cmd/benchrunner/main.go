@@ -1,0 +1,161 @@
+// benchrunner regenerates the paper's evaluation tables and figures (§7)
+// and the DESIGN.md ablations, printing the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	benchrunner -exp all            # every experiment
+//	benchrunner -exp table2         # one experiment
+//	benchrunner -exp fig12 -runs 5  # more repetitions
+//	benchrunner -scale 2.0          # scale the synthetic datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|ablations|all")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	runs := flag.Int("runs", 3, "repetitions for timing experiments")
+	overhead := flag.Duration("job-overhead", 250*time.Millisecond,
+		"accounted per-job launch overhead (stands in for Hadoop job latency)")
+	flag.Parse()
+
+	cfg := bench.EnvConfig{
+		Scale:          scaled(*scale),
+		RowsPerFile:    25000,
+		LaunchOverhead: *overhead,
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var storage []bench.StorageResult
+	loadStorage := func() error {
+		if storage == nil {
+			var err error
+			storage, err = bench.RunStorage(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	run("table2", func() error {
+		if err := loadStorage(); err != nil {
+			return err
+		}
+		bench.PrintTable2(os.Stdout, storage)
+		return nil
+	})
+	run("fig9", func() error {
+		if err := loadStorage(); err != nil {
+			return err
+		}
+		bench.PrintFig9(os.Stdout, storage)
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := bench.RunFig10(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig10(os.Stdout, rows)
+		return nil
+	})
+	run("fig11a", func() error {
+		rows, err := bench.RunFig11a(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig11(os.Stdout, "Figure 11(a): TPC-DS query 27", rows)
+		return nil
+	})
+	run("fig11b", func() error {
+		rows, err := bench.RunFig11b(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig11(os.Stdout, "Figure 11(b): TPC-DS query 95 (flattened)", rows)
+		return nil
+	})
+	run("fig12", func() error {
+		rows, err := bench.RunFig12(cfg, *runs)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig12(os.Stdout, rows)
+		return nil
+	})
+	run("tez", func() error {
+		rows, err := bench.RunTezComparison(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig11(os.Stdout, "Extension E7: TPC-DS q95 fully optimized, MapReduce vs Tez-style DAG engine", rows)
+		return nil
+	})
+	run("ablations", func() error {
+		rows, err := bench.RunStripeSizeAblation(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(os.Stdout, "A1: stripe size (SS-DB q1.hard scan)", rows)
+		rows, err = bench.RunDictionaryAblation(50000)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(os.Stdout, "A2: dictionary encoding (50k strings)", rows)
+		rows, err = bench.RunBatchSizeAblation(cfg, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(os.Stdout, "A3: vectorized batch size (TPC-H q6)", rows)
+		rows, err = bench.RunIndexGroupAblation(cfg, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(os.Stdout, "A4: index-group stride (SS-DB q1.easy)", rows)
+		return nil
+	})
+}
+
+func scaled(f float64) workload.Scale {
+	sc := workload.DefaultScale()
+	mul := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	sc.SSDBGrid = mul(sc.SSDBGrid)
+	sc.SSDBImages = 1
+	sc.Lineitem = mul(sc.Lineitem)
+	sc.Orders = mul(sc.Orders)
+	sc.Customers = mul(sc.Customers)
+	sc.StoreSales = mul(sc.StoreSales)
+	sc.WebSales = mul(sc.WebSales)
+	sc.WebReturns = mul(sc.WebReturns)
+	sc.Demographics = mul(sc.Demographics)
+	sc.Addresses = mul(sc.Addresses)
+	return sc
+}

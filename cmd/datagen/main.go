@@ -1,0 +1,110 @@
+// datagen writes one of the synthetic benchmark tables as a real ORC file
+// on the local filesystem, so cmd/orcdump (and external tooling) can
+// inspect the format this reproduction produces.
+//
+// Usage:
+//
+//	datagen -table lineitem -rows 50000 -o lineitem.orc -compress SNAPPY
+//	datagen -table cycle -o cycle.orc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/orc"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// osFile adapts *os.File to the ORC writer's output interface.
+type osFile struct {
+	f   *os.File
+	pos int64
+}
+
+func (w *osFile) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.pos += int64(n)
+	return n, err
+}
+
+func (w *osFile) Pos() int64 { return w.pos }
+
+func main() {
+	table := flag.String("table", "lineitem", "table: lineitem|orders|customer|cycle|store_sales|web_sales")
+	rows := flag.Int("rows", 10000, "row count (grid size for cycle)")
+	out := flag.String("o", "", "output path (default <table>.orc)")
+	codec := flag.String("compress", "NONE", "codec: NONE|ZLIB|SNAPPY")
+	stride := flag.Int("stride", orc.DefaultRowIndexStride, "rows per index group")
+	stripe := flag.Int64("stripe", 4<<20, "stripe size in bytes")
+	flag.Parse()
+
+	ck, err := compress.ParseKind(strings.ToUpper(*codec))
+	fatalIf(err)
+	path := *out
+	if path == "" {
+		path = *table + ".orc"
+	}
+
+	sc := workload.DefaultScale()
+	sc.Lineitem, sc.Orders, sc.Customers = *rows, *rows, *rows
+	sc.StoreSales, sc.WebSales = *rows, *rows
+	sc.SSDBGrid = *rows
+
+	var schema *types.Schema
+	var gen func(workload.Scale, workload.Emit) error
+	switch *table {
+	case "lineitem":
+		schema, gen = workload.LineitemSchema(), workload.GenLineitem
+	case "orders":
+		schema, gen = workload.OrdersSchema(), workload.GenOrders
+	case "customer":
+		schema, gen = workload.CustomerSchema(), workload.GenCustomer
+	case "cycle":
+		schema, gen = workload.SSDBSchema(), workload.GenSSDB
+		sc.SSDBGrid = intSqrt(*rows)
+	case "store_sales":
+		schema, gen = workload.StoreSalesSchema(), workload.GenStoreSales
+	case "web_sales":
+		schema, gen = workload.WebSalesSchema(), workload.GenWebSales
+	default:
+		fatalIf(fmt.Errorf("unknown table %q", *table))
+	}
+
+	f, err := os.Create(path)
+	fatalIf(err)
+	of := &osFile{f: f}
+	w, err := orc.NewWriter(of, schema, &orc.WriterOptions{
+		Compression:    ck,
+		RowIndexStride: *stride,
+		StripeSize:     *stripe,
+	})
+	fatalIf(err)
+	n := 0
+	fatalIf(gen(sc, func(row types.Row) error {
+		n++
+		return w.Write(row)
+	}))
+	fatalIf(w.Close())
+	fatalIf(f.Close())
+	fmt.Printf("wrote %d rows (%d bytes) to %s\n", n, of.pos, path)
+}
+
+func intSqrt(n int) int {
+	i := 1
+	for i*i <= n {
+		i++
+	}
+	return i - 1
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

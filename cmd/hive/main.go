@@ -1,0 +1,156 @@
+// hive is an interactive SQL shell over the reproduction: it loads one of
+// the paper's synthetic datasets into an in-process warehouse and evaluates
+// queries with the configured advancements, printing results and the
+// execution statistics the paper's figures report (jobs, elapsed,
+// cumulative CPU, DFS bytes read).
+//
+// Usage:
+//
+//	hive -dataset tpch -format orc -optimize all
+//	> SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/compress"
+	"repro/internal/fileformat"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tpch", "dataset to load: tpch|tpcds|ssdb|all")
+	format := flag.String("format", "ORC", "storage format: TEXTFILE|SEQUENCEFILE|RCFILE|ORC")
+	codec := flag.String("compress", "NONE", "codec: NONE|ZLIB|SNAPPY")
+	optimize := flag.String("optimize", "all", "optimizations: all|none|ppd|mapjoin|correlation|vectorize (comma-separated)")
+	scale := flag.Float64("scale", 0.3, "dataset scale factor")
+	engine := flag.String("engine", "mapreduce", "execution engine: mapreduce|tez")
+	flag.Parse()
+
+	kind, err := fileformat.ParseKind(strings.ToUpper(*format))
+	fatalIf(err)
+	ck, err := compress.ParseKind(strings.ToUpper(*codec))
+	fatalIf(err)
+	opt, err := parseOpt(*optimize)
+	fatalIf(err)
+
+	var tables []bench.TableSpec
+	switch *dataset {
+	case "tpch":
+		tables = bench.TPCHTables()
+	case "tpcds":
+		tables = bench.TPCDSTables()
+	case "ssdb":
+		tables = bench.SSDBTables()
+	case "all":
+		tables = append(append(bench.TPCHTables(), bench.TPCDSTables()...), bench.SSDBTables()...)
+	default:
+		fatalIf(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+
+	sc := workload.DefaultScale()
+	sc.Lineitem = int(float64(sc.Lineitem) * *scale)
+	sc.Orders = int(float64(sc.Orders) * *scale)
+	sc.StoreSales = int(float64(sc.StoreSales) * *scale)
+	sc.WebSales = int(float64(sc.WebSales) * *scale)
+
+	fmt.Printf("loading %s as %s (%s, %s engine)...\n", *dataset, kind, ck, *engine)
+	env, _, err := bench.NewEnv(bench.EnvConfig{
+		Scale:       sc,
+		Format:      kind,
+		Compression: ck,
+		Opt:         opt,
+		RowsPerFile: 25000,
+		Tez:         *engine == "tez",
+	}, tables)
+	fatalIf(err)
+
+	fmt.Println("tables:", strings.Join(env.Driver.Metastore().Names(), ", "))
+	fmt.Println(`enter a SELECT statement on one line ("\q" to quit, "\explain <sql>" for the plan)`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, `\explain `):
+			p, compiled, err := env.Driver.Explain(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(p.String())
+			fmt.Printf("jobs: %d (%d map-only)\n", compiled.NumJobs(), compiled.NumMapOnlyJobs())
+		default:
+			res, err := env.Driver.Run(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			limit := len(res.Rows)
+			if limit > 50 {
+				limit = 50
+			}
+			for _, row := range res.Rows[:limit] {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					if v == nil {
+						parts[i] = "NULL"
+					} else {
+						parts[i] = fmt.Sprint(v)
+					}
+				}
+				fmt.Println(strings.Join(parts, "\t"))
+			}
+			if len(res.Rows) > limit {
+				fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+			}
+			s := res.Stats
+			fmt.Printf("%d row(s); %d job(s); elapsed %s; cumulative CPU %s; %d DFS bytes read; %d shuffle bytes\n",
+				len(res.Rows), s.Jobs, s.Elapsed.Round(1000), s.CumulativeCPU.Round(1000), s.DFSBytesRead, s.ShuffleBytes)
+		}
+	}
+}
+
+func parseOpt(s string) (optimizer.Options, error) {
+	var opt optimizer.Options
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "all":
+			opt = optimizer.AllOn()
+		case "none", "":
+		case "ppd":
+			opt.PredicatePushdown = true
+		case "mapjoin":
+			opt.MapJoinConversion = true
+			opt.MergeMapOnlyJobs = true
+		case "correlation":
+			opt.Correlation = true
+		case "vectorize":
+			opt.Vectorize = true
+		default:
+			return opt, fmt.Errorf("unknown optimization %q", part)
+		}
+	}
+	return opt, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hive:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// orcdump inspects an ORC file produced by this reproduction: the
+// postscript, schema, stripe directory (position pointers), per-column
+// file statistics, and optionally the first rows.
+//
+// Usage:
+//
+//	orcdump lineitem.orc
+//	orcdump -rows 5 -stats lineitem.orc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/orc"
+	"repro/internal/types"
+)
+
+// osReader adapts *os.File to the ORC reader's input interface.
+type osReader struct {
+	f    *os.File
+	size int64
+}
+
+func (r *osReader) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+func (r *osReader) Size() int64                             { return r.size }
+
+func main() {
+	nRows := flag.Int("rows", 0, "print the first N rows")
+	stats := flag.Bool("stats", true, "print per-column file statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orcdump [-rows N] [-stats] <file.orc>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	fi, err := f.Stat()
+	fatalIf(err)
+
+	r, err := orc.NewReader(&osReader{f: f, size: fi.Size()})
+	fatalIf(err)
+
+	fmt.Printf("file: %s (%d bytes)\n", path, fi.Size())
+	fmt.Printf("rows: %d\n", r.NumRows())
+	fmt.Printf("compression: %s\n", r.Compression())
+	fmt.Printf("schema: %s\n", r.Schema())
+	fmt.Printf("stripes: %d\n", r.NumStripes())
+	for i, s := range r.Stripes() {
+		fmt.Printf("  stripe %d: offset=%d index=%dB data=%dB footer=%dB rows=%d\n",
+			i, s.Offset, s.IndexLength, s.DataLength, s.FooterLength, s.NumRows)
+	}
+
+	if *stats {
+		fmt.Println("column statistics:")
+		tree := types.Decompose(r.Schema())
+		for i, col := range r.Schema().Columns {
+			cs := r.FileStats()[tree.TopLevel(i).ID]
+			fmt.Printf("  %-20s %s\n", col.Name, formatStats(cs))
+		}
+	}
+
+	if *nRows > 0 {
+		rr, err := r.Rows(orc.ReadOptions{})
+		fatalIf(err)
+		for i := 0; i < *nRows; i++ {
+			row, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			fatalIf(err)
+			parts := make([]string, len(row))
+			for c, v := range row {
+				if v == nil {
+					parts[c] = "NULL"
+				} else {
+					parts[c] = fmt.Sprint(v)
+				}
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+	}
+}
+
+func formatStats(cs *orc.ColumnStats) string {
+	if cs == nil {
+		return "(none)"
+	}
+	out := fmt.Sprintf("count=%d hasNull=%v", cs.NumValues, cs.HasNull)
+	switch {
+	case cs.Ints != nil:
+		out += fmt.Sprintf(" min=%d max=%d sum=%d", cs.Ints.Min, cs.Ints.Max, cs.Ints.Sum)
+	case cs.Doubles != nil:
+		out += fmt.Sprintf(" min=%g max=%g sum=%g", cs.Doubles.Min, cs.Doubles.Max, cs.Doubles.Sum)
+	case cs.Strings != nil:
+		out += fmt.Sprintf(" min=%q max=%q totalLen=%d", cs.Strings.Min, cs.Strings.Max, cs.Strings.TotalLength)
+	case cs.Bools != nil:
+		out += fmt.Sprintf(" trueCount=%d", cs.Bools.TrueCount)
+	case cs.Binary != nil:
+		out += fmt.Sprintf(" totalLen=%d", cs.Binary.TotalLength)
+	}
+	return out
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orcdump:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// quickstart shows the end-to-end public API: create a table in ORC,
+// load rows, and run SQL with all of the paper's advancements enabled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/types"
+)
+
+func main() {
+	h := repro.New(repro.Options{Optimizations: repro.AllAdvancements()})
+
+	schema := repro.NewSchema(
+		repro.Col("id", repro.Primitive(repro.Long)),
+		repro.Col("city", repro.Primitive(repro.String)),
+		repro.Col("temperature", repro.Primitive(repro.Double)),
+	)
+	loader, err := h.CreateTable("readings", schema, repro.FormatORC, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cities := []string{"columbus", "palo alto", "seattle", "snowbird"}
+	for i := 0; i < 10000; i++ {
+		row := types.Row{int64(i), cities[i%len(cities)], 10 + float64(i%40)/2}
+		if err := loader.Write(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := loader.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := h.Run(`
+		SELECT city, count(*) AS n, avg(temperature) AS avg_temp, max(temperature) AS max_temp
+		FROM readings
+		WHERE temperature > 12.5
+		GROUP BY city
+		ORDER BY avg_temp DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("city        n     avg_temp  max_temp")
+	for _, row := range res.Rows {
+		fmt.Printf("%-10s %5d %9.2f %9.2f\n", row[0], row[1], row[2], row[3])
+	}
+	fmt.Printf("\n%d MapReduce job(s), %s elapsed, %v DFS bytes read\n",
+		res.Stats.Jobs, res.Stats.Elapsed.Round(1000), res.Stats.DFSBytesRead)
+}

@@ -1,0 +1,137 @@
+// Package repro is a from-scratch Go reproduction of "Major Technical
+// Advancements in Apache Hive" (Huai et al., SIGMOD 2014): the ORC file
+// format with its indexes and predicate pushdown (§4), the query-planning
+// advancements — elimination of unnecessary Map phases and the YSmart-based
+// Correlation Optimizer (§5) — and the vectorized query execution engine
+// (§6), all running on an in-process HDFS/MapReduce substrate.
+//
+// This file is the public façade: it re-exports the session API so
+// examples and downstream users interact with one package. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// results.
+//
+// Quick start:
+//
+//	h := repro.New(repro.Options{})
+//	loader, _ := h.CreateTable("t", schema, repro.FormatORC, nil)
+//	loader.Write(types.Row{...}); loader.Close()
+//	res, _ := h.Run("SELECT count(*) FROM t")
+package repro
+
+import (
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/orc"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Re-exported types: the data model.
+type (
+	// Schema describes a table's columns.
+	Schema = types.Schema
+	// Row is one record.
+	Row = types.Row
+	// Driver is a query session (parse → plan → optimize → compile →
+	// execute → fetch), Figure 1's architecture.
+	Driver = core.Driver
+	// Result is a completed query with execution statistics.
+	Result = core.Result
+	// TableLoader writes rows into a table.
+	TableLoader = core.TableLoader
+	// OptimizerOptions toggles the paper's advancements individually.
+	OptimizerOptions = optimizer.Options
+	// ORCWriterOptions tunes the ORC file format (stripe size, index
+	// stride, compression, block alignment, memory manager).
+	ORCWriterOptions = orc.WriterOptions
+	// FormatOptions configures table storage.
+	FormatOptions = fileformat.Options
+)
+
+// Storage formats.
+const (
+	FormatText     = fileformat.Text
+	FormatSequence = fileformat.Sequence
+	FormatRCFile   = fileformat.RC
+	FormatORC      = fileformat.ORC
+)
+
+// Compression codecs.
+const (
+	CompressionNone   = compress.None
+	CompressionZlib   = compress.Zlib
+	CompressionSnappy = compress.Snappy
+)
+
+// Column constructors.
+var (
+	// Col builds a schema column.
+	Col = types.Col
+	// NewSchema builds a schema from columns.
+	NewSchema = types.NewSchema
+	// Primitive builds a primitive column type.
+	Primitive = types.Primitive
+)
+
+// Primitive kinds.
+const (
+	Long    = types.Long
+	Int     = types.Int
+	Double  = types.Double
+	String  = types.String
+	Boolean = types.Boolean
+)
+
+// Options configures a session.
+type Options struct {
+	// Optimizations selects the enabled advancements; AllAdvancements()
+	// turns everything on. The zero value reproduces "original Hive".
+	Optimizations OptimizerOptions
+	// DisableMapSideAgg turns off map-side hash aggregation.
+	DisableMapSideAgg bool
+	// Reducers is the default shuffle width (default 4).
+	Reducers int
+	// Slots bounds concurrently running tasks (default 4).
+	Slots int
+	// Nodes is the simulated cluster width (default 10, as in §7.1).
+	Nodes int
+	// BlockSize is the simulated DFS block size (default 128 MiB).
+	BlockSize int64
+	// JobLaunchOverhead is the accounted per-job startup cost, standing
+	// in for Hadoop's job latency.
+	JobLaunchOverhead time.Duration
+	// UseTez runs queries on the Tez-style DAG engine (§9): one launch
+	// for the whole DAG and in-memory intermediate edges instead of
+	// DFS-materialized temp tables.
+	UseTez bool
+}
+
+// AllAdvancements enables every optimization the paper introduces.
+func AllAdvancements() OptimizerOptions { return optimizer.AllOn() }
+
+// New builds a session over a fresh in-process warehouse.
+func New(opts Options) *Driver {
+	fs := dfs.New(dfs.WithBlockSize(opts.BlockSize), dfs.WithNodes(opts.Nodes))
+	engine := mapred.NewEngine(mapred.Config{
+		Slots:             opts.Slots,
+		NumNodes:          opts.Nodes,
+		JobLaunchOverhead: opts.JobLaunchOverhead,
+	})
+	conf := core.Config{
+		Opt: opts.Optimizations,
+		Planner: plan.PlannerOptions{
+			DefaultReducers:   opts.Reducers,
+			DisableMapSideAgg: opts.DisableMapSideAgg,
+		},
+	}
+	if opts.UseTez {
+		conf.Engine = core.ModeTez
+	}
+	return core.NewDriver(fs, engine, conf)
+}

@@ -1,0 +1,175 @@
+// ablations.go measures the design choices DESIGN.md calls out (A1–A4):
+// stripe size, dictionary encoding, vectorized batch size, and index-group
+// granularity.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fileformat"
+	"repro/internal/optimizer"
+	"repro/internal/orc"
+	"repro/internal/types"
+	"repro/internal/vexec"
+	"repro/internal/workload"
+)
+
+// AblationRow is one (parameter, metric) measurement.
+type AblationRow struct {
+	Param     string
+	Elapsed   time.Duration
+	BytesRead int64
+	FileBytes int64
+}
+
+// RunStripeSizeAblation (A1) scans SS-DB query 1.hard over ORC files
+// written with small (RCFile-like 4 MB) and large (ORC-default-like)
+// stripes: larger stripes mean fewer stripes and less per-stripe overhead
+// (§4.1's first improvement, confirmed by [28]).
+func RunStripeSizeAblation(cfg EnvConfig) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, stripe := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		c := cfg
+		c.Format = fileformat.ORC
+		c.ORCStripeSize = stripe
+		env, _, err := NewEnv(c, SSDBTables())
+		if err != nil {
+			return nil, err
+		}
+		q := workload.SSDBQuery1(cfg.Scale.SSDBGrid)
+		before := env.Driver.FS().Stats().Snapshot()
+		res, err := env.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Param:     fmt.Sprintf("stripe=%dKB", stripe>>10),
+			Elapsed:   res.Stats.Elapsed,
+			BytesRead: env.Driver.FS().Stats().Snapshot().Diff(before).BytesRead,
+			FileBytes: env.TableBytes(),
+		})
+	}
+	return out, nil
+}
+
+// RunDictionaryAblation (A2) writes a low-cardinality and a
+// high-cardinality string column with the dictionary threshold at 0.8
+// (adaptive) and at 0 (dictionary disabled), measuring file sizes: the
+// adaptive writer should match the better choice on both datasets (§4.3).
+func RunDictionaryAblation(rows int) ([]AblationRow, error) {
+	var out []AblationRow
+	schema := types.NewSchema(types.Col("s", types.Primitive(types.String)))
+	cases := []struct {
+		name string
+		gen  func(i int) string
+	}{
+		{"low-cardinality", func(i int) string { return fmt.Sprintf("category-%02d", i%20) }},
+		{"high-cardinality", func(i int) string { return fmt.Sprintf("unique-%08d-%08d", i, i*7919) }},
+	}
+	for _, c := range cases {
+		for _, threshold := range []float64{orc.DefaultDictionaryThreshold, 1e-9} {
+			env, _, err := NewEnv(EnvConfig{Scale: workload.Scale{}}, nil)
+			if err != nil {
+				return nil, err
+			}
+			loader, err := env.Driver.CreateTable("t", schema, fileformat.ORC,
+				&fileformat.Options{ORCOptions: &orc.WriterOptions{DictionaryThreshold: threshold}})
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < rows; i++ {
+				if err := loader.Write(types.Row{c.gen(i)}); err != nil {
+					return nil, err
+				}
+			}
+			if err := loader.Close(); err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s dict<=%.1f", c.name, threshold)
+			if threshold < 1e-6 {
+				label = c.name + " dict=off"
+			}
+			out = append(out, AblationRow{Param: label, FileBytes: env.TableBytes()})
+		}
+	}
+	return out, nil
+}
+
+// RunBatchSizeAblation (A3) sweeps the vectorized batch size on the TPC-H
+// q6 kernel; the paper picks 1024 to fit the processor cache (§6.1).
+func RunBatchSizeAblation(cfg EnvConfig, sizes []int) ([]AblationRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 256, 1024, 4096}
+	}
+	c := cfg
+	c.Format = fileformat.ORC
+	c.Opt = optimizer.Options{Vectorize: true}
+	env, _, err := NewEnv(c, []TableSpec{{
+		Name: "lineitem", Schema: workload.LineitemSchema(), Gen: workload.GenLineitem,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	defer vexec.SetBatchSize(0) // restore the default
+	var out []AblationRow
+	for _, size := range sizes {
+		vexec.SetBatchSize(size)
+		start := time.Now()
+		if _, err := env.Run(workload.TPCHQ6()); err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Param:   fmt.Sprintf("batch=%d", size),
+			Elapsed: time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// RunIndexGroupAblation (A4) sweeps the row-index stride on SS-DB query
+// 1.easy: smaller groups skip more precisely but cost more index bytes
+// (§4.2's trade-off).
+func RunIndexGroupAblation(cfg EnvConfig, strides []int) ([]AblationRow, error) {
+	if len(strides) == 0 {
+		grid := cfg.Scale.SSDBGrid
+		strides = []int{grid / 8, grid / 2, grid * 2, grid * 16}
+	}
+	var out []AblationRow
+	for _, stride := range strides {
+		if stride <= 0 {
+			continue
+		}
+		c := cfg
+		c.Format = fileformat.ORC
+		c.ORCStride = stride
+		c.Opt = optimizer.Options{PredicatePushdown: true}
+		env, _, err := NewEnv(c, SSDBTables())
+		if err != nil {
+			return nil, err
+		}
+		q := workload.SSDBQuery1(cfg.Scale.SSDBGrid / 4)
+		before := env.Driver.FS().Stats().Snapshot()
+		res, err := env.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Param:     fmt.Sprintf("stride=%d", stride),
+			Elapsed:   res.Stats.Elapsed,
+			BytesRead: env.Driver.FS().Stats().Snapshot().Diff(before).BytesRead,
+			FileBytes: env.TableBytes(),
+		})
+	}
+	return out, nil
+}
+
+// PrintAblation renders one ablation series.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-28s %12s %14s %14s\n", "param", "elapsed(ms)", "bytesRead", "fileBytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %12d %14d %14d\n", r.Param, r.Elapsed.Milliseconds(), r.BytesRead, r.FileBytes)
+	}
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tinyScale keeps the experiment tests fast while preserving every shape.
+func tinyScale() workload.Scale {
+	sc := workload.DefaultScale()
+	sc.SSDBGrid = 64
+	sc.Lineitem = 8000
+	sc.Orders = 2000
+	sc.Customers = 200
+	sc.StoreSales = 6000
+	sc.WebSales = 6000
+	sc.WebReturns = 800
+	return sc
+}
+
+func tinyCfg() EnvConfig {
+	return EnvConfig{Scale: tinyScale(), ORCStride: 512, RowsPerFile: 4000}
+}
+
+func TestStorageShape(t *testing.T) {
+	results, err := RunStorage(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := map[string]int64{}
+	for _, r := range results {
+		byCell[r.Dataset+"/"+r.Variant] = r.Bytes
+	}
+	for _, ds := range []string{"SS-DB", "TPC-H", "TPC-DS"} {
+		text := byCell[ds+"/Text"]
+		rc := byCell[ds+"/RCFile"]
+		rcs := byCell[ds+"/RCFile Snappy"]
+		orcPlain := byCell[ds+"/ORC File"]
+		orcs := byCell[ds+"/ORC File Snappy"]
+		if text == 0 || rc == 0 || orcPlain == 0 {
+			t.Fatalf("%s: missing cells: %v", ds, byCell)
+		}
+		// Table 2's shape: ORC < RCFile < Text; Snappy shrinks both.
+		if !(orcPlain < rc && rc < text) {
+			t.Errorf("%s: size ordering violated: orc=%d rc=%d text=%d", ds, orcPlain, rc, text)
+		}
+		if rcs >= rc {
+			t.Errorf("%s: RCFile Snappy %d >= RCFile %d", ds, rcs, rc)
+		}
+		if orcs >= orcPlain {
+			t.Errorf("%s: ORC Snappy %d >= ORC %d", ds, orcs, orcPlain)
+		}
+	}
+	// Table 2's SS-DB/TPC-DS anomaly inversion: plain ORC beats
+	// RCFile+Snappy on datasets without random-string columns.
+	if byCell["SS-DB/ORC File"] >= byCell["SS-DB/RCFile Snappy"] {
+		t.Errorf("SS-DB: plain ORC (%d) should beat RCFile Snappy (%d) via type-specific encodings",
+			byCell["SS-DB/ORC File"], byCell["SS-DB/RCFile Snappy"])
+	}
+	// TPC-H: snappy compresses ORC much further because of the random
+	// comment strings (dictionary-ineligible).
+	tpchGain := float64(byCell["TPC-H/ORC File"]) / float64(byCell["TPC-H/ORC File Snappy"])
+	ssdbGain := float64(byCell["SS-DB/ORC File"]) / float64(byCell["SS-DB/ORC File Snappy"])
+	if tpchGain <= ssdbGain {
+		t.Logf("note: TPC-H snappy gain %.2f <= SS-DB gain %.2f (paper expects TPC-H to gain more)", tpchGain, ssdbGain)
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, results)
+	PrintFig9(&buf, results)
+	if !strings.Contains(buf.String(), "ORC File Snappy") {
+		t.Error("printout incomplete")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := RunFig10(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(d, c string) Fig10Row {
+		for _, r := range rows {
+			if r.Difficulty == d && r.Config == c {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s/%s", d, c)
+		return Fig10Row{}
+	}
+	// Same aggregate results across configurations.
+	for _, d := range []string{"1.easy", "1.medium", "1.hard"} {
+		rc := get(d, "RCFile (No PPD)")
+		orcNo := get(d, "ORC File (No PPD)")
+		orcPpd := get(d, "ORC File (PPD)")
+		if rc.Sum != orcNo.Sum || orcNo.Sum != orcPpd.Sum || rc.Rows != orcPpd.Rows {
+			t.Errorf("%s: results differ across configs: %v/%v vs %v/%v vs %v/%v",
+				d, rc.Sum, rc.Rows, orcNo.Sum, orcNo.Rows, orcPpd.Sum, orcPpd.Rows)
+		}
+	}
+	// Figure 10(b) shape, observation 1: ORC reads less than RCFile even
+	// without PPD (projection + efficient encoding).
+	if get("1.hard", "ORC File (No PPD)").BytesRead >= get("1.hard", "RCFile (No PPD)").BytesRead {
+		t.Errorf("ORC no-PPD read more than RCFile: %d vs %d",
+			get("1.hard", "ORC File (No PPD)").BytesRead, get("1.hard", "RCFile (No PPD)").BytesRead)
+	}
+	// Observation 2: with indexes, the easy query reads far less. At this
+	// miniature scale the read-through gap merging caps the reduction
+	// around 2x; the benchmark scale shows 3x+ (see EXPERIMENTS.md).
+	easyPpd := get("1.easy", "ORC File (PPD)").BytesRead
+	easyNo := get("1.easy", "ORC File (No PPD)").BytesRead
+	if easyPpd*3 >= easyNo*2 {
+		t.Errorf("PPD did not significantly reduce easy-query bytes: %d vs %d", easyPpd, easyNo)
+	}
+	// Observation 3: for the hard query (all rows match) index overhead is
+	// low: PPD reads at most slightly more than no-PPD.
+	hardPpd := get("1.hard", "ORC File (PPD)").BytesRead
+	hardNo := get("1.hard", "ORC File (No PPD)").BytesRead
+	if float64(hardPpd) > float64(hardNo)*1.25 {
+		t.Errorf("index overhead too high on hard query: %d vs %d", hardPpd, hardNo)
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, rows)
+	if !strings.Contains(buf.String(), "1.medium") {
+		t.Error("printout incomplete")
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	rows, err := RunFig11a(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	withUM, withoutUM := rows[0], rows[1]
+	// Paper: w/ UM has four Map-only jobs + one MR job; merged has one MR
+	// job (plus, in our pipeline, the order-by job).
+	if withUM.MapOnlyJobs < 4 {
+		t.Errorf("w/ UM has %d map-only jobs, want >= 4", withUM.MapOnlyJobs)
+	}
+	if withoutUM.MapOnlyJobs != 0 {
+		t.Errorf("w/o UM still has %d map-only jobs", withoutUM.MapOnlyJobs)
+	}
+	if withoutUM.Jobs >= withUM.Jobs {
+		t.Errorf("job count did not drop: %d -> %d", withUM.Jobs, withoutUM.Jobs)
+	}
+	if withUM.Rows != withoutUM.Rows || withUM.FirstRow != withoutUM.FirstRow {
+		t.Errorf("results differ: %d (%s) vs %d (%s)", withUM.Rows, withUM.FirstRow, withoutUM.Rows, withoutUM.FirstRow)
+	}
+	var buf bytes.Buffer
+	PrintFig11(&buf, "Figure 11(a)", rows)
+}
+
+func TestFig11bShape(t *testing.T) {
+	rows, err := RunFig11b(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, co, both := rows[0], rows[1], rows[2]
+	if co.Jobs >= base.Jobs {
+		t.Errorf("correlation optimizer did not reduce jobs: %d -> %d", base.Jobs, co.Jobs)
+	}
+	if both.Jobs > co.Jobs {
+		t.Errorf("merging map-only jobs increased jobs: %d -> %d", co.Jobs, both.Jobs)
+	}
+	if both.MapOnlyJobs != 0 {
+		t.Errorf("final config still has %d map-only jobs", both.MapOnlyJobs)
+	}
+	if base.Rows != co.Rows || co.Rows != both.Rows {
+		t.Errorf("result rows differ: %d / %d / %d", base.Rows, co.Rows, both.Rows)
+	}
+	if base.FirstRow != co.FirstRow || co.FirstRow != both.FirstRow {
+		t.Errorf("result values differ:\n base %s\n co   %s\n both %s",
+			base.FirstRow, co.FirstRow, both.FirstRow)
+	}
+	var buf bytes.Buffer
+	PrintFig11(&buf, "Figure 11(b)", rows)
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := tinyCfg()
+	rows, err := RunFig12(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All configurations must produce the same row counts.
+	byQuery := map[string][]Fig12Row{}
+	for _, r := range rows {
+		byQuery[r.Query] = append(byQuery[r.Query], r)
+	}
+	for q, rs := range byQuery {
+		for _, r := range rs[1:] {
+			if r.Rows != rs[0].Rows {
+				t.Errorf("%s: row count differs under %s: %d vs %d", q, r.Config, r.Rows, rs[0].Rows)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "CPU ratio") {
+		t.Error("printout incomplete")
+	}
+}
+
+func TestTezComparisonShape(t *testing.T) {
+	rows, err := RunTezComparison(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, tez := rows[0], rows[1]
+	if mr.FirstRow != tez.FirstRow {
+		t.Errorf("results differ: %s vs %s", mr.FirstRow, tez.FirstRow)
+	}
+	if tez.Elapsed >= mr.Elapsed {
+		t.Logf("note: tez elapsed %v >= mapreduce %v at tiny scale", tez.Elapsed, mr.Elapsed)
+	}
+}

@@ -1,0 +1,195 @@
+// Package bench implements the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§7), shared by
+// cmd/benchrunner and the testing.B benchmarks in bench_test.go. Absolute
+// numbers differ from the paper's 11-node cluster (DESIGN.md §4); the
+// harness reports the same rows/series so shapes can be compared.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/orc"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// TableSpec names one generated table.
+type TableSpec struct {
+	Name   string
+	Schema *types.Schema
+	Gen    func(workload.Scale, workload.Emit) error
+}
+
+// SSDBTables returns the SS-DB dataset tables.
+func SSDBTables() []TableSpec {
+	return []TableSpec{
+		{"cycle", workload.SSDBSchema(), workload.GenSSDB},
+	}
+}
+
+// TPCHTables returns the TPC-H dataset tables.
+func TPCHTables() []TableSpec {
+	return []TableSpec{
+		{"lineitem", workload.LineitemSchema(), workload.GenLineitem},
+		{"orders", workload.OrdersSchema(), workload.GenOrders},
+		{"customer", workload.CustomerSchema(), workload.GenCustomer},
+	}
+}
+
+// TPCDSTables returns the TPC-DS dataset tables.
+func TPCDSTables() []TableSpec {
+	return []TableSpec{
+		{"store_sales", workload.StoreSalesSchema(), workload.GenStoreSales},
+		{"customer_demographics", workload.CustomerDemographicsSchema(), workload.GenCustomerDemographics},
+		{"date_dim", workload.DateDimSchema(), workload.GenDateDim},
+		{"store", workload.StoreSchema(), workload.GenStore},
+		{"item", workload.ItemSchema(), workload.GenItem},
+		{"web_sales", workload.WebSalesSchema(), workload.GenWebSales},
+		{"web_returns", workload.WebReturnsSchema(), workload.GenWebReturns},
+		{"customer_address", workload.CustomerAddressSchema(), workload.GenCustomerAddress},
+	}
+}
+
+// Datasets maps the paper's three benchmark names to their tables.
+func Datasets() map[string][]TableSpec {
+	return map[string][]TableSpec{
+		"SS-DB":  SSDBTables(),
+		"TPC-H":  TPCHTables(),
+		"TPC-DS": TPCDSTables(),
+	}
+}
+
+// Env is one warehouse: a DFS, an engine and a driver with loaded tables.
+type Env struct {
+	Driver *core.Driver
+	Scale  workload.Scale
+	Format fileformat.Kind
+}
+
+// EnvConfig controls dataset loading.
+type EnvConfig struct {
+	Scale       workload.Scale
+	Format      fileformat.Kind
+	Compression compress.Kind
+	// ORCStride overrides the ORC row-index stride (scaled-down datasets
+	// need proportionally smaller index groups).
+	ORCStride int
+	// ORCStripeSize overrides the ORC stripe size.
+	ORCStripeSize int64
+	// RowsPerFile splits tables into multiple DFS files (map tasks).
+	RowsPerFile int
+	Opt         optimizer.Options
+	// LaunchOverhead is the accounted per-job startup cost; the paper's
+	// Hadoop pays tens of seconds per job, scaled down here.
+	LaunchOverhead time.Duration
+	// DiskBandwidth is the simulated DFS bandwidth in bytes/second
+	// (default 64 MB/s, in the range of the paper's m1.xlarge disks);
+	// <0 disables I/O simulation.
+	DiskBandwidth int64
+	// SeekLatency is the simulated per-read-op cost (default 2ms).
+	SeekLatency time.Duration
+	// Tez runs queries on the Tez-style DAG engine (§9 extension, E7).
+	Tez bool
+}
+
+func (c *EnvConfig) withDefaults() EnvConfig {
+	out := *c
+	if out.ORCStride == 0 {
+		out.ORCStride = 1024
+	}
+	if out.ORCStripeSize == 0 {
+		out.ORCStripeSize = 4 << 20
+	}
+	if out.RowsPerFile == 0 {
+		out.RowsPerFile = 1 << 30
+	}
+	if out.DiskBandwidth == 0 {
+		out.DiskBandwidth = 64 << 20
+	}
+	if out.DiskBandwidth < 0 {
+		out.DiskBandwidth = 0
+	}
+	if out.SeekLatency == 0 {
+		out.SeekLatency = 2 * time.Millisecond
+	}
+	return out
+}
+
+// NewEnv builds a fresh warehouse and loads the given tables; it returns
+// the environment and the per-table load durations (Figure 9's metric).
+func NewEnv(cfg EnvConfig, tables []TableSpec) (*Env, map[string]time.Duration, error) {
+	c := cfg.withDefaults()
+	fs := dfs.New(dfs.WithBlockSize(8<<20), dfs.WithSimulatedDisk(c.DiskBandwidth, c.SeekLatency))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4, JobLaunchOverhead: c.LaunchOverhead})
+	conf := core.Config{Opt: c.Opt}
+	if c.Tez {
+		conf.Engine = core.ModeTez
+	}
+	d := core.NewDriver(fs, engine, conf)
+	loadTimes := map[string]time.Duration{}
+	for _, spec := range tables {
+		opts := &fileformat.Options{Compression: c.Compression}
+		if c.Format == fileformat.ORC {
+			opts.ORCOptions = &orc.WriterOptions{
+				RowIndexStride: c.ORCStride,
+				StripeSize:     c.ORCStripeSize,
+				Compression:    c.Compression,
+			}
+		}
+		loader, err := d.CreateTable(spec.Name, spec.Schema, c.Format, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		n := 0
+		err = spec.Gen(c.Scale, func(row types.Row) error {
+			n++
+			if n%c.RowsPerFile == 0 {
+				if err := loader.NextFile(); err != nil {
+					return err
+				}
+			}
+			return loader.Write(row)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := loader.Close(); err != nil {
+			return nil, nil, err
+		}
+		loadTimes[spec.Name] = time.Since(start)
+	}
+	return &Env{Driver: d, Scale: c.Scale, Format: c.Format}, loadTimes, nil
+}
+
+// TableBytes sums a dataset's on-DFS size (Table 2's metric).
+func (e *Env) TableBytes() int64 {
+	var total int64
+	for _, name := range e.Driver.Metastore().Names() {
+		meta, err := e.Driver.Metastore().Table(name)
+		if err != nil {
+			continue
+		}
+		total += e.Driver.FS().TotalSize(meta.Path)
+	}
+	return total
+}
+
+// Run executes a query and returns the result.
+func (e *Env) Run(q string) (*core.Result, error) { return e.Driver.Run(q) }
+
+// MustRun fails loudly; the harness treats query failure as a bug.
+func (e *Env) MustRun(q string) *core.Result {
+	res, err := e.Driver.Run(q)
+	if err != nil {
+		panic(fmt.Sprintf("bench: query failed: %v\nquery: %s", err, q))
+	}
+	return res
+}

@@ -1,0 +1,122 @@
+// fig10.go reproduces Figure 10: SS-DB query 1 at easy/medium/hard
+// selectivities over RCFile, ORC without predicate pushdown, and ORC with
+// predicate pushdown — reporting elapsed time (10a) and the amount of data
+// read from the DFS (10b).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fileformat"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// Fig10Row is one (difficulty, configuration) measurement.
+type Fig10Row struct {
+	Difficulty string
+	Config     string // "RCFile (No PPD)", "ORC File (No PPD)", "ORC File (PPD)"
+	Elapsed    time.Duration
+	BytesRead  int64
+	Rows       int64 // matched rows (sanity)
+	Sum        any   // SUM(v1) result (cross-config consistency)
+}
+
+// RunFig10 executes the three query variants against the three
+// configurations.
+func RunFig10(cfg EnvConfig) ([]Fig10Row, error) {
+	grid := cfg.Scale.SSDBGrid
+	difficulties := []struct {
+		name string
+		v    int
+	}{
+		{"1.easy", grid / 4},
+		{"1.medium", grid / 2},
+		{"1.hard", grid}, // all rows satisfy the predicates
+	}
+	configs := []struct {
+		name   string
+		format fileformat.Kind
+		ppd    bool
+	}{
+		{"RCFile (No PPD)", fileformat.RC, false},
+		{"ORC File (No PPD)", fileformat.ORC, false},
+		{"ORC File (PPD)", fileformat.ORC, true},
+	}
+	var out []Fig10Row
+	for _, c := range configs {
+		envCfg := cfg
+		envCfg.Format = c.format
+		envCfg.Opt = optimizer.Options{PredicatePushdown: c.ppd}
+		// Index groups must subdivide image rows for the y predicate to
+		// prune, mirroring the paper's geometry (10k-value groups inside
+		// 15k-pixel rows).
+		if envCfg.ORCStride == 0 || envCfg.ORCStride > grid/2 {
+			envCfg.ORCStride = maxInt(grid/2, 16)
+		}
+		env, _, err := NewEnv(envCfg, SSDBTables())
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range difficulties {
+			q := workload.SSDBQuery1(d.v)
+			before := env.Driver.FS().Stats().Snapshot()
+			res, err := env.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", d.name, c.name, err)
+			}
+			read := env.Driver.FS().Stats().Snapshot().Diff(before).BytesRead
+			row := Fig10Row{
+				Difficulty: d.name,
+				Config:     c.name,
+				Elapsed:    res.Stats.Elapsed,
+				BytesRead:  read,
+			}
+			if len(res.Rows) == 1 {
+				row.Sum = res.Rows[0][0]
+				if n, ok := res.Rows[0][1].(int64); ok {
+					row.Rows = n
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// PrintFig10 renders both panels.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Figure 10(a): SS-DB query 1 elapsed times (ms)")
+	printFig10Panel(w, rows, func(r Fig10Row) string {
+		return fmt.Sprintf("%10d", r.Elapsed.Milliseconds())
+	})
+	fmt.Fprintln(w, "\nFigure 10(b): amounts of data read from DFS (MB)")
+	printFig10Panel(w, rows, func(r Fig10Row) string {
+		return fmt.Sprintf("%10.2f", mb(r.BytesRead))
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func printFig10Panel(w io.Writer, rows []Fig10Row, cell func(Fig10Row) string) {
+	configs := []string{"RCFile (No PPD)", "ORC File (No PPD)", "ORC File (PPD)"}
+	fmt.Fprintf(w, "%-10s %17s %17s %17s\n", "", configs[0], configs[1], configs[2])
+	for _, d := range []string{"1.easy", "1.medium", "1.hard"} {
+		fmt.Fprintf(w, "%-10s", d)
+		for _, c := range configs {
+			for _, r := range rows {
+				if r.Difficulty == d && r.Config == c {
+					fmt.Fprintf(w, " %17s", cell(r))
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

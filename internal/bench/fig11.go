@@ -1,0 +1,160 @@
+// fig11.go reproduces Figure 11: the query-planning experiments. 11(a)
+// runs TPC-DS query 27 with and without elimination of unnecessary Map
+// phases; 11(b) runs the flattened TPC-DS query 95 under the three
+// configurations (w/ UM CO=off, w/ UM CO=on, w/o UM CO=on).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// Fig11Row is one (query, configuration) measurement.
+type Fig11Row struct {
+	Query       string
+	Config      string
+	Jobs        int64
+	MapOnlyJobs int
+	Elapsed     time.Duration
+	Rows        int
+	// FirstRow fingerprints the result for cross-config consistency.
+	FirstRow string
+}
+
+// fig11MapJoinThreshold keeps dimension tables map-join eligible while the
+// fact tables stay streamed at benchmark scale.
+const fig11MapJoinThreshold = 256 << 10
+
+func runFig11Config(cfg EnvConfig, query, name string, opt optimizer.Options) (Fig11Row, error) {
+	envCfg := cfg
+	opt.MapJoinThreshold = fig11MapJoinThreshold
+	envCfg.Opt = opt
+	env, _, err := NewEnv(envCfg, TPCDSTables())
+	if err != nil {
+		return Fig11Row{}, err
+	}
+	_, compiled, err := env.Driver.Explain(query)
+	if err != nil {
+		return Fig11Row{}, fmt.Errorf("bench: explain under %s: %w", name, err)
+	}
+	res, err := env.Run(query)
+	if err != nil {
+		return Fig11Row{}, fmt.Errorf("bench: run under %s: %w", name, err)
+	}
+	row := Fig11Row{
+		Config:      name,
+		Jobs:        int64(compiled.NumJobs()),
+		MapOnlyJobs: compiled.NumMapOnlyJobs(),
+		Elapsed:     res.Stats.Elapsed,
+		Rows:        len(res.Rows),
+	}
+	if len(res.Rows) > 0 {
+		row.FirstRow = fmt.Sprint(res.Rows[0])
+	}
+	return row, nil
+}
+
+// RunFig11a measures TPC-DS query 27 with unnecessary Map phases (map
+// joins materialized as Map-only jobs) and without (merged).
+func RunFig11a(cfg EnvConfig) ([]Fig11Row, error) {
+	configs := []struct {
+		name string
+		opt  optimizer.Options
+	}{
+		{"w/ UM", optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: false}},
+		{"w/o UM", optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: true}},
+	}
+	var out []Fig11Row
+	for _, c := range configs {
+		row, err := runFig11Config(cfg, workload.TPCDSQ27(), c.name, c.opt)
+		if err != nil {
+			return nil, err
+		}
+		row.Query = "q27"
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RunFig11b measures the flattened TPC-DS query 95 under the paper's three
+// configurations.
+func RunFig11b(cfg EnvConfig) ([]Fig11Row, error) {
+	configs := []struct {
+		name string
+		opt  optimizer.Options
+	}{
+		{"w/ UM CO=off", optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: false}},
+		{"w/ UM CO=on", optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: false, Correlation: true}},
+		{"w/o UM CO=on", optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: true, Correlation: true}},
+	}
+	var out []Fig11Row
+	for _, c := range configs {
+		row, err := runFig11Config(cfg, workload.TPCDSQ95(), c.name, c.opt)
+		if err != nil {
+			return nil, err
+		}
+		row.Query = "q95"
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintFig11 renders one panel.
+func PrintFig11(w io.Writer, title string, rows []Fig11Row) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-14s %6s %9s %12s %8s\n", "config", "jobs", "map-only", "elapsed(ms)", "rows")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %6d %9d %12d %8d\n",
+			r.Config, r.Jobs, r.MapOnlyJobs, r.Elapsed.Milliseconds(), r.Rows)
+	}
+	if len(rows) > 1 {
+		base := rows[0].Elapsed
+		best := rows[len(rows)-1].Elapsed
+		if best > 0 {
+			fmt.Fprintf(w, "speedup (%s vs %s): %.2fx\n",
+				rows[len(rows)-1].Config, rows[0].Config, float64(base)/float64(best))
+		}
+	}
+}
+
+// RunTezComparison (extension E7, paper §9) runs TPC-DS q95 fully optimized
+// on the MapReduce engine and on the Tez-style DAG engine: same job DAG,
+// but one launch and in-memory intermediate edges.
+func RunTezComparison(cfg EnvConfig) ([]Fig11Row, error) {
+	opt := optimizer.AllOn()
+	opt.MapJoinThreshold = fig11MapJoinThreshold
+	var out []Fig11Row
+	for _, tez := range []bool{false, true} {
+		envCfg := cfg
+		envCfg.Opt = opt
+		envCfg.Tez = tez
+		env, _, err := NewEnv(envCfg, TPCDSTables())
+		if err != nil {
+			return nil, err
+		}
+		res, err := env.Run(workload.TPCDSQ95())
+		if err != nil {
+			return nil, err
+		}
+		name := "MapReduce"
+		if tez {
+			name = "Tez"
+		}
+		row := Fig11Row{
+			Query:   "q95",
+			Config:  name,
+			Jobs:    res.Stats.Jobs,
+			Elapsed: res.Stats.Elapsed,
+			Rows:    len(res.Rows),
+		}
+		if len(res.Rows) > 0 {
+			row.FirstRow = fmt.Sprint(res.Rows[0])
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+// fig12.go reproduces Figure 12: TPC-H queries 1 and 6 under the original
+// (row-mode) engine over RCFile, the row-mode engine over ORC, and the
+// vectorized engine over ORC — reporting total elapsed times (12a) and
+// cumulative CPU times (12b).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fileformat"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// Fig12Row is one (query, engine) measurement.
+type Fig12Row struct {
+	Query         string
+	Config        string
+	Elapsed       time.Duration
+	CumulativeCPU time.Duration
+	Rows          int
+}
+
+// Fig12Configs are the three execution configurations.
+func Fig12Configs() []struct {
+	Name      string
+	Format    fileformat.Kind
+	Vectorize bool
+} {
+	return []struct {
+		Name      string
+		Format    fileformat.Kind
+		Vectorize bool
+	}{
+		{"RCFile (No Vector)", fileformat.RC, false},
+		{"ORC File (No Vector)", fileformat.ORC, false},
+		{"ORC File (Vector)", fileformat.ORC, true},
+	}
+}
+
+// RunFig12 measures both queries under all three configurations, averaging
+// over the given number of runs to damp scheduler noise.
+func RunFig12(cfg EnvConfig, runs int) ([]Fig12Row, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"q1", workload.TPCHQ1()},
+		{"q6", workload.TPCHQ6()},
+	}
+	var out []Fig12Row
+	for _, c := range Fig12Configs() {
+		envCfg := cfg
+		envCfg.Format = c.Format
+		envCfg.Opt = optimizer.Options{Vectorize: c.Vectorize, PredicatePushdown: false}
+		env, _, err := NewEnv(envCfg, []TableSpec{{
+			Name: "lineitem", Schema: workload.LineitemSchema(), Gen: workload.GenLineitem,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			var elapsed, cpu time.Duration
+			rows := 0
+			for i := 0; i < runs; i++ {
+				res, err := env.Run(q.sql)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s under %s: %w", q.name, c.Name, err)
+				}
+				elapsed += res.Stats.Elapsed
+				cpu += res.Stats.CumulativeCPU
+				rows = len(res.Rows)
+			}
+			out = append(out, Fig12Row{
+				Query:         q.name,
+				Config:        c.Name,
+				Elapsed:       elapsed / time.Duration(runs),
+				CumulativeCPU: cpu / time.Duration(runs),
+				Rows:          rows,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintFig12 renders both panels.
+func PrintFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintln(w, "Figure 12(a): TPC-H q1/q6 elapsed times (ms)")
+	printFig12Panel(w, rows, func(r Fig12Row) int64 { return r.Elapsed.Milliseconds() })
+	fmt.Fprintln(w, "\nFigure 12(b): cumulative CPU times (ms)")
+	printFig12Panel(w, rows, func(r Fig12Row) int64 { return r.CumulativeCPU.Milliseconds() })
+	// CPU ratio row engine / vectorized, the paper's ~5x (q1) and ~3x (q6).
+	for _, q := range []string{"q1", "q6"} {
+		var rowCPU, vecCPU time.Duration
+		for _, r := range rows {
+			if r.Query != q {
+				continue
+			}
+			switch r.Config {
+			case "ORC File (No Vector)":
+				rowCPU = r.CumulativeCPU
+			case "ORC File (Vector)":
+				vecCPU = r.CumulativeCPU
+			}
+		}
+		if vecCPU > 0 {
+			fmt.Fprintf(w, "%s row/vectorized CPU ratio: %.2fx\n", q, float64(rowCPU)/float64(vecCPU))
+		}
+	}
+}
+
+func printFig12Panel(w io.Writer, rows []Fig12Row, val func(Fig12Row) int64) {
+	configs := Fig12Configs()
+	fmt.Fprintf(w, "%-6s", "")
+	for _, c := range configs {
+		fmt.Fprintf(w, " %22s", c.Name)
+	}
+	fmt.Fprintln(w)
+	for _, q := range []string{"q1", "q6"} {
+		fmt.Fprintf(w, "%-6s", q)
+		for _, c := range configs {
+			for _, r := range rows {
+				if r.Query == q && r.Config == c.Name {
+					fmt.Fprintf(w, " %22d", val(r))
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,110 @@
+// storage.go implements the storage-efficiency experiments: Table 2
+// (dataset sizes per format) and Figure 9 (data loading times).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/fileformat"
+)
+
+// FormatVariant is one column of Table 2.
+type FormatVariant struct {
+	Label       string
+	Format      fileformat.Kind
+	Compression compress.Kind
+}
+
+// Table2Variants reproduces the paper's five format columns.
+func Table2Variants() []FormatVariant {
+	return []FormatVariant{
+		{"Text", fileformat.Text, compress.None},
+		{"RCFile", fileformat.RC, compress.None},
+		{"RCFile Snappy", fileformat.RC, compress.Snappy},
+		{"ORC File", fileformat.ORC, compress.None},
+		{"ORC File Snappy", fileformat.ORC, compress.Snappy},
+	}
+}
+
+// StorageResult holds Table 2 + Figure 9 numbers for one (dataset, format)
+// cell.
+type StorageResult struct {
+	Dataset  string
+	Variant  string
+	Bytes    int64
+	LoadTime time.Duration
+}
+
+// RunStorage measures every (dataset, variant) cell.
+func RunStorage(cfg EnvConfig) ([]StorageResult, error) {
+	var out []StorageResult
+	names := make([]string, 0, 3)
+	for name := range Datasets() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, dataset := range names {
+		tables := Datasets()[dataset]
+		for _, v := range Table2Variants() {
+			c := cfg
+			c.Format = v.Format
+			c.Compression = v.Compression
+			env, loadTimes, err := NewEnv(c, tables)
+			if err != nil {
+				return nil, fmt.Errorf("bench: loading %s as %s: %w", dataset, v.Label, err)
+			}
+			var total time.Duration
+			for _, d := range loadTimes {
+				total += d
+			}
+			out = append(out, StorageResult{
+				Dataset:  dataset,
+				Variant:  v.Label,
+				Bytes:    env.TableBytes(),
+				LoadTime: total,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintTable2 renders the Table 2 rows (sizes per format per dataset).
+func PrintTable2(w io.Writer, results []StorageResult) {
+	fmt.Fprintln(w, "Table 2: dataset sizes (MB) by format")
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "", "SS-DB", "TPC-H", "TPC-DS")
+	for _, v := range Table2Variants() {
+		row := map[string]int64{}
+		for _, r := range results {
+			if r.Variant == v.Label {
+				row[r.Dataset] = r.Bytes
+			}
+		}
+		fmt.Fprintf(w, "%-16s %10.2f %10.2f %10.2f\n", v.Label,
+			mb(row["SS-DB"]), mb(row["TPC-H"]), mb(row["TPC-DS"]))
+	}
+}
+
+// PrintFig9 renders the Figure 9 series (loading elapsed times).
+func PrintFig9(w io.Writer, results []StorageResult) {
+	fmt.Fprintln(w, "Figure 9: data loading elapsed times (ms)")
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "", "SS-DB", "TPC-H", "TPC-DS")
+	for _, v := range Table2Variants() {
+		if v.Label == "Text" {
+			continue // the paper loads *from* text into the four formats
+		}
+		row := map[string]time.Duration{}
+		for _, r := range results {
+			if r.Variant == v.Label {
+				row[r.Dataset] = r.LoadTime
+			}
+		}
+		fmt.Fprintf(w, "%-16s %10d %10d %10d\n", v.Label,
+			row["SS-DB"].Milliseconds(), row["TPC-H"].Milliseconds(), row["TPC-DS"].Milliseconds())
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,406 @@
+// Package compiler is the task compiler of paper §2: it breaks an operator
+// tree into stages at ReduceSink boundaries and emits a DAG of MapReduce
+// tasks. Intermediate results are materialized as temp tables between
+// jobs — which is exactly why unnecessary Map phases and unnecessary
+// re-partitioning (§5) cost real I/O in this reproduction.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// TempPrefix marks compiler-generated intermediate tables.
+const TempPrefix = "_tmp_"
+
+// Task is one MapReduce job (or Map-only job) in the compiled DAG.
+type Task struct {
+	ID int
+	// MapScans are the table scans whose chains form the map phase; the
+	// runner creates one map task per file of each scan's table.
+	MapScans []*plan.TableScan
+	// LocalScans are map-join build inputs, scanned locally at task
+	// setup (§5.1's hash-table builds), not split into map tasks.
+	LocalScans []*plan.TableScan
+	// ReduceEntry is the operator receiving shuffled rows; nil for a
+	// Map-only job.
+	ReduceEntry plan.Node
+	// ReduceSinks are the shuffle producers feeding ReduceEntry, by tag.
+	ReduceSinks []*plan.ReduceSink
+	NumReducers int
+	// TempOutputs are the temp tables this task writes.
+	TempOutputs []string
+	// TempInputs are the temp tables this task reads (dependencies).
+	TempInputs []string
+	DependsOn  []*Task
+}
+
+// IsMapOnly reports whether the task has no reduce phase (§5.1's
+// unnecessary-Map-phase analysis counts these).
+func (t *Task) IsMapOnly() bool { return t.ReduceEntry == nil }
+
+// Compiled is the output of Compile: tasks in a valid execution order plus
+// the schemas of every temp table.
+type Compiled struct {
+	Tasks       []*Task
+	TempSchemas map[string]*plan.Schema
+}
+
+// NumJobs returns the job count, the quantity Figure 11 tracks.
+func (c *Compiled) NumJobs() int { return len(c.Tasks) }
+
+// NumMapOnlyJobs counts Map-only jobs.
+func (c *Compiled) NumMapOnlyJobs() int {
+	n := 0
+	for _, t := range c.Tasks {
+		if t.IsMapOnly() {
+			n++
+		}
+	}
+	return n
+}
+
+// TempTypesSchema derives a storage schema for a temp table from its plan
+// schema (positional names; only kinds matter for the shuffle-side codec).
+func TempTypesSchema(s *plan.Schema) *types.Schema {
+	out := &types.Schema{}
+	for i, c := range s.Cols {
+		out.Columns = append(out.Columns, types.Col(fmt.Sprintf("c%d", i), types.Primitive(c.Kind)))
+	}
+	return out
+}
+
+type compiler struct {
+	p           *plan.Plan
+	reduceSide  map[plan.Node]bool
+	tempCount   int
+	tempSchemas map[string]*plan.Schema
+}
+
+// Compile breaks the plan into tasks. The plan is modified in place: FS/TS
+// pairs are spliced in at job boundaries.
+func Compile(p *plan.Plan) (*Compiled, error) {
+	c := &compiler{p: p, tempSchemas: map[string]*plan.Schema{}}
+	c.computeReduceSide()
+	if err := c.insertBoundaries(); err != nil {
+		return nil, err
+	}
+	// Boundary insertion changes the DAG; recompute.
+	c.computeReduceSide()
+	tasks, err := c.buildTasks()
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := topoSort(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range ordered {
+		t.ID = i
+	}
+	// Collect temp schemas from every intermediate FileSink, including
+	// those spliced in by earlier optimizer passes.
+	p.Walk(func(n plan.Node) {
+		if fs, ok := n.(*plan.FileSink); ok && fs.Dest != "" {
+			c.tempSchemas[fs.Dest] = fs.Out
+		}
+	})
+	return &Compiled{Tasks: ordered, TempSchemas: c.tempSchemas}, nil
+}
+
+// computeReduceSide marks nodes executing in some reduce phase: a node is
+// reduce-side iff any parent is a ReduceSink or is itself reduce-side.
+func (c *compiler) computeReduceSide() {
+	c.reduceSide = map[plan.Node]bool{}
+	var visit func(n plan.Node) bool
+	visiting := map[plan.Node]bool{}
+	visit = func(n plan.Node) bool {
+		if v, ok := c.reduceSide[n]; ok {
+			return v
+		}
+		if visiting[n] {
+			return false
+		}
+		visiting[n] = true
+		defer delete(visiting, n)
+		v := false
+		for _, p := range n.Base().Parents {
+			if _, isRS := p.(*plan.ReduceSink); isRS || visit(p) {
+				v = true
+				break
+			}
+		}
+		c.reduceSide[n] = v
+		return v
+	}
+	c.p.Walk(func(n plan.Node) { visit(n) })
+}
+
+// insertBoundaries splices FileSink(tmp) + TableScan(tmp) pairs wherever a
+// ReduceSink's map chain would otherwise start inside an upstream reduce
+// phase, and wherever a map-join build input comes from a reduce phase.
+func (c *compiler) insertBoundaries() error {
+	for _, n := range c.p.Nodes() {
+		switch t := n.(type) {
+		case *plan.ReduceSink:
+			parent := t.Parents[0]
+			if c.reduceSide[parent] {
+				c.cut(parent, t)
+			}
+		case *plan.MapJoin:
+			// The streamed (big) input may be reduce-side: the hash-join
+			// operator then simply runs inside that reduce phase (no
+			// extra job). Small inputs must be linear local chains over
+			// a scan; anything else is materialized first.
+			for i, parent := range append([]plan.Node(nil), t.Parents...) {
+				if i == t.BigIdx {
+					continue
+				}
+				if c.reduceSide[parent] || !isLocalChain(parent) {
+					c.cut(parent, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isLocalChain reports whether the subtree rooted upward at n is a linear
+// TableScan -> Filter/Select chain runnable without MapReduce.
+func isLocalChain(n plan.Node) bool {
+	for {
+		switch t := n.(type) {
+		case *plan.TableScan:
+			return true
+		case *plan.Filter, *plan.Select:
+			if len(t.Base().Parents) != 1 {
+				return false
+			}
+			n = t.Base().Parents[0]
+		default:
+			return false
+		}
+	}
+}
+
+// cut splices parent -> FS(tmp) and TS(tmp) -> child over the parent->child
+// edge. Row layout is preserved, so compiled column indexes stay valid.
+func (c *compiler) cut(parent, child plan.Node) {
+	name := fmt.Sprintf("%s%d", TempPrefix, c.tempCount)
+	c.tempCount++
+	schema := parent.Schema()
+	c.tempSchemas[name] = schema
+
+	fs := c.p.NewNode(&plan.FileSink{Dest: name}).(*plan.FileSink)
+	fs.Out = schema
+	ts := c.p.NewNode(&plan.TableScan{Table: name, Alias: name}).(*plan.TableScan)
+	ts.Out = schema
+	tts := TempTypesSchema(schema)
+	for _, col := range tts.Columns {
+		ts.Cols = append(ts.Cols, col.Name)
+	}
+
+	plan.ReplaceParent(child, parent, ts)
+	plan.Connect(parent, fs)
+	c.p.Sinks = append(c.p.Sinks, fs)
+}
+
+// buildTasks groups ReduceSinks by their consumer and assembles tasks.
+func (c *compiler) buildTasks() ([]*Task, error) {
+	// Group RSOps by their (single) child.
+	groups := map[plan.Node][]*plan.ReduceSink{}
+	c.p.Walk(func(n plan.Node) {
+		if rs, ok := n.(*plan.ReduceSink); ok {
+			if len(rs.Children) != 1 {
+				panic(fmt.Sprintf("compiler: %s has %d children", rs.Label(), len(rs.Children)))
+			}
+			child := rs.Children[0]
+			groups[child] = append(groups[child], rs)
+		}
+	})
+
+	var tasks []*Task
+	producers := map[string]*Task{} // temp table -> producing task
+
+	// Reduce tasks.
+	for entry, rss := range groups {
+		task := &Task{ReduceEntry: entry}
+		// Order sinks by tag.
+		byTag := map[int]*plan.ReduceSink{}
+		maxTag := 0
+		for _, rs := range rss {
+			if _, dup := byTag[rs.Tag]; dup {
+				return nil, fmt.Errorf("compiler: duplicate shuffle tag %d into %s", rs.Tag, entry.Label())
+			}
+			byTag[rs.Tag] = rs
+			if rs.Tag > maxTag {
+				maxTag = rs.Tag
+			}
+			if rs.NumReducers > task.NumReducers {
+				task.NumReducers = rs.NumReducers
+			}
+		}
+		for tag := 0; tag <= maxTag; tag++ {
+			rs, ok := byTag[tag]
+			if !ok {
+				return nil, fmt.Errorf("compiler: missing shuffle tag %d into %s", tag, entry.Label())
+			}
+			task.ReduceSinks = append(task.ReduceSinks, rs)
+		}
+		if task.NumReducers <= 0 {
+			task.NumReducers = 1
+		}
+		for _, rs := range task.ReduceSinks {
+			if err := c.collectMapChain(task, rs); err != nil {
+				return nil, err
+			}
+		}
+		c.collectOutputs(task, entry)
+		tasks = append(tasks, task)
+	}
+
+	// Map-only tasks: sinks whose chains never shuffle.
+	for _, fs := range c.p.Sinks {
+		if c.reduceSide[fs] {
+			continue
+		}
+		task := &Task{}
+		if err := c.collectMapChain(task, fs); err != nil {
+			return nil, err
+		}
+		c.collectOutputs(task, fs)
+		tasks = append(tasks, task)
+	}
+
+	// Register producers, then wire dependencies.
+	for _, t := range tasks {
+		for _, out := range t.TempOutputs {
+			producers[out] = t
+		}
+	}
+	for _, t := range tasks {
+		seen := map[*Task]bool{}
+		for _, in := range t.TempInputs {
+			p, ok := producers[in]
+			if !ok {
+				return nil, fmt.Errorf("compiler: no producer for temp table %s", in)
+			}
+			if !seen[p] {
+				t.DependsOn = append(t.DependsOn, p)
+				seen[p] = true
+			}
+		}
+	}
+	return tasks, nil
+}
+
+// collectMapChain walks up from a map-phase terminal (RS or map-only FS) to
+// its table scans, registering map scans, map-join local scans, and temp
+// inputs.
+func (c *compiler) collectMapChain(task *Task, from plan.Node) error {
+	var walk func(n plan.Node, localOnly bool) error
+	seenScan := map[*plan.TableScan]bool{}
+	for _, s := range task.MapScans {
+		seenScan[s] = true
+	}
+	walk = func(n plan.Node, localOnly bool) error {
+		switch t := n.(type) {
+		case *plan.TableScan:
+			if localOnly {
+				task.LocalScans = append(task.LocalScans, t)
+			} else if !seenScan[t] {
+				seenScan[t] = true
+				task.MapScans = append(task.MapScans, t)
+			}
+			if len(t.Table) >= len(TempPrefix) && t.Table[:len(TempPrefix)] == TempPrefix {
+				task.TempInputs = append(task.TempInputs, t.Table)
+			}
+			return nil
+		case *plan.MapJoin:
+			for i, p := range t.Parents {
+				if i == t.BigIdx {
+					if err := walk(p, localOnly); err != nil {
+						return err
+					}
+				} else {
+					if err := walk(p, true); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		case *plan.ReduceSink:
+			return fmt.Errorf("compiler: unexpected nested shuffle at %s", t.Label())
+		default:
+			if len(n.Base().Parents) != 1 {
+				return fmt.Errorf("compiler: map-side operator %s has %d inputs", n.Label(), len(n.Base().Parents))
+			}
+			return walk(n.Base().Parents[0], localOnly)
+		}
+	}
+	return walk(from.Base().Parents[0], false)
+}
+
+// collectOutputs gathers the temp tables written below root (within this
+// task's phase).
+func (c *compiler) collectOutputs(task *Task, root plan.Node) {
+	seen := map[plan.Node]bool{}
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if fs, ok := n.(*plan.FileSink); ok && fs.Dest != "" {
+			task.TempOutputs = append(task.TempOutputs, fs.Dest)
+			return
+		}
+		for _, child := range n.Base().Children {
+			walk(child)
+		}
+	}
+	if fs, ok := root.(*plan.FileSink); ok {
+		if fs.Dest != "" {
+			task.TempOutputs = append(task.TempOutputs, fs.Dest)
+		}
+		return
+	}
+	walk(root)
+}
+
+// topoSort orders tasks so dependencies run first.
+func topoSort(tasks []*Task) ([]*Task, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[*Task]int{}
+	var out []*Task
+	var visit func(t *Task) error
+	visit = func(t *Task) error {
+		switch state[t] {
+		case gray:
+			return fmt.Errorf("compiler: cyclic task dependency")
+		case black:
+			return nil
+		}
+		state[t] = gray
+		for _, d := range t.DependsOn {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[t] = black
+		out = append(out, t)
+		return nil
+	}
+	for _, t := range tasks {
+		if err := visit(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

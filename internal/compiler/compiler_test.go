@@ -1,0 +1,158 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+type fakeCatalog map[string]*types.Schema
+
+func (c fakeCatalog) TableSchema(name string) (*types.Schema, error) {
+	if s, ok := c[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("no such table %q", name)
+}
+
+func catalog() fakeCatalog {
+	t := types.NewSchema(
+		types.Col("key", types.Primitive(types.Long)),
+		types.Col("val", types.Primitive(types.Double)),
+	)
+	return fakeCatalog{"a": t, "b": t, "c": t}
+}
+
+func compile(t *testing.T, src string) *Compiled {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.NewPlanner(catalog(), nil).Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompileMapOnly(t *testing.T) {
+	c := compile(t, "SELECT key FROM a WHERE val > 1")
+	if c.NumJobs() != 1 || c.NumMapOnlyJobs() != 1 {
+		t.Fatalf("jobs = %d (map-only %d)", c.NumJobs(), c.NumMapOnlyJobs())
+	}
+	task := c.Tasks[0]
+	if len(task.MapScans) != 1 || task.MapScans[0].Table != "a" {
+		t.Fatalf("scans = %+v", task.MapScans)
+	}
+	if len(task.TempOutputs) != 0 || len(task.TempInputs) != 0 {
+		t.Fatalf("temps = %v/%v", task.TempOutputs, task.TempInputs)
+	}
+}
+
+func TestCompileSingleShuffle(t *testing.T) {
+	c := compile(t, "SELECT key, sum(val) FROM a GROUP BY key")
+	if c.NumJobs() != 1 || c.NumMapOnlyJobs() != 0 {
+		t.Fatalf("jobs = %d (map-only %d)", c.NumJobs(), c.NumMapOnlyJobs())
+	}
+	task := c.Tasks[0]
+	if task.ReduceEntry == nil || len(task.ReduceSinks) != 1 {
+		t.Fatalf("task = %+v", task)
+	}
+	if _, ok := task.ReduceEntry.(*plan.GroupBy); !ok {
+		t.Fatalf("reduce entry = %s", task.ReduceEntry.Label())
+	}
+}
+
+func TestCompileJoinHasTwoSinksOneJob(t *testing.T) {
+	c := compile(t, "SELECT a.key FROM a JOIN b ON a.key = b.key")
+	if c.NumJobs() != 1 {
+		t.Fatalf("jobs = %d", c.NumJobs())
+	}
+	task := c.Tasks[0]
+	if len(task.ReduceSinks) != 2 {
+		t.Fatalf("sinks = %d", len(task.ReduceSinks))
+	}
+	// Sinks ordered by tag.
+	for i, rs := range task.ReduceSinks {
+		if rs.Tag != i {
+			t.Fatalf("sink %d has tag %d", i, rs.Tag)
+		}
+	}
+	if len(task.MapScans) != 2 {
+		t.Fatalf("map scans = %d", len(task.MapScans))
+	}
+}
+
+func TestCompileChainedJobsWithTemps(t *testing.T) {
+	// group-by feeding a join feeding an order-by: three shuffles, three
+	// jobs chained through temp tables.
+	c := compile(t, `SELECT b.val, agg.total
+		FROM (SELECT key, sum(val) AS total FROM a GROUP BY key) agg
+		JOIN b ON agg.key = b.key
+		ORDER BY b.val`)
+	if c.NumJobs() != 3 {
+		t.Fatalf("jobs = %d", c.NumJobs())
+	}
+	// Every temp input must have a producer earlier in the order.
+	produced := map[string]bool{}
+	for _, task := range c.Tasks {
+		for _, in := range task.TempInputs {
+			if !produced[in] {
+				t.Fatalf("task %d reads %s before it is produced", task.ID, in)
+			}
+		}
+		for _, out := range task.TempOutputs {
+			produced[out] = true
+		}
+	}
+	// Temp schemas registered for all temps.
+	for name := range produced {
+		if _, ok := c.TempSchemas[name]; !ok {
+			t.Errorf("missing temp schema for %s", name)
+		}
+	}
+	// Dependencies reflect temp edges.
+	last := c.Tasks[len(c.Tasks)-1]
+	if len(last.DependsOn) == 0 {
+		t.Error("final task has no dependencies")
+	}
+}
+
+func TestTempTypesSchema(t *testing.T) {
+	ps := plan.NewSchema(
+		plan.Column{Name: "x", Kind: types.Long},
+		plan.Column{Name: "y", Kind: types.String},
+	)
+	ts := TempTypesSchema(ps)
+	if len(ts.Columns) != 2 || ts.Columns[0].Type.Kind != types.Long || ts.Columns[1].Name != "c1" {
+		t.Fatalf("schema = %s", ts)
+	}
+}
+
+func TestCompileIsDeterministicallyOrdered(t *testing.T) {
+	// Task IDs must match execution order across repeated compiles of
+	// equivalent plans.
+	for i := 0; i < 5; i++ {
+		c := compile(t, `SELECT b.val, agg.total
+			FROM (SELECT key, sum(val) AS total FROM a GROUP BY key) agg
+			JOIN b ON agg.key = b.key`)
+		for id, task := range c.Tasks {
+			if task.ID != id {
+				t.Fatalf("task id %d at position %d", task.ID, id)
+			}
+			for _, dep := range task.DependsOn {
+				if dep.ID >= task.ID {
+					t.Fatalf("task %d depends on later task %d", task.ID, dep.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package compress provides the general-purpose codecs ORC File (§4.3) and
+// RCFile optionally apply on top of type-specific encodings.
+//
+// The paper offers ZLIB, Snappy and LZO. ZLIB is backed by the standard
+// library. Snappy and LZO are not in the Go standard library, so this
+// package implements a pure-Go byte-oriented LZ77 block codec ("snappy")
+// with the same engineering trade-off: much faster than zlib at a lower
+// compression ratio. See DESIGN.md §4 for the substitution rationale.
+package compress
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+)
+
+// Kind identifies a codec.
+type Kind int
+
+// Supported codecs.
+const (
+	None Kind = iota
+	Zlib
+	Snappy
+)
+
+// String returns the codec name as spelled in table properties.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "NONE"
+	case Zlib:
+		return "ZLIB"
+	case Snappy:
+		return "SNAPPY"
+	}
+	return fmt.Sprintf("codec(%d)", int(k))
+}
+
+// ParseKind parses a codec name (case-sensitive, as stored in file footers).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "NONE", "":
+		return None, nil
+	case "ZLIB":
+		return Zlib, nil
+	case "SNAPPY":
+		return Snappy, nil
+	}
+	return None, fmt.Errorf("compress: unknown codec %q", s)
+}
+
+// Codec compresses and decompresses byte blocks.
+type Codec interface {
+	Kind() Kind
+	// Compress appends the compressed form of src to dst and returns it.
+	Compress(dst, src []byte) ([]byte, error)
+	// Decompress appends the decompressed form of src to dst and returns
+	// it. originalLen is the exact decompressed size, which the ORC
+	// compression-unit header records.
+	Decompress(dst, src []byte, originalLen int) ([]byte, error)
+}
+
+// ForKind returns the codec implementation for a kind; None returns nil
+// (callers treat a nil codec as stored-uncompressed).
+func ForKind(k Kind) (Codec, error) {
+	switch k {
+	case None:
+		return nil, nil
+	case Zlib:
+		return zlibCodec{}, nil
+	case Snappy:
+		return lzCodec{}, nil
+	}
+	return nil, fmt.Errorf("compress: unknown codec kind %d", int(k))
+}
+
+type zlibCodec struct{}
+
+func (zlibCodec) Kind() Kind { return Zlib }
+
+func (zlibCodec) Compress(dst, src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := zlib.NewWriterLevel(&buf, zlib.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+func (zlibCodec) Decompress(dst, src []byte, originalLen int) ([]byte, error) {
+	r, err := zlib.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	start := len(dst)
+	dst = append(dst, make([]byte, originalLen)...)
+	if _, err := io.ReadFull(r, dst[start:]); err != nil {
+		return nil, fmt.Errorf("compress: zlib short read: %w", err)
+	}
+	return dst, nil
+}

@@ -1,0 +1,156 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, k Kind, src []byte) []byte {
+	t.Helper()
+	c, err := ForKind(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := c.Compress(nil, src)
+	if err != nil {
+		t.Fatalf("%s Compress: %v", k, err)
+	}
+	got, err := c.Decompress(nil, comp, len(src))
+	if err != nil {
+		t.Fatalf("%s Decompress: %v", k, err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("%s round trip mismatch: got %d bytes, want %d", k, len(got), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("hello hello hello hello hello hello"),
+		bytes.Repeat([]byte{0}, 10000),
+		[]byte(strings.Repeat("the quick brown fox ", 500)),
+	}
+	for _, k := range []Kind{Zlib, Snappy} {
+		for _, in := range inputs {
+			roundTrip(t, k, in)
+		}
+	}
+}
+
+func TestCompressionRatioOrdering(t *testing.T) {
+	// Low-entropy but match-poor data: LZ finds few long matches, while
+	// zlib's Huffman stage compresses the skewed symbol distribution —
+	// the ratio ordering (none > snappy > zlib on size) DESIGN.md promises.
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 1<<16)
+	for i := range src {
+		src[i] = "abcd"[rng.Intn(4)]
+	}
+	zc := roundTrip(t, Zlib, src)
+	sc := roundTrip(t, Snappy, src)
+	if len(sc) >= len(src) {
+		t.Errorf("snappy did not compress low-entropy data: %d >= %d", len(sc), len(src))
+	}
+	if len(zc) >= len(sc) {
+		t.Errorf("zlib (%d) not smaller than snappy (%d) on low-entropy data", len(zc), len(sc))
+	}
+}
+
+func TestIncompressibleData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]byte, 1<<16)
+	rng.Read(src)
+	for _, k := range []Kind{Zlib, Snappy} {
+		comp := roundTrip(t, k, src)
+		// Random bytes should not blow up by more than a small factor.
+		if len(comp) > len(src)+len(src)/4 {
+			t.Errorf("%s expanded random data %d -> %d", k, len(src), len(comp))
+		}
+	}
+}
+
+func TestDecompressAppendsToDst(t *testing.T) {
+	c, _ := ForKind(Snappy)
+	comp, _ := c.Compress(nil, []byte("tail"))
+	out, err := c.Decompress([]byte("head-"), comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "head-tail" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestLzRejectsCorruptBlocks(t *testing.T) {
+	c, _ := ForKind(Snappy)
+	comp, _ := c.Compress(nil, []byte("hello hello hello hello"))
+	// Wrong declared length.
+	if _, err := c.Decompress(nil, comp, 5); err == nil {
+		t.Error("Decompress accepted wrong originalLen")
+	}
+	// Truncated block.
+	if _, err := c.Decompress(nil, comp[:len(comp)/2], 23); err == nil {
+		t.Error("Decompress accepted truncated block")
+	}
+	// Empty input.
+	if _, err := c.Decompress(nil, nil, 1); err == nil {
+		t.Error("Decompress accepted empty block")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{None, Zlib, Snappy} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("LZO"); err == nil {
+		t.Error("ParseKind accepted unsupported codec")
+	}
+	if k, err := ParseKind(""); err != nil || k != None {
+		t.Error("ParseKind(\"\") should be None")
+	}
+}
+
+func TestForKindNone(t *testing.T) {
+	c, err := ForKind(None)
+	if err != nil || c != nil {
+		t.Errorf("ForKind(None) = %v, %v; want nil codec", c, err)
+	}
+	if _, err := ForKind(Kind(99)); err == nil {
+		t.Error("ForKind accepted bogus kind")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	lz, _ := ForKind(Snappy)
+	f := func(data []byte) bool {
+		comp, err := lz.Compress(nil, data)
+		if err != nil {
+			return false
+		}
+		got, err := lz.Decompress(nil, comp, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlappingCopy(t *testing.T) {
+	// A run of a two-byte pattern forces overlapping LZ copies.
+	src := bytes.Repeat([]byte{0xAB, 0xCD}, 5000)
+	comp := roundTrip(t, Snappy, src)
+	if len(comp) > 200 {
+		t.Errorf("run-length pattern compressed to %d bytes; expected far smaller", len(comp))
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// EngineMode selects the underlying data processing engine.
+type EngineMode int
+
+// Engine modes: classic MapReduce (the paper's evaluation substrate) and a
+// Tez-style DAG mode (§9: Hive 0.13+ can translate a query to a Tez job) —
+// one container launch for the whole DAG and in-memory intermediate edges
+// instead of DFS-materialized temp tables.
+const (
+	ModeMapReduce EngineMode = iota
+	ModeTez
+)
+
+// String names the mode.
+func (m EngineMode) String() string {
+	if m == ModeTez {
+		return "tez"
+	}
+	return "mapreduce"
+}
+
+// Config selects which of the paper's advancements are active, so the
+// benchmark harness can toggle them individually as §7 does.
+type Config struct {
+	Planner plan.PlannerOptions
+	// Engine picks the execution substrate (default MapReduce).
+	Engine EngineMode
+	// Optimizations (§5, §6, §4.2). The zero value disables everything,
+	// reproducing the "original Hive" baseline.
+	Opt optimizer.Options
+	// DefaultFormat is used by CreateTable when no format is given.
+	DefaultFormat fileformat.Kind
+	// WarehouseDir is the DFS root for table data.
+	WarehouseDir string
+}
+
+// Driver is the session façade (Figure 1).
+type Driver struct {
+	fs      *dfs.FS
+	engine  *mapred.Engine
+	meta    *Metastore
+	conf    Config
+	queryID atomic.Int64
+}
+
+// NewDriver assembles a driver over a DFS and a MapReduce engine.
+func NewDriver(fs *dfs.FS, engine *mapred.Engine, conf Config) *Driver {
+	if conf.WarehouseDir == "" {
+		conf.WarehouseDir = "/warehouse"
+	}
+	return &Driver{fs: fs, engine: engine, meta: NewMetastore(), conf: conf}
+}
+
+// FS exposes the underlying filesystem (benchmarks read its counters).
+func (d *Driver) FS() *dfs.FS { return d.fs }
+
+// Engine exposes the MapReduce engine.
+func (d *Driver) Engine() *mapred.Engine { return d.engine }
+
+// Metastore exposes the catalog.
+func (d *Driver) Metastore() *Metastore { return d.meta }
+
+// Config returns the active configuration.
+func (d *Driver) Config() Config { return d.conf }
+
+// SetConfig swaps the configuration (benchmarks toggle optimizations).
+func (d *Driver) SetConfig(conf Config) {
+	if conf.WarehouseDir == "" {
+		conf.WarehouseDir = d.conf.WarehouseDir
+	}
+	d.conf = conf
+}
+
+// CreateTable registers a table and returns a loader for its data.
+func (d *Driver) CreateTable(name string, schema *types.Schema, format fileformat.Kind, opts *fileformat.Options) (*TableLoader, error) {
+	if _, err := d.meta.Table(name); err == nil {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	o := fileformat.Options{}
+	if opts != nil {
+		o = *opts
+	}
+	meta := &TableMeta{
+		Name:    name,
+		Schema:  schema,
+		Format:  format,
+		Path:    d.conf.WarehouseDir + "/" + name,
+		Options: o,
+	}
+	d.meta.Register(meta)
+	return &TableLoader{d: d, meta: meta}, nil
+}
+
+// TableLoader writes data files into a table.
+type TableLoader struct {
+	d     *Driver
+	meta  *TableMeta
+	part  int
+	w     fileformat.Writer
+	count int64
+}
+
+// Write appends one row, opening a part file on demand.
+func (l *TableLoader) Write(row types.Row) error {
+	if l.w == nil {
+		path := fmt.Sprintf("%s/part-%05d", l.meta.Path, l.part)
+		w, err := fileformat.Create(l.d.fs, path, l.meta.Schema, l.meta.Format, &l.meta.Options)
+		if err != nil {
+			return err
+		}
+		l.w = w
+	}
+	l.count++
+	return l.w.Write(row)
+}
+
+// NextFile closes the current part file so subsequent writes open a new
+// one; loaders use it to spread a table over multiple DFS files (and thus
+// multiple map tasks).
+func (l *TableLoader) NextFile() error {
+	if l.w == nil {
+		return nil
+	}
+	err := l.w.Close()
+	l.w = nil
+	l.part++
+	return err
+}
+
+// Close finishes loading.
+func (l *TableLoader) Close() error { return l.NextFile() }
+
+// Rows returns how many rows were loaded.
+func (l *TableLoader) Rows() int64 { return l.count }
+
+// Result is a completed query: its output schema, rows, and execution
+// accounting for the benchmark harness.
+type Result struct {
+	Schema *plan.Schema
+	Rows   []types.Row
+	Stats  ExecStats
+}
+
+// ExecStats aggregates what one query consumed; the paper's figures report
+// elapsed time, cumulative CPU time (Fig 12b) and bytes read from the DFS
+// (Fig 10b).
+type ExecStats struct {
+	Jobs           int64
+	MapOnlyJobs    int
+	Elapsed        time.Duration // wall time + launch overhead + simulated I/O
+	WallTime       time.Duration
+	CumulativeCPU  time.Duration
+	LaunchOverhead time.Duration
+	SimulatedIO    time.Duration
+	DFSBytesRead   int64
+	ShuffleBytes   int64
+	ShuffleRecords int64
+}
+
+// Explain parses, plans and optimizes a query, returning the operator DAG
+// and compiled tasks without executing.
+func (d *Driver) Explain(query string) (*plan.Plan, *compiler.Compiled, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := plan.NewPlanner(d.meta, &d.conf.Planner).Plan(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := optimizer.Apply(p, d.optimizerEnv()); err != nil {
+		return nil, nil, err
+	}
+	compiled, err := compiler.Compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := optimizer.PostCompile(p, compiled, d.optimizerEnv()); err != nil {
+		return nil, nil, err
+	}
+	return p, compiled, nil
+}
+
+func (d *Driver) optimizerEnv() *optimizer.Env {
+	return &optimizer.Env{
+		Options: d.conf.Opt,
+		TableSize: func(name string) (int64, error) {
+			meta, err := d.meta.Table(name)
+			if err != nil {
+				return 0, err
+			}
+			return d.fs.TotalSize(meta.Path), nil
+		},
+		TableFormat: func(name string) (fileformat.Kind, bool) {
+			meta, err := d.meta.Table(name)
+			if err != nil {
+				return 0, false
+			}
+			return meta.Format, true
+		},
+	}
+}
+
+// Run executes a query end to end.
+func (d *Driver) Run(query string) (*Result, error) {
+	p, compiled, err := d.Explain(query)
+	if err != nil {
+		return nil, err
+	}
+	qid := d.queryID.Add(1)
+	ex := newExecutor(d, compiled, qid)
+	defer ex.cleanup()
+
+	engineBefore := d.engine.Counters().Snapshot()
+	fsBefore := d.fs.Stats().Snapshot()
+	start := time.Now()
+	if err := ex.run(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	engineDiff := d.engine.Counters().Snapshot().Diff(engineBefore)
+	fsDiff := d.fs.Stats().Snapshot().Diff(fsBefore)
+
+	var schema *plan.Schema
+	for _, sink := range p.Sinks {
+		if sink.Dest == "" {
+			schema = sink.Schema()
+		}
+	}
+	return &Result{
+		Schema: schema,
+		Rows:   ex.results,
+		Stats: ExecStats{
+			Jobs:           engineDiff.Jobs,
+			MapOnlyJobs:    compiled.NumMapOnlyJobs(),
+			Elapsed:        wall + engineDiff.LaunchOverhead + fsDiff.IOTime,
+			WallTime:       wall,
+			CumulativeCPU:  engineDiff.CumulativeCPU(),
+			LaunchOverhead: engineDiff.LaunchOverhead,
+			SimulatedIO:    fsDiff.IOTime,
+			DFSBytesRead:   fsDiff.BytesRead,
+			ShuffleBytes:   engineDiff.ShuffleBytes,
+			ShuffleRecords: engineDiff.ShuffleRecords,
+		},
+	}, nil
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/types"
+)
+
+// newTestDriver builds a driver with two fact tables and two dimension
+// tables loaded in the given format.
+func newTestDriver(t *testing.T, format fileformat.Kind, conf Config) *Driver {
+	t.Helper()
+	fs := dfs.New(dfs.WithBlockSize(1 << 20))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4})
+	d := NewDriver(fs, engine, conf)
+
+	sales := types.NewSchema(
+		types.Col("item_id", types.Primitive(types.Long)),
+		types.Col("cust_id", types.Primitive(types.Long)),
+		types.Col("qty", types.Primitive(types.Long)),
+		types.Col("price", types.Primitive(types.Double)),
+	)
+	loader, err := d.CreateTable("sales", sales, format, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		row := types.Row{int64(i % 10), int64(i % 7), int64(i % 5), float64(i%100) / 2}
+		if err := loader.Write(row); err != nil {
+			t.Fatal(err)
+		}
+		if i == 499 {
+			loader.NextFile() // two files -> two map tasks
+		}
+	}
+	if err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	items := types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("name", types.Primitive(types.String)),
+		types.Col("category", types.Primitive(types.String)),
+	)
+	il, err := d.CreateTable("items", items, format, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		cat := "odd"
+		if i%2 == 0 {
+			cat = "even"
+		}
+		if err := il.Write(types.Row{int64(i), fmt.Sprintf("item-%d", i), cat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := il.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	custs := types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("region", types.Primitive(types.String)),
+	)
+	cl, err := d.CreateTable("custs", custs, format, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := cl.Write(types.Row{int64(i), fmt.Sprintf("r%d", i%3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func sortRows(rows []types.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+func runQ(t *testing.T, d *Driver, q string) *Result {
+	t.Helper()
+	res, err := d.Run(q)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", q, err)
+	}
+	return res
+}
+
+func TestMapOnlyQuery(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, "SELECT item_id, qty FROM sales WHERE qty >= 3")
+	if len(res.Rows) != 400 {
+		t.Fatalf("rows = %d, want 400", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[1].(int64) < 3 {
+			t.Fatalf("filter leaked row %v", r)
+		}
+	}
+	if res.Stats.Jobs != 1 || res.Stats.MapOnlyJobs != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestGroupByAggregate(t *testing.T) {
+	for _, mapSide := range []bool{true, false} {
+		t.Run(fmt.Sprintf("mapside=%v", mapSide), func(t *testing.T) {
+			conf := Config{}
+			conf.Planner.DisableMapSideAgg = !mapSide
+			d := newTestDriver(t, fileformat.Sequence, conf)
+			res := runQ(t, d, "SELECT item_id, sum(qty) AS total, count(*) AS n FROM sales GROUP BY item_id")
+			if len(res.Rows) != 10 {
+				t.Fatalf("groups = %d, want 10", len(res.Rows))
+			}
+			sortRows(res.Rows)
+			// Each item_id appears 100 times; qty cycles 0..4 with i%5.
+			for _, r := range res.Rows {
+				if r[2].(int64) != 100 {
+					t.Fatalf("count = %v", r)
+				}
+				id := r[0].(int64)
+				var want int64
+				for i := int64(0); i < 1000; i++ {
+					if i%10 == id {
+						want += i % 5
+					}
+				}
+				if r[1].(int64) != want {
+					t.Fatalf("sum for item %d = %d, want %d", id, r[1], want)
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, "SELECT count(*), sum(qty), avg(price), min(price), max(price) FROM sales")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r[0].(int64) != 1000 {
+		t.Errorf("count = %v", r[0])
+	}
+	var wantSum int64
+	var wantTotal float64
+	for i := int64(0); i < 1000; i++ {
+		wantSum += i % 5
+		wantTotal += float64(i%100) / 2
+	}
+	if r[1].(int64) != wantSum {
+		t.Errorf("sum = %v, want %d", r[1], wantSum)
+	}
+	if got := r[2].(float64); got != wantTotal/1000 {
+		t.Errorf("avg = %v, want %v", got, wantTotal/1000)
+	}
+	if r[3].(float64) != 0 || r[4].(float64) != 49.5 {
+		t.Errorf("min/max = %v/%v", r[3], r[4])
+	}
+}
+
+func TestGlobalAggregateEmptyResult(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, "SELECT count(*) FROM sales WHERE qty > 100")
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 0 {
+		t.Fatalf("count over empty = %v", res.Rows)
+	}
+}
+
+func TestReduceJoin(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, `SELECT items.category, sum(sales.qty) AS total
+		FROM sales JOIN items ON sales.item_id = items.id
+		GROUP BY items.category ORDER BY items.category`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	var wantEven, wantOdd int64
+	for i := int64(0); i < 1000; i++ {
+		if (i%10)%2 == 0 {
+			wantEven += i % 5
+		} else {
+			wantOdd += i % 5
+		}
+	}
+	if res.Rows[0][0] != "even" || res.Rows[0][1].(int64) != wantEven {
+		t.Errorf("even row = %v, want total %d", res.Rows[0], wantEven)
+	}
+	if res.Rows[1][0] != "odd" || res.Rows[1][1].(int64) != wantOdd {
+		t.Errorf("odd row = %v, want total %d", res.Rows[1], wantOdd)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, "SELECT item_id, sum(qty) AS total FROM sales GROUP BY item_id ORDER BY total DESC, item_id LIMIT 3")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][1].(int64) < res.Rows[i][1].(int64) {
+			t.Fatalf("not sorted desc: %v", res.Rows)
+		}
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, `SELECT custs.region, count(*) AS n
+		FROM sales
+		JOIN items ON sales.item_id = items.id
+		JOIN custs ON sales.cust_id = custs.id
+		GROUP BY custs.region ORDER BY custs.region`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	var n int64
+	for _, r := range res.Rows {
+		n += r[1].(int64)
+	}
+	if n != 1000 {
+		t.Fatalf("total joined rows = %d, want 1000", n)
+	}
+}
+
+func TestSubqueryJoin(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	res := runQ(t, d, `SELECT items.name, agg.total
+		FROM (SELECT item_id, sum(qty) AS total FROM sales GROUP BY item_id) agg
+		JOIN items ON agg.item_id = items.id
+		WHERE agg.total > 0
+		ORDER BY items.name`)
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range res.Rows {
+		if r[1].(int64) <= 0 {
+			t.Fatalf("filter leaked %v", r)
+		}
+	}
+}
+
+// TestOptimizationsPreserveResults runs the same queries under every
+// optimizer configuration and checks identical results.
+func TestOptimizationsPreserveResults(t *testing.T) {
+	queries := []string{
+		"SELECT item_id, sum(qty) AS total FROM sales GROUP BY item_id ORDER BY item_id",
+		`SELECT items.category, count(*) AS n FROM sales
+		 JOIN items ON sales.item_id = items.id
+		 WHERE items.category = 'even' GROUP BY items.category`,
+		`SELECT custs.region, sum(sales.qty) AS q FROM sales
+		 JOIN items ON sales.item_id = items.id
+		 JOIN custs ON sales.cust_id = custs.id
+		 GROUP BY custs.region ORDER BY custs.region`,
+		`SELECT items.name, agg.total
+		 FROM (SELECT item_id, sum(qty) AS total FROM sales GROUP BY item_id) agg
+		 JOIN items ON agg.item_id = items.id ORDER BY items.name`,
+	}
+	configs := map[string]optimizer.Options{
+		"none":        {},
+		"mapjoin":     {MapJoinConversion: true},
+		"mapjoin+mrg": {MapJoinConversion: true, MergeMapOnlyJobs: true},
+		"correlation": {Correlation: true},
+		"all-row":     {MapJoinConversion: true, MergeMapOnlyJobs: true, Correlation: true, PredicatePushdown: true},
+	}
+	for qi, q := range queries {
+		var baseline []types.Row
+		for _, name := range []string{"none", "mapjoin", "mapjoin+mrg", "correlation", "all-row"} {
+			d := newTestDriver(t, fileformat.Sequence, Config{Opt: configs[name]})
+			res := runQ(t, d, q)
+			rows := append([]types.Row(nil), res.Rows...)
+			sortRows(rows)
+			if name == "none" {
+				baseline = rows
+				continue
+			}
+			if !reflect.DeepEqual(rows, baseline) {
+				t.Errorf("query %d config %s: results differ\n got  %v\n want %v", qi, name, rows, baseline)
+			}
+		}
+	}
+}
+
+// TestMapJoinReducesJobs verifies §5.1: converting and merging map joins
+// removes jobs relative to the unoptimized plan.
+func TestMapJoinReducesJobs(t *testing.T) {
+	q := `SELECT custs.region, count(*) AS n
+		FROM sales
+		JOIN items ON sales.item_id = items.id
+		JOIN custs ON sales.cust_id = custs.id
+		GROUP BY custs.region`
+
+	jobs := func(opt optimizer.Options) (int, int) {
+		d := newTestDriver(t, fileformat.Sequence, Config{Opt: opt})
+		_, compiled, err := d.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Also execute, to be sure the compiled plan runs.
+		runQ(t, d, q)
+		return compiled.NumJobs(), compiled.NumMapOnlyJobs()
+	}
+
+	noneJobs, _ := jobs(optimizer.Options{})
+	unmergedJobs, unmergedMapOnly := jobs(optimizer.Options{MapJoinConversion: true})
+	mergedJobs, mergedMapOnly := jobs(optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: true})
+
+	if unmergedMapOnly == 0 {
+		t.Errorf("unmerged conversion created no map-only jobs (got %d jobs)", unmergedJobs)
+	}
+	if mergedMapOnly != 0 {
+		t.Errorf("merged conversion left %d map-only jobs", mergedMapOnly)
+	}
+	if mergedJobs >= unmergedJobs {
+		t.Errorf("merge did not reduce jobs: %d -> %d", unmergedJobs, mergedJobs)
+	}
+	if mergedJobs >= noneJobs {
+		t.Errorf("map-join plan (%d jobs) not smaller than reduce-join plan (%d)", mergedJobs, noneJobs)
+	}
+}
+
+// TestCorrelationReducesJobs verifies §5.2 on the aggregation-then-join
+// pattern: the subquery's shuffle and the join's shuffle merge.
+func TestCorrelationReducesJobs(t *testing.T) {
+	// Join re-partitions by the same key the subquery grouped by.
+	q := `SELECT s2.item_id, s2.qty, agg.total
+		FROM (SELECT item_id, sum(qty) AS total FROM sales GROUP BY item_id) agg
+		JOIN sales s2 ON agg.item_id = s2.item_id`
+
+	countJobs := func(opt optimizer.Options) (int, []types.Row) {
+		d := newTestDriver(t, fileformat.Sequence, Config{Opt: opt})
+		_, compiled, err := d.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runQ(t, d, q)
+		rows := append([]types.Row(nil), res.Rows...)
+		sortRows(rows)
+		return compiled.NumJobs(), rows
+	}
+	offJobs, offRows := countJobs(optimizer.Options{})
+	onJobs, onRows := countJobs(optimizer.Options{Correlation: true})
+	if onJobs >= offJobs {
+		t.Errorf("correlation optimizer did not reduce jobs: %d -> %d", offJobs, onJobs)
+	}
+	if !reflect.DeepEqual(offRows, onRows) {
+		t.Errorf("correlation changed results:\n off %v\n on  %v", truncate(offRows), truncate(onRows))
+	}
+}
+
+func truncate(rows []types.Row) []types.Row {
+	if len(rows) > 8 {
+		return rows[:8]
+	}
+	return rows
+}
+
+func TestPredicatePushdownPreservesResultsORC(t *testing.T) {
+	q := "SELECT item_id, qty FROM sales WHERE item_id BETWEEN 2 AND 4 AND qty >= 1"
+	d1 := newTestDriver(t, fileformat.ORC, Config{})
+	d2 := newTestDriver(t, fileformat.ORC, Config{Opt: optimizer.Options{PredicatePushdown: true}})
+	r1 := runQ(t, d1, q)
+	r2 := runQ(t, d2, q)
+	sortRows(r1.Rows)
+	sortRows(r2.Rows)
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Errorf("PPD changed results: %d vs %d rows", len(r1.Rows), len(r2.Rows))
+	}
+}
+
+func TestAllFormatsSameResults(t *testing.T) {
+	q := "SELECT item_id, sum(price) AS p, count(*) AS n FROM sales WHERE qty >= 2 GROUP BY item_id"
+	var baseline []types.Row
+	for _, format := range []fileformat.Kind{fileformat.Text, fileformat.Sequence, fileformat.RC, fileformat.ORC} {
+		d := newTestDriver(t, format, Config{})
+		res := runQ(t, d, q)
+		rows := append([]types.Row(nil), res.Rows...)
+		sortRows(rows)
+		if baseline == nil {
+			baseline = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, baseline) {
+			t.Errorf("format %s: results differ", format)
+		}
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	d := newTestDriver(t, fileformat.Sequence, Config{})
+	for _, q := range []string{
+		"SELECT * FROM",       // parse error
+		"SELECT x FROM sales", // unknown column
+		"SELECT item_id FROM nope",
+	} {
+		if _, err := d.Run(q); err == nil {
+			t.Errorf("Run(%q) succeeded", q)
+		}
+	}
+	if _, err := d.CreateTable("sales", nil, fileformat.Text, nil); err == nil {
+		t.Error("duplicate CreateTable succeeded")
+	}
+}

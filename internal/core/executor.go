@@ -1,0 +1,434 @@
+// executor.go runs compiled task DAGs on the MapReduce engine: it turns
+// table files into input splits, drives map chains over file readers,
+// shuffles ReduceSink output, and feeds reduce trees group by group —
+// the Reducer Driver role of §5.2.2.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/exec"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vexec"
+)
+
+type executor struct {
+	d        *Driver
+	compiled *compiler.Compiled
+	qid      int64
+	tempDir  string
+	tez      bool
+
+	mu      sync.Mutex
+	results []types.Row
+	// memTemps holds intermediate tables for Tez mode: rows flow between
+	// stages in memory instead of through DFS-materialized temp files.
+	// Each producing task attempt appends one chunk, which later becomes
+	// one input split.
+	memTemps map[string][][]types.Row
+}
+
+func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64) *executor {
+	return &executor{
+		d:        d,
+		compiled: compiled,
+		qid:      qid,
+		tempDir:  fmt.Sprintf("/tmp/query-%d", qid),
+		tez:      d.conf.Engine == ModeTez,
+		memTemps: map[string][][]types.Row{},
+	}
+}
+
+func (ex *executor) cleanup() {
+	ex.d.fs.RemoveAll(ex.tempDir)
+	ex.memTemps = map[string][][]types.Row{}
+}
+
+// tableInfo resolves a scan's table to its storage location, format and
+// schema, looking at compiler temp tables first.
+func (ex *executor) tableInfo(name string) (path string, format fileformat.Kind, schema *types.Schema, opts fileformat.Options, err error) {
+	if s, ok := ex.compiled.TempSchemas[name]; ok {
+		return ex.tempDir + "/" + name, fileformat.Sequence, compiler.TempTypesSchema(s), fileformat.Options{}, nil
+	}
+	meta, err := ex.d.meta.Table(name)
+	if err != nil {
+		return "", 0, nil, fileformat.Options{}, err
+	}
+	return meta.Path, meta.Format, meta.Schema, meta.Options, nil
+}
+
+func (ex *executor) run() error {
+	for i, task := range ex.compiled.Tasks {
+		// In Tez mode the whole DAG launches once; later stages reuse
+		// the containers.
+		chained := ex.tez && i > 0
+		if err := ex.runTask(task, chained); err != nil {
+			return fmt.Errorf("core: task %d: %w", task.ID, err)
+		}
+	}
+	return nil
+}
+
+// split is one map task's input: which scan it serves and which file (or,
+// in Tez mode, which in-memory chunk) it reads.
+type split struct {
+	scanIdx int
+	path    string
+	rows    []types.Row // non-nil for Tez in-memory edges
+}
+
+// isMemTemp reports whether a scan's table lives in the Tez in-memory
+// store.
+func (ex *executor) isMemTemp(name string) bool {
+	if !ex.tez {
+		return false
+	}
+	_, ok := ex.compiled.TempSchemas[name]
+	return ok
+}
+
+func (ex *executor) runTask(task *compiler.Task, chained bool) error {
+	var splits []any
+	for i, scan := range task.MapScans {
+		if ex.isMemTemp(scan.Table) {
+			ex.mu.Lock()
+			chunks := ex.memTemps[scan.Table]
+			ex.mu.Unlock()
+			for _, rows := range chunks {
+				if len(rows) > 0 {
+					splits = append(splits, split{scanIdx: i, rows: rows})
+				}
+			}
+			continue
+		}
+		path, _, _, _, err := ex.tableInfo(scan.Table)
+		if err != nil {
+			return err
+		}
+		files := ex.d.fs.List(path)
+		if len(files) == 0 {
+			// An empty table still needs one (empty) map task so that
+			// fragment side effects (e.g. keyless aggregates) happen.
+			continue
+		}
+		for _, f := range files {
+			splits = append(splits, split{scanIdx: i, path: f.Name})
+		}
+	}
+
+	tagSchemas := make(map[int]*plan.Schema)
+	for _, rs := range task.ReduceSinks {
+		tagSchemas[rs.Tag] = rs.Out
+	}
+
+	job := &mapred.Job{
+		Name:          fmt.Sprintf("q%d-job%d", ex.qid, task.ID),
+		Splits:        splits,
+		ChainedLaunch: chained,
+		MapFunc: func(tc *mapred.TaskContext, sp any, out mapred.Collector) error {
+			return ex.runMapTask(task, tc, sp.(split), out)
+		},
+	}
+	if !task.IsMapOnly() {
+		job.NumReduces = task.NumReducers
+		job.ReduceFunc = func(tc *mapred.TaskContext, groups func() (*mapred.Group, bool)) error {
+			return ex.runReduceTask(task, tc, tagSchemas, groups)
+		}
+	}
+	return ex.d.engine.Run(job)
+}
+
+// sinkSet manages per-task-attempt output writers for temp destinations.
+// In Tez mode temp rows are buffered and handed to the in-memory store at
+// close, one chunk per task attempt.
+type sinkSet struct {
+	ex      *executor
+	suffix  string
+	writers map[string]fileformat.Writer
+	memRows map[string][]types.Row
+}
+
+func (ex *executor) newSinkSet(suffix string) *sinkSet {
+	return &sinkSet{ex: ex, suffix: suffix, writers: map[string]fileformat.Writer{}, memRows: map[string][]types.Row{}}
+}
+
+func (s *sinkSet) sinkRow(dest string, row types.Row) error {
+	if dest == "" {
+		s.ex.mu.Lock()
+		s.ex.results = append(s.ex.results, row.Clone())
+		s.ex.mu.Unlock()
+		return nil
+	}
+	if s.ex.isMemTemp(dest) {
+		s.memRows[dest] = append(s.memRows[dest], row.Clone())
+		return nil
+	}
+	w, ok := s.writers[dest]
+	if !ok {
+		schema, okSchema := s.ex.compiled.TempSchemas[dest]
+		if !okSchema {
+			return fmt.Errorf("core: unknown temp destination %q", dest)
+		}
+		path := s.ex.tempDir + "/" + dest + "/part-" + s.suffix
+		var err error
+		w, err = fileformat.Create(s.ex.d.fs, path, compiler.TempTypesSchema(schema), fileformat.Sequence, nil)
+		if err != nil {
+			return err
+		}
+		s.writers[dest] = w
+	}
+	return w.Write(row)
+}
+
+func (s *sinkSet) close() error {
+	for _, w := range s.writers {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	for dest, rows := range s.memRows {
+		s.ex.mu.Lock()
+		s.ex.memTemps[dest] = append(s.ex.memTemps[dest], rows)
+		s.ex.mu.Unlock()
+	}
+	s.memRows = map[string][]types.Row{}
+	return nil
+}
+
+// execContext builds the runtime context for one task attempt.
+func (ex *executor) execContext(sinks *sinkSet, out mapred.Collector, numReduces int) *exec.Context {
+	return &exec.Context{
+		EmitShuffle: func(rs *plan.ReduceSink, key []byte, tag int, value []byte) error {
+			part := 0
+			if numReduces > 1 {
+				part = mapred.Partition(key, numReduces)
+			}
+			return out.Collect(part, mapred.ShuffleRecord{Key: key, Tag: tag, Value: value})
+		},
+		SinkRow: sinks.sinkRow,
+		ScanRows: func(ts *plan.TableScan) (func() (types.Row, error), error) {
+			return ex.openScan(ts, 0)
+		},
+	}
+}
+
+// scanInclude resolves a scan's reader projection and the scatter mapping
+// for pruned scans (narrow reader rows are spread back into full-width
+// rows so compiled column indexes stay valid).
+func scanInclude(ts *plan.TableScan) (include []string, scatter []int) {
+	if ts.Needed == nil {
+		return ts.Cols, nil
+	}
+	for _, idx := range ts.Needed {
+		include = append(include, ts.Cols[idx])
+	}
+	return include, ts.Needed
+}
+
+// widen scatters a narrow (pruned) row into a full-width row.
+func widen(row types.Row, scatter []int, width int) types.Row {
+	if scatter == nil {
+		return row
+	}
+	full := make(types.Row, width)
+	for j, idx := range scatter {
+		full[idx] = row[j]
+	}
+	return full
+}
+
+// openScan opens a row iterator over every file of a scan's table (used
+// for map-join local work).
+func (ex *executor) openScan(ts *plan.TableScan, node int) (func() (types.Row, error), error) {
+	if ex.isMemTemp(ts.Table) {
+		ex.mu.Lock()
+		chunks := ex.memTemps[ts.Table]
+		ex.mu.Unlock()
+		ci, ri := 0, 0
+		return func() (types.Row, error) {
+			for ci < len(chunks) {
+				if ri < len(chunks[ci]) {
+					row := chunks[ci][ri]
+					ri++
+					return row, nil
+				}
+				ci++
+				ri = 0
+			}
+			return nil, nil
+		}, nil
+	}
+	path, format, schema, _, err := ex.tableInfo(ts.Table)
+	if err != nil {
+		return nil, err
+	}
+	include, scatter := scanInclude(ts)
+	files := ex.d.fs.List(path)
+	idx := 0
+	var r fileformat.Reader
+	next := func() (types.Row, error) {
+		for {
+			if r == nil {
+				if idx >= len(files) {
+					return nil, nil
+				}
+				var err error
+				r, err = fileformat.Open(ex.d.fs, files[idx].Name, schema, format,
+					fileformat.ScanOptions{Include: include, SArg: ts.SArg})
+				if err != nil {
+					return nil, err
+				}
+				idx++
+			}
+			row, err := r.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					r = nil
+					continue
+				}
+				return nil, err
+			}
+			return widen(row, scatter, len(ts.Cols)), nil
+		}
+	}
+	return next, nil
+}
+
+// runMapTask drives one split's rows through the scan's consumer chains.
+func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp split, out mapred.Collector) error {
+	scan := task.MapScans[sp.scanIdx]
+	sinks := ex.newSinkSet(fmt.Sprintf("m-%05d", tc.TaskID))
+	ctx := ex.execContext(sinks, out, task.NumReducers)
+
+	if sp.rows != nil {
+		// Tez in-memory edge: no file reader, rows arrive full width.
+		builder := exec.NewBuilder()
+		consumers, err := builder.BuildMapChain(scan)
+		if err != nil {
+			return err
+		}
+		for _, op := range consumers {
+			if err := op.Init(ctx); err != nil {
+				return err
+			}
+		}
+		for _, row := range sp.rows {
+			for _, op := range consumers {
+				if err := op.Process(row, 0); err != nil {
+					return err
+				}
+			}
+		}
+		for _, op := range consumers {
+			if err := op.Flush(); err != nil {
+				return err
+			}
+		}
+		return sinks.close()
+	}
+
+	_, format, schema, _, err := ex.tableInfo(scan.Table)
+	if err != nil {
+		return err
+	}
+	if scan.Vectorize {
+		if err := vexec.RunVectorizedScan(ex.d.fs, sp.path, scan, ctx, tc.Node); err != nil {
+			return err
+		}
+		return sinks.close()
+	}
+
+	builder := exec.NewBuilder()
+	consumers, err := builder.BuildMapChain(scan)
+	if err != nil {
+		return err
+	}
+	for _, op := range consumers {
+		if err := op.Init(ctx); err != nil {
+			return err
+		}
+	}
+	include, scatter := scanInclude(scan)
+	r, err := fileformat.Open(ex.d.fs, sp.path, schema, format,
+		fileformat.ScanOptions{Include: include, SArg: scan.SArg})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if fr, ok := r.(interface{ SetNode(int) }); ok {
+		fr.SetNode(tc.Node)
+	}
+	for {
+		row, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		row = widen(row, scatter, len(scan.Cols))
+		for _, op := range consumers {
+			if err := op.Process(row, 0); err != nil {
+				return err
+			}
+		}
+	}
+	for _, op := range consumers {
+		if err := op.Flush(); err != nil {
+			return err
+		}
+	}
+	return sinks.close()
+}
+
+// runReduceTask feeds shuffled groups into the reduce tree with
+// StartGroup/EndGroup signals — the Reducer Driver of §5.2.2.
+func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, tagSchemas map[int]*plan.Schema, groups func() (*mapred.Group, bool)) error {
+	sinks := ex.newSinkSet(fmt.Sprintf("r-%05d", tc.TaskID))
+	ctx := ex.execContext(sinks, nil, 0)
+
+	builder := exec.NewBuilder()
+	entry, err := builder.Build(task.ReduceEntry)
+	if err != nil {
+		return err
+	}
+	if err := entry.Init(ctx); err != nil {
+		return err
+	}
+	for {
+		g, ok := groups()
+		if !ok {
+			break
+		}
+		if err := entry.StartGroup(); err != nil {
+			return err
+		}
+		for _, rec := range g.Records {
+			schema, ok := tagSchemas[rec.Tag]
+			if !ok {
+				return fmt.Errorf("core: shuffle record with unknown tag %d", rec.Tag)
+			}
+			row, err := exec.DecodeRow(schema, rec.Value)
+			if err != nil {
+				return err
+			}
+			if err := entry.Process(row, rec.Tag); err != nil {
+				return err
+			}
+		}
+		if err := entry.EndGroup(); err != nil {
+			return err
+		}
+	}
+	if err := entry.Flush(); err != nil {
+		return err
+	}
+	return sinks.close()
+}

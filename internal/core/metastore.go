@@ -1,0 +1,82 @@
+// Package core ties the reproduction together as Figure 1 of the paper
+// draws it: the Driver parses a statement, plans it, optimizes the operator
+// tree, compiles it to MapReduce tasks, executes them on the engine over
+// the DFS warehouse, and fetches results. The Metastore stands in for the
+// RDBMS-backed catalog.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fileformat"
+	"repro/internal/types"
+)
+
+// TableMeta describes one table registered in the Metastore.
+type TableMeta struct {
+	Name    string
+	Schema  *types.Schema
+	Format  fileformat.Kind
+	Path    string // warehouse directory holding the table's files
+	Options fileformat.Options
+}
+
+// Metastore is the in-process catalog (paper §2: the Driver contacts the
+// Metastore during analysis). It implements plan.Catalog.
+type Metastore struct {
+	mu     sync.RWMutex
+	tables map[string]*TableMeta
+}
+
+// NewMetastore creates an empty catalog.
+func NewMetastore() *Metastore {
+	return &Metastore{tables: make(map[string]*TableMeta)}
+}
+
+// Register adds or replaces a table.
+func (m *Metastore) Register(meta *TableMeta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[meta.Name] = meta
+}
+
+// Drop removes a table from the catalog (files are the caller's problem).
+func (m *Metastore) Drop(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.tables, name)
+}
+
+// Table returns a table's metadata.
+func (m *Metastore) Table(name string) (*TableMeta, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("core: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableSchema implements plan.Catalog.
+func (m *Metastore) TableSchema(name string) (*types.Schema, error) {
+	t, err := m.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema, nil
+}
+
+// Names lists registered tables, sorted.
+func (m *Metastore) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

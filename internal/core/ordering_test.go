@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/types"
+)
+
+// mixedDriver loads a table with strings, negatives, doubles and NULLs to
+// exercise the order-preserving key codec end to end.
+func mixedDriver(t *testing.T) *Driver {
+	t.Helper()
+	fs := dfs.New()
+	engine := mapred.NewEngine(mapred.Config{Slots: 4})
+	d := NewDriver(fs, engine, Config{})
+	schema := types.NewSchema(
+		types.Col("name", types.Primitive(types.String)),
+		types.Col("score", types.Primitive(types.Long)),
+		types.Col("ratio", types.Primitive(types.Double)),
+	)
+	loader, err := d.CreateTable("t", schema, fileformat.Sequence, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []types.Row{
+		{"delta", int64(-5), 0.5},
+		{"alpha", int64(10), -1.5},
+		{"charlie", nil, 2.25},
+		{"bravo", int64(10), 0.0},
+		{"echo", int64(0), nil},
+		{nil, int64(3), 3.0},
+	}
+	for _, r := range rows {
+		if err := loader.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOrderByStringAscending(t *testing.T) {
+	d := mixedDriver(t)
+	res := runQ(t, d, "SELECT name FROM t ORDER BY name")
+	// NULL sorts first, then lexicographic.
+	want := []any{nil, "alpha", "bravo", "charlie", "delta", "echo"}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0] != w {
+			t.Fatalf("position %d = %v, want %v (all: %v)", i, res.Rows[i][0], w, res.Rows)
+		}
+	}
+}
+
+func TestOrderByNegativeAndTies(t *testing.T) {
+	d := mixedDriver(t)
+	res := runQ(t, d, "SELECT score, name FROM t ORDER BY score DESC, name")
+	// DESC longs with NULL last (inverted null-first), ties broken by name.
+	var got []any
+	for _, r := range res.Rows {
+		got = append(got, r[0])
+	}
+	want := []any{int64(10), int64(10), int64(3), int64(0), int64(-5), nil}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("scores = %v, want %v", got, want)
+		}
+	}
+	if res.Rows[0][1] != "alpha" || res.Rows[1][1] != "bravo" {
+		t.Fatalf("tie-break order wrong: %v", res.Rows[:2])
+	}
+}
+
+func TestOrderByDouble(t *testing.T) {
+	d := mixedDriver(t)
+	res := runQ(t, d, "SELECT ratio FROM t ORDER BY ratio")
+	want := []any{nil, -1.5, 0.0, 0.5, 2.25, 3.0}
+	for i, w := range want {
+		if res.Rows[i][0] != w {
+			t.Fatalf("ratios wrong at %d: %v", i, res.Rows)
+		}
+	}
+}
+
+func TestGroupByNullKey(t *testing.T) {
+	d := mixedDriver(t)
+	res := runQ(t, d, "SELECT score, count(*) AS n FROM t GROUP BY score ORDER BY score")
+	// Distinct scores: NULL, -5, 0, 3, 10(x2) -> 5 groups.
+	if len(res.Rows) != 5 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0] != nil || res.Rows[0][1].(int64) != 1 {
+		t.Fatalf("NULL group = %v", res.Rows[0])
+	}
+	last := res.Rows[4]
+	if last[0] != int64(10) || last[1].(int64) != 2 {
+		t.Fatalf("10 group = %v", last)
+	}
+}
+
+func TestWhereNullSemantics(t *testing.T) {
+	d := mixedDriver(t)
+	// NULL comparison rejects the row; IS NULL selects it.
+	res := runQ(t, d, "SELECT name FROM t WHERE score > -100")
+	if len(res.Rows) != 5 {
+		t.Fatalf("comparison kept NULL score row: %v", res.Rows)
+	}
+	res2 := runQ(t, d, "SELECT name FROM t WHERE score IS NULL")
+	if len(res2.Rows) != 1 || res2.Rows[0][0] != "charlie" {
+		t.Fatalf("IS NULL = %v", res2.Rows)
+	}
+	res3 := runQ(t, d, "SELECT count(*) FROM t WHERE name IS NOT NULL")
+	if res3.Rows[0][0].(int64) != 5 {
+		t.Fatalf("IS NOT NULL count = %v", res3.Rows)
+	}
+}
+
+// TestManyKeysManyReducers drives grouping correctness through real hash
+// partitioning: 500 distinct keys over several reducers must each aggregate
+// exactly once.
+func TestManyKeysManyReducers(t *testing.T) {
+	fs := dfs.New()
+	engine := mapred.NewEngine(mapred.Config{Slots: 6})
+	conf := Config{}
+	conf.Planner.DefaultReducers = 5
+	d := NewDriver(fs, engine, conf)
+	schema := types.NewSchema(
+		types.Col("k", types.Primitive(types.Long)),
+		types.Col("v", types.Primitive(types.Long)),
+	)
+	loader, err := d.CreateTable("t", schema, fileformat.Sequence, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 500
+	for i := 0; i < keys*8; i++ {
+		if err := loader.Write(types.Row{int64(i % keys), int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 999 {
+			loader.NextFile()
+		}
+	}
+	if err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := runQ(t, d, "SELECT k, count(*) AS n, sum(v) AS s FROM t GROUP BY k")
+	if len(res.Rows) != keys {
+		t.Fatalf("groups = %d, want %d", len(res.Rows), keys)
+	}
+	seen := map[int64]bool{}
+	for _, r := range res.Rows {
+		k := r[0].(int64)
+		if seen[k] {
+			t.Fatalf("key %d grouped twice (cross-reducer duplication)", k)
+		}
+		seen[k] = true
+		if r[1].(int64) != 8 {
+			t.Fatalf("key %d count = %v", k, r[1])
+		}
+		var want int64
+		for i := int64(0); i < keys*8; i++ {
+			if i%keys == k {
+				want += i
+			}
+		}
+		if r[2].(int64) != want {
+			t.Fatalf("key %d sum = %v, want %d", k, r[2], want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/types"
+)
+
+// tezDriver mirrors newTestDriver with the Tez engine mode.
+func tezDriver(t *testing.T, mode EngineMode, overhead time.Duration) *Driver {
+	t.Helper()
+	fs := dfs.New(dfs.WithBlockSize(1 << 20))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4, JobLaunchOverhead: overhead})
+	d := NewDriver(fs, engine, Config{Engine: mode})
+
+	sales := types.NewSchema(
+		types.Col("item_id", types.Primitive(types.Long)),
+		types.Col("qty", types.Primitive(types.Long)),
+	)
+	loader, err := d.CreateTable("sales", sales, fileformat.Sequence, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := loader.Write(types.Row{int64(i % 10), int64(i % 5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// multiJobQuery compiles to a chain of jobs (aggregate -> join -> sort).
+const multiJobQuery = `SELECT s2.item_id, agg.total
+	FROM (SELECT item_id, sum(qty) AS total FROM sales GROUP BY item_id) agg
+	JOIN sales s2 ON agg.item_id = s2.item_id
+	ORDER BY s2.item_id LIMIT 20`
+
+func TestTezMatchesMapReduceResults(t *testing.T) {
+	mr := tezDriver(t, ModeMapReduce, 0)
+	tez := tezDriver(t, ModeTez, 0)
+	for _, q := range []string{
+		"SELECT item_id, sum(qty) AS s FROM sales GROUP BY item_id ORDER BY item_id",
+		multiJobQuery,
+		"SELECT count(*) FROM sales WHERE qty > 2",
+	} {
+		a := runQ(t, mr, q)
+		b := runQ(t, tez, q)
+		ra := append([]types.Row(nil), a.Rows...)
+		rb := append([]types.Row(nil), b.Rows...)
+		sortRows(ra)
+		sortRows(rb)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Errorf("engines disagree on %q:\n mr  %v\n tez %v", q, truncate(ra), truncate(rb))
+		}
+	}
+}
+
+func TestTezAvoidsTempMaterialization(t *testing.T) {
+	mr := tezDriver(t, ModeMapReduce, 0)
+	tez := tezDriver(t, ModeTez, 0)
+	a := runQ(t, mr, multiJobQuery)
+	b := runQ(t, tez, multiJobQuery)
+	// Same logical job DAG...
+	if a.Stats.Jobs != b.Stats.Jobs {
+		t.Errorf("job counts differ: %d vs %d", a.Stats.Jobs, b.Stats.Jobs)
+	}
+	// ...but the Tez run reads fewer DFS bytes (no temp tables).
+	if b.Stats.DFSBytesRead >= a.Stats.DFSBytesRead {
+		t.Errorf("tez read %d bytes, mapreduce %d; in-memory edges should read less",
+			b.Stats.DFSBytesRead, a.Stats.DFSBytesRead)
+	}
+}
+
+func TestTezChargesOneLaunch(t *testing.T) {
+	const overhead = 100 * time.Millisecond
+	mr := tezDriver(t, ModeMapReduce, overhead)
+	tez := tezDriver(t, ModeTez, overhead)
+	a := runQ(t, mr, multiJobQuery)
+	b := runQ(t, tez, multiJobQuery)
+	if a.Stats.Jobs < 2 {
+		t.Fatalf("query compiled to %d jobs; need a chain", a.Stats.Jobs)
+	}
+	if a.Stats.LaunchOverhead != overhead*time.Duration(a.Stats.Jobs) {
+		t.Errorf("mapreduce launch overhead = %v for %d jobs", a.Stats.LaunchOverhead, a.Stats.Jobs)
+	}
+	if b.Stats.LaunchOverhead != overhead {
+		t.Errorf("tez launch overhead = %v, want one launch (%v)", b.Stats.LaunchOverhead, overhead)
+	}
+}
+
+func TestTezWithAllOptimizations(t *testing.T) {
+	// Tez composes with every §4–§6 advancement.
+	fs := dfs.New()
+	engine := mapred.NewEngine(mapred.Config{Slots: 4})
+	d := NewDriver(fs, engine, Config{Engine: ModeTez, Opt: optimizer.AllOn()})
+	schema := types.NewSchema(
+		types.Col("k", types.Primitive(types.Long)),
+		types.Col("v", types.Primitive(types.Double)),
+	)
+	loader, err := d.CreateTable("t", schema, fileformat.ORC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		loader.Write(types.Row{int64(i % 7), float64(i)})
+	}
+	loader.Close()
+	res := runQ(t, d, "SELECT k, sum(v) AS s FROM t WHERE k < 5 GROUP BY k ORDER BY k")
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, r := range res.Rows {
+		if r[0].(int64) != int64(i) {
+			t.Fatalf("unsorted: %v", res.Rows)
+		}
+	}
+	_ = fmt.Sprint(res.Stats)
+}

@@ -1,0 +1,416 @@
+// Package dfs is an in-process stand-in for HDFS (paper §2). It provides a
+// block-structured filesystem with configurable block size, simulated
+// datanode placement, and global accounting of bytes read/written and
+// local vs. remote block reads. The accounting is what the paper's Figure
+// 10(b) reports ("amounts of data read from HDFS"), and block placement is
+// what makes ORC's stripe/block alignment (§4.1) observable.
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates I/O accounting across a filesystem. All counters are
+// cumulative; use Snapshot/Diff to measure a single query.
+type Stats struct {
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+	ReadOps      atomic.Int64
+	WriteOps     atomic.Int64
+	LocalReads   atomic.Int64 // block reads served by the reader's node
+	RemoteReads  atomic.Int64 // block reads that crossed nodes
+	// IOTimeNanos is the simulated disk time for the bytes moved and the
+	// seeks performed, at the configured bandwidth and seek latency.
+	// Nothing sleeps; the driver adds this to reported elapsed times so
+	// I/O volume shapes query latency the way real disks shaped the
+	// paper's numbers.
+	IOTimeNanos atomic.Int64
+}
+
+// Snapshot is an immutable copy of Stats counters.
+type Snapshot struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadOps      int64
+	WriteOps     int64
+	LocalReads   int64
+	RemoteReads  int64
+	IOTime       time.Duration
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		BytesRead:    s.BytesRead.Load(),
+		BytesWritten: s.BytesWritten.Load(),
+		ReadOps:      s.ReadOps.Load(),
+		WriteOps:     s.WriteOps.Load(),
+		LocalReads:   s.LocalReads.Load(),
+		RemoteReads:  s.RemoteReads.Load(),
+		IOTime:       time.Duration(s.IOTimeNanos.Load()),
+	}
+}
+
+// Diff returns the delta from an earlier snapshot.
+func (s Snapshot) Diff(earlier Snapshot) Snapshot {
+	return Snapshot{
+		BytesRead:    s.BytesRead - earlier.BytesRead,
+		BytesWritten: s.BytesWritten - earlier.BytesWritten,
+		ReadOps:      s.ReadOps - earlier.ReadOps,
+		WriteOps:     s.WriteOps - earlier.WriteOps,
+		LocalReads:   s.LocalReads - earlier.LocalReads,
+		RemoteReads:  s.RemoteReads - earlier.RemoteReads,
+		IOTime:       s.IOTime - earlier.IOTime,
+	}
+}
+
+// FS is the in-memory distributed filesystem. It is safe for concurrent use.
+type FS struct {
+	mu        sync.RWMutex
+	files     map[string]*file
+	blockSize int64
+	numNodes  int
+	nextNode  int   // round-robin placement cursor
+	bandwidth int64 // simulated bytes/second, 0 = free I/O
+	seek      time.Duration
+	stats     Stats
+}
+
+type file struct {
+	mu     sync.RWMutex
+	data   []byte
+	blocks []int // datanode hosting each block, by block index
+	closed bool
+}
+
+// Option configures a filesystem.
+type Option func(*FS)
+
+// WithBlockSize sets the DFS block size (default 128 MiB; the paper's
+// evaluation uses 512 MB, the benchmarks scale it down).
+func WithBlockSize(n int64) Option {
+	return func(f *FS) {
+		if n > 0 {
+			f.blockSize = n
+		}
+	}
+}
+
+// WithNodes sets the number of simulated datanodes (default 10, the paper's
+// slave-node count).
+func WithNodes(n int) Option {
+	return func(f *FS) {
+		if n > 0 {
+			f.numNodes = n
+		}
+	}
+}
+
+// WithSimulatedDisk charges IOTime for every byte moved (at bytesPerSec)
+// and every read/write operation (seek). Nothing sleeps; the accounting
+// flows into reported elapsed times so data volume shapes latency, as the
+// hard disks of the paper's cluster did.
+func WithSimulatedDisk(bytesPerSec int64, seek time.Duration) Option {
+	return func(f *FS) {
+		f.bandwidth = bytesPerSec
+		f.seek = seek
+	}
+}
+
+// New creates an empty filesystem.
+func New(opts ...Option) *FS {
+	f := &FS{
+		files:     make(map[string]*file),
+		blockSize: 128 << 20,
+		numNodes:  10,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// BlockSize returns the filesystem block size in bytes.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// NumNodes returns the number of simulated datanodes.
+func (fs *FS) NumNodes() int { return fs.numNodes }
+
+// Stats exposes the cumulative I/O counters.
+func (fs *FS) Stats() *Stats { return &fs.stats }
+
+func clean(name string) string {
+	p := path.Clean("/" + name)
+	return p
+}
+
+// Create opens a new file for writing, truncating any existing file at the
+// path. Writes are sequential (HDFS semantics: append-only, no random
+// writes).
+func (fs *FS) Create(name string) (*FileWriter, error) {
+	name = clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &file{}
+	fs.files[name] = f
+	return &FileWriter{fs: fs, f: f, name: name}, nil
+}
+
+// Open opens a file for random-access reads.
+func (fs *FS) Open(name string) (*FileReader, error) {
+	name = clean(name)
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dfs: open %s: file does not exist", name)
+	}
+	f.mu.RLock()
+	closed := f.closed
+	f.mu.RUnlock()
+	if !closed {
+		return nil, fmt.Errorf("dfs: open %s: file is still being written", name)
+	}
+	return &FileReader{fs: fs, f: f, name: name}, nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(name string) error {
+	name = clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("dfs: remove %s: file does not exist", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// RemoveAll deletes every file under the given directory prefix.
+func (fs *FS) RemoveAll(dir string) {
+	dir = clean(dir)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for name := range fs.files {
+		if name == dir || strings.HasPrefix(name, dir+"/") {
+			delete(fs.files, name)
+		}
+	}
+}
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Name      string
+	Size      int64
+	NumBlocks int
+}
+
+// Stat returns metadata for a file.
+func (fs *FS) Stat(name string) (FileInfo, error) {
+	name = clean(name)
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return FileInfo{}, fmt.Errorf("dfs: stat %s: file does not exist", name)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return FileInfo{Name: name, Size: int64(len(f.data)), NumBlocks: len(f.blocks)}, nil
+}
+
+// List returns the files under a directory prefix, sorted by name.
+func (fs *FS) List(dir string) []FileInfo {
+	dir = clean(dir)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []FileInfo
+	for name, f := range fs.files {
+		if name == dir || strings.HasPrefix(name, dir+"/") {
+			f.mu.RLock()
+			out = append(out, FileInfo{Name: name, Size: int64(len(f.data)), NumBlocks: len(f.blocks)})
+			f.mu.RUnlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BlockLocations returns the datanode index hosting each block of the file.
+func (fs *FS) BlockLocations(name string) ([]int, error) {
+	name = clean(name)
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dfs: %s: file does not exist", name)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]int(nil), f.blocks...), nil
+}
+
+// TotalSize sums the sizes of all files under a prefix; it backs the Table 2
+// storage-efficiency experiment.
+func (fs *FS) TotalSize(dir string) int64 {
+	var total int64
+	for _, fi := range fs.List(dir) {
+		total += fi.Size
+	}
+	return total
+}
+
+// FileWriter writes a DFS file sequentially. Close must be called to make
+// the file readable.
+type FileWriter struct {
+	fs   *FS
+	f    *file
+	name string
+}
+
+// Write appends p to the file, allocating blocks round-robin across
+// datanodes as block boundaries are crossed.
+func (w *FileWriter) Write(p []byte) (int, error) {
+	w.f.mu.Lock()
+	defer w.f.mu.Unlock()
+	if w.f.closed {
+		return 0, fmt.Errorf("dfs: write %s: file already closed", w.name)
+	}
+	w.f.data = append(w.f.data, p...)
+	for int64(len(w.f.blocks))*w.fs.blockSize < int64(len(w.f.data)) {
+		w.fs.mu.Lock()
+		node := w.fs.nextNode
+		w.fs.nextNode = (w.fs.nextNode + 1) % w.fs.numNodes
+		w.fs.mu.Unlock()
+		w.f.blocks = append(w.f.blocks, node)
+	}
+	w.fs.stats.BytesWritten.Add(int64(len(p)))
+	w.fs.stats.WriteOps.Add(1)
+	w.fs.chargeIO(int64(len(p)))
+	return len(p), nil
+}
+
+// Pos returns the current file length, i.e. the offset at which the next
+// Write will land. The ORC writer uses it for stripe position pointers and
+// HDFS block alignment.
+func (w *FileWriter) Pos() int64 {
+	w.f.mu.RLock()
+	defer w.f.mu.RUnlock()
+	return int64(len(w.f.data))
+}
+
+// Close seals the file. After Close the file is readable.
+func (w *FileWriter) Close() error {
+	w.f.mu.Lock()
+	defer w.f.mu.Unlock()
+	if w.f.closed {
+		return fmt.Errorf("dfs: close %s: already closed", w.name)
+	}
+	w.f.closed = true
+	return nil
+}
+
+// FileReader reads a DFS file with ReadAt/sequential semantics. A reader is
+// associated with a compute node (SetNode) so that block reads can be
+// classified local vs. remote, modeling MapReduce's locality-aware
+// scheduling.
+type FileReader struct {
+	fs   *FS
+	f    *file
+	name string
+	off  int64
+	node int
+}
+
+// SetNode declares which simulated node the reader runs on.
+func (r *FileReader) SetNode(n int) { r.node = n }
+
+// Size returns the file length.
+func (r *FileReader) Size() int64 {
+	r.f.mu.RLock()
+	defer r.f.mu.RUnlock()
+	return int64(len(r.f.data))
+}
+
+// ReadAt implements io.ReaderAt with accounting.
+func (r *FileReader) ReadAt(p []byte, off int64) (int, error) {
+	r.f.mu.RLock()
+	defer r.f.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("dfs: read %s: negative offset", r.name)
+	}
+	if off >= int64(len(r.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.f.data[off:])
+	r.account(off, int64(n))
+	var err error
+	if n < len(p) {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// Read implements sequential io.Reader semantics.
+func (r *FileReader) Read(p []byte) (int, error) {
+	n, err := r.ReadAt(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker for the sequential cursor.
+func (r *FileReader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.off
+	case io.SeekEnd:
+		base = r.Size()
+	default:
+		return 0, fmt.Errorf("dfs: seek %s: bad whence %d", r.name, whence)
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, fmt.Errorf("dfs: seek %s: negative position", r.name)
+	}
+	r.off = n
+	return n, nil
+}
+
+// Close releases the reader (no-op; present for io.Closer symmetry).
+func (r *FileReader) Close() error { return nil }
+
+func (fs *FS) chargeIO(n int64) {
+	var t int64
+	if fs.bandwidth > 0 {
+		t += n * int64(time.Second) / fs.bandwidth
+	}
+	t += int64(fs.seek)
+	if t > 0 {
+		fs.stats.IOTimeNanos.Add(t)
+	}
+}
+
+func (r *FileReader) account(off, n int64) {
+	r.fs.stats.BytesRead.Add(n)
+	r.fs.stats.ReadOps.Add(1)
+	r.fs.chargeIO(n)
+	first := off / r.fs.blockSize
+	last := (off + n - 1) / r.fs.blockSize
+	for b := first; b <= last; b++ {
+		if int(b) < len(r.f.blocks) && r.f.blocks[b] == r.node {
+			r.fs.stats.LocalReads.Add(1)
+		} else {
+			r.fs.stats.RemoteReads.Add(1)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package dfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(WithBlockSize(16), WithNodes(3))
+	w, err := fs.Create("/warehouse/t1/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello distributed filesystem world")
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/warehouse/t1/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+}
+
+func TestOpenUnclosedFileFails(t *testing.T) {
+	fs := New()
+	w, _ := fs.Create("/f")
+	w.Write([]byte("x"))
+	if _, err := fs.Open("/f"); err == nil {
+		t.Fatal("Open succeeded on unclosed file")
+	}
+	w.Close()
+	if _, err := fs.Open("/f"); err != nil {
+		t.Fatalf("Open after close: %v", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open("/nope"); err == nil {
+		t.Fatal("Open succeeded on missing file")
+	}
+	if _, err := fs.Stat("/nope"); err == nil {
+		t.Fatal("Stat succeeded on missing file")
+	}
+}
+
+func TestBlockPlacementRoundRobin(t *testing.T) {
+	fs := New(WithBlockSize(10), WithNodes(3))
+	w, _ := fs.Create("/big")
+	w.Write(make([]byte, 35)) // 4 blocks
+	w.Close()
+	locs, err := fs.BlockLocations("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(locs))
+	}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if locs[i] != want[i] {
+			t.Fatalf("block locations = %v, want %v", locs, want)
+		}
+	}
+}
+
+func TestLocalRemoteAccounting(t *testing.T) {
+	fs := New(WithBlockSize(10), WithNodes(2))
+	w, _ := fs.Create("/f")
+	w.Write(make([]byte, 20)) // block 0 on node 0, block 1 on node 1
+	w.Close()
+	r, _ := fs.Open("/f")
+	r.SetNode(0)
+	before := fs.Stats().Snapshot()
+	buf := make([]byte, 10)
+	r.ReadAt(buf, 0)  // local
+	r.ReadAt(buf, 10) // remote
+	d := fs.Stats().Snapshot().Diff(before)
+	if d.LocalReads != 1 || d.RemoteReads != 1 {
+		t.Fatalf("local/remote = %d/%d, want 1/1", d.LocalReads, d.RemoteReads)
+	}
+	if d.BytesRead != 20 {
+		t.Fatalf("bytes read = %d, want 20", d.BytesRead)
+	}
+}
+
+func TestReadCrossingBlockBoundary(t *testing.T) {
+	fs := New(WithBlockSize(8), WithNodes(4))
+	w, _ := fs.Create("/f")
+	data := make([]byte, 24)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	w.Write(data)
+	w.Close()
+	r, _ := fs.Open("/f")
+	buf := make([]byte, 16)
+	n, err := r.ReadAt(buf, 4) // spans blocks 0,1,2
+	if err != nil || n != 16 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	for i := 0; i < 16; i++ {
+		if buf[i] != byte(i+4) {
+			t.Fatalf("byte %d = %d, want %d", i, buf[i], i+4)
+		}
+	}
+}
+
+func TestSeekAndSequentialRead(t *testing.T) {
+	fs := New()
+	w, _ := fs.Create("/f")
+	w.Write([]byte("0123456789"))
+	w.Close()
+	r, _ := fs.Open("/f")
+	if _, err := r.Seek(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	r.Read(buf)
+	if string(buf) != "456" {
+		t.Fatalf("read %q after seek, want 456", buf)
+	}
+	if pos, _ := r.Seek(-2, io.SeekEnd); pos != 8 {
+		t.Fatalf("SeekEnd pos = %d, want 8", pos)
+	}
+	r.Read(buf[:2])
+	if string(buf[:2]) != "89" {
+		t.Fatalf("read %q, want 89", buf[:2])
+	}
+}
+
+func TestListAndTotalSize(t *testing.T) {
+	fs := New()
+	for _, name := range []string{"/wh/t/b", "/wh/t/a", "/wh/u/c"} {
+		w, _ := fs.Create(name)
+		w.Write([]byte("12345"))
+		w.Close()
+	}
+	files := fs.List("/wh/t")
+	if len(files) != 2 || files[0].Name != "/wh/t/a" || files[1].Name != "/wh/t/b" {
+		t.Fatalf("List = %+v", files)
+	}
+	if got := fs.TotalSize("/wh/t"); got != 10 {
+		t.Fatalf("TotalSize = %d, want 10", got)
+	}
+	fs.RemoveAll("/wh/t")
+	if len(fs.List("/wh/t")) != 0 {
+		t.Fatal("RemoveAll left files behind")
+	}
+	if len(fs.List("/wh/u")) != 1 {
+		t.Fatal("RemoveAll removed unrelated files")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	w, _ := fs.Create("/f")
+	w.Close()
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f"); err == nil {
+		t.Fatal("second Remove succeeded")
+	}
+}
+
+func TestWriterPos(t *testing.T) {
+	fs := New()
+	w, _ := fs.Create("/f")
+	if w.Pos() != 0 {
+		t.Fatal("fresh writer Pos != 0")
+	}
+	w.Write(make([]byte, 100))
+	if w.Pos() != 100 {
+		t.Fatalf("Pos = %d, want 100", w.Pos())
+	}
+	w.Close()
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	fs := New(WithBlockSize(7), WithNodes(3))
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		name := "/prop/" + string(rune('a'+i%26)) + "x"
+		w, _ := fs.Create(name)
+		w.Write(data)
+		w.Close()
+		r, _ := fs.Open(name)
+		got := make([]byte, len(data))
+		if len(data) > 0 {
+			if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+				return false
+			}
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulatedDiskAccounting(t *testing.T) {
+	fs := New(WithSimulatedDisk(1<<20 /* 1 MiB/s */, 10*time.Millisecond))
+	w, _ := fs.Create("/f")
+	w.Write(make([]byte, 1<<20))
+	w.Close()
+	afterWrite := fs.Stats().Snapshot()
+	// One write op: 1 MiB at 1 MiB/s = 1s, plus one 10ms seek.
+	if afterWrite.IOTime != time.Second+10*time.Millisecond {
+		t.Fatalf("write IOTime = %v", afterWrite.IOTime)
+	}
+	r, _ := fs.Open("/f")
+	buf := make([]byte, 1<<19)
+	r.ReadAt(buf, 0)
+	d := fs.Stats().Snapshot().Diff(afterWrite)
+	if d.IOTime != 500*time.Millisecond+10*time.Millisecond {
+		t.Fatalf("read IOTime = %v", d.IOTime)
+	}
+}
+
+func TestSimulatedDiskDisabledByDefault(t *testing.T) {
+	fs := New()
+	w, _ := fs.Create("/f")
+	w.Write(make([]byte, 1<<20))
+	w.Close()
+	if got := fs.Stats().Snapshot().IOTime; got != 0 {
+		t.Fatalf("IOTime = %v without simulation", got)
+	}
+}

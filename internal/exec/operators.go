@@ -1,0 +1,714 @@
+// operators.go implements the runtime operators of the row-mode engine.
+// Data is pushed one row at a time from parents to children; on the reduce
+// side, StartGroup/EndGroup signals delimit key groups and are propagated
+// through the operator tree, with Mux counting its parents' signals — the
+// coordination mechanism §5.2.2 describes.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Context supplies the runtime's environment: where ReduceSink output,
+// FileSink rows, and map-join small-table scans go to / come from. The
+// driver wires these to the MapReduce engine and the warehouse.
+type Context struct {
+	// EmitShuffle receives ReduceSink output on the map side.
+	EmitShuffle func(rs *plan.ReduceSink, key []byte, tag int, value []byte) error
+	// SinkRow receives FileSink rows; dest is "" for the final result.
+	SinkRow func(dest string, row types.Row) error
+	// ScanRows opens a row iterator over a table for map-join hash-table
+	// builds (the "local work" of §5.1).
+	ScanRows func(ts *plan.TableScan) (func() (types.Row, error), error)
+}
+
+// Operator is a runtime operator instance.
+type Operator interface {
+	Init(ctx *Context) error
+	// Process consumes one row. tag is operator-specific: the shuffle tag
+	// for reduce entries, the join input index for joins, the edge
+	// position for Mux.
+	Process(row types.Row, tag int) error
+	// StartGroup/EndGroup delimit reduce-side key groups.
+	StartGroup() error
+	EndGroup() error
+	// Flush signals end of input.
+	Flush() error
+}
+
+// childRef wires a parent to a child with the tag the child expects from
+// this edge (the parent's position among the child's plan parents).
+type childRef struct {
+	op  Operator
+	tag int
+}
+
+// base provides fan-out to children and default signal propagation.
+type base struct {
+	children []childRef
+}
+
+func (b *base) forward(row types.Row) error {
+	for _, c := range b.children {
+		if err := c.op.Process(row, c.tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *base) initChildren(ctx *Context) error {
+	for _, c := range b.children {
+		if err := c.op.Init(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *base) startGroupChildren() error {
+	for _, c := range distinctOps(b.children) {
+		if err := c.StartGroup(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *base) endGroupChildren() error {
+	for _, c := range distinctOps(b.children) {
+		if err := c.EndGroup(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *base) flushChildren() error {
+	for _, c := range distinctOps(b.children) {
+		if err := c.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func distinctOps(children []childRef) []Operator {
+	var out []Operator
+	for _, c := range children {
+		dup := false
+		for _, o := range out {
+			if o == c.op {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c.op)
+		}
+	}
+	return out
+}
+
+// --- Filter ---
+
+type filterOp struct {
+	base
+	node *plan.Filter
+}
+
+func (o *filterOp) Init(ctx *Context) error { return o.initChildren(ctx) }
+
+func (o *filterOp) Process(row types.Row, _ int) error {
+	if plan.Truthy(o.node.Cond.Eval(row)) {
+		return o.forward(row)
+	}
+	return nil
+}
+
+func (o *filterOp) StartGroup() error { return o.startGroupChildren() }
+func (o *filterOp) EndGroup() error   { return o.endGroupChildren() }
+func (o *filterOp) Flush() error      { return o.flushChildren() }
+
+// --- Select ---
+
+type selectOp struct {
+	base
+	node *plan.Select
+}
+
+func (o *selectOp) Init(ctx *Context) error { return o.initChildren(ctx) }
+
+func (o *selectOp) Process(row types.Row, _ int) error {
+	out := make(types.Row, len(o.node.Exprs))
+	for i, e := range o.node.Exprs {
+		out[i] = e.Eval(row)
+	}
+	return o.forward(out)
+}
+
+func (o *selectOp) StartGroup() error { return o.startGroupChildren() }
+func (o *selectOp) EndGroup() error   { return o.endGroupChildren() }
+func (o *selectOp) Flush() error      { return o.flushChildren() }
+
+// --- Limit ---
+
+type limitOp struct {
+	base
+	node *plan.Limit
+	seen int
+}
+
+func (o *limitOp) Init(ctx *Context) error { return o.initChildren(ctx) }
+
+func (o *limitOp) Process(row types.Row, _ int) error {
+	if o.seen >= o.node.N {
+		return nil
+	}
+	o.seen++
+	return o.forward(row)
+}
+
+func (o *limitOp) StartGroup() error { return o.startGroupChildren() }
+func (o *limitOp) EndGroup() error   { return o.endGroupChildren() }
+func (o *limitOp) Flush() error      { return o.flushChildren() }
+
+// --- FileSink ---
+
+type fileSinkOp struct {
+	node *plan.FileSink
+	ctx  *Context
+}
+
+func (o *fileSinkOp) Init(ctx *Context) error { o.ctx = ctx; return nil }
+
+func (o *fileSinkOp) Process(row types.Row, _ int) error {
+	return o.ctx.SinkRow(o.node.Dest, row)
+}
+
+func (o *fileSinkOp) StartGroup() error { return nil }
+func (o *fileSinkOp) EndGroup() error   { return nil }
+func (o *fileSinkOp) Flush() error      { return nil }
+
+// --- ReduceSink ---
+
+type reduceSinkOp struct {
+	node *plan.ReduceSink
+	ctx  *Context
+}
+
+func (o *reduceSinkOp) Init(ctx *Context) error { o.ctx = ctx; return nil }
+
+func (o *reduceSinkOp) Process(row types.Row, _ int) error {
+	keyVals := make([]any, len(o.node.Keys))
+	for i, k := range o.node.Keys {
+		keyVals[i] = k.Eval(row)
+	}
+	key, err := EncodeKey(keyVals, o.node.SortDesc)
+	if err != nil {
+		return err
+	}
+	value, err := EncodeRow(o.node.Out, row)
+	if err != nil {
+		return err
+	}
+	return o.ctx.EmitShuffle(o.node, key, o.node.Tag, value)
+}
+
+func (o *reduceSinkOp) StartGroup() error { return nil }
+func (o *reduceSinkOp) EndGroup() error   { return nil }
+func (o *reduceSinkOp) Flush() error      { return nil }
+
+// --- GroupBy ---
+
+type groupByOp struct {
+	base
+	node *plan.GroupBy
+
+	// Reduce-side (Complete/Final) state: one set of agg states per key
+	// group, reset at StartGroup.
+	states   []*plan.AggState
+	firstRow types.Row
+	sawGroup bool
+
+	// Map-side (Partial) state: hash aggregation.
+	hash     map[string]*hashEntry
+	hashKeys []string // insertion order for deterministic flush
+}
+
+type hashEntry struct {
+	keyVals []any
+	states  []*plan.AggState
+}
+
+func (o *groupByOp) Init(ctx *Context) error {
+	if o.node.Mode == plan.GBYPartial {
+		o.hash = make(map[string]*hashEntry)
+	}
+	return o.initChildren(ctx)
+}
+
+func (o *groupByOp) newStates() []*plan.AggState {
+	states := make([]*plan.AggState, len(o.node.Aggs))
+	for i, d := range o.node.Aggs {
+		states[i] = plan.NewAggState(d)
+	}
+	return states
+}
+
+func (o *groupByOp) Process(row types.Row, _ int) error {
+	switch o.node.Mode {
+	case plan.GBYPartial:
+		keyVals := make([]any, len(o.node.Keys))
+		for i, k := range o.node.Keys {
+			keyVals[i] = k.Eval(row)
+		}
+		kb, err := EncodeKey(keyVals, nil)
+		if err != nil {
+			return err
+		}
+		ent, ok := o.hash[string(kb)]
+		if !ok {
+			ent = &hashEntry{keyVals: keyVals, states: o.newStates()}
+			o.hash[string(kb)] = ent
+			o.hashKeys = append(o.hashKeys, string(kb))
+		}
+		for _, s := range ent.states {
+			s.Update(row)
+		}
+		return nil
+	case plan.GBYComplete:
+		if o.firstRow == nil {
+			o.firstRow = row.Clone()
+		}
+		for _, s := range o.states {
+			s.Update(row)
+		}
+		return nil
+	case plan.GBYFinal:
+		if o.firstRow == nil {
+			o.firstRow = row.Clone()
+		}
+		// Input rows are keys followed by flattened partial states.
+		pos := len(o.node.Keys)
+		for i, s := range o.states {
+			w := o.node.Aggs[i].StateWidth()
+			s.Merge(row[pos : pos+w])
+			pos += w
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: bad group-by mode %v", o.node.Mode)
+}
+
+func (o *groupByOp) StartGroup() error {
+	if o.node.Mode != plan.GBYPartial {
+		o.states = o.newStates()
+		o.firstRow = nil
+		o.sawGroup = true
+	}
+	return o.startGroupChildren()
+}
+
+// EndGroup emits the group's result row, then propagates the signal — the
+// emit-before-propagate ordering the Demux/Mux coordination relies on.
+func (o *groupByOp) EndGroup() error {
+	if o.node.Mode != plan.GBYPartial && o.firstRow != nil {
+		if err := o.forward(o.resultRow()); err != nil {
+			return err
+		}
+	}
+	return o.endGroupChildren()
+}
+
+func (o *groupByOp) resultRow() types.Row {
+	out := make(types.Row, 0, len(o.node.Keys)+len(o.states))
+	for i, k := range o.node.Keys {
+		if o.node.Mode == plan.GBYFinal {
+			// Keys are leading columns of the shipped partial rows.
+			out = append(out, o.firstRow[i])
+		} else {
+			out = append(out, k.Eval(o.firstRow))
+		}
+	}
+	for _, s := range o.states {
+		out = append(out, s.Result())
+	}
+	return out
+}
+
+func (o *groupByOp) Flush() error {
+	switch o.node.Mode {
+	case plan.GBYPartial:
+		for _, kb := range o.hashKeys {
+			ent := o.hash[kb]
+			out := make(types.Row, 0, len(ent.keyVals)+len(ent.states))
+			out = append(out, ent.keyVals...)
+			for _, s := range ent.states {
+				out = append(out, s.PartialResult()...)
+			}
+			if err := o.forward(out); err != nil {
+				return err
+			}
+		}
+		o.hash = make(map[string]*hashEntry)
+		o.hashKeys = nil
+	default:
+		// A keyless aggregation over an empty input still produces one
+		// row (count(*) = 0).
+		if len(o.node.Keys) == 0 && !o.sawGroupEver() {
+			o.states = o.newStates()
+			out := make(types.Row, 0, len(o.states))
+			for _, s := range o.states {
+				out = append(out, s.Result())
+			}
+			if err := o.forward(out); err != nil {
+				return err
+			}
+		}
+	}
+	return o.flushChildren()
+}
+
+func (o *groupByOp) sawGroupEver() bool { return o.sawGroup }
+
+// --- Reduce-side Join ---
+
+type joinOp struct {
+	base
+	node    *plan.Join
+	buffers [][]types.Row
+}
+
+func (o *joinOp) Init(ctx *Context) error {
+	o.buffers = make([][]types.Row, o.node.NumInputs)
+	return o.initChildren(ctx)
+}
+
+func (o *joinOp) Process(row types.Row, tag int) error {
+	if tag < 0 || tag >= len(o.buffers) {
+		return fmt.Errorf("exec: join received tag %d with %d inputs", tag, len(o.buffers))
+	}
+	o.buffers[tag] = append(o.buffers[tag], row.Clone())
+	return nil
+}
+
+func (o *joinOp) StartGroup() error {
+	for i := range o.buffers {
+		o.buffers[i] = o.buffers[i][:0]
+	}
+	return o.startGroupChildren()
+}
+
+// EndGroup emits the inner-join cross product of the buffered rows (all
+// rows in a group share the join key), then propagates.
+func (o *joinOp) EndGroup() error {
+	if err := o.emit(0, nil); err != nil {
+		return err
+	}
+	return o.endGroupChildren()
+}
+
+func (o *joinOp) emit(input int, acc types.Row) error {
+	if input == len(o.buffers) {
+		return o.forward(acc.Clone())
+	}
+	for _, row := range o.buffers[input] {
+		next := append(acc, row...)
+		if err := o.emit(input+1, next); err != nil {
+			return err
+		}
+		acc = next[:len(acc)]
+	}
+	return nil
+}
+
+func (o *joinOp) Flush() error { return o.flushChildren() }
+
+// --- MapJoin ---
+
+type mapJoinOp struct {
+	base
+	node *plan.MapJoin
+	// tables[i] is the hash table for small input i (nil for the big
+	// input): join key bytes -> rows.
+	tables []map[string][]types.Row
+	// smallScans[i] is the plan subtree root feeding small input i.
+	smallSources []plan.Node
+}
+
+func (o *mapJoinOp) Init(ctx *Context) error {
+	o.tables = make([]map[string][]types.Row, len(o.node.Keys))
+	for i, src := range o.smallSources {
+		if i == o.node.BigIdx {
+			continue
+		}
+		table, err := buildHashTable(ctx, src, o.node.Keys[i])
+		if err != nil {
+			return err
+		}
+		o.tables[i] = table
+	}
+	return o.initChildren(ctx)
+}
+
+// buildHashTable runs the small-table operator chain locally (scan +
+// filters/selects) and hashes its output by the join key — the hash-table
+// build of §5.1.
+func buildHashTable(ctx *Context, src plan.Node, keys []plan.Expr) (map[string][]types.Row, error) {
+	table := make(map[string][]types.Row)
+	sink := func(row types.Row) error {
+		keyVals := make([]any, len(keys))
+		for i, k := range keys {
+			keyVals[i] = k.Eval(row)
+		}
+		kb, err := EncodeKey(keyVals, nil)
+		if err != nil {
+			return err
+		}
+		table[string(kb)] = append(table[string(kb)], row.Clone())
+		return nil
+	}
+	if err := runLocalChain(ctx, src, sink); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// runLocalChain evaluates a map-side chain rooted at a TableScan directly
+// (no MapReduce), pushing final rows into sink.
+func runLocalChain(ctx *Context, top plan.Node, sink func(types.Row) error) error {
+	// Build the chain from top down to the scan.
+	var chain []plan.Node
+	cur := top
+	for {
+		chain = append(chain, cur)
+		if _, ok := cur.(*plan.TableScan); ok {
+			break
+		}
+		if len(cur.Base().Parents) != 1 {
+			return fmt.Errorf("exec: map-join small-table chain has non-linear operator %s", cur.Label())
+		}
+		cur = cur.Base().Parents[0]
+	}
+	scan := chain[len(chain)-1].(*plan.TableScan)
+	next, err := ctx.ScanRows(scan)
+	if err != nil {
+		return err
+	}
+	apply := func(row types.Row) error {
+		// Walk from the scan upward through the chain.
+		rows := []types.Row{row}
+		for i := len(chain) - 2; i >= 0; i-- {
+			var out []types.Row
+			for _, r := range rows {
+				switch n := chain[i].(type) {
+				case *plan.Filter:
+					if plan.Truthy(n.Cond.Eval(r)) {
+						out = append(out, r)
+					}
+				case *plan.Select:
+					projected := make(types.Row, len(n.Exprs))
+					for j, e := range n.Exprs {
+						projected[j] = e.Eval(r)
+					}
+					out = append(out, projected)
+				default:
+					return fmt.Errorf("exec: unsupported operator %s in local chain", chain[i].Label())
+				}
+			}
+			rows = out
+		}
+		for _, r := range rows {
+			if err := sink(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		row, err := next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		if err := apply(row); err != nil {
+			return err
+		}
+	}
+}
+
+func (o *mapJoinOp) Process(row types.Row, _ int) error {
+	return o.probe(0, row, nil)
+}
+
+// probe assembles output rows in input order, streaming the big input and
+// looking the others up in their hash tables.
+func (o *mapJoinOp) probe(input int, bigRow types.Row, acc types.Row) error {
+	if input == len(o.tables) {
+		return o.forward(acc.Clone())
+	}
+	if input == o.node.BigIdx {
+		next := append(acc, bigRow...)
+		if err := o.probe(input+1, bigRow, next); err != nil {
+			return err
+		}
+		return nil
+	}
+	keyVals := make([]any, len(o.node.ProbeKeys[input]))
+	for i, k := range o.node.ProbeKeys[input] {
+		// Probe keys are the big side's join expressions, evaluated over
+		// the streaming big row.
+		keyVals[i] = k.Eval(bigRow)
+	}
+	kb, err := EncodeKey(keyVals, nil)
+	if err != nil {
+		return err
+	}
+	for _, match := range o.tables[input][string(kb)] {
+		next := append(acc, match...)
+		if err := o.probe(input+1, bigRow, next); err != nil {
+			return err
+		}
+		acc = next[:len(acc)]
+	}
+	return nil
+}
+
+func (o *mapJoinOp) StartGroup() error { return o.startGroupChildren() }
+func (o *mapJoinOp) EndGroup() error   { return o.endGroupChildren() }
+func (o *mapJoinOp) Flush() error      { return o.flushChildren() }
+
+// --- Demux ---
+
+type demuxOp struct {
+	node     *plan.Demux
+	children []childRef // index: child position; tag unused
+}
+
+func (o *demuxOp) Init(ctx *Context) error {
+	for _, c := range distinctOps(o.children) {
+		if err := c.Init(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *demuxOp) Process(row types.Row, newTag int) error {
+	if newTag < 0 || newTag >= len(o.node.ChildIdx) {
+		return fmt.Errorf("exec: demux received unknown tag %d", newTag)
+	}
+	child := o.children[o.node.ChildIdx[newTag]]
+	// A Mux target receives the restored old tag directly (its edge-based
+	// ParentTags translation only applies to in-phase operator edges).
+	if m, ok := child.op.(*muxOp); ok {
+		return m.processDirect(row, o.node.OldTag[newTag])
+	}
+	return child.op.Process(row, o.node.OldTag[newTag])
+}
+
+func (o *demuxOp) StartGroup() error {
+	for _, c := range distinctOps(o.children) {
+		if err := c.StartGroup(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *demuxOp) EndGroup() error {
+	for _, c := range distinctOps(o.children) {
+		if err := c.EndGroup(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *demuxOp) Flush() error {
+	for _, c := range distinctOps(o.children) {
+		if err := c.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Mux ---
+
+// muxOp merges edges into a GroupBy or Join inside an optimized reduce
+// phase. ParentTags[edge] is the tag forwarded to the child (-1 passes the
+// incoming tag through, used for Demux edges). Group signals are counted:
+// StartGroup is forwarded on the first parent's signal, EndGroup once all
+// parents have signaled (§5.2.2's coordination mechanism).
+type muxOp struct {
+	base
+	node       *plan.Mux
+	numParents int
+	startSeen  int
+	endSeen    int
+	flushSeen  int
+}
+
+func (o *muxOp) Init(ctx *Context) error { return o.initChildren(ctx) }
+
+func (o *muxOp) Process(row types.Row, edge int) error {
+	tag := edge
+	if edge >= 0 && edge < len(o.node.ParentTags) && o.node.ParentTags[edge] >= 0 {
+		tag = o.node.ParentTags[edge]
+	}
+	return o.processDirect(row, tag)
+}
+
+// processDirect forwards a row whose tag is already resolved (rows arriving
+// from the Demux carry their restored original tags).
+func (o *muxOp) processDirect(row types.Row, tag int) error {
+	for _, c := range o.children {
+		if err := c.op.Process(row, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *muxOp) StartGroup() error {
+	o.startSeen++
+	var err error
+	if o.startSeen == 1 {
+		err = o.startGroupChildren()
+	}
+	if o.startSeen >= o.numParents {
+		o.startSeen = 0
+	}
+	return err
+}
+
+func (o *muxOp) EndGroup() error {
+	o.endSeen++
+	if o.endSeen == o.numParents {
+		o.endSeen = 0
+		o.startSeen = 0
+		return o.endGroupChildren()
+	}
+	return nil
+}
+
+func (o *muxOp) Flush() error {
+	o.flushSeen++
+	if o.flushSeen == o.numParents {
+		o.flushSeen = 0
+		return o.flushChildren()
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package fileformat defines the common interface over Hive's file formats
+// and a registry keyed by format kind. The concrete formats live in
+// subpackages (textfile, seqfile, rcfile) and in internal/orc; this package
+// wires them behind one Create/Open API so the execution engine and the
+// benchmark harness can swap formats per table, as the paper's evaluation
+// does (§7.2).
+package fileformat
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/types"
+)
+
+// Kind identifies a file format.
+type Kind int
+
+// Supported formats, in the order the paper introduces them (§3, §4).
+const (
+	Text Kind = iota
+	Sequence
+	RC
+	ORC
+)
+
+// String returns the format name used in table DDL.
+func (k Kind) String() string {
+	switch k {
+	case Text:
+		return "TEXTFILE"
+	case Sequence:
+		return "SEQUENCEFILE"
+	case RC:
+		return "RCFILE"
+	case ORC:
+		return "ORC"
+	}
+	return fmt.Sprintf("format(%d)", int(k))
+}
+
+// ParseKind parses a format name.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "TEXTFILE", "TEXT":
+		return Text, nil
+	case "SEQUENCEFILE", "SEQ":
+		return Sequence, nil
+	case "RCFILE", "RC":
+		return RC, nil
+	case "ORC", "ORCFILE":
+		return ORC, nil
+	}
+	return 0, fmt.Errorf("fileformat: unknown format %q", s)
+}
+
+// Writer appends rows to one file of a table.
+type Writer interface {
+	Write(row types.Row) error
+	Close() error
+}
+
+// Reader iterates rows of one file; Next returns io.EOF at the end.
+type Reader interface {
+	Next() (types.Row, error)
+	Close() error
+}
+
+// Options configures writers.
+type Options struct {
+	// Compression selects the general-purpose codec (where supported).
+	Compression compress.Kind
+	// ORCOptions forwards ORC-specific knobs; nil uses defaults.
+	ORCOptions *orc.WriterOptions
+}
+
+// ScanOptions configures readers. Formats without projection or predicate
+// pushdown support ignore the fields they cannot honor, exactly as the
+// paper describes for RCFile (§3's second shortcoming).
+type ScanOptions struct {
+	// Include lists top-level columns to materialize in output order;
+	// nil means all columns.
+	Include []string
+	// SArg is honored only by ORC.
+	SArg *orc.SearchArgument
+}
+
+// Create opens a writer for a new file at path.
+func Create(fs *dfs.FS, path string, schema *types.Schema, kind Kind, opts *Options) (Writer, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	fw, err := fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case Text:
+		return newTextWriter(fw, schema, opts)
+	case Sequence:
+		return newSeqWriter(fw, schema, opts)
+	case RC:
+		return newRCWriter(fw, schema, opts)
+	case ORC:
+		o := opts.ORCOptions
+		if o == nil {
+			o = &orc.WriterOptions{}
+		}
+		oc := *o
+		if oc.Compression == compress.None {
+			oc.Compression = opts.Compression
+		}
+		if oc.BlockAlign && oc.BlockSize == 0 {
+			oc.BlockSize = fs.BlockSize()
+		}
+		w, err := orc.NewWriter(fw, schema, &oc)
+		if err != nil {
+			return nil, err
+		}
+		return &orcWriterAdapter{w: w, f: fw}, nil
+	}
+	return nil, fmt.Errorf("fileformat: unknown kind %d", int(kind))
+}
+
+// Open opens a reader over an existing file. For Text, Sequence and RC the
+// schema must be supplied (the formats are data-type-agnostic and carry no
+// schema); ORC is self-describing and ignores the argument.
+func Open(fs *dfs.FS, path string, schema *types.Schema, kind Kind, scan ScanOptions) (Reader, error) {
+	fr, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case Text:
+		return newTextReader(fr, schema, scan)
+	case Sequence:
+		return newSeqReader(fr, schema, scan)
+	case RC:
+		return newRCReader(fr, schema, scan)
+	case ORC:
+		r, err := orc.NewReader(fr)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.Rows(orc.ReadOptions{Include: scan.Include, SArg: scan.SArg})
+		if err != nil {
+			return nil, err
+		}
+		return &orcReaderAdapter{rr: rr}, nil
+	}
+	return nil, fmt.Errorf("fileformat: unknown kind %d", int(kind))
+}
+
+type orcWriterAdapter struct {
+	w *orc.Writer
+	f *dfs.FileWriter
+}
+
+func (a *orcWriterAdapter) Write(row types.Row) error { return a.w.Write(row) }
+
+func (a *orcWriterAdapter) Close() error {
+	if err := a.w.Close(); err != nil {
+		return err
+	}
+	return a.f.Close()
+}
+
+type orcReaderAdapter struct {
+	rr *orc.RowReader
+}
+
+func (a *orcReaderAdapter) Next() (types.Row, error) { return a.rr.Next() }
+func (a *orcReaderAdapter) Close() error             { return nil }
+
+// projection maps included column names to indexes once per reader.
+type projection struct {
+	indexes []int // nil means identity (all columns)
+}
+
+func newProjection(schema *types.Schema, include []string) (projection, error) {
+	if include == nil {
+		return projection{}, nil
+	}
+	p := projection{indexes: make([]int, len(include))}
+	for i, name := range include {
+		idx := schema.ColumnIndex(name)
+		if idx < 0 {
+			return projection{}, fmt.Errorf("fileformat: unknown column %q", name)
+		}
+		p.indexes[i] = idx
+	}
+	return p, nil
+}
+
+// apply narrows a full-width row to the projection.
+func (p projection) apply(row types.Row) types.Row {
+	if p.indexes == nil {
+		return row
+	}
+	out := make(types.Row, len(p.indexes))
+	for i, idx := range p.indexes {
+		out[i] = row[idx]
+	}
+	return out
+}

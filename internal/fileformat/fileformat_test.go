@@ -1,0 +1,236 @@
+package fileformat
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("name", types.Primitive(types.String)),
+		types.Col("score", types.Primitive(types.Double)),
+		types.Col("tags", types.NewArray(types.Primitive(types.String))),
+	)
+}
+
+func testRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		tags := []any{}
+		for j := 0; j < i%3; j++ {
+			tags = append(tags, fmt.Sprintf("t%d", j))
+		}
+		rows[i] = types.Row{int64(i), fmt.Sprintf("name-%d", i%17), float64(i) / 3, tags}
+		if i%10 == 0 {
+			rows[i][1] = nil
+		}
+	}
+	return rows
+}
+
+func writeRows(t *testing.T, fs *dfs.FS, path string, kind Kind, opts *Options, rows []types.Row) {
+	t.Helper()
+	w, err := Create(fs, path, testSchema(), kind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if err := w.Write(row); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readRows(t *testing.T, fs *dfs.FS, path string, kind Kind, scan ScanOptions) []types.Row {
+	t.Helper()
+	r, err := Open(fs, path, testSchema(), kind, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []types.Row
+	for {
+		row, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row)
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	rows := testRows(3000)
+	for _, kind := range []Kind{Text, Sequence, RC, ORC} {
+		for _, codec := range []compress.Kind{compress.None, compress.Snappy} {
+			if kind == Text && codec != compress.None {
+				continue
+			}
+			name := fmt.Sprintf("%s-%s", kind, codec)
+			t.Run(name, func(t *testing.T) {
+				fs := dfs.New()
+				path := "/wh/t/" + name
+				writeRows(t, fs, path, kind, &Options{Compression: codec}, rows)
+				got := readRows(t, fs, path, kind, ScanOptions{})
+				if len(got) != len(rows) {
+					t.Fatalf("read %d rows, want %d", len(got), len(rows))
+				}
+				for i := range rows {
+					if !reflect.DeepEqual(got[i], rows[i]) {
+						t.Fatalf("row %d = %#v, want %#v", i, got[i], rows[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestProjectionAllFormats(t *testing.T) {
+	rows := testRows(500)
+	for _, kind := range []Kind{Text, Sequence, RC, ORC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := dfs.New()
+			path := "/wh/p"
+			writeRows(t, fs, path, kind, nil, rows)
+			got := readRows(t, fs, path, kind, ScanOptions{Include: []string{"score", "id"}})
+			for i := range rows {
+				if len(got[i]) != 2 {
+					t.Fatalf("row width = %d", len(got[i]))
+				}
+				if got[i][0] != rows[i][2] || got[i][1] != rows[i][0] {
+					t.Fatalf("row %d = %v", i, got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestColumnarFormatsSkipColumnBytes checks the paper's §3 narrative: the
+// columnar formats (RC, ORC) read fewer DFS bytes under projection, while
+// the row formats must read everything.
+func TestColumnarFormatsSkipColumnBytes(t *testing.T) {
+	rows := testRows(20000)
+	bytesRead := map[Kind]int64{}
+	for _, kind := range []Kind{Text, RC, ORC} {
+		fs := dfs.New()
+		path := "/wh/skip"
+		writeRows(t, fs, path, kind, nil, rows)
+		before := fs.Stats().Snapshot()
+		readRows(t, fs, path, kind, ScanOptions{Include: []string{"id"}})
+		total := fs.TotalSize("/wh")
+		read := fs.Stats().Snapshot().Diff(before).BytesRead
+		bytesRead[kind] = read * 100 / total // percent of file size
+	}
+	if bytesRead[Text] < 100 {
+		t.Errorf("TextFile read %d%% of file; projection should not help", bytesRead[Text])
+	}
+	if bytesRead[RC] >= bytesRead[Text] {
+		t.Errorf("RCFile read %d%%, TextFile %d%%; columnar should read less", bytesRead[RC], bytesRead[Text])
+	}
+	if bytesRead[ORC] >= 100 {
+		t.Errorf("ORC read %d%% of file under projection", bytesRead[ORC])
+	}
+}
+
+// TestStorageEfficiencyOrdering checks the Table 2 shape on a miniature
+// dataset: ORC < RCFile < Text, and Snappy shrinks both columnar formats.
+func TestStorageEfficiencyOrdering(t *testing.T) {
+	rows := testRows(20000)
+	size := func(kind Kind, codec compress.Kind) int64 {
+		fs := dfs.New()
+		writeRows(t, fs, "/wh/f", kind, &Options{Compression: codec}, rows)
+		fi, err := fs.Stat("/wh/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size
+	}
+	text := size(Text, compress.None)
+	rc := size(RC, compress.None)
+	rcSnappy := size(RC, compress.Snappy)
+	orcPlain := size(ORC, compress.None)
+	orcSnappy := size(ORC, compress.Snappy)
+	if !(orcPlain < rc && rc < text) {
+		t.Errorf("size ordering violated: orc=%d rc=%d text=%d", orcPlain, rc, text)
+	}
+	if rcSnappy >= rc {
+		t.Errorf("snappy did not shrink RCFile: %d >= %d", rcSnappy, rc)
+	}
+	if orcSnappy >= orcPlain {
+		t.Errorf("snappy did not shrink ORC: %d >= %d", orcSnappy, orcPlain)
+	}
+}
+
+func TestORCPredicatePushdownThroughRegistry(t *testing.T) {
+	rows := testRows(20000)
+	fs := dfs.New()
+	writeRows(t, fs, "/wh/ppd", ORC, &Options{ORCOptions: &orc.WriterOptions{RowIndexStride: 1000}}, rows)
+	sarg := orc.NewSearchArgument(orc.Predicate{Column: "id", Op: orc.PredLT, Literals: []any{int64(500)}})
+	got := readRows(t, fs, "/wh/ppd", ORC, ScanOptions{Include: []string{"id"}, SArg: sarg})
+	if len(got) != 1000 { // one full index group
+		t.Fatalf("read %d rows, want 1000", len(got))
+	}
+}
+
+func TestKindParsing(t *testing.T) {
+	for _, k := range []Kind{Text, Sequence, RC, ORC} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("PARQUET"); err == nil {
+		t.Error("ParseKind accepted unknown format")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	fs := dfs.New()
+	for _, kind := range []Kind{Text, Sequence, RC, ORC} {
+		if _, err := Open(fs, "/missing", testSchema(), kind, ScanOptions{}); err == nil {
+			t.Errorf("%s: Open succeeded on missing file", kind)
+		}
+	}
+}
+
+func TestFormatMagicMismatch(t *testing.T) {
+	fs := dfs.New()
+	writeRows(t, fs, "/wh/rc", RC, nil, testRows(10))
+	if _, err := Open(fs, "/wh/rc", testSchema(), Sequence, ScanOptions{}); err == nil {
+		t.Error("sequence reader accepted RC file")
+	}
+	if _, err := Open(fs, "/wh/rc", testSchema(), ORC, ScanOptions{}); err == nil {
+		t.Error("ORC reader accepted RC file")
+	}
+}
+
+func TestEmptyFiles(t *testing.T) {
+	for _, kind := range []Kind{Text, Sequence, RC, ORC} {
+		fs := dfs.New()
+		writeRows(t, fs, "/wh/empty", kind, nil, nil)
+		got := readRows(t, fs, "/wh/empty", kind, ScanOptions{})
+		if len(got) != 0 {
+			t.Errorf("%s: read %d rows from empty file", kind, len(got))
+		}
+	}
+}
+
+func TestTextRejectsCompression(t *testing.T) {
+	fs := dfs.New()
+	if _, err := Create(fs, "/wh/t", testSchema(), Text, &Options{Compression: compress.Zlib}); err == nil {
+		t.Error("text writer accepted compression")
+	}
+}

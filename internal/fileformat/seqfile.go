@@ -1,0 +1,214 @@
+// seqfile.go implements SequenceFile (§3): a flat file of binary key/value
+// records. The key is the record number; the value is the text-SerDe
+// rendering of the row. Like Hadoop's block-compressed SequenceFile, rows
+// are batched into blocks and each block's value bytes are compressed with
+// the configured codec.
+package fileformat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+	"repro/internal/dfs"
+	"repro/internal/serde"
+	"repro/internal/types"
+)
+
+const (
+	seqMagic     = "SEQG"
+	seqBlockRows = 1000
+)
+
+type seqWriter struct {
+	f      *dfs.FileWriter
+	serde  serde.TextSerDe
+	codec  compress.Codec
+	ckind  compress.Kind
+	rowNum int64
+	// Current block.
+	keys   []byte
+	values []byte
+	n      int
+}
+
+func newSeqWriter(f *dfs.FileWriter, schema *types.Schema, opts *Options) (Writer, error) {
+	codec, err := compress.ForKind(opts.Compression)
+	if err != nil {
+		return nil, err
+	}
+	w := &seqWriter{f: f, serde: serde.TextSerDe{Schema: schema}, codec: codec, ckind: opts.Compression}
+	header := append([]byte(seqMagic), byte(opts.Compression))
+	if _, err := f.Write(header); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *seqWriter) Write(row types.Row) error {
+	val, err := w.serde.Serialize(row)
+	if err != nil {
+		return err
+	}
+	w.keys = binary.AppendUvarint(w.keys, uint64(w.rowNum))
+	w.rowNum++
+	w.values = binary.AppendUvarint(w.values, uint64(len(val)))
+	w.values = append(w.values, val...)
+	w.n++
+	if w.n >= seqBlockRows {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *seqWriter) flushBlock() error {
+	if w.n == 0 {
+		return nil
+	}
+	stored := w.values
+	rawLen := len(w.values)
+	if w.codec != nil {
+		var err error
+		stored, err = w.codec.Compress(nil, w.values)
+		if err != nil {
+			return err
+		}
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(w.n))
+	hdr = binary.AppendUvarint(hdr, uint64(len(w.keys)))
+	hdr = binary.AppendUvarint(hdr, uint64(rawLen))
+	hdr = binary.AppendUvarint(hdr, uint64(len(stored)))
+	for _, part := range [][]byte{hdr, w.keys, stored} {
+		if _, err := w.f.Write(part); err != nil {
+			return err
+		}
+	}
+	w.keys = w.keys[:0]
+	w.values = w.values[:0]
+	w.n = 0
+	return nil
+}
+
+func (w *seqWriter) Close() error {
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+type seqReader struct {
+	f     *dfs.FileReader
+	serde serde.TextSerDe
+	codec compress.Codec
+	proj  projection
+	// Current block.
+	values []byte
+	pos    int
+	left   int
+}
+
+func newSeqReader(f *dfs.FileReader, schema *types.Schema, scan ScanOptions) (Reader, error) {
+	proj, err := newProjection(schema, scan.Include)
+	if err != nil {
+		return nil, err
+	}
+	header := make([]byte, len(seqMagic)+1)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("seqfile: reading header: %w", err)
+	}
+	if string(header[:len(seqMagic)]) != seqMagic {
+		return nil, fmt.Errorf("seqfile: bad magic %q", header[:len(seqMagic)])
+	}
+	codec, err := compress.ForKind(compress.Kind(header[len(seqMagic)]))
+	if err != nil {
+		return nil, err
+	}
+	return &seqReader{f: f, serde: serde.TextSerDe{Schema: schema}, codec: codec, proj: proj}, nil
+}
+
+func (r *seqReader) Next() (types.Row, error) {
+	for r.left == 0 {
+		if err := r.readBlock(); err != nil {
+			return nil, err
+		}
+	}
+	n, m := binary.Uvarint(r.values[r.pos:])
+	if m <= 0 {
+		return nil, fmt.Errorf("seqfile: corrupt value length")
+	}
+	r.pos += m
+	if r.pos+int(n) > len(r.values) {
+		return nil, fmt.Errorf("seqfile: truncated value")
+	}
+	line := r.values[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	r.left--
+	row, err := r.serde.Deserialize(line)
+	if err != nil {
+		return nil, err
+	}
+	return r.proj.apply(row), nil
+}
+
+func (r *seqReader) readBlock() error {
+	var hdr [4]uint64
+	for i := range hdr {
+		v, err := readUvarint(r.f)
+		if err != nil {
+			if i == 0 && err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("seqfile: reading block header: %w", err)
+		}
+		hdr[i] = v
+	}
+	numRows, keyLen, rawLen, storedLen := hdr[0], hdr[1], hdr[2], hdr[3]
+	// Keys carry only record numbers; skip them.
+	if _, err := r.f.Seek(int64(keyLen), io.SeekCurrent); err != nil {
+		return err
+	}
+	stored := make([]byte, storedLen)
+	if _, err := io.ReadFull(r.f, stored); err != nil {
+		return fmt.Errorf("seqfile: reading block: %w", err)
+	}
+	if r.codec != nil {
+		raw, err := r.codec.Decompress(nil, stored, int(rawLen))
+		if err != nil {
+			return err
+		}
+		r.values = raw
+	} else {
+		r.values = stored
+	}
+	r.pos = 0
+	r.left = int(numRows)
+	return nil
+}
+
+func (r *seqReader) Close() error { return nil }
+
+// readUvarint reads a uvarint byte by byte from a sequential reader.
+func readUvarint(f io.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	var buf [1]byte
+	for i := 0; ; i++ {
+		if _, err := f.Read(buf[:]); err != nil {
+			if i == 0 {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		b := buf[0]
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s > 63 {
+			return 0, fmt.Errorf("uvarint overflow")
+		}
+	}
+}

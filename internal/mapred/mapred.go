@@ -1,0 +1,305 @@
+// Package mapred is an in-process MapReduce engine standing in for Hadoop
+// MapReduce (paper §2). It preserves the execution-model properties the
+// paper's advancements interact with:
+//
+//   - map tasks are scheduled one per input split and push one record at a
+//     time into the consumer (the push-based model the Correlation
+//     Optimizer must coordinate with, §5.2.2);
+//   - a sort-merge shuffle partitions, sorts and groups serialized
+//     key/value records between the phases, so every extra MapReduce job
+//     pays real serialization, sorting and materialization costs;
+//   - every job pays a configurable launch overhead, making unnecessary
+//     Map-only jobs measurably expensive (§5.1, Figure 11);
+//   - per-task execution time is accumulated into cumulative CPU counters,
+//     the quantity Figure 12(b) reports.
+package mapred
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShuffleRecord is one record emitted by a map task toward the shuffle.
+// Key bytes determine partitioning, sorting and grouping; Tag identifies
+// the emitting ReduceSink so the reduce side can tell input sources apart
+// (paper §5.2.2's tags).
+type ShuffleRecord struct {
+	Key   []byte
+	Tag   int
+	Value []byte
+}
+
+// Collector receives map-task output.
+type Collector interface {
+	// Collect routes a record to the reducer partition.
+	Collect(partition int, rec ShuffleRecord) error
+}
+
+// Group is one reduce-side key group: all records sharing a key, sorted by
+// tag (and stably by arrival within a tag).
+type Group struct {
+	Key     []byte
+	Records []ShuffleRecord
+}
+
+// TaskContext identifies the running task and exposes its node for
+// locality-aware reads.
+type TaskContext struct {
+	JobName string
+	TaskID  int
+	Node    int
+	Reduce  bool
+}
+
+// Job describes one MapReduce job. Reduces may be zero (a Map-only job,
+// §5.1) in which case MapFunc output must go through side effects (e.g. a
+// FileSink writing DFS files) and Collect must not be called.
+type Job struct {
+	Name string
+	// Splits carry opaque per-map-task input descriptors; one map task
+	// runs per split.
+	Splits []any
+	// NumReduces is the reducer count; zero means map-only.
+	NumReduces int
+	// MapFunc processes one split, emitting shuffle records via out (nil
+	// for map-only jobs).
+	MapFunc func(tc *TaskContext, split any, out Collector) error
+	// ReduceFunc consumes key groups in key order; nil for map-only jobs.
+	ReduceFunc func(tc *TaskContext, groups func() (*Group, bool)) error
+	// ChainedLaunch marks a stage that reuses the containers of a prior
+	// stage in the same DAG (Tez-style execution): no per-job launch
+	// overhead is charged.
+	ChainedLaunch bool
+}
+
+// Counters aggregates engine activity across jobs; all fields are
+// cumulative.
+type Counters struct {
+	Jobs           atomic.Int64
+	MapTasks       atomic.Int64
+	ReduceTasks    atomic.Int64
+	ShuffleRecords atomic.Int64
+	ShuffleBytes   atomic.Int64
+	MapCPU         atomic.Int64 // nanoseconds summed over map tasks
+	ReduceCPU      atomic.Int64 // nanoseconds summed over reduce tasks
+	LaunchOverhead atomic.Int64 // nanoseconds of simulated job/task launch cost
+}
+
+// CountersSnapshot is an immutable copy of Counters.
+type CountersSnapshot struct {
+	Jobs           int64
+	MapTasks       int64
+	ReduceTasks    int64
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	MapCPU         time.Duration
+	ReduceCPU      time.Duration
+	LaunchOverhead time.Duration
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Jobs:           c.Jobs.Load(),
+		MapTasks:       c.MapTasks.Load(),
+		ReduceTasks:    c.ReduceTasks.Load(),
+		ShuffleRecords: c.ShuffleRecords.Load(),
+		ShuffleBytes:   c.ShuffleBytes.Load(),
+		MapCPU:         time.Duration(c.MapCPU.Load()),
+		ReduceCPU:      time.Duration(c.ReduceCPU.Load()),
+		LaunchOverhead: time.Duration(c.LaunchOverhead.Load()),
+	}
+}
+
+// Diff subtracts an earlier snapshot.
+func (s CountersSnapshot) Diff(earlier CountersSnapshot) CountersSnapshot {
+	return CountersSnapshot{
+		Jobs:           s.Jobs - earlier.Jobs,
+		MapTasks:       s.MapTasks - earlier.MapTasks,
+		ReduceTasks:    s.ReduceTasks - earlier.ReduceTasks,
+		ShuffleRecords: s.ShuffleRecords - earlier.ShuffleRecords,
+		ShuffleBytes:   s.ShuffleBytes - earlier.ShuffleBytes,
+		MapCPU:         s.MapCPU - earlier.MapCPU,
+		ReduceCPU:      s.ReduceCPU - earlier.ReduceCPU,
+		LaunchOverhead: s.LaunchOverhead - earlier.LaunchOverhead,
+	}
+}
+
+// CumulativeCPU is the total task time, the Figure 12(b) metric.
+func (s CountersSnapshot) CumulativeCPU() time.Duration { return s.MapCPU + s.ReduceCPU }
+
+// Config tunes the engine.
+type Config struct {
+	// Slots bounds concurrently running tasks (the paper's cluster ran
+	// 3 tasks per node on 10 nodes). Default 4.
+	Slots int
+	// NumNodes is the simulated cluster width used to spread tasks for
+	// locality accounting. Default 10.
+	NumNodes int
+	// JobLaunchOverhead is the accounted per-job startup cost
+	// (JVM/scheduler latency on a real cluster). It is added to counters,
+	// not slept. Default 0.
+	JobLaunchOverhead time.Duration
+	// TaskLaunchOverhead is the accounted per-task startup cost.
+	TaskLaunchOverhead time.Duration
+}
+
+// Engine runs jobs.
+type Engine struct {
+	cfg      Config
+	counters Counters
+}
+
+// NewEngine creates an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	if cfg.NumNodes <= 0 {
+		cfg.NumNodes = 10
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Counters exposes the engine's cumulative counters.
+func (e *Engine) Counters() *Counters { return &e.counters }
+
+// partitionedBuffer collects map output for one reducer partition.
+type partitionedBuffer struct {
+	mu   sync.Mutex
+	recs []ShuffleRecord
+}
+
+type collector struct {
+	e     *Engine
+	parts []*partitionedBuffer
+}
+
+func (c *collector) Collect(partition int, rec ShuffleRecord) error {
+	if len(c.parts) == 0 {
+		return fmt.Errorf("mapred: Collect called in a map-only job")
+	}
+	if partition < 0 || partition >= len(c.parts) {
+		return fmt.Errorf("mapred: partition %d out of range [0,%d)", partition, len(c.parts))
+	}
+	c.e.counters.ShuffleRecords.Add(1)
+	c.e.counters.ShuffleBytes.Add(int64(len(rec.Key) + len(rec.Value) + 8))
+	p := c.parts[partition]
+	p.mu.Lock()
+	p.recs = append(p.recs, rec)
+	p.mu.Unlock()
+	return nil
+}
+
+// Partition is the default hash partitioner over key bytes.
+func Partition(key []byte, numReduces int) int {
+	var h uint32 = 2166136261
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(numReduces))
+}
+
+// Run executes one job to completion: all map tasks, then (as the paper's
+// setup configures Hadoop, §7.1: "the Reduce phase starts after the entire
+// Map phase has finished") the shuffle sort and all reduce tasks.
+func (e *Engine) Run(job *Job) error {
+	e.counters.Jobs.Add(1)
+	if !job.ChainedLaunch {
+		e.counters.LaunchOverhead.Add(int64(e.cfg.JobLaunchOverhead))
+	}
+	if job.NumReduces > 0 && job.ReduceFunc == nil {
+		return fmt.Errorf("mapred: job %s has reducers but no ReduceFunc", job.Name)
+	}
+	if job.NumReduces == 0 && job.ReduceFunc != nil {
+		return fmt.Errorf("mapred: map-only job %s has a ReduceFunc", job.Name)
+	}
+
+	out := &collector{e: e}
+	for i := 0; i < job.NumReduces; i++ {
+		out.parts = append(out.parts, &partitionedBuffer{})
+	}
+
+	// Map phase.
+	if err := e.runTasks(len(job.Splits), func(i, node int) error {
+		tc := &TaskContext{JobName: job.Name, TaskID: i, Node: node}
+		start := time.Now()
+		err := job.MapFunc(tc, job.Splits[i], out)
+		e.counters.MapCPU.Add(int64(time.Since(start)))
+		e.counters.MapTasks.Add(1)
+		return err
+	}); err != nil {
+		return fmt.Errorf("mapred: job %s map phase: %w", job.Name, err)
+	}
+	if job.NumReduces == 0 {
+		return nil
+	}
+
+	// Reduce phase: sort each partition by (key, tag), group by key, and
+	// push groups to the reducer.
+	return e.runTasks(job.NumReduces, func(i, node int) error {
+		tc := &TaskContext{JobName: job.Name, TaskID: i, Node: node, Reduce: true}
+		start := time.Now()
+		err := e.reduceTask(tc, job, out.parts[i])
+		e.counters.ReduceCPU.Add(int64(time.Since(start)))
+		e.counters.ReduceTasks.Add(1)
+		return err
+	})
+}
+
+func (e *Engine) reduceTask(tc *TaskContext, job *Job, part *partitionedBuffer) error {
+	recs := part.recs
+	sort.SliceStable(recs, func(a, b int) bool {
+		if c := bytes.Compare(recs[a].Key, recs[b].Key); c != 0 {
+			return c < 0
+		}
+		return recs[a].Tag < recs[b].Tag
+	})
+	pos := 0
+	next := func() (*Group, bool) {
+		if pos >= len(recs) {
+			return nil, false
+		}
+		start := pos
+		key := recs[start].Key
+		for pos < len(recs) && bytes.Equal(recs[pos].Key, key) {
+			pos++
+		}
+		return &Group{Key: key, Records: recs[start:pos]}, true
+	}
+	return job.ReduceFunc(tc, next)
+}
+
+// runTasks executes n tasks with the configured slot bound, spreading them
+// round-robin over simulated nodes. The first error aborts the phase.
+func (e *Engine) runTasks(n int, run func(task, node int) error) error {
+	if n == 0 {
+		return nil
+	}
+	e.counters.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead) * int64(n))
+	slots := make(chan struct{}, e.cfg.Slots)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			errs <- run(i, i%e.cfg.NumNodes)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

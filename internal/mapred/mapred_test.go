@@ -1,0 +1,257 @@
+package mapred
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWordCount runs the canonical MapReduce program end to end.
+func TestWordCount(t *testing.T) {
+	docs := []any{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog jumps",
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+	job := &Job{
+		Name:       "wordcount",
+		Splits:     docs,
+		NumReduces: 3,
+		MapFunc: func(tc *TaskContext, split any, out Collector) error {
+			for _, w := range strings.Fields(split.(string)) {
+				key := []byte(w)
+				if err := out.Collect(Partition(key, 3), ShuffleRecord{Key: key, Value: []byte{1}}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ReduceFunc: func(tc *TaskContext, groups func() (*Group, bool)) error {
+			for {
+				g, ok := groups()
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				counts[string(g.Key)] += len(g.Records)
+				mu.Unlock()
+			}
+		},
+	}
+	e := NewEngine(Config{Slots: 2})
+	if err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2, "jumps": 1}
+	for w, n := range want {
+		if counts[w] != n {
+			t.Errorf("count[%s] = %d, want %d", w, counts[w], n)
+		}
+	}
+	s := e.Counters().Snapshot()
+	if s.Jobs != 1 || s.MapTasks != 3 || s.ReduceTasks != 3 {
+		t.Errorf("counters = %+v", s)
+	}
+	if s.ShuffleRecords != 11 {
+		t.Errorf("shuffle records = %d, want 11", s.ShuffleRecords)
+	}
+}
+
+// TestGroupOrdering verifies reducers see groups in key order and records
+// within a group sorted by tag — the invariants Hive's reduce-side join and
+// the Correlation Optimizer's Demux rely on.
+func TestGroupOrdering(t *testing.T) {
+	var keys []string
+	var tagOrders [][]int
+	job := &Job{
+		Name:       "ordering",
+		Splits:     []any{0, 1},
+		NumReduces: 1,
+		MapFunc: func(tc *TaskContext, split any, out Collector) error {
+			i := split.(int)
+			// Two mappers emit interleaved tags for the same keys.
+			for _, k := range []string{"b", "a", "c"} {
+				rec := ShuffleRecord{Key: []byte(k), Tag: 1 - i, Value: []byte{byte(i)}}
+				if err := out.Collect(0, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ReduceFunc: func(tc *TaskContext, groups func() (*Group, bool)) error {
+			for {
+				g, ok := groups()
+				if !ok {
+					return nil
+				}
+				keys = append(keys, string(g.Key))
+				var tags []int
+				for _, r := range g.Records {
+					tags = append(tags, r.Tag)
+				}
+				tagOrders = append(tagOrders, tags)
+			}
+		},
+	}
+	e := NewEngine(Config{Slots: 1})
+	if err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(keys, "") != "abc" {
+		t.Errorf("group key order = %v", keys)
+	}
+	for i, tags := range tagOrders {
+		if len(tags) != 2 || tags[0] != 0 || tags[1] != 1 {
+			t.Errorf("group %d tags = %v, want [0 1]", i, tags)
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	job := &Job{
+		Name:   "maponly",
+		Splits: []any{1, 2, 3, 4},
+		MapFunc: func(tc *TaskContext, split any, out Collector) error {
+			mu.Lock()
+			seen = append(seen, split.(int))
+			mu.Unlock()
+			return nil
+		},
+	}
+	e := NewEngine(Config{})
+	if err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("map-only job ran %d tasks", len(seen))
+	}
+	if e.Counters().Snapshot().ReduceTasks != 0 {
+		t.Error("map-only job ran reducers")
+	}
+}
+
+func TestMapOnlyCollectRejected(t *testing.T) {
+	job := &Job{
+		Name:   "bad",
+		Splits: []any{1},
+		MapFunc: func(tc *TaskContext, split any, out Collector) error {
+			return out.Collect(0, ShuffleRecord{Key: []byte("k")})
+		},
+	}
+	if err := NewEngine(Config{}).Run(job); err == nil {
+		t.Fatal("Collect in map-only job succeeded")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e := NewEngine(Config{})
+	if err := e.Run(&Job{Name: "r-no-f", NumReduces: 1, MapFunc: func(*TaskContext, any, Collector) error { return nil }}); err == nil {
+		t.Error("job with reducers but no ReduceFunc accepted")
+	}
+	if err := e.Run(&Job{Name: "f-no-r", ReduceFunc: func(*TaskContext, func() (*Group, bool)) error { return nil }, MapFunc: func(*TaskContext, any, Collector) error { return nil }}); err == nil {
+		t.Error("map-only job with ReduceFunc accepted")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	job := &Job{
+		Name:   "failing",
+		Splits: []any{1, 2, 3},
+		MapFunc: func(tc *TaskContext, split any, out Collector) error {
+			if split.(int) == 2 {
+				return fmt.Errorf("boom")
+			}
+			return nil
+		},
+	}
+	err := NewEngine(Config{}).Run(job)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPartitioningIsDeterministicAndComplete(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		hit := make([]bool, n)
+		for i := 0; i < 1000; i++ {
+			key := binary.AppendVarint(nil, int64(i))
+			p := Partition(key, n)
+			if p < 0 || p >= n {
+				t.Fatalf("partition %d out of range", p)
+			}
+			if p != Partition(key, n) {
+				t.Fatal("partition not deterministic")
+			}
+			hit[p] = true
+		}
+		for p, ok := range hit {
+			if !ok {
+				t.Errorf("n=%d: partition %d never used", n, p)
+			}
+		}
+	}
+}
+
+func TestLaunchOverheadAccounting(t *testing.T) {
+	e := NewEngine(Config{JobLaunchOverhead: 100 * time.Millisecond, TaskLaunchOverhead: 10 * time.Millisecond})
+	job := &Job{
+		Name:    "overhead",
+		Splits:  []any{1, 2},
+		MapFunc: func(*TaskContext, any, Collector) error { return nil },
+	}
+	start := time.Now()
+	if err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > 50*time.Millisecond {
+		t.Errorf("overhead slept for real (%v); it must only be accounted", real)
+	}
+	s := e.Counters().Snapshot()
+	want := 100*time.Millisecond + 2*10*time.Millisecond
+	if s.LaunchOverhead != want {
+		t.Errorf("LaunchOverhead = %v, want %v", s.LaunchOverhead, want)
+	}
+}
+
+func TestShuffleSortIsStableWithinTag(t *testing.T) {
+	var got []byte
+	job := &Job{
+		Name:       "stable",
+		Splits:     []any{0},
+		NumReduces: 1,
+		MapFunc: func(tc *TaskContext, split any, out Collector) error {
+			for i := 0; i < 10; i++ {
+				rec := ShuffleRecord{Key: []byte("k"), Tag: 0, Value: []byte{byte(i)}}
+				if err := out.Collect(0, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ReduceFunc: func(tc *TaskContext, groups func() (*Group, bool)) error {
+			for {
+				g, ok := groups()
+				if !ok {
+					return nil
+				}
+				for _, r := range g.Records {
+					got = append(got, r.Value[0])
+				}
+			}
+		},
+	}
+	if err := NewEngine(Config{Slots: 1}).Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Errorf("within-tag order not preserved: %v", got)
+	}
+}

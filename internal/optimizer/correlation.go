@@ -1,0 +1,515 @@
+// correlation.go implements the Correlation Optimizer (§5.2), based on
+// YSmart's correlation-aware optimization. It detects input correlations
+// (one table consumed by ReduceSinks of several jobs) and job-flow
+// correlations (a downstream major operator re-partitioning data the same
+// way its upstream already did), merges the correlated shuffles into one,
+// and rewires the reduce side with Demux/Mux operators so the single
+// shuffle feeds every major operator with its original tags (Figure 5).
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// CorrelationOptimize rewrites the plan in place.
+func CorrelationOptimize(p *plan.Plan) error {
+	// Iterate until no more correlations are found; each transformation
+	// can expose another (e.g. after merging a GBY into a join's reduce
+	// phase, that phase may correlate further up).
+	for i := 0; i < 16; i++ {
+		c := detectCorrelation(p)
+		if c == nil {
+			return nil
+		}
+		if err := transformCorrelation(p, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// correlation is one discovered opportunity: a downstream shuffle group and
+// the correlated upstream ReduceSinks that become unnecessary.
+type correlation struct {
+	// consumer is the downstream major operator (Join or GroupBy) whose
+	// shuffle anchors the correlation.
+	consumer plan.Node
+	// bottoms are the ReduceSinks that stay (re-tagged) and feed the
+	// merged shuffle.
+	bottoms []*plan.ReduceSink
+	// unnecessary are the ReduceSinks removed from inside the merged
+	// reduce phase, in discovery order; each maps to the major operator
+	// chain it fed.
+	unnecessary []*plan.ReduceSink
+}
+
+// detectCorrelation walks from the sinks to find one correlation, exactly
+// as §5.2.2 describes: depth-first from FileSinks, stopping at ReduceSinks,
+// then searching those RSOps' upstreams for correlated RSOps.
+func detectCorrelation(p *plan.Plan) *correlation {
+	seen := map[plan.Node]bool{}
+	var search func(n plan.Node) *correlation
+	search = func(n plan.Node) *correlation {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		if rs, ok := n.(*plan.ReduceSink); ok {
+			// Anchor: this RS and its siblings into the same consumer.
+			consumer := rs.Children[0]
+			group := rsParents(consumer)
+			if len(group) > 0 {
+				if c := findCorrelated(consumer, group); c != nil {
+					return c
+				}
+			}
+			// Keep searching above this shuffle.
+			for _, parent := range n.Base().Parents {
+				if c := search(parent); c != nil {
+					return c
+				}
+			}
+			return nil
+		}
+		for _, parent := range n.Base().Parents {
+			if c := search(parent); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+	for _, sink := range p.Sinks {
+		if c := search(sink); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// rsParents returns the consumer's parents when they are all ReduceSinks.
+func rsParents(consumer plan.Node) []*plan.ReduceSink {
+	var out []*plan.ReduceSink
+	for _, parent := range consumer.Base().Parents {
+		rs, ok := parent.(*plan.ReduceSink)
+		if !ok {
+			return nil
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// findCorrelated looks above each RS of the anchor group for correlated
+// upstream RSOps (the paper's three conditions: same sort order — all our
+// sinks sort ascending by key; same partitioning — key lineage matches; no
+// reducer-count conflict). A downstream RS whose keys trace to a correlated
+// upstream shuffle is unnecessary: its consumer can run in the upstream
+// shuffle's reduce phase. Intermediate RSOps along a multi-level chain are
+// unnecessary too; only the furthest upstream shuffles survive.
+//
+// When an RS is absorbed, the sibling RSOps feeding the phases it pulled in
+// are explored too, so one correlation can swallow a whole chain of jobs —
+// the paper's running example finds a single correlation with six RSOps.
+func findCorrelated(consumer plan.Node, group []*plan.ReduceSink) *correlation {
+	if _, isDemux := consumer.(*plan.Demux); isDemux {
+		return nil // already merged by an earlier transformation
+	}
+	removed := map[*plan.ReduceSink]bool{}
+	visited := map[*plan.ReduceSink]bool{}
+	var expand func(rs *plan.ReduceSink)
+	var expandSiblings func(n plan.Node)
+	seenNodes := map[plan.Node]bool{}
+	expandSiblings = func(n plan.Node) {
+		if seenNodes[n] {
+			return
+		}
+		seenNodes[n] = true
+		for _, parent := range n.Base().Parents {
+			if rs, ok := parent.(*plan.ReduceSink); ok {
+				expand(rs)
+			} else {
+				expandSiblings(parent)
+			}
+		}
+	}
+	expand = func(rs *plan.ReduceSink) {
+		if visited[rs] {
+			return
+		}
+		visited[rs] = true
+		chain := correlatedUpstreams(rs)
+		if len(chain) == 0 {
+			return // stays as a bottom-layer sink
+		}
+		interior := append([]*plan.ReduceSink{rs}, chain[:len(chain)-1]...)
+		for _, u := range interior {
+			removed[u] = true
+		}
+		// The furthest upstream link survives but may have further
+		// correlated siblings feeding its phase.
+		visited[chain[len(chain)-1]] = true
+		for _, u := range interior {
+			expandSiblings(u.Parents[0])
+		}
+	}
+	for _, rs := range group {
+		expand(rs)
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	c := &correlation{consumer: consumer}
+	for rs := range removed {
+		c.unnecessary = append(c.unnecessary, rs)
+	}
+	return c
+}
+
+// correlatedUpstreams finds, for a downstream RS, the furthest correlated
+// upstream RSOps by tracing the downstream keys through the intermediate
+// operators (the recursive search of §5.2.2).
+func correlatedUpstreams(rs *plan.ReduceSink) []*plan.ReduceSink {
+	if rs.SortDesc != nil {
+		// Order-by sinks impose a total order; never merged.
+		return nil
+	}
+	// Each downstream key must be a pass-through of the upstream shuffle
+	// keys, in order.
+	srcs := make([]lineage, len(rs.Keys))
+	for i, k := range rs.Keys {
+		col, ok := k.(*plan.ColExpr)
+		if !ok {
+			return nil
+		}
+		srcs[i] = lineage{node: rs.Parents[0], col: col.Idx}
+	}
+	return traceToUpstreamRS(srcs, rs)
+}
+
+// lineage identifies a column position at a node's output.
+type lineage struct {
+	node plan.Node
+	col  int
+}
+
+// traceToUpstreamRS walks the key lineages upward in lockstep. If every key
+// traces through the same operator path to the keys of one upstream
+// ReduceSink (position-for-position), that RS is correlated; the search
+// then continues above it.
+func traceToUpstreamRS(keys []lineage, downstream *plan.ReduceSink) []*plan.ReduceSink {
+	if len(keys) == 0 {
+		return nil
+	}
+	node := keys[0].node
+	for _, k := range keys {
+		if k.node != node {
+			return nil
+		}
+	}
+	switch t := node.(type) {
+	case *plan.ReduceSink:
+		// Reached a shuffle. Correlated iff (1) it sorts the same way
+		// (ascending, no order-by), (2) it partitions the same way: the
+		// downstream key i traces exactly to the column upstream key i
+		// reads, and (3) reducer counts do not conflict.
+		if t.SortDesc != nil || len(t.Keys) != len(keys) {
+			return nil
+		}
+		// An RS passes rows through unchanged, so compare against the
+		// key expressions' source columns directly.
+		for i := range keys {
+			col, ok := t.Keys[i].(*plan.ColExpr)
+			if !ok || col.Idx != keys[i].col {
+				return nil
+			}
+		}
+		if t.NumReducers != downstream.NumReducers {
+			return nil
+		}
+		// Found one. Search further above it (the paper's recursive
+		// "furthest correlated upstream" search).
+		further := traceAbove(t)
+		return append([]*plan.ReduceSink{t}, further...)
+	case *plan.Filter:
+		next := make([]lineage, len(keys))
+		for i, k := range keys {
+			next[i] = lineage{node: t.Parents[0], col: k.col}
+		}
+		return traceToUpstreamRS(next, downstream)
+	case *plan.Select:
+		next := make([]lineage, len(keys))
+		for i, k := range keys {
+			col, ok := t.Exprs[k.col].(*plan.ColExpr)
+			if !ok {
+				return nil
+			}
+			next[i] = lineage{node: t.Parents[0], col: col.Idx}
+		}
+		return traceToUpstreamRS(next, downstream)
+	case *plan.GroupBy:
+		// Final/Complete group-by output: leading columns are the keys.
+		if t.Mode == plan.GBYPartial {
+			return nil
+		}
+		for _, k := range keys {
+			if k.col >= len(t.Keys) {
+				return nil
+			}
+		}
+		next := make([]lineage, len(keys))
+		for i, k := range keys {
+			keyExpr, ok := t.Keys[k.col].(*plan.ColExpr)
+			if !ok {
+				return nil
+			}
+			next[i] = lineage{node: t.Parents[0], col: keyExpr.Idx}
+		}
+		return traceToUpstreamRS(next, downstream)
+	case *plan.Join:
+		// A join output column maps into one input side.
+		width0 := t.Parents[0].Schema().Width()
+		side := 0
+		for _, k := range keys {
+			s := 0
+			if k.col >= width0 {
+				s = 1
+			}
+			if k != keys[0] && s != side {
+				return nil
+			}
+			side = s
+		}
+		next := make([]lineage, len(keys))
+		for i, k := range keys {
+			col := k.col
+			if side == 1 {
+				col -= width0
+			}
+			next[i] = lineage{node: t.Parents[side], col: col}
+		}
+		return traceToUpstreamRS(next, downstream)
+	}
+	return nil
+}
+
+// traceAbove continues the correlated search above a discovered upstream
+// RS: its own keys trace further up (e.g. a chain of same-key shuffles).
+func traceAbove(rs *plan.ReduceSink) []*plan.ReduceSink {
+	keys := make([]lineage, len(rs.Keys))
+	for i, k := range rs.Keys {
+		col, ok := k.(*plan.ColExpr)
+		if !ok {
+			return nil
+		}
+		keys[i] = lineage{node: rs.Parents[0], col: col.Idx}
+	}
+	return traceToUpstreamRS(keys, rs)
+}
+
+// transformCorrelation merges the correlated shuffles (Figure 5): the
+// unnecessary RSOps are removed, the surviving bottom-layer RSOps are
+// re-tagged, a Demux dispatches rows by new tag, and each major operator
+// that now receives rows from inside the reduce phase gets a Mux parent.
+func transformCorrelation(p *plan.Plan, c *correlation) error {
+	// Gather the full set of major consumers inside the merged reduce
+	// phase and every bottom-layer RS feeding it. Bottom-layer RSOps are:
+	// the anchor group minus unnecessary ones, plus the RSOps feeding
+	// each unnecessary RS's upstream consumer.
+	removed := map[*plan.ReduceSink]bool{}
+	for _, u := range c.unnecessary {
+		removed[u] = true
+	}
+
+	type entry struct {
+		rs       *plan.ReduceSink
+		consumer plan.Node // major operator the rows target
+		oldTag   int
+	}
+	var entries []entry
+	seenRS := map[*plan.ReduceSink]bool{}
+	var collect func(consumer plan.Node)
+	collect = func(consumer plan.Node) {
+		for _, parent := range consumer.Base().Parents {
+			rs, ok := parent.(*plan.ReduceSink)
+			if !ok {
+				continue
+			}
+			if removed[rs] {
+				// Recurse into the upstream phase this RS fed from.
+				collect(rs) // rs's parents chain contains the upstream consumer
+				continue
+			}
+			if !seenRS[rs] {
+				seenRS[rs] = true
+				entries = append(entries, entry{rs: rs, consumer: consumer, oldTag: rs.Tag})
+			}
+		}
+		// Walk up through non-RS operators to find nested shuffles (the
+		// chain between the consumer and a removed RS may contain
+		// Select/Filter/GroupBy).
+		for _, parent := range consumer.Base().Parents {
+			if _, ok := parent.(*plan.ReduceSink); !ok {
+				collect(parent)
+			}
+		}
+	}
+	collect(c.consumer)
+	if len(entries) == 0 {
+		return fmt.Errorf("optimizer: correlation with no bottom-layer sinks")
+	}
+
+	// Uniform reducer count for the merged shuffle.
+	numReducers := 0
+	for _, e := range entries {
+		if e.rs.NumReducers > numReducers {
+			numReducers = e.rs.NumReducers
+		}
+	}
+
+	// Re-tag bottom RSOps and build the Demux dispatch tables.
+	demux := p.NewNode(&plan.Demux{}).(*plan.Demux)
+	demux.Out = c.consumer.Schema() // heterogenous; schema unused at runtime
+
+	// For each removed RS: its child chain now hangs under the merged
+	// reduce phase; each major op fed from inside needs a Mux.
+	// First remove the unnecessary RSOps by splicing them out: their
+	// parent (the upstream in-phase operator chain) connects directly to
+	// their child consumer via a Mux.
+	muxFor := map[plan.Node]*plan.Mux{} // consumer -> its mux
+	getMux := func(consumer plan.Node) *plan.Mux {
+		if m, ok := muxFor[consumer]; ok {
+			return m
+		}
+		m := p.NewNode(&plan.Mux{}).(*plan.Mux)
+		m.Out = consumer.Schema()
+		// Splice the mux between the consumer and all its current
+		// parents: the demux (added below) and any in-phase producers.
+		muxFor[consumer] = m
+		return m
+	}
+
+	for _, u := range c.unnecessary {
+		consumer := u.Children[0]
+		producer := u.Parents[0]
+		oldTag := u.Tag
+		plan.Disconnect(producer, u)
+		plan.Disconnect(u, consumer)
+		m := getMux(consumer)
+		plan.Connect(producer, m)
+		m.ParentTags = append(m.ParentTags, oldTag)
+		if !nodeConnected(m, consumer) {
+			plan.Connect(m, consumer)
+		}
+	}
+
+	// Wire bottom RSOps into the demux with new tags; demux dispatches to
+	// the consumer's mux (or directly to the consumer when no mux).
+	for newTag, e := range entries {
+		e.rs.Tag = newTag
+		e.rs.NumReducers = numReducers
+		plan.Disconnect(e.rs, e.consumer)
+		plan.Connect(e.rs, demux)
+
+		target := e.consumer
+		if m, ok := muxFor[e.consumer]; ok {
+			target = m
+		}
+		childIdx := -1
+		for i, ch := range demux.Children {
+			if ch == target {
+				childIdx = i
+				break
+			}
+		}
+		if childIdx < 0 {
+			childIdx = len(demux.Children)
+			plan.Connect(demux, target)
+			if m, ok := target.(*plan.Mux); ok {
+				// The demux edge passes old tags through.
+				m.ParentTags = append([]int{-1}, m.ParentTags...)
+				// Fix parent order: demux must be a parent; ParentTags
+				// indexes parents positionally, so keep demux first.
+				reorderParentsDemuxFirst(m, demux)
+			}
+		}
+		demux.ChildIdx = append(demux.ChildIdx, childIdx)
+		demux.OldTag = append(demux.OldTag, e.oldTag)
+	}
+
+	// Input correlation (§5.2.1): the merged job's map chains may scan the
+	// same table several times; share one TableScan so the common table is
+	// loaded once (paper: "Hive can automatically load the common table
+	// once instead of multiple times in the original plan").
+	var scans []*plan.TableScan
+	for _, e := range entries {
+		if scan := sourceScan(e.rs); scan != nil {
+			scans = append(scans, scan)
+		}
+	}
+	shareScans(scans)
+	return nil
+}
+
+// sourceScan walks a bottom sink's linear map chain up to its TableScan
+// (following a MapJoin's streamed input); nil when the chain is not a
+// simple scan pipeline.
+func sourceScan(rs *plan.ReduceSink) *plan.TableScan {
+	cur := rs.Parents[0]
+	for {
+		switch t := cur.(type) {
+		case *plan.TableScan:
+			return t
+		case *plan.MapJoin:
+			cur = t.Parents[t.BigIdx]
+		default:
+			if len(cur.Base().Parents) != 1 {
+				return nil
+			}
+			cur = cur.Base().Parents[0]
+		}
+	}
+}
+
+// shareScans merges TableScans over the same table with identical column
+// layouts: every consumer hangs off the first scan, so one map chain reads
+// the table once and feeds them all.
+func shareScans(scans []*plan.TableScan) {
+	byTable := map[string]*plan.TableScan{}
+	for _, scan := range scans {
+		key := scan.Table + "/" + fmt.Sprint(scan.Cols)
+		first, ok := byTable[key]
+		if !ok {
+			byTable[key] = scan
+			continue
+		}
+		if first == scan {
+			continue
+		}
+		for _, child := range append([]plan.Node(nil), scan.Children...) {
+			plan.ReplaceParent(child, scan, first)
+		}
+	}
+}
+
+func nodeConnected(parent, child plan.Node) bool {
+	for _, c := range parent.Base().Children {
+		if c == child {
+			return true
+		}
+	}
+	return false
+}
+
+// reorderParentsDemuxFirst moves the demux to the front of the mux's parent
+// list so ParentTags[0] == -1 (pass-through) aligns with the demux edge.
+func reorderParentsDemuxFirst(m *plan.Mux, demux plan.Node) {
+	parents := m.Base().Parents
+	for i, p := range parents {
+		if p == demux && i != 0 {
+			copy(parents[1:i+1], parents[:i])
+			parents[0] = p
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// mapjoin.go implements §5.1: conversion of Reduce Joins into Map Joins
+// when one side is a small local chain, and elimination of the unnecessary
+// Map-only jobs the conversion would otherwise create by merging each Map
+// Join into its child job.
+package optimizer
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/plan"
+)
+
+// ConvertMapJoins rewrites eligible Reduce Joins. A join input qualifies as
+// the hash-table (small) side when it is a linear TableScan chain over a
+// base table whose size is under the threshold; the other side streams.
+// When MergeMapOnlyJobs is off, each converted Map Join is followed by a
+// materialization boundary, reproducing Hive's original one-Map-only-job-
+// per-Map-Join plans (the "w/ UM" configuration of Figure 11).
+func ConvertMapJoins(p *plan.Plan, env *Env) error {
+	threshold := env.Options.MapJoinThreshold
+	if threshold <= 0 {
+		threshold = DefaultMapJoinThreshold
+	}
+	// Convert bottom-up so a converted join's output can stream into the
+	// next join's conversion (the pipelined M-JoinOp-1 -> M-JoinOp-2 of
+	// Figure 4).
+	for {
+		converted := false
+		for _, n := range p.Nodes() {
+			join, ok := n.(*plan.Join)
+			if !ok {
+				continue
+			}
+			if convertOne(p, join, env, threshold) {
+				converted = true
+			}
+		}
+		if !converted {
+			break
+		}
+	}
+	return nil
+}
+
+func convertOne(p *plan.Plan, join *plan.Join, env *Env, threshold int64) bool {
+	if len(join.Parents) != 2 {
+		return false
+	}
+	rss := make([]*plan.ReduceSink, 2)
+	srcs := make([]plan.Node, 2)
+	for i, parent := range join.Parents {
+		rs, ok := parent.(*plan.ReduceSink)
+		if !ok {
+			return false
+		}
+		rss[i] = rs
+		srcs[i] = rs.Parents[0]
+	}
+	small := make([]bool, 2)
+	for i := range srcs {
+		small[i] = isSmallLocalChain(srcs[i], env, threshold)
+	}
+	var bigIdx int
+	switch {
+	case small[0] && !small[1]:
+		bigIdx = 1
+	case small[1] && !small[0]:
+		bigIdx = 0
+	case small[0] && small[1]:
+		// Both qualify; stream the left side by convention.
+		bigIdx = 0
+	default:
+		return false
+	}
+
+	mj := p.NewNode(&plan.MapJoin{BigIdx: bigIdx}).(*plan.MapJoin)
+	mj.Out = join.Out
+	mj.Keys = [][]plan.Expr{rss[0].Keys, rss[1].Keys}
+	mj.ProbeKeys = make([][]plan.Expr, 2)
+	for i := range srcs {
+		if i != bigIdx {
+			// Probing uses the big side's key expressions over the
+			// streamed row.
+			mj.ProbeKeys[i] = rss[bigIdx].Keys
+		}
+	}
+	// Rewire: sources feed the MapJoin directly; the join's children now
+	// read from the MapJoin.
+	for i := range srcs {
+		plan.Disconnect(srcs[i], rss[i])
+		plan.Disconnect(rss[i], join)
+		plan.Connect(srcs[i], mj)
+	}
+	for _, child := range append([]plan.Node(nil), join.Children...) {
+		plan.ReplaceParent(child, join, mj)
+	}
+	// Without merging, the Map Join materializes its output for the next
+	// job to re-load — the unnecessary Map phase §5.1 eliminates.
+	if !env.Options.MergeMapOnlyJobs && len(mj.Children) > 0 {
+		for _, child := range append([]plan.Node(nil), mj.Children...) {
+			spliceBoundary(p, mj, child)
+		}
+	}
+	return true
+}
+
+// isSmallLocalChain reports whether the subtree at n is a linear
+// Filter/Select chain over a base-table scan under the size threshold.
+// Temp tables (sizes unknown at plan time) never qualify.
+func isSmallLocalChain(n plan.Node, env *Env, threshold int64) bool {
+	for {
+		switch t := n.(type) {
+		case *plan.TableScan:
+			if len(t.Table) >= len(compiler.TempPrefix) && t.Table[:len(compiler.TempPrefix)] == compiler.TempPrefix {
+				return false
+			}
+			if env.TableSize == nil {
+				return false
+			}
+			size, err := env.TableSize(t.Table)
+			return err == nil && size <= threshold
+		case *plan.Filter, *plan.Select:
+			if len(t.Base().Parents) != 1 {
+				return false
+			}
+			n = t.Base().Parents[0]
+		default:
+			return false
+		}
+	}
+}

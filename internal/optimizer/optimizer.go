@@ -1,0 +1,121 @@
+// Package optimizer implements the plan rewrites of the paper: predicate
+// pushdown into ORC readers (§4.2), Reduce Join → Map Join conversion with
+// merging of the resulting Map-only jobs (§5.1), the YSmart-based
+// Correlation Optimizer (§5.2), and the vectorization pass (§6.4). Each
+// rewrite is individually switchable so the benchmark harness can compare
+// the paper's configurations.
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/fileformat"
+	"repro/internal/plan"
+)
+
+// Options toggles the rewrites.
+type Options struct {
+	// PredicatePushdown pushes filter conjuncts into ORC table scans as
+	// search arguments (§4.2).
+	PredicatePushdown bool
+	// MapJoinConversion converts Reduce Joins whose non-streamed inputs
+	// are small local chains into Map Joins (§5.1).
+	MapJoinConversion bool
+	// MapJoinThreshold is the max total bytes of small tables per merged
+	// job (default 64 MB).
+	MapJoinThreshold int64
+	// MergeMapOnlyJobs merges each converted Map Join into its child job
+	// instead of materializing a Map-only job (§5.1). Disabling it
+	// reproduces the "w/ UM" (unnecessary Map phases) plans of Fig 11.
+	MergeMapOnlyJobs bool
+	// Correlation enables the Correlation Optimizer (§5.2).
+	Correlation bool
+	// Vectorize marks eligible plan fragments for the vectorized
+	// execution engine (§6.4).
+	Vectorize bool
+}
+
+// AllOn returns the fully optimized configuration the paper advocates.
+func AllOn() Options {
+	return Options{
+		PredicatePushdown: true,
+		MapJoinConversion: true,
+		MergeMapOnlyJobs:  true,
+		Correlation:       true,
+		Vectorize:         true,
+	}
+}
+
+// Env supplies catalog facts the rewrites need.
+type Env struct {
+	Options Options
+	// TableSize returns a table's total bytes on the DFS (map-join
+	// smallness test).
+	TableSize func(name string) (int64, error)
+	// TableFormat reports a table's storage format (predicate pushdown
+	// only applies to ORC).
+	TableFormat func(name string) (fileformat.Kind, bool)
+}
+
+// DefaultMapJoinThreshold mirrors a typical hive.mapjoin.smalltable size
+// bound.
+const DefaultMapJoinThreshold = 64 << 20
+
+// Apply runs the pre-compilation rewrites in order. Column pruning is not
+// gated: original Hive already pruned columns, so every configuration
+// (including the "original" baseline) gets it.
+func Apply(p *plan.Plan, env *Env) error {
+	PruneColumns(p)
+	if env.Options.Correlation {
+		if err := CorrelationOptimize(p); err != nil {
+			return err
+		}
+	}
+	if env.Options.MapJoinConversion {
+		if err := ConvertMapJoins(p, env); err != nil {
+			return err
+		}
+	}
+	if env.Options.PredicatePushdown {
+		if err := PushdownPredicates(p, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PostCompile runs rewrites that need the task DAG (the vectorization pass
+// validates per-task fragments, §6.4).
+func PostCompile(p *plan.Plan, compiled *compiler.Compiled, env *Env) error {
+	if env.Options.Vectorize {
+		MarkVectorizable(compiled, env)
+	}
+	return nil
+}
+
+// spliceBoundary inserts FileSink(tmp) + TableScan(tmp) over the
+// parent->child edge, materializing an intermediate result. Used to
+// reproduce un-merged Map-only jobs. Temp names need only be unique within
+// the plan; the executor resolves them per query.
+func spliceBoundary(p *plan.Plan, parent, child plan.Node) {
+	n := 0
+	for _, s := range p.Sinks {
+		if s.Dest != "" {
+			n++
+		}
+	}
+	name := fmt.Sprintf("%sopt%d", compiler.TempPrefix, n)
+	schema := parent.Schema()
+
+	fs := p.NewNode(&plan.FileSink{Dest: name}).(*plan.FileSink)
+	fs.Out = schema
+	ts := p.NewNode(&plan.TableScan{Table: name, Alias: name}).(*plan.TableScan)
+	ts.Out = schema
+	for i := range schema.Cols {
+		ts.Cols = append(ts.Cols, fmt.Sprintf("c%d", i))
+	}
+	plan.ReplaceParent(child, parent, ts)
+	plan.Connect(parent, fs)
+	p.Sinks = append(p.Sinks, fs)
+}

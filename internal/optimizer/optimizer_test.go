@@ -1,0 +1,314 @@
+package optimizer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fileformat"
+	"repro/internal/orc"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+type fakeCatalog map[string]*types.Schema
+
+func (c fakeCatalog) TableSchema(name string) (*types.Schema, error) {
+	if s, ok := c[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("no such table %q", name)
+}
+
+func catalog() fakeCatalog {
+	fact := types.NewSchema(
+		types.Col("key", types.Primitive(types.Long)),
+		types.Col("dkey", types.Primitive(types.Long)),
+		types.Col("val", types.Primitive(types.Double)),
+		types.Col("name", types.Primitive(types.String)),
+	)
+	dim := types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("attr", types.Primitive(types.String)),
+	)
+	return fakeCatalog{"fact": fact, "fact2": fact, "dim": dim, "dim2": dim}
+}
+
+// env returns an optimizer environment where dims are small ORC tables and
+// facts are big.
+func env(opt Options) *Env {
+	return &Env{
+		Options: opt,
+		TableSize: func(name string) (int64, error) {
+			if name == "dim" || name == "dim2" {
+				return 1 << 10, nil
+			}
+			return 1 << 30, nil
+		},
+		TableFormat: func(name string) (fileformat.Kind, bool) {
+			return fileformat.ORC, true
+		},
+	}
+}
+
+func planFor(t *testing.T, src string) *plan.Plan {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.NewPlanner(catalog(), nil).Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func count[T plan.Node](p *plan.Plan) int {
+	n := 0
+	p.Walk(func(node plan.Node) {
+		if _, ok := node.(T); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestPushdownExtractsSargableConjuncts(t *testing.T) {
+	p := planFor(t, `SELECT val FROM fact
+		WHERE key BETWEEN 5 AND 10 AND name = 'x' AND val > 1.5 AND key + dkey > 3`)
+	if err := PushdownPredicates(p, env(Options{PredicatePushdown: true})); err != nil {
+		t.Fatal(err)
+	}
+	scans := p.Find(func(n plan.Node) bool { _, ok := n.(*plan.TableScan); return ok })
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	sarg := scans[0].(*plan.TableScan).SArg
+	if sarg == nil {
+		t.Fatal("no search argument attached")
+	}
+	// key BETWEEN, name =, val > are sargable; key+dkey>3 is not.
+	if len(sarg.Predicates) != 3 {
+		t.Fatalf("predicates = %+v", sarg.Predicates)
+	}
+	ops := map[string]orc.PredOp{}
+	for _, pr := range sarg.Predicates {
+		ops[pr.Column] = pr.Op
+	}
+	if ops["key"] != orc.PredBetween || ops["name"] != orc.PredEQ || ops["val"] != orc.PredGT {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestPushdownFlipsReversedComparison(t *testing.T) {
+	p := planFor(t, "SELECT val FROM fact WHERE 10 > key")
+	if err := PushdownPredicates(p, env(Options{})); err != nil {
+		t.Fatal(err)
+	}
+	scan := p.Find(func(n plan.Node) bool { _, ok := n.(*plan.TableScan); return ok })[0].(*plan.TableScan)
+	if scan.SArg == nil || len(scan.SArg.Predicates) != 1 {
+		t.Fatalf("sarg = %+v", scan.SArg)
+	}
+	pr := scan.SArg.Predicates[0]
+	if pr.Column != "key" || pr.Op != orc.PredLT {
+		t.Fatalf("predicate = %+v (10 > key must become key < 10)", pr)
+	}
+}
+
+func TestPushdownSkipsNonORC(t *testing.T) {
+	p := planFor(t, "SELECT val FROM fact WHERE key = 1")
+	e := env(Options{})
+	e.TableFormat = func(string) (fileformat.Kind, bool) { return fileformat.RC, true }
+	if err := PushdownPredicates(p, e); err != nil {
+		t.Fatal(err)
+	}
+	scan := p.Find(func(n plan.Node) bool { _, ok := n.(*plan.TableScan); return ok })[0].(*plan.TableScan)
+	if scan.SArg != nil {
+		t.Fatal("sarg attached to an RCFile scan")
+	}
+}
+
+func TestMapJoinConversion(t *testing.T) {
+	p := planFor(t, `SELECT f.val FROM fact f JOIN dim d ON f.dkey = d.id WHERE d.attr = 'x'`)
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MergeMapOnlyJobs: true})); err != nil {
+		t.Fatal(err)
+	}
+	if count[*plan.Join](p) != 0 {
+		t.Fatalf("reduce join not converted:\n%s", p)
+	}
+	mjs := p.Find(func(n plan.Node) bool { _, ok := n.(*plan.MapJoin); return ok })
+	if len(mjs) != 1 {
+		t.Fatalf("map joins = %d", len(mjs))
+	}
+	mj := mjs[0].(*plan.MapJoin)
+	if mj.BigIdx != 0 {
+		t.Fatalf("big side = %d, want fact (0)", mj.BigIdx)
+	}
+	if count[*plan.ReduceSink](p) != 0 {
+		t.Fatalf("stale reduce sinks:\n%s", p)
+	}
+	if len(mj.ProbeKeys[1]) != 1 {
+		t.Fatalf("probe keys = %v", mj.ProbeKeys)
+	}
+}
+
+func TestMapJoinNotConvertedWhenBothBig(t *testing.T) {
+	p := planFor(t, "SELECT f.val FROM fact f JOIN fact2 g ON f.key = g.key")
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true})); err != nil {
+		t.Fatal(err)
+	}
+	if count[*plan.Join](p) != 1 || count[*plan.MapJoin](p) != 0 {
+		t.Fatalf("big-big join converted:\n%s", p)
+	}
+}
+
+func TestMapJoinUnmergedAddsBoundary(t *testing.T) {
+	p := planFor(t, "SELECT f.val FROM fact f JOIN dim d ON f.dkey = d.id")
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MergeMapOnlyJobs: false})); err != nil {
+		t.Fatal(err)
+	}
+	// The unmerged conversion materializes the map-join output.
+	var boundaries int
+	p.Walk(func(n plan.Node) {
+		if fs, ok := n.(*plan.FileSink); ok && fs.Dest != "" {
+			boundaries++
+		}
+	})
+	if boundaries != 1 {
+		t.Fatalf("boundaries = %d:\n%s", boundaries, p)
+	}
+}
+
+func TestMapJoinChainPipelines(t *testing.T) {
+	// Two small-dim joins collapse into two pipelined map joins (the
+	// M-JoinOp-1 -> M-JoinOp-2 pattern of Figure 4).
+	p := planFor(t, `SELECT f.val FROM fact f
+		JOIN dim d1 ON f.dkey = d1.id
+		JOIN dim2 d2 ON f.key = d2.id`)
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MergeMapOnlyJobs: true})); err != nil {
+		t.Fatal(err)
+	}
+	if count[*plan.MapJoin](p) != 2 || count[*plan.Join](p) != 0 || count[*plan.ReduceSink](p) != 0 {
+		t.Fatalf("plan:\n%s", p)
+	}
+}
+
+func TestCorrelationMergesAggThenJoin(t *testing.T) {
+	p := planFor(t, `SELECT f.val, agg.total
+		FROM fact f
+		JOIN (SELECT key, sum(val) AS total FROM fact2 GROUP BY key) agg
+		  ON f.key = agg.key`)
+	before := count[*plan.ReduceSink](p)
+	if err := CorrelationOptimize(p); err != nil {
+		t.Fatal(err)
+	}
+	after := count[*plan.ReduceSink](p)
+	if after >= before {
+		t.Fatalf("reduce sinks %d -> %d:\n%s", before, after, p)
+	}
+	if count[*plan.Demux](p) != 1 {
+		t.Fatalf("demux missing:\n%s", p)
+	}
+	if count[*plan.Mux](p) < 1 {
+		t.Fatalf("mux missing:\n%s", p)
+	}
+	// Remaining RSOps must share one consumer (the demux) with distinct
+	// tags and uniform reducer counts.
+	tags := map[int]bool{}
+	reducers := map[int]bool{}
+	p.Walk(func(n plan.Node) {
+		if rs, ok := n.(*plan.ReduceSink); ok {
+			if _, isDemux := rs.Children[0].(*plan.Demux); !isDemux {
+				t.Errorf("%s does not feed the demux", rs.Label())
+			}
+			if tags[rs.Tag] {
+				t.Errorf("duplicate tag %d", rs.Tag)
+			}
+			tags[rs.Tag] = true
+			reducers[rs.NumReducers] = true
+		}
+	})
+	if len(reducers) != 1 {
+		t.Errorf("reducer counts not uniform: %v", reducers)
+	}
+}
+
+func TestCorrelationIgnoresUncorrelatedJoins(t *testing.T) {
+	// Join keys differ from the subquery's group-by key: no correlation.
+	p := planFor(t, `SELECT f.val, agg.total
+		FROM fact f
+		JOIN (SELECT dkey, sum(val) AS total FROM fact2 GROUP BY dkey) agg
+		  ON f.key = agg.total`)
+	before := count[*plan.ReduceSink](p)
+	if err := CorrelationOptimize(p); err != nil {
+		t.Fatal(err)
+	}
+	if count[*plan.ReduceSink](p) != before || count[*plan.Demux](p) != 0 {
+		t.Fatalf("uncorrelated plan was transformed:\n%s", p)
+	}
+}
+
+func TestCorrelationSkipsOrderBy(t *testing.T) {
+	// An order-by shuffle must never merge (sort-order condition).
+	p := planFor(t, `SELECT key, sum(val) AS total FROM fact GROUP BY key ORDER BY key`)
+	if err := CorrelationOptimize(p); err != nil {
+		t.Fatal(err)
+	}
+	if count[*plan.Demux](p) != 0 {
+		t.Fatalf("order-by was merged:\n%s", p)
+	}
+}
+
+func TestPruneColumns(t *testing.T) {
+	p := planFor(t, "SELECT sum(val) FROM fact WHERE key > 5")
+	PruneColumns(p)
+	scan := p.Find(func(n plan.Node) bool { _, ok := n.(*plan.TableScan); return ok })[0].(*plan.TableScan)
+	if scan.Needed == nil {
+		t.Fatal("no pruning on an aggregation fragment")
+	}
+	// key (filter) and val (agg arg) are needed; dkey and name are not.
+	if len(scan.Needed) != 2 || scan.Cols[scan.Needed[0]] != "key" || scan.Cols[scan.Needed[1]] != "val" {
+		t.Fatalf("needed = %v", scan.Needed)
+	}
+}
+
+func TestPruneConservativeOnRawShuffle(t *testing.T) {
+	// A join ships the raw row; pruning must not apply.
+	p := planFor(t, "SELECT f.val FROM fact f JOIN fact2 g ON f.key = g.key")
+	PruneColumns(p)
+	p.Walk(func(n plan.Node) {
+		if scan, ok := n.(*plan.TableScan); ok && scan.Needed != nil {
+			t.Errorf("scan %s pruned despite raw-row shuffle", scan.Label())
+		}
+	})
+}
+
+func TestVectorizeValidation(t *testing.T) {
+	if !projectionVectorizable(&plan.ColExpr{K: types.Long}) {
+		t.Error("long column not vectorizable")
+	}
+	arith, _ := plan.NewArith("*", &plan.ColExpr{K: types.Double}, &plan.ConstExpr{Value: 2.0, K: types.Double})
+	if !projectionVectorizable(arith) {
+		t.Error("arithmetic not vectorizable")
+	}
+	if filterVectorizable(&plan.NotExpr{Inner: &plan.CompareExpr{Op: "=", Left: &plan.ColExpr{K: types.Long}, Right: &plan.ConstExpr{Value: int64(1), K: types.Long}}}) {
+		t.Error("NOT must not be filter-vectorizable (NULL semantics)")
+	}
+	between := &plan.BetweenExpr{
+		Operand: &plan.ColExpr{K: types.Double},
+		Lo:      &plan.ConstExpr{Value: 0.1, K: types.Double},
+		Hi:      &plan.ConstExpr{Value: 0.2, K: types.Double},
+	}
+	if !filterVectorizable(between) {
+		t.Error("constant BETWEEN not vectorizable")
+	}
+	nonConst := &plan.BetweenExpr{
+		Operand: &plan.ColExpr{K: types.Double},
+		Lo:      &plan.ColExpr{K: types.Double},
+		Hi:      &plan.ConstExpr{Value: 0.2, K: types.Double},
+	}
+	if filterVectorizable(nonConst) {
+		t.Error("column-bounded BETWEEN accepted")
+	}
+}

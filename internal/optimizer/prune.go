@@ -1,0 +1,102 @@
+// prune.go implements column pruning, an optimization original Hive
+// already had (it is applied in every configuration, not toggled): a table
+// scan reads only the columns its fragment uses, which is what lets the
+// columnar formats skip column bytes (§3). Pruning is conservative: it only
+// applies when a reshaping operator (Select or map-side GroupBy) bounds the
+// fragment, so raw rows shipped through a shuffle or a join keep their full
+// width.
+package optimizer
+
+import (
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// PruneColumns annotates every eligible TableScan with the column indexes
+// its consumers actually read.
+func PruneColumns(p *plan.Plan) {
+	for _, n := range p.Nodes() {
+		scan, ok := n.(*plan.TableScan)
+		if !ok || scan.Needed != nil {
+			continue
+		}
+		used := map[int]bool{}
+		safe := false
+		cur := plan.Node(scan)
+	walk:
+		for len(cur.Base().Children) == 1 {
+			switch t := cur.Base().Children[0].(type) {
+			case *plan.Filter:
+				collectCols(t.Cond, used)
+				cur = t
+			case *plan.Limit:
+				cur = t
+			case *plan.Select:
+				for _, e := range t.Exprs {
+					collectCols(e, used)
+				}
+				safe = true
+				break walk
+			case *plan.GroupBy:
+				for _, k := range t.Keys {
+					collectCols(k, used)
+				}
+				for _, a := range t.Aggs {
+					if a.Arg != nil {
+						collectCols(a.Arg, used)
+					}
+				}
+				safe = true
+				break walk
+			default:
+				// ReduceSink/FileSink ship the raw row; Join/MapJoin
+				// concatenate it — downstream consumers may touch any
+				// column, so stay conservative.
+				break walk
+			}
+		}
+		if !safe || len(used) == 0 {
+			continue
+		}
+		needed := make([]int, 0, len(used))
+		for idx := range used {
+			if idx >= 0 && idx < len(scan.Cols) {
+				needed = append(needed, idx)
+			}
+		}
+		sort.Ints(needed)
+		if len(needed) < len(scan.Cols) {
+			scan.Needed = needed
+		}
+	}
+}
+
+func collectCols(e plan.Expr, used map[int]bool) {
+	switch t := e.(type) {
+	case *plan.ColExpr:
+		used[t.Idx] = true
+	case *plan.ArithExpr:
+		collectCols(t.Left, used)
+		collectCols(t.Right, used)
+	case *plan.CompareExpr:
+		collectCols(t.Left, used)
+		collectCols(t.Right, used)
+	case *plan.LogicalExpr:
+		collectCols(t.Left, used)
+		collectCols(t.Right, used)
+	case *plan.NotExpr:
+		collectCols(t.Inner, used)
+	case *plan.BetweenExpr:
+		collectCols(t.Operand, used)
+		collectCols(t.Lo, used)
+		collectCols(t.Hi, used)
+	case *plan.InExpr:
+		collectCols(t.Operand, used)
+		for _, item := range t.List {
+			collectCols(item, used)
+		}
+	case *plan.IsNullExpr:
+		collectCols(t.Operand, used)
+	}
+}

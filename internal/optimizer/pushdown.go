@@ -1,0 +1,164 @@
+// pushdown.go implements predicate pushdown to the ORC reader (§4.2): for
+// ORC-backed table scans whose immediate consumer is a Filter, the
+// sargable conjuncts (column-vs-constant comparisons) are attached to the
+// scan as a search argument. The Filter stays in place for row-exact
+// semantics; the search argument only prunes stripes and index groups.
+package optimizer
+
+import (
+	"repro/internal/fileformat"
+	"repro/internal/orc"
+	"repro/internal/plan"
+)
+
+// PushdownPredicates attaches search arguments to eligible ORC scans.
+func PushdownPredicates(p *plan.Plan, env *Env) error {
+	for _, n := range p.Nodes() {
+		scan, ok := n.(*plan.TableScan)
+		if !ok {
+			continue
+		}
+		if env.TableFormat != nil {
+			if kind, known := env.TableFormat(scan.Table); !known || kind != fileformat.ORC {
+				continue
+			}
+		}
+		// Collect conjuncts from the whole chain of filters stacked on
+		// the scan (the planner pushes each WHERE conjunct separately).
+		var preds []orc.Predicate
+		node := plan.Node(scan)
+		for len(node.Base().Children) == 1 {
+			f, ok := node.Base().Children[0].(*plan.Filter)
+			if !ok {
+				break
+			}
+			preds = append(preds, extractSargable(f.Cond, scan)...)
+			node = f
+		}
+		if len(preds) > 0 {
+			scan.SArg = orc.NewSearchArgument(preds...)
+		}
+	}
+	return nil
+}
+
+// extractSargable splits a filter condition into conjuncts and converts
+// those of the form column-op-constant into ORC predicates over the scan's
+// column names.
+func extractSargable(cond plan.Expr, scan *plan.TableScan) []orc.Predicate {
+	var out []orc.Predicate
+	for _, c := range conjuncts(cond) {
+		if p, ok := toPredicate(c, scan); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func conjuncts(e plan.Expr) []plan.Expr {
+	if l, ok := e.(*plan.LogicalExpr); ok && l.Op == "AND" {
+		return append(conjuncts(l.Left), conjuncts(l.Right)...)
+	}
+	return []plan.Expr{e}
+}
+
+// toPredicate recognizes the sargable shapes: col op const, const op col,
+// col BETWEEN const AND const, col IN (consts), col IS NULL.
+func toPredicate(e plan.Expr, scan *plan.TableScan) (orc.Predicate, bool) {
+	colName := func(x plan.Expr) (string, bool) {
+		c, ok := x.(*plan.ColExpr)
+		if !ok {
+			return "", false
+		}
+		// The scan's output columns are exactly its projected columns:
+		// map the row index back to the storage column name.
+		if c.Idx < 0 || c.Idx >= len(scan.Cols) {
+			return "", false
+		}
+		return scan.Cols[c.Idx], true
+	}
+	constVal := func(x plan.Expr) (any, bool) {
+		k, ok := x.(*plan.ConstExpr)
+		if !ok || k.Value == nil {
+			return nil, false
+		}
+		return k.Value, true
+	}
+	switch t := e.(type) {
+	case *plan.CompareExpr:
+		if col, ok := colName(t.Left); ok {
+			if v, ok := constVal(t.Right); ok {
+				if op, ok := compareOp(t.Op); ok {
+					return orc.Predicate{Column: col, Op: op, Literals: []any{v}}, true
+				}
+			}
+		}
+		if col, ok := colName(t.Right); ok {
+			if v, ok := constVal(t.Left); ok {
+				if op, ok := compareOp(flipOp(t.Op)); ok {
+					return orc.Predicate{Column: col, Op: op, Literals: []any{v}}, true
+				}
+			}
+		}
+	case *plan.BetweenExpr:
+		if col, ok := colName(t.Operand); ok {
+			lo, okLo := constVal(t.Lo)
+			hi, okHi := constVal(t.Hi)
+			if okLo && okHi {
+				return orc.Predicate{Column: col, Op: orc.PredBetween, Literals: []any{lo, hi}}, true
+			}
+		}
+	case *plan.InExpr:
+		if col, ok := colName(t.Operand); ok {
+			var lits []any
+			for _, item := range t.List {
+				v, ok := constVal(item)
+				if !ok {
+					return orc.Predicate{}, false
+				}
+				lits = append(lits, v)
+			}
+			if len(lits) > 0 {
+				return orc.Predicate{Column: col, Op: orc.PredIn, Literals: lits}, true
+			}
+		}
+	case *plan.IsNullExpr:
+		if t.Negated {
+			return orc.Predicate{}, false
+		}
+		if col, ok := colName(t.Operand); ok {
+			return orc.Predicate{Column: col, Op: orc.PredIsNull}, true
+		}
+	}
+	return orc.Predicate{}, false
+}
+
+func compareOp(op string) (orc.PredOp, bool) {
+	switch op {
+	case "=":
+		return orc.PredEQ, true
+	case "<":
+		return orc.PredLT, true
+	case "<=":
+		return orc.PredLE, true
+	case ">":
+		return orc.PredGT, true
+	case ">=":
+		return orc.PredGE, true
+	}
+	return 0, false // <> is not sargable over min/max
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}

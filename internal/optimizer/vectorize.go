@@ -1,0 +1,150 @@
+// vectorize.go implements the vectorization optimizer pass (§6.4): the
+// planner first generates a non-vectorized plan; this pass validates each
+// map-side fragment (operators and expressions) and marks eligible table
+// scans so the executor runs them on the vectorized engine. Validation
+// failure leaves the fragment on the row-mode engine, never failing the
+// query.
+package optimizer
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/fileformat"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// MarkVectorizable validates and marks map chains for vectorized
+// execution. Only ORC-backed scans qualify (the vectorized reader pulls
+// column vectors straight from ORC streams, §6.5); temp tables (written by
+// upstream jobs as row files) stay on the row engine.
+func MarkVectorizable(compiled *compiler.Compiled, env *Env) {
+	for _, task := range compiled.Tasks {
+		for _, scan := range task.MapScans {
+			if env.TableFormat != nil {
+				if kind, ok := env.TableFormat(scan.Table); !ok || kind != fileformat.ORC {
+					continue
+				}
+			}
+			if chainVectorizable(scan) {
+				scan.Vectorize = true
+			}
+		}
+	}
+}
+
+// chainVectorizable checks every operator reachable downstream from the
+// scan up to its fragment boundary (ReduceSink or FileSink).
+func chainVectorizable(scan *plan.TableScan) bool {
+	// All scan columns must be primitive kinds the column vectors cover.
+	for _, c := range scan.Schema().Cols {
+		if !vectorKind(c.Kind) {
+			return false
+		}
+	}
+	var check func(n plan.Node) bool
+	check = func(n plan.Node) bool {
+		switch t := n.(type) {
+		case *plan.Filter:
+			if !filterVectorizable(t.Cond) {
+				return false
+			}
+		case *plan.Select:
+			for _, e := range t.Exprs {
+				if !projectionVectorizable(e) {
+					return false
+				}
+			}
+		case *plan.GroupBy:
+			if t.Mode != plan.GBYPartial {
+				return false
+			}
+			for _, k := range t.Keys {
+				if !projectionVectorizable(k) {
+					return false
+				}
+			}
+			for _, a := range t.Aggs {
+				if a.Arg != nil && !projectionVectorizable(a.Arg) {
+					return false
+				}
+			}
+		case *plan.ReduceSink, *plan.FileSink:
+			// Fragment boundary: emitted row by row.
+			return true
+		default:
+			// Joins (map or reduce side) and other operators fall back
+			// to the row engine.
+			return false
+		}
+		for _, c := range n.Base().Children {
+			if !check(c) {
+				return false
+			}
+		}
+		return true
+	}
+	// The vectorized runner drives exactly one consumer pipeline; shared
+	// scans (input correlation) stay on the row engine.
+	if len(scan.Children) != 1 {
+		return false
+	}
+	return check(scan.Children[0])
+}
+
+func vectorKind(k types.Kind) bool {
+	switch {
+	case k.IsInteger(), k.IsFloating():
+		return true
+	case k == types.String, k == types.Boolean, k == types.Timestamp:
+		return true
+	}
+	return false
+}
+
+// projectionVectorizable reports whether a value-producing vectorized
+// implementation exists (§6.2's output-column expression family): column
+// reads, constants and arithmetic.
+func projectionVectorizable(e plan.Expr) bool {
+	switch t := e.(type) {
+	case *plan.ColExpr:
+		return vectorKind(t.K)
+	case *plan.ConstExpr:
+		return t.Value == nil || vectorKind(t.K)
+	case *plan.ArithExpr:
+		return projectionVectorizable(t.Left) && projectionVectorizable(t.Right)
+	}
+	return false
+}
+
+// filterVectorizable reports whether an in-place filtering implementation
+// exists (§6.2's selected[]-manipulating family). NOT is excluded: the
+// complement of a selection would wrongly admit NULL comparison results.
+func filterVectorizable(e plan.Expr) bool {
+	switch t := e.(type) {
+	case *plan.CompareExpr:
+		return projectionVectorizable(t.Left) && projectionVectorizable(t.Right)
+	case *plan.LogicalExpr:
+		return filterVectorizable(t.Left) && filterVectorizable(t.Right)
+	case *plan.BetweenExpr:
+		_, loConst := t.Lo.(*plan.ConstExpr)
+		_, hiConst := t.Hi.(*plan.ConstExpr)
+		return projectionVectorizable(t.Operand) && loConst && hiConst
+	case *plan.InExpr:
+		if !projectionVectorizable(t.Operand) {
+			return false
+		}
+		for _, item := range t.List {
+			if _, ok := item.(*plan.ConstExpr); !ok {
+				return false
+			}
+		}
+		return true
+	case *plan.IsNullExpr:
+		return projectionVectorizable(t.Operand)
+	case *plan.ColExpr:
+		return t.K == types.Boolean
+	case *plan.ConstExpr:
+		return t.K == types.Boolean
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+// chunks.go implements the compression-unit framing of §4.3: when a
+// general-purpose codec is configured, each stream is stored as a sequence
+// of independently decompressible units. Units are cut at index-group
+// boundaries (and at the configured unit size within a group) so that a
+// row-index position — a stored-byte offset — is always a unit start.
+package orc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// DefaultCompressionUnit is the default unit size (paper §4.3: 256 KB).
+const DefaultCompressionUnit = 256 << 10
+
+// Unit header layout: flag byte (0 = stored raw, 1 = compressed), uvarint
+// original length, uvarint stored length, then the payload.
+const (
+	unitRaw        = 0
+	unitCompressed = 1
+)
+
+// chunkStream compresses raw stream bytes into framed units, cutting a unit
+// boundary exactly at each offset in cuts (ascending, within len(raw)).
+// It returns the stored bytes and, for each cut (including the implicit
+// leading 0), the stored-byte offset where that cut's unit begins.
+func chunkStream(codec compress.Codec, raw []byte, cuts []uint64, unitSize int) (stored []byte, storedCuts []uint64, err error) {
+	if codec == nil {
+		// No framing: stored bytes are the raw bytes and positions map
+		// one to one.
+		storedCuts = append([]uint64{0}, cuts...)
+		return raw, storedCuts, nil
+	}
+	if unitSize <= 0 {
+		unitSize = DefaultCompressionUnit
+	}
+	bounds := append([]uint64{0}, cuts...)
+	bounds = append(bounds, uint64(len(raw)))
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] > bounds[i+1] || bounds[i+1] > uint64(len(raw)) {
+			return nil, nil, fmt.Errorf("orc: bad chunk cut %d > %d", bounds[i], bounds[i+1])
+		}
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		storedCuts = append(storedCuts, uint64(len(stored)))
+		seg := raw[bounds[i]:bounds[i+1]]
+		for start := 0; start < len(seg) || (start == 0 && len(seg) == 0); start += unitSize {
+			end := start + unitSize
+			if end > len(seg) {
+				end = len(seg)
+			}
+			stored, err = appendUnit(codec, stored, seg[start:end])
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(seg) == 0 {
+				break
+			}
+		}
+	}
+	return stored, storedCuts, nil
+}
+
+func appendUnit(codec compress.Codec, dst, chunk []byte) ([]byte, error) {
+	comp, err := codec.Compress(nil, chunk)
+	if err != nil {
+		return nil, err
+	}
+	if len(comp) < len(chunk) {
+		dst = append(dst, unitCompressed)
+		dst = binary.AppendUvarint(dst, uint64(len(chunk)))
+		dst = binary.AppendUvarint(dst, uint64(len(comp)))
+		return append(dst, comp...), nil
+	}
+	dst = append(dst, unitRaw)
+	dst = binary.AppendUvarint(dst, uint64(len(chunk)))
+	dst = binary.AppendUvarint(dst, uint64(len(chunk)))
+	return append(dst, chunk...), nil
+}
+
+// dechunk decompresses framed units starting at stored-byte offset off and
+// stopping at stored-byte offset end (or the end of the buffer), returning
+// the raw bytes.
+func dechunk(codec compress.Codec, stored []byte, off, end int) ([]byte, error) {
+	if codec == nil {
+		if end > len(stored) || off > end {
+			return nil, fmt.Errorf("orc: stream slice [%d:%d] out of range %d", off, end, len(stored))
+		}
+		return stored[off:end], nil
+	}
+	if end > len(stored) {
+		end = len(stored)
+	}
+	var out []byte
+	pos := off
+	for pos < end {
+		if pos >= len(stored) {
+			return nil, fmt.Errorf("orc: truncated compression unit header")
+		}
+		flag := stored[pos]
+		pos++
+		origLen, n := binary.Uvarint(stored[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("orc: bad unit original length")
+		}
+		pos += n
+		storedLen, n := binary.Uvarint(stored[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("orc: bad unit stored length")
+		}
+		pos += n
+		if pos+int(storedLen) > len(stored) {
+			return nil, fmt.Errorf("orc: truncated compression unit payload")
+		}
+		payload := stored[pos : pos+int(storedLen)]
+		pos += int(storedLen)
+		switch flag {
+		case unitRaw:
+			out = append(out, payload...)
+		case unitCompressed:
+			var err error
+			out, err = codec.Decompress(out, payload, int(origLen))
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("orc: bad compression unit flag %d", flag)
+		}
+	}
+	return out, nil
+}
+
+// encodeSection compresses a metadata section (footer, stripe footer, row
+// index) as a single run of units; metadata sections have no internal cuts.
+func encodeSection(codec compress.Codec, raw []byte, unitSize int) ([]byte, error) {
+	stored, _, err := chunkStream(codec, raw, nil, unitSize)
+	return stored, err
+}
+
+// decodeSection decompresses a whole metadata section.
+func decodeSection(codec compress.Codec, stored []byte) ([]byte, error) {
+	return dechunk(codec, stored, 0, len(stored))
+}

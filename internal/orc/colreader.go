@@ -1,0 +1,467 @@
+// colreader.go implements the per-type column readers that reconstruct rows
+// from decoded stream bytes. A reader tree is (re)built for every run of
+// consecutive selected index groups, positioned at the run's stream offsets
+// (paper §4.2's position pointers).
+package orc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/orc/stream"
+	"repro/internal/types"
+)
+
+// streamSource hands a column reader the decoded (raw) bytes of one of its
+// streams for the current group run. found is false when the stream was not
+// written (e.g. the present stream of a stripe without nulls).
+type streamSource interface {
+	fetch(colID int, kind stream.Kind) (raw []byte, found bool, err error)
+	// fetchWhole returns the full stream regardless of the group run;
+	// dictionary streams are stripe-global.
+	fetchWhole(colID int, kind stream.Kind) (raw []byte, found bool, err error)
+	encodingOf(colID int) ColumnEncoding
+}
+
+// columnReader reconstructs one value per call for its column.
+type columnReader interface {
+	next() (any, error)
+}
+
+// presentReader wraps the optional null bit-field stream.
+type presentReader struct {
+	bits *stream.BitFieldReader // nil when the column has no nulls
+}
+
+func newPresentReader(src streamSource, colID int) (presentReader, error) {
+	raw, found, err := src.fetch(colID, stream.Present)
+	if err != nil {
+		return presentReader{}, err
+	}
+	if !found {
+		return presentReader{}, nil
+	}
+	return presentReader{bits: stream.NewBitFieldReader(raw, 0)}, nil
+}
+
+// isPresent reports whether the next value is non-null.
+func (p *presentReader) isPresent() (bool, error) {
+	if p.bits == nil {
+		return true, nil
+	}
+	return p.bits.ReadBool()
+}
+
+// buildColumnReader constructs the reader tree for a column node, reading
+// every child column.
+func buildColumnReader(node *types.ColumnNode, src streamSource) (columnReader, error) {
+	return buildColumnReaderFiltered(node, src, func(int) bool { return true })
+}
+
+// nullColumnReader stands in for an excluded child column (§4.1): nothing
+// is fetched or decoded; every value reads as NULL.
+type nullColumnReader struct{}
+
+func (nullColumnReader) next() (any, error) { return nil, nil }
+
+// buildColumnReaderFiltered constructs the reader tree, substituting
+// null readers for children excluded by want.
+func buildColumnReaderFiltered(node *types.ColumnNode, src streamSource, want func(int) bool) (columnReader, error) {
+	if !want(node.ID) {
+		return nullColumnReader{}, nil
+	}
+	k := node.Type.Kind
+	present, err := newPresentReader(src, node.ID)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case k.IsInteger() || k == types.Timestamp:
+		raw, _, err := src.fetch(node.ID, stream.Data)
+		if err != nil {
+			return nil, err
+		}
+		return &intColumnReader{present: present, data: stream.NewIntReader(raw, 0)}, nil
+	case k.IsFloating():
+		raw, _, err := src.fetch(node.ID, stream.Data)
+		if err != nil {
+			return nil, err
+		}
+		return &doubleColumnReader{present: present, data: stream.NewByteReader(raw, 0)}, nil
+	case k == types.Boolean:
+		raw, _, err := src.fetch(node.ID, stream.Data)
+		if err != nil {
+			return nil, err
+		}
+		return &boolColumnReader{present: present, data: stream.NewBitFieldReader(raw, 0)}, nil
+	case k == types.String:
+		return buildStringReader(node, src, present)
+	case k == types.Binary:
+		dataRaw, _, err := src.fetch(node.ID, stream.Data)
+		if err != nil {
+			return nil, err
+		}
+		lenRaw, _, err := src.fetch(node.ID, stream.Length)
+		if err != nil {
+			return nil, err
+		}
+		return &binaryColumnReader{
+			present: present,
+			data:    stream.NewByteReader(dataRaw, 0),
+			length:  stream.NewIntReader(lenRaw, 0),
+		}, nil
+	case k == types.Struct:
+		r := &structColumnReader{present: present}
+		for _, c := range node.Children {
+			cr, err := buildColumnReaderFiltered(c, src, want)
+			if err != nil {
+				return nil, err
+			}
+			r.children = append(r.children, cr)
+		}
+		return r, nil
+	case k == types.Array:
+		lenRaw, _, err := src.fetch(node.ID, stream.Length)
+		if err != nil {
+			return nil, err
+		}
+		child, err := buildColumnReaderFiltered(node.Children[0], src, want)
+		if err != nil {
+			return nil, err
+		}
+		return &arrayColumnReader{
+			present: present,
+			length:  stream.NewIntReader(lenRaw, 0),
+			child:   child,
+		}, nil
+	case k == types.Map:
+		lenRaw, _, err := src.fetch(node.ID, stream.Length)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := buildColumnReaderFiltered(node.Children[0], src, want)
+		if err != nil {
+			return nil, err
+		}
+		values, err := buildColumnReaderFiltered(node.Children[1], src, want)
+		if err != nil {
+			return nil, err
+		}
+		return &mapColumnReader{
+			present: present,
+			length:  stream.NewIntReader(lenRaw, 0),
+			keys:    keys,
+			values:  values,
+		}, nil
+	case k == types.Union:
+		tagRaw, _, err := src.fetch(node.ID, stream.Secondary)
+		if err != nil {
+			return nil, err
+		}
+		r := &unionColumnReader{
+			present: present,
+			tags:    stream.NewRunLengthByteReader(tagRaw, 0),
+		}
+		for _, c := range node.Children {
+			cr, err := buildColumnReaderFiltered(c, src, want)
+			if err != nil {
+				return nil, err
+			}
+			r.children = append(r.children, cr)
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("orc: unsupported column kind %s", k)
+}
+
+func buildStringReader(node *types.ColumnNode, src streamSource, present presentReader) (columnReader, error) {
+	enc := src.encodingOf(node.ID)
+	if enc.Dictionary {
+		idsRaw, _, err := src.fetch(node.ID, stream.Data)
+		if err != nil {
+			return nil, err
+		}
+		dictRaw, _, err := src.fetchWhole(node.ID, stream.DictionaryData)
+		if err != nil {
+			return nil, err
+		}
+		lenRaw, _, err := src.fetchWhole(node.ID, stream.Length)
+		if err != nil {
+			return nil, err
+		}
+		// Materialize the dictionary once per stripe.
+		lengths := stream.NewIntReader(lenRaw, 0)
+		dict := make([]string, 0, enc.DictSize)
+		data := stream.NewByteReader(dictRaw, 0)
+		for i := uint64(0); i < enc.DictSize; i++ {
+			n, err := lengths.ReadInt()
+			if err != nil {
+				return nil, fmt.Errorf("orc: dictionary of column %d: %w", node.ID, err)
+			}
+			b, err := data.ReadN(int(n))
+			if err != nil {
+				return nil, fmt.Errorf("orc: dictionary of column %d: %w", node.ID, err)
+			}
+			dict = append(dict, string(b))
+		}
+		return &dictStringColumnReader{present: present, ids: stream.NewIntReader(idsRaw, 0), dict: dict}, nil
+	}
+	dataRaw, _, err := src.fetch(node.ID, stream.Data)
+	if err != nil {
+		return nil, err
+	}
+	lenRaw, _, err := src.fetch(node.ID, stream.Length)
+	if err != nil {
+		return nil, err
+	}
+	return &directStringColumnReader{
+		present: present,
+		data:    stream.NewByteReader(dataRaw, 0),
+		length:  stream.NewIntReader(lenRaw, 0),
+	}, nil
+}
+
+type intColumnReader struct {
+	present presentReader
+	data    *stream.IntReader
+}
+
+func (r *intColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return r.data.ReadInt()
+}
+
+type doubleColumnReader struct {
+	present presentReader
+	data    *stream.ByteReader
+}
+
+func (r *doubleColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	b, err := r.data.ReadN(8)
+	if err != nil {
+		return nil, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+type boolColumnReader struct {
+	present presentReader
+	data    *stream.BitFieldReader
+}
+
+func (r *boolColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return r.data.ReadBool()
+}
+
+type binaryColumnReader struct {
+	present presentReader
+	data    *stream.ByteReader
+	length  *stream.IntReader
+}
+
+func (r *binaryColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	n, err := r.length.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.data.ReadN(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+type directStringColumnReader struct {
+	present presentReader
+	data    *stream.ByteReader
+	length  *stream.IntReader
+}
+
+func (r *directStringColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	n, err := r.length.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.data.ReadN(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return string(b), nil
+}
+
+type dictStringColumnReader struct {
+	present presentReader
+	ids     *stream.IntReader
+	dict    []string
+}
+
+func (r *dictStringColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	id, err := r.ids.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= int64(len(r.dict)) {
+		return nil, fmt.Errorf("orc: dictionary id %d out of range [0,%d)", id, len(r.dict))
+	}
+	return r.dict[id], nil
+}
+
+type structColumnReader struct {
+	present  presentReader
+	children []columnReader
+}
+
+func (r *structColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	out := make([]any, len(r.children))
+	for i, c := range r.children {
+		v, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type arrayColumnReader struct {
+	present presentReader
+	length  *stream.IntReader
+	child   columnReader
+}
+
+func (r *arrayColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	n, err := r.length.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, n)
+	for i := range out {
+		v, err := r.child.next()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type mapColumnReader struct {
+	present presentReader
+	length  *stream.IntReader
+	keys    columnReader
+	values  columnReader
+}
+
+func (r *mapColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	n, err := r.length.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	mv := &types.MapValue{}
+	for i := int64(0); i < n; i++ {
+		k, err := r.keys.next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.values.next()
+		if err != nil {
+			return nil, err
+		}
+		mv.Keys = append(mv.Keys, k)
+		mv.Values = append(mv.Values, v)
+	}
+	return mv, nil
+}
+
+type unionColumnReader struct {
+	present  presentReader
+	tags     *stream.RunLengthByteReader
+	children []columnReader
+}
+
+func (r *unionColumnReader) next() (any, error) {
+	ok, err := r.present.isPresent()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	tag, err := r.tags.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if int(tag) >= len(r.children) {
+		return nil, fmt.Errorf("orc: union tag %d out of range [0,%d)", tag, len(r.children))
+	}
+	v, err := r.children[tag].next()
+	if err != nil {
+		return nil, err
+	}
+	return &types.UnionValue{Tag: int(tag), Value: v}, nil
+}

@@ -1,0 +1,663 @@
+// colwriter.go implements the per-type column writers of ORC File (§4.3):
+// each leaf column is stored in one or more primitive streams with
+// type-specific encodings, and complex columns are decomposed into child
+// columns per Table 1, with internal columns recording structural metadata.
+package orc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/orc/stream"
+	"repro/internal/types"
+)
+
+// finishedStream is one stream of a column after stripe finalization: its
+// raw (uncompressed) bytes and the byte offsets at which each index group
+// after the first begins.
+type finishedStream struct {
+	kind stream.Kind
+	raw  []byte
+	cuts []uint64 // len == numGroups-1; group g>0 starts at cuts[g-1]
+}
+
+// columnWriter is the per-column write path. The Writer drives all columns
+// in lockstep: startGroup at each index-group boundary, write per row (for
+// top-level columns; nested writers are driven by their parents), finish at
+// stripe flush.
+type columnWriter interface {
+	// write appends one value; nil is NULL.
+	write(v any) error
+	// startGroup opens a new index group: flushes encoder runs, records
+	// positions, and starts fresh group statistics.
+	startGroup()
+	// finish flushes encoders and returns the streams in directory
+	// order. Writers may omit streams (e.g. the present stream when the
+	// stripe has no nulls).
+	finish() []finishedStream
+	encoding() ColumnEncoding
+	groupStats() []*ColumnStats
+	stripeStats() *ColumnStats
+	fileStats() *ColumnStats
+	estimatedSize() int64
+	// reset prepares the writer for the next stripe; file stats persist.
+	reset()
+}
+
+// columnBase carries the state shared by all column writers.
+type columnBase struct {
+	node    *types.ColumnNode
+	present stream.BitFieldWriter
+	hasNull bool // any null in current stripe
+
+	groups  []*ColumnStats
+	stripe  *ColumnStats
+	file    *ColumnStats
+	current *ColumnStats
+}
+
+func newColumnBase(node *types.ColumnNode) columnBase {
+	k := node.Type.Kind
+	return columnBase{
+		node:   node,
+		stripe: newStatsFor(k),
+		file:   newStatsFor(k),
+	}
+}
+
+func (b *columnBase) openGroup() {
+	b.present.FlushRun()
+	b.current = newStatsFor(b.node.Type.Kind)
+	b.groups = append(b.groups, b.current)
+}
+
+func (b *columnBase) recordNull() {
+	b.present.WriteBool(false)
+	b.hasNull = true
+	b.current.Update(nil)
+}
+
+func (b *columnBase) recordPresent() {
+	b.present.WriteBool(true)
+}
+
+func (b *columnBase) groupStats() []*ColumnStats { return b.groups }
+func (b *columnBase) stripeStats() *ColumnStats  { return b.stripe }
+func (b *columnBase) fileStats() *ColumnStats    { return b.file }
+
+// finalizeStats merges group stats into stripe stats and stripe into file.
+func (b *columnBase) finalizeStats() {
+	for _, g := range b.groups {
+		b.stripe.Merge(g)
+	}
+	b.file.Merge(b.stripe)
+}
+
+func (b *columnBase) resetBase() {
+	b.present.Reset()
+	b.hasNull = false
+	b.groups = nil
+	b.stripe = newStatsFor(b.node.Type.Kind)
+	b.current = nil
+}
+
+// assembleStreams builds the finished stream list, dropping the present
+// stream when the stripe contains no nulls (the encoding readers rely on
+// the stream directory to detect this).
+func (b *columnBase) assembleStreams(presentPositions []uint64, dataStreams []finishedStream) []finishedStream {
+	if !b.hasNull {
+		return dataStreams
+	}
+	b.present.FlushRun()
+	out := []finishedStream{{kind: stream.Present, raw: b.present.Bytes(), cuts: presentPositions}}
+	return append(out, dataStreams...)
+}
+
+// positionTracker accumulates per-group positions for one stream.
+type positionTracker struct {
+	positions []uint64 // len == numGroups; positions[0] == 0
+}
+
+func (p *positionTracker) mark(length int) { p.positions = append(p.positions, uint64(length)) }
+
+// cuts returns group-start offsets excluding group 0.
+func (p *positionTracker) cuts() []uint64 {
+	if len(p.positions) <= 1 {
+		return nil
+	}
+	return p.positions[1:]
+}
+
+// newColumnWriter builds the writer tree for a column node.
+func newColumnWriter(node *types.ColumnNode, opts *WriterOptions) (columnWriter, error) {
+	k := node.Type.Kind
+	switch {
+	case k.IsInteger() || k == types.Timestamp:
+		return &intColumnWriter{columnBase: newColumnBase(node)}, nil
+	case k.IsFloating():
+		return &doubleColumnWriter{columnBase: newColumnBase(node)}, nil
+	case k == types.Boolean:
+		return &boolColumnWriter{columnBase: newColumnBase(node)}, nil
+	case k == types.String:
+		return &stringColumnWriter{
+			columnBase: newColumnBase(node),
+			threshold:  opts.DictionaryThreshold,
+			dict:       make(map[string]int),
+		}, nil
+	case k == types.Binary:
+		return &binaryColumnWriter{columnBase: newColumnBase(node)}, nil
+	case k == types.Struct:
+		w := &structColumnWriter{columnBase: newColumnBase(node)}
+		for _, c := range node.Children {
+			cw, err := newColumnWriter(c, opts)
+			if err != nil {
+				return nil, err
+			}
+			w.children = append(w.children, cw)
+		}
+		return w, nil
+	case k == types.Array:
+		child, err := newColumnWriter(node.Children[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		return &arrayColumnWriter{columnBase: newColumnBase(node), child: child}, nil
+	case k == types.Map:
+		kw, err := newColumnWriter(node.Children[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		vw, err := newColumnWriter(node.Children[1], opts)
+		if err != nil {
+			return nil, err
+		}
+		return &mapColumnWriter{columnBase: newColumnBase(node), keys: kw, values: vw}, nil
+	case k == types.Union:
+		w := &unionColumnWriter{columnBase: newColumnBase(node)}
+		for _, c := range node.Children {
+			cw, err := newColumnWriter(c, opts)
+			if err != nil {
+				return nil, err
+			}
+			w.children = append(w.children, cw)
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("orc: unsupported column kind %s", k)
+}
+
+// collectWriters appends w and all descendants in column-id (pre-order)
+// order, matching the column tree.
+func collectWriters(w columnWriter, out *[]columnWriter) {
+	*out = append(*out, w)
+	switch t := w.(type) {
+	case *structColumnWriter:
+		for _, c := range t.children {
+			collectWriters(c, out)
+		}
+	case *arrayColumnWriter:
+		collectWriters(t.child, out)
+	case *mapColumnWriter:
+		collectWriters(t.keys, out)
+		collectWriters(t.values, out)
+	case *unionColumnWriter:
+		for _, c := range t.children {
+			collectWriters(c, out)
+		}
+	}
+}
+
+// --- Integer (paper: one bit-field null stream + one integer stream) ---
+
+type intColumnWriter struct {
+	columnBase
+	data       stream.IntWriter
+	presentPos positionTracker
+	dataPos    positionTracker
+}
+
+func (w *intColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	x, ok := v.(int64)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not int64", w.node.ID, w.node.Type, v)
+	}
+	w.recordPresent()
+	w.data.WriteInt(x)
+	w.current.Update(x)
+	return nil
+}
+
+func (w *intColumnWriter) startGroup() {
+	w.openGroup()
+	w.data.FlushRun()
+	w.presentPos.mark(w.present.Len())
+	w.dataPos.mark(w.data.Len())
+}
+
+func (w *intColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	w.data.FlushRun()
+	return w.assembleStreams(w.presentPos.cuts(),
+		[]finishedStream{{kind: stream.Data, raw: w.data.Bytes(), cuts: w.dataPos.cuts()}})
+}
+
+func (w *intColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *intColumnWriter) estimatedSize() int64 {
+	return int64(w.data.Len()) + int64(w.present.Len()) + 64
+}
+
+func (w *intColumnWriter) reset() {
+	w.resetBase()
+	w.data.Reset()
+	w.presentPos = positionTracker{}
+	w.dataPos = positionTracker{}
+}
+
+// --- Double (byte stream of fixed 8-byte IEEE754 values) ---
+
+type doubleColumnWriter struct {
+	columnBase
+	data       stream.ByteWriter
+	presentPos positionTracker
+	dataPos    positionTracker
+}
+
+func (w *doubleColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	x, ok := v.(float64)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not float64", w.node.ID, w.node.Type, v)
+	}
+	w.recordPresent()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	w.data.Put(buf[:])
+	w.current.Update(x)
+	return nil
+}
+
+func (w *doubleColumnWriter) startGroup() {
+	w.openGroup()
+	w.presentPos.mark(w.present.Len())
+	w.dataPos.mark(w.data.Len())
+}
+
+func (w *doubleColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	return w.assembleStreams(w.presentPos.cuts(),
+		[]finishedStream{{kind: stream.Data, raw: w.data.Bytes(), cuts: w.dataPos.cuts()}})
+}
+
+func (w *doubleColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *doubleColumnWriter) estimatedSize() int64 {
+	return int64(w.data.Len()) + int64(w.present.Len()) + 64
+}
+
+func (w *doubleColumnWriter) reset() {
+	w.resetBase()
+	w.data.Reset()
+	w.presentPos = positionTracker{}
+	w.dataPos = positionTracker{}
+}
+
+// --- Boolean (bit-field data stream) ---
+
+type boolColumnWriter struct {
+	columnBase
+	data       stream.BitFieldWriter
+	presentPos positionTracker
+	dataPos    positionTracker
+}
+
+func (w *boolColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	x, ok := v.(bool)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not bool", w.node.ID, w.node.Type, v)
+	}
+	w.recordPresent()
+	w.data.WriteBool(x)
+	w.current.Update(x)
+	return nil
+}
+
+func (w *boolColumnWriter) startGroup() {
+	w.openGroup()
+	w.data.FlushRun()
+	w.presentPos.mark(w.present.Len())
+	w.dataPos.mark(w.data.Len())
+}
+
+func (w *boolColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	w.data.FlushRun()
+	return w.assembleStreams(w.presentPos.cuts(),
+		[]finishedStream{{kind: stream.Data, raw: w.data.Bytes(), cuts: w.dataPos.cuts()}})
+}
+
+func (w *boolColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *boolColumnWriter) estimatedSize() int64 {
+	return int64(w.data.Len()) + int64(w.present.Len()) + 64
+}
+
+func (w *boolColumnWriter) reset() {
+	w.resetBase()
+	w.data.Reset()
+	w.presentPos = positionTracker{}
+	w.dataPos = positionTracker{}
+}
+
+// --- Binary (byte stream + length integer stream) ---
+
+type binaryColumnWriter struct {
+	columnBase
+	data       stream.ByteWriter
+	length     stream.IntWriter
+	presentPos positionTracker
+	dataPos    positionTracker
+	lengthPos  positionTracker
+}
+
+func (w *binaryColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	x, ok := v.([]byte)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not []byte", w.node.ID, w.node.Type, v)
+	}
+	w.recordPresent()
+	w.data.Put(x)
+	w.length.WriteInt(int64(len(x)))
+	w.current.Update(x)
+	return nil
+}
+
+func (w *binaryColumnWriter) startGroup() {
+	w.openGroup()
+	w.length.FlushRun()
+	w.presentPos.mark(w.present.Len())
+	w.dataPos.mark(w.data.Len())
+	w.lengthPos.mark(w.length.Len())
+}
+
+func (w *binaryColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	w.length.FlushRun()
+	return w.assembleStreams(w.presentPos.cuts(), []finishedStream{
+		{kind: stream.Data, raw: w.data.Bytes(), cuts: w.dataPos.cuts()},
+		{kind: stream.Length, raw: w.length.Bytes(), cuts: w.lengthPos.cuts()},
+	})
+}
+
+func (w *binaryColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *binaryColumnWriter) estimatedSize() int64 {
+	return int64(w.data.Len()) + int64(w.length.Len()) + int64(w.present.Len()) + 64
+}
+
+func (w *binaryColumnWriter) reset() {
+	w.resetBase()
+	w.data.Reset()
+	w.length.Reset()
+	w.presentPos = positionTracker{}
+	w.dataPos = positionTracker{}
+	w.lengthPos = positionTracker{}
+}
+
+// --- Struct (present stream only; fields are child columns) ---
+
+type structColumnWriter struct {
+	columnBase
+	children   []columnWriter
+	presentPos positionTracker
+}
+
+func (w *structColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	fields, ok := v.([]any)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not []any", w.node.ID, w.node.Type, v)
+	}
+	if len(fields) != len(w.children) {
+		return fmt.Errorf("orc: column %d: struct has %d fields, want %d", w.node.ID, len(fields), len(w.children))
+	}
+	w.recordPresent()
+	w.current.CountOnly()
+	for i, c := range w.children {
+		if err := c.write(fields[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *structColumnWriter) startGroup() {
+	w.openGroup()
+	w.presentPos.mark(w.present.Len())
+}
+
+func (w *structColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	return w.assembleStreams(w.presentPos.cuts(), nil)
+}
+
+func (w *structColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *structColumnWriter) estimatedSize() int64 {
+	n := int64(w.present.Len()) + 64
+	for _, c := range w.children {
+		n += c.estimatedSize()
+	}
+	return n
+}
+
+func (w *structColumnWriter) reset() {
+	w.resetBase()
+	w.presentPos = positionTracker{}
+	for _, c := range w.children {
+		c.reset()
+	}
+}
+
+// --- Array (length stream records element counts; internal column) ---
+
+type arrayColumnWriter struct {
+	columnBase
+	child      columnWriter
+	length     stream.IntWriter
+	presentPos positionTracker
+	lengthPos  positionTracker
+}
+
+func (w *arrayColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not []any", w.node.ID, w.node.Type, v)
+	}
+	w.recordPresent()
+	w.current.CountOnly()
+	w.length.WriteInt(int64(len(arr)))
+	for _, e := range arr {
+		if err := w.child.write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *arrayColumnWriter) startGroup() {
+	w.openGroup()
+	w.length.FlushRun()
+	w.presentPos.mark(w.present.Len())
+	w.lengthPos.mark(w.length.Len())
+}
+
+func (w *arrayColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	w.length.FlushRun()
+	return w.assembleStreams(w.presentPos.cuts(),
+		[]finishedStream{{kind: stream.Length, raw: w.length.Bytes(), cuts: w.lengthPos.cuts()}})
+}
+
+func (w *arrayColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *arrayColumnWriter) estimatedSize() int64 {
+	return int64(w.length.Len()) + int64(w.present.Len()) + 64 + w.child.estimatedSize()
+}
+
+func (w *arrayColumnWriter) reset() {
+	w.resetBase()
+	w.length.Reset()
+	w.presentPos = positionTracker{}
+	w.lengthPos = positionTracker{}
+	w.child.reset()
+}
+
+// --- Map (length stream records entry counts; key/value child columns) ---
+
+type mapColumnWriter struct {
+	columnBase
+	keys       columnWriter
+	values     columnWriter
+	length     stream.IntWriter
+	presentPos positionTracker
+	lengthPos  positionTracker
+}
+
+func (w *mapColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	mv, ok := v.(*types.MapValue)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not *types.MapValue", w.node.ID, w.node.Type, v)
+	}
+	w.recordPresent()
+	w.current.CountOnly()
+	w.length.WriteInt(int64(mv.Len()))
+	for i := range mv.Keys {
+		if err := w.keys.write(mv.Keys[i]); err != nil {
+			return err
+		}
+		if err := w.values.write(mv.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *mapColumnWriter) startGroup() {
+	w.openGroup()
+	w.length.FlushRun()
+	w.presentPos.mark(w.present.Len())
+	w.lengthPos.mark(w.length.Len())
+}
+
+func (w *mapColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	w.length.FlushRun()
+	return w.assembleStreams(w.presentPos.cuts(),
+		[]finishedStream{{kind: stream.Length, raw: w.length.Bytes(), cuts: w.lengthPos.cuts()}})
+}
+
+func (w *mapColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *mapColumnWriter) estimatedSize() int64 {
+	return int64(w.length.Len()) + int64(w.present.Len()) + 64 +
+		w.keys.estimatedSize() + w.values.estimatedSize()
+}
+
+func (w *mapColumnWriter) reset() {
+	w.resetBase()
+	w.length.Reset()
+	w.presentPos = positionTracker{}
+	w.lengthPos = positionTracker{}
+	w.keys.reset()
+	w.values.reset()
+}
+
+// --- Union (tag stream selects the child column per value) ---
+
+type unionColumnWriter struct {
+	columnBase
+	children   []columnWriter
+	tags       stream.RunLengthByteWriter
+	presentPos positionTracker
+	tagPos     positionTracker
+}
+
+func (w *unionColumnWriter) write(v any) error {
+	if v == nil {
+		w.recordNull()
+		return nil
+	}
+	uv, ok := v.(*types.UnionValue)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not *types.UnionValue", w.node.ID, w.node.Type, v)
+	}
+	if uv.Tag < 0 || uv.Tag >= len(w.children) {
+		return fmt.Errorf("orc: column %d: union tag %d out of range", w.node.ID, uv.Tag)
+	}
+	w.recordPresent()
+	w.current.CountOnly()
+	w.tags.Put(byte(uv.Tag))
+	return w.children[uv.Tag].write(uv.Value)
+}
+
+func (w *unionColumnWriter) startGroup() {
+	w.openGroup()
+	w.tags.FlushRun()
+	w.presentPos.mark(w.present.Len())
+	w.tagPos.mark(w.tags.Len())
+}
+
+func (w *unionColumnWriter) finish() []finishedStream {
+	w.finalizeStats()
+	w.tags.FlushRun()
+	return w.assembleStreams(w.presentPos.cuts(),
+		[]finishedStream{{kind: stream.Secondary, raw: w.tags.Bytes(), cuts: w.tagPos.cuts()}})
+}
+
+func (w *unionColumnWriter) encoding() ColumnEncoding { return ColumnEncoding{} }
+
+func (w *unionColumnWriter) estimatedSize() int64 {
+	n := int64(w.tags.Len()) + int64(w.present.Len()) + 64
+	for _, c := range w.children {
+		n += c.estimatedSize()
+	}
+	return n
+}
+
+func (w *unionColumnWriter) reset() {
+	w.resetBase()
+	w.tags.Reset()
+	w.presentPos = positionTracker{}
+	w.tagPos = positionTracker{}
+	for _, c := range w.children {
+		c.reset()
+	}
+}

@@ -1,0 +1,87 @@
+// memory.go implements the ORC memory manager (paper §4.4): a per-task
+// registry that bounds the total memory footprint of concurrent ORC writers
+// by scaling their effective stripe sizes when the sum of registered stripe
+// sizes exceeds a threshold.
+package orc
+
+import "sync"
+
+// MemoryManager bounds the aggregate stripe-buffer memory of the writers
+// registered with it. The zero value is not usable; use NewMemoryManager.
+type MemoryManager struct {
+	mu        sync.Mutex
+	threshold int64
+	total     int64 // sum of registered stripe sizes
+	scale     float64
+	writers   map[*Writer]int64
+}
+
+// NewMemoryManager creates a manager with the given byte threshold. The
+// paper's default threshold is half the memory allocated to the task.
+func NewMemoryManager(threshold int64) *MemoryManager {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	return &MemoryManager{
+		threshold: threshold,
+		scale:     1,
+		writers:   make(map[*Writer]int64),
+	}
+}
+
+// Register adds a writer with its requested stripe size and recomputes the
+// scale factor.
+func (m *MemoryManager) Register(w *Writer, stripeSize int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.writers[w]; ok {
+		m.total -= old
+	}
+	m.writers[w] = stripeSize
+	m.total += stripeSize
+	m.recompute()
+}
+
+// Unregister removes a closed writer; remaining writers get their original
+// stripe sizes back if the total drops under the threshold.
+func (m *MemoryManager) Unregister(w *Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.writers[w]; ok {
+		m.total -= old
+		delete(m.writers, w)
+		m.recompute()
+	}
+}
+
+// recompute must be called with mu held. When the total registered stripe
+// size exceeds the threshold, actual stripe sizes are scaled down by
+// threshold/total (paper §4.4).
+func (m *MemoryManager) recompute() {
+	if m.total > m.threshold {
+		m.scale = float64(m.threshold) / float64(m.total)
+	} else {
+		m.scale = 1
+	}
+}
+
+// Scale returns the current stripe-size multiplier in (0, 1].
+func (m *MemoryManager) Scale() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scale
+}
+
+// TotalRegistered returns the sum of registered stripe sizes.
+func (m *MemoryManager) TotalRegistered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// NumWriters returns the number of registered writers.
+func (m *MemoryManager) NumWriters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.writers)
+}

@@ -1,0 +1,65 @@
+package orc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemoryManagerScaleMath(t *testing.T) {
+	mm := NewMemoryManager(100)
+	if mm.Scale() != 1 {
+		t.Fatal("fresh manager scale != 1")
+	}
+	a, b, c := &Writer{}, &Writer{}, &Writer{}
+	mm.Register(a, 60)
+	if mm.Scale() != 1 {
+		t.Fatalf("under threshold scaled: %v", mm.Scale())
+	}
+	mm.Register(b, 60)
+	// 120 registered over a 100 threshold: scale = 100/120.
+	if got := mm.Scale(); got != 100.0/120.0 {
+		t.Fatalf("scale = %v, want %v", got, 100.0/120.0)
+	}
+	mm.Register(c, 80)
+	if got := mm.Scale(); got != 0.5 {
+		t.Fatalf("scale = %v, want 0.5", got)
+	}
+	// Closing writers restores the originals (paper §4.4: "the actual
+	// stripe sizes of all writers will be set back").
+	mm.Unregister(c)
+	mm.Unregister(b)
+	if mm.Scale() != 1 || mm.TotalRegistered() != 60 {
+		t.Fatalf("after unregister: scale=%v total=%d", mm.Scale(), mm.TotalRegistered())
+	}
+	// Re-registering the same writer replaces its size.
+	mm.Register(a, 200)
+	if mm.TotalRegistered() != 200 || mm.NumWriters() != 1 {
+		t.Fatalf("re-register: total=%d writers=%d", mm.TotalRegistered(), mm.NumWriters())
+	}
+	// Unregistering an unknown writer is a no-op.
+	mm.Unregister(b)
+	if mm.TotalRegistered() != 200 {
+		t.Fatal("unknown unregister changed totals")
+	}
+}
+
+func TestMemoryManagerConcurrent(t *testing.T) {
+	mm := NewMemoryManager(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &Writer{}
+			for j := 0; j < 100; j++ {
+				mm.Register(w, 1<<10)
+				mm.Scale()
+				mm.Unregister(w)
+			}
+		}()
+	}
+	wg.Wait()
+	if mm.NumWriters() != 0 || mm.TotalRegistered() != 0 {
+		t.Fatalf("leaked registrations: %d writers, %d bytes", mm.NumWriters(), mm.TotalRegistered())
+	}
+}

@@ -1,0 +1,450 @@
+// meta.go implements the binary encoding of ORC file metadata: the
+// postscript, file footer, file metadata (stripe-level statistics), stripe
+// footers and row indexes. Real ORC serializes these with Protocol Buffers;
+// this reproduction uses a hand-rolled varint encoding (DESIGN.md §4.4).
+package orc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/orc/stream"
+	"repro/internal/types"
+)
+
+// Magic identifies our ORC files; it appears in the postscript.
+const Magic = "GORC"
+
+// metaEnc is an append-only encoder for metadata sections.
+type metaEnc struct {
+	buf []byte
+}
+
+func (e *metaEnc) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *metaEnc) i64(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *metaEnc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *metaEnc) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+func (e *metaEnc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// metaDec decodes metadata sections; it records the first error and turns
+// subsequent reads into no-ops so call sites stay linear.
+type metaDec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *metaDec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("orc: corrupt metadata: %s at offset %d", msg, d.pos)
+	}
+}
+
+func (d *metaDec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *metaDec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *metaDec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *metaDec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("truncated bool")
+		return false
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b != 0
+}
+
+func (d *metaDec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+int(n) > len(d.buf) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// Postscript is the last section of an ORC file, preceded only by its own
+// one-byte length. It locates the footer and records the compression codec
+// (paper Figure 2).
+type Postscript struct {
+	FooterLength    uint64
+	MetadataLength  uint64
+	Compression     compress.Kind
+	CompressionUnit uint64
+	Version         uint64
+}
+
+func (p *Postscript) encode() []byte {
+	var e metaEnc
+	e.u64(p.FooterLength)
+	e.u64(p.MetadataLength)
+	e.u64(uint64(p.Compression))
+	e.u64(p.CompressionUnit)
+	e.u64(p.Version)
+	e.str(Magic)
+	return e.buf
+}
+
+func decodePostscript(buf []byte) (*Postscript, error) {
+	d := &metaDec{buf: buf}
+	p := &Postscript{}
+	p.FooterLength = d.u64()
+	p.MetadataLength = d.u64()
+	p.Compression = compress.Kind(d.u64())
+	p.CompressionUnit = d.u64()
+	p.Version = d.u64()
+	magic := d.str()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("orc: bad magic %q (not an ORC file?)", magic)
+	}
+	return p, nil
+}
+
+// StripeInformation locates a stripe within the file: these are the position
+// pointers to stripe starting points the paper stores in the file footer.
+type StripeInformation struct {
+	Offset       uint64 // absolute file offset of the stripe
+	IndexLength  uint64 // bytes of row-index section at the stripe start
+	DataLength   uint64 // bytes of data streams
+	FooterLength uint64 // bytes of stripe footer
+	NumRows      uint64
+}
+
+// Footer is the file footer: schema, stripe directory, row count and
+// file-level column statistics.
+type Footer struct {
+	NumRows        uint64
+	Schema         *types.Schema
+	Stripes        []StripeInformation
+	Statistics     []*ColumnStats // indexed by column id over the column tree
+	RowIndexStride uint64
+}
+
+func encodeSchema(e *metaEnc, s *types.Schema) {
+	e.u64(uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		e.str(c.Name)
+		encodeType(e, c.Type)
+	}
+}
+
+func encodeType(e *metaEnc, t *types.Type) {
+	e.u64(uint64(t.Kind))
+	e.u64(uint64(len(t.Children)))
+	for i, c := range t.Children {
+		if t.Kind == types.Struct {
+			e.str(t.FieldNames[i])
+		}
+		encodeType(e, c)
+	}
+}
+
+func decodeSchema(d *metaDec) *types.Schema {
+	n := d.u64()
+	s := &types.Schema{}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		name := d.str()
+		t := decodeType(d, 0)
+		if d.err != nil {
+			break
+		}
+		s.Columns = append(s.Columns, types.Col(name, t))
+	}
+	return s
+}
+
+func decodeType(d *metaDec, depth int) *types.Type {
+	if depth > 64 {
+		d.fail("type nesting too deep")
+		return nil
+	}
+	k := types.Kind(d.u64())
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("type child count exceeds buffer")
+		return nil
+	}
+	t := &types.Type{Kind: k}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		if k == types.Struct {
+			t.FieldNames = append(t.FieldNames, d.str())
+		}
+		t.Children = append(t.Children, decodeType(d, depth+1))
+	}
+	return t
+}
+
+func (f *Footer) encode() []byte {
+	var e metaEnc
+	e.u64(f.NumRows)
+	e.u64(f.RowIndexStride)
+	encodeSchema(&e, f.Schema)
+	e.u64(uint64(len(f.Stripes)))
+	for _, s := range f.Stripes {
+		e.u64(s.Offset)
+		e.u64(s.IndexLength)
+		e.u64(s.DataLength)
+		e.u64(s.FooterLength)
+		e.u64(s.NumRows)
+	}
+	e.u64(uint64(len(f.Statistics)))
+	for _, cs := range f.Statistics {
+		encodeStats(&e, cs)
+	}
+	return e.buf
+}
+
+func decodeFooter(buf []byte) (*Footer, error) {
+	d := &metaDec{buf: buf}
+	f := &Footer{}
+	f.NumRows = d.u64()
+	f.RowIndexStride = d.u64()
+	f.Schema = decodeSchema(d)
+	ns := d.u64()
+	if ns > uint64(len(buf)) {
+		return nil, fmt.Errorf("orc: footer declares %d stripes", ns)
+	}
+	for i := uint64(0); i < ns && d.err == nil; i++ {
+		f.Stripes = append(f.Stripes, StripeInformation{
+			Offset:       d.u64(),
+			IndexLength:  d.u64(),
+			DataLength:   d.u64(),
+			FooterLength: d.u64(),
+			NumRows:      d.u64(),
+		})
+	}
+	nc := d.u64()
+	if nc > uint64(len(buf)) {
+		return nil, fmt.Errorf("orc: footer declares %d column stats", nc)
+	}
+	for i := uint64(0); i < nc && d.err == nil; i++ {
+		f.Statistics = append(f.Statistics, decodeStats(d))
+	}
+	return f, d.err
+}
+
+// FileMetadata carries stripe-level statistics for every column of every
+// stripe, letting readers skip stripes without touching them (paper §4.2's
+// second statistics level).
+type FileMetadata struct {
+	StripeStats [][]*ColumnStats // [stripe][column id]
+}
+
+func (m *FileMetadata) encode() []byte {
+	var e metaEnc
+	e.u64(uint64(len(m.StripeStats)))
+	for _, cols := range m.StripeStats {
+		e.u64(uint64(len(cols)))
+		for _, cs := range cols {
+			encodeStats(&e, cs)
+		}
+	}
+	return e.buf
+}
+
+func decodeFileMetadata(buf []byte) (*FileMetadata, error) {
+	d := &metaDec{buf: buf}
+	m := &FileMetadata{}
+	ns := d.u64()
+	if ns > uint64(len(buf))+1 {
+		return nil, fmt.Errorf("orc: metadata declares %d stripes", ns)
+	}
+	for i := uint64(0); i < ns && d.err == nil; i++ {
+		nc := d.u64()
+		cols := make([]*ColumnStats, 0, nc)
+		for j := uint64(0); j < nc && d.err == nil; j++ {
+			cols = append(cols, decodeStats(d))
+		}
+		m.StripeStats = append(m.StripeStats, cols)
+	}
+	return m, d.err
+}
+
+// ColumnEncoding records how a column's streams are encoded in a stripe.
+type ColumnEncoding struct {
+	Dictionary bool
+	DictSize   uint64
+}
+
+// StreamInfo is one entry of a stripe footer's stream directory. Offsets
+// are relative to the start of the stripe's data section and refer to the
+// stored (possibly compressed) bytes.
+type StreamInfo struct {
+	Column int
+	Kind   stream.Kind
+	Length uint64
+}
+
+// StripeFooter directs a reader to the streams of a stripe. IndexLens
+// holds the stored length of each column's row-index section (real ORC
+// likewise stores one ROW_INDEX stream per column, so a projected read
+// fetches only the indexes of the columns it touches).
+type StripeFooter struct {
+	Streams   []StreamInfo
+	Encodings []ColumnEncoding // by column id
+	Stats     []*ColumnStats   // stripe-level stats by column id
+	IndexLens []uint64         // by column id
+}
+
+func (sf *StripeFooter) encode() []byte {
+	var e metaEnc
+	e.u64(uint64(len(sf.Streams)))
+	for _, s := range sf.Streams {
+		e.u64(uint64(s.Column))
+		e.u64(uint64(s.Kind))
+		e.u64(s.Length)
+	}
+	e.u64(uint64(len(sf.Encodings)))
+	for _, enc := range sf.Encodings {
+		e.bool(enc.Dictionary)
+		e.u64(enc.DictSize)
+	}
+	e.u64(uint64(len(sf.Stats)))
+	for _, cs := range sf.Stats {
+		encodeStats(&e, cs)
+	}
+	e.u64(uint64(len(sf.IndexLens)))
+	for _, n := range sf.IndexLens {
+		e.u64(n)
+	}
+	return e.buf
+}
+
+func decodeStripeFooter(buf []byte) (*StripeFooter, error) {
+	d := &metaDec{buf: buf}
+	sf := &StripeFooter{}
+	ns := d.u64()
+	if ns > uint64(len(buf)) {
+		return nil, fmt.Errorf("orc: stripe footer declares %d streams", ns)
+	}
+	for i := uint64(0); i < ns && d.err == nil; i++ {
+		sf.Streams = append(sf.Streams, StreamInfo{
+			Column: int(d.u64()),
+			Kind:   stream.Kind(d.u64()),
+			Length: d.u64(),
+		})
+	}
+	ne := d.u64()
+	for i := uint64(0); i < ne && d.err == nil; i++ {
+		sf.Encodings = append(sf.Encodings, ColumnEncoding{
+			Dictionary: d.bool(),
+			DictSize:   d.u64(),
+		})
+	}
+	nc := d.u64()
+	for i := uint64(0); i < nc && d.err == nil; i++ {
+		sf.Stats = append(sf.Stats, decodeStats(d))
+	}
+	ni := d.u64()
+	for i := uint64(0); i < ni && d.err == nil; i++ {
+		sf.IndexLens = append(sf.IndexLens, d.u64())
+	}
+	return sf, d.err
+}
+
+// RowIndexEntry is the index-group level index for one column: position
+// pointers into each of the column's streams (paper Figure 2's round-dotted
+// lines into metadata and data streams) plus the group's statistics.
+type RowIndexEntry struct {
+	Positions []uint64 // one per stream of this column, in directory order
+	Stats     *ColumnStats
+}
+
+// RowIndex is the per-column index over all index groups of a stripe.
+type RowIndex struct {
+	Entries []RowIndexEntry
+}
+
+func encodeRowIndex(ri *RowIndex) []byte {
+	var e metaEnc
+	e.u64(uint64(len(ri.Entries)))
+	for _, ent := range ri.Entries {
+		e.u64(uint64(len(ent.Positions)))
+		for _, p := range ent.Positions {
+			e.u64(p)
+		}
+		encodeStats(&e, ent.Stats)
+	}
+	return e.buf
+}
+
+func decodeRowIndex(buf []byte) (*RowIndex, error) {
+	d := &metaDec{buf: buf}
+	ri := &RowIndex{}
+	ng := d.u64()
+	if ng > uint64(len(buf))+1 {
+		return nil, fmt.Errorf("orc: row index declares %d groups", ng)
+	}
+	for g := uint64(0); g < ng && d.err == nil; g++ {
+		np := d.u64()
+		ent := RowIndexEntry{}
+		for p := uint64(0); p < np && d.err == nil; p++ {
+			ent.Positions = append(ent.Positions, d.u64())
+		}
+		ent.Stats = decodeStats(d)
+		ri.Entries = append(ri.Entries, ent)
+	}
+	return ri, d.err
+}

@@ -1,0 +1,792 @@
+package orc
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/dfs"
+	"repro/internal/types"
+)
+
+// writeFile writes rows into a fresh DFS file and returns a reader over it.
+func writeFile(t *testing.T, fs *dfs.FS, path string, schema *types.Schema, opts *WriterOptions, rows []types.Row) *Reader {
+	t.Helper()
+	fw, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(fw, schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if err := w.Write(row); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func readAll(t *testing.T, r *Reader, opts ReadOptions) []types.Row {
+	t.Helper()
+	rr, err := r.Rows(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []types.Row
+	for {
+		row, err := rr.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row)
+	}
+}
+
+func simpleSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("name", types.Primitive(types.String)),
+		types.Col("score", types.Primitive(types.Double)),
+		types.Col("active", types.Primitive(types.Boolean)),
+	)
+}
+
+func simpleRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{
+			int64(i),
+			fmt.Sprintf("name-%d", i%7),
+			float64(i) * 0.5,
+			i%3 == 0,
+		}
+	}
+	return rows
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	fs := dfs.New()
+	rows := simpleRows(100)
+	r := writeFile(t, fs, "/t/f", simpleSchema(), nil, rows)
+	if r.NumRows() != 100 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	got := readAll(t, r, ReadOptions{})
+	if len(got) != 100 {
+		t.Fatalf("read %d rows", len(got))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(got[i], rows[i]) {
+			t.Fatalf("row %d = %v, want %v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	for _, codec := range []compress.Kind{compress.None, compress.Zlib, compress.Snappy} {
+		t.Run(codec.String(), func(t *testing.T) {
+			fs := dfs.New()
+			rows := simpleRows(5000)
+			opts := &WriterOptions{Compression: codec, RowIndexStride: 1000, CompressionUnit: 512}
+			r := writeFile(t, fs, "/t/f", simpleSchema(), opts, rows)
+			if r.Compression() != codec {
+				t.Fatalf("Compression = %v", r.Compression())
+			}
+			got := readAll(t, r, ReadOptions{})
+			if len(got) != len(rows) {
+				t.Fatalf("read %d rows, want %d", len(got), len(rows))
+			}
+			for i := range rows {
+				if !reflect.DeepEqual(got[i], rows[i]) {
+					t.Fatalf("row %d = %v, want %v", i, got[i], rows[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRoundTripMultipleStripes(t *testing.T) {
+	fs := dfs.New()
+	rows := simpleRows(20000)
+	opts := &WriterOptions{StripeSize: 8 << 10, RowIndexStride: 500}
+	r := writeFile(t, fs, "/t/f", simpleSchema(), opts, rows)
+	if r.NumStripes() < 2 {
+		t.Fatalf("expected multiple stripes, got %d", r.NumStripes())
+	}
+	got := readAll(t, r, ReadOptions{})
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(got[i], rows[i]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripNulls(t *testing.T) {
+	fs := dfs.New()
+	rows := make([]types.Row, 1000)
+	for i := range rows {
+		row := types.Row{int64(i), fmt.Sprintf("s%d", i), float64(i), true}
+		if i%5 == 0 {
+			row[0] = nil
+		}
+		if i%7 == 0 {
+			row[1] = nil
+		}
+		if i%11 == 0 {
+			row[2] = nil
+		}
+		if i%13 == 0 {
+			row[3] = nil
+		}
+		rows[i] = row
+	}
+	r := writeFile(t, fs, "/t/f", simpleSchema(), &WriterOptions{RowIndexStride: 100}, rows)
+	got := readAll(t, r, ReadOptions{})
+	for i := range rows {
+		if !reflect.DeepEqual(got[i], rows[i]) {
+			t.Fatalf("row %d = %v, want %v", i, got[i], rows[i])
+		}
+	}
+	// File stats must report nulls.
+	if !r.StatsByName("id").HasNull {
+		t.Error("id column stats missing HasNull")
+	}
+}
+
+// figure3Schema reproduces the nested example of paper Figure 3.
+func figure3Schema() *types.Schema {
+	return types.NewSchema(
+		types.Col("col1", types.Primitive(types.Int)),
+		types.Col("col2", types.NewArray(types.Primitive(types.Int))),
+		types.Col("col4", types.NewMap(types.Primitive(types.String),
+			types.NewStruct([]string{"col7", "col8"},
+				[]*types.Type{types.Primitive(types.String), types.Primitive(types.Int)}))),
+		types.Col("col9", types.Primitive(types.String)),
+	)
+}
+
+func figure3Rows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		var arr []any
+		for j := 0; j < i%4; j++ {
+			arr = append(arr, int64(i*10+j))
+		}
+		if arr == nil {
+			arr = []any{}
+		}
+		mv := &types.MapValue{}
+		for j := 0; j < i%3; j++ {
+			mv.Keys = append(mv.Keys, fmt.Sprintf("k%d", j))
+			mv.Values = append(mv.Values, []any{fmt.Sprintf("v%d", i), int64(j)})
+		}
+		rows[i] = types.Row{int64(i), arr, mv, fmt.Sprintf("str-%d", i%5)}
+		if i%6 == 0 {
+			rows[i][1] = nil
+		}
+		if i%9 == 0 {
+			rows[i][2] = nil
+		}
+	}
+	return rows
+}
+
+func TestRoundTripNestedTypes(t *testing.T) {
+	fs := dfs.New()
+	rows := figure3Rows(2000)
+	r := writeFile(t, fs, "/t/nested", figure3Schema(), &WriterOptions{RowIndexStride: 300}, rows)
+	got := readAll(t, r, ReadOptions{})
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows", len(got))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(got[i], rows[i]) {
+			t.Fatalf("row %d:\n got  %#v\n want %#v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestRoundTripUnion(t *testing.T) {
+	schema := types.NewSchema(
+		types.Col("u", types.NewUnion(types.Primitive(types.Long), types.Primitive(types.String))),
+	)
+	rows := make([]types.Row, 500)
+	for i := range rows {
+		if i%10 == 0 {
+			rows[i] = types.Row{nil}
+		} else if i%2 == 0 {
+			rows[i] = types.Row{&types.UnionValue{Tag: 0, Value: int64(i)}}
+		} else {
+			rows[i] = types.Row{&types.UnionValue{Tag: 1, Value: fmt.Sprintf("u%d", i)}}
+		}
+	}
+	fs := dfs.New()
+	r := writeFile(t, fs, "/t/u", schema, &WriterOptions{RowIndexStride: 64}, rows)
+	got := readAll(t, r, ReadOptions{})
+	for i := range rows {
+		if !reflect.DeepEqual(got[i], rows[i]) {
+			t.Fatalf("row %d = %#v, want %#v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	fs := dfs.New()
+	rows := simpleRows(100)
+	r := writeFile(t, fs, "/t/f", simpleSchema(), nil, rows)
+	got := readAll(t, r, ReadOptions{Include: []string{"score", "id"}})
+	for i := range rows {
+		if len(got[i]) != 2 {
+			t.Fatalf("row width %d", len(got[i]))
+		}
+		if got[i][0] != rows[i][2] || got[i][1] != rows[i][0] {
+			t.Fatalf("row %d = %v", i, got[i])
+		}
+	}
+	if _, err := r.Rows(ReadOptions{Include: []string{"bogus"}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestDictionaryEncodingDecision(t *testing.T) {
+	fs := dfs.New()
+	schema := types.NewSchema(types.Col("s", types.Primitive(types.String)))
+
+	// Low cardinality -> dictionary.
+	lowRows := make([]types.Row, 1000)
+	for i := range lowRows {
+		lowRows[i] = types.Row{fmt.Sprintf("val-%d", i%10)}
+	}
+	r := writeFile(t, fs, "/t/low", schema, nil, lowRows)
+	got := readAll(t, r, ReadOptions{})
+	for i := range lowRows {
+		if got[i][0] != lowRows[i][0] {
+			t.Fatalf("dict row %d = %v", i, got[i])
+		}
+	}
+
+	// High cardinality (all distinct) -> direct.
+	hiRows := make([]types.Row, 1000)
+	for i := range hiRows {
+		hiRows[i] = types.Row{fmt.Sprintf("unique-value-%d", i)}
+	}
+	r2 := writeFile(t, fs, "/t/hi", schema, nil, hiRows)
+	got2 := readAll(t, r2, ReadOptions{})
+	for i := range hiRows {
+		if got2[i][0] != hiRows[i][0] {
+			t.Fatalf("direct row %d = %v", i, got2[i])
+		}
+	}
+
+	// The dictionary-encoded file must be smaller despite equal value
+	// counts (dictionary has 10 entries vs 1000).
+	lo, _ := fs.Stat("/t/low")
+	hi, _ := fs.Stat("/t/hi")
+	if lo.Size >= hi.Size {
+		t.Errorf("dictionary file (%d) not smaller than direct file (%d)", lo.Size, hi.Size)
+	}
+}
+
+func TestFileStats(t *testing.T) {
+	fs := dfs.New()
+	rows := simpleRows(1000)
+	r := writeFile(t, fs, "/t/f", simpleSchema(), nil, rows)
+	id := r.StatsByName("id")
+	if id.Ints.Min != 0 || id.Ints.Max != 999 {
+		t.Errorf("id min/max = %d/%d", id.Ints.Min, id.Ints.Max)
+	}
+	wantSum := int64(999 * 1000 / 2)
+	if id.Ints.Sum != wantSum {
+		t.Errorf("id sum = %d, want %d", id.Ints.Sum, wantSum)
+	}
+	if id.NumValues != 1000 {
+		t.Errorf("id count = %d", id.NumValues)
+	}
+	name := r.StatsByName("name")
+	if name.Strings.Min != "name-0" || name.Strings.Max != "name-6" {
+		t.Errorf("name min/max = %q/%q", name.Strings.Min, name.Strings.Max)
+	}
+	active := r.StatsByName("active")
+	if active.Bools.TrueCount != 334 {
+		t.Errorf("active true count = %d", active.Bools.TrueCount)
+	}
+}
+
+func TestPredicatePushdownSkipsGroups(t *testing.T) {
+	fs := dfs.New()
+	// id is monotonically increasing, so group stats give tight ranges.
+	rows := simpleRows(10000)
+	opts := &WriterOptions{RowIndexStride: 1000}
+	r := writeFile(t, fs, "/t/f", simpleSchema(), opts, rows)
+
+	sarg := NewSearchArgument(Predicate{Column: "id", Op: PredBetween, Literals: []any{int64(2500), int64(3500)}})
+	rr, err := r.Rows(ReadOptions{SArg: sarg, Include: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := row[0].(int64)
+		// The reader returns whole selected groups; all returned rows
+		// must come from groups overlapping [2500,3500] = groups 2 and 3.
+		if id < 2000 || id >= 4000 {
+			t.Fatalf("row id %d outside selected groups", id)
+		}
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("read %d rows, want 2000 (2 groups)", n)
+	}
+	c := rr.Counters()
+	if c.GroupsRead != 2 || c.GroupsSkipped != 8 {
+		t.Fatalf("groups read/skipped = %d/%d, want 2/8", c.GroupsRead, c.GroupsSkipped)
+	}
+}
+
+func TestPredicatePushdownReducesDFSBytes(t *testing.T) {
+	fs := dfs.New()
+	rows := simpleRows(50000)
+	opts := &WriterOptions{RowIndexStride: 1000}
+	r := writeFile(t, fs, "/t/f", simpleSchema(), opts, rows)
+
+	// Scan the double column: 8 incompressible bytes per value, so data
+	// volume (not index overhead) dominates, as in the paper's setup.
+	scan := func(sarg *SearchArgument) int64 {
+		before := fs.Stats().Snapshot()
+		rr, err := r.Rows(ReadOptions{SArg: sarg, Include: []string{"score"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := rr.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fs.Stats().Snapshot().Diff(before).BytesRead
+	}
+
+	full := scan(nil)
+	selective := scan(NewSearchArgument(Predicate{Column: "id", Op: PredLT, Literals: []any{int64(1000)}}))
+	if selective*2 > full {
+		t.Errorf("PPD read %d bytes, full scan %d; expected a large reduction", selective, full)
+	}
+}
+
+func TestPredicatePushdownSkipsStripes(t *testing.T) {
+	fs := dfs.New()
+	rows := simpleRows(20000)
+	opts := &WriterOptions{StripeSize: 8 << 10, RowIndexStride: 500}
+	r := writeFile(t, fs, "/t/f", simpleSchema(), opts, rows)
+	if r.NumStripes() < 3 {
+		t.Skip("need several stripes")
+	}
+	sarg := NewSearchArgument(Predicate{Column: "id", Op: PredEQ, Literals: []any{int64(19999)}})
+	rr, _ := r.Rows(ReadOptions{SArg: sarg, Include: []string{"id"}})
+	for {
+		if _, err := rr.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := rr.Counters()
+	if c.StripesSkipped == 0 {
+		t.Errorf("no stripes skipped: %+v", c)
+	}
+}
+
+func TestAllRowsMatchIndexOverheadOnly(t *testing.T) {
+	// Paper Figure 10, query 1.hard: when all rows satisfy the predicate
+	// the indexes are useless; the scan must still return everything.
+	fs := dfs.New()
+	rows := simpleRows(10000)
+	r := writeFile(t, fs, "/t/f", simpleSchema(), &WriterOptions{RowIndexStride: 1000}, rows)
+	sarg := NewSearchArgument(Predicate{Column: "id", Op: PredGE, Literals: []any{int64(0)}})
+	got := readAll(t, r, ReadOptions{SArg: sarg})
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(got), len(rows))
+	}
+}
+
+func TestBlockAlignment(t *testing.T) {
+	blockSize := int64(64 << 10)
+	fs := dfs.New(dfs.WithBlockSize(blockSize))
+	fw, _ := fs.Create("/t/aligned")
+	schema := simpleSchema()
+	w, err := NewWriter(fw, schema, &WriterOptions{
+		StripeSize:     20 << 10,
+		RowIndexStride: 500,
+		BlockAlign:     true,
+		BlockSize:      blockSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range simpleRows(100000) {
+		if err := w.Write(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+	fr, _ := fs.Open("/t/aligned")
+	r, err := NewReader(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumStripes() < 2 {
+		t.Skip("need multiple stripes to check alignment")
+	}
+	for i, s := range r.Stripes() {
+		stripeLen := s.IndexLength + s.DataLength + s.FooterLength
+		if stripeLen > uint64(blockSize) {
+			continue
+		}
+		startBlock := s.Offset / uint64(blockSize)
+		endBlock := (s.Offset + stripeLen - 1) / uint64(blockSize)
+		if startBlock != endBlock {
+			t.Errorf("stripe %d spans blocks %d..%d", i, startBlock, endBlock)
+		}
+	}
+	// Rows must still round-trip through the padding.
+	got := readAll(t, r, ReadOptions{Include: []string{"id"}})
+	if len(got) != 100000 {
+		t.Fatalf("read %d rows", len(got))
+	}
+}
+
+func TestMemoryManagerScalesStripes(t *testing.T) {
+	mm := NewMemoryManager(30 << 10)
+	fs := dfs.New()
+	schema := simpleSchema()
+	var writers []*Writer
+	var files []*dfs.FileWriter
+	for i := 0; i < 3; i++ {
+		fw, _ := fs.Create(fmt.Sprintf("/t/mm%d", i))
+		w, err := NewWriter(fw, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500, Memory: mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers = append(writers, w)
+		files = append(files, fw)
+	}
+	// 3 writers x 20KB = 60KB > 30KB threshold: scale = 0.5.
+	if got := mm.Scale(); got != 0.5 {
+		t.Fatalf("Scale = %v, want 0.5", got)
+	}
+	if mm.TotalRegistered() != 60<<10 {
+		t.Fatalf("TotalRegistered = %d", mm.TotalRegistered())
+	}
+	rows := simpleRows(30000)
+	for _, row := range rows {
+		for _, w := range writers {
+			if err := w.Write(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, w := range writers {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		files[i].Close()
+	}
+	if mm.NumWriters() != 0 {
+		t.Errorf("writers still registered after Close: %d", mm.NumWriters())
+	}
+	if got := mm.Scale(); got != 1 {
+		t.Errorf("Scale after unregister = %v", got)
+	}
+	// Scaled writers must produce more, smaller stripes than an
+	// unmanaged writer with the same stripe size.
+	fw, _ := fs.Create("/t/unmanaged")
+	w, _ := NewWriter(fw, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500})
+	for _, row := range rows {
+		w.Write(row)
+	}
+	w.Close()
+	fw.Close()
+	open := func(p string) *Reader {
+		fr, _ := fs.Open(p)
+		r, err := NewReader(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	managed := open("/t/mm0").NumStripes()
+	unmanaged := open("/t/unmanaged").NumStripes()
+	if managed <= unmanaged {
+		t.Errorf("managed writer stripes = %d, unmanaged = %d; scaling had no effect", managed, unmanaged)
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	fs := dfs.New()
+	fw, _ := fs.Create("/t/err")
+	w, err := NewWriter(fw, simpleSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(types.Row{int64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := w.Write(types.Row{"not-an-int", "x", 1.0, true}); err == nil {
+		t.Error("mistyped value accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+	if err := w.Write(simpleRows(1)[0]); err == nil {
+		t.Error("write after Close accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	fs := dfs.New()
+	fw, _ := fs.Create("/t/garbage")
+	fw.Write([]byte("this is not an orc file, definitely not"))
+	fw.Close()
+	fr, _ := fs.Open("/t/garbage")
+	if _, err := NewReader(fr); err == nil {
+		t.Fatal("NewReader accepted garbage")
+	}
+	fw2, _ := fs.Create("/t/tiny")
+	fw2.Write([]byte("x"))
+	fw2.Close()
+	fr2, _ := fs.Open("/t/tiny")
+	if _, err := NewReader(fr2); err == nil {
+		t.Fatal("NewReader accepted tiny file")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := dfs.New()
+	r := writeFile(t, fs, "/t/empty", simpleSchema(), nil, nil)
+	if r.NumRows() != 0 || r.NumStripes() != 0 {
+		t.Fatalf("empty file: rows=%d stripes=%d", r.NumRows(), r.NumStripes())
+	}
+	got := readAll(t, r, ReadOptions{})
+	if len(got) != 0 {
+		t.Fatalf("read %d rows from empty file", len(got))
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	fs := dfs.New()
+	schema := figure3Schema()
+	r := writeFile(t, fs, "/t/schema", schema, nil, figure3Rows(10))
+	if !r.Schema().AsStruct().Equal(schema.AsStruct()) {
+		t.Fatalf("schema = %s, want %s", r.Schema(), schema)
+	}
+}
+
+func TestRandomizedRoundTripWithNulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	schema := types.NewSchema(
+		types.Col("a", types.Primitive(types.Long)),
+		types.Col("b", types.Primitive(types.String)),
+		types.Col("c", types.Primitive(types.Double)),
+	)
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + rng.Intn(4000)
+		rows := make([]types.Row, n)
+		for i := range rows {
+			row := types.Row{rng.Int63n(1000), fmt.Sprintf("v%d", rng.Intn(50)), rng.Float64()}
+			for c := 0; c < 3; c++ {
+				if rng.Intn(10) == 0 {
+					row[c] = nil
+				}
+			}
+			rows[i] = row
+		}
+		fs := dfs.New()
+		stride := 1 << (4 + rng.Intn(6)) // 16..512
+		r := writeFile(t, fs, "/t/rand", schema, &WriterOptions{RowIndexStride: stride, StripeSize: 16 << 10}, rows)
+		got := readAll(t, r, ReadOptions{})
+		if len(got) != n {
+			t.Fatalf("trial %d: read %d rows, want %d", trial, len(got), n)
+		}
+		for i := range rows {
+			if !reflect.DeepEqual(got[i], rows[i]) {
+				t.Fatalf("trial %d row %d = %v, want %v", trial, i, got[i], rows[i])
+			}
+		}
+	}
+}
+
+func TestStripeSizeAblation(t *testing.T) {
+	// Larger stripes -> fewer stripes (paper §4.1's first improvement).
+	fs := dfs.New()
+	rows := simpleRows(50000)
+	small := writeFile(t, fs, "/t/small", simpleSchema(), &WriterOptions{StripeSize: 16 << 10}, rows)
+	large := writeFile(t, fs, "/t/large", simpleSchema(), &WriterOptions{StripeSize: 1 << 20}, rows)
+	if small.NumStripes() <= large.NumStripes() {
+		t.Errorf("small-stripe file has %d stripes, large has %d", small.NumStripes(), large.NumStripes())
+	}
+}
+
+// TestChildColumnProjection exercises §4.1's forward-looking feature: only
+// needed child columns of a complex type are fetched and decoded.
+func TestChildColumnProjection(t *testing.T) {
+	fs := dfs.New()
+	rows := figure3Rows(3000)
+	r := writeFile(t, fs, "/t/child", figure3Schema(), &WriterOptions{RowIndexStride: 500}, rows)
+
+	// Include only col4 (the map) narrowed to its value-struct's col8
+	// (column id 8 in Figure 3's tree).
+	before := fs.Stats().Snapshot()
+	rr, err := r.Rows(ReadOptions{Include: []string{"col4"}, IncludeChildIDs: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rows[n][2]
+		got := row[0]
+		if want == nil {
+			if got != nil {
+				t.Fatalf("row %d: want NULL map, got %v", n, got)
+			}
+		} else {
+			wm, gm := want.(*types.MapValue), got.(*types.MapValue)
+			if gm.Len() != wm.Len() {
+				t.Fatalf("row %d: map len %d, want %d", n, gm.Len(), wm.Len())
+			}
+			for i := range wm.Keys {
+				// Keys (col 5) excluded -> NULL; struct present with
+				// col7 NULL and col8 intact.
+				if gm.Keys[i] != nil {
+					t.Fatalf("row %d: excluded key read as %v", n, gm.Keys[i])
+				}
+				ws, gs := wm.Values[i].([]any), gm.Values[i].([]any)
+				if gs[0] != nil {
+					t.Fatalf("row %d: excluded col7 read as %v", n, gs[0])
+				}
+				if gs[1] != ws[1] {
+					t.Fatalf("row %d: col8 = %v, want %v", n, gs[1], ws[1])
+				}
+			}
+		}
+		n++
+	}
+	if n != len(rows) {
+		t.Fatalf("read %d rows", n)
+	}
+	narrow := fs.Stats().Snapshot().Diff(before).BytesRead
+
+	// Full read of the same column for comparison.
+	before = fs.Stats().Snapshot()
+	rr2, _ := r.Rows(ReadOptions{Include: []string{"col4"}})
+	for {
+		if _, err := rr2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := fs.Stats().Snapshot().Diff(before).BytesRead
+	if narrow >= full {
+		t.Errorf("child projection read %d bytes, full column %d", narrow, full)
+	}
+}
+
+// TestPredicatePushdownUnderCompression exercises the stored-offset (not
+// raw-offset) position pointers: group seeks must land on compression-unit
+// boundaries.
+func TestPredicatePushdownUnderCompression(t *testing.T) {
+	for _, codec := range []compress.Kind{compress.Zlib, compress.Snappy} {
+		t.Run(codec.String(), func(t *testing.T) {
+			fs := dfs.New()
+			rows := simpleRows(20000)
+			opts := &WriterOptions{
+				Compression:     codec,
+				RowIndexStride:  1000,
+				CompressionUnit: 512, // many units per group
+				StripeSize:      64 << 10,
+			}
+			r := writeFile(t, fs, "/t/c", simpleSchema(), opts, rows)
+			sarg := NewSearchArgument(Predicate{Column: "id", Op: PredBetween, Literals: []any{int64(7100), int64(7900)}})
+			rr, err := r.Rows(ReadOptions{SArg: sarg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			var sum int64
+			for {
+				row, err := rr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				id := row[0].(int64)
+				if id >= 7100 && id <= 7900 {
+					sum += id
+				}
+				n++
+			}
+			if n == 0 || n == len(rows) {
+				t.Fatalf("groups not pruned usefully: read %d rows", n)
+			}
+			var want int64
+			for i := int64(7100); i <= 7900; i++ {
+				want += i
+			}
+			if sum != want {
+				t.Fatalf("sum over selected range = %d, want %d", sum, want)
+			}
+			c := rr.Counters()
+			if c.GroupsSkipped == 0 {
+				t.Fatalf("no groups skipped under %s: %+v", codec, c)
+			}
+		})
+	}
+}

@@ -1,0 +1,588 @@
+// reader.go implements the ORC file reader: it opens a file by its
+// postscript and footer, answers metadata queries from file-level
+// statistics, and scans rows with column projection and predicate pushdown.
+// The reader skips whole stripes using stripe-level statistics and skips
+// index groups within a stripe using index-group statistics, reading from
+// the filesystem only the byte ranges of streams that selected groups
+// need (paper §4.2, Figure 10).
+package orc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+	"repro/internal/orc/stream"
+	"repro/internal/types"
+)
+
+// ReaderAtSize is the random-access input an ORC reader needs;
+// *dfs.FileReader implements it.
+type ReaderAtSize interface {
+	io.ReaderAt
+	Size() int64
+}
+
+// Reader provides access to an ORC file's metadata and rows.
+type Reader struct {
+	f      ReaderAtSize
+	ps     *Postscript
+	footer *Footer
+	meta   *FileMetadata
+	codec  compress.Codec
+	tree   *types.ColumnTree
+}
+
+// NewReader opens an ORC file, reading its postscript, footer and
+// stripe-statistics metadata.
+func NewReader(f ReaderAtSize) (*Reader, error) {
+	size := f.Size()
+	if size < int64(len(Magic))+2 {
+		return nil, fmt.Errorf("orc: file too small (%d bytes)", size)
+	}
+	var lenByte [1]byte
+	if _, err := f.ReadAt(lenByte[:], size-1); err != nil {
+		return nil, fmt.Errorf("orc: reading postscript length: %w", err)
+	}
+	psLen := int64(lenByte[0])
+	if size < 1+psLen {
+		return nil, fmt.Errorf("orc: postscript length %d exceeds file", psLen)
+	}
+	psBuf := make([]byte, psLen)
+	if _, err := f.ReadAt(psBuf, size-1-psLen); err != nil {
+		return nil, fmt.Errorf("orc: reading postscript: %w", err)
+	}
+	ps, err := decodePostscript(psBuf)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := compress.ForKind(ps.Compression)
+	if err != nil {
+		return nil, err
+	}
+	footerEnd := size - 1 - psLen
+	footerStart := footerEnd - int64(ps.FooterLength)
+	metaStart := footerStart - int64(ps.MetadataLength)
+	if metaStart < int64(len(Magic)) {
+		return nil, fmt.Errorf("orc: footer/metadata lengths exceed file")
+	}
+	buf := make([]byte, footerEnd-metaStart)
+	if _, err := f.ReadAt(buf, metaStart); err != nil {
+		return nil, fmt.Errorf("orc: reading footer: %w", err)
+	}
+	metaRaw, err := decodeSection(codec, buf[:ps.MetadataLength])
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeFileMetadata(metaRaw)
+	if err != nil {
+		return nil, err
+	}
+	footerRaw, err := decodeSection(codec, buf[ps.MetadataLength:])
+	if err != nil {
+		return nil, err
+	}
+	footer, err := decodeFooter(footerRaw)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{
+		f:      f,
+		ps:     ps,
+		footer: footer,
+		meta:   meta,
+		codec:  codec,
+		tree:   types.Decompose(footer.Schema),
+	}, nil
+}
+
+// Schema returns the file's schema.
+func (r *Reader) Schema() *types.Schema { return r.footer.Schema }
+
+// NumRows returns the total row count from the footer.
+func (r *Reader) NumRows() uint64 { return r.footer.NumRows }
+
+// NumStripes returns the stripe count.
+func (r *Reader) NumStripes() int { return len(r.footer.Stripes) }
+
+// Stripes returns the stripe directory (position pointers).
+func (r *Reader) Stripes() []StripeInformation { return r.footer.Stripes }
+
+// Compression returns the file's general-purpose codec kind.
+func (r *Reader) Compression() compress.Kind { return r.ps.Compression }
+
+// FileStats returns file-level statistics by column id; the paper notes
+// these answer simple aggregation queries without scanning.
+func (r *Reader) FileStats() []*ColumnStats { return r.footer.Statistics }
+
+// StatsByName returns the file-level statistics of a top-level column.
+func (r *Reader) StatsByName(name string) *ColumnStats {
+	i := r.footer.Schema.ColumnIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return r.footer.Statistics[r.tree.TopLevel(i).ID]
+}
+
+func (r *Reader) statsLookup(cols []*ColumnStats) func(string) *ColumnStats {
+	return func(name string) *ColumnStats {
+		i := r.footer.Schema.ColumnIndex(name)
+		if i < 0 {
+			return nil
+		}
+		id := r.tree.TopLevel(i).ID
+		if id >= len(cols) {
+			return nil
+		}
+		return cols[id]
+	}
+}
+
+// ReadOptions configures a row scan.
+type ReadOptions struct {
+	// Include lists the top-level columns to materialize, in output
+	// order; nil means all columns.
+	Include []string
+	// IncludeChildIDs optionally narrows complex columns to specific
+	// child columns of the decomposed column tree (§4.1's "only read
+	// needed child columns"; ids as assigned by types.Decompose).
+	// Excluded children are neither fetched nor decoded and surface as
+	// NULL in reconstructed values. Nil means all children.
+	IncludeChildIDs []int
+	// SArg, when set, is evaluated against stripe- and index-group-level
+	// statistics to skip data (predicate pushdown).
+	SArg *SearchArgument
+}
+
+// ScanCounters reports what a scan skipped and read; Figure 10 plots the
+// DFS-bytes consequence of these.
+type ScanCounters struct {
+	StripesRead    int
+	StripesSkipped int
+	GroupsRead     int
+	GroupsSkipped  int
+}
+
+// RowReader iterates the rows of an ORC file.
+type RowReader struct {
+	r        *Reader
+	include  []int        // top-level column indexes
+	childSet map[int]bool // nil = every child column
+	sarg     *SearchArgument
+	counters ScanCounters
+
+	stripeIdx int
+	// Current stripe state.
+	stripe     *stripeState
+	groupIdx   int   // next entry of stripe.selected to open
+	rowsLeft   int64 // rows remaining in the current index group
+	colReaders []columnReader
+}
+
+type stripeState struct {
+	info     StripeInformation
+	footer   *StripeFooter
+	indexes  []*RowIndex
+	selected []int // index groups selected by the sarg, ascending
+	// runs are maximal ranges of consecutive selected groups; the reader
+	// coalesces each stream's I/O per run (one DFS read per stream per
+	// run) while decoders still open per group.
+	runs     [][2]int
+	runOf    map[int]int // group -> index into runs
+	numGroup int
+	stride   int64
+	// Stream layout: absolute file offset and length per directory entry,
+	// plus per-column stream lists.
+	dirOffsets []uint64
+	byColumn   map[int][]int // column id -> directory indexes in order
+	// Cache of whole-stream fetches (dictionary streams).
+	wholeCache map[int][]byte
+	// Cache of per-run stream reads, keyed by (directory index, run).
+	runCache map[[2]int][]byte
+}
+
+// Rows starts a scan.
+func (r *Reader) Rows(opts ReadOptions) (*RowReader, error) {
+	var include []int
+	if opts.Include == nil {
+		for i := range r.footer.Schema.Columns {
+			include = append(include, i)
+		}
+	} else {
+		for _, name := range opts.Include {
+			i := r.footer.Schema.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("orc: unknown column %q", name)
+			}
+			include = append(include, i)
+		}
+	}
+	rr := &RowReader{r: r, include: include, sarg: opts.SArg}
+	if opts.IncludeChildIDs != nil {
+		rr.childSet = map[int]bool{}
+		for _, id := range opts.IncludeChildIDs {
+			rr.childSet[id] = true
+			// An included node needs its ancestors' structural streams.
+			for n := r.tree.Nodes[id]; n != nil; n = n.Parent {
+				rr.childSet[n.ID] = true
+			}
+		}
+	}
+	return rr, nil
+}
+
+// wantColumn reports whether a column id should be fetched and decoded.
+func (rr *RowReader) wantColumn(id int) bool {
+	return rr.childSet == nil || rr.childSet[id]
+}
+
+// Counters returns the scan's skip/read accounting so far.
+func (rr *RowReader) Counters() ScanCounters { return rr.counters }
+
+// Next returns the next row (columns in Include order) or io.EOF.
+func (rr *RowReader) Next() (types.Row, error) {
+	for {
+		if rr.rowsLeft > 0 {
+			rr.rowsLeft--
+			row := make(types.Row, len(rr.colReaders))
+			for i, cr := range rr.colReaders {
+				v, err := cr.next()
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			return row, nil
+		}
+		if rr.stripe != nil && rr.groupIdx < len(rr.stripe.selected) {
+			if err := rr.openGroup(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := rr.nextStripe(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// nextStripe advances to the next stripe whose statistics pass the sarg,
+// loading its footer, row index and selected group runs.
+func (rr *RowReader) nextStripe() error {
+	r := rr.r
+	for {
+		if rr.stripeIdx >= len(r.footer.Stripes) {
+			return io.EOF
+		}
+		idx := rr.stripeIdx
+		rr.stripeIdx++
+		// Stripe-level skip using file metadata: no bytes of the stripe
+		// are touched.
+		if idx < len(r.meta.StripeStats) && rr.sarg.CanSkip(r.statsLookup(r.meta.StripeStats[idx])) {
+			rr.counters.StripesSkipped++
+			info := r.footer.Stripes[idx]
+			rr.counters.GroupsSkipped += groupCount(info.NumRows, r.footer.RowIndexStride)
+			continue
+		}
+		st, err := rr.loadStripe(r.footer.Stripes[idx])
+		if err != nil {
+			return err
+		}
+		rr.counters.StripesRead++
+		rr.stripe = st
+		rr.groupIdx = 0
+		rr.rowsLeft = 0
+		if len(st.selected) == 0 {
+			continue
+		}
+		return nil
+	}
+}
+
+func groupCount(numRows, stride uint64) int {
+	if stride == 0 {
+		return 1
+	}
+	return int((numRows + stride - 1) / stride)
+}
+
+func (rr *RowReader) loadStripe(info StripeInformation) (*stripeState, error) {
+	r := rr.r
+	// Read the stripe footer first; it locates the per-column row-index
+	// sections so only the projected columns' indexes are fetched.
+	sfBuf := make([]byte, info.FooterLength)
+	sfOff := int64(info.Offset + info.IndexLength + info.DataLength)
+	if _, err := r.f.ReadAt(sfBuf, sfOff); err != nil {
+		return nil, fmt.Errorf("orc: reading stripe footer: %w", err)
+	}
+	sfRaw, err := decodeSection(r.codec, sfBuf)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := decodeStripeFooter(sfRaw)
+	if err != nil {
+		return nil, err
+	}
+	indexes, err := rr.loadRowIndexes(info, sf)
+	if err != nil {
+		return nil, err
+	}
+	st := &stripeState{
+		info:       info,
+		footer:     sf,
+		indexes:    indexes,
+		stride:     int64(r.footer.RowIndexStride),
+		byColumn:   make(map[int][]int),
+		wholeCache: make(map[int][]byte),
+		runCache:   make(map[[2]int][]byte),
+		runOf:      make(map[int]int),
+	}
+	// Directory offsets: streams are laid out consecutively after the
+	// index section.
+	off := info.Offset + info.IndexLength
+	for i, s := range sf.Streams {
+		st.dirOffsets = append(st.dirOffsets, off)
+		off += s.Length
+		st.byColumn[s.Column] = append(st.byColumn[s.Column], i)
+	}
+	for _, ri := range indexes {
+		if ri != nil {
+			st.numGroup = len(ri.Entries)
+			break
+		}
+	}
+	if st.numGroup == 0 {
+		st.numGroup = 1
+	}
+	// Select index groups by sarg over group-level statistics.
+	for g := 0; g < st.numGroup; g++ {
+		skip := rr.sarg.CanSkip(func(name string) *ColumnStats {
+			i := r.footer.Schema.ColumnIndex(name)
+			if i < 0 {
+				return nil
+			}
+			id := r.tree.TopLevel(i).ID
+			if id >= len(indexes) || indexes[id] == nil || g >= len(indexes[id].Entries) {
+				return nil
+			}
+			return indexes[id].Entries[g].Stats
+		})
+		if skip {
+			rr.counters.GroupsSkipped++
+		} else {
+			rr.counters.GroupsRead++
+			st.selected = append(st.selected, g)
+		}
+	}
+	// Coalesce selected groups into I/O runs. Gaps of skipped groups are
+	// read through when they are cheaper to stream past than to seek
+	// over (real ORC merges close disk ranges the same way); only the
+	// I/O is widened — skipped groups are never decoded.
+	maxGapGroups := 0
+	if st.numGroup > 0 && info.DataLength > 0 {
+		perGroup := info.DataLength / uint64(st.numGroup)
+		if perGroup > 0 {
+			maxGapGroups = int(readThroughGapBytes / perGroup)
+		}
+	}
+	for i := 0; i < len(st.selected); {
+		j := i
+		for j+1 < len(st.selected) && st.selected[j+1]-st.selected[j]-1 <= maxGapGroups {
+			j++
+		}
+		run := [2]int{st.selected[i], st.selected[j] + 1}
+		for _, g := range st.selected[i : j+1] {
+			st.runOf[g] = len(st.runs)
+		}
+		st.runs = append(st.runs, run)
+		i = j + 1
+	}
+	return st, nil
+}
+
+// readThroughGapBytes bounds the skipped bytes the reader will stream past
+// instead of seeking (cf. ORC's minimum disk seek size).
+const readThroughGapBytes = 64 << 10
+
+// loadRowIndexes fetches and decodes the row indexes of the columns this
+// scan touches: the projected columns' subtrees plus any columns the
+// search argument evaluates. Unread columns stay nil.
+func (rr *RowReader) loadRowIndexes(info StripeInformation, sf *StripeFooter) ([]*RowIndex, error) {
+	r := rr.r
+	needed := make([]bool, len(sf.IndexLens))
+	for _, top := range rr.include {
+		for _, id := range r.tree.Subtree(r.tree.TopLevel(top).ID) {
+			if id < len(needed) && rr.wantColumn(id) {
+				needed[id] = true
+			}
+		}
+	}
+	if rr.sarg != nil {
+		for _, p := range rr.sarg.Predicates {
+			if i := r.footer.Schema.ColumnIndex(p.Column); i >= 0 {
+				if id := r.tree.TopLevel(i).ID; id < len(needed) {
+					needed[id] = true
+				}
+			}
+		}
+	}
+	indexes := make([]*RowIndex, len(sf.IndexLens))
+	off := int64(info.Offset)
+	for col, length := range sf.IndexLens {
+		if !needed[col] || length == 0 {
+			off += int64(length)
+			continue
+		}
+		buf := make([]byte, length)
+		if _, err := r.f.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("orc: reading row index of column %d: %w", col, err)
+		}
+		off += int64(length)
+		raw, err := decodeSection(r.codec, buf)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := decodeRowIndex(raw)
+		if err != nil {
+			return nil, err
+		}
+		indexes[col] = ri
+	}
+	return indexes, nil
+}
+
+// openGroup builds column readers positioned at the start of the next
+// selected index group. Decoders never read across an index-group boundary
+// because encoder runs (and bit-field byte alignment) are flushed exactly
+// there; each group is decoded from its own position pointers.
+func (rr *RowReader) openGroup() error {
+	st := rr.stripe
+	g := st.selected[rr.groupIdx]
+	rr.groupIdx++
+	src := &runSource{r: rr.r, st: st, group: g}
+	rr.colReaders = rr.colReaders[:0]
+	for _, top := range rr.include {
+		node := rr.r.tree.TopLevel(top)
+		cr, err := buildColumnReaderFiltered(node, src, rr.wantColumn)
+		if err != nil {
+			return err
+		}
+		rr.colReaders = append(rr.colReaders, cr)
+	}
+	// Rows in the group: a full stride except for a short final group.
+	stripeRows := int64(st.info.NumRows)
+	start := int64(g) * st.stride
+	end := start + st.stride
+	if end > stripeRows {
+		end = stripeRows
+	}
+	rr.rowsLeft = end - start
+	return nil
+}
+
+// runSource fetches decoded stream bytes for one index group, reading from
+// the file only the byte ranges the group needs.
+type runSource struct {
+	r     *Reader
+	st    *stripeState
+	group int
+}
+
+func (s *runSource) encodingOf(colID int) ColumnEncoding {
+	if colID < len(s.st.footer.Encodings) {
+		return s.st.footer.Encodings[colID]
+	}
+	return ColumnEncoding{}
+}
+
+// locate finds the directory index of (col, kind) and the position slot of
+// that stream within the column's row-index entries.
+func (s *runSource) locate(colID int, kind stream.Kind) (dirIdx, posSlot int, found bool) {
+	for slot, di := range s.st.byColumn[colID] {
+		if s.st.footer.Streams[di].Kind == kind {
+			return di, slot, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (s *runSource) fetch(colID int, kind stream.Kind) ([]byte, bool, error) {
+	di, slot, found := s.locate(colID, kind)
+	if !found {
+		return nil, false, nil
+	}
+	info := s.st.footer.Streams[di]
+	base := s.st.dirOffsets[di]
+	// One coalesced DFS read covers the whole run of consecutive selected
+	// groups this group belongs to; the group's slice is cut from it.
+	run := s.st.runs[s.st.runOf[s.group]]
+	runStart := s.position(colID, run[0], slot)
+	runEnd := info.Length
+	if run[1] < s.st.numGroup {
+		runEnd = s.position(colID, run[1], slot)
+	}
+	if runStart > runEnd {
+		return nil, false, fmt.Errorf("orc: column %d stream %s: position %d > %d", colID, kind, runStart, runEnd)
+	}
+	key := [2]int{di, run[0]}
+	stored, ok := s.st.runCache[key]
+	if !ok {
+		stored = make([]byte, runEnd-runStart)
+		if len(stored) > 0 {
+			if _, err := s.r.f.ReadAt(stored, int64(base+runStart)); err != nil {
+				return nil, false, fmt.Errorf("orc: reading stream: %w", err)
+			}
+		}
+		s.st.runCache[key] = stored
+	}
+	// Stored-byte range of the group within the run.
+	startPos := s.position(colID, s.group, slot) - runStart
+	endPos := uint64(len(stored))
+	if s.group+1 < run[1] {
+		endPos = s.position(colID, s.group+1, slot) - runStart
+	}
+	if startPos > endPos || endPos > uint64(len(stored)) {
+		return nil, false, fmt.Errorf("orc: column %d stream %s: bad group slice [%d:%d] of %d", colID, kind, startPos, endPos, len(stored))
+	}
+	raw, err := dechunk(s.r.codec, stored[startPos:endPos], 0, int(endPos-startPos))
+	if err != nil {
+		return nil, false, err
+	}
+	return raw, true, nil
+}
+
+func (s *runSource) fetchWhole(colID int, kind stream.Kind) ([]byte, bool, error) {
+	di, _, found := s.locate(colID, kind)
+	if !found {
+		return nil, false, nil
+	}
+	if raw, ok := s.st.wholeCache[di]; ok {
+		return raw, true, nil
+	}
+	info := s.st.footer.Streams[di]
+	buf := make([]byte, info.Length)
+	if len(buf) > 0 {
+		if _, err := s.r.f.ReadAt(buf, int64(s.st.dirOffsets[di])); err != nil {
+			return nil, false, fmt.Errorf("orc: reading stream: %w", err)
+		}
+	}
+	raw, err := dechunk(s.r.codec, buf, 0, len(buf))
+	if err != nil {
+		return nil, false, err
+	}
+	s.st.wholeCache[di] = raw
+	return raw, true, nil
+}
+
+// position returns the stored-byte offset of group g in the column's
+// posSlot-th stream.
+func (s *runSource) position(colID, g, posSlot int) uint64 {
+	if colID >= len(s.st.indexes) || s.st.indexes[colID] == nil {
+		return 0
+	}
+	entries := s.st.indexes[colID].Entries
+	if g >= len(entries) || posSlot >= len(entries[g].Positions) {
+		return 0
+	}
+	return entries[g].Positions[posSlot]
+}

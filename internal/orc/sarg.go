@@ -1,0 +1,199 @@
+// sarg.go implements search arguments: the predicates the query engine
+// pushes down to the ORC reader so it can skip stripes and index groups
+// whose statistics prove no row can match (paper §4.2).
+package orc
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// PredOp is a predicate comparison operator.
+type PredOp int
+
+// Supported predicate operators over column statistics.
+const (
+	PredEQ PredOp = iota
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+	PredBetween // two literals: lo <= col <= hi
+	PredIn      // any number of literals
+	PredIsNull
+)
+
+// String returns the operator's SQL-ish spelling.
+func (op PredOp) String() string {
+	switch op {
+	case PredEQ:
+		return "="
+	case PredLT:
+		return "<"
+	case PredLE:
+		return "<="
+	case PredGT:
+		return ">"
+	case PredGE:
+		return ">="
+	case PredBetween:
+		return "BETWEEN"
+	case PredIn:
+		return "IN"
+	case PredIsNull:
+		return "IS NULL"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Predicate is one conjunct of a search argument: Column op Literals.
+type Predicate struct {
+	Column   string
+	Op       PredOp
+	Literals []any
+}
+
+// SearchArgument is a conjunction of predicates. Disjunctions are not pushed
+// down (they stay in the Filter operator), matching the paper's "push
+// certain predicates to the reader".
+type SearchArgument struct {
+	Predicates []Predicate
+}
+
+// NewSearchArgument builds a search argument from conjuncts.
+func NewSearchArgument(preds ...Predicate) *SearchArgument {
+	return &SearchArgument{Predicates: preds}
+}
+
+// statsRange extracts a comparable (min, max) pair from column stats.
+// ok is false when the stats carry no typed range (e.g. no non-null values),
+// in which case only the null/NumValues information is usable.
+func statsRange(cs *ColumnStats) (kind types.Kind, min, max any, ok bool) {
+	switch {
+	case cs.Ints != nil && cs.Ints.hasValue:
+		return types.Long, cs.Ints.Min, cs.Ints.Max, true
+	case cs.Doubles != nil && cs.Doubles.hasValue:
+		return types.Double, cs.Doubles.Min, cs.Doubles.Max, true
+	case cs.Strings != nil && cs.Strings.hasValue:
+		return types.String, cs.Strings.Min, cs.Strings.Max, true
+	}
+	return 0, nil, nil, false
+}
+
+// coerce normalizes a literal to the stats' comparable representation:
+// int64 literals compare against double ranges and vice versa.
+func coerce(kind types.Kind, v any) (any, bool) {
+	switch kind {
+	case types.Long:
+		switch x := v.(type) {
+		case int64:
+			return x, true
+		case float64:
+			return int64(x), true
+		}
+	case types.Double:
+		switch x := v.(type) {
+		case float64:
+			return x, true
+		case int64:
+			return float64(x), true
+		}
+	case types.String:
+		if s, ok := v.(string); ok {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// CanSkip reports whether the extent described by stats (an index group, a
+// stripe or a whole file) definitely contains no matching row, i.e. some
+// conjunct evaluates to NO over [min, max]. A missing column or untyped
+// stats yields MAYBE, which never skips.
+func (sa *SearchArgument) CanSkip(stats func(column string) *ColumnStats) bool {
+	if sa == nil {
+		return false
+	}
+	for _, p := range sa.Predicates {
+		cs := stats(p.Column)
+		if cs == nil {
+			continue
+		}
+		if predicateDefinitelyFalse(p, cs) {
+			return true
+		}
+	}
+	return false
+}
+
+func predicateDefinitelyFalse(p Predicate, cs *ColumnStats) bool {
+	if p.Op == PredIsNull {
+		// Definitely false only if the extent has no nulls at all.
+		return !cs.HasNull
+	}
+	// All other operators need a non-null match; an all-null extent
+	// cannot satisfy them.
+	if cs.NumValues == 0 {
+		return true
+	}
+	kind, min, max, ok := statsRange(cs)
+	if !ok {
+		return false
+	}
+	cmpMin := func(lit any) (int, bool) {
+		c, ok := coerce(kind, lit)
+		if !ok {
+			return 0, false
+		}
+		return types.Compare(kind, c, min), true
+	}
+	cmpMax := func(lit any) (int, bool) {
+		c, ok := coerce(kind, lit)
+		if !ok {
+			return 0, false
+		}
+		return types.Compare(kind, c, max), true
+	}
+	switch p.Op {
+	case PredEQ:
+		if len(p.Literals) != 1 {
+			return false
+		}
+		a, ok1 := cmpMin(p.Literals[0])
+		b, ok2 := cmpMax(p.Literals[0])
+		return ok1 && ok2 && (a < 0 || b > 0)
+	case PredLT:
+		// col < lit is impossible when lit <= min.
+		c, ok := cmpMin(p.Literals[0])
+		return ok && c <= 0
+	case PredLE:
+		c, ok := cmpMin(p.Literals[0])
+		return ok && c < 0
+	case PredGT:
+		// col > lit is impossible when lit >= max.
+		c, ok := cmpMax(p.Literals[0])
+		return ok && c >= 0
+	case PredGE:
+		c, ok := cmpMax(p.Literals[0])
+		return ok && c > 0
+	case PredBetween:
+		if len(p.Literals) != 2 {
+			return false
+		}
+		// Impossible when hi < min or lo > max.
+		hiVsMin, ok1 := cmpMin(p.Literals[1])
+		loVsMax, ok2 := cmpMax(p.Literals[0])
+		return (ok1 && hiVsMin < 0) || (ok2 && loVsMax > 0)
+	case PredIn:
+		for _, lit := range p.Literals {
+			a, ok1 := cmpMin(lit)
+			b, ok2 := cmpMax(lit)
+			if !ok1 || !ok2 || (a >= 0 && b <= 0) {
+				return false // this literal might be in range
+			}
+		}
+		return len(p.Literals) > 0
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package orc
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func intStats(min, max int64, n int64, hasNull bool) *ColumnStats {
+	cs := newStatsFor(types.Long)
+	cs.NumValues = n
+	cs.HasNull = hasNull
+	cs.Ints.Min, cs.Ints.Max, cs.Ints.hasValue = min, max, n > 0
+	return cs
+}
+
+func strStats(min, max string, n int64) *ColumnStats {
+	cs := newStatsFor(types.String)
+	cs.NumValues = n
+	cs.Strings.Min, cs.Strings.Max, cs.Strings.hasValue = min, max, n > 0
+	return cs
+}
+
+func lookup(stats map[string]*ColumnStats) func(string) *ColumnStats {
+	return func(name string) *ColumnStats { return stats[name] }
+}
+
+func TestSargCanSkip(t *testing.T) {
+	stats := map[string]*ColumnStats{
+		"x": intStats(100, 200, 50, false),
+		"s": strStats("banana", "mango", 50),
+	}
+	cases := []struct {
+		name string
+		pred Predicate
+		skip bool
+	}{
+		{"eq-below-range", Predicate{"x", PredEQ, []any{int64(50)}}, true},
+		{"eq-above-range", Predicate{"x", PredEQ, []any{int64(500)}}, true},
+		{"eq-in-range", Predicate{"x", PredEQ, []any{int64(150)}}, false},
+		{"eq-at-min", Predicate{"x", PredEQ, []any{int64(100)}}, false},
+		{"lt-at-min", Predicate{"x", PredLT, []any{int64(100)}}, true},
+		{"lt-above-min", Predicate{"x", PredLT, []any{int64(101)}}, false},
+		{"le-below-min", Predicate{"x", PredLE, []any{int64(99)}}, true},
+		{"le-at-min", Predicate{"x", PredLE, []any{int64(100)}}, false},
+		{"gt-at-max", Predicate{"x", PredGT, []any{int64(200)}}, true},
+		{"gt-below-max", Predicate{"x", PredGT, []any{int64(199)}}, false},
+		{"ge-above-max", Predicate{"x", PredGE, []any{int64(201)}}, true},
+		{"ge-at-max", Predicate{"x", PredGE, []any{int64(200)}}, false},
+		{"between-misses-low", Predicate{"x", PredBetween, []any{int64(0), int64(99)}}, true},
+		{"between-misses-high", Predicate{"x", PredBetween, []any{int64(201), int64(300)}}, true},
+		{"between-overlaps", Predicate{"x", PredBetween, []any{int64(150), int64(300)}}, false},
+		{"in-all-outside", Predicate{"x", PredIn, []any{int64(1), int64(2)}}, true},
+		{"in-one-inside", Predicate{"x", PredIn, []any{int64(1), int64(150)}}, false},
+		{"isnull-no-nulls", Predicate{"x", PredIsNull, nil}, true},
+		{"string-eq-outside", Predicate{"s", PredEQ, []any{"zebra"}}, true},
+		{"string-eq-inside", Predicate{"s", PredEQ, []any{"cherry"}}, false},
+		{"unknown-column", Predicate{"nope", PredEQ, []any{int64(1)}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sa := NewSearchArgument(c.pred)
+			if got := sa.CanSkip(lookup(stats)); got != c.skip {
+				t.Errorf("CanSkip = %v, want %v", got, c.skip)
+			}
+		})
+	}
+}
+
+func TestSargNullHandling(t *testing.T) {
+	withNulls := map[string]*ColumnStats{"x": intStats(1, 10, 5, true)}
+	if NewSearchArgument(Predicate{"x", PredIsNull, nil}).CanSkip(lookup(withNulls)) {
+		t.Error("IS NULL skipped an extent with nulls")
+	}
+	allNull := map[string]*ColumnStats{"x": intStats(0, 0, 0, true)}
+	if !NewSearchArgument(Predicate{"x", PredEQ, []any{int64(0)}}).CanSkip(lookup(allNull)) {
+		t.Error("equality over an all-null extent not skipped")
+	}
+}
+
+func TestSargConjunction(t *testing.T) {
+	stats := map[string]*ColumnStats{"x": intStats(0, 10, 5, false), "y": intStats(100, 110, 5, false)}
+	// One impossible conjunct suffices.
+	sa := NewSearchArgument(
+		Predicate{"x", PredGE, []any{int64(0)}},  // possible
+		Predicate{"y", PredLT, []any{int64(50)}}, // impossible
+	)
+	if !sa.CanSkip(lookup(stats)) {
+		t.Error("conjunction with an impossible predicate not skipped")
+	}
+	// All possible: no skip.
+	sa2 := NewSearchArgument(
+		Predicate{"x", PredGE, []any{int64(0)}},
+		Predicate{"y", PredLE, []any{int64(105)}},
+	)
+	if sa2.CanSkip(lookup(stats)) {
+		t.Error("satisfiable conjunction skipped")
+	}
+}
+
+func TestSargNumericCoercion(t *testing.T) {
+	stats := map[string]*ColumnStats{"x": intStats(0, 10, 5, false)}
+	// Float literal against integer stats.
+	if !NewSearchArgument(Predicate{"x", PredGT, []any{15.5}}).CanSkip(lookup(stats)) {
+		t.Error("float literal above int max not skipped")
+	}
+	// Mismatched type (string vs int stats): MAYBE, never skip.
+	if NewSearchArgument(Predicate{"x", PredEQ, []any{"nope"}}).CanSkip(lookup(stats)) {
+		t.Error("uncoercible literal caused a skip")
+	}
+}
+
+func TestSargNilIsNeverSkipping(t *testing.T) {
+	var sa *SearchArgument
+	if sa.CanSkip(lookup(nil)) {
+		t.Error("nil sarg skipped")
+	}
+}
+
+func TestStatsMergeMatchesUpdate(t *testing.T) {
+	// Merging partial stats must equal bulk updates — the invariant the
+	// three-level index depends on.
+	a := newStatsFor(types.Long)
+	b := newStatsFor(types.Long)
+	all := newStatsFor(types.Long)
+	for i := int64(0); i < 100; i++ {
+		v := (i*37)%50 - 10
+		if i%2 == 0 {
+			a.Update(v)
+		} else {
+			b.Update(v)
+		}
+		all.Update(v)
+	}
+	a.Update(nil)
+	all.Update(nil)
+	merged := newStatsFor(types.Long)
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.NumValues != all.NumValues || merged.HasNull != all.HasNull ||
+		merged.Ints.Min != all.Ints.Min || merged.Ints.Max != all.Ints.Max || merged.Ints.Sum != all.Ints.Sum {
+		t.Errorf("merged %+v != bulk %+v", merged.Ints, all.Ints)
+	}
+}
+
+func TestMetadataRejectsCorruption(t *testing.T) {
+	// Footer decoding over garbage must error, not panic or hang.
+	garbage := [][]byte{
+		{},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		{0x01, 0x02, 0x03},
+	}
+	for _, g := range garbage {
+		if _, err := decodeFooter(g); err == nil && len(g) > 0 {
+			// Some garbage decodes to an empty-but-valid footer; that is
+			// acceptable as long as it does not panic.
+			continue
+		}
+	}
+	if _, err := decodePostscript([]byte("not a postscript")); err == nil {
+		t.Error("postscript decoded from garbage")
+	}
+	if _, err := decodeStripeFooter([]byte{0xFF, 0x01, 0x02}); err == nil {
+		t.Error("stripe footer decoded from garbage")
+	}
+}

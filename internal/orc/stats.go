@@ -1,0 +1,251 @@
+// stats.go implements the data statistics ORC File records at file, stripe
+// and index-group level (paper §4.2): number of values, min, max, sum, and
+// length for text/binary types.
+package orc
+
+import (
+	"repro/internal/types"
+)
+
+// IntStats aggregates integer-family columns.
+type IntStats struct {
+	Min, Max, Sum int64
+	hasValue      bool
+}
+
+// DoubleStats aggregates float/double columns.
+type DoubleStats struct {
+	Min, Max, Sum float64
+	hasValue      bool
+}
+
+// StringStats aggregates string columns; TotalLength is the "length"
+// statistic the paper lists for text types.
+type StringStats struct {
+	Min, Max    string
+	TotalLength int64
+	hasValue    bool
+}
+
+// BoolStats aggregates boolean columns.
+type BoolStats struct {
+	TrueCount int64
+}
+
+// BinaryStats aggregates binary columns.
+type BinaryStats struct {
+	TotalLength int64
+}
+
+// ColumnStats holds the statistics of one column over some extent (an index
+// group, a stripe, or the whole file). Exactly one of the typed sub-stat
+// pointers is set for leaf columns; internal columns track only counts.
+type ColumnStats struct {
+	NumValues int64
+	HasNull   bool
+	Ints      *IntStats
+	Doubles   *DoubleStats
+	Strings   *StringStats
+	Bools     *BoolStats
+	Binary    *BinaryStats
+}
+
+// newStatsFor allocates stats with the right typed sub-stat for a column
+// kind.
+func newStatsFor(k types.Kind) *ColumnStats {
+	cs := &ColumnStats{}
+	switch {
+	case k.IsInteger() || k == types.Timestamp:
+		cs.Ints = &IntStats{}
+	case k.IsFloating():
+		cs.Doubles = &DoubleStats{}
+	case k == types.String:
+		cs.Strings = &StringStats{}
+	case k == types.Boolean:
+		cs.Bools = &BoolStats{}
+	case k == types.Binary:
+		cs.Binary = &BinaryStats{}
+	}
+	return cs
+}
+
+// Update folds one value (nil = NULL) into the stats.
+func (cs *ColumnStats) Update(v any) {
+	if v == nil {
+		cs.HasNull = true
+		return
+	}
+	cs.NumValues++
+	switch {
+	case cs.Ints != nil:
+		x := v.(int64)
+		s := cs.Ints
+		if !s.hasValue || x < s.Min {
+			s.Min = x
+		}
+		if !s.hasValue || x > s.Max {
+			s.Max = x
+		}
+		s.Sum += x
+		s.hasValue = true
+	case cs.Doubles != nil:
+		x := v.(float64)
+		s := cs.Doubles
+		if !s.hasValue || x < s.Min {
+			s.Min = x
+		}
+		if !s.hasValue || x > s.Max {
+			s.Max = x
+		}
+		s.Sum += x
+		s.hasValue = true
+	case cs.Strings != nil:
+		x := v.(string)
+		s := cs.Strings
+		if !s.hasValue || x < s.Min {
+			s.Min = x
+		}
+		if !s.hasValue || x > s.Max {
+			s.Max = x
+		}
+		s.TotalLength += int64(len(x))
+		s.hasValue = true
+	case cs.Bools != nil:
+		if v.(bool) {
+			cs.Bools.TrueCount++
+		}
+	case cs.Binary != nil:
+		cs.Binary.TotalLength += int64(len(v.([]byte)))
+	}
+}
+
+// CountOnly increments the value count without typed aggregation; internal
+// (struct/array/map/union) columns use it.
+func (cs *ColumnStats) CountOnly() { cs.NumValues++ }
+
+// Merge folds other into cs; both must describe the same column.
+func (cs *ColumnStats) Merge(other *ColumnStats) {
+	cs.NumValues += other.NumValues
+	cs.HasNull = cs.HasNull || other.HasNull
+	switch {
+	case cs.Ints != nil && other.Ints != nil:
+		if other.Ints.hasValue {
+			if !cs.Ints.hasValue || other.Ints.Min < cs.Ints.Min {
+				cs.Ints.Min = other.Ints.Min
+			}
+			if !cs.Ints.hasValue || other.Ints.Max > cs.Ints.Max {
+				cs.Ints.Max = other.Ints.Max
+			}
+			cs.Ints.Sum += other.Ints.Sum
+			cs.Ints.hasValue = true
+		}
+	case cs.Doubles != nil && other.Doubles != nil:
+		if other.Doubles.hasValue {
+			if !cs.Doubles.hasValue || other.Doubles.Min < cs.Doubles.Min {
+				cs.Doubles.Min = other.Doubles.Min
+			}
+			if !cs.Doubles.hasValue || other.Doubles.Max > cs.Doubles.Max {
+				cs.Doubles.Max = other.Doubles.Max
+			}
+			cs.Doubles.Sum += other.Doubles.Sum
+			cs.Doubles.hasValue = true
+		}
+	case cs.Strings != nil && other.Strings != nil:
+		if other.Strings.hasValue {
+			if !cs.Strings.hasValue || other.Strings.Min < cs.Strings.Min {
+				cs.Strings.Min = other.Strings.Min
+			}
+			if !cs.Strings.hasValue || other.Strings.Max > cs.Strings.Max {
+				cs.Strings.Max = other.Strings.Max
+			}
+			cs.Strings.TotalLength += other.Strings.TotalLength
+			cs.Strings.hasValue = true
+		}
+	case cs.Bools != nil && other.Bools != nil:
+		cs.Bools.TrueCount += other.Bools.TrueCount
+	case cs.Binary != nil && other.Binary != nil:
+		cs.Binary.TotalLength += other.Binary.TotalLength
+	}
+}
+
+// HasValues reports whether any non-null value was recorded.
+func (cs *ColumnStats) HasValues() bool { return cs.NumValues > 0 }
+
+// Typed sub-stat tags used in the serialized form.
+const (
+	statNone = iota
+	statInt
+	statDouble
+	statString
+	statBool
+	statBinary
+)
+
+func encodeStats(e *metaEnc, cs *ColumnStats) {
+	if cs == nil {
+		cs = &ColumnStats{}
+	}
+	e.i64(cs.NumValues)
+	e.bool(cs.HasNull)
+	switch {
+	case cs.Ints != nil:
+		e.u64(statInt)
+		e.bool(cs.Ints.hasValue)
+		e.i64(cs.Ints.Min)
+		e.i64(cs.Ints.Max)
+		e.i64(cs.Ints.Sum)
+	case cs.Doubles != nil:
+		e.u64(statDouble)
+		e.bool(cs.Doubles.hasValue)
+		e.f64(cs.Doubles.Min)
+		e.f64(cs.Doubles.Max)
+		e.f64(cs.Doubles.Sum)
+	case cs.Strings != nil:
+		e.u64(statString)
+		e.bool(cs.Strings.hasValue)
+		e.str(cs.Strings.Min)
+		e.str(cs.Strings.Max)
+		e.i64(cs.Strings.TotalLength)
+	case cs.Bools != nil:
+		e.u64(statBool)
+		e.i64(cs.Bools.TrueCount)
+	case cs.Binary != nil:
+		e.u64(statBinary)
+		e.i64(cs.Binary.TotalLength)
+	default:
+		e.u64(statNone)
+	}
+}
+
+func decodeStats(d *metaDec) *ColumnStats {
+	cs := &ColumnStats{}
+	cs.NumValues = d.i64()
+	cs.HasNull = d.bool()
+	switch d.u64() {
+	case statInt:
+		cs.Ints = &IntStats{}
+		cs.Ints.hasValue = d.bool()
+		cs.Ints.Min = d.i64()
+		cs.Ints.Max = d.i64()
+		cs.Ints.Sum = d.i64()
+	case statDouble:
+		cs.Doubles = &DoubleStats{}
+		cs.Doubles.hasValue = d.bool()
+		cs.Doubles.Min = d.f64()
+		cs.Doubles.Max = d.f64()
+		cs.Doubles.Sum = d.f64()
+	case statString:
+		cs.Strings = &StringStats{}
+		cs.Strings.hasValue = d.bool()
+		cs.Strings.Min = d.str()
+		cs.Strings.Max = d.str()
+		cs.Strings.TotalLength = d.i64()
+	case statBool:
+		cs.Bools = &BoolStats{}
+		cs.Bools.TrueCount = d.i64()
+	case statBinary:
+		cs.Binary = &BinaryStats{}
+		cs.Binary.TotalLength = d.i64()
+	}
+	return cs
+}

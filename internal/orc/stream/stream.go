@@ -1,0 +1,489 @@
+// Package stream implements the four primitive stream types of ORC File
+// (paper §4.3): byte streams, run-length byte streams, integer streams with
+// run-length/delta encoding, and bit-field streams backed by run-length
+// byte streams.
+//
+// Every encoder supports FlushRun, which terminates any pending run so that
+// the current byte length is a valid decoder entry point. The ORC writer
+// calls it at index-group boundaries, making row-index position pointers
+// plain byte offsets (paper §4.2).
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind identifies the role of a stream within a column (recorded in stripe
+// footers).
+type Kind int
+
+// Stream kinds. Present marks the null bit-field stream; Data, Length and
+// DictionaryData follow the paper's description of Int and String columns;
+// Secondary carries union tags.
+const (
+	Present Kind = iota
+	Data
+	Length
+	DictionaryData
+	Secondary
+)
+
+// String returns the stream-kind name used in stripe footers and orcdump.
+func (k Kind) String() string {
+	switch k {
+	case Present:
+		return "PRESENT"
+	case Data:
+		return "DATA"
+	case Length:
+		return "LENGTH"
+	case DictionaryData:
+		return "DICTIONARY_DATA"
+	case Secondary:
+		return "SECONDARY"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Encoder is the interface shared by all stream writers; the ORC column
+// writers drive them generically at index-group and stripe boundaries.
+type Encoder interface {
+	// FlushRun terminates pending run state so Len is a decoder entry
+	// point.
+	FlushRun()
+	// Bytes returns the encoded contents accumulated so far.
+	Bytes() []byte
+	// Len returns the current encoded length.
+	Len() int
+	// Reset clears the encoder for the next stripe.
+	Reset()
+}
+
+// ByteWriter is the plain byte stream: a sequence of bytes with no encoding.
+type ByteWriter struct {
+	buf []byte
+}
+
+// Put appends raw bytes.
+func (w *ByteWriter) Put(p []byte) { w.buf = append(w.buf, p...) }
+
+// PutByte appends one raw byte.
+func (w *ByteWriter) PutByte(b byte) { w.buf = append(w.buf, b) }
+
+// FlushRun is a no-op; byte streams have no run state.
+func (w *ByteWriter) FlushRun() {}
+
+// Bytes returns the encoded stream contents.
+func (w *ByteWriter) Bytes() []byte { return w.buf }
+
+// Len returns the current encoded length, a valid decoder entry point.
+func (w *ByteWriter) Len() int { return len(w.buf) }
+
+// Reset clears the stream for the next stripe.
+func (w *ByteWriter) Reset() { w.buf = w.buf[:0] }
+
+// ByteReader decodes a plain byte stream.
+type ByteReader struct {
+	buf []byte
+	pos int
+}
+
+// NewByteReader reads from buf starting at offset off.
+func NewByteReader(buf []byte, off int) *ByteReader { return &ByteReader{buf: buf, pos: off} }
+
+// ReadN returns the next n bytes without copying.
+func (r *ByteReader) ReadN(n int) ([]byte, error) {
+	if r.pos+n > len(r.buf) {
+		return nil, fmt.Errorf("stream: byte stream exhausted (need %d, have %d)", n, len(r.buf)-r.pos)
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// ReadByte returns the next byte.
+func (r *ByteReader) ReadByte() (byte, error) {
+	b, err := r.ReadN(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+const (
+	// Control ranges mirror ORC RLE v1: a control byte c in [0,127]
+	// encodes a run of c+minRepeat values; c in [128,255] encodes
+	// 256-c literal values.
+	minRepeat     = 3
+	maxRepeat     = 127 + minRepeat
+	maxLiteralLen = 128
+	minDelta      = -128
+	maxDelta      = 127
+)
+
+// RunLengthByteWriter encodes a byte sequence with run-length encoding:
+// repeated bytes are stored as (count, value) pairs, literals verbatim.
+type RunLengthByteWriter struct {
+	buf     []byte
+	literal []byte
+	runByte byte
+	runLen  int
+}
+
+// Put appends one logical byte.
+func (w *RunLengthByteWriter) Put(b byte) {
+	if w.runLen > 0 && b == w.runByte {
+		w.runLen++
+		if w.runLen == maxRepeat {
+			w.emitRun()
+		}
+		return
+	}
+	if w.runLen >= minRepeat {
+		w.emitRun()
+	} else {
+		for i := 0; i < w.runLen; i++ {
+			w.pushLiteral(w.runByte)
+		}
+	}
+	w.runByte, w.runLen = b, 1
+}
+
+func (w *RunLengthByteWriter) pushLiteral(b byte) {
+	w.literal = append(w.literal, b)
+	if len(w.literal) == maxLiteralLen {
+		w.emitLiteral()
+	}
+}
+
+func (w *RunLengthByteWriter) emitRun() {
+	if w.runLen == 0 {
+		return
+	}
+	if w.runLen < minRepeat {
+		for i := 0; i < w.runLen; i++ {
+			w.pushLiteral(w.runByte)
+		}
+		w.runLen = 0
+		return
+	}
+	w.emitLiteral()
+	w.buf = append(w.buf, byte(w.runLen-minRepeat), w.runByte)
+	w.runLen = 0
+}
+
+func (w *RunLengthByteWriter) emitLiteral() {
+	if len(w.literal) == 0 {
+		return
+	}
+	w.buf = append(w.buf, byte(256-len(w.literal)))
+	w.buf = append(w.buf, w.literal...)
+	w.literal = w.literal[:0]
+}
+
+// FlushRun terminates pending runs/literals so Len is a decode entry point.
+func (w *RunLengthByteWriter) FlushRun() {
+	w.emitRun()
+	w.emitLiteral()
+}
+
+// Bytes returns the encoded contents; callers must FlushRun first.
+func (w *RunLengthByteWriter) Bytes() []byte { return w.buf }
+
+// Len returns the encoded length after the last FlushRun.
+func (w *RunLengthByteWriter) Len() int { return len(w.buf) }
+
+// Reset clears all state for the next stripe.
+func (w *RunLengthByteWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.literal = w.literal[:0]
+	w.runLen = 0
+}
+
+// RunLengthByteReader decodes a run-length byte stream.
+type RunLengthByteReader struct {
+	buf     []byte
+	pos     int
+	pending byte
+	repeat  int
+	literal []byte
+	litPos  int
+}
+
+// NewRunLengthByteReader reads from buf starting at byte offset off.
+func NewRunLengthByteReader(buf []byte, off int) *RunLengthByteReader {
+	return &RunLengthByteReader{buf: buf, pos: off}
+}
+
+// ReadByte returns the next logical byte.
+func (r *RunLengthByteReader) ReadByte() (byte, error) {
+	if r.repeat > 0 {
+		r.repeat--
+		return r.pending, nil
+	}
+	if r.litPos < len(r.literal) {
+		b := r.literal[r.litPos]
+		r.litPos++
+		return b, nil
+	}
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("stream: run-length byte stream exhausted")
+	}
+	control := r.buf[r.pos]
+	r.pos++
+	if control < 128 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("stream: truncated byte run")
+		}
+		r.pending = r.buf[r.pos]
+		r.pos++
+		r.repeat = int(control) + minRepeat - 1
+		return r.pending, nil
+	}
+	n := 256 - int(control)
+	if r.pos+n > len(r.buf) {
+		return 0, fmt.Errorf("stream: truncated byte literal")
+	}
+	r.literal = r.buf[r.pos : r.pos+n]
+	r.litPos = 1
+	r.pos += n
+	return r.literal[0], nil
+}
+
+// IntWriter is the integer stream (paper §4.3): sub-sequences of at least
+// three values with a constant delta in [-128,127] are stored as
+// (count, delta, base) runs; other values as literal zigzag varints. The
+// choice between encodings is made per sub-sequence based on its pattern,
+// following ORC RLE version 1.
+type IntWriter struct {
+	buf        []byte
+	literals   [maxLiteralLen]int64
+	numLit     int
+	delta      int64
+	repeat     bool
+	tailRunLen int
+}
+
+// WriteInt appends one logical integer.
+func (w *IntWriter) WriteInt(v int64) {
+	switch {
+	case w.numLit == 0:
+		w.literals[0] = v
+		w.numLit = 1
+		w.tailRunLen = 1
+	case w.repeat:
+		if v == w.literals[0]+w.delta*int64(w.numLit) {
+			w.numLit++
+			if w.numLit == maxRepeat {
+				w.emit()
+			}
+		} else {
+			w.emit()
+			w.literals[0] = v
+			w.numLit = 1
+			w.tailRunLen = 1
+		}
+	default:
+		if w.tailRunLen == 1 || v != w.literals[w.numLit-1]+w.delta {
+			d := v - w.literals[w.numLit-1]
+			if d < minDelta || d > maxDelta {
+				w.tailRunLen = 1
+			} else {
+				w.delta = d
+				w.tailRunLen = 2
+			}
+		} else {
+			w.tailRunLen++
+		}
+		if w.tailRunLen == minRepeat {
+			// The current value plus the two preceding literals form a
+			// run; emit any earlier literals and switch to repeat mode.
+			if w.numLit+1 != minRepeat {
+				w.numLit -= minRepeat - 1
+				base := w.literals[w.numLit]
+				w.emitLiterals()
+				w.literals[0] = base
+			}
+			w.repeat = true
+			w.numLit = minRepeat
+		} else {
+			w.literals[w.numLit] = v
+			w.numLit++
+			if w.numLit == maxLiteralLen {
+				w.emit()
+			}
+		}
+	}
+}
+
+func (w *IntWriter) emit() {
+	if w.numLit == 0 {
+		return
+	}
+	if w.repeat {
+		w.buf = append(w.buf, byte(w.numLit-minRepeat), byte(int8(w.delta)))
+		w.buf = binary.AppendVarint(w.buf, w.literals[0])
+	} else {
+		w.emitLiterals()
+	}
+	w.repeat = false
+	w.numLit = 0
+	w.tailRunLen = 0
+}
+
+func (w *IntWriter) emitLiterals() {
+	if w.numLit == 0 {
+		return
+	}
+	w.buf = append(w.buf, byte(256-w.numLit))
+	for i := 0; i < w.numLit; i++ {
+		w.buf = binary.AppendVarint(w.buf, w.literals[i])
+	}
+	w.numLit = 0
+}
+
+// FlushRun commits all pending values.
+func (w *IntWriter) FlushRun() { w.emit() }
+
+// Bytes returns the encoded contents; callers must FlushRun first.
+func (w *IntWriter) Bytes() []byte { return w.buf }
+
+// Len returns the encoded length after the last FlushRun.
+func (w *IntWriter) Len() int { return len(w.buf) }
+
+// Reset clears all state for the next stripe.
+func (w *IntWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.numLit = 0
+	w.repeat = false
+	w.tailRunLen = 0
+}
+
+// IntReader decodes an integer stream.
+type IntReader struct {
+	buf    []byte
+	pos    int
+	value  int64
+	delta  int64
+	repeat int
+	numLit int
+}
+
+// NewIntReader reads from buf starting at byte offset off.
+func NewIntReader(buf []byte, off int) *IntReader { return &IntReader{buf: buf, pos: off} }
+
+// ReadInt returns the next logical integer.
+func (r *IntReader) ReadInt() (int64, error) {
+	if r.repeat > 0 {
+		r.repeat--
+		r.value += r.delta
+		return r.value, nil
+	}
+	if r.numLit > 0 {
+		r.numLit--
+		return r.readVarint()
+	}
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("stream: integer stream exhausted")
+	}
+	control := r.buf[r.pos]
+	r.pos++
+	if control < 128 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("stream: truncated integer run")
+		}
+		r.delta = int64(int8(r.buf[r.pos]))
+		r.pos++
+		base, err := r.readVarint()
+		if err != nil {
+			return 0, err
+		}
+		r.value = base
+		r.repeat = int(control) + minRepeat - 1
+		return r.value, nil
+	}
+	r.numLit = 256 - int(control) - 1
+	return r.readVarint()
+}
+
+func (r *IntReader) readVarint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("stream: bad varint in integer stream")
+	}
+	r.pos += n
+	return v, nil
+}
+
+// BitFieldWriter stores booleans one bit at a time (msb first), backed by a
+// run-length byte stream as the paper describes.
+type BitFieldWriter struct {
+	rle     RunLengthByteWriter
+	current byte
+	nbits   int
+}
+
+// WriteBool appends one logical bit.
+func (w *BitFieldWriter) WriteBool(v bool) {
+	w.current <<= 1
+	if v {
+		w.current |= 1
+	}
+	w.nbits++
+	if w.nbits == 8 {
+		w.rle.Put(w.current)
+		w.current, w.nbits = 0, 0
+	}
+}
+
+// FlushRun pads the partial byte with zero bits and terminates runs, making
+// Len a decoder entry point (the bit cursor realigns to a byte boundary,
+// which is why the ORC writer flushes exactly at index-group boundaries).
+func (w *BitFieldWriter) FlushRun() {
+	if w.nbits > 0 {
+		w.current <<= uint(8 - w.nbits)
+		w.rle.Put(w.current)
+		w.current, w.nbits = 0, 0
+	}
+	w.rle.FlushRun()
+}
+
+// Bytes returns the encoded contents; callers must FlushRun first.
+func (w *BitFieldWriter) Bytes() []byte { return w.rle.Bytes() }
+
+// Len returns the encoded length after the last FlushRun.
+func (w *BitFieldWriter) Len() int { return w.rle.Len() }
+
+// Reset clears all state for the next stripe.
+func (w *BitFieldWriter) Reset() {
+	w.rle.Reset()
+	w.current, w.nbits = 0, 0
+}
+
+// BitFieldReader decodes a bit-field stream.
+type BitFieldReader struct {
+	rle     *RunLengthByteReader
+	current byte
+	nbits   int
+}
+
+// NewBitFieldReader reads from buf starting at byte offset off; the offset
+// must be an index-group entry point (bit cursor aligned to a byte).
+func NewBitFieldReader(buf []byte, off int) *BitFieldReader {
+	return &BitFieldReader{rle: NewRunLengthByteReader(buf, off)}
+}
+
+// ReadBool returns the next logical bit.
+func (r *BitFieldReader) ReadBool() (bool, error) {
+	if r.nbits == 0 {
+		b, err := r.rle.ReadByte()
+		if err != nil {
+			return false, err
+		}
+		r.current = b
+		r.nbits = 8
+	}
+	r.nbits--
+	return r.current&(1<<uint(r.nbits)) != 0, nil
+}

@@ -1,0 +1,353 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteStreamRoundTrip(t *testing.T) {
+	var w ByteWriter
+	w.Put([]byte("hello"))
+	w.PutByte('!')
+	r := NewByteReader(w.Bytes(), 0)
+	got, err := r.ReadN(6)
+	if err != nil || string(got) != "hello!" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if _, err := r.ReadByte(); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestByteStreamOffset(t *testing.T) {
+	var w ByteWriter
+	w.Put([]byte("0123456789"))
+	r := NewByteReader(w.Bytes(), 4)
+	b, err := r.ReadByte()
+	if err != nil || b != '4' {
+		t.Fatalf("got %c, %v", b, err)
+	}
+}
+
+func runLengthByteRoundTrip(t *testing.T, vals []byte) {
+	t.Helper()
+	var w RunLengthByteWriter
+	for _, v := range vals {
+		w.Put(v)
+	}
+	w.FlushRun()
+	r := NewRunLengthByteReader(w.Bytes(), 0)
+	for i, want := range vals {
+		got, err := r.ReadByte()
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadByte(); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestRunLengthByteRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1},
+		{1, 2},
+		{5, 5, 5},
+		{5, 5, 5, 5, 5, 5, 5, 5},
+		{1, 2, 3, 4, 5},
+		{1, 1, 2, 2, 3, 3}, // short runs -> literals
+		append(make([]byte, 500), 1, 2, 3),
+	}
+	for _, c := range cases {
+		runLengthByteRoundTrip(t, c)
+	}
+	// Long random-ish mixture.
+	rng := rand.New(rand.NewSource(1))
+	mixed := make([]byte, 4096)
+	for i := range mixed {
+		if rng.Intn(3) == 0 {
+			mixed[i] = byte(rng.Intn(4))
+		} else if i > 0 {
+			mixed[i] = mixed[i-1]
+		}
+	}
+	runLengthByteRoundTrip(t, mixed)
+}
+
+func TestRunLengthByteCompresses(t *testing.T) {
+	var w RunLengthByteWriter
+	for i := 0; i < 10000; i++ {
+		w.Put(42)
+	}
+	w.FlushRun()
+	if w.Len() > 200 {
+		t.Errorf("10000 identical bytes encoded to %d bytes", w.Len())
+	}
+}
+
+func intRoundTrip(t *testing.T, vals []int64) []byte {
+	t.Helper()
+	var w IntWriter
+	for _, v := range vals {
+		w.WriteInt(v)
+	}
+	w.FlushRun()
+	r := NewIntReader(w.Bytes(), 0)
+	for i, want := range vals {
+		got, err := r.ReadInt()
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadInt(); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+	return w.Bytes()
+}
+
+func TestIntStreamRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{7, 7},
+		{1, 2, 3, 4, 5},           // delta run
+		{100, 100, 100, 100},      // constant run
+		{5, 4, 3, 2, 1, 0, -1},    // negative delta
+		{1 << 40, -(1 << 40), 17}, // literals with big values
+		{1, 2, 3, 999, 1000, 1001, 5, 5, 5, 5, -3},
+		{0, 200, 400, 600}, // delta 200 out of byte range -> literals
+	}
+	for _, c := range cases {
+		intRoundTrip(t, c)
+	}
+}
+
+func TestIntStreamLongSequences(t *testing.T) {
+	// Monotonic sequence far longer than a max run.
+	seq := make([]int64, 5000)
+	for i := range seq {
+		seq[i] = int64(i * 3)
+	}
+	enc := intRoundTrip(t, seq)
+	if len(enc) > 250 {
+		t.Errorf("5000-value delta sequence encoded to %d bytes", len(enc))
+	}
+	// Run followed by a break then another run — the pattern the greedy
+	// tail-run tracker must not degrade to all-literals.
+	var mix []int64
+	for i := 0; i < 100; i++ {
+		mix = append(mix, 7)
+	}
+	mix = append(mix, 1234567)
+	for i := 0; i < 100; i++ {
+		mix = append(mix, int64(i))
+	}
+	enc = intRoundTrip(t, mix)
+	if len(enc) > 60 {
+		t.Errorf("run/break/run sequence encoded to %d bytes", len(enc))
+	}
+	// Random values — pure literals.
+	rng := rand.New(rand.NewSource(2))
+	rnd := make([]int64, 3000)
+	for i := range rnd {
+		rnd[i] = rng.Int63() - (1 << 62)
+	}
+	intRoundTrip(t, rnd)
+}
+
+func TestIntStreamProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		var w IntWriter
+		for _, v := range vals {
+			w.WriteInt(v)
+		}
+		w.FlushRun()
+		r := NewIntReader(w.Bytes(), 0)
+		for _, want := range vals {
+			got, err := r.ReadInt()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntStreamSmallRunsProperty(t *testing.T) {
+	// Small-domain values exercise run/literal mode switching heavily.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(600)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(3))
+		}
+		intRoundTrip(t, vals)
+	}
+}
+
+func TestBitFieldRoundTrip(t *testing.T) {
+	cases := [][]bool{
+		{},
+		{true},
+		{false, true, false},
+		{true, true, true, true, true, true, true, true, true}, // crosses byte
+	}
+	for _, c := range cases {
+		var w BitFieldWriter
+		for _, v := range c {
+			w.WriteBool(v)
+		}
+		w.FlushRun()
+		r := NewBitFieldReader(w.Bytes(), 0)
+		for i, want := range c {
+			got, err := r.ReadBool()
+			if err != nil {
+				t.Fatalf("bit %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("bit %d = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestBitFieldLong(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bits := make([]bool, 10001)
+	for i := range bits {
+		bits[i] = rng.Intn(5) != 0
+	}
+	var w BitFieldWriter
+	for _, v := range bits {
+		w.WriteBool(v)
+	}
+	w.FlushRun()
+	r := NewBitFieldReader(w.Bytes(), 0)
+	for i, want := range bits {
+		got, err := r.ReadBool()
+		if err != nil || got != want {
+			t.Fatalf("bit %d = %v, %v; want %v", i, got, err, want)
+		}
+	}
+}
+
+func TestBitFieldAllSameCompresses(t *testing.T) {
+	var w BitFieldWriter
+	for i := 0; i < 80000; i++ {
+		w.WriteBool(true)
+	}
+	w.FlushRun()
+	// 80000 bits = 10000 0xFF bytes; RLE should crush them.
+	if w.Len() > 200 {
+		t.Errorf("all-true bit field encoded to %d bytes", w.Len())
+	}
+}
+
+// TestFlushRunEntryPoints verifies the property the ORC row index relies on:
+// after FlushRun, the byte length is a valid entry point and a fresh reader
+// starting there sees exactly the values written after the flush.
+func TestFlushRunEntryPoints(t *testing.T) {
+	t.Run("int", func(t *testing.T) {
+		var w IntWriter
+		for i := 0; i < 1000; i++ {
+			w.WriteInt(int64(i))
+		}
+		w.FlushRun()
+		mark := w.Len()
+		for i := 0; i < 500; i++ {
+			w.WriteInt(int64(i * 7))
+		}
+		w.FlushRun()
+		r := NewIntReader(w.Bytes(), mark)
+		for i := 0; i < 500; i++ {
+			got, err := r.ReadInt()
+			if err != nil || got != int64(i*7) {
+				t.Fatalf("after seek, value %d = %d, %v", i, got, err)
+			}
+		}
+	})
+	t.Run("bitfield", func(t *testing.T) {
+		var w BitFieldWriter
+		for i := 0; i < 77; i++ { // deliberately not byte-aligned
+			w.WriteBool(i%2 == 0)
+		}
+		w.FlushRun()
+		mark := w.Len()
+		for i := 0; i < 33; i++ {
+			w.WriteBool(i%3 == 0)
+		}
+		w.FlushRun()
+		r := NewBitFieldReader(w.Bytes(), mark)
+		for i := 0; i < 33; i++ {
+			got, err := r.ReadBool()
+			if err != nil || got != (i%3 == 0) {
+				t.Fatalf("after seek, bit %d = %v, %v", i, got, err)
+			}
+		}
+	})
+	t.Run("runlengthbyte", func(t *testing.T) {
+		var w RunLengthByteWriter
+		for i := 0; i < 300; i++ {
+			w.Put(9)
+		}
+		w.FlushRun()
+		mark := w.Len()
+		w.Put(1)
+		w.Put(2)
+		w.FlushRun()
+		r := NewRunLengthByteReader(w.Bytes(), mark)
+		b1, _ := r.ReadByte()
+		b2, _ := r.ReadByte()
+		if b1 != 1 || b2 != 2 {
+			t.Fatalf("after seek got %d,%d", b1, b2)
+		}
+	})
+}
+
+func TestEncoderReset(t *testing.T) {
+	encoders := []Encoder{&ByteWriter{}, &RunLengthByteWriter{}, &IntWriter{}, &BitFieldWriter{}}
+	for _, e := range encoders {
+		switch w := e.(type) {
+		case *ByteWriter:
+			w.PutByte(1)
+		case *RunLengthByteWriter:
+			w.Put(1)
+		case *IntWriter:
+			w.WriteInt(1)
+		case *BitFieldWriter:
+			w.WriteBool(true)
+		}
+		e.FlushRun()
+		if e.Len() == 0 {
+			t.Fatalf("%T: empty after write+flush", e)
+		}
+		e.Reset()
+		if e.Len() != 0 {
+			t.Errorf("%T: Len != 0 after Reset", e)
+		}
+		e.FlushRun()
+		if e.Len() != 0 {
+			t.Errorf("%T: Reset left pending run state", e)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Present, Data, Length, DictionaryData, Secondary} {
+		if k.String() == "" || k.String()[0] == 'k' {
+			t.Errorf("Kind %d has bad name %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// string_writer.go implements the String column writer. As the paper
+// describes (§4.3), the writer buffers a stripe's values and decides at
+// stripe finalization whether dictionary encoding pays off: if the ratio of
+// distinct dictionary entries to encoded values exceeds a configurable
+// threshold (default 0.8), the column is stored directly instead.
+package orc
+
+import (
+	"fmt"
+
+	"repro/internal/orc/stream"
+)
+
+// DefaultDictionaryThreshold is the paper's default distinct/encoded ratio
+// above which dictionary encoding is abandoned.
+const DefaultDictionaryThreshold = 0.8
+
+type stringColumnWriter struct {
+	columnBase
+	threshold float64
+
+	// Stripe-buffered state. ids[i] is the dictionary id of row i's value,
+	// or -1 for NULL; groupMarks records the value-count boundary at which
+	// each index group after the first starts.
+	dict       map[string]int
+	dictValues []string
+	dictBytes  int64
+	ids        []int32
+	groupMarks []int
+
+	// Finished streams are built lazily by encode() so finish() and
+	// encoding() agree.
+	encoded    []finishedStream
+	dictionary bool
+}
+
+func (w *stringColumnWriter) write(v any) error {
+	if v == nil {
+		w.hasNull = true
+		w.current.Update(nil)
+		w.ids = append(w.ids, -1)
+		return nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("orc: column %d (%s): %T is not string", w.node.ID, w.node.Type, v)
+	}
+	id, ok := w.dict[s]
+	if !ok {
+		id = len(w.dictValues)
+		w.dict[s] = id
+		w.dictValues = append(w.dictValues, s)
+		w.dictBytes += int64(len(s))
+	}
+	w.ids = append(w.ids, int32(id))
+	w.current.Update(s)
+	return nil
+}
+
+func (w *stringColumnWriter) startGroup() {
+	// The present stream is rebuilt at encode() time, so openGroup's
+	// present flush is harmless here; we record the row boundary.
+	w.openGroup()
+	if len(w.groups) > 1 {
+		w.groupMarks = append(w.groupMarks, len(w.ids))
+	}
+}
+
+// encode materializes streams once per stripe.
+func (w *stringColumnWriter) encode() {
+	if w.encoded != nil {
+		return
+	}
+	w.finalizeStats()
+	nonNull := 0
+	for _, id := range w.ids {
+		if id >= 0 {
+			nonNull++
+		}
+	}
+	useDict := nonNull > 0 &&
+		float64(len(w.dictValues))/float64(nonNull) <= w.threshold
+	w.dictionary = useDict
+
+	var present stream.BitFieldWriter
+	// Unlike the live writers, marks here happen only at interior group
+	// boundaries, so each tracker's positions slice is exactly the cut
+	// list (group g>0 starts at positions[g-1]).
+	var presentPos, dataPos, lengthPos positionTracker
+
+	markAll := func(data *stream.IntWriter, bytesData *stream.ByteWriter, length *stream.IntWriter) {
+		present.FlushRun()
+		presentPos.mark(present.Len())
+		if data != nil {
+			data.FlushRun()
+			dataPos.mark(data.Len())
+		}
+		if bytesData != nil {
+			dataPos.mark(bytesData.Len())
+		}
+		if length != nil {
+			length.FlushRun()
+			lengthPos.mark(length.Len())
+		}
+	}
+
+	nextMark := 0
+	if useDict {
+		var data stream.IntWriter // dictionary ids
+		for row, id := range w.ids {
+			if nextMark < len(w.groupMarks) && row == w.groupMarks[nextMark] {
+				markAll(&data, nil, nil)
+				nextMark++
+			}
+			if id < 0 {
+				present.WriteBool(false)
+			} else {
+				present.WriteBool(true)
+				data.WriteInt(int64(id))
+			}
+		}
+		data.FlushRun()
+		present.FlushRun()
+
+		var dictData stream.ByteWriter
+		var length stream.IntWriter
+		for _, s := range w.dictValues {
+			dictData.Put([]byte(s))
+			length.WriteInt(int64(len(s)))
+		}
+		length.FlushRun()
+
+		streams := []finishedStream{
+			{kind: stream.Data, raw: data.Bytes(), cuts: dataPos.positions},
+			{kind: stream.DictionaryData, raw: dictData.Bytes()},
+			{kind: stream.Length, raw: length.Bytes()},
+		}
+		if w.hasNull {
+			streams = append([]finishedStream{
+				{kind: stream.Present, raw: present.Bytes(), cuts: presentPos.positions},
+			}, streams...)
+		}
+		w.encoded = streams
+	} else {
+		var data stream.ByteWriter
+		var length stream.IntWriter
+		for row, id := range w.ids {
+			if nextMark < len(w.groupMarks) && row == w.groupMarks[nextMark] {
+				markAll(nil, &data, &length)
+				nextMark++
+			}
+			if id < 0 {
+				present.WriteBool(false)
+			} else {
+				present.WriteBool(true)
+				s := w.dictValues[id]
+				data.Put([]byte(s))
+				length.WriteInt(int64(len(s)))
+			}
+		}
+		length.FlushRun()
+		present.FlushRun()
+		streams := []finishedStream{
+			{kind: stream.Data, raw: data.Bytes(), cuts: dataPos.positions},
+			{kind: stream.Length, raw: length.Bytes(), cuts: lengthPos.positions},
+		}
+		if w.hasNull {
+			streams = append([]finishedStream{
+				{kind: stream.Present, raw: present.Bytes(), cuts: presentPos.positions},
+			}, streams...)
+		}
+		w.encoded = streams
+	}
+}
+
+func (w *stringColumnWriter) finish() []finishedStream {
+	w.encode()
+	return w.encoded
+}
+
+func (w *stringColumnWriter) encoding() ColumnEncoding {
+	w.encode()
+	if w.dictionary {
+		return ColumnEncoding{Dictionary: true, DictSize: uint64(len(w.dictValues))}
+	}
+	return ColumnEncoding{}
+}
+
+func (w *stringColumnWriter) estimatedSize() int64 {
+	// ids (4 bytes each) + dictionary bytes; direct encoding would
+	// duplicate the dictionary bytes per occurrence but this estimate is
+	// only used for stripe sizing.
+	total := int64(len(w.ids))*4 + w.dictBytes + 64
+	if nonDistinct := int64(len(w.ids)) - int64(len(w.dictValues)); nonDistinct > 0 && len(w.dictValues) > 0 {
+		// Approximate direct-mode expansion using the mean entry length.
+		total += nonDistinct * (w.dictBytes / int64(len(w.dictValues)))
+	}
+	return total
+}
+
+func (w *stringColumnWriter) reset() {
+	w.resetBase()
+	w.dict = make(map[string]int)
+	w.dictValues = w.dictValues[:0]
+	w.dictBytes = 0
+	w.ids = w.ids[:0]
+	w.groupMarks = w.groupMarks[:0]
+	w.encoded = nil
+	w.dictionary = false
+}

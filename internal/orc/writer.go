@@ -1,0 +1,339 @@
+// Package orc implements the Optimized Record Columnar File format of the
+// paper's §4: a columnar, self-describing file format with type-aware
+// encodings, three-level sparse indexes (file / stripe / index group),
+// predicate pushdown, optional general-purpose compression, HDFS block
+// alignment, and a memory manager bounding concurrent writers.
+package orc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+	"repro/internal/types"
+)
+
+// Defaults mirrored from the paper (§4.1–§4.3).
+const (
+	DefaultStripeSize     = 256 << 20 // 256 MB
+	DefaultRowIndexStride = 10000     // values per index group
+)
+
+// WriterOptions configures an ORC writer.
+type WriterOptions struct {
+	// StripeSize is the target in-memory stripe size in bytes
+	// (default 256 MB).
+	StripeSize int64
+	// RowIndexStride is the number of rows per index group
+	// (default 10000). Zero disables the row index.
+	RowIndexStride int
+	// Compression selects the optional general-purpose codec.
+	Compression compress.Kind
+	// CompressionUnit is the codec unit size (default 256 KB).
+	CompressionUnit int
+	// DictionaryThreshold is the max distinct/encoded ratio for string
+	// dictionary encoding (default 0.8).
+	DictionaryThreshold float64
+	// BlockAlign pads stripes so no stripe crosses a DFS block boundary
+	// (§4.1's third improvement); requires BlockSize.
+	BlockAlign bool
+	// BlockSize is the DFS block size used for alignment.
+	BlockSize int64
+	// Memory optionally bounds this writer's stripe buffer together with
+	// other registered writers (§4.4).
+	Memory *MemoryManager
+}
+
+func (o *WriterOptions) withDefaults() WriterOptions {
+	out := WriterOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.StripeSize <= 0 {
+		out.StripeSize = DefaultStripeSize
+	}
+	if out.RowIndexStride < 0 {
+		out.RowIndexStride = 0
+	}
+	if out.RowIndexStride == 0 {
+		out.RowIndexStride = DefaultRowIndexStride
+	}
+	if out.CompressionUnit <= 0 {
+		out.CompressionUnit = DefaultCompressionUnit
+	}
+	if out.DictionaryThreshold <= 0 {
+		out.DictionaryThreshold = DefaultDictionaryThreshold
+	}
+	return out
+}
+
+// File is the sequential output target for an ORC writer; *dfs.FileWriter
+// implements it.
+type File interface {
+	io.Writer
+	// Pos returns the current file length (next write offset).
+	Pos() int64
+}
+
+// Writer writes rows into an ORC file. It buffers one stripe in memory
+// (which is why the memory manager exists) and flushes stripes as they
+// reach the effective stripe size.
+type Writer struct {
+	f      File
+	opts   WriterOptions
+	codec  compress.Codec
+	schema *types.Schema
+	tree   *types.ColumnTree
+
+	root    columnWriter
+	columns []columnWriter // flattened by column id
+
+	rowsInStripe  int64
+	rowsInFile    uint64
+	stripes       []StripeInformation
+	stripeStats   [][]*ColumnStats
+	checkInterval int64
+	closed        bool
+}
+
+// NewWriter creates an ORC writer over f for the given schema.
+func NewWriter(f File, schema *types.Schema, opts *WriterOptions) (*Writer, error) {
+	o := opts.withDefaults()
+	codec, err := compress.ForKind(o.Compression)
+	if err != nil {
+		return nil, err
+	}
+	tree := types.Decompose(schema)
+	w := &Writer{
+		f:             f,
+		opts:          o,
+		codec:         codec,
+		schema:        schema,
+		tree:          tree,
+		checkInterval: 1024,
+	}
+	w.root, err = newColumnWriter(tree.Root, &o)
+	if err != nil {
+		return nil, err
+	}
+	collectWriters(w.root, &w.columns)
+	if len(w.columns) != tree.NumColumns() {
+		return nil, fmt.Errorf("orc: writer tree has %d columns, schema has %d", len(w.columns), tree.NumColumns())
+	}
+	if o.Memory != nil {
+		o.Memory.Register(w, o.StripeSize)
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Schema returns the writer's schema.
+func (w *Writer) Schema() *types.Schema { return w.schema }
+
+// Write appends one row.
+func (w *Writer) Write(row types.Row) error {
+	if w.closed {
+		return errors.New("orc: write after Close")
+	}
+	if len(row) != len(w.schema.Columns) {
+		return fmt.Errorf("orc: row has %d columns, schema has %d", len(row), len(w.schema.Columns))
+	}
+	if w.rowsInStripe%int64(w.opts.RowIndexStride) == 0 {
+		for _, c := range w.columns {
+			c.startGroup()
+		}
+	}
+	// The root struct writer fans the row out to all children.
+	if err := w.root.write([]any(row)); err != nil {
+		return err
+	}
+	w.rowsInStripe++
+	w.rowsInFile++
+	if w.rowsInStripe%w.checkInterval == 0 && w.estimatedStripeSize() >= w.effectiveStripeSize() {
+		return w.flushStripe()
+	}
+	return nil
+}
+
+// effectiveStripeSize applies the memory manager's scale factor (§4.4).
+func (w *Writer) effectiveStripeSize() int64 {
+	size := w.opts.StripeSize
+	if w.opts.Memory != nil {
+		scaled := int64(float64(size) * w.opts.Memory.Scale())
+		if scaled < 1 {
+			scaled = 1
+		}
+		size = scaled
+	}
+	return size
+}
+
+func (w *Writer) estimatedStripeSize() int64 { return w.root.estimatedSize() }
+
+// EstimatedBufferedBytes exposes the current stripe buffer estimate (used
+// in memory-manager tests and by orcdump).
+func (w *Writer) EstimatedBufferedBytes() int64 { return w.estimatedStripeSize() }
+
+// flushStripe assembles and writes the buffered stripe.
+func (w *Writer) flushStripe() error {
+	if w.rowsInStripe == 0 {
+		return nil
+	}
+	// Finish all columns: collect streams, encodings and stats.
+	streams := make([][]finishedStream, len(w.columns))
+	encodings := make([]ColumnEncoding, len(w.columns))
+	stripeStats := make([]*ColumnStats, len(w.columns))
+	for i, c := range w.columns {
+		streams[i] = c.finish()
+		encodings[i] = c.encoding()
+		stripeStats[i] = c.stripeStats()
+	}
+
+	// Chunk every stream, laying data section out column by column
+	// (paper Figure 2: all columns of a stripe in the same file).
+	var data []byte
+	var dir []StreamInfo
+	// storedPositions[col][group][streamIdx] -> stored byte offset
+	// relative to the stream start.
+	numGroups := len(w.columns[0].groupStats())
+	rowIndexes := make([]*RowIndex, len(w.columns))
+	for i := range w.columns {
+		ri := &RowIndex{Entries: make([]RowIndexEntry, numGroups)}
+		groupStats := w.columns[i].groupStats()
+		for g := 0; g < numGroups; g++ {
+			ri.Entries[g].Stats = groupStats[g]
+		}
+		for _, fs := range streams[i] {
+			stored, storedCuts, err := chunkStream(w.codec, fs.raw, fs.cuts, w.opts.CompressionUnit)
+			if err != nil {
+				return err
+			}
+			dir = append(dir, StreamInfo{Column: i, Kind: fs.kind, Length: uint64(len(stored))})
+			data = append(data, stored...)
+			for g := 0; g < numGroups; g++ {
+				pos := uint64(0)
+				if g < len(storedCuts) {
+					pos = storedCuts[g]
+				}
+				ri.Entries[g].Positions = append(ri.Entries[g].Positions, pos)
+			}
+		}
+		rowIndexes[i] = ri
+	}
+
+	// One independently compressed index section per column, so readers
+	// fetch only the indexes of projected columns.
+	var indexSec []byte
+	indexLens := make([]uint64, len(w.columns))
+	for i, ri := range rowIndexes {
+		sec, err := encodeSection(w.codec, encodeRowIndex(ri), w.opts.CompressionUnit)
+		if err != nil {
+			return err
+		}
+		indexLens[i] = uint64(len(sec))
+		indexSec = append(indexSec, sec...)
+	}
+	sf := &StripeFooter{Streams: dir, Encodings: encodings, Stats: stripeStats, IndexLens: indexLens}
+	footerSec, err := encodeSection(w.codec, sf.encode(), w.opts.CompressionUnit)
+	if err != nil {
+		return err
+	}
+
+	stripeLen := int64(len(indexSec) + len(data) + len(footerSec))
+	if err := w.alignToBlock(stripeLen); err != nil {
+		return err
+	}
+	offset := w.f.Pos()
+	for _, sec := range [][]byte{indexSec, data, footerSec} {
+		if _, err := w.f.Write(sec); err != nil {
+			return err
+		}
+	}
+	w.stripes = append(w.stripes, StripeInformation{
+		Offset:       uint64(offset),
+		IndexLength:  uint64(len(indexSec)),
+		DataLength:   uint64(len(data)),
+		FooterLength: uint64(len(footerSec)),
+		NumRows:      uint64(w.rowsInStripe),
+	})
+	w.stripeStats = append(w.stripeStats, stripeStats)
+
+	w.rowsInStripe = 0
+	for _, c := range w.columns {
+		c.reset()
+	}
+	return nil
+}
+
+// alignToBlock pads the file with zeros so the next stripe does not cross a
+// DFS block boundary (§4.1): if the stripe does not fit in the remainder of
+// the current block but does fit in a whole block, pad to the boundary.
+func (w *Writer) alignToBlock(stripeLen int64) error {
+	if !w.opts.BlockAlign || w.opts.BlockSize <= 0 || stripeLen > w.opts.BlockSize {
+		return nil
+	}
+	pos := w.f.Pos()
+	remaining := w.opts.BlockSize - pos%w.opts.BlockSize
+	if remaining >= stripeLen {
+		return nil
+	}
+	pad := make([]byte, remaining)
+	_, err := w.f.Write(pad)
+	return err
+}
+
+// Close flushes the final stripe and writes the file metadata, footer and
+// postscript. It must be called exactly once.
+func (w *Writer) Close() error {
+	if w.closed {
+		return errors.New("orc: double Close")
+	}
+	w.closed = true
+	if w.opts.Memory != nil {
+		defer w.opts.Memory.Unregister(w)
+	}
+	if err := w.flushStripe(); err != nil {
+		return err
+	}
+
+	meta := &FileMetadata{StripeStats: w.stripeStats}
+	metaSec, err := encodeSection(w.codec, meta.encode(), w.opts.CompressionUnit)
+	if err != nil {
+		return err
+	}
+	fileStats := make([]*ColumnStats, len(w.columns))
+	for i, c := range w.columns {
+		fileStats[i] = c.fileStats()
+	}
+	footer := &Footer{
+		NumRows:        w.rowsInFile,
+		Schema:         w.schema,
+		Stripes:        w.stripes,
+		Statistics:     fileStats,
+		RowIndexStride: uint64(w.opts.RowIndexStride),
+	}
+	footerSec, err := encodeSection(w.codec, footer.encode(), w.opts.CompressionUnit)
+	if err != nil {
+		return err
+	}
+	ps := &Postscript{
+		FooterLength:    uint64(len(footerSec)),
+		MetadataLength:  uint64(len(metaSec)),
+		Compression:     w.opts.Compression,
+		CompressionUnit: uint64(w.opts.CompressionUnit),
+		Version:         1,
+	}
+	psBytes := ps.encode()
+	if len(psBytes) > 255 {
+		return fmt.Errorf("orc: postscript too large (%d bytes)", len(psBytes))
+	}
+	for _, sec := range [][]byte{metaSec, footerSec, psBytes, {byte(len(psBytes))}} {
+		if _, err := w.f.Write(sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

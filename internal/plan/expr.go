@@ -1,0 +1,363 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Expr is a compiled row expression: column references are resolved to row
+// indexes at plan time, so evaluation does no name lookups. This is the
+// row-mode (one-row-at-a-time) evaluation path the paper's §6 contrasts
+// with vectorized expressions.
+type Expr interface {
+	// Eval computes the expression over one row; nil is SQL NULL.
+	Eval(row types.Row) any
+	// Kind is the static result type.
+	Kind() types.Kind
+	String() string
+}
+
+// ColExpr reads column Idx of the input row.
+type ColExpr struct {
+	Idx  int
+	K    types.Kind
+	Name string
+}
+
+// Eval implements Expr.
+func (e *ColExpr) Eval(row types.Row) any { return row[e.Idx] }
+
+// Kind implements Expr.
+func (e *ColExpr) Kind() types.Kind { return e.K }
+
+func (e *ColExpr) String() string { return fmt.Sprintf("col[%d:%s]", e.Idx, e.Name) }
+
+// ConstExpr is a literal.
+type ConstExpr struct {
+	Value any
+	K     types.Kind
+}
+
+// Eval implements Expr.
+func (e *ConstExpr) Eval(types.Row) any { return e.Value }
+
+// Kind implements Expr.
+func (e *ConstExpr) Kind() types.Kind { return e.K }
+
+func (e *ConstExpr) String() string { return fmt.Sprintf("%v", e.Value) }
+
+// ArithExpr is + - * / with numeric widening: if either side is floating,
+// the result is Double, otherwise Long. Division always yields Double, as
+// in Hive.
+type ArithExpr struct {
+	Op          string
+	Left, Right Expr
+	k           types.Kind
+}
+
+// NewArith builds an arithmetic expression, computing the result kind.
+func NewArith(op string, l, r Expr) (*ArithExpr, error) {
+	lk, rk := l.Kind(), r.Kind()
+	if !numeric(lk) || !numeric(rk) {
+		return nil, fmt.Errorf("plan: %s requires numeric operands, got %s and %s", op, lk, rk)
+	}
+	k := types.Long
+	if op == "/" || lk.IsFloating() || rk.IsFloating() {
+		k = types.Double
+	}
+	return &ArithExpr{Op: op, Left: l, Right: r, k: k}, nil
+}
+
+func numeric(k types.Kind) bool { return k.IsInteger() || k.IsFloating() }
+
+// Eval implements Expr.
+func (e *ArithExpr) Eval(row types.Row) any {
+	l := e.Left.Eval(row)
+	r := e.Right.Eval(row)
+	if l == nil || r == nil {
+		return nil
+	}
+	if e.k == types.Double {
+		lf, rf := toFloat(l), toFloat(r)
+		switch e.Op {
+		case "+":
+			return lf + rf
+		case "-":
+			return lf - rf
+		case "*":
+			return lf * rf
+		case "/":
+			if rf == 0 {
+				return nil
+			}
+			return lf / rf
+		}
+	} else {
+		li, ri := l.(int64), r.(int64)
+		switch e.Op {
+		case "+":
+			return li + ri
+		case "-":
+			return li - ri
+		case "*":
+			return li * ri
+		}
+	}
+	panic("plan: bad arithmetic op " + e.Op)
+}
+
+func toFloat(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic(fmt.Sprintf("plan: non-numeric value %T", v))
+}
+
+// Kind implements Expr.
+func (e *ArithExpr) Kind() types.Kind { return e.k }
+
+func (e *ArithExpr) String() string {
+	return "(" + e.Left.String() + " " + e.Op + " " + e.Right.String() + ")"
+}
+
+// CompareExpr is = <> < <= > >= over comparable kinds, with numeric
+// widening. NULL operands yield NULL (three-valued logic).
+type CompareExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *CompareExpr) Eval(row types.Row) any {
+	l := e.Left.Eval(row)
+	r := e.Right.Eval(row)
+	if l == nil || r == nil {
+		return nil
+	}
+	c := compareValues(l, r)
+	switch e.Op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	panic("plan: bad comparison op " + e.Op)
+}
+
+// compareValues orders two non-nil values, widening mixed numerics.
+func compareValues(l, r any) int {
+	switch lv := l.(type) {
+	case int64:
+		switch rv := r.(type) {
+		case int64:
+			return cmpOrdered(lv, rv)
+		case float64:
+			return cmpOrdered(float64(lv), rv)
+		}
+	case float64:
+		switch rv := r.(type) {
+		case int64:
+			return cmpOrdered(lv, float64(rv))
+		case float64:
+			return cmpOrdered(lv, rv)
+		}
+	case string:
+		if rv, ok := r.(string); ok {
+			return cmpOrdered(lv, rv)
+		}
+	case bool:
+		if rv, ok := r.(bool); ok {
+			lb, rb := 0, 0
+			if lv {
+				lb = 1
+			}
+			if rv {
+				rb = 1
+			}
+			return cmpOrdered(lb, rb)
+		}
+	}
+	panic(fmt.Sprintf("plan: cannot compare %T with %T", l, r))
+}
+
+func cmpOrdered[T int | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Kind implements Expr.
+func (e *CompareExpr) Kind() types.Kind { return types.Boolean }
+
+func (e *CompareExpr) String() string {
+	return "(" + e.Left.String() + " " + e.Op + " " + e.Right.String() + ")"
+}
+
+// LogicalExpr is AND/OR with SQL three-valued logic.
+type LogicalExpr struct {
+	Op          string // "AND" or "OR"
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *LogicalExpr) Eval(row types.Row) any {
+	l := e.Left.Eval(row)
+	if e.Op == "AND" {
+		if l == false {
+			return false
+		}
+		r := e.Right.Eval(row)
+		if r == false {
+			return false
+		}
+		if l == nil || r == nil {
+			return nil
+		}
+		return true
+	}
+	if l == true {
+		return true
+	}
+	r := e.Right.Eval(row)
+	if r == true {
+		return true
+	}
+	if l == nil || r == nil {
+		return nil
+	}
+	return false
+}
+
+// Kind implements Expr.
+func (e *LogicalExpr) Kind() types.Kind { return types.Boolean }
+
+func (e *LogicalExpr) String() string {
+	return "(" + e.Left.String() + " " + e.Op + " " + e.Right.String() + ")"
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ Inner Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(row types.Row) any {
+	v := e.Inner.Eval(row)
+	if v == nil {
+		return nil
+	}
+	return !v.(bool)
+}
+
+// Kind implements Expr.
+func (e *NotExpr) Kind() types.Kind { return types.Boolean }
+
+func (e *NotExpr) String() string { return "NOT " + e.Inner.String() }
+
+// BetweenExpr is lo <= operand <= hi.
+type BetweenExpr struct {
+	Operand, Lo, Hi Expr
+}
+
+// Eval implements Expr.
+func (e *BetweenExpr) Eval(row types.Row) any {
+	v := e.Operand.Eval(row)
+	lo := e.Lo.Eval(row)
+	hi := e.Hi.Eval(row)
+	if v == nil || lo == nil || hi == nil {
+		return nil
+	}
+	return compareValues(v, lo) >= 0 && compareValues(v, hi) <= 0
+}
+
+// Kind implements Expr.
+func (e *BetweenExpr) Kind() types.Kind { return types.Boolean }
+
+func (e *BetweenExpr) String() string {
+	return e.Operand.String() + " BETWEEN " + e.Lo.String() + " AND " + e.Hi.String()
+}
+
+// InExpr is operand IN (literals...).
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+}
+
+// Eval implements Expr.
+func (e *InExpr) Eval(row types.Row) any {
+	v := e.Operand.Eval(row)
+	if v == nil {
+		return nil
+	}
+	sawNull := false
+	for _, item := range e.List {
+		iv := item.Eval(row)
+		if iv == nil {
+			sawNull = true
+			continue
+		}
+		if compareValues(v, iv) == 0 {
+			return true
+		}
+	}
+	if sawNull {
+		return nil
+	}
+	return false
+}
+
+// Kind implements Expr.
+func (e *InExpr) Kind() types.Kind { return types.Boolean }
+
+func (e *InExpr) String() string {
+	parts := make([]string, len(e.List))
+	for i, item := range e.List {
+		parts[i] = item.String()
+	}
+	return e.Operand.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// IsNullExpr tests for NULL.
+type IsNullExpr struct {
+	Operand Expr
+	Negated bool
+}
+
+// Eval implements Expr.
+func (e *IsNullExpr) Eval(row types.Row) any {
+	isNull := e.Operand.Eval(row) == nil
+	if e.Negated {
+		return !isNull
+	}
+	return isNull
+}
+
+// Kind implements Expr.
+func (e *IsNullExpr) Kind() types.Kind { return types.Boolean }
+
+func (e *IsNullExpr) String() string {
+	if e.Negated {
+		return e.Operand.String() + " IS NOT NULL"
+	}
+	return e.Operand.String() + " IS NULL"
+}
+
+// Truthy reports whether a filter expression's value accepts the row
+// (NULL rejects, as in SQL WHERE).
+func Truthy(v any) bool { return v == true }

@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/orc"
+)
+
+// Node is an operator in the plan DAG. Data flows from parents to children
+// (paper Figure 4(b): an arrow starts at the parent and ends at the child);
+// FileSink operators are the terminal children.
+type Node interface {
+	// Base returns the embedded bookkeeping struct.
+	Base() *BaseNode
+	// Label names the operator for diagnostics (e.g. "RSOp-1").
+	Label() string
+	// Schema is the operator's output row shape.
+	Schema() *Schema
+}
+
+// BaseNode carries DAG wiring shared by all operators.
+type BaseNode struct {
+	ID       int
+	Parents  []Node // inputs
+	Children []Node // outputs
+	Out      *Schema
+}
+
+// Base implements Node.
+func (b *BaseNode) Base() *BaseNode { return b }
+
+// Schema implements Node.
+func (b *BaseNode) Schema() *Schema { return b.Out }
+
+// Connect wires parent -> child.
+func Connect(parent, child Node) {
+	parent.Base().Children = append(parent.Base().Children, child)
+	child.Base().Parents = append(child.Base().Parents, parent)
+}
+
+// Disconnect removes the parent -> child edge.
+func Disconnect(parent, child Node) {
+	parent.Base().Children = removeNode(parent.Base().Children, child)
+	child.Base().Parents = removeNode(child.Base().Parents, parent)
+}
+
+// ReplaceChild swaps old for new in parent's child list (and fixes the
+// child's parent pointer), preserving positions.
+func ReplaceChild(parent, old, new Node) {
+	for i, c := range parent.Base().Children {
+		if c == old {
+			parent.Base().Children[i] = new
+			new.Base().Parents = append(new.Base().Parents, parent)
+			old.Base().Parents = removeNode(old.Base().Parents, parent)
+			return
+		}
+	}
+}
+
+// ReplaceParent swaps old for new in child's parent list (and fixes the
+// parent's child pointer), preserving positions.
+func ReplaceParent(child, old, new Node) {
+	for i, p := range child.Base().Parents {
+		if p == old {
+			child.Base().Parents[i] = new
+			new.Base().Children = append(new.Base().Children, child)
+			old.Base().Children = removeNode(old.Base().Children, child)
+			return
+		}
+	}
+}
+
+func removeNode(list []Node, n Node) []Node {
+	out := list[:0]
+	for _, x := range list {
+		if x != n {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TableScan reads a table (or an intermediate result registered as a temp
+// table). Cols is the projection pushed to the reader; SArg is the
+// predicate pushed to the ORC reader by the pushdown optimizer (§4.2).
+type TableScan struct {
+	BaseNode
+	Table string
+	Alias string
+	Cols  []string
+	SArg  *orc.SearchArgument
+	// Vectorize is set by the vectorization optimizer (§6.4) when this
+	// scan's map chain runs on the vectorized engine.
+	Vectorize bool
+	// Needed lists the column indexes (into Cols) the fragment actually
+	// reads; nil means all. Set by column pruning; readers fetch only
+	// these and leave the rest NULL.
+	Needed []int
+}
+
+// Label implements Node.
+func (t *TableScan) Label() string { return fmt.Sprintf("TS-%d[%s]", t.ID, t.Table) }
+
+// Filter drops rows whose condition is not true.
+type Filter struct {
+	BaseNode
+	Cond Expr
+}
+
+// Label implements Node.
+func (f *Filter) Label() string { return fmt.Sprintf("FIL-%d[%s]", f.ID, f.Cond) }
+
+// Select projects/computes columns.
+type Select struct {
+	BaseNode
+	Exprs []Expr
+}
+
+// Label implements Node.
+func (s *Select) Label() string { return fmt.Sprintf("SEL-%d", s.ID) }
+
+// GBYMode selects the group-by evaluation mode.
+type GBYMode int
+
+// Group-by modes: Complete consumes raw rows on the reduce side; Partial is
+// the map-side hash aggregation that emits partial states; Final merges
+// partial states on the reduce side.
+const (
+	GBYComplete GBYMode = iota
+	GBYPartial
+	GBYFinal
+)
+
+// String names the mode.
+func (m GBYMode) String() string {
+	switch m {
+	case GBYComplete:
+		return "complete"
+	case GBYPartial:
+		return "partial"
+	case GBYFinal:
+		return "final"
+	}
+	return "?"
+}
+
+// GroupBy aggregates rows by key. Output schema: keys then aggregates (for
+// Partial mode, keys then the flattened partial states).
+type GroupBy struct {
+	BaseNode
+	Keys []Expr
+	Aggs []AggDesc
+	Mode GBYMode
+}
+
+// Label implements Node.
+func (g *GroupBy) Label() string { return fmt.Sprintf("GBY-%d[%s]", g.ID, g.Mode) }
+
+// ReduceSink marks a Map/Reduce boundary (paper §2): it tells the engine to
+// re-partition its input by Keys. Tag identifies this RS's rows on the
+// reduce side. Output rows are the input rows, unchanged; keys travel in
+// the shuffle key bytes.
+type ReduceSink struct {
+	BaseNode
+	Keys        []Expr
+	NumReducers int
+	Tag         int
+	// SortDesc, when non-nil, marks an order-by sink (one entry per key,
+	// true = descending). Order-by sinks use a single reducer.
+	SortDesc []bool
+}
+
+// Label implements Node.
+func (r *ReduceSink) Label() string { return fmt.Sprintf("RS-%d[tag=%d]", r.ID, r.Tag) }
+
+// Join is a reduce-side inner equi-join over its parents' ReduceSink keys.
+// Output schema is the concatenation of input schemas in tag order.
+type Join struct {
+	BaseNode
+	NumInputs int
+}
+
+// Label implements Node.
+func (j *Join) Label() string { return fmt.Sprintf("JOIN-%d", j.ID) }
+
+// MapJoin joins a big (streamed) input against small inputs loaded into
+// hash tables in the map phase (§5.1). Parents: position BigIdx streams;
+// all other parents are scanned locally at task setup to build hash
+// tables.
+type MapJoin struct {
+	BaseNode
+	BigIdx int
+	// Keys[i] are the equi-join key expressions over parent i's own
+	// schema (used to build small-table hash tables).
+	Keys [][]Expr
+	// ProbeKeys[i] are the big side's matching key expressions over the
+	// big parent's schema (used to probe small table i); unused at
+	// BigIdx.
+	ProbeKeys [][]Expr
+}
+
+// Label implements Node.
+func (m *MapJoin) Label() string { return fmt.Sprintf("MAPJOIN-%d", m.ID) }
+
+// Limit passes at most N rows.
+type Limit struct {
+	BaseNode
+	N int
+}
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("LIM-%d[%d]", l.ID, l.N) }
+
+// FileSink terminates the plan: it collects final results or writes an
+// intermediate table for the next job.
+type FileSink struct {
+	BaseNode
+	// Dest is a temp-table name for intermediate sinks, "" for the
+	// query's final result collector.
+	Dest string
+}
+
+// Label implements Node.
+func (f *FileSink) Label() string { return fmt.Sprintf("FS-%d[%s]", f.ID, f.Dest) }
+
+// Demux dispatches reduce-side rows arriving with a new (post-optimization)
+// tag to the right operator with its original tag (paper §5.2.2 and
+// Figure 5). ChildIdx[newTag] selects the child; OldTag[newTag] restores
+// the tag the child expects.
+type Demux struct {
+	BaseNode
+	ChildIdx []int
+	OldTag   []int
+}
+
+// Label implements Node.
+func (d *Demux) Label() string { return fmt.Sprintf("DEMUX-%d", d.ID) }
+
+// Mux coordinates a GroupBy or Join that, after correlation optimization,
+// receives rows from operators inside the same reduce phase instead of its
+// own shuffle (paper §5.2.2). For a Join child, ParentTags[i] is the join
+// tag assigned to rows arriving from parent i.
+type Mux struct {
+	BaseNode
+	ParentTags []int
+}
+
+// Label implements Node.
+func (m *Mux) Label() string { return fmt.Sprintf("MUX-%d", m.ID) }
+
+// Plan is a complete operator DAG for one query.
+type Plan struct {
+	Sinks  []*FileSink
+	nextID int
+}
+
+// NewNode assigns an id and registers nothing else; callers wire edges via
+// Connect.
+func (p *Plan) NewNode(n Node) Node {
+	n.Base().ID = p.nextID
+	p.nextID++
+	return n
+}
+
+// Walk visits every node reachable upward from the sinks, children before
+// parents (post-order from the sinks' perspective).
+func (p *Plan) Walk(visit func(Node)) {
+	seen := map[Node]bool{}
+	var walk func(n Node)
+	walk = func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		visit(n)
+		for _, parent := range n.Base().Parents {
+			walk(parent)
+		}
+	}
+	for _, s := range p.Sinks {
+		walk(s)
+	}
+}
+
+// Nodes returns all reachable nodes.
+func (p *Plan) Nodes() []Node {
+	var out []Node
+	p.Walk(func(n Node) { out = append(out, n) })
+	return out
+}
+
+// Find returns all reachable nodes matching the predicate.
+func (p *Plan) Find(pred func(Node) bool) []Node {
+	var out []Node
+	p.Walk(func(n Node) {
+		if pred(n) {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// String renders the DAG for diagnostics and plan tests.
+func (p *Plan) String() string {
+	var b strings.Builder
+	seen := map[Node]bool{}
+	var dump func(n Node, depth int)
+	dump = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label())
+		if seen[n] {
+			b.WriteString(" (shared)\n")
+			return
+		}
+		seen[n] = true
+		b.WriteString("\n")
+		for _, parent := range n.Base().Parents {
+			dump(parent, depth+1)
+		}
+	}
+	for _, s := range p.Sinks {
+		dump(s, 0)
+	}
+	return b.String()
+}

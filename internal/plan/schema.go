@@ -1,0 +1,98 @@
+// Package plan defines the operator-tree intermediate representation the
+// query planner produces and the optimizers transform (paper §2, §5): typed
+// row schemas, compiled row expressions, aggregate descriptors, and the
+// operator nodes (TableScan, Filter, Select, GroupBy, ReduceSink, Join,
+// MapJoin, Demux, Mux, Limit, FileSink).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Column describes one output column of an operator: its binding name, an
+// optional table qualifier (the alias it came from), and its type kind.
+type Column struct {
+	Table string
+	Name  string
+	Kind  types.Kind
+}
+
+// Schema is an operator's output row shape.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Width returns the number of columns.
+func (s *Schema) Width() int { return len(s.Cols) }
+
+// Resolve finds a column by optional qualifier and name, returning its
+// index. It fails on misses and on ambiguous unqualified names.
+func (s *Schema) Resolve(table, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if c.Name != name {
+			continue
+		}
+		if table != "" && c.Table != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("plan: ambiguous column %q", qualified(table, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("plan: unknown column %q in schema [%s]", qualified(table, name), s)
+	}
+	return found, nil
+}
+
+func qualified(table, name string) string {
+	if table == "" {
+		return name
+	}
+	return table + "." + name
+}
+
+// Concat appends another schema's columns (join output shape).
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Cols: make([]Column, 0, len(s.Cols)+len(o.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, o.Cols...)
+	return out
+}
+
+// WithTable returns a copy with every column requalified to the given
+// table alias (used for derived tables).
+func (s *Schema) WithTable(table string) *Schema {
+	out := &Schema{Cols: make([]Column, len(s.Cols))}
+	for i, c := range s.Cols {
+		out.Cols[i] = Column{Table: table, Name: c.Name, Kind: c.Kind}
+	}
+	return out
+}
+
+// String renders the schema for diagnostics.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = qualified(c.Table, c.Name) + ":" + c.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FromTableSchema converts a storage schema into a plan schema under a
+// table alias.
+func FromTableSchema(alias string, ts *types.Schema) *Schema {
+	out := &Schema{Cols: make([]Column, len(ts.Columns))}
+	for i, c := range ts.Columns {
+		out.Cols[i] = Column{Table: alias, Name: c.Name, Kind: c.Type.Kind}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package serde implements Hive's serialization/deserialization layer
+// (paper §2): row-oriented text and binary SerDes used by the
+// data-type-agnostic file formats (TextFile, SequenceFile, RCFile) and by
+// the MapReduce shuffle. Because these SerDes serialize one row (or one
+// value) at a time into untyped bytes, they prevent type-specific
+// compression — the first key shortcoming the paper identifies (§3).
+package serde
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// FieldDelim is Hive's default top-level field delimiter (ctrl-A).
+const FieldDelim = '\x01'
+
+// TextSerDe serializes rows as delimited text, like Hive's
+// LazySimpleSerDe.
+type TextSerDe struct {
+	Schema *types.Schema
+}
+
+// Serialize renders a row as one delimited line (no trailing newline).
+func (s *TextSerDe) Serialize(row types.Row) ([]byte, error) {
+	if len(row) != len(s.Schema.Columns) {
+		return nil, fmt.Errorf("serde: row has %d fields, schema has %d", len(row), len(s.Schema.Columns))
+	}
+	var out []byte
+	for i, col := range s.Schema.Columns {
+		if i > 0 {
+			out = append(out, FieldDelim)
+		}
+		out = append(out, types.FormatValue(col.Type, row[i])...)
+	}
+	return out, nil
+}
+
+// Deserialize parses one delimited line back into a row.
+func (s *TextSerDe) Deserialize(line []byte) (types.Row, error) {
+	fields := splitFields(line)
+	if len(fields) != len(s.Schema.Columns) {
+		return nil, fmt.Errorf("serde: line has %d fields, schema has %d", len(fields), len(s.Schema.Columns))
+	}
+	row := make(types.Row, len(fields))
+	for i, col := range s.Schema.Columns {
+		v, err := types.ParseValue(col.Type, fields[i])
+		if err != nil {
+			return nil, fmt.Errorf("serde: column %s: %w", col.Name, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// SerializeValue renders a single column value (used by columnar RCFile,
+// whose SerDe still works one value at a time).
+func SerializeValue(t *types.Type, v any) []byte {
+	return []byte(types.FormatValue(t, v))
+}
+
+// DeserializeValue parses a single column value.
+func DeserializeValue(t *types.Type, b []byte) (any, error) {
+	return types.ParseValue(t, string(b))
+}
+
+func splitFields(line []byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(line); i++ {
+		if line[i] == FieldDelim {
+			out = append(out, string(line[start:i]))
+			start = i + 1
+		}
+	}
+	return append(out, string(line[start:]))
+}

@@ -1,0 +1,106 @@
+package serde
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func schema() *types.Schema {
+	return types.NewSchema(
+		types.Col("a", types.Primitive(types.Long)),
+		types.Col("b", types.Primitive(types.String)),
+		types.Col("c", types.Primitive(types.Double)),
+		types.Col("d", types.NewArray(types.Primitive(types.Int))),
+	)
+}
+
+func TestTextSerDeRoundTrip(t *testing.T) {
+	s := &TextSerDe{Schema: schema()}
+	rows := []types.Row{
+		{int64(1), "hello", 2.5, []any{int64(1), int64(2)}},
+		{nil, "x", -1.0, []any{}},
+		{int64(-7), "", 0.0, nil},
+	}
+	for i, row := range rows {
+		line, err := s.Serialize(row)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		got, err := s.Deserialize(line)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, row) {
+			t.Errorf("row %d = %#v, want %#v", i, got, row)
+		}
+	}
+}
+
+func TestTextSerDeWidthMismatch(t *testing.T) {
+	s := &TextSerDe{Schema: schema()}
+	if _, err := s.Serialize(types.Row{int64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := s.Deserialize([]byte("just-one-field")); err == nil {
+		t.Error("short line accepted")
+	}
+}
+
+func TestBinaryValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		t *types.Type
+		v any
+	}{
+		{types.Primitive(types.Long), int64(-123456789)},
+		{types.Primitive(types.Boolean), true},
+		{types.Primitive(types.Boolean), false},
+		{types.Primitive(types.Double), 3.14159},
+		{types.Primitive(types.String), "hello\x01world"}, // delimiter-safe
+		{types.Primitive(types.Binary), []byte{0, 1, 2, 255}},
+		{types.NewArray(types.Primitive(types.Int)), []any{int64(5), int64(6)}},
+	}
+	for _, c := range cases {
+		b := SerializeBinaryValue(c.t, c.v)
+		got, err := DeserializeBinaryValue(c.t, b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.t, err)
+		}
+		if !reflect.DeepEqual(got, c.v) {
+			t.Errorf("%s: got %#v, want %#v", c.t, got, c.v)
+		}
+	}
+}
+
+func TestBinaryValueProperty(t *testing.T) {
+	long := types.Primitive(types.Long)
+	f := func(v int64) bool {
+		got, err := DeserializeBinaryValue(long, SerializeBinaryValue(long, v))
+		return err == nil && got.(int64) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	str := types.Primitive(types.String)
+	g := func(s string) bool {
+		got, err := DeserializeBinaryValue(str, SerializeBinaryValue(str, s))
+		return err == nil && got.(string) == s
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryValueRejectsCorrupt(t *testing.T) {
+	if _, err := DeserializeBinaryValue(types.Primitive(types.Double), []byte{1, 2}); err == nil {
+		t.Error("short double accepted")
+	}
+	if _, err := DeserializeBinaryValue(types.Primitive(types.Boolean), []byte{1, 2}); err == nil {
+		t.Error("long boolean accepted")
+	}
+	if _, err := DeserializeBinaryValue(types.Primitive(types.Long), []byte{0x80}); err == nil {
+		t.Error("truncated varint accepted")
+	}
+}

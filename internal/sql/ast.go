@@ -1,0 +1,295 @@
+// Package sql implements the front end of the reproduction's HiveQL
+// dialect: a lexer, an AST, and a recursive-descent parser covering the
+// subset the paper's evaluation queries need — SELECT/FROM/JOIN..ON/WHERE/
+// GROUP BY/ORDER BY/LIMIT, subqueries in FROM, BETWEEN/IN/IS NULL,
+// arithmetic and the standard aggregates.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	String() string
+}
+
+// SelectStmt is a full query block.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []Join
+	Where   Expr
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a named table or a derived table (subquery) with an alias.
+type TableRef struct {
+	Table    string      // table name, "" for subqueries
+	Subquery *SelectStmt // non-nil for derived tables
+	Alias    string
+}
+
+// Name returns the reference's binding name (alias or table name).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is one JOIN clause; only equi-joins are supported, matching what the
+// MapReduce shuffle can evaluate.
+type Join struct {
+	Right TableRef
+	On    Expr
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// IntLit, FloatLit, StringLit and BoolLit are literal expressions.
+type (
+	// IntLit is an integer literal.
+	IntLit struct{ Value int64 }
+	// FloatLit is a floating-point literal.
+	FloatLit struct{ Value float64 }
+	// StringLit is a quoted string literal.
+	StringLit struct{ Value string }
+	// BoolLit is TRUE or FALSE.
+	BoolLit struct{ Value bool }
+	// NullLit is NULL.
+	NullLit struct{}
+)
+
+// BinaryExpr is a binary operation; Op is one of
+// + - * / = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ Inner Expr }
+
+// BetweenExpr is `Operand BETWEEN Lo AND Hi`.
+type BetweenExpr struct {
+	Operand, Lo, Hi Expr
+}
+
+// InExpr is `Operand IN (list)`.
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+}
+
+// IsNullExpr is `Operand IS [NOT] NULL`.
+type IsNullExpr struct {
+	Operand Expr
+	Negated bool
+}
+
+// FuncExpr is a function call; Star marks COUNT(*).
+type FuncExpr struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool
+}
+
+// Aggregates supported by FuncExpr.
+var Aggregates = map[string]bool{
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncExpr) IsAggregate() bool { return Aggregates[f.Name] }
+
+func (*ColumnRef) exprNode()   {}
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StringLit) exprNode()   {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*BinaryExpr) exprNode()  {}
+func (*NotExpr) exprNode()     {}
+func (*BetweenExpr) exprNode() {}
+func (*InExpr) exprNode()      {}
+func (*IsNullExpr) exprNode()  {}
+func (*FuncExpr) exprNode()    {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+func (l *IntLit) String() string    { return fmt.Sprintf("%d", l.Value) }
+func (l *FloatLit) String() string  { return fmt.Sprintf("%g", l.Value) }
+func (l *StringLit) String() string { return "'" + l.Value + "'" }
+func (l *BoolLit) String() string {
+	if l.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+func (l *NullLit) String() string { return "NULL" }
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+func (n *NotExpr) String() string { return "NOT " + n.Inner.String() }
+func (b *BetweenExpr) String() string {
+	return b.Operand.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+func (i *InExpr) String() string {
+	parts := make([]string, len(i.List))
+	for j, e := range i.List {
+		parts[j] = e.String()
+	}
+	return i.Operand.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+func (i *IsNullExpr) String() string {
+	if i.Negated {
+		return i.Operand.String() + " IS NOT NULL"
+	}
+	return i.Operand.String() + " IS NULL"
+}
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (t TableRef) String() string {
+	var s string
+	if t.Subquery != nil {
+		s = "(" + t.Subquery.String() + ")"
+	} else {
+		s = t.Table
+	}
+	if t.Alias != "" {
+		s += " " + t.Alias
+	}
+	return s
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.String())
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + j.Right.String() + " ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	return b.String()
+}
+
+// WalkExprs visits every expression in the statement's clauses (not
+// descending into subqueries); planners use it for column resolution.
+func (s *SelectStmt) WalkExprs(visit func(Expr)) {
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if e == nil {
+			return
+		}
+		visit(e)
+		switch t := e.(type) {
+		case *BinaryExpr:
+			walk(t.Left)
+			walk(t.Right)
+		case *NotExpr:
+			walk(t.Inner)
+		case *BetweenExpr:
+			walk(t.Operand)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *InExpr:
+			walk(t.Operand)
+			for _, l := range t.List {
+				walk(l)
+			}
+		case *IsNullExpr:
+			walk(t.Operand)
+		case *FuncExpr:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, it := range s.Items {
+		walk(it.Expr)
+	}
+	for _, j := range s.Joins {
+		walk(j.On)
+	}
+	walk(s.Where)
+	for _, g := range s.GroupBy {
+		walk(g)
+	}
+	for _, o := range s.OrderBy {
+		walk(o.Expr)
+	}
+}

@@ -1,0 +1,145 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, idents lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "JOIN": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "ASC": true,
+	"DESC": true, "INNER": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) lex() ([]token, error) {
+	var out []token
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			return append(out, token{kind: tokEOF, pos: l.pos}), nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			if keywords[strings.ToUpper(word)] {
+				out = append(out, token{kind: tokKeyword, text: strings.ToUpper(word), pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+		case c >= '0' && c <= '9':
+			kind := tokInt
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				if l.src[l.pos] == '.' {
+					kind = tokFloat
+				}
+				l.pos++
+			}
+			out = append(out, token{kind: kind, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string literal at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					// '' escapes a quote.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case strings.ContainsRune("(),.*+-/=", rune(c)):
+			l.pos++
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: start})
+		case c == '<':
+			l.pos++
+			text := "<"
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				text += string(l.src[l.pos])
+				l.pos++
+			}
+			out = append(out, token{kind: tokSymbol, text: text, pos: start})
+		case c == '>':
+			l.pos++
+			text := ">"
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				text = ">="
+				l.pos++
+			}
+			out = append(out, token{kind: tokSymbol, text: text, pos: start})
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				out = append(out, token{kind: tokSymbol, text: "<>", pos: start})
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at %d", start)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

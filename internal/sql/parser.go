@@ -1,0 +1,445 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := (&lexer{src: src}).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errorf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for {
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			break
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, Join{Right: right, On: cond})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var ref TableRef
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return ref, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return ref, err
+		}
+		ref.Subquery = sub
+		p.accept(tokKeyword, "AS")
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ref, fmt.Errorf("sql: derived table requires an alias: %w", err)
+		}
+		ref.Alias = t.text
+		return ref, nil
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ref, err
+	}
+	ref.Table = t.text
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ref, err
+		}
+		ref.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// Expression grammar, loosest to tightest:
+// or > and > not > comparison/between/in/is > additive > multiplicative >
+// unary > primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(tokSymbol, "=") || p.at(tokSymbol, "<>") || p.at(tokSymbol, "<") ||
+		p.at(tokSymbol, "<=") || p.at(tokSymbol, ">") || p.at(tokSymbol, ">="):
+		op := p.next().text
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Operand: left, Lo: lo, Hi: hi}, nil
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Operand: left, List: list}, nil
+	case p.accept(tokKeyword, "IS"):
+		negated := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Operand: left, Negated: negated}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.next().text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := p.next().text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch lit := inner.(type) {
+		case *IntLit:
+			return &IntLit{Value: -lit.Value}, nil
+		case *FloatLit:
+			return &FloatLit{Value: -lit.Value}, nil
+		}
+		return &BinaryExpr{Op: "-", Left: &IntLit{Value: 0}, Right: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return &IntLit{Value: v}, nil
+	case t.kind == tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", t.text)
+		}
+		return &FloatLit{Value: v}, nil
+	case t.kind == tokString:
+		p.next()
+		return &StringLit{Value: t.text}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return &BoolLit{Value: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return &BoolLit{Value: false}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return &NullLit{}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		// Function call?
+		if p.accept(tokSymbol, "(") {
+			f := &FuncExpr{Name: t.text}
+			if p.accept(tokSymbol, "*") {
+				f.Star = true
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			}
+			if !p.accept(tokSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		// Qualified column?
+		if p.accept(tokSymbol, ".") {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: c.text}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}

@@ -1,0 +1,228 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT a, b FROM t WHERE a > 5")
+	if len(s.Items) != 2 || s.From.Table != "t" {
+		t.Fatalf("stmt = %s", s)
+	}
+	cmp, ok := s.Where.(*BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		t.Fatalf("where = %v", s.Where)
+	}
+	if c := cmp.Left.(*ColumnRef); c.Column != "a" {
+		t.Fatalf("left = %v", cmp.Left)
+	}
+	if l := cmp.Right.(*IntLit); l.Value != 5 {
+		t.Fatalf("right = %v", cmp.Right)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	s := mustParse(t, `SELECT k, sum(v) AS total, count(*), avg(v * 2 + 1)
+		FROM t GROUP BY k ORDER BY total DESC LIMIT 10`)
+	if len(s.GroupBy) != 1 || s.Limit != 10 {
+		t.Fatalf("stmt = %s", s)
+	}
+	sum := s.Items[1].Expr.(*FuncExpr)
+	if !sum.IsAggregate() || sum.Name != "sum" || s.Items[1].Alias != "total" {
+		t.Fatalf("sum item = %v", s.Items[1])
+	}
+	cnt := s.Items[2].Expr.(*FuncExpr)
+	if !cnt.Star {
+		t.Fatal("count(*) Star not set")
+	}
+	if !s.OrderBy[0].Desc {
+		t.Fatal("DESC not parsed")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustParse(t, `SELECT a.x, b.y FROM big a
+		JOIN small b ON a.k = b.k
+		JOIN other c ON (a.j = c.j)`)
+	if s.From.Name() != "a" || s.From.Table != "big" {
+		t.Fatalf("from = %v", s.From)
+	}
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins = %d", len(s.Joins))
+	}
+	if s.Joins[1].Right.Name() != "c" {
+		t.Fatalf("join alias = %v", s.Joins[1].Right)
+	}
+	cond := s.Joins[0].On.(*BinaryExpr)
+	if cond.Left.(*ColumnRef).Table != "a" || cond.Right.(*ColumnRef).Table != "b" {
+		t.Fatalf("cond = %v", cond)
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	// The running example of paper Figure 4(a), slightly condensed.
+	src := `SELECT big1.key, small1.value1, sq1.total
+	FROM big1
+	JOIN small1 ON (big1.skey1 = small1.key)
+	JOIN (SELECT key, avg(big3.value1) AS avg, sum(big3.value2) AS total
+	      FROM big2 JOIN big3 ON (big2.key = big3.key)
+	      GROUP BY big2.key) sq1 ON (big1.key = sq1.key)
+	JOIN big2 ON (sq1.key = big2.key)
+	WHERE big2.value1 > sq1.avg`
+	s := mustParse(t, src)
+	if len(s.Joins) != 3 {
+		t.Fatalf("joins = %d", len(s.Joins))
+	}
+	sub := s.Joins[1].Right
+	if sub.Subquery == nil || sub.Alias != "sq1" {
+		t.Fatalf("subquery ref = %v", sub)
+	}
+	if len(sub.Subquery.GroupBy) != 1 {
+		t.Fatalf("subquery group by = %v", sub.Subquery.GroupBy)
+	}
+}
+
+func TestParseTPCHQ1(t *testing.T) {
+	src := `SELECT l_returnflag, l_linestatus,
+		sum(l_quantity) AS sum_qty,
+		sum(l_extendedprice) AS sum_base_price,
+		sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+		avg(l_quantity) AS avg_qty,
+		avg(l_extendedprice) AS avg_price,
+		avg(l_discount) AS avg_disc,
+		count(*) AS count_order
+	FROM lineitem
+	WHERE l_shipdate <= 10471
+	GROUP BY l_returnflag, l_linestatus
+	ORDER BY l_returnflag, l_linestatus`
+	s := mustParse(t, src)
+	if len(s.Items) != 10 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	aggs := 0
+	s.WalkExprs(func(e Expr) {
+		if f, ok := e.(*FuncExpr); ok && f.IsAggregate() {
+			aggs++
+		}
+	})
+	if aggs != 8 {
+		t.Fatalf("aggregates = %d, want 8", aggs)
+	}
+}
+
+func TestParseTPCHQ6(t *testing.T) {
+	src := `SELECT sum(l_extendedprice * l_discount) AS revenue
+	FROM lineitem
+	WHERE l_shipdate >= 9131 AND l_shipdate < 9496
+	  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`
+	s := mustParse(t, src)
+	and1 := s.Where.(*BinaryExpr)
+	if and1.Op != "AND" {
+		t.Fatalf("where = %v", s.Where)
+	}
+	found := false
+	s.WalkExprs(func(e Expr) {
+		if _, ok := e.(*BetweenExpr); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("BETWEEN not found in where tree")
+	}
+}
+
+func TestParseSSDBQ1(t *testing.T) {
+	s := mustParse(t, `SELECT SUM(v1), COUNT(*) FROM cycle
+		WHERE x BETWEEN 0 AND 3750 AND y BETWEEN 0 AND 3750`)
+	if len(s.Items) != 2 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a + b * c FROM t")
+	add := s.Items[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s", add.Op)
+	}
+	if mul := add.Right.(*BinaryExpr); mul.Op != "*" {
+		t.Fatalf("* does not bind tighter: %s", s.Items[0].Expr)
+	}
+	s2 := mustParse(t, "SELECT a FROM t WHERE p = 1 OR q = 2 AND r = 3")
+	or := s2.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("OR should be loosest: %s", s2.Where)
+	}
+	if and := or.Right.(*BinaryExpr); and.Op != "AND" {
+		t.Fatalf("AND should bind tighter: %s", s2.Where)
+	}
+}
+
+func TestParseMisc(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a IN (1, 2, 3) AND b IS NOT NULL AND NOT c = 4 AND d <> 5")
+	text := s.String()
+	for _, want := range []string{"IN (1, 2, 3)", "IS NOT NULL", "NOT", "<>"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("round-trip missing %q: %s", want, text)
+		}
+	}
+	// Negative literals and unary minus.
+	s2 := mustParse(t, "SELECT -5, -x FROM t")
+	if lit := s2.Items[0].Expr.(*IntLit); lit.Value != -5 {
+		t.Errorf("literal = %v", lit)
+	}
+	// String escapes.
+	s3 := mustParse(t, "SELECT a FROM t WHERE b = 'it''s'")
+	if lit := s3.Where.(*BinaryExpr).Right.(*StringLit); lit.Value != "it's" {
+		t.Errorf("string = %q", lit.Value)
+	}
+	// Comments.
+	mustParse(t, "SELECT a -- trailing comment\nFROM t")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM (SELECT b FROM u)", // derived table needs alias
+		"SELECT a FROM t JOIN u",          // missing ON
+		"SELECT a FROM t WHERE b = 'unterminated",
+		"SELECT a FROM t extra garbage ,",
+		"SELECT a FROM t WHERE a ! b",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT a, sum(b) AS s FROM t WHERE a BETWEEN 1 AND 2 GROUP BY a ORDER BY s DESC LIMIT 5",
+		"SELECT t.a FROM big t JOIN small u ON t.k = u.k",
+	}
+	for _, src := range srcs {
+		s1 := mustParse(t, src)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("unstable round trip:\n1: %s\n2: %s", s1, s2)
+		}
+	}
+}

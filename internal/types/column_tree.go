@@ -1,0 +1,91 @@
+package types
+
+// ColumnNode is a node in the decomposed column tree of a table (paper
+// Figure 3). The root node represents the whole row as a Struct; internal
+// nodes correspond to complex columns and record structural metadata (e.g.
+// array lengths), while only leaf nodes carry data values.
+type ColumnNode struct {
+	ID       int    // pre-order column id; the root is 0
+	Name     string // field name within the parent, "" for array/map parts
+	Type     *Type
+	Parent   *ColumnNode
+	Children []*ColumnNode
+}
+
+// IsLeaf reports whether the node stores actual data values (primitive type).
+func (n *ColumnNode) IsLeaf() bool { return n.Type.Kind.IsPrimitive() }
+
+// ColumnTree is the result of decomposing a schema per Table 1 of the paper:
+// Array → one child (elements), Map → two children (keys, values),
+// Struct/Union → one child per field.
+type ColumnTree struct {
+	Root  *ColumnNode
+	Nodes []*ColumnNode // indexed by column id
+}
+
+// Decompose builds the column tree for a schema, assigning column ids in
+// pre-order so that the example in Figure 3 yields ids 0..9 exactly as the
+// paper shows.
+func Decompose(s *Schema) *ColumnTree {
+	t := &ColumnTree{}
+	t.Root = t.build(s.AsStruct(), "", nil)
+	return t
+}
+
+func (ct *ColumnTree) build(ty *Type, name string, parent *ColumnNode) *ColumnNode {
+	n := &ColumnNode{ID: len(ct.Nodes), Name: name, Type: ty, Parent: parent}
+	ct.Nodes = append(ct.Nodes, n)
+	switch ty.Kind {
+	case Array:
+		n.Children = []*ColumnNode{ct.build(ty.Children[0], "", n)}
+	case Map:
+		n.Children = []*ColumnNode{
+			ct.build(ty.Children[0], "", n),
+			ct.build(ty.Children[1], "", n),
+		}
+	case Struct:
+		for i, c := range ty.Children {
+			n.Children = append(n.Children, ct.build(c, ty.FieldNames[i], n))
+		}
+	case Union:
+		for _, c := range ty.Children {
+			n.Children = append(n.Children, ct.build(c, "", n))
+		}
+	}
+	return n
+}
+
+// Leaves returns the leaf columns in id order; these are the columns that
+// hold data streams in an ORC file.
+func (ct *ColumnTree) Leaves() []*ColumnNode {
+	var out []*ColumnNode
+	for _, n := range ct.Nodes {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumColumns returns the total number of columns in the tree, including the
+// root and internal columns.
+func (ct *ColumnTree) NumColumns() int { return len(ct.Nodes) }
+
+// TopLevel returns the child of the root corresponding to top-level column i.
+func (ct *ColumnTree) TopLevel(i int) *ColumnNode { return ct.Root.Children[i] }
+
+// Subtree returns the ids of all columns in the subtree rooted at id, in
+// pre-order. It is used by readers that materialize only the child columns a
+// query needs (paper §4.1's "only read needed child columns").
+func (ct *ColumnTree) Subtree(id int) []int {
+	var out []int
+	var walk func(n *ColumnNode)
+	walk = func(n *ColumnNode) {
+		out = append(out, n.ID)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(ct.Nodes[id])
+	return out
+}

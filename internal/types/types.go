@@ -1,0 +1,206 @@
+// Package types implements the Hive data model used throughout the
+// reproduction: primitive and complex column types, table schemas, and the
+// column-tree decomposition that ORC File performs on complex types
+// (paper §4.1, Table 1 and Figure 3).
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the Hive column types supported by this reproduction.
+type Kind int
+
+// Supported type kinds. The primitive kinds mirror Hive 0.13 primitives that
+// the paper's evaluation queries touch; the complex kinds are the four the
+// paper's Table 1 decomposes.
+const (
+	Boolean Kind = iota
+	Byte
+	Short
+	Int
+	Long
+	Float
+	Double
+	String
+	Timestamp
+	Binary
+	// Complex kinds.
+	Array
+	Map
+	Struct
+	Union
+)
+
+var kindNames = map[Kind]string{
+	Boolean:   "boolean",
+	Byte:      "tinyint",
+	Short:     "smallint",
+	Int:       "int",
+	Long:      "bigint",
+	Float:     "float",
+	Double:    "double",
+	String:    "string",
+	Timestamp: "timestamp",
+	Binary:    "binary",
+	Array:     "array",
+	Map:       "map",
+	Struct:    "struct",
+	Union:     "uniontype",
+}
+
+// String returns the Hive DDL spelling of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsPrimitive reports whether the kind is a primitive (leaf) type.
+func (k Kind) IsPrimitive() bool { return k < Array }
+
+// IsInteger reports whether the kind is one of the integer family. The ORC
+// writer stores all of these in integer streams, and the vectorized engine
+// represents them all as LongColumnVector (paper Figure 7).
+func (k Kind) IsInteger() bool {
+	switch k {
+	case Byte, Short, Int, Long:
+		return true
+	}
+	return false
+}
+
+// IsFloating reports whether the kind is float or double.
+func (k Kind) IsFloating() bool { return k == Float || k == Double }
+
+// Type describes a (possibly nested) column type. For complex types the
+// Children slice holds the element/field types in declaration order; Field
+// names are kept for Struct types.
+type Type struct {
+	Kind       Kind
+	Children   []*Type
+	FieldNames []string // only for Struct
+}
+
+// Primitive constructs a primitive type and panics on a complex kind; it is
+// intended for schema literals in code and tests.
+func Primitive(k Kind) *Type {
+	if !k.IsPrimitive() {
+		panic("types: Primitive called with complex kind " + k.String())
+	}
+	return &Type{Kind: k}
+}
+
+// NewArray returns an array<elem> type.
+func NewArray(elem *Type) *Type { return &Type{Kind: Array, Children: []*Type{elem}} }
+
+// NewMap returns a map<key,value> type.
+func NewMap(key, value *Type) *Type { return &Type{Kind: Map, Children: []*Type{key, value}} }
+
+// NewStruct returns a struct type with the given field names and types.
+func NewStruct(names []string, fields []*Type) *Type {
+	if len(names) != len(fields) {
+		panic("types: NewStruct name/field length mismatch")
+	}
+	return &Type{Kind: Struct, Children: fields, FieldNames: names}
+}
+
+// NewUnion returns a uniontype over the given alternatives.
+func NewUnion(alts ...*Type) *Type { return &Type{Kind: Union, Children: alts} }
+
+// String renders the type in Hive DDL syntax, e.g.
+// map<string,struct<col7:string,col8:int>>.
+func (t *Type) String() string {
+	switch t.Kind {
+	case Array:
+		return "array<" + t.Children[0].String() + ">"
+	case Map:
+		return "map<" + t.Children[0].String() + "," + t.Children[1].String() + ">"
+	case Struct:
+		parts := make([]string, len(t.Children))
+		for i, c := range t.Children {
+			parts[i] = t.FieldNames[i] + ":" + c.String()
+		}
+		return "struct<" + strings.Join(parts, ",") + ">"
+	case Union:
+		parts := make([]string, len(t.Children))
+		for i, c := range t.Children {
+			parts[i] = c.String()
+		}
+		return "uniontype<" + strings.Join(parts, ",") + ">"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Equal reports deep structural equality of two types.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind || len(t.Children) != len(o.Children) {
+		return false
+	}
+	for i := range t.Children {
+		if !t.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+		if t.Kind == Struct && t.FieldNames[i] != o.FieldNames[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Field is a named top-level column of a table.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Schema is an ordered list of top-level columns. A row of a table with
+// this schema is a []any whose i-th element corresponds to Columns[i]; the
+// Go value mapping per kind is documented on Row.
+type Schema struct {
+	Columns []Field
+}
+
+// NewSchema builds a schema from alternating name/type pairs.
+func NewSchema(cols ...Field) *Schema { return &Schema{Columns: cols} }
+
+// Col is shorthand for constructing a Field.
+func Col(name string, t *Type) Field { return Field{Name: name, Type: t} }
+
+// ColumnIndex returns the position of the named top-level column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AsStruct views the whole schema as the root Struct column, the way ORC's
+// column tree does (Figure 3: column id 0 is a Struct over the top-level
+// columns).
+func (s *Schema) AsStruct() *Type {
+	names := make([]string, len(s.Columns))
+	kids := make([]*Type, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+		kids[i] = c.Type
+	}
+	return NewStruct(names, kids)
+}
+
+// String renders the schema as a DDL column list.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}

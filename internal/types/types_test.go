@@ -1,0 +1,241 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure3Schema is the example table from paper Figure 3(a):
+//
+//	CREATE TABLE tbl (
+//	  col1 Int,
+//	  col2 Array<Int>,
+//	  col4 Map<String, Struct<col7:String, col8:Int>>,
+//	  col9 String)
+func figure3Schema() *Schema {
+	return NewSchema(
+		Col("col1", Primitive(Int)),
+		Col("col2", NewArray(Primitive(Int))),
+		Col("col4", NewMap(Primitive(String),
+			NewStruct([]string{"col7", "col8"}, []*Type{Primitive(String), Primitive(Int)}))),
+		Col("col9", Primitive(String)),
+	)
+}
+
+func TestDecomposeFigure3(t *testing.T) {
+	ct := Decompose(figure3Schema())
+	if got := ct.NumColumns(); got != 10 {
+		t.Fatalf("NumColumns = %d, want 10", got)
+	}
+	// Expected pre-order ids and kinds exactly as Figure 3(b).
+	wantKinds := []Kind{Struct, Int, Array, Int, Map, String, Struct, String, Int, String}
+	for i, k := range wantKinds {
+		if ct.Nodes[i].Type.Kind != k {
+			t.Errorf("column %d kind = %s, want %s", i, ct.Nodes[i].Type.Kind, k)
+		}
+		if ct.Nodes[i].ID != i {
+			t.Errorf("column %d has ID %d", i, ct.Nodes[i].ID)
+		}
+	}
+	leaves := ct.Leaves()
+	if len(leaves) != 6 {
+		t.Fatalf("len(Leaves) = %d, want 6", len(leaves))
+	}
+	wantLeafIDs := []int{1, 3, 5, 7, 8, 9}
+	for i, l := range leaves {
+		if l.ID != wantLeafIDs[i] {
+			t.Errorf("leaf %d id = %d, want %d", i, l.ID, wantLeafIDs[i])
+		}
+	}
+	// Parent links: col8 (id 8) -> struct (6) -> map (4) -> root (0).
+	n := ct.Nodes[8]
+	chain := []int{6, 4, 0}
+	for _, want := range chain {
+		n = n.Parent
+		if n.ID != want {
+			t.Fatalf("parent chain hit %d, want %d", n.ID, want)
+		}
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	ct := Decompose(figure3Schema())
+	got := ct.Subtree(4) // the Map column
+	want := []int{4, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Subtree(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subtree(4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	s := figure3Schema()
+	got := s.Columns[2].Type.String()
+	want := "map<string,struct<col7:string,col8:int>>"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if !strings.Contains(s.String(), "col2 array<int>") {
+		t.Errorf("schema string missing array column: %s", s)
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	a := figure3Schema().AsStruct()
+	b := figure3Schema().AsStruct()
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	b.Children[0] = Primitive(Long)
+	if a.Equal(b) {
+		t.Error("different schemas reported Equal")
+	}
+	c := figure3Schema().AsStruct()
+	c.FieldNames[0] = "renamed"
+	if a.Equal(c) {
+		t.Error("field rename not detected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := figure3Schema()
+	row := Row{
+		int64(7),
+		[]any{int64(1), int64(2)},
+		&MapValue{Keys: []any{"k"}, Values: []any{[]any{"v", int64(3)}}},
+		"str",
+	}
+	for i, c := range s.Columns {
+		if err := Validate(c.Type, row[i]); err != nil {
+			t.Errorf("Validate(col %d): %v", i, err)
+		}
+	}
+	if err := Validate(s.Columns[0].Type, "not an int"); err == nil {
+		t.Error("Validate accepted string for int column")
+	}
+	if err := Validate(s.Columns[1].Type, []any{"bad"}); err == nil {
+		t.Error("Validate accepted string array element for array<int>")
+	}
+	if err := Validate(s.Columns[0].Type, nil); err != nil {
+		t.Errorf("Validate rejected NULL: %v", err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		t *Type
+		v any
+	}{
+		{Primitive(Int), int64(-42)},
+		{Primitive(Boolean), true},
+		{Primitive(Double), 3.25},
+		{Primitive(String), "hello world"},
+		{Primitive(Timestamp), int64(1404518400000000)},
+		{NewArray(Primitive(Int)), []any{int64(1), int64(2), int64(3)}},
+		{NewStruct([]string{"a", "b"}, []*Type{Primitive(String), Primitive(Long)}), []any{"x", int64(9)}},
+		{NewUnion(Primitive(Int), Primitive(String)), &UnionValue{Tag: 1, Value: "u"}},
+		{Primitive(Int), nil},
+	}
+	for _, c := range cases {
+		s := FormatValue(c.t, c.v)
+		got, err := ParseValue(c.t, s)
+		if err != nil {
+			t.Fatalf("ParseValue(%s, %q): %v", c.t, s, err)
+		}
+		if FormatValue(c.t, got) != s {
+			t.Errorf("round trip of %v via %q gave %v", c.v, s, got)
+		}
+	}
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	mt := NewMap(Primitive(String), Primitive(Int))
+	mv := &MapValue{Keys: []any{"a", "b"}, Values: []any{int64(1), int64(2)}}
+	s := FormatValue(mt, mv)
+	got, err := ParseValue(mt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := got.(*MapValue)
+	if gm.Len() != 2 || gm.Keys[0] != "a" || gm.Values[1] != int64(2) {
+		t.Errorf("map round trip gave %+v", gm)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(Long, int64(1), int64(2)) != -1 {
+		t.Error("1 < 2 failed")
+	}
+	if Compare(String, "b", "a") != 1 {
+		t.Error("b > a failed")
+	}
+	if Compare(Double, 1.5, 1.5) != 0 {
+		t.Error("1.5 == 1.5 failed")
+	}
+	if Compare(Long, nil, int64(0)) != -1 {
+		t.Error("NULL should sort first")
+	}
+	if Compare(Boolean, false, true) != -1 {
+		t.Error("false < true failed")
+	}
+}
+
+func TestCompareProperty(t *testing.T) {
+	// Antisymmetry and consistency for int64 comparisons.
+	f := func(a, b int64) bool {
+		return Compare(Long, a, b) == -Compare(Long, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s1, s2 string) bool {
+		c := Compare(String, s1, s2)
+		switch {
+		case s1 < s2:
+			return c == -1
+		case s1 > s2:
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFormatPropertyInt(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := ParseValue(Primitive(Long), FormatValue(Primitive(Long), v))
+		return err == nil && got.(int64) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{int64(1), "x"}
+	c := r.Clone()
+	c[0] = int64(9)
+	if r[0] != int64(1) {
+		t.Error("Clone aliases original row")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Int.IsInteger() || !Long.IsInteger() || Double.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if !Float.IsFloating() || String.IsFloating() {
+		t.Error("IsFloating wrong")
+	}
+	if Array.IsPrimitive() || !String.IsPrimitive() {
+		t.Error("IsPrimitive wrong")
+	}
+}

@@ -1,0 +1,364 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Row is one record of a table: element i corresponds to schema column i.
+// The Go value mapping per kind is:
+//
+//	Boolean            bool
+//	Byte/Short/Int/Long int64
+//	Float/Double       float64
+//	String             string
+//	Timestamp          int64 (microseconds since epoch)
+//	Binary             []byte
+//	Array              []any
+//	Map                *MapValue (ordered key/value pairs)
+//	Struct             []any (one element per field)
+//	Union              *UnionValue
+//
+// A nil element is SQL NULL.
+type Row []any
+
+// MapValue is an ordered map literal; Hive maps preserve no ordering
+// guarantee, but a deterministic order keeps file layouts reproducible.
+type MapValue struct {
+	Keys   []any
+	Values []any
+}
+
+// Len returns the number of entries.
+func (m *MapValue) Len() int { return len(m.Keys) }
+
+// UnionValue holds the active alternative of a uniontype value.
+type UnionValue struct {
+	Tag   int // index of the active alternative
+	Value any
+}
+
+// Validate checks that v is an acceptable Go representation for type t,
+// returning a descriptive error otherwise. Writers call it to fail fast on
+// malformed rows.
+func Validate(t *Type, v any) error {
+	if v == nil {
+		return nil
+	}
+	switch t.Kind {
+	case Boolean:
+		if _, ok := v.(bool); !ok {
+			return typeErr(t, v)
+		}
+	case Byte, Short, Int, Long, Timestamp:
+		if _, ok := v.(int64); !ok {
+			return typeErr(t, v)
+		}
+	case Float, Double:
+		if _, ok := v.(float64); !ok {
+			return typeErr(t, v)
+		}
+	case String:
+		if _, ok := v.(string); !ok {
+			return typeErr(t, v)
+		}
+	case Binary:
+		if _, ok := v.([]byte); !ok {
+			return typeErr(t, v)
+		}
+	case Array:
+		arr, ok := v.([]any)
+		if !ok {
+			return typeErr(t, v)
+		}
+		for _, e := range arr {
+			if err := Validate(t.Children[0], e); err != nil {
+				return err
+			}
+		}
+	case Map:
+		mv, ok := v.(*MapValue)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if len(mv.Keys) != len(mv.Values) {
+			return fmt.Errorf("types: map value has %d keys but %d values", len(mv.Keys), len(mv.Values))
+		}
+		for i := range mv.Keys {
+			if err := Validate(t.Children[0], mv.Keys[i]); err != nil {
+				return err
+			}
+			if err := Validate(t.Children[1], mv.Values[i]); err != nil {
+				return err
+			}
+		}
+	case Struct:
+		st, ok := v.([]any)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if len(st) != len(t.Children) {
+			return fmt.Errorf("types: struct value has %d fields, want %d", len(st), len(t.Children))
+		}
+		for i, f := range st {
+			if err := Validate(t.Children[i], f); err != nil {
+				return err
+			}
+		}
+	case Union:
+		uv, ok := v.(*UnionValue)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if uv.Tag < 0 || uv.Tag >= len(t.Children) {
+			return fmt.Errorf("types: union tag %d out of range [0,%d)", uv.Tag, len(t.Children))
+		}
+		return Validate(t.Children[uv.Tag], uv.Value)
+	}
+	return nil
+}
+
+func typeErr(t *Type, v any) error {
+	return fmt.Errorf("types: value %T is not a valid %s", v, t)
+}
+
+// FormatValue renders a value of type t in Hive text-SerDe style; NULL is
+// rendered as \N as in Hive's default LazySimpleSerDe.
+func FormatValue(t *Type, v any) string {
+	if v == nil {
+		return `\N`
+	}
+	switch t.Kind {
+	case Boolean:
+		return strconv.FormatBool(v.(bool))
+	case Byte, Short, Int, Long:
+		return strconv.FormatInt(v.(int64), 10)
+	case Timestamp:
+		return time.UnixMicro(v.(int64)).UTC().Format("2006-01-02 15:04:05.000000")
+	case Float, Double:
+		return strconv.FormatFloat(v.(float64), 'g', -1, 64)
+	case String:
+		return v.(string)
+	case Binary:
+		return string(v.([]byte))
+	case Array:
+		arr := v.([]any)
+		out := ""
+		for i, e := range arr {
+			if i > 0 {
+				out += "\x02"
+			}
+			out += FormatValue(t.Children[0], e)
+		}
+		return out
+	case Map:
+		mv := v.(*MapValue)
+		out := ""
+		for i := range mv.Keys {
+			if i > 0 {
+				out += "\x02"
+			}
+			out += FormatValue(t.Children[0], mv.Keys[i]) + "\x03" + FormatValue(t.Children[1], mv.Values[i])
+		}
+		return out
+	case Struct:
+		st := v.([]any)
+		out := ""
+		for i, f := range st {
+			if i > 0 {
+				out += "\x02"
+			}
+			out += FormatValue(t.Children[i], f)
+		}
+		return out
+	case Union:
+		uv := v.(*UnionValue)
+		return strconv.Itoa(uv.Tag) + "\x02" + FormatValue(t.Children[uv.Tag], uv.Value)
+	}
+	return fmt.Sprint(v)
+}
+
+// ParseValue parses a text-SerDe rendering back into a Go value of type t.
+// It is the inverse of FormatValue for primitive types; complex types use
+// the same \x02/\x03 delimiters.
+func ParseValue(t *Type, s string) (any, error) {
+	if s == `\N` {
+		return nil, nil
+	}
+	switch t.Kind {
+	case Boolean:
+		return strconv.ParseBool(s)
+	case Byte, Short, Int, Long:
+		return strconv.ParseInt(s, 10, 64)
+	case Timestamp:
+		ts, err := time.Parse("2006-01-02 15:04:05.000000", s)
+		if err != nil {
+			return nil, err
+		}
+		return ts.UnixMicro(), nil
+	case Float, Double:
+		return strconv.ParseFloat(s, 64)
+	case String:
+		return s, nil
+	case Binary:
+		return []byte(s), nil
+	case Array:
+		if s == "" {
+			return []any{}, nil
+		}
+		parts := splitDelim(s, '\x02')
+		out := make([]any, len(parts))
+		for i, p := range parts {
+			v, err := ParseValue(t.Children[0], p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case Map:
+		mv := &MapValue{}
+		if s == "" {
+			return mv, nil
+		}
+		for _, p := range splitDelim(s, '\x02') {
+			kv := splitDelim(p, '\x03')
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("types: malformed map entry %q", p)
+			}
+			k, err := ParseValue(t.Children[0], kv[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := ParseValue(t.Children[1], kv[1])
+			if err != nil {
+				return nil, err
+			}
+			mv.Keys = append(mv.Keys, k)
+			mv.Values = append(mv.Values, v)
+		}
+		return mv, nil
+	case Struct:
+		parts := splitDelim(s, '\x02')
+		if len(parts) != len(t.Children) {
+			return nil, fmt.Errorf("types: struct text has %d fields, want %d", len(parts), len(t.Children))
+		}
+		out := make([]any, len(parts))
+		for i, p := range parts {
+			v, err := ParseValue(t.Children[i], p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case Union:
+		parts := splitDelim(s, '\x02')
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("types: malformed union text %q", s)
+		}
+		tag, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		if tag < 0 || tag >= len(t.Children) {
+			return nil, fmt.Errorf("types: union tag %d out of range", tag)
+		}
+		v, err := ParseValue(t.Children[tag], parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return &UnionValue{Tag: tag, Value: v}, nil
+	}
+	return nil, fmt.Errorf("types: cannot parse kind %s", t.Kind)
+}
+
+func splitDelim(s string, d byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == d {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// Compare orders two non-nil primitive values of the same kind, returning
+// -1, 0 or +1. NULLs sort first (nil < non-nil). It is the comparator used
+// by the shuffle sort and by min/max statistics.
+func Compare(k Kind, a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch k {
+	case Boolean:
+		av, bv := a.(bool), b.(bool)
+		switch {
+		case av == bv:
+			return 0
+		case !av:
+			return -1
+		default:
+			return 1
+		}
+	case Byte, Short, Int, Long, Timestamp:
+		av, bv := a.(int64), b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	case Float, Double:
+		av, bv := a.(float64), b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	case String:
+		av, bv := a.(string), b.(string)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	case Binary:
+		av, bv := string(a.([]byte)), string(b.([]byte))
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	}
+	panic("types: Compare on non-comparable kind " + k.String())
+}
+
+// Clone deep-copies a row so that buffered operators (e.g. reduce-side join)
+// can retain rows past the producer's reuse of the backing slice.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

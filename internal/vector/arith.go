@@ -1,0 +1,457 @@
+// arith.go implements the arithmetic vectorized expressions (paper §6.2,
+// Figure 8). Specialized variants exist per operand pattern (column ⊕
+// column, column ⊕ scalar, scalar ⊕ column) and per type; Go generics play
+// the role of §6.3's build-time templates, instantiating a tight typed loop
+// per (type, pattern) pair. The operator dispatch happens once per batch —
+// outside the inner loop — never per row.
+package vector
+
+// Number constrains the numeric vector element types.
+type Number interface{ ~int64 | ~float64 }
+
+// ArithOp enumerates the arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators. Division is defined on doubles only; the compiler
+// casts integer operands first (Hive semantics).
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// numVector is the view templates operate on.
+type numVector[T Number] struct {
+	flags  *base
+	vector []T
+}
+
+func longView(b *VectorizedRowBatch, c int) numVector[int64] {
+	v := b.Long(c)
+	return numVector[int64]{flags: &v.base, vector: v.Vector}
+}
+
+func doubleView(b *VectorizedRowBatch, c int) numVector[float64] {
+	v := b.Double(c)
+	return numVector[float64]{flags: &v.base, vector: v.Vector}
+}
+
+// ArithColScalarLong is `long_col op long_scalar` (the paper's
+// LongColAddLongScalarExpression family).
+type ArithColScalarLong struct {
+	Op         ArithOp
+	Input, Out int
+	Scalar     int64
+}
+
+// Evaluate implements Expression.
+func (e *ArithColScalarLong) Evaluate(b *VectorizedRowBatch) {
+	evalColScalar(b, e.Op, longView(b, e.Input), e.Scalar, longView(b, e.Out))
+}
+
+// Output implements Expression.
+func (e *ArithColScalarLong) Output() int { return e.Out }
+
+// ArithColScalarDouble is `double_col op double_scalar`.
+type ArithColScalarDouble struct {
+	Op         ArithOp
+	Input, Out int
+	Scalar     float64
+}
+
+// Evaluate implements Expression.
+func (e *ArithColScalarDouble) Evaluate(b *VectorizedRowBatch) {
+	evalColScalar(b, e.Op, doubleView(b, e.Input), e.Scalar, doubleView(b, e.Out))
+}
+
+// Output implements Expression.
+func (e *ArithColScalarDouble) Output() int { return e.Out }
+
+// ArithScalarColLong is `long_scalar op long_col`.
+type ArithScalarColLong struct {
+	Op         ArithOp
+	Input, Out int
+	Scalar     int64
+}
+
+// Evaluate implements Expression.
+func (e *ArithScalarColLong) Evaluate(b *VectorizedRowBatch) {
+	evalScalarCol(b, e.Op, e.Scalar, longView(b, e.Input), longView(b, e.Out))
+}
+
+// Output implements Expression.
+func (e *ArithScalarColLong) Output() int { return e.Out }
+
+// ArithScalarColDouble is `double_scalar op double_col`.
+type ArithScalarColDouble struct {
+	Op         ArithOp
+	Input, Out int
+	Scalar     float64
+}
+
+// Evaluate implements Expression.
+func (e *ArithScalarColDouble) Evaluate(b *VectorizedRowBatch) {
+	evalScalarCol(b, e.Op, e.Scalar, doubleView(b, e.Input), doubleView(b, e.Out))
+}
+
+// Output implements Expression.
+func (e *ArithScalarColDouble) Output() int { return e.Out }
+
+// ArithColColLong is `long_col op long_col`.
+type ArithColColLong struct {
+	Op               ArithOp
+	Left, Right, Out int
+}
+
+// Evaluate implements Expression.
+func (e *ArithColColLong) Evaluate(b *VectorizedRowBatch) {
+	evalColCol(b, e.Op, longView(b, e.Left), longView(b, e.Right), longView(b, e.Out))
+}
+
+// Output implements Expression.
+func (e *ArithColColLong) Output() int { return e.Out }
+
+// ArithColColDouble is `double_col op double_col`.
+type ArithColColDouble struct {
+	Op               ArithOp
+	Left, Right, Out int
+}
+
+// Evaluate implements Expression.
+func (e *ArithColColDouble) Evaluate(b *VectorizedRowBatch) {
+	evalColCol(b, e.Op, doubleView(b, e.Left), doubleView(b, e.Right), doubleView(b, e.Out))
+}
+
+// Output implements Expression.
+func (e *ArithColColDouble) Output() int { return e.Out }
+
+// CastLongToDouble widens an integer column (division and mixed-type
+// arithmetic).
+type CastLongToDouble struct {
+	Input, Out int
+}
+
+// Evaluate implements Expression.
+func (e *CastLongToDouble) Evaluate(b *VectorizedRowBatch) {
+	in := b.Long(e.Input)
+	out := b.Double(e.Out)
+	out.NoNulls = in.NoNulls
+	out.IsRepeating = in.IsRepeating
+	if in.IsRepeating {
+		out.Vector[0] = float64(in.Vector[0])
+		out.IsNull[0] = !in.NoNulls && in.IsNull[0]
+		return
+	}
+	inV, outV := in.Vector, out.Vector
+	if b.SelectedInUse {
+		for _, i := range b.Selected[:b.Size] {
+			outV[i] = float64(inV[i])
+		}
+	} else {
+		for i := 0; i < b.Size; i++ {
+			outV[i] = float64(inV[i])
+		}
+	}
+	if !in.NoNulls {
+		copy(out.IsNull, in.IsNull)
+	}
+}
+
+// Output implements Expression.
+func (e *CastLongToDouble) Output() int { return e.Out }
+
+// ConstLong fills the output with a constant (IsRepeating short-circuit).
+type ConstLong struct {
+	Out   int
+	Value int64
+	Null  bool
+}
+
+// Evaluate implements Expression.
+func (e *ConstLong) Evaluate(b *VectorizedRowBatch) {
+	out := b.Long(e.Out)
+	out.IsRepeating = true
+	out.Vector[0] = e.Value
+	out.NoNulls = !e.Null
+	out.IsNull[0] = e.Null
+}
+
+// Output implements Expression.
+func (e *ConstLong) Output() int { return e.Out }
+
+// ConstDouble fills the output with a constant.
+type ConstDouble struct {
+	Out   int
+	Value float64
+	Null  bool
+}
+
+// Evaluate implements Expression.
+func (e *ConstDouble) Evaluate(b *VectorizedRowBatch) {
+	out := b.Double(e.Out)
+	out.IsRepeating = true
+	out.Vector[0] = e.Value
+	out.NoNulls = !e.Null
+	out.IsNull[0] = e.Null
+}
+
+// Output implements Expression.
+func (e *ConstDouble) Output() int { return e.Out }
+
+// ConstBytes fills the output with a constant byte string.
+type ConstBytes struct {
+	Out   int
+	Value []byte
+	Null  bool
+}
+
+// Evaluate implements Expression.
+func (e *ConstBytes) Evaluate(b *VectorizedRowBatch) {
+	out := b.Bytes(e.Out)
+	out.IsRepeating = true
+	out.Vector[0] = e.Value
+	out.NoNulls = !e.Null
+	out.IsNull[0] = e.Null
+}
+
+// Output implements Expression.
+func (e *ConstBytes) Output() int { return e.Out }
+
+// apply computes one value; it is called outside inner loops (repeating
+// case) or from per-op specialized loops below.
+func apply[T Number](op ArithOp, a, b T) T {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0 // caller marks NULL
+		}
+		return a / b
+	}
+	panic("vector: bad arith op")
+}
+
+// evalColScalar is the template body shared by the ColScalar variants: one
+// tight loop per operator, no branches inside (Figure 8).
+func evalColScalar[T Number](b *VectorizedRowBatch, op ArithOp, in numVector[T], scalar T, out numVector[T]) {
+	out.flags.NoNulls = in.flags.NoNulls
+	out.flags.IsRepeating = in.flags.IsRepeating
+	if in.flags.IsRepeating {
+		out.vector[0] = apply(op, in.vector[0], scalar)
+		out.flags.IsNull[0] = !in.flags.NoNulls && in.flags.IsNull[0]
+		return
+	}
+	inV, outV := in.vector, out.vector
+	divZero := op == Div && scalar == 0
+	switch {
+	case divZero:
+		out.flags.NoNulls = false
+		b.Rows(func(i int) { out.flags.IsNull[i] = true })
+	case b.SelectedInUse:
+		sel := b.Selected[:b.Size]
+		switch op {
+		case Add:
+			for _, i := range sel {
+				outV[i] = inV[i] + scalar
+			}
+		case Sub:
+			for _, i := range sel {
+				outV[i] = inV[i] - scalar
+			}
+		case Mul:
+			for _, i := range sel {
+				outV[i] = inV[i] * scalar
+			}
+		case Div:
+			for _, i := range sel {
+				outV[i] = inV[i] / scalar
+			}
+		}
+	default:
+		n := b.Size
+		switch op {
+		case Add:
+			for i := 0; i < n; i++ {
+				outV[i] = inV[i] + scalar
+			}
+		case Sub:
+			for i := 0; i < n; i++ {
+				outV[i] = inV[i] - scalar
+			}
+		case Mul:
+			for i := 0; i < n; i++ {
+				outV[i] = inV[i] * scalar
+			}
+		case Div:
+			for i := 0; i < n; i++ {
+				outV[i] = inV[i] / scalar
+			}
+		}
+	}
+	if !in.flags.NoNulls {
+		copy(out.flags.IsNull, in.flags.IsNull)
+	}
+}
+
+func evalScalarCol[T Number](b *VectorizedRowBatch, op ArithOp, scalar T, in numVector[T], out numVector[T]) {
+	out.flags.NoNulls = in.flags.NoNulls
+	out.flags.IsRepeating = in.flags.IsRepeating
+	if in.flags.IsRepeating {
+		out.vector[0] = apply(op, scalar, in.vector[0])
+		out.flags.IsNull[0] = !in.flags.NoNulls && in.flags.IsNull[0]
+		if op == Div && in.vector[0] == 0 {
+			out.flags.NoNulls = false
+			out.flags.IsNull[0] = true
+		}
+		return
+	}
+	inV, outV := in.vector, out.vector
+	if b.SelectedInUse {
+		sel := b.Selected[:b.Size]
+		switch op {
+		case Add:
+			for _, i := range sel {
+				outV[i] = scalar + inV[i]
+			}
+		case Sub:
+			for _, i := range sel {
+				outV[i] = scalar - inV[i]
+			}
+		case Mul:
+			for _, i := range sel {
+				outV[i] = scalar * inV[i]
+			}
+		case Div:
+			for _, i := range sel {
+				outV[i] = apply(Div, scalar, inV[i])
+			}
+		}
+	} else {
+		n := b.Size
+		switch op {
+		case Add:
+			for i := 0; i < n; i++ {
+				outV[i] = scalar + inV[i]
+			}
+		case Sub:
+			for i := 0; i < n; i++ {
+				outV[i] = scalar - inV[i]
+			}
+		case Mul:
+			for i := 0; i < n; i++ {
+				outV[i] = scalar * inV[i]
+			}
+		case Div:
+			for i := 0; i < n; i++ {
+				outV[i] = apply(Div, scalar, inV[i])
+			}
+		}
+	}
+	if !in.flags.NoNulls {
+		copy(out.flags.IsNull, in.flags.IsNull)
+	}
+	if op == Div {
+		// Division by zero yields NULL.
+		markDivZeroNulls(b, in, out)
+	}
+}
+
+func evalColCol[T Number](b *VectorizedRowBatch, op ArithOp, l, r, out numVector[T]) {
+	out.flags.NoNulls = l.flags.NoNulls && r.flags.NoNulls
+	if l.flags.IsRepeating && r.flags.IsRepeating {
+		out.flags.IsRepeating = true
+		out.vector[0] = apply(op, l.vector[0], r.vector[0])
+		out.flags.IsNull[0] = l.flags.IsNull[0] || r.flags.IsNull[0]
+		return
+	}
+	out.flags.IsRepeating = false
+	lv := func(i int) T {
+		if l.flags.IsRepeating {
+			return l.vector[0]
+		}
+		return l.vector[i]
+	}
+	rv := func(i int) T {
+		if r.flags.IsRepeating {
+			return r.vector[0]
+		}
+		return r.vector[i]
+	}
+	// The common non-repeating fast path gets branch-free loops.
+	if !l.flags.IsRepeating && !r.flags.IsRepeating && op != Div {
+		lV, rV, outV := l.vector, r.vector, out.vector
+		if b.SelectedInUse {
+			sel := b.Selected[:b.Size]
+			switch op {
+			case Add:
+				for _, i := range sel {
+					outV[i] = lV[i] + rV[i]
+				}
+			case Sub:
+				for _, i := range sel {
+					outV[i] = lV[i] - rV[i]
+				}
+			case Mul:
+				for _, i := range sel {
+					outV[i] = lV[i] * rV[i]
+				}
+			}
+		} else {
+			n := b.Size
+			switch op {
+			case Add:
+				for i := 0; i < n; i++ {
+					outV[i] = lV[i] + rV[i]
+				}
+			case Sub:
+				for i := 0; i < n; i++ {
+					outV[i] = lV[i] - rV[i]
+				}
+			case Mul:
+				for i := 0; i < n; i++ {
+					outV[i] = lV[i] * rV[i]
+				}
+			}
+		}
+	} else {
+		b.Rows(func(i int) {
+			out.vector[i] = apply(op, lv(i), rv(i))
+			if op == Div && rv(i) == 0 {
+				out.flags.NoNulls = false
+				out.flags.IsNull[i] = true
+			}
+		})
+	}
+	if !out.flags.NoNulls {
+		b.Rows(func(i int) {
+			if nullAt(l.flags, i) || nullAt(r.flags, i) {
+				out.flags.IsNull[i] = true
+			}
+		})
+	}
+}
+
+func nullAt(f *base, i int) bool {
+	if f.NoNulls {
+		return false
+	}
+	if f.IsRepeating {
+		return f.IsNull[0]
+	}
+	return f.IsNull[i]
+}
+
+func markDivZeroNulls[T Number](b *VectorizedRowBatch, in, out numVector[T]) {
+	b.Rows(func(i int) {
+		if in.vector[i] == 0 {
+			out.flags.NoNulls = false
+			out.flags.IsNull[i] = true
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// Package vector implements the vectorized execution primitives of paper
+// §6: VectorizedRowBatch (Figure 6), typed column vectors (Figure 7) with
+// no-null and is-repeating flags, and the specialized vectorized
+// expressions (Figure 8) that process a column vector in a tight loop with
+// no per-row branches or method calls. Filters manipulate the selected[]
+// array in place; subsequent expressions only touch selected rows.
+package vector
+
+import "fmt"
+
+// DefaultBatchSize is the paper's default of 1024 rows, chosen so a batch
+// fits in the processor cache.
+const DefaultBatchSize = 1024
+
+// ColumnVector is the base interface of typed vectors.
+type ColumnVector interface {
+	// Reset clears null/repeat flags for reuse.
+	Reset()
+	// Null reports whether row i is NULL.
+	Null(i int) bool
+	// Capacity is the allocated row capacity.
+	Capacity() int
+}
+
+// base carries the flags shared by all vectors (paper §6.2): NoNulls set by
+// the reader when the batch has no NULLs lets expressions skip null checks;
+// IsRepeating marks a constant vector (run-length encoding carried into
+// execution) so work is done once per batch.
+type base struct {
+	NoNulls     bool
+	IsRepeating bool
+	IsNull      []bool
+}
+
+// Reset implements ColumnVector.
+func (b *base) Reset() {
+	b.NoNulls = true
+	b.IsRepeating = false
+	for i := range b.IsNull {
+		b.IsNull[i] = false
+	}
+}
+
+// Null implements ColumnVector.
+func (b *base) Null(i int) bool {
+	if b.NoNulls {
+		return false
+	}
+	if b.IsRepeating {
+		i = 0
+	}
+	return b.IsNull[i]
+}
+
+// SetNull marks row i NULL.
+func (b *base) SetNull(i int) {
+	b.NoNulls = false
+	b.IsNull[i] = true
+}
+
+// Capacity implements ColumnVector.
+func (b *base) Capacity() int { return len(b.IsNull) }
+
+// Flags exposes the base for expressions that combine flag state.
+func (b *base) Flags() *base { return b }
+
+// LongColumnVector holds all integer varieties, booleans (0/1) and
+// timestamps, as the paper's Figure 7 prescribes.
+type LongColumnVector struct {
+	base
+	Vector []int64
+}
+
+// NewLongColumnVector allocates a vector of n rows.
+func NewLongColumnVector(n int) *LongColumnVector {
+	return &LongColumnVector{base: base{NoNulls: true, IsNull: make([]bool, n)}, Vector: make([]int64, n)}
+}
+
+// Value returns row i honoring IsRepeating.
+func (v *LongColumnVector) Value(i int) int64 {
+	if v.IsRepeating {
+		return v.Vector[0]
+	}
+	return v.Vector[i]
+}
+
+// DoubleColumnVector holds float and double columns.
+type DoubleColumnVector struct {
+	base
+	Vector []float64
+}
+
+// NewDoubleColumnVector allocates a vector of n rows.
+func NewDoubleColumnVector(n int) *DoubleColumnVector {
+	return &DoubleColumnVector{base: base{NoNulls: true, IsNull: make([]bool, n)}, Vector: make([]float64, n)}
+}
+
+// Value returns row i honoring IsRepeating.
+func (v *DoubleColumnVector) Value(i int) float64 {
+	if v.IsRepeating {
+		return v.Vector[0]
+	}
+	return v.Vector[i]
+}
+
+// BytesColumnVector holds string and binary columns as byte slices
+// (references into reader buffers where possible).
+type BytesColumnVector struct {
+	base
+	Vector [][]byte
+}
+
+// NewBytesColumnVector allocates a vector of n rows.
+func NewBytesColumnVector(n int) *BytesColumnVector {
+	return &BytesColumnVector{base: base{NoNulls: true, IsNull: make([]bool, n)}, Vector: make([][]byte, n)}
+}
+
+// Value returns row i honoring IsRepeating.
+func (v *BytesColumnVector) Value(i int) []byte {
+	if v.IsRepeating {
+		return v.Vector[0]
+	}
+	return v.Vector[i]
+}
+
+// VectorizedRowBatch is one unit of vectorized work (paper Figure 6).
+type VectorizedRowBatch struct {
+	// Size is the logical row count of the batch.
+	Size int
+	// SelectedInUse indicates Selected[0:Size] lists the live rows.
+	SelectedInUse bool
+	Selected      []int
+	Columns       []ColumnVector
+}
+
+// NewBatch creates a batch with the given columns and capacity n.
+func NewBatch(n int, cols ...ColumnVector) *VectorizedRowBatch {
+	return &VectorizedRowBatch{Selected: make([]int, n), Columns: cols}
+}
+
+// Reset prepares the batch for refilling.
+func (b *VectorizedRowBatch) Reset() {
+	b.Size = 0
+	b.SelectedInUse = false
+	for _, c := range b.Columns {
+		c.Reset()
+	}
+}
+
+// AddColumn appends a scratch column and returns its index; the expression
+// compiler uses it for intermediate results.
+func (b *VectorizedRowBatch) AddColumn(c ColumnVector) int {
+	b.Columns = append(b.Columns, c)
+	return len(b.Columns) - 1
+}
+
+// Rows iterates the live row indexes: either Selected[0:Size] or 0..Size-1.
+// It is intended for boundary code (row emission), not inner loops — the
+// expressions inline the two cases as Figure 8 shows.
+func (b *VectorizedRowBatch) Rows(f func(i int)) {
+	if b.SelectedInUse {
+		for _, i := range b.Selected[:b.Size] {
+			f(i)
+		}
+	} else {
+		for i := 0; i < b.Size; i++ {
+			f(i)
+		}
+	}
+}
+
+// Long returns column c as a LongColumnVector or panics with a diagnostic;
+// expression construction validates types so this is a programming-error
+// guard.
+func (b *VectorizedRowBatch) Long(c int) *LongColumnVector {
+	v, ok := b.Columns[c].(*LongColumnVector)
+	if !ok {
+		panic(fmt.Sprintf("vector: column %d is %T, want long", c, b.Columns[c]))
+	}
+	return v
+}
+
+// Double returns column c as a DoubleColumnVector.
+func (b *VectorizedRowBatch) Double(c int) *DoubleColumnVector {
+	v, ok := b.Columns[c].(*DoubleColumnVector)
+	if !ok {
+		panic(fmt.Sprintf("vector: column %d is %T, want double", c, b.Columns[c]))
+	}
+	return v
+}
+
+// Bytes returns column c as a BytesColumnVector.
+func (b *VectorizedRowBatch) Bytes(c int) *BytesColumnVector {
+	v, ok := b.Columns[c].(*BytesColumnVector)
+	if !ok {
+		panic(fmt.Sprintf("vector: column %d is %T, want bytes", c, b.Columns[c]))
+	}
+	return v
+}
+
+// Expression computes an output column over the batch.
+type Expression interface {
+	Evaluate(b *VectorizedRowBatch)
+	// Output is the column index the result lands in.
+	Output() int
+}
+
+// FilterExpression narrows the batch's selected rows in place (§6.2's
+// second implementation family for comparisons, AND and OR).
+type FilterExpression interface {
+	Filter(b *VectorizedRowBatch)
+}

@@ -1,0 +1,475 @@
+// filter.go implements the in-place filtering expressions (paper §6.2):
+// comparisons, BETWEEN, IN, IS NULL, AND/OR and NOT manipulate the batch's
+// selected[] array so that subsequent expressions only work on rows that
+// passed. NULL comparison results reject the row, matching SQL WHERE.
+package vector
+
+import "bytes"
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func cmpHolds[T Number](op CmpOp, a, b T) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	}
+	return false
+}
+
+// filterByPred is the shared selected[] rewrite of Figure 8's filter
+// variant: pred is only consulted for live rows, and the batch shrinks in
+// place without branches beyond the predicate itself.
+func filterByPred(b *VectorizedRowBatch, pred func(i int) bool) {
+	newSize := 0
+	if b.SelectedInUse {
+		sel := b.Selected[:b.Size]
+		for _, i := range sel {
+			if pred(i) {
+				b.Selected[newSize] = i
+				newSize++
+			}
+		}
+	} else {
+		for i := 0; i < b.Size; i++ {
+			if pred(i) {
+				b.Selected[newSize] = i
+				newSize++
+			}
+		}
+		b.SelectedInUse = true
+	}
+	b.Size = newSize
+}
+
+// FilterColScalarLong filters `long_col op long_scalar`.
+type FilterColScalarLong struct {
+	Op     CmpOp
+	Input  int
+	Scalar int64
+}
+
+// Filter implements FilterExpression.
+func (f *FilterColScalarLong) Filter(b *VectorizedRowBatch) {
+	filterColScalar(b, f.Op, longView(b, f.Input), f.Scalar)
+}
+
+// FilterColScalarDouble filters `double_col op double_scalar`.
+type FilterColScalarDouble struct {
+	Op     CmpOp
+	Input  int
+	Scalar float64
+}
+
+// Filter implements FilterExpression.
+func (f *FilterColScalarDouble) Filter(b *VectorizedRowBatch) {
+	filterColScalar(b, f.Op, doubleView(b, f.Input), f.Scalar)
+}
+
+func filterColScalar[T Number](b *VectorizedRowBatch, op CmpOp, in numVector[T], scalar T) {
+	if in.flags.IsRepeating {
+		// Constant vector: the whole batch passes or fails at once —
+		// run-length encoding carried into execution (§6.2).
+		if nullAt(in.flags, 0) || !cmpHolds(op, in.vector[0], scalar) {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	v := in.vector
+	if in.flags.NoNulls {
+		// The hot path: no null checks in the loop.
+		switch op {
+		case EQ:
+			filterByPred(b, func(i int) bool { return v[i] == scalar })
+		case NE:
+			filterByPred(b, func(i int) bool { return v[i] != scalar })
+		case LT:
+			filterByPred(b, func(i int) bool { return v[i] < scalar })
+		case LE:
+			filterByPred(b, func(i int) bool { return v[i] <= scalar })
+		case GT:
+			filterByPred(b, func(i int) bool { return v[i] > scalar })
+		case GE:
+			filterByPred(b, func(i int) bool { return v[i] >= scalar })
+		}
+		return
+	}
+	nulls := in.flags.IsNull
+	filterByPred(b, func(i int) bool { return !nulls[i] && cmpHolds(op, v[i], scalar) })
+}
+
+// FilterColColLong filters `long_col op long_col`.
+type FilterColColLong struct {
+	Op          CmpOp
+	Left, Right int
+}
+
+// Filter implements FilterExpression.
+func (f *FilterColColLong) Filter(b *VectorizedRowBatch) {
+	filterColCol(b, f.Op, longView(b, f.Left), longView(b, f.Right))
+}
+
+// FilterColColDouble filters `double_col op double_col`.
+type FilterColColDouble struct {
+	Op          CmpOp
+	Left, Right int
+}
+
+// Filter implements FilterExpression.
+func (f *FilterColColDouble) Filter(b *VectorizedRowBatch) {
+	filterColCol(b, f.Op, doubleView(b, f.Left), doubleView(b, f.Right))
+}
+
+func filterColCol[T Number](b *VectorizedRowBatch, op CmpOp, l, r numVector[T]) {
+	lVal := func(i int) (T, bool) {
+		if l.flags.IsRepeating {
+			return l.vector[0], nullAt(l.flags, 0)
+		}
+		return l.vector[i], nullAt(l.flags, i)
+	}
+	rVal := func(i int) (T, bool) {
+		if r.flags.IsRepeating {
+			return r.vector[0], nullAt(r.flags, 0)
+		}
+		return r.vector[i], nullAt(r.flags, i)
+	}
+	if !l.flags.IsRepeating && !r.flags.IsRepeating && l.flags.NoNulls && r.flags.NoNulls {
+		lv, rv := l.vector, r.vector
+		switch op {
+		case EQ:
+			filterByPred(b, func(i int) bool { return lv[i] == rv[i] })
+		case NE:
+			filterByPred(b, func(i int) bool { return lv[i] != rv[i] })
+		case LT:
+			filterByPred(b, func(i int) bool { return lv[i] < rv[i] })
+		case LE:
+			filterByPred(b, func(i int) bool { return lv[i] <= rv[i] })
+		case GT:
+			filterByPred(b, func(i int) bool { return lv[i] > rv[i] })
+		case GE:
+			filterByPred(b, func(i int) bool { return lv[i] >= rv[i] })
+		}
+		return
+	}
+	filterByPred(b, func(i int) bool {
+		a, an := lVal(i)
+		c, cn := rVal(i)
+		return !an && !cn && cmpHolds(op, a, c)
+	})
+}
+
+// FilterBetweenLong filters `long_col BETWEEN lo AND hi`.
+type FilterBetweenLong struct {
+	Input  int
+	Lo, Hi int64
+}
+
+// Filter implements FilterExpression.
+func (f *FilterBetweenLong) Filter(b *VectorizedRowBatch) {
+	in := b.Long(f.Input)
+	if in.IsRepeating {
+		v := in.Vector[0]
+		if nullAt(&in.base, 0) || v < f.Lo || v > f.Hi {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	v := in.Vector
+	if in.NoNulls {
+		filterByPred(b, func(i int) bool { return v[i] >= f.Lo && v[i] <= f.Hi })
+		return
+	}
+	nulls := in.IsNull
+	filterByPred(b, func(i int) bool { return !nulls[i] && v[i] >= f.Lo && v[i] <= f.Hi })
+}
+
+// FilterBetweenDouble filters `double_col BETWEEN lo AND hi`.
+type FilterBetweenDouble struct {
+	Input  int
+	Lo, Hi float64
+}
+
+// Filter implements FilterExpression.
+func (f *FilterBetweenDouble) Filter(b *VectorizedRowBatch) {
+	in := b.Double(f.Input)
+	if in.IsRepeating {
+		v := in.Vector[0]
+		if nullAt(&in.base, 0) || v < f.Lo || v > f.Hi {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	v := in.Vector
+	if in.NoNulls {
+		filterByPred(b, func(i int) bool { return v[i] >= f.Lo && v[i] <= f.Hi })
+		return
+	}
+	nulls := in.IsNull
+	filterByPred(b, func(i int) bool { return !nulls[i] && v[i] >= f.Lo && v[i] <= f.Hi })
+}
+
+// FilterBytesColScalar filters `bytes_col op bytes_scalar`.
+type FilterBytesColScalar struct {
+	Op     CmpOp
+	Input  int
+	Scalar []byte
+}
+
+// Filter implements FilterExpression.
+func (f *FilterBytesColScalar) Filter(b *VectorizedRowBatch) {
+	in := b.Bytes(f.Input)
+	holds := func(v []byte) bool {
+		c := bytes.Compare(v, f.Scalar)
+		switch f.Op {
+		case EQ:
+			return c == 0
+		case NE:
+			return c != 0
+		case LT:
+			return c < 0
+		case LE:
+			return c <= 0
+		case GT:
+			return c > 0
+		case GE:
+			return c >= 0
+		}
+		return false
+	}
+	if in.IsRepeating {
+		if nullAt(&in.base, 0) || !holds(in.Vector[0]) {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	v := in.Vector
+	if in.NoNulls {
+		filterByPred(b, func(i int) bool { return holds(v[i]) })
+		return
+	}
+	nulls := in.IsNull
+	filterByPred(b, func(i int) bool { return !nulls[i] && holds(v[i]) })
+}
+
+// FilterLongInList filters `long_col IN (...)`.
+type FilterLongInList struct {
+	Input int
+	Set   map[int64]struct{}
+}
+
+// Filter implements FilterExpression.
+func (f *FilterLongInList) Filter(b *VectorizedRowBatch) {
+	in := b.Long(f.Input)
+	member := func(i int) bool {
+		_, ok := f.Set[in.Value(i)]
+		return ok && !nullAt(&in.base, i)
+	}
+	if in.IsRepeating {
+		if !member(0) {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	filterByPred(b, member)
+}
+
+// FilterBytesInList filters `bytes_col IN (...)`.
+type FilterBytesInList struct {
+	Input int
+	Set   map[string]struct{}
+}
+
+// Filter implements FilterExpression.
+func (f *FilterBytesInList) Filter(b *VectorizedRowBatch) {
+	in := b.Bytes(f.Input)
+	member := func(i int) bool {
+		if nullAt(&in.base, i) {
+			return false
+		}
+		_, ok := f.Set[string(in.Value(i))]
+		return ok
+	}
+	if in.IsRepeating {
+		if !member(0) {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	filterByPred(b, member)
+}
+
+// FilterIsNull keeps rows where the column is NULL (or not, when Negated).
+type FilterIsNull struct {
+	Input   int
+	Negated bool
+	// Flags accessor chosen at construction from the column type.
+	FlagsOf func(b *VectorizedRowBatch) *base
+}
+
+// NewFilterIsNull builds the filter for a column of any vector type.
+func NewFilterIsNull(col int, negated bool) *FilterIsNull {
+	return &FilterIsNull{Input: col, Negated: negated, FlagsOf: func(b *VectorizedRowBatch) *base {
+		switch v := b.Columns[col].(type) {
+		case *LongColumnVector:
+			return &v.base
+		case *DoubleColumnVector:
+			return &v.base
+		case *BytesColumnVector:
+			return &v.base
+		}
+		panic("vector: unsupported column type for IS NULL")
+	}}
+}
+
+// Filter implements FilterExpression.
+func (f *FilterIsNull) Filter(b *VectorizedRowBatch) {
+	flags := f.FlagsOf(b)
+	filterByPred(b, func(i int) bool { return nullAt(flags, i) != f.Negated })
+}
+
+// FilterBoolColumn keeps rows where a boolean (long 0/1) column is true —
+// used when a projection-mode comparison fed a filter context.
+type FilterBoolColumn struct {
+	Input int
+}
+
+// Filter implements FilterExpression.
+func (f *FilterBoolColumn) Filter(b *VectorizedRowBatch) {
+	in := b.Long(f.Input)
+	filterByPred(b, func(i int) bool { return !nullAt(&in.base, i) && in.Value(i) != 0 })
+}
+
+// FilterAnd applies its children in sequence; each narrows selected[]
+// further (§6.2: "subsequent expressions only work on rows selected by
+// previous expressions").
+type FilterAnd struct {
+	Children []FilterExpression
+}
+
+// Filter implements FilterExpression.
+func (f *FilterAnd) Filter(b *VectorizedRowBatch) {
+	for _, c := range f.Children {
+		c.Filter(b)
+		if b.Size == 0 {
+			return
+		}
+	}
+}
+
+// FilterOr evaluates each child over the original selection and unions the
+// survivors, preserving row order.
+type FilterOr struct {
+	Children []FilterExpression
+}
+
+// Filter implements FilterExpression.
+func (f *FilterOr) Filter(b *VectorizedRowBatch) {
+	origSize := b.Size
+	origInUse := b.SelectedInUse
+	origSel := append([]int(nil), b.Selected[:b.Size]...)
+
+	passed := map[int]struct{}{}
+	for _, c := range f.Children {
+		// Restore the original selection for this branch.
+		b.Size = origSize
+		b.SelectedInUse = origInUse
+		copy(b.Selected, origSel)
+		c.Filter(b)
+		if b.SelectedInUse {
+			for _, i := range b.Selected[:b.Size] {
+				passed[i] = struct{}{}
+			}
+		} else {
+			for i := 0; i < b.Size; i++ {
+				passed[i] = struct{}{}
+			}
+		}
+	}
+	// Rebuild the selection in original row order.
+	newSize := 0
+	emit := func(i int) {
+		if _, ok := passed[i]; ok {
+			b.Selected[newSize] = i
+			newSize++
+		}
+	}
+	if origInUse {
+		for _, i := range origSel {
+			emit(i)
+		}
+	} else {
+		for i := 0; i < origSize; i++ {
+			emit(i)
+		}
+	}
+	b.Size = newSize
+	b.SelectedInUse = true
+}
+
+// FilterNot keeps the complement of its child's selection.
+type FilterNot struct {
+	Child FilterExpression
+}
+
+// Filter implements FilterExpression.
+func (f *FilterNot) Filter(b *VectorizedRowBatch) {
+	origSize := b.Size
+	origInUse := b.SelectedInUse
+	origSel := append([]int(nil), b.Selected[:b.Size]...)
+
+	f.Child.Filter(b)
+	dropped := map[int]struct{}{}
+	if b.SelectedInUse {
+		for _, i := range b.Selected[:b.Size] {
+			dropped[i] = struct{}{}
+		}
+	} else {
+		for i := 0; i < b.Size; i++ {
+			dropped[i] = struct{}{}
+		}
+	}
+	newSize := 0
+	emit := func(i int) {
+		if _, ok := dropped[i]; !ok {
+			b.Selected[newSize] = i
+			newSize++
+		}
+	}
+	if origInUse {
+		for _, i := range origSel {
+			emit(i)
+		}
+	} else {
+		for i := 0; i < origSize; i++ {
+			emit(i)
+		}
+	}
+	b.Size = newSize
+	b.SelectedInUse = true
+}

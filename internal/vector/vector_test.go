@@ -1,0 +1,287 @@
+package vector
+
+import (
+	"testing"
+)
+
+// fillLong creates a batch with one long column of the given values.
+func fillLong(vals []int64, nulls []int) *VectorizedRowBatch {
+	col := NewLongColumnVector(len(vals))
+	copy(col.Vector, vals)
+	for _, i := range nulls {
+		col.SetNull(i)
+	}
+	b := NewBatch(len(vals), col)
+	b.Size = len(vals)
+	return b
+}
+
+func fillDouble(vals []float64) *VectorizedRowBatch {
+	col := NewDoubleColumnVector(len(vals))
+	copy(col.Vector, vals)
+	b := NewBatch(len(vals), col)
+	b.Size = len(vals)
+	return b
+}
+
+func selected(b *VectorizedRowBatch) []int {
+	var out []int
+	b.Rows(func(i int) { out = append(out, i) })
+	return out
+}
+
+func TestArithColScalarLong(t *testing.T) {
+	b := fillLong([]int64{1, 2, 3, 4}, nil)
+	out := b.AddColumn(NewLongColumnVector(4))
+	e := &ArithColScalarLong{Op: Add, Input: 0, Out: out, Scalar: 10}
+	e.Evaluate(b)
+	want := []int64{11, 12, 13, 14}
+	for i, w := range want {
+		if b.Long(out).Vector[i] != w {
+			t.Fatalf("row %d = %d, want %d", i, b.Long(out).Vector[i], w)
+		}
+	}
+}
+
+func TestArithHonorsSelected(t *testing.T) {
+	// Figure 8's selected[] path: only live rows are computed.
+	b := fillLong([]int64{1, 2, 3, 4}, nil)
+	b.SelectedInUse = true
+	b.Selected[0], b.Selected[1] = 1, 3
+	b.Size = 2
+	out := b.AddColumn(NewLongColumnVector(4))
+	(&ArithColScalarLong{Op: Mul, Input: 0, Out: out, Scalar: 5}).Evaluate(b)
+	o := b.Long(out).Vector
+	if o[1] != 10 || o[3] != 20 {
+		t.Fatalf("selected rows wrong: %v", o)
+	}
+	if o[0] != 0 || o[2] != 0 {
+		t.Fatalf("unselected rows were computed: %v", o)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	b := fillLong([]int64{1, 2, 3}, []int{1})
+	out := b.AddColumn(NewLongColumnVector(3))
+	(&ArithColScalarLong{Op: Sub, Input: 0, Out: out, Scalar: 1}).Evaluate(b)
+	o := b.Long(out)
+	if o.NoNulls {
+		t.Fatal("NoNulls not cleared")
+	}
+	if !o.Null(1) || o.Null(0) || o.Null(2) {
+		t.Fatalf("null flags wrong: %v", o.IsNull)
+	}
+}
+
+func TestArithIsRepeating(t *testing.T) {
+	col := NewLongColumnVector(4)
+	col.IsRepeating = true
+	col.Vector[0] = 7
+	b := NewBatch(4, col)
+	b.Size = 4
+	out := b.AddColumn(NewLongColumnVector(4))
+	(&ArithColScalarLong{Op: Add, Input: 0, Out: out, Scalar: 1}).Evaluate(b)
+	o := b.Long(out)
+	if !o.IsRepeating || o.Vector[0] != 8 {
+		t.Fatalf("repeating fast path wrong: repeating=%v v0=%d", o.IsRepeating, o.Vector[0])
+	}
+}
+
+func TestArithColCol(t *testing.T) {
+	l := NewDoubleColumnVector(3)
+	r := NewDoubleColumnVector(3)
+	copy(l.Vector, []float64{1, 2, 3})
+	copy(r.Vector, []float64{10, 20, 30})
+	b := NewBatch(3, l, r)
+	b.Size = 3
+	out := b.AddColumn(NewDoubleColumnVector(3))
+	(&ArithColColDouble{Op: Mul, Left: 0, Right: 1, Out: out}).Evaluate(b)
+	want := []float64{10, 40, 90}
+	for i, w := range want {
+		if b.Double(out).Vector[i] != w {
+			t.Fatalf("row %d = %v", i, b.Double(out).Vector[i])
+		}
+	}
+}
+
+func TestDivisionByZeroYieldsNull(t *testing.T) {
+	l := NewDoubleColumnVector(2)
+	r := NewDoubleColumnVector(2)
+	copy(l.Vector, []float64{6, 8})
+	copy(r.Vector, []float64{2, 0})
+	b := NewBatch(2, l, r)
+	b.Size = 2
+	out := b.AddColumn(NewDoubleColumnVector(2))
+	(&ArithColColDouble{Op: Div, Left: 0, Right: 1, Out: out}).Evaluate(b)
+	o := b.Double(out)
+	if o.Vector[0] != 3 {
+		t.Fatalf("6/2 = %v", o.Vector[0])
+	}
+	if !o.Null(1) {
+		t.Fatal("8/0 did not yield NULL")
+	}
+}
+
+func TestCastLongToDouble(t *testing.T) {
+	b := fillLong([]int64{1, -2, 3}, []int{2})
+	out := b.AddColumn(NewDoubleColumnVector(3))
+	(&CastLongToDouble{Input: 0, Out: out}).Evaluate(b)
+	o := b.Double(out)
+	if o.Vector[0] != 1 || o.Vector[1] != -2 {
+		t.Fatalf("cast wrong: %v", o.Vector)
+	}
+	if !o.Null(2) {
+		t.Fatal("cast lost null")
+	}
+}
+
+func TestFilterColScalar(t *testing.T) {
+	b := fillLong([]int64{5, 10, 15, 20, 25}, nil)
+	(&FilterColScalarLong{Op: GT, Input: 0, Scalar: 12}).Filter(b)
+	got := selected(b)
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("selected = %v", got)
+	}
+	// Chain: subsequent filter narrows further.
+	(&FilterColScalarLong{Op: LT, Input: 0, Scalar: 22}).Filter(b)
+	got = selected(b)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("chained selected = %v", got)
+	}
+}
+
+func TestFilterRejectsNulls(t *testing.T) {
+	b := fillLong([]int64{1, 100, 100}, []int{1})
+	(&FilterColScalarLong{Op: GT, Input: 0, Scalar: 50}).Filter(b)
+	got := selected(b)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("selected = %v (nulls must fail predicates)", got)
+	}
+}
+
+func TestFilterRepeatingShortCircuit(t *testing.T) {
+	col := NewLongColumnVector(100)
+	col.IsRepeating = true
+	col.Vector[0] = 3
+	b := NewBatch(100, col)
+	b.Size = 100
+	(&FilterColScalarLong{Op: EQ, Input: 0, Scalar: 3}).Filter(b)
+	if b.Size != 100 || b.SelectedInUse {
+		t.Fatalf("all-pass repeating batch modified: size=%d", b.Size)
+	}
+	(&FilterColScalarLong{Op: EQ, Input: 0, Scalar: 4}).Filter(b)
+	if b.Size != 0 {
+		t.Fatalf("all-fail repeating batch kept %d rows", b.Size)
+	}
+}
+
+func TestFilterBetween(t *testing.T) {
+	b := fillLong([]int64{1, 5, 7, 9, 12}, nil)
+	(&FilterBetweenLong{Input: 0, Lo: 5, Hi: 9}).Filter(b)
+	got := selected(b)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("selected = %v", got)
+	}
+	bd := fillDouble([]float64{0.01, 0.05, 0.06, 0.99})
+	(&FilterBetweenDouble{Input: 0, Lo: 0.05, Hi: 0.07}).Filter(bd)
+	if got := selected(bd); len(got) != 2 {
+		t.Fatalf("double between = %v", got)
+	}
+}
+
+func TestFilterBytes(t *testing.T) {
+	col := NewBytesColumnVector(3)
+	col.Vector[0] = []byte("apple")
+	col.Vector[1] = []byte("banana")
+	col.Vector[2] = []byte("apple")
+	b := NewBatch(3, col)
+	b.Size = 3
+	(&FilterBytesColScalar{Op: EQ, Input: 0, Scalar: []byte("apple")}).Filter(b)
+	got := selected(b)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("selected = %v", got)
+	}
+}
+
+func TestFilterInList(t *testing.T) {
+	b := fillLong([]int64{1, 2, 3, 4, 5}, nil)
+	(&FilterLongInList{Input: 0, Set: map[int64]struct{}{2: {}, 4: {}}}).Filter(b)
+	got := selected(b)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("selected = %v", got)
+	}
+}
+
+func TestFilterIsNull(t *testing.T) {
+	b := fillLong([]int64{1, 2, 3}, []int{1})
+	NewFilterIsNull(0, false).Filter(b)
+	got := selected(b)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("IS NULL selected %v", got)
+	}
+	b2 := fillLong([]int64{1, 2, 3}, []int{1})
+	NewFilterIsNull(0, true).Filter(b2)
+	if got := selected(b2); len(got) != 2 {
+		t.Fatalf("IS NOT NULL selected %v", got)
+	}
+}
+
+func TestFilterOrUnionPreservesOrder(t *testing.T) {
+	b := fillLong([]int64{1, 50, 3, 99, 5}, nil)
+	or := &FilterOr{Children: []FilterExpression{
+		&FilterColScalarLong{Op: LT, Input: 0, Scalar: 4},
+		&FilterColScalarLong{Op: GT, Input: 0, Scalar: 90},
+	}}
+	or.Filter(b)
+	got := selected(b)
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("selected = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFilterAndShortCircuits(t *testing.T) {
+	b := fillLong([]int64{1, 2, 3}, nil)
+	and := &FilterAnd{Children: []FilterExpression{
+		&FilterColScalarLong{Op: GT, Input: 0, Scalar: 100}, // empties the batch
+		&FilterColScalarLong{Op: GT, Input: 0, Scalar: 0},
+	}}
+	and.Filter(b)
+	if b.Size != 0 {
+		t.Fatalf("size = %d", b.Size)
+	}
+}
+
+func TestConstExpressions(t *testing.T) {
+	b := fillLong([]int64{1, 2}, nil)
+	out := b.AddColumn(NewDoubleColumnVector(2))
+	(&ConstDouble{Out: out, Value: 2.5}).Evaluate(b)
+	o := b.Double(out)
+	if !o.IsRepeating || o.Vector[0] != 2.5 {
+		t.Fatalf("const double: %+v", o)
+	}
+	nullOut := b.AddColumn(NewLongColumnVector(2))
+	(&ConstLong{Out: nullOut, Null: true}).Evaluate(b)
+	if !b.Long(nullOut).Null(1) {
+		t.Fatal("null const not null")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	b := fillLong([]int64{1, 2, 3}, []int{0})
+	b.SelectedInUse = true
+	b.Size = 1
+	b.Reset()
+	if b.Size != 0 || b.SelectedInUse {
+		t.Fatal("batch not reset")
+	}
+	col := b.Long(0)
+	if !col.NoNulls || col.IsNull[0] {
+		t.Fatal("column flags not reset")
+	}
+}

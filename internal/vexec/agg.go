@@ -1,0 +1,253 @@
+// agg.go implements vectorized map-side hash aggregation: aggregate
+// arguments are evaluated as column vectors, and the typed accumulators are
+// updated straight from the vectors — no per-row boxing until the partial
+// results are shipped to the shuffle.
+package vexec
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// compileHashAgg compiles the Partial group-by terminal.
+func (c *compiler) compileHashAgg(gby *plan.GroupBy, rs *plan.ReduceSink, ctx *exec.Context) (terminal, error) {
+	t := &hashAggTerminal{
+		gby:    gby,
+		rs:     rs,
+		ctx:    ctx,
+		groups: map[string]*aggGroup{},
+	}
+	for _, k := range gby.Keys {
+		col, kind, err := c.compileValue(k)
+		if err != nil {
+			return nil, err
+		}
+		t.keyCols = append(t.keyCols, col)
+		t.keyKinds = append(t.keyKinds, kind)
+	}
+	for _, a := range gby.Aggs {
+		if a.Arg == nil {
+			t.argCols = append(t.argCols, -1)
+			t.argKinds = append(t.argKinds, types.Long)
+			continue
+		}
+		col, kind, err := c.compileValue(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		t.argCols = append(t.argCols, col)
+		t.argKinds = append(t.argKinds, kind)
+	}
+	return t, nil
+}
+
+// aggAcc is one typed accumulator.
+type aggAcc struct {
+	count int64
+	isum  int64
+	fsum  float64
+	minL  int64
+	maxL  int64
+	minD  float64
+	maxD  float64
+	minB  []byte
+	maxB  []byte
+	seen  bool
+}
+
+type aggGroup struct {
+	keys []any
+	accs []aggAcc
+}
+
+type hashAggTerminal struct {
+	gby      *plan.GroupBy
+	rs       *plan.ReduceSink
+	ctx      *exec.Context
+	keyCols  []int
+	keyKinds []types.Kind
+	argCols  []int
+	argKinds []types.Kind
+	groups   map[string]*aggGroup
+	order    []string
+	keyBuf   []any
+}
+
+func (t *hashAggTerminal) consume(b *vector.VectorizedRowBatch) error {
+	if t.keyBuf == nil {
+		t.keyBuf = make([]any, len(t.keyCols))
+	}
+	var failed error
+	b.Rows(func(i int) {
+		if failed != nil {
+			return
+		}
+		for k := range t.keyCols {
+			t.keyBuf[k] = columnValue(b, t.keyCols[k], t.keyKinds[k], i)
+		}
+		kb, err := exec.EncodeKey(t.keyBuf, nil)
+		if err != nil {
+			failed = err
+			return
+		}
+		g, ok := t.groups[string(kb)]
+		if !ok {
+			g = &aggGroup{keys: append([]any(nil), t.keyBuf...), accs: make([]aggAcc, len(t.gby.Aggs))}
+			t.groups[string(kb)] = g
+			t.order = append(t.order, string(kb))
+		}
+		for a := range t.gby.Aggs {
+			failed = t.update(&g.accs[a], t.gby.Aggs[a], a, b, i)
+			if failed != nil {
+				return
+			}
+		}
+	})
+	return failed
+}
+
+// update folds row i of the batch into one accumulator, reading the typed
+// vector directly.
+func (t *hashAggTerminal) update(acc *aggAcc, desc plan.AggDesc, a int, b *vector.VectorizedRowBatch, i int) error {
+	col := t.argCols[a]
+	if col < 0 { // count(*)
+		acc.count++
+		return nil
+	}
+	switch v := b.Columns[col].(type) {
+	case *vector.LongColumnVector:
+		if v.Null(i) {
+			return nil
+		}
+		x := v.Value(i)
+		switch desc.Func {
+		case plan.AggCount:
+			acc.count++
+		case plan.AggSum, plan.AggAvg:
+			acc.isum += x
+			acc.fsum += float64(x)
+			acc.count++
+		case plan.AggMin:
+			if !acc.seen || x < acc.minL {
+				acc.minL = x
+			}
+		case plan.AggMax:
+			if !acc.seen || x > acc.maxL {
+				acc.maxL = x
+			}
+		}
+		acc.seen = true
+	case *vector.DoubleColumnVector:
+		if v.Null(i) {
+			return nil
+		}
+		x := v.Value(i)
+		switch desc.Func {
+		case plan.AggCount:
+			acc.count++
+		case plan.AggSum, plan.AggAvg:
+			acc.fsum += x
+			acc.count++
+		case plan.AggMin:
+			if !acc.seen || x < acc.minD {
+				acc.minD = x
+			}
+		case plan.AggMax:
+			if !acc.seen || x > acc.maxD {
+				acc.maxD = x
+			}
+		}
+		acc.seen = true
+	case *vector.BytesColumnVector:
+		if v.Null(i) {
+			return nil
+		}
+		x := v.Value(i)
+		switch desc.Func {
+		case plan.AggCount:
+			acc.count++
+		case plan.AggMin:
+			if !acc.seen || bytes.Compare(x, acc.minB) < 0 {
+				acc.minB = append(acc.minB[:0], x...)
+			}
+		case plan.AggMax:
+			if !acc.seen || bytes.Compare(x, acc.maxB) > 0 {
+				acc.maxB = append(acc.maxB[:0], x...)
+			}
+		default:
+			return fmt.Errorf("vexec: %s over string column", desc.Func)
+		}
+		acc.seen = true
+	}
+	return nil
+}
+
+// flush ships one partial row per group, laid out exactly as the row-mode
+// GBYPartial emits them (keys, then flattened partial states), so the
+// reduce-side Final group-by is engine-agnostic.
+func (t *hashAggTerminal) flush() error {
+	for _, kb := range t.order {
+		g := t.groups[kb]
+		row := make(types.Row, 0, len(g.keys)+len(g.accs)*2)
+		row = append(row, g.keys...)
+		for a := range g.accs {
+			row = append(row, t.partial(&g.accs[a], t.gby.Aggs[a], a)...)
+		}
+		if err := emitToReduceSink(t.ctx, t.rs, row); err != nil {
+			return err
+		}
+	}
+	t.groups = map[string]*aggGroup{}
+	t.order = nil
+	return nil
+}
+
+func (t *hashAggTerminal) partial(acc *aggAcc, desc plan.AggDesc, a int) []any {
+	switch desc.Func {
+	case plan.AggCount:
+		return []any{acc.count}
+	case plan.AggSum:
+		if acc.count == 0 {
+			return []any{nil}
+		}
+		if desc.ResultKind() == types.Long {
+			return []any{acc.isum}
+		}
+		return []any{acc.fsum}
+	case plan.AggAvg:
+		return []any{acc.fsum, acc.count}
+	case plan.AggMin:
+		return []any{t.minMaxValue(acc, a, true)}
+	case plan.AggMax:
+		return []any{t.minMaxValue(acc, a, false)}
+	}
+	return nil
+}
+
+func (t *hashAggTerminal) minMaxValue(acc *aggAcc, a int, min bool) any {
+	if !acc.seen {
+		return nil
+	}
+	switch {
+	case t.argKinds[a].IsFloating():
+		if min {
+			return acc.minD
+		}
+		return acc.maxD
+	case t.argKinds[a] == types.String:
+		if min {
+			return string(acc.minB)
+		}
+		return string(acc.maxB)
+	default:
+		if min {
+			return acc.minL
+		}
+		return acc.maxL
+	}
+}

@@ -1,0 +1,442 @@
+// Package vexec implements the vectorized query execution engine of paper
+// §6: map-side fragments marked by the vectorization optimizer (§6.4) are
+// compiled into vectorized expression programs and run over
+// VectorizedRowBatch batches read directly from ORC files (§6.5), instead
+// of one row at a time. Row materialization happens only at fragment
+// boundaries (ReduceSink / FileSink).
+//
+// compile.go rewrites row-mode plan expressions into trees of the
+// specialized vectorized expressions of internal/vector, assigning scratch
+// columns for intermediate results — the expression replacement step of
+// §6.4's optimizer.
+package vexec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// program is a compiled vectorized fragment: a sequence of steps applied to
+// each batch, then a terminal.
+type program struct {
+	batch *vector.VectorizedRowBatch
+	steps []step
+	term  terminal
+}
+
+// step is one batch transformation.
+type step interface {
+	run(b *vector.VectorizedRowBatch) error
+}
+
+// terminal consumes the surviving rows of each batch and flushes at end.
+type terminal interface {
+	consume(b *vector.VectorizedRowBatch) error
+	flush() error
+}
+
+type evalStep struct{ expr vector.Expression }
+
+func (s evalStep) run(b *vector.VectorizedRowBatch) error { s.expr.Evaluate(b); return nil }
+
+type filterStep struct{ f vector.FilterExpression }
+
+func (s filterStep) run(b *vector.VectorizedRowBatch) error { s.f.Filter(b); return nil }
+
+// projectStep swaps the logical-to-physical column mapping after a Select.
+type projectStep struct {
+	prog    *colState
+	mapping []int
+	kinds   []types.Kind
+}
+
+func (s projectStep) run(*vector.VectorizedRowBatch) error {
+	s.prog.colMap = s.mapping
+	s.prog.kinds = s.kinds
+	return nil
+}
+
+// colState tracks where each logical column of the current operator's
+// schema lives in the batch.
+type colState struct {
+	colMap []int
+	kinds  []types.Kind
+}
+
+// compiler builds programs.
+type compiler struct {
+	batch *vector.VectorizedRowBatch
+	state *colState
+	steps []step
+	// exprSteps buffers the value expressions needed before a pending
+	// filter.
+	capacity int
+}
+
+func (c *compiler) addScratch(k types.Kind) int {
+	var col vector.ColumnVector
+	switch {
+	case k.IsInteger() || k == types.Boolean || k == types.Timestamp:
+		col = vector.NewLongColumnVector(c.capacity)
+	case k.IsFloating():
+		col = vector.NewDoubleColumnVector(c.capacity)
+	default:
+		col = vector.NewBytesColumnVector(c.capacity)
+	}
+	return c.batch.AddColumn(col)
+}
+
+// compileValue compiles a value-producing expression, returning the
+// physical batch column holding the result.
+func (c *compiler) compileValue(e plan.Expr) (int, types.Kind, error) {
+	switch t := e.(type) {
+	case *plan.ColExpr:
+		if t.Idx >= len(c.state.colMap) {
+			return 0, 0, fmt.Errorf("vexec: column index %d out of range", t.Idx)
+		}
+		if c.state.colMap[t.Idx] < 0 {
+			return 0, 0, fmt.Errorf("vexec: column %d was pruned but is referenced", t.Idx)
+		}
+		return c.state.colMap[t.Idx], c.state.kinds[t.Idx], nil
+	case *plan.ConstExpr:
+		return c.compileConst(t)
+	case *plan.ArithExpr:
+		return c.compileArith(t)
+	}
+	return 0, 0, fmt.Errorf("vexec: no vectorized value expression for %T", e)
+}
+
+func (c *compiler) compileConst(t *plan.ConstExpr) (int, types.Kind, error) {
+	out := c.addScratch(t.K)
+	switch {
+	case t.Value == nil:
+		// Typed NULL constant.
+		switch {
+		case t.K.IsFloating():
+			c.steps = append(c.steps, evalStep{&vector.ConstDouble{Out: out, Null: true}})
+		case t.K == types.String || t.K == types.Binary:
+			c.steps = append(c.steps, evalStep{&vector.ConstBytes{Out: out, Null: true}})
+		default:
+			c.steps = append(c.steps, evalStep{&vector.ConstLong{Out: out, Null: true}})
+		}
+	case t.K.IsFloating():
+		c.steps = append(c.steps, evalStep{&vector.ConstDouble{Out: out, Value: t.Value.(float64)}})
+	case t.K == types.String:
+		c.steps = append(c.steps, evalStep{&vector.ConstBytes{Out: out, Value: []byte(t.Value.(string))}})
+	case t.K == types.Boolean:
+		v := int64(0)
+		if t.Value.(bool) {
+			v = 1
+		}
+		c.steps = append(c.steps, evalStep{&vector.ConstLong{Out: out, Value: v}})
+	default:
+		c.steps = append(c.steps, evalStep{&vector.ConstLong{Out: out, Value: t.Value.(int64)}})
+	}
+	return out, t.K, nil
+}
+
+// asDouble inserts a cast when a long column feeds a double context.
+func (c *compiler) asDouble(col int, k types.Kind) int {
+	if k.IsFloating() {
+		return col
+	}
+	out := c.addScratch(types.Double)
+	c.steps = append(c.steps, evalStep{&vector.CastLongToDouble{Input: col, Out: out}})
+	return out
+}
+
+func arithOp(op string) (vector.ArithOp, error) {
+	switch op {
+	case "+":
+		return vector.Add, nil
+	case "-":
+		return vector.Sub, nil
+	case "*":
+		return vector.Mul, nil
+	case "/":
+		return vector.Div, nil
+	}
+	return 0, fmt.Errorf("vexec: bad arithmetic operator %q", op)
+}
+
+// compileArith picks the specialized variant per operand pattern —
+// exactly the paper's per-type, per-pattern expression families (§6.2).
+func (c *compiler) compileArith(t *plan.ArithExpr) (int, types.Kind, error) {
+	op, err := arithOp(t.Op)
+	if err != nil {
+		return 0, 0, err
+	}
+	resKind := t.Kind()
+	lConst, lIsConst := constOperand(t.Left)
+	rConst, rIsConst := constOperand(t.Right)
+
+	// Scalar-involving forms avoid materializing constant columns.
+	if rIsConst && !lIsConst {
+		lCol, lKind, err := c.compileValue(t.Left)
+		if err != nil {
+			return 0, 0, err
+		}
+		out := c.addScratch(resKind)
+		if resKind.IsFloating() {
+			lCol = c.asDouble(lCol, lKind)
+			c.steps = append(c.steps, evalStep{&vector.ArithColScalarDouble{
+				Op: op, Input: lCol, Out: out, Scalar: toF(rConst)}})
+		} else {
+			c.steps = append(c.steps, evalStep{&vector.ArithColScalarLong{
+				Op: op, Input: lCol, Out: out, Scalar: rConst.(int64)}})
+		}
+		return out, resKind, nil
+	}
+	if lIsConst && !rIsConst {
+		rCol, rKind, err := c.compileValue(t.Right)
+		if err != nil {
+			return 0, 0, err
+		}
+		out := c.addScratch(resKind)
+		if resKind.IsFloating() {
+			rCol = c.asDouble(rCol, rKind)
+			c.steps = append(c.steps, evalStep{&vector.ArithScalarColDouble{
+				Op: op, Input: rCol, Out: out, Scalar: toF(lConst)}})
+		} else {
+			c.steps = append(c.steps, evalStep{&vector.ArithScalarColLong{
+				Op: op, Input: rCol, Out: out, Scalar: lConst.(int64)}})
+		}
+		return out, resKind, nil
+	}
+
+	lCol, lKind, err := c.compileValue(t.Left)
+	if err != nil {
+		return 0, 0, err
+	}
+	rCol, rKind, err := c.compileValue(t.Right)
+	if err != nil {
+		return 0, 0, err
+	}
+	out := c.addScratch(resKind)
+	if resKind.IsFloating() {
+		lCol = c.asDouble(lCol, lKind)
+		rCol = c.asDouble(rCol, rKind)
+		c.steps = append(c.steps, evalStep{&vector.ArithColColDouble{Op: op, Left: lCol, Right: rCol, Out: out}})
+	} else {
+		c.steps = append(c.steps, evalStep{&vector.ArithColColLong{Op: op, Left: lCol, Right: rCol, Out: out}})
+	}
+	return out, resKind, nil
+}
+
+func constOperand(e plan.Expr) (any, bool) {
+	if k, ok := e.(*plan.ConstExpr); ok && k.Value != nil {
+		return k.Value, true
+	}
+	return nil, false
+}
+
+func toF(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic(fmt.Sprintf("vexec: non-numeric constant %T", v))
+}
+
+func cmpOp(op string) (vector.CmpOp, error) {
+	switch op {
+	case "=":
+		return vector.EQ, nil
+	case "<>":
+		return vector.NE, nil
+	case "<":
+		return vector.LT, nil
+	case "<=":
+		return vector.LE, nil
+	case ">":
+		return vector.GT, nil
+	case ">=":
+		return vector.GE, nil
+	}
+	return 0, fmt.Errorf("vexec: bad comparison operator %q", op)
+}
+
+func flipCmp(op vector.CmpOp) vector.CmpOp {
+	switch op {
+	case vector.LT:
+		return vector.GT
+	case vector.LE:
+		return vector.GE
+	case vector.GT:
+		return vector.LT
+	case vector.GE:
+		return vector.LE
+	}
+	return op
+}
+
+// compileFilter compiles a boolean expression in filter context: the
+// returned FilterExpression narrows selected[]; prerequisite value steps
+// are appended to c.steps.
+func (c *compiler) compileFilter(e plan.Expr) (vector.FilterExpression, error) {
+	switch t := e.(type) {
+	case *plan.LogicalExpr:
+		l, err := c.compileFilter(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileFilter(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "AND" {
+			return &vector.FilterAnd{Children: []vector.FilterExpression{l, r}}, nil
+		}
+		return &vector.FilterOr{Children: []vector.FilterExpression{l, r}}, nil
+	case *plan.CompareExpr:
+		return c.compileComparison(t)
+	case *plan.BetweenExpr:
+		col, kind, err := c.compileValue(t.Operand)
+		if err != nil {
+			return nil, err
+		}
+		lo, _ := constOperand(t.Lo)
+		hi, _ := constOperand(t.Hi)
+		if lo == nil || hi == nil {
+			return nil, fmt.Errorf("vexec: BETWEEN requires constant bounds")
+		}
+		if kind.IsFloating() {
+			return &vector.FilterBetweenDouble{Input: col, Lo: toF(lo), Hi: toF(hi)}, nil
+		}
+		loI, okLo := lo.(int64)
+		hiI, okHi := hi.(int64)
+		if !okLo || !okHi {
+			// Integer column with float bounds: widen the column.
+			col = c.asDouble(col, kind)
+			return &vector.FilterBetweenDouble{Input: col, Lo: toF(lo), Hi: toF(hi)}, nil
+		}
+		return &vector.FilterBetweenLong{Input: col, Lo: loI, Hi: hiI}, nil
+	case *plan.InExpr:
+		col, kind, err := c.compileValue(t.Operand)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case kind == types.String:
+			set := map[string]struct{}{}
+			for _, item := range t.List {
+				v, ok := constOperand(item)
+				if !ok {
+					return nil, fmt.Errorf("vexec: IN requires constant list")
+				}
+				set[v.(string)] = struct{}{}
+			}
+			return &vector.FilterBytesInList{Input: col, Set: set}, nil
+		case kind.IsInteger() || kind == types.Timestamp:
+			set := map[int64]struct{}{}
+			for _, item := range t.List {
+				v, ok := constOperand(item)
+				if !ok {
+					return nil, fmt.Errorf("vexec: IN requires constant list")
+				}
+				iv, ok := v.(int64)
+				if !ok {
+					return nil, fmt.Errorf("vexec: IN list type mismatch")
+				}
+				set[iv] = struct{}{}
+			}
+			return &vector.FilterLongInList{Input: col, Set: set}, nil
+		}
+		return nil, fmt.Errorf("vexec: IN unsupported for kind %s", kind)
+	case *plan.IsNullExpr:
+		col, _, err := c.compileValue(t.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return vector.NewFilterIsNull(col, t.Negated), nil
+	case *plan.ColExpr:
+		if t.K != types.Boolean {
+			return nil, fmt.Errorf("vexec: non-boolean filter column")
+		}
+		col, _, err := c.compileValue(t)
+		if err != nil {
+			return nil, err
+		}
+		return &vector.FilterBoolColumn{Input: col}, nil
+	}
+	return nil, fmt.Errorf("vexec: no vectorized filter for %T", e)
+}
+
+func (c *compiler) compileComparison(t *plan.CompareExpr) (vector.FilterExpression, error) {
+	op, err := cmpOp(t.Op)
+	if err != nil {
+		return nil, err
+	}
+	lConst, lIsConst := constOperand(t.Left)
+	rConst, rIsConst := constOperand(t.Right)
+	switch {
+	case rIsConst && !lIsConst:
+		col, kind, err := c.compileValue(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		return c.colScalarFilter(op, col, kind, rConst)
+	case lIsConst && !rIsConst:
+		col, kind, err := c.compileValue(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return c.colScalarFilter(flipCmp(op), col, kind, lConst)
+	default:
+		lCol, lKind, err := c.compileValue(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		rCol, rKind, err := c.compileValue(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case lKind.IsFloating() || rKind.IsFloating():
+			lCol = c.asDouble(lCol, lKind)
+			rCol = c.asDouble(rCol, rKind)
+			return &vector.FilterColColDouble{Op: op, Left: lCol, Right: rCol}, nil
+		case lKind == types.String && rKind == types.String:
+			return nil, fmt.Errorf("vexec: string col-col comparison not specialized")
+		default:
+			return &vector.FilterColColLong{Op: op, Left: lCol, Right: rCol}, nil
+		}
+	}
+}
+
+func (c *compiler) colScalarFilter(op vector.CmpOp, col int, kind types.Kind, lit any) (vector.FilterExpression, error) {
+	switch {
+	case kind == types.String:
+		s, ok := lit.(string)
+		if !ok {
+			return nil, fmt.Errorf("vexec: comparing string column with %T", lit)
+		}
+		return &vector.FilterBytesColScalar{Op: op, Input: col, Scalar: []byte(s)}, nil
+	case kind.IsFloating():
+		return &vector.FilterColScalarDouble{Op: op, Input: col, Scalar: toF(lit)}, nil
+	case kind == types.Boolean:
+		b, ok := lit.(bool)
+		if !ok {
+			return nil, fmt.Errorf("vexec: comparing boolean column with %T", lit)
+		}
+		v := int64(0)
+		if b {
+			v = 1
+		}
+		return &vector.FilterColScalarLong{Op: op, Input: col, Scalar: v}, nil
+	default:
+		switch x := lit.(type) {
+		case int64:
+			return &vector.FilterColScalarLong{Op: op, Input: col, Scalar: x}, nil
+		case float64:
+			dcol := c.asDouble(col, kind)
+			return &vector.FilterColScalarDouble{Op: op, Input: dcol, Scalar: x}, nil
+		}
+		return nil, fmt.Errorf("vexec: comparing %s column with %T", kind, lit)
+	}
+}

@@ -1,0 +1,258 @@
+// scan.go drives a vectorized map fragment: ORC batches flow through the
+// compiled program (filters and projections), then the terminal —
+// FileSink, ReduceSink, or a vectorized partial group-by — materializes
+// rows only at the fragment boundary.
+package vexec
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/exec"
+	"repro/internal/orc"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// batchSize is the configured batch row count; 1024 by default (§6.1: one
+// batch fits the processor cache). SetBatchSize adjusts it for the batch
+// size ablation.
+var batchSize = vector.DefaultBatchSize
+
+// SetBatchSize overrides the batch size; n <= 0 restores the default. Not
+// safe to change while queries are running.
+func SetBatchSize(n int) {
+	if n <= 0 {
+		n = vector.DefaultBatchSize
+	}
+	batchSize = n
+}
+
+// RunVectorizedScan executes one marked map chain over one ORC file.
+func RunVectorizedScan(fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int) error {
+	fr, err := fs.Open(path)
+	if err != nil {
+		return err
+	}
+	fr.SetNode(node)
+	r, err := orc.NewReader(fr)
+	if err != nil {
+		return err
+	}
+	include := scan.Cols
+	if scan.Needed != nil {
+		include = nil
+		for _, idx := range scan.Needed {
+			include = append(include, scan.Cols[idx])
+		}
+	}
+	br, err := r.Batches(orc.ReadOptions{Include: include, SArg: scan.SArg})
+	if err != nil {
+		return err
+	}
+	batch := br.NewBatchFor(batchSize)
+	prog, err := CompileChain(scan, batch, ctx)
+	if err != nil {
+		return err
+	}
+	for {
+		ok, err := br.Next(batch)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := prog.processBatch(batch); err != nil {
+			return err
+		}
+	}
+	return prog.term.flush()
+}
+
+func (p *program) processBatch(b *vector.VectorizedRowBatch) error {
+	for _, s := range p.steps {
+		if err := s.run(b); err != nil {
+			return err
+		}
+		if b.Size == 0 {
+			return nil
+		}
+	}
+	return p.term.consume(b)
+}
+
+// CompileChain compiles the operator chain hanging off a marked scan. The
+// vectorization optimizer validated the shape: Filter* / Select? ending in
+// GroupBy(Partial)+ReduceSink, ReduceSink, or FileSink, with single
+// children throughout.
+func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *exec.Context) (*program, error) {
+	if len(scan.Children) != 1 {
+		return nil, fmt.Errorf("vexec: scan %s has %d consumers; vectorization requires 1", scan.Label(), len(scan.Children))
+	}
+	// Logical columns map to physical batch columns; pruned-away columns
+	// map to -1 (any reference would be a pruning bug and fails loudly in
+	// compileValue).
+	state := &colState{}
+	phys := map[int]int{}
+	if scan.Needed != nil {
+		for j, idx := range scan.Needed {
+			phys[idx] = j
+		}
+	} else {
+		for i := range scan.Schema().Cols {
+			phys[i] = i
+		}
+	}
+	for i, col := range scan.Schema().Cols {
+		p, ok := phys[i]
+		if !ok {
+			p = -1
+		}
+		state.colMap = append(state.colMap, p)
+		state.kinds = append(state.kinds, col.Kind)
+	}
+	c := &compiler{batch: batch, state: state, capacity: batch.Columns[0].Capacity()}
+
+	node := scan.Children[0]
+	for {
+		switch t := node.(type) {
+		case *plan.Filter:
+			f, err := c.compileFilter(t.Cond)
+			if err != nil {
+				return nil, err
+			}
+			c.steps = append(c.steps, filterStep{f})
+		case *plan.Select:
+			mapping := make([]int, len(t.Exprs))
+			kinds := make([]types.Kind, len(t.Exprs))
+			for i, e := range t.Exprs {
+				col, kind, err := c.compileValue(e)
+				if err != nil {
+					return nil, err
+				}
+				mapping[i] = col
+				kinds[i] = kind
+			}
+			c.steps = append(c.steps, projectStep{prog: state, mapping: mapping, kinds: kinds})
+		case *plan.GroupBy:
+			if t.Mode != plan.GBYPartial {
+				return nil, fmt.Errorf("vexec: unexpected %s group-by in map chain", t.Mode)
+			}
+			rs, ok := singleChild(t).(*plan.ReduceSink)
+			if !ok {
+				return nil, fmt.Errorf("vexec: partial group-by must feed a ReduceSink")
+			}
+			term, err := c.compileHashAgg(t, rs, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &program{batch: batch, steps: c.steps, term: term}, nil
+		case *plan.ReduceSink:
+			return &program{batch: batch, steps: c.steps, term: newRowEmitter(c, t, nil, ctx)}, nil
+		case *plan.FileSink:
+			return &program{batch: batch, steps: c.steps, term: newRowEmitter(c, nil, t, ctx)}, nil
+		default:
+			return nil, fmt.Errorf("vexec: unsupported operator %s in vectorized chain", node.Label())
+		}
+		node = singleChild(node)
+		if node == nil {
+			return nil, fmt.Errorf("vexec: chain ended without a sink")
+		}
+	}
+}
+
+func singleChild(n plan.Node) plan.Node {
+	if len(n.Base().Children) != 1 {
+		return nil
+	}
+	return n.Base().Children[0]
+}
+
+// rowEmitter materializes surviving rows at the fragment boundary and
+// forwards them to a ReduceSink or FileSink, the same wire formats the
+// row-mode engine uses.
+type rowEmitter struct {
+	state *colState
+	rs    *plan.ReduceSink
+	fsink *plan.FileSink
+	ctx   *exec.Context
+	row   types.Row
+}
+
+func newRowEmitter(c *compiler, rs *plan.ReduceSink, fsink *plan.FileSink, ctx *exec.Context) *rowEmitter {
+	return &rowEmitter{state: c.state, rs: rs, fsink: fsink, ctx: ctx}
+}
+
+func (e *rowEmitter) consume(b *vector.VectorizedRowBatch) error {
+	width := len(e.state.colMap)
+	if e.row == nil {
+		e.row = make(types.Row, width)
+	}
+	var failed error
+	b.Rows(func(i int) {
+		if failed != nil {
+			return
+		}
+		for c := 0; c < width; c++ {
+			e.row[c] = columnValue(b, e.state.colMap[c], e.state.kinds[c], i)
+		}
+		if e.rs != nil {
+			failed = emitToReduceSink(e.ctx, e.rs, e.row)
+		} else {
+			failed = e.ctx.SinkRow(e.fsink.Dest, e.row.Clone())
+		}
+	})
+	return failed
+}
+
+func (e *rowEmitter) flush() error { return nil }
+
+// columnValue boxes one vector cell; only boundary code pays this cost.
+func columnValue(b *vector.VectorizedRowBatch, col int, kind types.Kind, i int) any {
+	switch v := b.Columns[col].(type) {
+	case *vector.LongColumnVector:
+		if v.Null(i) {
+			return nil
+		}
+		if kind == types.Boolean {
+			return v.Value(i) != 0
+		}
+		return v.Value(i)
+	case *vector.DoubleColumnVector:
+		if v.Null(i) {
+			return nil
+		}
+		return v.Value(i)
+	case *vector.BytesColumnVector:
+		if v.Null(i) {
+			return nil
+		}
+		if kind == types.Binary {
+			out := make([]byte, len(v.Value(i)))
+			copy(out, v.Value(i))
+			return out
+		}
+		return string(v.Value(i))
+	}
+	return nil
+}
+
+// emitToReduceSink encodes and ships one row, identically to the row-mode
+// reduceSinkOp (the shuffle is not vectorized, matching Hive).
+func emitToReduceSink(ctx *exec.Context, rs *plan.ReduceSink, row types.Row) error {
+	keyVals := make([]any, len(rs.Keys))
+	for i, k := range rs.Keys {
+		keyVals[i] = k.Eval(row)
+	}
+	key, err := exec.EncodeKey(keyVals, rs.SortDesc)
+	if err != nil {
+		return err
+	}
+	value, err := exec.EncodeRow(rs.Out, row)
+	if err != nil {
+		return err
+	}
+	return ctx.EmitShuffle(rs, key, rs.Tag, value)
+}

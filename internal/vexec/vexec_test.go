@@ -1,0 +1,229 @@
+package vexec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/exec"
+	"repro/internal/orc"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// buildORC writes rows into a one-table DFS warehouse and returns the fs
+// and file path.
+func buildORC(t *testing.T, schema *types.Schema, rows []types.Row) (*dfs.FS, string) {
+	t.Helper()
+	fs := dfs.New()
+	fw, err := fs.Create("/t/data.orc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := orc.NewWriter(fw, schema, &orc.WriterOptions{RowIndexStride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+	return fs, "/t/data.orc"
+}
+
+// fragment builds TS -> Filter? -> Select? -> FileSink plan nodes.
+type fragmentSpec struct {
+	schema *types.Schema
+	filter plan.Expr
+	sel    []plan.Expr
+}
+
+func buildFragment(spec fragmentSpec) *plan.TableScan {
+	p := &plan.Plan{}
+	scan := p.NewNode(&plan.TableScan{Table: "t"}).(*plan.TableScan)
+	scan.Out = plan.FromTableSchema("t", spec.schema)
+	for _, c := range spec.schema.Columns {
+		scan.Cols = append(scan.Cols, c.Name)
+	}
+	var top plan.Node = scan
+	if spec.filter != nil {
+		f := p.NewNode(&plan.Filter{Cond: spec.filter}).(*plan.Filter)
+		f.Out = top.Schema()
+		plan.Connect(top, f)
+		top = f
+	}
+	if spec.sel != nil {
+		s := p.NewNode(&plan.Select{Exprs: spec.sel}).(*plan.Select)
+		cols := make([]plan.Column, len(spec.sel))
+		for i, e := range spec.sel {
+			cols[i] = plan.Column{Name: "c", Kind: e.Kind()}
+		}
+		s.Out = plan.NewSchema(cols...)
+		plan.Connect(top, s)
+		top = s
+	}
+	fs := p.NewNode(&plan.FileSink{}).(*plan.FileSink)
+	fs.Out = top.Schema()
+	plan.Connect(top, fs)
+	return scan
+}
+
+// runFragment executes the fragment over the data and collects sink rows.
+func runFragment(t *testing.T, schema *types.Schema, rows []types.Row, spec fragmentSpec) []types.Row {
+	t.Helper()
+	fs, path := buildORC(t, schema, rows)
+	scan := buildFragment(spec)
+	var out []types.Row
+	ctx := &exec.Context{
+		SinkRow: func(_ string, row types.Row) error {
+			out = append(out, row.Clone())
+			return nil
+		},
+	}
+	if err := RunVectorizedScan(fs, path, scan, ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func numSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("a", types.Primitive(types.Long)),
+		types.Col("b", types.Primitive(types.Double)),
+		types.Col("s", types.Primitive(types.String)),
+	)
+}
+
+func numRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{int64(i), float64(i) / 2, []string{"x", "y", "z"}[i%3]}
+	}
+	return rows
+}
+
+func col(idx int, k types.Kind) *plan.ColExpr { return &plan.ColExpr{Idx: idx, K: k} }
+func lit(v any, k types.Kind) *plan.ConstExpr { return &plan.ConstExpr{Value: v, K: k} }
+
+func TestVectorizedFilterProject(t *testing.T) {
+	// SELECT a + 10, b * 2 WHERE a >= 5 AND a < 8
+	mul, _ := plan.NewArith("*", col(1, types.Double), lit(2.0, types.Double))
+	add, _ := plan.NewArith("+", col(0, types.Long), lit(int64(10), types.Long))
+	out := runFragment(t, numSchema(), numRows(300), fragmentSpec{
+		schema: numSchema(),
+		filter: &plan.LogicalExpr{Op: "AND",
+			Left:  &plan.CompareExpr{Op: ">=", Left: col(0, types.Long), Right: lit(int64(5), types.Long)},
+			Right: &plan.CompareExpr{Op: "<", Left: col(0, types.Long), Right: lit(int64(8), types.Long)},
+		},
+		sel: []plan.Expr{add, mul},
+	})
+	// Selected rows a=5,6,7 carry b=2.5,3.0,3.5.
+	want := []types.Row{
+		{int64(15), 5.0},
+		{int64(16), 6.0},
+		{int64(17), 7.0},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}
+
+func TestVectorizedStringFilter(t *testing.T) {
+	out := runFragment(t, numSchema(), numRows(30), fragmentSpec{
+		schema: numSchema(),
+		filter: &plan.CompareExpr{Op: "=", Left: col(2, types.String), Right: lit("y", types.String)},
+		sel:    []plan.Expr{col(0, types.Long)},
+	})
+	if len(out) != 10 {
+		t.Fatalf("rows = %d, want 10", len(out))
+	}
+	for _, r := range out {
+		if r[0].(int64)%3 != 1 {
+			t.Fatalf("wrong row selected: %v", r)
+		}
+	}
+}
+
+func TestVectorizedBetweenAndIn(t *testing.T) {
+	out := runFragment(t, numSchema(), numRows(100), fragmentSpec{
+		schema: numSchema(),
+		filter: &plan.LogicalExpr{Op: "AND",
+			Left: &plan.BetweenExpr{Operand: col(1, types.Double),
+				Lo: lit(2.0, types.Double), Hi: lit(4.0, types.Double)},
+			Right: &plan.InExpr{Operand: col(0, types.Long),
+				List: []plan.Expr{lit(int64(4), types.Long), lit(int64(6), types.Long), lit(int64(99), types.Long)}},
+		},
+		sel: []plan.Expr{col(0, types.Long)},
+	})
+	// b in [2,4] means a in [4,8]; intersect with {4,6,99} -> {4,6}.
+	want := []types.Row{{int64(4)}, {int64(6)}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}
+
+func TestVectorizedMatchesRowEngineDirectly(t *testing.T) {
+	// The same fragment evaluated row by row must agree exactly.
+	schema := numSchema()
+	rows := numRows(2500) // crosses batch and index-group boundaries
+	cond := &plan.CompareExpr{Op: ">", Left: col(1, types.Double), Right: lit(600.0, types.Double)}
+	sub, _ := plan.NewArith("-", col(0, types.Long), lit(int64(1), types.Long))
+	spec := fragmentSpec{schema: schema, filter: cond, sel: []plan.Expr{sub}}
+
+	vec := runFragment(t, schema, rows, spec)
+	var rowOut []types.Row
+	for _, r := range rows {
+		if plan.Truthy(cond.Eval(r)) {
+			rowOut = append(rowOut, types.Row{sub.Eval(r)})
+		}
+	}
+	if !reflect.DeepEqual(vec, rowOut) {
+		t.Fatalf("engines disagree: %d vs %d rows", len(vec), len(rowOut))
+	}
+}
+
+func TestCompileChainRejectsBadShapes(t *testing.T) {
+	p := &plan.Plan{}
+	scan := p.NewNode(&plan.TableScan{Table: "t"}).(*plan.TableScan)
+	scan.Out = plan.FromTableSchema("t", numSchema())
+	scan.Cols = []string{"a", "b", "s"}
+	batch := vector.NewBatch(64, vector.NewLongColumnVector(64), vector.NewDoubleColumnVector(64), vector.NewBytesColumnVector(64))
+	// No consumers.
+	if _, err := CompileChain(scan, batch, &exec.Context{}); err == nil {
+		t.Error("chain with no consumers compiled")
+	}
+	// Join in the chain.
+	join := p.NewNode(&plan.Join{NumInputs: 2}).(*plan.Join)
+	plan.Connect(scan, join)
+	if _, err := CompileChain(scan, batch, &exec.Context{}); err == nil {
+		t.Error("chain through a join compiled")
+	}
+}
+
+func TestSetBatchSize(t *testing.T) {
+	SetBatchSize(64)
+	if batchSize != 64 {
+		t.Fatalf("batchSize = %d", batchSize)
+	}
+	SetBatchSize(0)
+	if batchSize != vector.DefaultBatchSize {
+		t.Fatalf("batchSize = %d after reset", batchSize)
+	}
+	// A tiny batch size still yields correct results.
+	SetBatchSize(7)
+	defer SetBatchSize(0)
+	out := runFragment(t, numSchema(), numRows(100), fragmentSpec{
+		schema: numSchema(),
+		filter: &plan.CompareExpr{Op: "<", Left: col(0, types.Long), Right: lit(int64(10), types.Long)},
+		sel:    []plan.Expr{col(0, types.Long)},
+	})
+	if len(out) != 10 {
+		t.Fatalf("rows = %d with batch size 7", len(out))
+	}
+}

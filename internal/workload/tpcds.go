@@ -1,0 +1,279 @@
+// tpcds.go generates the TPC-DS subset the paper's query-planning
+// experiments need (§7.3): the star-join tables of query 27 and the
+// web-sales tables of query 95.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// StoreSalesSchema is the q27 fact table.
+func StoreSalesSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("ss_sold_date_sk", types.Primitive(types.Long)),
+		types.Col("ss_item_sk", types.Primitive(types.Long)),
+		types.Col("ss_cdemo_sk", types.Primitive(types.Long)),
+		types.Col("ss_store_sk", types.Primitive(types.Long)),
+		types.Col("ss_quantity", types.Primitive(types.Long)),
+		types.Col("ss_list_price", types.Primitive(types.Double)),
+		types.Col("ss_coupon_amt", types.Primitive(types.Double)),
+		types.Col("ss_sales_price", types.Primitive(types.Double)),
+		types.Col("ss_net_profit", types.Primitive(types.Double)),
+	)
+}
+
+// GenStoreSales emits sc.StoreSales rows.
+func GenStoreSales(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < sc.StoreSales; i++ {
+		row := types.Row{
+			int64(rng.Intn(maxI(sc.Dates, 1))),
+			int64(rng.Intn(maxI(sc.Items, 1))),
+			int64(rng.Intn(maxI(sc.Demographics, 1))),
+			int64(rng.Intn(maxI(sc.Stores, 1))),
+			int64(rng.Intn(100) + 1),
+			float64(rng.Intn(20000)) / 100,
+			float64(rng.Intn(1000)) / 100,
+			float64(rng.Intn(15000)) / 100,
+			float64(rng.Intn(20000)-5000) / 100,
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CustomerDemographicsSchema is the q27 dimension with the gender /
+// marital-status / education filters.
+func CustomerDemographicsSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("cd_demo_sk", types.Primitive(types.Long)),
+		types.Col("cd_gender", types.Primitive(types.String)),
+		types.Col("cd_marital_status", types.Primitive(types.String)),
+		types.Col("cd_education_status", types.Primitive(types.String)),
+	)
+}
+
+// GenCustomerDemographics emits sc.Demographics rows.
+func GenCustomerDemographics(sc Scale, emit Emit) error {
+	genders := []string{"M", "F"}
+	maritals := []string{"S", "M", "D", "W", "U"}
+	educations := []string{"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree", "Unknown"}
+	for i := 0; i < sc.Demographics; i++ {
+		row := types.Row{
+			int64(i),
+			genders[i%len(genders)],
+			maritals[(i/2)%len(maritals)],
+			educations[(i/10)%len(educations)],
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DateDimSchema covers the year filters of q27/q95.
+func DateDimSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("d_date_sk", types.Primitive(types.Long)),
+		types.Col("d_year", types.Primitive(types.Long)),
+		types.Col("d_moy", types.Primitive(types.Long)),
+		types.Col("d_date", types.Primitive(types.Long)),
+	)
+}
+
+// GenDateDim emits sc.Dates consecutive days starting at 2001-01-01.
+func GenDateDim(sc Scale, emit Emit) error {
+	for i := 0; i < sc.Dates; i++ {
+		year := 2001 + i/365
+		row := types.Row{
+			int64(i),
+			int64(year),
+			int64((i/30)%12 + 1),
+			int64(11323 + i), // epoch day of 2001-01-01
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoreSchema is the q27 store dimension.
+func StoreSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("s_store_sk", types.Primitive(types.Long)),
+		types.Col("s_state", types.Primitive(types.String)),
+		types.Col("s_store_name", types.Primitive(types.String)),
+	)
+}
+
+// GenStore emits sc.Stores rows.
+func GenStore(sc Scale, emit Emit) error {
+	states := []string{"TN", "SD", "AL", "OH", "GA", "CA"}
+	for i := 0; i < sc.Stores; i++ {
+		row := types.Row{
+			int64(i),
+			states[i%len(states)],
+			fmt.Sprintf("store-%d", i),
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ItemSchema is the q27 item dimension.
+func ItemSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("i_item_sk", types.Primitive(types.Long)),
+		types.Col("i_item_id", types.Primitive(types.String)),
+		types.Col("i_category", types.Primitive(types.String)),
+	)
+}
+
+// GenItem emits sc.Items rows.
+func GenItem(sc Scale, emit Emit) error {
+	cats := []string{"Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports"}
+	for i := 0; i < sc.Items; i++ {
+		row := types.Row{
+			int64(i),
+			fmt.Sprintf("AAAAAAAA%08d", i),
+			cats[i%len(cats)],
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WebSalesSchema is the q95 fact table.
+func WebSalesSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("ws_order_number", types.Primitive(types.Long)),
+		types.Col("ws_item_sk", types.Primitive(types.Long)),
+		types.Col("ws_ship_date_sk", types.Primitive(types.Long)),
+		types.Col("ws_ship_addr_sk", types.Primitive(types.Long)),
+		types.Col("ws_warehouse_sk", types.Primitive(types.Long)),
+		types.Col("ws_ext_ship_cost", types.Primitive(types.Double)),
+		types.Col("ws_net_profit", types.Primitive(types.Double)),
+	)
+}
+
+// GenWebSales emits sc.WebSales rows; several lines share an order number
+// so the q95 "multi-warehouse order" subquery has matches.
+func GenWebSales(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < sc.WebSales; i++ {
+		row := types.Row{
+			int64(i / 3), // ~3 lines per order
+			int64(rng.Intn(maxI(sc.Items, 1))),
+			int64(rng.Intn(maxI(sc.Dates, 1))),
+			int64(rng.Intn(maxI(sc.Addresses, 1))),
+			int64(rng.Intn(10)),
+			float64(rng.Intn(10000)) / 100,
+			float64(rng.Intn(20000)-5000) / 100,
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WebReturnsSchema is the q95 returns table.
+func WebReturnsSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("wr_order_number", types.Primitive(types.Long)),
+		types.Col("wr_item_sk", types.Primitive(types.Long)),
+		types.Col("wr_fee", types.Primitive(types.Double)),
+	)
+}
+
+// GenWebReturns emits sc.WebReturns rows over the web-sales order domain.
+func GenWebReturns(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(33))
+	orders := maxI(sc.WebSales/3, 1)
+	for i := 0; i < sc.WebReturns; i++ {
+		row := types.Row{
+			int64(rng.Intn(orders)),
+			int64(rng.Intn(maxI(sc.Items, 1))),
+			float64(rng.Intn(5000)) / 100,
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CustomerAddressSchema is the q95 address dimension.
+func CustomerAddressSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("ca_address_sk", types.Primitive(types.Long)),
+		types.Col("ca_state", types.Primitive(types.String)),
+	)
+}
+
+// GenCustomerAddress emits sc.Addresses rows.
+func GenCustomerAddress(sc Scale, emit Emit) error {
+	states := []string{"IL", "GA", "OH", "CA", "TX", "NY"}
+	for i := 0; i < sc.Addresses; i++ {
+		row := types.Row{int64(i), states[i%len(states)]}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TPCDSQ27 is TPC-DS query 27: a five-table star join, aggregated and
+// sorted (§7.3). Each dimension filter pushes below its scan, making all
+// four dimensions map-join candidates.
+func TPCDSQ27() string {
+	return `SELECT item.i_item_id,
+  avg(ss.ss_quantity) AS agg1,
+  avg(ss.ss_list_price) AS agg2,
+  avg(ss.ss_coupon_amt) AS agg3,
+  avg(ss.ss_sales_price) AS agg4
+FROM store_sales ss
+JOIN customer_demographics cd ON ss.ss_cdemo_sk = cd.cd_demo_sk
+JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk
+JOIN store s ON ss.ss_store_sk = s.s_store_sk
+JOIN item ON ss.ss_item_sk = item.i_item_sk
+WHERE cd.cd_gender = 'M' AND cd.cd_marital_status = 'S'
+  AND cd.cd_education_status = 'College'
+  AND d.d_year = 2002
+  AND s.s_state IN ('TN', 'SD', 'AL')
+GROUP BY item.i_item_id
+ORDER BY item.i_item_id
+LIMIT 100`
+}
+
+// TPCDSQ95 is TPC-DS query 95 flattened into FROM-clause subqueries, as
+// the paper does (§7.3: "we flatten sub-queries in this query"): orders
+// shipped from multiple warehouses that were returned, repeatedly
+// re-partitioned on ws_order_number — the correlation the optimizer
+// exploits.
+func TPCDSQ95() string {
+	return `SELECT count(*) AS order_count,
+  sum(ws1.ws_ext_ship_cost) AS total_shipping_cost,
+  sum(ws1.ws_net_profit) AS total_net_profit
+FROM web_sales ws1
+JOIN (SELECT ws_order_number, count(*) AS wh_cnt
+      FROM web_sales GROUP BY ws_order_number) multi_wh
+  ON ws1.ws_order_number = multi_wh.ws_order_number
+JOIN (SELECT wr_order_number, count(*) AS ret_cnt
+      FROM web_returns GROUP BY wr_order_number) returned
+  ON ws1.ws_order_number = returned.wr_order_number
+JOIN date_dim d ON ws1.ws_ship_date_sk = d.d_date_sk
+JOIN customer_address ca ON ws1.ws_ship_addr_sk = ca.ca_address_sk
+WHERE d.d_year = 2002 AND ca.ca_state = 'IL' AND multi_wh.wh_cnt > 1`
+}

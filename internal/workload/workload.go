@@ -1,0 +1,303 @@
+// Package workload provides deterministic synthetic generators standing in
+// for the paper's three evaluation datasets (§7.1): SS-DB (array-oriented
+// science data), TPC-H and TPC-DS. Schemas keep the features each
+// experiment exercises — e.g. TPC-H comment columns are random strings
+// that defeat dictionary encoding (Table 2's anomaly), and SS-DB pixels
+// are generated in raster order so coordinate predicates prune ORC index
+// groups (Figure 10). Dates are represented as epoch-day integers; see
+// DESIGN.md §4.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// Emit receives generated rows.
+type Emit func(types.Row) error
+
+// Scale holds row counts for the generated tables; Default mirrors the
+// paper's setup proportions, shrunk to laptop scale.
+type Scale struct {
+	// SSDBGrid is the coordinate domain: the cycle table holds
+	// SSDBImages * SSDBGrid^2 pixels with x,y in [0, SSDBGrid).
+	SSDBGrid   int
+	SSDBImages int
+
+	Lineitem  int
+	Orders    int
+	Customers int
+	Parts     int
+	Suppliers int
+
+	StoreSales   int
+	WebSales     int
+	WebReturns   int
+	Demographics int
+	Dates        int
+	Stores       int
+	Items        int
+	Addresses    int
+}
+
+// DefaultScale is a small but non-trivial configuration used by tests.
+func DefaultScale() Scale {
+	return Scale{
+		SSDBGrid:   120,
+		SSDBImages: 1,
+
+		Lineitem:  30000,
+		Orders:    7500,
+		Customers: 750,
+		Parts:     1000,
+		Suppliers: 50,
+
+		StoreSales:   30000,
+		WebSales:     20000,
+		WebReturns:   2000,
+		Demographics: 400,
+		Dates:        1095, // three years
+		Stores:       12,
+		Items:        300,
+		Addresses:    500,
+	}
+}
+
+// letters used by random text.
+const letters = "abcdefghijklmnopqrstuvwxyz "
+
+func randomText(rng *rand.Rand, minLen, maxLen int) string {
+	n := minLen + rng.Intn(maxLen-minLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// --- SS-DB ---
+
+// SSDBSchema is the cycle table: pixel coordinates plus observation values
+// (the paper's query 1 aggregates v1 under coordinate predicates).
+func SSDBSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("img", types.Primitive(types.Long)),
+		types.Col("x", types.Primitive(types.Long)),
+		types.Col("y", types.Primitive(types.Long)),
+		types.Col("v1", types.Primitive(types.Long)),
+		types.Col("v2", types.Primitive(types.Long)),
+		types.Col("v3", types.Primitive(types.Double)),
+	)
+}
+
+// GenSSDB emits images in raster order (x outer, y inner), as telescope
+// cycle files are laid out; this ordering is what gives ORC index groups
+// tight coordinate ranges.
+func GenSSDB(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(11))
+	for img := 0; img < sc.SSDBImages; img++ {
+		for x := 0; x < sc.SSDBGrid; x++ {
+			for y := 0; y < sc.SSDBGrid; y++ {
+				row := types.Row{
+					int64(img),
+					int64(x),
+					int64(y),
+					int64(rng.Intn(1000)),
+					int64(rng.Intn(1 << 16)),
+					rng.Float64() * 100,
+				}
+				if err := emit(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SSDBQuery1 renders the paper's query-1 template for a coordinate bound:
+// SELECT SUM(v1), COUNT(*) FROM cycle WHERE x BETWEEN 0 AND v AND
+// y BETWEEN 0 AND v. The paper's easy/medium/hard map to grid/4, grid/2
+// and grid.
+func SSDBQuery1(varVal int) string {
+	return fmt.Sprintf(
+		"SELECT SUM(v1), COUNT(*) FROM cycle WHERE x BETWEEN 0 AND %d AND y BETWEEN 0 AND %d",
+		varVal, varVal)
+}
+
+// --- TPC-H ---
+
+// TPC-H epoch-day constants: the benchmark's date domain is 1992-01-01 ..
+// 1998-12-31.
+const (
+	TPCHDateMin = 8035  // 1992-01-01
+	TPCHDateMax = 10592 // 1998-12-31
+)
+
+// LineitemSchema is the full 16-column lineitem table; l_comment is a
+// random string whose high cardinality defeats dictionary encoding,
+// reproducing Table 2's TPC-H behaviour.
+func LineitemSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("l_orderkey", types.Primitive(types.Long)),
+		types.Col("l_partkey", types.Primitive(types.Long)),
+		types.Col("l_suppkey", types.Primitive(types.Long)),
+		types.Col("l_linenumber", types.Primitive(types.Long)),
+		types.Col("l_quantity", types.Primitive(types.Long)),
+		types.Col("l_extendedprice", types.Primitive(types.Double)),
+		types.Col("l_discount", types.Primitive(types.Double)),
+		types.Col("l_tax", types.Primitive(types.Double)),
+		types.Col("l_returnflag", types.Primitive(types.String)),
+		types.Col("l_linestatus", types.Primitive(types.String)),
+		types.Col("l_shipdate", types.Primitive(types.Long)),
+		types.Col("l_commitdate", types.Primitive(types.Long)),
+		types.Col("l_receiptdate", types.Primitive(types.Long)),
+		types.Col("l_shipinstruct", types.Primitive(types.String)),
+		types.Col("l_shipmode", types.Primitive(types.String)),
+		types.Col("l_comment", types.Primitive(types.String)),
+	)
+}
+
+var (
+	returnFlags   = []string{"A", "N", "R"}
+	lineStatuses  = []string{"F", "O"}
+	shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipModes     = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+)
+
+// GenLineitem emits sc.Lineitem rows.
+func GenLineitem(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < sc.Lineitem; i++ {
+		qty := int64(rng.Intn(50) + 1)
+		price := float64(rng.Intn(90000)+10000) / 100 * float64(qty)
+		ship := int64(TPCHDateMin + rng.Intn(TPCHDateMax-TPCHDateMin))
+		row := types.Row{
+			int64(i/4 + 1),
+			int64(rng.Intn(maxI(sc.Parts, 1)) + 1),
+			int64(rng.Intn(maxI(sc.Suppliers, 1)) + 1),
+			int64(i%4 + 1),
+			qty,
+			price,
+			float64(rng.Intn(11)) / 100,
+			float64(rng.Intn(9)) / 100,
+			returnFlags[rng.Intn(len(returnFlags))],
+			lineStatuses[rng.Intn(len(lineStatuses))],
+			ship,
+			ship + int64(rng.Intn(30)),
+			ship + int64(rng.Intn(30)+1),
+			shipInstructs[rng.Intn(len(shipInstructs))],
+			shipModes[rng.Intn(len(shipModes))],
+			randomText(rng, 10, 43),
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OrdersSchema is the orders table.
+func OrdersSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("o_orderkey", types.Primitive(types.Long)),
+		types.Col("o_custkey", types.Primitive(types.Long)),
+		types.Col("o_orderstatus", types.Primitive(types.String)),
+		types.Col("o_totalprice", types.Primitive(types.Double)),
+		types.Col("o_orderdate", types.Primitive(types.Long)),
+		types.Col("o_orderpriority", types.Primitive(types.String)),
+		types.Col("o_shippriority", types.Primitive(types.Long)),
+		types.Col("o_comment", types.Primitive(types.String)),
+	)
+}
+
+// GenOrders emits sc.Orders rows.
+func GenOrders(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(23))
+	prios := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	statuses := []string{"F", "O", "P"}
+	for i := 0; i < sc.Orders; i++ {
+		row := types.Row{
+			int64(i + 1),
+			int64(rng.Intn(maxI(sc.Customers, 1)) + 1),
+			statuses[rng.Intn(len(statuses))],
+			float64(rng.Intn(50000000)) / 100,
+			int64(TPCHDateMin + rng.Intn(TPCHDateMax-TPCHDateMin)),
+			prios[rng.Intn(len(prios))],
+			int64(0),
+			randomText(rng, 19, 78),
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CustomerSchema is the customer table.
+func CustomerSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("c_custkey", types.Primitive(types.Long)),
+		types.Col("c_name", types.Primitive(types.String)),
+		types.Col("c_nationkey", types.Primitive(types.Long)),
+		types.Col("c_acctbal", types.Primitive(types.Double)),
+		types.Col("c_mktsegment", types.Primitive(types.String)),
+		types.Col("c_comment", types.Primitive(types.String)),
+	)
+}
+
+// GenCustomer emits sc.Customers rows.
+func GenCustomer(sc Scale, emit Emit) error {
+	rng := rand.New(rand.NewSource(24))
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	for i := 0; i < sc.Customers; i++ {
+		row := types.Row{
+			int64(i + 1),
+			fmt.Sprintf("Customer#%09d", i+1),
+			int64(rng.Intn(25)),
+			float64(rng.Intn(1100000)-100000) / 100,
+			segments[rng.Intn(len(segments))],
+			randomText(rng, 29, 116),
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TPCHQ1 is TPC-H query 1 in the reproduction dialect (dates are epoch
+// days; DATE '1998-09-02' = 10471).
+func TPCHQ1() string {
+	return `SELECT l_returnflag, l_linestatus,
+  sum(l_quantity) AS sum_qty,
+  sum(l_extendedprice) AS sum_base_price,
+  sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+  sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+  avg(l_quantity) AS avg_qty,
+  avg(l_extendedprice) AS avg_price,
+  avg(l_discount) AS avg_disc,
+  count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= 10471
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+}
+
+// TPCHQ6 is TPC-H query 6 (DATE '1994-01-01' = 8766, next year = 9131).
+func TPCHQ6() string {
+	return `SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= 8766 AND l_shipdate < 9131
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+}

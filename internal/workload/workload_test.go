@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+func collect(t *testing.T, gen func(Scale, Emit) error, sc Scale) []types.Row {
+	t.Helper()
+	var rows []types.Row
+	if err := gen(sc, func(r types.Row) error {
+		rows = append(rows, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func validateAll(t *testing.T, schema *types.Schema, rows []types.Row) {
+	t.Helper()
+	for i, row := range rows {
+		if len(row) != len(schema.Columns) {
+			t.Fatalf("row %d has %d columns, schema has %d", i, len(row), len(schema.Columns))
+		}
+		for c, col := range schema.Columns {
+			if err := types.Validate(col.Type, row[c]); err != nil {
+				t.Fatalf("row %d col %s: %v", i, col.Name, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorsMatchSchemas(t *testing.T) {
+	sc := DefaultScale()
+	sc.SSDBGrid = 16
+	sc.Lineitem, sc.Orders, sc.Customers = 500, 200, 100
+	sc.StoreSales, sc.WebSales, sc.WebReturns = 300, 300, 50
+	sc.Demographics, sc.Dates, sc.Stores, sc.Items, sc.Addresses = 50, 100, 5, 30, 40
+
+	cases := []struct {
+		name   string
+		schema *types.Schema
+		gen    func(Scale, Emit) error
+		want   int
+	}{
+		{"cycle", SSDBSchema(), GenSSDB, 16 * 16},
+		{"lineitem", LineitemSchema(), GenLineitem, 500},
+		{"orders", OrdersSchema(), GenOrders, 200},
+		{"customer", CustomerSchema(), GenCustomer, 100},
+		{"store_sales", StoreSalesSchema(), GenStoreSales, 300},
+		{"customer_demographics", CustomerDemographicsSchema(), GenCustomerDemographics, 50},
+		{"date_dim", DateDimSchema(), GenDateDim, 100},
+		{"store", StoreSchema(), GenStore, 5},
+		{"item", ItemSchema(), GenItem, 30},
+		{"web_sales", WebSalesSchema(), GenWebSales, 300},
+		{"web_returns", WebReturnsSchema(), GenWebReturns, 50},
+		{"customer_address", CustomerAddressSchema(), GenCustomerAddress, 40},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rows := collect(t, c.gen, sc)
+			if len(rows) != c.want {
+				t.Fatalf("rows = %d, want %d", len(rows), c.want)
+			}
+			validateAll(t, c.schema, rows)
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	sc := DefaultScale()
+	sc.Lineitem = 200
+	a := collect(t, GenLineitem, sc)
+	b := collect(t, GenLineitem, sc)
+	for i := range a {
+		for c := range a[i] {
+			if a[i][c] != b[i][c] {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, c, a[i][c], b[i][c])
+			}
+		}
+	}
+}
+
+func TestSSDBRasterOrder(t *testing.T) {
+	sc := Scale{SSDBGrid: 8, SSDBImages: 2}
+	rows := collect(t, GenSSDB, sc)
+	if len(rows) != 2*8*8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Raster order: x never decreases within an image; y cycles.
+	for i := 1; i < 64; i++ {
+		if rows[i][1].(int64) < rows[i-1][1].(int64) {
+			t.Fatalf("x decreased at row %d", i)
+		}
+	}
+	if rows[64][0].(int64) != 1 {
+		t.Fatalf("second image id = %v", rows[64][0])
+	}
+}
+
+func TestLineitemDomains(t *testing.T) {
+	sc := DefaultScale()
+	sc.Lineitem = 2000
+	rows := collect(t, GenLineitem, sc)
+	for i, r := range rows {
+		qty := r[4].(int64)
+		if qty < 1 || qty > 50 {
+			t.Fatalf("row %d quantity %d out of [1,50]", i, qty)
+		}
+		disc := r[6].(float64)
+		if disc < 0 || disc > 0.10 {
+			t.Fatalf("row %d discount %v out of [0,0.10]", i, disc)
+		}
+		ship := r[10].(int64)
+		if ship < TPCHDateMin || ship > TPCHDateMax {
+			t.Fatalf("row %d shipdate %d out of range", i, ship)
+		}
+		flag := r[8].(string)
+		if flag != "A" && flag != "N" && flag != "R" {
+			t.Fatalf("row %d returnflag %q", i, flag)
+		}
+	}
+	// Comments must be high-cardinality (Table 2's anomaly depends on it).
+	distinct := map[string]bool{}
+	for _, r := range rows {
+		distinct[r[15].(string)] = true
+	}
+	if len(distinct) < len(rows)*9/10 {
+		t.Fatalf("comments too repetitive: %d distinct of %d", len(distinct), len(rows))
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	for name, q := range map[string]string{
+		"tpch_q1":   TPCHQ1(),
+		"tpch_q6":   TPCHQ6(),
+		"tpcds_q27": TPCDSQ27(),
+		"tpcds_q95": TPCDSQ95(),
+		"ssdb_q1":   SSDBQuery1(3750),
+	} {
+		if _, err := sql.Parse(q); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+	if !strings.Contains(SSDBQuery1(123), "BETWEEN 0 AND 123") {
+		t.Error("SSDBQuery1 ignores its bound")
+	}
+}
+
+func TestWebSalesShareOrderNumbers(t *testing.T) {
+	sc := DefaultScale()
+	sc.WebSales = 300
+	rows := collect(t, GenWebSales, sc)
+	counts := map[int64]int{}
+	for _, r := range rows {
+		counts[r[0].(int64)]++
+	}
+	multi := 0
+	for _, n := range counts {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-line orders; q95's multi-warehouse subquery would be empty")
+	}
+}
