@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-llap
+
+# check is the tier-1 gate plus the race detector: everything a PR must pass.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-llap reproduces the E9 cold-vs-warm numbers from the command line.
+bench-llap:
+	$(GO) run ./cmd/benchrunner -exp llap

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|ablations|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
 	overhead := flag.Duration("job-overhead", 250*time.Millisecond,
@@ -111,6 +111,14 @@ func main() {
 			return err
 		}
 		bench.PrintFig11(os.Stdout, "Extension E7: TPC-DS q95 fully optimized, MapReduce vs Tez-style DAG engine", rows)
+		return nil
+	})
+	run("llap", func() error {
+		rep, err := bench.RunLLAP(cfg, *runs)
+		if err != nil {
+			return err
+		}
+		bench.PrintLLAP(os.Stdout, rep)
 		return nil
 	})
 	run("ablations", func() error {

@@ -30,7 +30,7 @@ func main() {
 	codec := flag.String("compress", "NONE", "codec: NONE|ZLIB|SNAPPY")
 	optimize := flag.String("optimize", "all", "optimizations: all|none|ppd|mapjoin|correlation|vectorize (comma-separated)")
 	scale := flag.Float64("scale", 0.3, "dataset scale factor")
-	engine := flag.String("engine", "mapreduce", "execution engine: mapreduce|tez")
+	engine := flag.String("engine", "mapreduce", "execution engine: mapreduce|tez|llap")
 	flag.Parse()
 
 	kind, err := fileformat.ParseKind(strings.ToUpper(*format))
@@ -68,11 +68,12 @@ func main() {
 		Opt:         opt,
 		RowsPerFile: 25000,
 		Tez:         *engine == "tez",
+		LLAP:        *engine == "llap",
 	}, tables)
 	fatalIf(err)
 
 	fmt.Println("tables:", strings.Join(env.Driver.Metastore().Names(), ", "))
-	fmt.Println(`enter a SELECT statement on one line ("\q" to quit, "\explain <sql>" for the plan)`)
+	fmt.Println(`enter a SELECT statement on one line ("\q" to quit, "\explain <sql>" for the plan, "\cache" for LLAP cache stats)`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -86,6 +87,27 @@ func main() {
 			continue
 		case line == `\q` || line == "quit" || line == "exit":
 			return
+		case line == `\cache`:
+			if *engine != "llap" {
+				fmt.Println("no cache: start with -engine llap")
+				continue
+			}
+			daemon := env.Driver.LLAP()
+			cs := daemon.ChunkCache().Snapshot()
+			ds := daemon.Snapshot()
+			hr := 0.0
+			if cs.Hits+cs.Misses > 0 {
+				hr = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+			}
+			fmt.Printf("chunk cache: %d entries, %d bytes cached (budget %d)\n",
+				cs.Entries, cs.BytesCached, daemon.Config().CacheBytes)
+			fmt.Printf("  hits %d, misses %d (%.1f%% hit rate); %d inserts, %d evictions, %d rejected\n",
+				cs.Hits, cs.Misses, 100*hr, cs.Inserts, cs.Evictions, cs.Rejected)
+			fmt.Printf("  %d decompressed bytes served from memory\n", cs.BytesSaved)
+			fmt.Printf("meta cache: %d entries (%d hits, %d misses)\n",
+				daemon.MetaCache().Len(), daemon.MetaCache().Hits(), daemon.MetaCache().Misses())
+			fmt.Printf("daemon pool: %d workers; %d tasks submitted, %d executed, %d rejected, peak concurrency %d\n",
+				daemon.Config().Workers, ds.Submitted, ds.Executed, ds.Rejected, ds.MaxConcurrent)
 		case strings.HasPrefix(line, `\explain `):
 			p, compiled, err := env.Driver.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -121,6 +143,12 @@ func main() {
 			s := res.Stats
 			fmt.Printf("%d row(s); %d job(s); elapsed %s; cumulative CPU %s; %d DFS bytes read; %d shuffle bytes\n",
 				len(res.Rows), s.Jobs, s.Elapsed.Round(1000), s.CumulativeCPU.Round(1000), s.DFSBytesRead, s.ShuffleBytes)
+			if s.CacheHits+s.CacheMisses > 0 {
+				fmt.Printf("cache: %d hits, %d misses (%.1f%%); %d bytes from cache of %d total\n",
+					s.CacheHits, s.CacheMisses,
+					100*float64(s.CacheHits)/float64(s.CacheHits+s.CacheMisses),
+					s.CacheBytesRead, s.TotalBytesRead)
+			}
 		}
 	}
 }

@@ -31,6 +31,7 @@ func (r *osReader) Size() int64                             { return r.size }
 func main() {
 	nRows := flag.Int("rows", 0, "print the first N rows")
 	stats := flag.Bool("stats", true, "print per-column file statistics")
+	streams := flag.Bool("streams", false, "print each stripe's stream directory with stored/decompressed sizes")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: orcdump [-rows N] [-stats] <file.orc>")
@@ -54,6 +55,22 @@ func main() {
 	for i, s := range r.Stripes() {
 		fmt.Printf("  stripe %d: offset=%d index=%dB data=%dB footer=%dB rows=%d\n",
 			i, s.Offset, s.IndexLength, s.DataLength, s.FooterLength, s.NumRows)
+	}
+
+	if *streams {
+		for i := 0; i < r.NumStripes(); i++ {
+			infos, err := r.StripeStreams(i)
+			fatalIf(err)
+			fmt.Printf("stripe %d streams:\n", i)
+			for _, si := range infos {
+				ratio := 1.0
+				if si.Stored > 0 {
+					ratio = float64(si.Decoded) / float64(si.Stored)
+				}
+				fmt.Printf("  col %-3d %-15s stored=%-8d decoded=%-8d (%.2fx)\n",
+					si.Column, si.Kind, si.Stored, si.Decoded, ratio)
+			}
+		}
 	}
 
 	if *stats {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/fileformat"
+	"repro/internal/llap"
 	"repro/internal/mapred"
 	"repro/internal/optimizer"
 	"repro/internal/orc"
@@ -110,6 +111,13 @@ type Options struct {
 	// for the whole DAG and in-memory intermediate edges instead of
 	// DFS-materialized temp tables.
 	UseTez bool
+	// UseLLAP runs queries on the LLAP-style daemon layer (§9 outlook):
+	// Tez-style edges plus persistent executors and a shared in-memory
+	// columnar cache, so repeated queries skip DFS reads and
+	// decompression. Takes precedence over UseTez.
+	UseLLAP bool
+	// LLAPCacheBytes bounds the LLAP chunk cache (default 64 MiB).
+	LLAPCacheBytes int64
 }
 
 // AllAdvancements enables every optimization the paper introduces.
@@ -130,7 +138,11 @@ func New(opts Options) *Driver {
 			DisableMapSideAgg: opts.DisableMapSideAgg,
 		},
 	}
-	if opts.UseTez {
+	switch {
+	case opts.UseLLAP:
+		conf.Engine = core.ModeLLAP
+		conf.LLAP = llap.Config{CacheBytes: opts.LLAPCacheBytes}
+	case opts.UseTez:
 		conf.Engine = core.ModeTez
 	}
 	return core.NewDriver(fs, engine, conf)

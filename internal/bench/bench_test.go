@@ -211,6 +211,79 @@ func TestFig12Shape(t *testing.T) {
 	}
 }
 
+func TestLLAPShape(t *testing.T) {
+	rep, err := RunLLAP(tinyCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent {
+		t.Errorf("engines disagree: %v", rep.Mismatches)
+	}
+	byKey := map[string]LLAPRow{}
+	for _, r := range rep.Runs {
+		byKey[r.Query+"/"+r.Run] = r
+	}
+	for _, q := range []string{"ssdb-q1", "tpch-q6"} {
+		cold, warm := byKey[q+"/cold"], byKey[q+"/warm"]
+		if cold.DFSBytes == 0 {
+			t.Fatalf("%s: cold run read no DFS bytes", q)
+		}
+		if warm.DFSBytes*10 > cold.DFSBytes {
+			t.Errorf("%s: warm DFS bytes %d not >=90%% below cold %d", q, warm.DFSBytes, cold.DFSBytes)
+		}
+		if warm.HitRate == 0 {
+			t.Errorf("%s: warm hit rate is zero", q)
+		}
+		if warm.TotalBytes == 0 {
+			t.Errorf("%s: warm TotalBytes is zero (cache-served reads unreported)", q)
+		}
+	}
+	if len(rep.Sweep) == 0 {
+		t.Fatal("no sweep rows")
+	}
+	// The sweep's largest budget must hold the working set fully.
+	last := rep.Sweep[len(rep.Sweep)-1]
+	if last.HitRate == 0 {
+		t.Errorf("sweep at %d bytes has zero hit rate", last.CacheBytes)
+	}
+	var buf bytes.Buffer
+	PrintLLAP(&buf, rep)
+	if !strings.Contains(buf.String(), "Cache-size sweep") {
+		t.Error("printout incomplete")
+	}
+}
+
+// BenchmarkLLAPWarmCache measures the steady-state cost of SS-DB q1 when
+// every chunk is served from the daemon cache (satellite of E9).
+func BenchmarkLLAPWarmCache(b *testing.B) {
+	cfg := llapEnvCfg(tinyCfg())
+	cfg.LLAP = true
+	q := llapQueries(cfg)[0]
+	env, _, err := NewEnv(cfg, q.tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Driver.Close()
+	if _, err := env.Run(q.sql); err != nil { // cold run fills the cache
+		b.Fatal(err)
+	}
+	var dfsBytes, hits, misses int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.Run(q.sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dfsBytes += res.Stats.DFSBytesRead
+		hits += res.Stats.CacheHits
+		misses += res.Stats.CacheMisses
+	}
+	b.ReportMetric(float64(dfsBytes)/float64(b.N), "dfsB/op")
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hitrate")
+	}
+}
+
 func TestTezComparisonShape(t *testing.T) {
 	rows, err := RunTezComparison(tinyCfg())
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/fileformat"
+	"repro/internal/llap"
 	"repro/internal/mapred"
 	"repro/internal/optimizer"
 	"repro/internal/orc"
@@ -97,6 +98,12 @@ type EnvConfig struct {
 	SeekLatency time.Duration
 	// Tez runs queries on the Tez-style DAG engine (§9 extension, E7).
 	Tez bool
+	// LLAP runs queries on the LLAP-style daemon mode (§9 outlook, E9):
+	// Tez-style edges plus persistent executors and a shared in-memory
+	// columnar cache. Takes precedence over Tez.
+	LLAP bool
+	// LLAPCacheBytes overrides the chunk-cache byte budget (default 64 MiB).
+	LLAPCacheBytes int64
 }
 
 func (c *EnvConfig) withDefaults() EnvConfig {
@@ -129,7 +136,11 @@ func NewEnv(cfg EnvConfig, tables []TableSpec) (*Env, map[string]time.Duration, 
 	fs := dfs.New(dfs.WithBlockSize(8<<20), dfs.WithSimulatedDisk(c.DiskBandwidth, c.SeekLatency))
 	engine := mapred.NewEngine(mapred.Config{Slots: 4, JobLaunchOverhead: c.LaunchOverhead})
 	conf := core.Config{Opt: c.Opt}
-	if c.Tez {
+	switch {
+	case c.LLAP:
+		conf.Engine = core.ModeLLAP
+		conf.LLAP = llap.Config{CacheBytes: c.LLAPCacheBytes}
+	case c.Tez:
 		conf.Engine = core.ModeTez
 	}
 	d := core.NewDriver(fs, engine, conf)

@@ -1,0 +1,313 @@
+// llap.go drives the LLAP experiment (E9, beyond the paper's figures; its
+// §9 outlook): SS-DB query 1 and TPC-H query 6 run repeatedly against the
+// daemon layer, cold versus warm, reporting elapsed time, DFS bytes, cache
+// hit rate — plus a cache-size sweep and a cross-engine consistency check.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fileformat"
+	"repro/internal/optimizer"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// LLAPRow is one (query, run) measurement.
+type LLAPRow struct {
+	Query      string
+	Run        string // "cold" or "warm"
+	Elapsed    time.Duration
+	DFSBytes   int64
+	CacheBytes int64 // decompressed bytes served from the chunk cache
+	TotalBytes int64
+	HitRate    float64
+	Rows       int
+}
+
+// LLAPSweepRow is one cache-budget point of the sweep ablation: SS-DB q1
+// warm-run behaviour as the budget shrinks below the working set.
+type LLAPSweepRow struct {
+	CacheBytes int64
+	WarmDFS    int64
+	HitRate    float64
+	Elapsed    time.Duration
+}
+
+// LLAPReport bundles the experiment's outputs.
+type LLAPReport struct {
+	Runs  []LLAPRow
+	Sweep []LLAPSweepRow
+	// Consistent reports whether ModeMapReduce, ModeTez and ModeLLAP
+	// (cold and warm) returned the same rows for every query.
+	Consistent bool
+	Mismatches []string
+}
+
+// llapQuerySpec is one benchmark query with the tables it needs.
+type llapQuerySpec struct {
+	name   string
+	sql    string
+	tables []TableSpec
+}
+
+func llapQueries(cfg EnvConfig) []llapQuerySpec {
+	return []llapQuerySpec{
+		{"ssdb-q1", workload.SSDBQuery1(cfg.Scale.SSDBGrid / 2), SSDBTables()},
+		{"tpch-q6", workload.TPCHQ6(), []TableSpec{{
+			Name: "lineitem", Schema: workload.LineitemSchema(), Gen: workload.GenLineitem,
+		}}},
+	}
+}
+
+// llapEnvCfg normalizes the experiment configuration: ORC format (the cache
+// keys ORC streams), all optimizations, and an index stride that subdivides
+// the SS-DB geometry as Figure 10 requires.
+func llapEnvCfg(cfg EnvConfig) EnvConfig {
+	out := cfg
+	out.Format = fileformat.ORC
+	out.Opt = optimizer.AllOn()
+	grid := cfg.Scale.SSDBGrid
+	if out.ORCStride == 0 || out.ORCStride > grid/2 {
+		out.ORCStride = maxInt(grid/2, 16)
+	}
+	return out
+}
+
+// RunLLAP measures cold-versus-warm behaviour, sweeps the cache budget, and
+// cross-checks results against the other engine modes.
+func RunLLAP(cfg EnvConfig, runs int) (*LLAPReport, error) {
+	if runs <= 1 {
+		runs = 3
+	}
+	base := llapEnvCfg(cfg)
+	rep := &LLAPReport{Consistent: true}
+
+	for _, q := range llapQueries(base) {
+		envCfg := base
+		envCfg.LLAP = true
+		env, _, err := NewEnv(envCfg, q.tables)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]LLAPRow // per-run, for cold vs averaged warm
+		var llapResults [][]interface{}
+		for i := 0; i < runs; i++ {
+			res, err := env.Run(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("bench: llap %s run %d: %w", q.name, i, err)
+			}
+			llapResults = append(llapResults, flattenRows(res))
+			s := res.Stats
+			hr := 0.0
+			if s.CacheHits+s.CacheMisses > 0 {
+				hr = float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+			}
+			rows = append(rows, []LLAPRow{{
+				Query:      q.name,
+				Elapsed:    s.Elapsed,
+				DFSBytes:   s.DFSBytesRead,
+				CacheBytes: s.CacheBytesRead,
+				TotalBytes: s.TotalBytesRead,
+				HitRate:    hr,
+				Rows:       len(res.Rows),
+			}})
+		}
+		cold := rows[0][0]
+		cold.Run = "cold"
+		rep.Runs = append(rep.Runs, cold)
+		warm := averageLLAPRows(rows[1:])
+		warm.Query = q.name
+		warm.Run = "warm"
+		rep.Runs = append(rep.Runs, warm)
+		env.Driver.Close()
+
+		// Cross-engine consistency: MapReduce and Tez runs must match the
+		// LLAP results (cold and warm alike). Float aggregates may differ
+		// in the last bits across engines — summation order is not fixed —
+		// so compare with a relative epsilon.
+		for _, mode := range []struct {
+			name string
+			tez  bool
+		}{{"mapreduce", false}, {"tez", true}} {
+			other := base
+			other.Tez = mode.tez
+			otherEnv, _, err := NewEnv(other, q.tables)
+			if err != nil {
+				return nil, err
+			}
+			res, err := otherEnv.Run(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %s: %w", mode.name, q.name, err)
+			}
+			want := flattenRows(res)
+			for i, got := range llapResults {
+				if msg := compareResults(want, got); msg != "" {
+					rep.Consistent = false
+					rep.Mismatches = append(rep.Mismatches,
+						fmt.Sprintf("%s: llap run %d vs %s: %s", q.name, i, mode.name, msg))
+				}
+			}
+		}
+	}
+
+	// Cache-size sweep over SS-DB q1: from a budget far below the working
+	// set up to one that holds it fully.
+	q1 := llapQueries(base)[0]
+	for _, budget := range []int64{2 << 10, 8 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20} {
+		envCfg := base
+		envCfg.LLAP = true
+		envCfg.LLAPCacheBytes = budget
+		env, _, err := NewEnv(envCfg, q1.tables)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := env.Run(q1.sql); err != nil {
+			return nil, fmt.Errorf("bench: sweep cold at %d: %w", budget, err)
+		}
+		res, err := env.Run(q1.sql)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sweep warm at %d: %w", budget, err)
+		}
+		s := res.Stats
+		hr := 0.0
+		if s.CacheHits+s.CacheMisses > 0 {
+			hr = float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+		}
+		rep.Sweep = append(rep.Sweep, LLAPSweepRow{
+			CacheBytes: budget,
+			WarmDFS:    s.DFSBytesRead,
+			HitRate:    hr,
+			Elapsed:    s.Elapsed,
+		})
+		env.Driver.Close()
+	}
+	return rep, nil
+}
+
+// averageLLAPRows averages the warm runs.
+func averageLLAPRows(rows [][]LLAPRow) LLAPRow {
+	var out LLAPRow
+	n := int64(len(rows))
+	if n == 0 {
+		return out
+	}
+	for _, rr := range rows {
+		r := rr[0]
+		out.Elapsed += r.Elapsed
+		out.DFSBytes += r.DFSBytes
+		out.CacheBytes += r.CacheBytes
+		out.TotalBytes += r.TotalBytes
+		out.HitRate += r.HitRate
+		out.Rows = r.Rows
+	}
+	out.Elapsed /= time.Duration(n)
+	out.DFSBytes /= n
+	out.CacheBytes /= n
+	out.TotalBytes /= n
+	out.HitRate /= float64(n)
+	return out
+}
+
+// flattenRows turns a result into a flat value list for comparison,
+// sorting rows by their printed form so engines that emit unordered result
+// sets in different orders still compare equal.
+func flattenRows(res *core.Result) []interface{} {
+	rows := append([]types.Row(nil), res.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+	var out []interface{}
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// compareResults compares flattened results value by value; float64 values
+// compare with relative epsilon, everything else exactly. Returns "" on
+// match, else a description.
+func compareResults(want, got []interface{}) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d values vs %d", len(got), len(want))
+	}
+	for i := range want {
+		wf, wok := want[i].(float64)
+		gf, gok := got[i].(float64)
+		if wok && gok {
+			if !floatsClose(wf, gf) {
+				return fmt.Sprintf("value %d: %v vs %v", i, gf, wf)
+			}
+			continue
+		}
+		if want[i] != got[i] {
+			return fmt.Sprintf("value %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// PrintLLAP renders the experiment.
+func PrintLLAP(w io.Writer, rep *LLAPReport) {
+	fmt.Fprintln(w, "E9: LLAP daemon layer — cold vs warm (cache shared across runs)")
+	fmt.Fprintf(w, "%-10s %-6s %12s %12s %12s %12s %9s\n",
+		"query", "run", "elapsed(ms)", "dfs(MB)", "cache(MB)", "total(MB)", "hit rate")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(w, "%-10s %-6s %12d %12.2f %12.2f %12.2f %8.1f%%\n",
+			r.Query, r.Run, r.Elapsed.Milliseconds(), mb(r.DFSBytes), mb(r.CacheBytes), mb(r.TotalBytes), 100*r.HitRate)
+	}
+	for _, q := range []string{"ssdb-q1", "tpch-q6"} {
+		var cold, warm *LLAPRow
+		for i := range rep.Runs {
+			r := &rep.Runs[i]
+			if r.Query != q {
+				continue
+			}
+			if r.Run == "cold" {
+				cold = r
+			} else {
+				warm = r
+			}
+		}
+		if cold != nil && warm != nil && cold.DFSBytes > 0 {
+			fmt.Fprintf(w, "%s: warm reads %.1f%% fewer DFS bytes, %.2fx faster\n",
+				q, 100*(1-float64(warm.DFSBytes)/float64(cold.DFSBytes)),
+				float64(cold.Elapsed)/float64(maxDuration(warm.Elapsed, 1)))
+		}
+	}
+	fmt.Fprintln(w, "\nCache-size sweep (SS-DB q1, warm run):")
+	fmt.Fprintf(w, "%12s %12s %9s %12s\n", "budget(MB)", "dfs(MB)", "hit rate", "elapsed(ms)")
+	for _, r := range rep.Sweep {
+		fmt.Fprintf(w, "%12.2f %12.2f %8.1f%% %12d\n",
+			mb(r.CacheBytes), mb(r.WarmDFS), 100*r.HitRate, r.Elapsed.Milliseconds())
+	}
+	if rep.Consistent {
+		fmt.Fprintln(w, "\nResults identical across mapreduce / tez / llap (cold and warm).")
+	} else {
+		fmt.Fprintln(w, "\nRESULT MISMATCHES:")
+		for _, m := range rep.Mismatches {
+			fmt.Fprintln(w, "  "+m)
+		}
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

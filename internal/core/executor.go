@@ -14,6 +14,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fileformat"
 	"repro/internal/mapred"
+	"repro/internal/orc"
 	"repro/internal/plan"
 	"repro/internal/types"
 	"repro/internal/vexec"
@@ -24,7 +25,9 @@ type executor struct {
 	compiled *compiler.Compiled
 	qid      int64
 	tempDir  string
-	tez      bool
+	tez      bool // in-memory edges (Tez and LLAP modes)
+	llap     bool
+	caches   *orc.Caches // LLAP's shared caches; nil outside ModeLLAP
 
 	mu      sync.Mutex
 	results []types.Row
@@ -36,14 +39,19 @@ type executor struct {
 }
 
 func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64) *executor {
-	return &executor{
+	ex := &executor{
 		d:        d,
 		compiled: compiled,
 		qid:      qid,
 		tempDir:  fmt.Sprintf("/tmp/query-%d", qid),
-		tez:      d.conf.Engine == ModeTez,
+		tez:      d.conf.Engine == ModeTez || d.conf.Engine == ModeLLAP,
+		llap:     d.conf.Engine == ModeLLAP,
 		memTemps: map[string][][]types.Row{},
 	}
+	if ex.llap {
+		ex.caches = d.LLAP().Caches()
+	}
+	return ex
 }
 
 func (ex *executor) cleanup() {
@@ -66,9 +74,10 @@ func (ex *executor) tableInfo(name string) (path string, format fileformat.Kind,
 
 func (ex *executor) run() error {
 	for i, task := range ex.compiled.Tasks {
-		// In Tez mode the whole DAG launches once; later stages reuse
-		// the containers.
-		chained := ex.tez && i > 0
+		// In Tez mode the whole DAG launches once; later stages reuse the
+		// containers. In LLAP mode the daemons are already running, so not
+		// even the first stage pays a launch.
+		chained := ex.llap || (ex.tez && i > 0)
 		if err := ex.runTask(task, chained); err != nil {
 			return fmt.Errorf("core: task %d: %w", task.ID, err)
 		}
@@ -135,6 +144,9 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 		MapFunc: func(tc *mapred.TaskContext, sp any, out mapred.Collector) error {
 			return ex.runMapTask(task, tc, sp.(split), out)
 		},
+	}
+	if ex.llap {
+		job.Runner = ex.d.LLAP().Execute
 	}
 	if !task.IsMapOnly() {
 		job.NumReduces = task.NumReducers
@@ -281,7 +293,7 @@ func (ex *executor) openScan(ts *plan.TableScan, node int) (func() (types.Row, e
 				}
 				var err error
 				r, err = fileformat.Open(ex.d.fs, files[idx].Name, schema, format,
-					fileformat.ScanOptions{Include: include, SArg: ts.SArg})
+					fileformat.ScanOptions{Include: include, SArg: ts.SArg, ORCCaches: ex.caches})
 				if err != nil {
 					return nil, err
 				}
@@ -339,7 +351,7 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 		return err
 	}
 	if scan.Vectorize {
-		if err := vexec.RunVectorizedScan(ex.d.fs, sp.path, scan, ctx, tc.Node); err != nil {
+		if err := vexec.RunVectorizedScan(ex.d.fs, sp.path, scan, ctx, tc.Node, ex.caches); err != nil {
 			return err
 		}
 		return sinks.close()
@@ -357,7 +369,7 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 	}
 	include, scatter := scanInclude(scan)
 	r, err := fileformat.Open(ex.d.fs, sp.path, schema, format,
-		fileformat.ScanOptions{Include: include, SArg: scan.SArg})
+		fileformat.ScanOptions{Include: include, SArg: scan.SArg, ORCCaches: ex.caches})
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,12 @@ type Stats struct {
 	WriteOps     atomic.Int64
 	LocalReads   atomic.Int64 // block reads served by the reader's node
 	RemoteReads  atomic.Int64 // block reads that crossed nodes
+	// Metadata reads (ORC postscripts, footers, row indexes — issued via
+	// ReadAtMeta) as a sub-category of ReadOps/BytesRead: they are included
+	// in the totals above and broken out here so cache experiments can
+	// separate "planning" I/O from data-stream I/O.
+	MetaReadOps   atomic.Int64
+	MetaBytesRead atomic.Int64
 	// IOTimeNanos is the simulated disk time for the bytes moved and the
 	// seeks performed, at the configured bandwidth and seek latency.
 	// Nothing sleeps; the driver adds this to reported elapsed times so
@@ -36,38 +42,44 @@ type Stats struct {
 
 // Snapshot is an immutable copy of Stats counters.
 type Snapshot struct {
-	BytesRead    int64
-	BytesWritten int64
-	ReadOps      int64
-	WriteOps     int64
-	LocalReads   int64
-	RemoteReads  int64
-	IOTime       time.Duration
+	BytesRead     int64
+	BytesWritten  int64
+	ReadOps       int64
+	WriteOps      int64
+	LocalReads    int64
+	RemoteReads   int64
+	MetaReadOps   int64
+	MetaBytesRead int64
+	IOTime        time.Duration
 }
 
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		BytesRead:    s.BytesRead.Load(),
-		BytesWritten: s.BytesWritten.Load(),
-		ReadOps:      s.ReadOps.Load(),
-		WriteOps:     s.WriteOps.Load(),
-		LocalReads:   s.LocalReads.Load(),
-		RemoteReads:  s.RemoteReads.Load(),
-		IOTime:       time.Duration(s.IOTimeNanos.Load()),
+		BytesRead:     s.BytesRead.Load(),
+		BytesWritten:  s.BytesWritten.Load(),
+		ReadOps:       s.ReadOps.Load(),
+		WriteOps:      s.WriteOps.Load(),
+		LocalReads:    s.LocalReads.Load(),
+		RemoteReads:   s.RemoteReads.Load(),
+		MetaReadOps:   s.MetaReadOps.Load(),
+		MetaBytesRead: s.MetaBytesRead.Load(),
+		IOTime:        time.Duration(s.IOTimeNanos.Load()),
 	}
 }
 
 // Diff returns the delta from an earlier snapshot.
 func (s Snapshot) Diff(earlier Snapshot) Snapshot {
 	return Snapshot{
-		BytesRead:    s.BytesRead - earlier.BytesRead,
-		BytesWritten: s.BytesWritten - earlier.BytesWritten,
-		ReadOps:      s.ReadOps - earlier.ReadOps,
-		WriteOps:     s.WriteOps - earlier.WriteOps,
-		LocalReads:   s.LocalReads - earlier.LocalReads,
-		RemoteReads:  s.RemoteReads - earlier.RemoteReads,
-		IOTime:       s.IOTime - earlier.IOTime,
+		BytesRead:     s.BytesRead - earlier.BytesRead,
+		BytesWritten:  s.BytesWritten - earlier.BytesWritten,
+		ReadOps:       s.ReadOps - earlier.ReadOps,
+		WriteOps:      s.WriteOps - earlier.WriteOps,
+		LocalReads:    s.LocalReads - earlier.LocalReads,
+		RemoteReads:   s.RemoteReads - earlier.RemoteReads,
+		MetaReadOps:   s.MetaReadOps - earlier.MetaReadOps,
+		MetaBytesRead: s.MetaBytesRead - earlier.MetaBytesRead,
+		IOTime:        s.IOTime - earlier.IOTime,
 	}
 }
 
@@ -354,6 +366,19 @@ func (r *FileReader) ReadAt(p []byte, off int64) (int, error) {
 	var err error
 	if n < len(p) {
 		err = io.EOF
+	}
+	return n, err
+}
+
+// ReadAtMeta reads like ReadAt but additionally counts the read as a
+// metadata read (MetaReadOps/MetaBytesRead). The ORC reader issues its
+// postscript, footer and row-index reads through this path so experiments
+// can distinguish metadata I/O from data-stream I/O.
+func (r *FileReader) ReadAtMeta(p []byte, off int64) (int, error) {
+	n, err := r.ReadAt(p, off)
+	if n > 0 {
+		r.fs.stats.MetaReadOps.Add(1)
+		r.fs.stats.MetaBytesRead.Add(int64(n))
 	}
 	return n, err
 }

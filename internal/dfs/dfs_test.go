@@ -3,6 +3,7 @@ package dfs
 import (
 	"bytes"
 	"io"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -242,5 +243,87 @@ func TestSimulatedDiskDisabledByDefault(t *testing.T) {
 	w.Close()
 	if got := fs.Stats().Snapshot().IOTime; got != 0 {
 		t.Fatalf("IOTime = %v without simulation", got)
+	}
+}
+
+func TestMetaReadCounters(t *testing.T) {
+	fs := New(WithBlockSize(16))
+	w, _ := fs.Create("/f")
+	w.Write(make([]byte, 100))
+	w.Close()
+	r, _ := fs.Open("/f")
+	before := fs.Stats().Snapshot()
+	buf := make([]byte, 10)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAtMeta(buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Stats().Snapshot().Diff(before)
+	if d.ReadOps != 2 || d.BytesRead != 20 {
+		t.Fatalf("totals: got %d ops / %d bytes, want 2 / 20", d.ReadOps, d.BytesRead)
+	}
+	if d.MetaReadOps != 1 || d.MetaBytesRead != 10 {
+		t.Fatalf("meta: got %d ops / %d bytes, want 1 / 10", d.MetaReadOps, d.MetaBytesRead)
+	}
+}
+
+// TestSnapshotDiffConcurrentReaders verifies the Snapshot/Diff counters stay
+// exact when many readers issue data and metadata reads concurrently (run
+// under -race to also check the counters themselves are race-free).
+func TestSnapshotDiffConcurrentReaders(t *testing.T) {
+	fs := New(WithBlockSize(64), WithNodes(4))
+	w, _ := fs.Create("/f")
+	w.Write(make([]byte, 4096))
+	w.Close()
+
+	const readers = 8
+	const readsPer = 50
+	const readSize = 16
+
+	before := fs.Stats().Snapshot()
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			r, err := fs.Open("/f")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, readSize)
+			for j := 0; j < readsPer; j++ {
+				off := int64((seed*readsPer + j) * 7 % (4096 - readSize))
+				var err error
+				if j%2 == 0 {
+					_, err = r.ReadAt(buf, off)
+				} else {
+					_, err = r.ReadAtMeta(buf, off)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	d := fs.Stats().Snapshot().Diff(before)
+
+	wantOps := int64(readers * readsPer)
+	wantBytes := wantOps * readSize
+	if d.ReadOps != wantOps || d.BytesRead != wantBytes {
+		t.Fatalf("totals: got %d ops / %d bytes, want %d / %d", d.ReadOps, d.BytesRead, wantOps, wantBytes)
+	}
+	if d.MetaReadOps != wantOps/2 || d.MetaBytesRead != wantBytes/2 {
+		t.Fatalf("meta: got %d ops / %d bytes, want %d / %d", d.MetaReadOps, d.MetaBytesRead, wantOps/2, wantBytes/2)
+	}
+	if d.LocalReads+d.RemoteReads < wantOps {
+		t.Fatalf("local+remote block reads %d < %d ops", d.LocalReads+d.RemoteReads, wantOps)
+	}
+	if d.BytesWritten != 0 || d.WriteOps != 0 {
+		t.Fatalf("unexpected write deltas: %+v", d)
 	}
 }

@@ -85,6 +85,10 @@ type ScanOptions struct {
 	Include []string
 	// SArg is honored only by ORC.
 	SArg *orc.SearchArgument
+	// ORCCaches, when set, lets ORC readers serve chunks and metadata from
+	// an LLAP-style cache, keyed by the file's DFS path; other formats
+	// ignore it.
+	ORCCaches *orc.Caches
 }
 
 // Create opens a writer for a new file at path.
@@ -140,7 +144,7 @@ func Open(fs *dfs.FS, path string, schema *types.Schema, kind Kind, scan ScanOpt
 	case RC:
 		return newRCReader(fr, schema, scan)
 	case ORC:
-		r, err := orc.NewReader(fr)
+		r, err := orc.NewCachedReader(fr, path, scan.ORCCaches)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,242 @@
+// Package llap is an LLAP-style daemon layer (Camacho-Rodríguez et al.
+// 2019; the SIGMOD 2014 paper's §9 outlook): a shared, size-bounded
+// in-memory cache of decompressed ORC column chunks plus a pool of
+// persistent executors. Repeated queries over immutable HDFS data stop
+// paying the dominant avoidable cost — re-reading the same bytes from the
+// DFS (and, here, its simulated disk charge) on every query — and stop
+// paying per-query worker start cost.
+package llap
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/orc"
+)
+
+// CacheStats aggregates data-cache accounting. All counters are cumulative;
+// use Snapshot/Diff to measure a single query.
+type CacheStats struct {
+	Hits       atomic.Int64
+	Misses     atomic.Int64
+	Evictions  atomic.Int64
+	Inserts    atomic.Int64
+	Rejected   atomic.Int64 // inserts refused (chunk larger than evictable space)
+	BytesSaved atomic.Int64 // decompressed bytes served from cache instead of the DFS
+}
+
+// CacheSnapshot is an immutable copy of cache counters plus current
+// occupancy.
+type CacheSnapshot struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Inserts     int64
+	Rejected    int64
+	BytesSaved  int64
+	BytesCached int64
+	Entries     int64
+}
+
+// Diff returns the delta of the cumulative counters from an earlier
+// snapshot; occupancy fields (BytesCached, Entries) keep their current
+// values, since they are gauges, not counters.
+func (s CacheSnapshot) Diff(earlier CacheSnapshot) CacheSnapshot {
+	return CacheSnapshot{
+		Hits:        s.Hits - earlier.Hits,
+		Misses:      s.Misses - earlier.Misses,
+		Evictions:   s.Evictions - earlier.Evictions,
+		Inserts:     s.Inserts - earlier.Inserts,
+		Rejected:    s.Rejected - earlier.Rejected,
+		BytesSaved:  s.BytesSaved - earlier.BytesSaved,
+		BytesCached: s.BytesCached,
+		Entries:     s.Entries,
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no lookups happened.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a concurrency-safe, size-bounded store of decompressed ORC
+// stream chunks with LRU-with-pin eviction. It implements orc.ChunkCache.
+// Pinned entries are never evicted (LLAP pins buffers while an executor
+// decodes from them); everything else is evicted least-recently-used-first
+// to keep total bytes within the budget.
+type Cache struct {
+	budget int64 // byte budget; <= 0 means unbounded
+	stats  CacheStats
+
+	mu      sync.Mutex
+	bytes   int64
+	lru     *list.List // front = most recently used
+	entries map[orc.ChunkKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  orc.ChunkKey
+	data []byte
+	pins int
+}
+
+// NewCache creates a chunk cache with the given byte budget; budget <= 0
+// means unbounded.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		lru:     list.New(),
+		entries: make(map[orc.ChunkKey]*list.Element),
+	}
+}
+
+// Budget returns the configured byte budget.
+func (c *Cache) Budget() int64 { return c.budget }
+
+// GetChunk returns the cached chunk for key, marking it most recently used.
+// The returned bytes are shared and must be treated as immutable.
+func (c *Cache) GetChunk(key orc.ChunkKey) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.stats.Misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	data := el.Value.(*cacheEntry).data
+	c.mu.Unlock()
+	c.stats.Hits.Add(1)
+	c.stats.BytesSaved.Add(int64(len(data)))
+	return data, true
+}
+
+// PutChunk inserts a chunk, evicting least-recently-used unpinned entries
+// until the budget is respected. A chunk that cannot fit even after
+// evicting every unpinned entry is not inserted (the cache never exceeds
+// its budget and never drops a pinned chunk to make room).
+func (c *Cache) PutChunk(key orc.ChunkKey, data []byte) {
+	size := int64(len(data))
+	if c.budget > 0 && size > c.budget {
+		c.stats.Rejected.Add(1)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Re-insert of an existing key: refresh data and recency.
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - int64(len(e.data))
+		e.data = data
+		c.lru.MoveToFront(el)
+		c.evictLocked(el)
+		return
+	}
+	if !c.makeRoomLocked(size) {
+		c.stats.Rejected.Add(1)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, data: data})
+	c.entries[key] = el
+	c.bytes += size
+	c.stats.Inserts.Add(1)
+}
+
+// makeRoomLocked evicts unpinned LRU entries until size more bytes fit.
+// It reports whether the space was found.
+func (c *Cache) makeRoomLocked(size int64) bool {
+	if c.budget <= 0 {
+		return true
+	}
+	for c.bytes+size > c.budget {
+		victim := c.oldestUnpinnedLocked(nil)
+		if victim == nil {
+			return false
+		}
+		c.removeLocked(victim)
+		c.stats.Evictions.Add(1)
+	}
+	return true
+}
+
+// evictLocked evicts unpinned LRU entries (other than keep) until the
+// budget is respected; used after an in-place update grew an entry.
+func (c *Cache) evictLocked(keep *list.Element) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		victim := c.oldestUnpinnedLocked(keep)
+		if victim == nil {
+			return
+		}
+		c.removeLocked(victim)
+		c.stats.Evictions.Add(1)
+	}
+}
+
+func (c *Cache) oldestUnpinnedLocked(skip *list.Element) *list.Element {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if el == skip {
+			continue
+		}
+		if el.Value.(*cacheEntry).pins == 0 {
+			return el
+		}
+	}
+	return nil
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= int64(len(e.data))
+}
+
+// Pin marks the chunk as non-evictable until a matching Unpin. Pinning a
+// missing key is a no-op returning false.
+func (c *Cache) Pin(key orc.ChunkKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	el.Value.(*cacheEntry).pins++
+	return true
+}
+
+// Unpin releases one pin of the chunk.
+func (c *Cache) Unpin(key orc.ChunkKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		if e := el.Value.(*cacheEntry); e.pins > 0 {
+			e.pins--
+		}
+	}
+}
+
+// Snapshot copies the current counter values and occupancy.
+func (c *Cache) Snapshot() CacheSnapshot {
+	c.mu.Lock()
+	bytes := c.bytes
+	entries := int64(c.lru.Len())
+	c.mu.Unlock()
+	return CacheSnapshot{
+		Hits:        c.stats.Hits.Load(),
+		Misses:      c.stats.Misses.Load(),
+		Evictions:   c.stats.Evictions.Load(),
+		Inserts:     c.stats.Inserts.Load(),
+		Rejected:    c.stats.Rejected.Load(),
+		BytesSaved:  c.stats.BytesSaved.Load(),
+		BytesCached: bytes,
+		Entries:     entries,
+	}
+}

@@ -1,0 +1,193 @@
+package llap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/orc"
+	"repro/internal/orc/stream"
+)
+
+func key(path string, stripe, col, group int) orc.ChunkKey {
+	return orc.ChunkKey{Path: path, Stripe: stripe, Column: col, Stream: stream.Data, Group: group}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := key("/t/f0", 0, 1, 0)
+	if _, ok := c.GetChunk(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.PutChunk(k, []byte("hello"))
+	got, ok := c.GetChunk(k)
+	if !ok || string(got) != "hello" {
+		t.Fatalf("GetChunk = %q, %v", got, ok)
+	}
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 insert", s)
+	}
+	if s.BytesSaved != 5 || s.BytesCached != 5 || s.Entries != 1 {
+		t.Fatalf("bytes %+v, want 5 saved / 5 cached / 1 entry", s)
+	}
+}
+
+func TestCacheRespectsBudget(t *testing.T) {
+	c := NewCache(100)
+	for i := 0; i < 20; i++ {
+		c.PutChunk(key("/t/f0", 0, i, 0), make([]byte, 30))
+		if s := c.Snapshot(); s.BytesCached > 100 {
+			t.Fatalf("after insert %d: %d bytes cached > budget 100", i, s.BytesCached)
+		}
+	}
+	s := c.Snapshot()
+	if s.Entries != 3 || s.BytesCached != 90 {
+		t.Fatalf("final occupancy %d entries / %d bytes, want 3 / 90", s.Entries, s.BytesCached)
+	}
+	if s.Evictions != 17 {
+		t.Fatalf("evictions = %d, want 17", s.Evictions)
+	}
+}
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c := NewCache(90)
+	a, b, d := key("/f", 0, 0, 0), key("/f", 0, 1, 0), key("/f", 0, 2, 0)
+	c.PutChunk(a, make([]byte, 30))
+	c.PutChunk(b, make([]byte, 30))
+	c.PutChunk(d, make([]byte, 30))
+	c.GetChunk(a) // a becomes most recent; b is now LRU
+	c.PutChunk(key("/f", 0, 3, 0), make([]byte, 30))
+	if _, ok := c.GetChunk(b); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []orc.ChunkKey{a, d} {
+		if _, ok := c.GetChunk(k); !ok {
+			t.Fatalf("entry %v evicted out of LRU order", k)
+		}
+	}
+}
+
+func TestCacheOversizeChunkRejected(t *testing.T) {
+	c := NewCache(100)
+	c.PutChunk(key("/f", 0, 0, 0), make([]byte, 40))
+	c.PutChunk(key("/f", 0, 1, 0), make([]byte, 200))
+	s := c.Snapshot()
+	if s.Rejected != 1 || s.BytesCached != 40 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want oversize chunk rejected leaving 40 bytes", s)
+	}
+}
+
+func TestCachePinnedNeverEvicted(t *testing.T) {
+	c := NewCache(100)
+	pinned := key("/f", 0, 0, 0)
+	c.PutChunk(pinned, make([]byte, 60))
+	if !c.Pin(pinned) {
+		t.Fatal("Pin failed on present key")
+	}
+	// Flood with entries; only 40 unpinned bytes fit, so everything else
+	// churns but the pinned chunk must stay.
+	for i := 1; i < 30; i++ {
+		c.PutChunk(key("/f", 0, i, 0), make([]byte, 40))
+		if _, ok := c.GetChunk(pinned); !ok {
+			t.Fatalf("pinned chunk evicted after insert %d", i)
+		}
+		if s := c.Snapshot(); s.BytesCached > 100 {
+			t.Fatalf("budget exceeded: %d", s.BytesCached)
+		}
+	}
+	// A chunk that cannot fit without evicting the pinned entry is refused.
+	c.PutChunk(key("/g", 0, 0, 0), make([]byte, 80))
+	if _, ok := c.GetChunk(key("/g", 0, 0, 0)); ok {
+		t.Fatal("insert displacing a pinned chunk succeeded")
+	}
+	if _, ok := c.GetChunk(pinned); !ok {
+		t.Fatal("pinned chunk lost")
+	}
+	c.Unpin(pinned)
+	c.PutChunk(key("/g", 0, 0, 0), make([]byte, 80))
+	if _, ok := c.GetChunk(key("/g", 0, 0, 0)); !ok {
+		t.Fatal("insert failed after unpin freed space")
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines (run with
+// -race) and checks the byte budget is never exceeded.
+func TestCacheConcurrent(t *testing.T) {
+	const budget = 64 << 10
+	c := NewCache(budget)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(fmt.Sprintf("/t/f%d", g%2), i%5, 0, i%3)
+				if data, ok := c.GetChunk(k); ok {
+					_ = data[0] // cached bytes must stay readable
+					continue
+				}
+				c.PutChunk(k, make([]byte, 128+(i%5)*512))
+				if s := c.Snapshot(); s.BytesCached > budget {
+					t.Errorf("budget exceeded: %d > %d", s.BytesCached, budget)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.BytesCached > budget {
+		t.Fatalf("final bytes %d > budget %d", s.BytesCached, budget)
+	}
+	if s.Hits == 0 || s.Inserts == 0 {
+		t.Fatalf("expected hits and inserts, got %+v", s)
+	}
+}
+
+func TestMetaCacheBoundAndLRU(t *testing.T) {
+	c := NewMetaCache(3)
+	for i := 0; i < 5; i++ {
+		c.PutMeta(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.GetMeta("k0"); ok {
+		t.Fatal("oldest entry survived bound")
+	}
+	if v, ok := c.GetMeta("k4"); !ok || v.(int) != 4 {
+		t.Fatalf("GetMeta(k4) = %v, %v", v, ok)
+	}
+	// k2 is now LRU (k3 and k4 touched more recently via insert order, k4
+	// also via Get); inserting one more evicts k2.
+	c.GetMeta("k3")
+	c.PutMeta("k5", 5)
+	if _, ok := c.GetMeta("k2"); ok {
+		t.Fatal("LRU meta entry survived eviction")
+	}
+	if c.Hits() == 0 || c.Misses() == 0 {
+		t.Fatal("expected nonzero hit and miss counters")
+	}
+}
+
+func TestMetaCacheConcurrent(t *testing.T) {
+	c := NewMetaCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%24)
+				if _, ok := c.GetMeta(k); !ok {
+					c.PutMeta(k, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Fatalf("Len = %d > bound 16", n)
+	}
+}

@@ -1,0 +1,211 @@
+package llap
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/orc"
+)
+
+// Config sizes a daemon.
+type Config struct {
+	// Workers is the number of persistent executor goroutines (LLAP's
+	// fixed-size executor pool). Default 4.
+	Workers int
+	// QueueDepth is the admission-queue capacity: tasks waiting beyond the
+	// ones executors are running. Submit rejects when it is full (LLAP's AM
+	// admission control); Execute waits. Default 64.
+	QueueDepth int
+	// CacheBytes is the chunk-cache byte budget. Default 64 MiB;
+	// negative disables the data cache.
+	CacheBytes int64
+	// MetaEntries bounds the metadata cache. Default 1024; negative
+	// disables the metadata cache.
+	MetaEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MetaEntries == 0 {
+		c.MetaEntries = 1024
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity.
+var ErrQueueFull = errors.New("llap: admission queue full")
+
+// ErrClosed is returned when submitting to a closed daemon.
+var ErrClosed = errors.New("llap: daemon closed")
+
+// DaemonStats aggregates executor-pool accounting.
+type DaemonStats struct {
+	Submitted     atomic.Int64
+	Rejected      atomic.Int64
+	Executed      atomic.Int64
+	MaxConcurrent atomic.Int64 // high-water mark of simultaneously running tasks
+}
+
+// DaemonSnapshot is an immutable copy of DaemonStats.
+type DaemonSnapshot struct {
+	Submitted     int64
+	Rejected      int64
+	Executed      int64
+	MaxConcurrent int64
+}
+
+// Daemon is a persistent executor pool with an admission queue and the
+// shared caches. Unlike the per-query task slots of the MapReduce and Tez
+// modes, its workers outlive queries: a query running in ModeLLAP pays no
+// worker start cost and shares cache contents with every query before it.
+type Daemon struct {
+	cfg     Config
+	chunks  *Cache
+	meta    *MetaCache
+	caches  orc.Caches
+	tasks   chan *task
+	wg      sync.WaitGroup
+	running atomic.Int64
+	stats   DaemonStats
+
+	mu     sync.RWMutex // guards closed vs. sends on tasks
+	closed bool
+}
+
+type task struct {
+	fn   func() error
+	done chan error
+}
+
+// NewDaemon starts the worker pool.
+func NewDaemon(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	d := &Daemon{
+		cfg:   cfg,
+		tasks: make(chan *task, cfg.QueueDepth),
+	}
+	if cfg.CacheBytes > 0 {
+		d.chunks = NewCache(cfg.CacheBytes)
+		d.caches.Chunks = d.chunks
+	}
+	if cfg.MetaEntries > 0 {
+		d.meta = NewMetaCache(cfg.MetaEntries)
+		d.caches.Meta = d.meta
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d
+}
+
+// Config returns the effective (default-filled) configuration.
+func (d *Daemon) Config() Config { return d.cfg }
+
+// Caches returns the cache hooks to hand to ORC readers. Fields are nil for
+// disabled caches.
+func (d *Daemon) Caches() *orc.Caches { return &d.caches }
+
+// ChunkCache returns the data cache, or nil when disabled.
+func (d *Daemon) ChunkCache() *Cache { return d.chunks }
+
+// MetaCache returns the metadata cache, or nil when disabled.
+func (d *Daemon) MetaCache() *MetaCache { return d.meta }
+
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for t := range d.tasks {
+		n := d.running.Add(1)
+		for {
+			max := d.stats.MaxConcurrent.Load()
+			if n <= max || d.stats.MaxConcurrent.CompareAndSwap(max, n) {
+				break
+			}
+		}
+		err := t.fn()
+		d.running.Add(-1)
+		d.stats.Executed.Add(1)
+		t.done <- err
+	}
+}
+
+// enqueue places a task on the admission queue. When block is false and the
+// queue is full, it returns ErrQueueFull without waiting.
+func (d *Daemon) enqueue(t *task, block bool) error {
+	// The read lock spans the channel send so Close cannot close the
+	// channel mid-send; workers keep draining until Close wins the write
+	// lock, so a blocked send always completes.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if block {
+		d.tasks <- t
+		d.stats.Submitted.Add(1)
+		return nil
+	}
+	select {
+	case d.tasks <- t:
+		d.stats.Submitted.Add(1)
+		return nil
+	default:
+		d.stats.Rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Execute runs fn on a pool worker and waits for it, queueing (and, when
+// the queue is full, waiting for admission) as needed.
+func (d *Daemon) Execute(fn func() error) error {
+	t := &task{fn: fn, done: make(chan error, 1)}
+	if err := d.enqueue(t, true); err != nil {
+		return err
+	}
+	return <-t.done
+}
+
+// Submit enqueues fn without waiting for execution. It returns a wait
+// function resolving to fn's error, or ErrQueueFull when admission control
+// rejects the task.
+func (d *Daemon) Submit(fn func() error) (wait func() error, err error) {
+	t := &task{fn: fn, done: make(chan error, 1)}
+	if err := d.enqueue(t, false); err != nil {
+		return nil, err
+	}
+	return func() error { return <-t.done }, nil
+}
+
+// Close stops the workers after draining queued tasks. Further submissions
+// fail with ErrClosed.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.tasks)
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// Snapshot copies the executor-pool counters.
+func (d *Daemon) Snapshot() DaemonSnapshot {
+	return DaemonSnapshot{
+		Submitted:     d.stats.Submitted.Load(),
+		Rejected:      d.stats.Rejected.Load(),
+		Executed:      d.stats.Executed.Load(),
+		MaxConcurrent: d.stats.MaxConcurrent.Load(),
+	}
+}

@@ -1,0 +1,196 @@
+package llap
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDaemonBoundsConcurrency checks the pool never runs more than Workers
+// tasks at once while queueing the rest.
+func TestDaemonBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	const tasks = 13
+	d := NewDaemon(Config{Workers: workers, QueueDepth: tasks})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, tasks)
+	var running, peak atomic.Int64
+	waits := make([]func() error, 0, tasks)
+	for i := 0; i < tasks; i++ {
+		wait, err := d.Submit(func() error {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			started <- struct{}{}
+			<-gate
+			running.Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		waits = append(waits, wait)
+	}
+	// Exactly `workers` tasks start; the rest sit in the queue.
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	select {
+	case <-started:
+		t.Fatal("more tasks running than workers")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	for i, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if p := peak.Load(); p != workers {
+		t.Fatalf("peak concurrency %d, want %d", p, workers)
+	}
+	s := d.Snapshot()
+	if s.Executed != tasks || s.Submitted != tasks || s.MaxConcurrent != workers {
+		t.Fatalf("stats %+v, want %d executed / %d submitted / max %d", s, tasks, tasks, workers)
+	}
+}
+
+func TestSubmitRejectsWhenQueueFull(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1, QueueDepth: 2})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := d.Submit(func() error {
+		close(started)
+		<-gate
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now occupied
+	var queued []func() error
+	for i := 0; i < 2; i++ {
+		w, err := d.Submit(func() error { return nil })
+		if err != nil {
+			t.Fatalf("Submit into non-full queue: %v", err)
+		}
+		queued = append(queued, w)
+	}
+	if _, err := d.Submit(func() error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit into full queue: err = %v, want ErrQueueFull", err)
+	}
+	if s := d.Snapshot(); s.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", s.Rejected)
+	}
+	close(gate)
+	if err := blocker(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range queued {
+		if err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExecuteWaitsForAdmission checks the blocking path queues past a full
+// admission queue instead of rejecting.
+func TestExecuteWaitsForAdmission(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1, QueueDepth: 1})
+	defer d.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := d.Submit(func() error {
+		close(started)
+		<-gate
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := d.Submit(func() error { return nil }); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	executed := make(chan error, 1)
+	go func() {
+		executed <- d.Execute(func() error { return nil })
+	}()
+	select {
+	case err := <-executed:
+		t.Fatalf("Execute returned %v before admission was possible", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-executed; err != nil {
+		t.Fatal(err)
+	}
+	if err := blocker(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonTaskError(t *testing.T) {
+	d := NewDaemon(Config{Workers: 2})
+	defer d.Close()
+	want := errors.New("boom")
+	if err := d.Execute(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Execute error = %v, want %v", err, want)
+	}
+}
+
+func TestDaemonCloseDrainsAndRejects(t *testing.T) {
+	d := NewDaemon(Config{Workers: 2, QueueDepth: 8})
+	var ran atomic.Int64
+	waits := make([]func() error, 0, 6)
+	for i := 0; i < 6; i++ {
+		w, err := d.Submit(func() error { ran.Add(1); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+	}
+	d.Close()
+	for _, w := range waits {
+		if err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ran.Load(); n != 6 {
+		t.Fatalf("ran %d queued tasks after Close, want 6", n)
+	}
+	if err := d.Execute(func() error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Execute after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Submit(func() error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	d.Close() // idempotent
+}
+
+func TestDaemonCachesWiring(t *testing.T) {
+	d := NewDaemon(Config{})
+	defer d.Close()
+	caches := d.Caches()
+	if caches.Chunks == nil || caches.Meta == nil {
+		t.Fatal("default config should enable both caches")
+	}
+	if d.ChunkCache().Budget() != 64<<20 {
+		t.Fatalf("default budget = %d, want 64 MiB", d.ChunkCache().Budget())
+	}
+	off := NewDaemon(Config{CacheBytes: -1, MetaEntries: -1})
+	defer off.Close()
+	if off.Caches().Chunks != nil || off.Caches().Meta != nil {
+		t.Fatal("negative sizes should disable caches")
+	}
+}

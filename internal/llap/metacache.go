@@ -1,0 +1,82 @@
+package llap
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// MetaCache is a concurrency-safe, count-bounded LRU store of decoded ORC
+// metadata (file tails, stripe footers, row indexes). It implements
+// orc.MetaCache. Metadata entries are small and few per file, so the bound
+// is a count, not bytes.
+type MetaCache struct {
+	max    int // <= 0 means unbounded
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type metaEntry struct {
+	key string
+	v   any
+}
+
+// NewMetaCache creates a metadata cache holding at most max entries;
+// max <= 0 means unbounded.
+func NewMetaCache(max int) *MetaCache {
+	return &MetaCache{
+		max:     max,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// GetMeta returns the cached value for key, marking it most recently used.
+func (c *MetaCache) GetMeta(key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	v := el.Value.(*metaEntry).v
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// PutMeta inserts or replaces the value for key, evicting the
+// least-recently-used entry when the bound is exceeded.
+func (c *MetaCache) PutMeta(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*metaEntry).v = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&metaEntry{key: key, v: v})
+	c.entries[key] = el
+	if c.max > 0 && c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*metaEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *MetaCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Hits and Misses return the cumulative lookup counters.
+func (c *MetaCache) Hits() int64   { return c.hits.Load() }
+func (c *MetaCache) Misses() int64 { return c.misses.Load() }

@@ -74,6 +74,12 @@ type Job struct {
 	// stage in the same DAG (Tez-style execution): no per-job launch
 	// overhead is charged.
 	ChainedLaunch bool
+	// Runner, when set, executes each task on an external persistent
+	// executor pool (LLAP-style daemons) instead of the engine's per-query
+	// task slots: no per-task launch overhead is charged and the engine's
+	// slot bound does not apply — the pool enforces its own concurrency
+	// limit and admission queue.
+	Runner func(fn func() error) error
 }
 
 // Counters aggregates engine activity across jobs; all fields are
@@ -226,7 +232,7 @@ func (e *Engine) Run(job *Job) error {
 	}
 
 	// Map phase.
-	if err := e.runTasks(len(job.Splits), func(i, node int) error {
+	if err := e.runTasks(job, len(job.Splits), func(i, node int) error {
 		tc := &TaskContext{JobName: job.Name, TaskID: i, Node: node}
 		start := time.Now()
 		err := job.MapFunc(tc, job.Splits[i], out)
@@ -242,7 +248,7 @@ func (e *Engine) Run(job *Job) error {
 
 	// Reduce phase: sort each partition by (key, tag), group by key, and
 	// push groups to the reducer.
-	return e.runTasks(job.NumReduces, func(i, node int) error {
+	return e.runTasks(job, job.NumReduces, func(i, node int) error {
 		tc := &TaskContext{JobName: job.Name, TaskID: i, Node: node, Reduce: true}
 		start := time.Now()
 		err := e.reduceTask(tc, job, out.parts[i])
@@ -276,23 +282,35 @@ func (e *Engine) reduceTask(tc *TaskContext, job *Job, part *partitionedBuffer) 
 }
 
 // runTasks executes n tasks with the configured slot bound, spreading them
-// round-robin over simulated nodes. The first error aborts the phase.
-func (e *Engine) runTasks(n int, run func(task, node int) error) error {
+// round-robin over simulated nodes. The first error aborts the phase. When
+// the job carries a Runner, tasks go to its persistent executors instead:
+// already-running workers, so no task launch overhead accrues.
+func (e *Engine) runTasks(job *Job, n int, run func(task, node int) error) error {
 	if n == 0 {
 		return nil
 	}
-	e.counters.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead) * int64(n))
-	slots := make(chan struct{}, e.cfg.Slots)
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		slots <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-slots }()
-			errs <- run(i, i%e.cfg.NumNodes)
-		}(i)
+	if job.Runner != nil {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs <- job.Runner(func() error { return run(i, i%e.cfg.NumNodes) })
+			}(i)
+		}
+	} else {
+		e.counters.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead) * int64(n))
+		slots := make(chan struct{}, e.cfg.Slots)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			slots <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				errs <- run(i, i%e.cfg.NumNodes)
+			}(i)
+		}
 	}
 	wg.Wait()
 	close(errs)

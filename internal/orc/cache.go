@@ -1,0 +1,86 @@
+// cache.go defines the cache hooks an LLAP-style daemon layer plugs into
+// the ORC reader (Camacho-Rodríguez et al. 2019; the paper's §9 outlook):
+// a data cache holding decompressed stream chunks keyed by (file, stripe,
+// column, stream kind, index group), and a metadata cache holding decoded
+// footers and row indexes so repeat queries skip footer parsing and the
+// I/O behind SARG evaluation. The reader works identically without them;
+// with them, cached reads never touch the DFS (and thus never pay its
+// simulated disk charge). The concrete caches live in internal/llap —
+// this package only declares the interfaces to avoid a dependency cycle.
+package orc
+
+import (
+	"strconv"
+
+	"repro/internal/orc/stream"
+)
+
+// WholeStream is the ChunkKey.Group value for stripe-global stream fetches
+// (dictionary data and dictionary lengths), which are not sliced per index
+// group.
+const WholeStream = -1
+
+// ChunkKey identifies one decompressed chunk of ORC stream data: the bytes
+// of one stream of one column that one index group of one stripe decodes
+// from. Keys are only meaningful for immutable files (HDFS semantics:
+// table files are written once and never modified in place).
+type ChunkKey struct {
+	// Path is the DFS path of the ORC file.
+	Path string
+	// Stripe is the stripe ordinal within the file.
+	Stripe int
+	// Column is the column id in the decomposed column tree.
+	Column int
+	// Stream is the stream kind (present, data, length, ...).
+	Stream stream.Kind
+	// Group is the index-group ordinal within the stripe, or WholeStream
+	// for stripe-global streams.
+	Group int
+}
+
+// ChunkCache stores decompressed stream chunks shared across queries.
+// Implementations must be safe for concurrent use; the returned bytes are
+// aliased, never copied, and must be treated as immutable by all parties.
+type ChunkCache interface {
+	GetChunk(key ChunkKey) ([]byte, bool)
+	PutChunk(key ChunkKey, data []byte)
+}
+
+// MetaCache stores decoded, immutable ORC metadata (file footers, stripe
+// footers, row indexes) keyed by an opaque string. Values are opaque to the
+// cache; this package stores *cachedFileMeta and *cachedStripeMeta.
+// Implementations must be safe for concurrent use.
+type MetaCache interface {
+	GetMeta(key string) (any, bool)
+	PutMeta(key string, v any)
+}
+
+// Caches bundles the two cache hooks a reader may use. Either field may be
+// nil to disable that cache.
+type Caches struct {
+	Chunks ChunkCache
+	Meta   MetaCache
+}
+
+// cachedFileMeta is the decoded tail of an ORC file: everything NewReader
+// parses. All fields are immutable after construction.
+type cachedFileMeta struct {
+	ps     *Postscript
+	footer *Footer
+	meta   *FileMetadata
+}
+
+// cachedStripeMeta is the decoded metadata of one stripe. The indexes slice
+// is sparse: only the columns some past scan needed are decoded; a later
+// scan needing more merges in the missing ones and re-publishes a copy.
+// Published values are never mutated in place.
+type cachedStripeMeta struct {
+	footer  *StripeFooter
+	indexes []*RowIndex
+}
+
+// stripeMetaKey derives the metadata-cache key of a stripe.
+func stripeMetaKey(path string, stripe int) string {
+	// Paths cannot contain '\x00'; the separator keeps keys collision-free.
+	return path + "\x00stripe\x00" + strconv.Itoa(stripe)
+}

@@ -1,8 +1,11 @@
 package orc
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/dfs"
 )
 
 func TestMemoryManagerScaleMath(t *testing.T) {
@@ -61,5 +64,177 @@ func TestMemoryManagerConcurrent(t *testing.T) {
 	wg.Wait()
 	if mm.NumWriters() != 0 || mm.TotalRegistered() != 0 {
 		t.Fatalf("leaked registrations: %d writers, %d bytes", mm.NumWriters(), mm.TotalRegistered())
+	}
+}
+
+// openOrc opens a written file for stripe inspection.
+func openOrc(t *testing.T, fs *dfs.FS, path string) *Reader {
+	t.Helper()
+	fr, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestMemoryPoolExhaustionForcesEarlyFlush drives one writer under a pool
+// that later registrations exhaust: its effective stripe size collapses and
+// it must flush stripes far earlier (and far more often) than its
+// configured stripe size implies.
+func TestMemoryPoolExhaustionForcesEarlyFlush(t *testing.T) {
+	mm := NewMemoryManager(24 << 10)
+	fs := dfs.New()
+	schema := simpleSchema()
+	rows := simpleRows(20000)
+
+	// Baseline: a single writer fits in the pool (20KB <= 24KB), scale 1.
+	fw0, _ := fs.Create("/t/solo")
+	w0, err := NewWriter(fw0, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500, Memory: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mm.Scale(); got != 1 {
+		t.Fatalf("Scale with one writer = %v, want 1", got)
+	}
+
+	// Exhaust the pool: 4 more writers bring the total to 100KB against the
+	// 24KB threshold, scaling every writer to roughly a quarter stripe.
+	var extra []*Writer
+	var extraFiles []*dfs.FileWriter
+	for i := 0; i < 4; i++ {
+		fw, _ := fs.Create(fmt.Sprintf("/t/x%d", i))
+		w, err := NewWriter(fw, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500, Memory: mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra = append(extra, w)
+		extraFiles = append(extraFiles, fw)
+	}
+	wantScale := float64(24<<10) / float64(100<<10)
+	if got := mm.Scale(); got != wantScale {
+		t.Fatalf("Scale with pool exhausted = %v, want %v", got, wantScale)
+	}
+
+	for _, row := range rows {
+		if err := w0.Write(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fw0.Close()
+	for i, w := range extra {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		extraFiles[i].Close()
+	}
+
+	// The same rows written without memory pressure, for comparison.
+	fwRef, _ := fs.Create("/t/ref")
+	wRef, err := NewWriter(fwRef, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := wRef.Write(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fwRef.Close()
+
+	squeezed, ref := openOrc(t, fs, "/t/solo"), openOrc(t, fs, "/t/ref")
+	if squeezed.NumStripes() <= ref.NumStripes() {
+		t.Errorf("exhausted pool produced %d stripes vs %d unmanaged; expected early flushes",
+			squeezed.NumStripes(), ref.NumStripes())
+	}
+	// Every stripe the squeezed writer flushed must stay near the scaled
+	// budget (slack for the checkInterval estimate granularity).
+	budget := uint64(float64(20<<10)*wantScale) * 2
+	for i, s := range squeezed.Stripes() {
+		if s.DataLength > budget {
+			t.Errorf("stripe %d data length %d exceeds scaled budget %d", i, s.DataLength, budget)
+		}
+	}
+	// And the rows must round-trip despite the forced flushes.
+	got := readAll(t, squeezed, ReadOptions{})
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(got), len(rows))
+	}
+}
+
+// TestMemoryPoolExactBoundary registers writers summing to exactly the
+// threshold: the manager must not scale (§4.4 scales only when the total
+// exceeds the bound), and stripe layout must match an unmanaged writer's.
+func TestMemoryPoolExactBoundary(t *testing.T) {
+	mm := NewMemoryManager(40 << 10)
+	fs := dfs.New()
+	schema := simpleSchema()
+	rows := simpleRows(15000)
+
+	// Two writers at 20KB each: total == threshold exactly.
+	var writers []*Writer
+	var files []*dfs.FileWriter
+	for i := 0; i < 2; i++ {
+		fw, _ := fs.Create(fmt.Sprintf("/t/b%d", i))
+		w, err := NewWriter(fw, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500, Memory: mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers = append(writers, w)
+		files = append(files, fw)
+	}
+	if got := mm.TotalRegistered(); got != 40<<10 {
+		t.Fatalf("TotalRegistered = %d, want %d", got, 40<<10)
+	}
+	if got := mm.Scale(); got != 1 {
+		t.Fatalf("Scale at exact boundary = %v, want 1 (scaling starts beyond the threshold)", got)
+	}
+
+	for _, row := range rows {
+		for _, w := range writers {
+			if err := w.Write(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, w := range writers {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		files[i].Close()
+	}
+
+	fwRef, _ := fs.Create("/t/unmanaged")
+	wRef, err := NewWriter(fwRef, schema, &WriterOptions{StripeSize: 20 << 10, RowIndexStride: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := wRef.Write(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fwRef.Close()
+
+	managed, ref := openOrc(t, fs, "/t/b0"), openOrc(t, fs, "/t/unmanaged")
+	if managed.NumStripes() != ref.NumStripes() {
+		t.Errorf("at-boundary writer produced %d stripes, unmanaged %d; boundary must not trigger scaling",
+			managed.NumStripes(), ref.NumStripes())
+	}
+	got := readAll(t, managed, ReadOptions{})
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(got), len(rows))
 	}
 }

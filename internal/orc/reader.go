@@ -26,6 +26,8 @@ type ReaderAtSize interface {
 // Reader provides access to an ORC file's metadata and rows.
 type Reader struct {
 	f      ReaderAtSize
+	path   string  // DFS path; cache key space (empty disables caching)
+	caches *Caches // optional LLAP-style caches; nil fields disable
 	ps     *Postscript
 	footer *Footer
 	meta   *FileMetadata
@@ -33,15 +35,50 @@ type Reader struct {
 	tree   *types.ColumnTree
 }
 
+// readMetaAt reads metadata bytes (postscript, footers, row indexes),
+// tagging the read as a metadata read when the underlying file supports the
+// distinction (*dfs.FileReader does).
+func readMetaAt(f ReaderAtSize, p []byte, off int64) (int, error) {
+	if mr, ok := f.(interface {
+		ReadAtMeta(p []byte, off int64) (int, error)
+	}); ok {
+		return mr.ReadAtMeta(p, off)
+	}
+	return f.ReadAt(p, off)
+}
+
 // NewReader opens an ORC file, reading its postscript, footer and
 // stripe-statistics metadata.
 func NewReader(f ReaderAtSize) (*Reader, error) {
+	return NewCachedReader(f, "", nil)
+}
+
+// NewCachedReader opens an ORC file like NewReader, additionally consulting
+// the given caches (either may be nil). path names the file in the cache
+// key space; it must be stable and unique for the file's immutable
+// contents. When the metadata cache holds the file's decoded tail, no bytes
+// are read here at all.
+func NewCachedReader(f ReaderAtSize, path string, caches *Caches) (*Reader, error) {
+	r := &Reader{f: f, path: path, caches: caches}
+	if mc := r.metaCache(); mc != nil {
+		if v, ok := mc.GetMeta(path); ok {
+			if fm, ok := v.(*cachedFileMeta); ok {
+				codec, err := compress.ForKind(fm.ps.Compression)
+				if err != nil {
+					return nil, err
+				}
+				r.ps, r.footer, r.meta, r.codec = fm.ps, fm.footer, fm.meta, codec
+				r.tree = types.Decompose(fm.footer.Schema)
+				return r, nil
+			}
+		}
+	}
 	size := f.Size()
 	if size < int64(len(Magic))+2 {
 		return nil, fmt.Errorf("orc: file too small (%d bytes)", size)
 	}
 	var lenByte [1]byte
-	if _, err := f.ReadAt(lenByte[:], size-1); err != nil {
+	if _, err := readMetaAt(f, lenByte[:], size-1); err != nil {
 		return nil, fmt.Errorf("orc: reading postscript length: %w", err)
 	}
 	psLen := int64(lenByte[0])
@@ -49,7 +86,7 @@ func NewReader(f ReaderAtSize) (*Reader, error) {
 		return nil, fmt.Errorf("orc: postscript length %d exceeds file", psLen)
 	}
 	psBuf := make([]byte, psLen)
-	if _, err := f.ReadAt(psBuf, size-1-psLen); err != nil {
+	if _, err := readMetaAt(f, psBuf, size-1-psLen); err != nil {
 		return nil, fmt.Errorf("orc: reading postscript: %w", err)
 	}
 	ps, err := decodePostscript(psBuf)
@@ -67,7 +104,7 @@ func NewReader(f ReaderAtSize) (*Reader, error) {
 		return nil, fmt.Errorf("orc: footer/metadata lengths exceed file")
 	}
 	buf := make([]byte, footerEnd-metaStart)
-	if _, err := f.ReadAt(buf, metaStart); err != nil {
+	if _, err := readMetaAt(f, buf, metaStart); err != nil {
 		return nil, fmt.Errorf("orc: reading footer: %w", err)
 	}
 	metaRaw, err := decodeSection(codec, buf[:ps.MetadataLength])
@@ -86,14 +123,28 @@ func NewReader(f ReaderAtSize) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{
-		f:      f,
-		ps:     ps,
-		footer: footer,
-		meta:   meta,
-		codec:  codec,
-		tree:   types.Decompose(footer.Schema),
-	}, nil
+	r.ps, r.footer, r.meta, r.codec = ps, footer, meta, codec
+	r.tree = types.Decompose(footer.Schema)
+	if mc := r.metaCache(); mc != nil {
+		mc.PutMeta(path, &cachedFileMeta{ps: ps, footer: footer, meta: meta})
+	}
+	return r, nil
+}
+
+// metaCache returns the metadata cache when one is usable for this file.
+func (r *Reader) metaCache() MetaCache {
+	if r.caches == nil || r.caches.Meta == nil || r.path == "" {
+		return nil
+	}
+	return r.caches.Meta
+}
+
+// chunkCache returns the data-chunk cache when one is usable for this file.
+func (r *Reader) chunkCache() ChunkCache {
+	if r.caches == nil || r.caches.Chunks == nil || r.path == "" {
+		return nil
+	}
+	return r.caches.Chunks
 }
 
 // Schema returns the file's schema.
@@ -181,6 +232,7 @@ type RowReader struct {
 
 type stripeState struct {
 	info     StripeInformation
+	ordinal  int // stripe index within the file; chunk-cache key component
 	footer   *StripeFooter
 	indexes  []*RowIndex
 	selected []int // index groups selected by the sarg, ascending
@@ -284,7 +336,7 @@ func (rr *RowReader) nextStripe() error {
 			rr.counters.GroupsSkipped += groupCount(info.NumRows, r.footer.RowIndexStride)
 			continue
 		}
-		st, err := rr.loadStripe(r.footer.Stripes[idx])
+		st, err := rr.loadStripe(idx, r.footer.Stripes[idx])
 		if err != nil {
 			return err
 		}
@@ -306,29 +358,15 @@ func groupCount(numRows, stride uint64) int {
 	return int((numRows + stride - 1) / stride)
 }
 
-func (rr *RowReader) loadStripe(info StripeInformation) (*stripeState, error) {
+func (rr *RowReader) loadStripe(idx int, info StripeInformation) (*stripeState, error) {
 	r := rr.r
-	// Read the stripe footer first; it locates the per-column row-index
-	// sections so only the projected columns' indexes are fetched.
-	sfBuf := make([]byte, info.FooterLength)
-	sfOff := int64(info.Offset + info.IndexLength + info.DataLength)
-	if _, err := r.f.ReadAt(sfBuf, sfOff); err != nil {
-		return nil, fmt.Errorf("orc: reading stripe footer: %w", err)
-	}
-	sfRaw, err := decodeSection(r.codec, sfBuf)
-	if err != nil {
-		return nil, err
-	}
-	sf, err := decodeStripeFooter(sfRaw)
-	if err != nil {
-		return nil, err
-	}
-	indexes, err := rr.loadRowIndexes(info, sf)
+	sf, indexes, err := rr.stripeMeta(idx, info)
 	if err != nil {
 		return nil, err
 	}
 	st := &stripeState{
 		info:       info,
+		ordinal:    idx,
 		footer:     sf,
 		indexes:    indexes,
 		stride:     int64(r.footer.RowIndexStride),
@@ -404,10 +442,65 @@ func (rr *RowReader) loadStripe(info StripeInformation) (*stripeState, error) {
 // instead of seeking (cf. ORC's minimum disk seek size).
 const readThroughGapBytes = 64 << 10
 
+// readStripeFooter fetches and decodes one stripe's footer.
+func (r *Reader) readStripeFooter(info StripeInformation) (*StripeFooter, error) {
+	sfBuf := make([]byte, info.FooterLength)
+	sfOff := int64(info.Offset + info.IndexLength + info.DataLength)
+	if _, err := readMetaAt(r.f, sfBuf, sfOff); err != nil {
+		return nil, fmt.Errorf("orc: reading stripe footer: %w", err)
+	}
+	sfRaw, err := decodeSection(r.codec, sfBuf)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStripeFooter(sfRaw)
+}
+
+// stripeMeta returns the stripe footer and the row indexes of at least the
+// columns this scan touches, serving from and feeding the metadata cache.
+// Cached values are immutable; when a cached entry lacks indexes this scan
+// needs, the missing columns are fetched, merged into a fresh copy, and the
+// copy re-published.
+func (rr *RowReader) stripeMeta(idx int, info StripeInformation) (*StripeFooter, []*RowIndex, error) {
+	r := rr.r
+	mc := r.metaCache()
+	var key string
+	var cached *cachedStripeMeta
+	if mc != nil {
+		key = stripeMetaKey(r.path, idx)
+		if v, ok := mc.GetMeta(key); ok {
+			cached, _ = v.(*cachedStripeMeta)
+		}
+	}
+	var sf *StripeFooter
+	if cached != nil {
+		sf = cached.footer
+	} else {
+		var err error
+		if sf, err = r.readStripeFooter(info); err != nil {
+			return nil, nil, err
+		}
+	}
+	var have []*RowIndex
+	if cached != nil {
+		have = cached.indexes
+	}
+	indexes, loaded, err := rr.loadRowIndexes(info, sf, have)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mc != nil && (cached == nil || loaded) {
+		mc.PutMeta(key, &cachedStripeMeta{footer: sf, indexes: indexes})
+	}
+	return sf, indexes, nil
+}
+
 // loadRowIndexes fetches and decodes the row indexes of the columns this
 // scan touches: the projected columns' subtrees plus any columns the
-// search argument evaluates. Unread columns stay nil.
-func (rr *RowReader) loadRowIndexes(info StripeInformation, sf *StripeFooter) ([]*RowIndex, error) {
+// search argument evaluates. Columns already present in have are reused
+// without I/O; unread columns stay nil. The second result reports whether
+// any index was actually fetched.
+func (rr *RowReader) loadRowIndexes(info StripeInformation, sf *StripeFooter, have []*RowIndex) ([]*RowIndex, bool, error) {
 	r := rr.r
 	needed := make([]bool, len(sf.IndexLens))
 	for _, top := range rr.include {
@@ -427,28 +520,31 @@ func (rr *RowReader) loadRowIndexes(info StripeInformation, sf *StripeFooter) ([
 		}
 	}
 	indexes := make([]*RowIndex, len(sf.IndexLens))
+	copy(indexes, have)
+	loaded := false
 	off := int64(info.Offset)
 	for col, length := range sf.IndexLens {
-		if !needed[col] || length == 0 {
+		if indexes[col] != nil || !needed[col] || length == 0 {
 			off += int64(length)
 			continue
 		}
 		buf := make([]byte, length)
-		if _, err := r.f.ReadAt(buf, off); err != nil {
-			return nil, fmt.Errorf("orc: reading row index of column %d: %w", col, err)
+		if _, err := readMetaAt(r.f, buf, off); err != nil {
+			return nil, false, fmt.Errorf("orc: reading row index of column %d: %w", col, err)
 		}
 		off += int64(length)
 		raw, err := decodeSection(r.codec, buf)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		ri, err := decodeRowIndex(raw)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		indexes[col] = ri
+		loaded = true
 	}
-	return indexes, nil
+	return indexes, loaded, nil
 }
 
 // openGroup builds column readers positioned at the start of the next
@@ -511,6 +607,14 @@ func (s *runSource) fetch(colID int, kind stream.Kind) ([]byte, bool, error) {
 	if !found {
 		return nil, false, nil
 	}
+	cc := s.r.chunkCache()
+	var ck ChunkKey
+	if cc != nil {
+		ck = ChunkKey{Path: s.r.path, Stripe: s.st.ordinal, Column: colID, Stream: kind, Group: s.group}
+		if raw, ok := cc.GetChunk(ck); ok {
+			return raw, true, nil
+		}
+	}
 	info := s.st.footer.Streams[di]
 	base := s.st.dirOffsets[di]
 	// One coalesced DFS read covers the whole run of consecutive selected
@@ -548,6 +652,9 @@ func (s *runSource) fetch(colID int, kind stream.Kind) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	if cc != nil {
+		cc.PutChunk(ck, raw)
+	}
 	return raw, true, nil
 }
 
@@ -558,6 +665,15 @@ func (s *runSource) fetchWhole(colID int, kind stream.Kind) ([]byte, bool, error
 	}
 	if raw, ok := s.st.wholeCache[di]; ok {
 		return raw, true, nil
+	}
+	cc := s.r.chunkCache()
+	var ck ChunkKey
+	if cc != nil {
+		ck = ChunkKey{Path: s.r.path, Stripe: s.st.ordinal, Column: colID, Stream: kind, Group: WholeStream}
+		if raw, ok := cc.GetChunk(ck); ok {
+			s.st.wholeCache[di] = raw
+			return raw, true, nil
+		}
 	}
 	info := s.st.footer.Streams[di]
 	buf := make([]byte, info.Length)
@@ -571,7 +687,50 @@ func (s *runSource) fetchWhole(colID int, kind stream.Kind) ([]byte, bool, error
 		return nil, false, err
 	}
 	s.st.wholeCache[di] = raw
+	if cc != nil {
+		cc.PutChunk(ck, raw)
+	}
 	return raw, true, nil
+}
+
+// StripeStreamInfo describes one stream of a stripe for inspection tools
+// (cmd/orcdump): its column, kind, stored (possibly compressed) size, and
+// decompressed size — the chunk-cache key space and its byte costs.
+type StripeStreamInfo struct {
+	Column  int
+	Kind    stream.Kind
+	Stored  uint64
+	Decoded uint64
+}
+
+// StripeStreams reads stripe i's footer and returns its stream directory
+// with stored and decompressed sizes.
+func (r *Reader) StripeStreams(i int) ([]StripeStreamInfo, error) {
+	if i < 0 || i >= len(r.footer.Stripes) {
+		return nil, fmt.Errorf("orc: stripe %d out of range (%d stripes)", i, len(r.footer.Stripes))
+	}
+	info := r.footer.Stripes[i]
+	sf, err := r.readStripeFooter(info)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StripeStreamInfo, 0, len(sf.Streams))
+	off := info.Offset + info.IndexLength
+	for _, st := range sf.Streams {
+		buf := make([]byte, st.Length)
+		if len(buf) > 0 {
+			if _, err := r.f.ReadAt(buf, int64(off)); err != nil {
+				return nil, fmt.Errorf("orc: reading stream: %w", err)
+			}
+		}
+		raw, err := dechunk(r.codec, buf, 0, len(buf))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StripeStreamInfo{Column: st.Column, Kind: st.Kind, Stored: st.Length, Decoded: uint64(len(raw))})
+		off += st.Length
+	}
+	return out, nil
 }
 
 // position returns the stored-byte offset of group g in the column's

@@ -30,13 +30,15 @@ func SetBatchSize(n int) {
 }
 
 // RunVectorizedScan executes one marked map chain over one ORC file.
-func RunVectorizedScan(fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int) error {
+// caches, when non-nil, lets the reader serve chunks and metadata from an
+// LLAP-style cache.
+func RunVectorizedScan(fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int, caches *orc.Caches) error {
 	fr, err := fs.Open(path)
 	if err != nil {
 		return err
 	}
 	fr.SetNode(node)
-	r, err := orc.NewReader(fr)
+	r, err := orc.NewCachedReader(fr, path, caches)
 	if err != nil {
 		return err
 	}

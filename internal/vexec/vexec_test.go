@@ -86,7 +86,7 @@ func runFragment(t *testing.T, schema *types.Schema, rows []types.Row, spec frag
 			return nil
 		},
 	}
-	if err := RunVectorizedScan(fs, path, scan, ctx, 0); err != nil {
+	if err := RunVectorizedScan(fs, path, scan, ctx, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	return out
