@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-llap
+.PHONY: check vet build test race bench-llap faults
 
 # check is the tier-1 gate plus the race detector: everything a PR must pass.
 check: vet build race
@@ -20,3 +20,8 @@ race:
 # bench-llap reproduces the E9 cold-vs-warm numbers from the command line.
 bench-llap:
 	$(GO) run ./cmd/benchrunner -exp llap
+
+# faults runs the E10 fault matrix: seeded task crashes, read faults, a
+# corrupt block, stragglers and cache faults on all three engines.
+faults:
+	$(GO) run ./cmd/benchrunner -exp faults

@@ -21,11 +21,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|faults|ablations|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
 	overhead := flag.Duration("job-overhead", 250*time.Millisecond,
 		"accounted per-job launch overhead (stands in for Hadoop job latency)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault-injection experiment")
 	flag.Parse()
 
 	cfg := bench.EnvConfig{
@@ -119,6 +120,14 @@ func main() {
 			return err
 		}
 		bench.PrintLLAP(os.Stdout, rep)
+		return nil
+	})
+	run("faults", func() error {
+		rep, err := bench.RunFaults(cfg, bench.DefaultFaultConfig(*faultSeed))
+		if err != nil {
+			return err
+		}
+		bench.PrintFaults(os.Stdout, rep)
 		return nil
 	})
 	run("ablations", func() error {

@@ -12,10 +12,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/compress"
@@ -73,7 +75,8 @@ func main() {
 	fatalIf(err)
 
 	fmt.Println("tables:", strings.Join(env.Driver.Metastore().Names(), ", "))
-	fmt.Println(`enter a SELECT statement on one line ("\q" to quit, "\explain <sql>" for the plan, "\cache" for LLAP cache stats)`)
+	fmt.Println(`enter a SELECT statement on one line ("\q" to quit, "\explain <sql>" for the plan, "\cache" for LLAP cache stats, "\timeout <dur>" to bound queries)`)
+	var timeout time.Duration
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -108,6 +111,20 @@ func main() {
 				daemon.MetaCache().Len(), daemon.MetaCache().Hits(), daemon.MetaCache().Misses())
 			fmt.Printf("daemon pool: %d workers; %d tasks submitted, %d executed, %d rejected, peak concurrency %d\n",
 				daemon.Config().Workers, ds.Submitted, ds.Executed, ds.Rejected, ds.MaxConcurrent)
+		case strings.HasPrefix(line, `\timeout`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\timeout`))
+			if arg == "" || arg == "off" {
+				timeout = 0
+				fmt.Println("timeout off")
+				continue
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			timeout = d
+			fmt.Printf("queries now time out after %s\n", timeout)
 		case strings.HasPrefix(line, `\explain `):
 			p, compiled, err := env.Driver.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -117,7 +134,13 @@ func main() {
 			fmt.Print(p.String())
 			fmt.Printf("jobs: %d (%d map-only)\n", compiled.NumJobs(), compiled.NumMapOnlyJobs())
 		default:
-			res, err := env.Driver.Run(line)
+			ctx := context.Background()
+			cancel := context.CancelFunc(func() {})
+			if timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+			}
+			res, err := env.Driver.RunContext(ctx, line)
+			cancel()
 			if err != nil {
 				fmt.Println("error:", err)
 				continue

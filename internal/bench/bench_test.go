@@ -297,3 +297,77 @@ func TestTezComparisonShape(t *testing.T) {
 		t.Logf("note: tez elapsed %v >= mapreduce %v at tiny scale", tez.Elapsed, mr.Elapsed)
 	}
 }
+
+// TestFaultMatrix is the E10 acceptance check: under a seeded policy with a
+// 30% per-attempt task failure rate, transient read faults, stragglers,
+// cache faults and one corrupt block per run, SS-DB q1 and TPC-H q6
+// complete on all three engines with the clean-run results, and every
+// engine shows nonzero retries.
+func TestFaultMatrix(t *testing.T) {
+	// Shrink files so each tiny table still spans many map tasks: fault
+	// decisions are deterministic per (job, task, node), so a handful of
+	// tasks gives the 30% coin too few distinct flips to reliably land.
+	cfg := tinyCfg()
+	cfg.RowsPerFile = 512
+	rep, err := RunFaults(cfg, DefaultFaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("got %d (engine, query) rows, want 6", len(rep.Rows))
+	}
+	if !rep.Consistent {
+		t.Errorf("faulted results diverged: %v", rep.Mismatches)
+	}
+	retriedByEngine := map[string]int64{}
+	for _, r := range rep.Rows {
+		if !r.Match {
+			t.Errorf("%s/%s: faulted run did not match clean run", r.Engine, r.Query)
+		}
+		retriedByEngine[r.Engine] += r.Retried
+		if r.Retried > 0 && r.Backoff <= 0 {
+			t.Errorf("%s/%s: %d retries but no accounted backoff", r.Engine, r.Query, r.Retried)
+		}
+	}
+	for _, engine := range []string{"mapreduce", "tez", "llap"} {
+		if retriedByEngine[engine] == 0 {
+			t.Errorf("engine %s never retried a task under a 30%% failure rate", engine)
+		}
+	}
+	if rep.Injected.TaskFailures == 0 || rep.Injected.ReadFaults == 0 {
+		t.Errorf("injection totals too low: %+v", rep.Injected)
+	}
+	if rep.CorruptReads == 0 {
+		t.Error("no corrupt block was ever detected across 6 faulty runs")
+	}
+
+	// Same seed, same faults: totals are exactly reproducible without
+	// stragglers (speculation races make the losers' coin consultation
+	// timing-dependent, so the full default config is excluded here).
+	fc := DefaultFaultConfig(42)
+	fc.StragglerProb = 0
+	repA, err := RunFaults(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := RunFaults(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Injected != repB.Injected {
+		t.Errorf("same seed injected different faults: %+v vs %+v", repA.Injected, repB.Injected)
+	}
+	if repA.Injected.TaskFailures == 0 {
+		t.Error("straggler-free policy injected no task failures")
+	}
+
+	// Print path stays in sync with the report fields.
+	var buf bytes.Buffer
+	PrintFaults(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"E10", "mapreduce", "tez", "llap", "ssdb-q1", "tpch-q6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintFaults output missing %q", want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/faultinject"
 	"repro/internal/fileformat"
 	"repro/internal/llap"
 	"repro/internal/mapred"
@@ -72,6 +73,8 @@ type Env struct {
 	Driver *core.Driver
 	Scale  workload.Scale
 	Format fileformat.Kind
+	// Faults is the live fault policy, nil when injection is off.
+	Faults *faultinject.Policy
 }
 
 // EnvConfig controls dataset loading.
@@ -104,6 +107,12 @@ type EnvConfig struct {
 	LLAP bool
 	// LLAPCacheBytes overrides the chunk-cache byte budget (default 64 MiB).
 	LLAPCacheBytes int64
+	// Faults, when non-zero, wires a seeded fault-injection policy through
+	// every layer: task crashes and stragglers into the engine (which then
+	// runs with retries, accounted backoff and — when stragglers are on —
+	// speculative execution), datanode read faults into the DFS, lookup
+	// faults into the LLAP chunk cache (E10).
+	Faults faultinject.Config
 }
 
 func (c *EnvConfig) withDefaults() EnvConfig {
@@ -134,12 +143,29 @@ func (c *EnvConfig) withDefaults() EnvConfig {
 func NewEnv(cfg EnvConfig, tables []TableSpec) (*Env, map[string]time.Duration, error) {
 	c := cfg.withDefaults()
 	fs := dfs.New(dfs.WithBlockSize(8<<20), dfs.WithSimulatedDisk(c.DiskBandwidth, c.SeekLatency))
-	engine := mapred.NewEngine(mapred.Config{Slots: 4, JobLaunchOverhead: c.LaunchOverhead})
+	ecfg := mapred.Config{Slots: 4, JobLaunchOverhead: c.LaunchOverhead}
+	var policy *faultinject.Policy
+	if c.Faults != (faultinject.Config{}) {
+		policy = faultinject.New(c.Faults)
+		fs.SetFaultPolicy(policy)
+		ecfg.Faults = policy
+		ecfg.MaxAttempts = 4
+		ecfg.RetryBackoff = 10 * time.Millisecond
+		if c.Faults.StragglerProb > 0 {
+			ecfg.SpeculativeSlowdown = 2
+		}
+	}
+	engine := mapred.NewEngine(ecfg)
 	conf := core.Config{Opt: c.Opt}
 	switch {
 	case c.LLAP:
 		conf.Engine = core.ModeLLAP
 		conf.LLAP = llap.Config{CacheBytes: c.LLAPCacheBytes}
+		if policy != nil {
+			conf.LLAP.CacheFaultHook = func(k orc.ChunkKey) bool {
+				return policy.CacheFault(fmt.Sprintf("%s#%d#%d#%d", k.Path, k.Stripe, k.Column, k.Stream))
+			}
+		}
 	case c.Tez:
 		conf.Engine = core.ModeTez
 	}
@@ -177,7 +203,7 @@ func NewEnv(cfg EnvConfig, tables []TableSpec) (*Env, map[string]time.Duration, 
 		}
 		loadTimes[spec.Name] = time.Since(start)
 	}
-	return &Env{Driver: d, Scale: c.Scale, Format: c.Format}, loadTimes, nil
+	return &Env{Driver: d, Scale: c.Scale, Format: c.Format, Faults: policy}, loadTimes, nil
 }
 
 // TableBytes sums a dataset's on-DFS size (Table 2's metric).

@@ -1,0 +1,181 @@
+// faults.go drives the fault-injection experiment (E10, beyond the
+// paper's figures; §2.1's execution-layer premise): SS-DB query 1 and
+// TPC-H query 6 run on all three engine modes under a seeded fault policy
+// — task crashes, transient datanode read errors, a corrupt block,
+// straggler delays, cache lookup faults — and must return exactly the
+// clean-run results, with the retry/speculation/waste accounting showing
+// what the fault tolerance cost.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// DefaultFaultConfig is the experiment's seeded policy: a heavy-handed
+// failure rate (well past the issue's 10% floor) so every engine visibly
+// retries, plus read faults, stragglers and cache faults to exercise every
+// injection point.
+func DefaultFaultConfig(seed int64) faultinject.Config {
+	return faultinject.Config{
+		Seed:           seed,
+		TaskFailProb:   0.30,
+		ReadFaultProb:  0.25,
+		StragglerProb:  0.15,
+		StragglerDelay: 5 * time.Millisecond,
+		CacheFaultProb: 0.10,
+	}
+}
+
+// FaultsRow is one (engine, query) run under injected faults.
+type FaultsRow struct {
+	Engine  string
+	Query   string
+	Elapsed time.Duration
+	// Engine-side fault tolerance accounting.
+	Failed      int64
+	Retried     int64
+	Speculative int64
+	WastedCPU   time.Duration
+	Backoff     time.Duration
+	// Match reports whether the faulty run returned the clean run's rows.
+	Match bool
+}
+
+// FaultsReport bundles the experiment's outputs.
+type FaultsReport struct {
+	Seed int64
+	Rows []FaultsRow
+	// Injection totals across all faulty runs.
+	Injected faultinject.Snapshot
+	// CorruptReads counts checksum failures detected (and failed over) by
+	// the DFS — one corrupt block is planted per faulty environment.
+	CorruptReads int64
+	// Consistent is true when every faulty run matched its clean run.
+	Consistent bool
+	Mismatches []string
+}
+
+// faultsEnvCfg normalizes like llapEnvCfg and caps RowsPerFile so each
+// table spans several files — several map tasks — giving the per-task
+// fault coin enough flips to land failures.
+func faultsEnvCfg(cfg EnvConfig) EnvConfig {
+	out := llapEnvCfg(cfg)
+	if out.RowsPerFile > 4000 {
+		out.RowsPerFile = 4000
+	}
+	return out
+}
+
+// RunFaults runs the fault matrix: each query on each engine mode, clean
+// versus faulted with the given seeded policy plus one corrupt DFS block.
+// Per-identity fault decisions are pure functions of fcfg.Seed; the
+// injection *totals* are additionally run-to-run identical when
+// StragglerProb is zero (with speculation on, whether a losing attempt's
+// coin was consulted before cancellation depends on who won the race).
+func RunFaults(cfg EnvConfig, fcfg faultinject.Config) (*FaultsReport, error) {
+	base := faultsEnvCfg(cfg)
+	rep := &FaultsReport{Seed: fcfg.Seed, Consistent: true}
+
+	modes := []struct {
+		name string
+		set  func(*EnvConfig)
+	}{
+		{"mapreduce", func(c *EnvConfig) {}},
+		{"tez", func(c *EnvConfig) { c.Tez = true }},
+		{"llap", func(c *EnvConfig) { c.LLAP = true }},
+	}
+	for _, q := range llapQueries(base) {
+		for _, mode := range modes {
+			cleanCfg := base
+			mode.set(&cleanCfg)
+			cleanEnv, _, err := NewEnv(cleanCfg, q.tables)
+			if err != nil {
+				return nil, err
+			}
+			cleanRes, err := cleanEnv.Run(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("bench: clean %s/%s: %w", mode.name, q.name, err)
+			}
+			want := flattenRows(cleanRes)
+			cleanEnv.Driver.Close()
+
+			faultyCfg := cleanCfg
+			faultyCfg.Faults = fcfg
+			env, _, err := NewEnv(faultyCfg, q.tables)
+			if err != nil {
+				return nil, err
+			}
+			// One corrupt replica on top of the seeded faults: block 0 of the
+			// first table file. The read path must detect it by checksum and
+			// fail over, not return bad data.
+			meta, err := env.Driver.Metastore().Table(q.tables[0].Name)
+			if err != nil {
+				return nil, err
+			}
+			files := env.Driver.FS().List(meta.Path)
+			if len(files) == 0 {
+				return nil, fmt.Errorf("bench: table %s has no files", q.tables[0].Name)
+			}
+			if err := env.Driver.FS().CorruptBlock(files[0].Name, 0); err != nil {
+				return nil, err
+			}
+			res, err := env.Run(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("bench: faulty %s/%s: %w", mode.name, q.name, err)
+			}
+			row := FaultsRow{
+				Engine:      mode.name,
+				Query:       q.name,
+				Elapsed:     res.Stats.Elapsed,
+				Failed:      res.Stats.FailedTasks,
+				Retried:     res.Stats.RetriedTasks,
+				Speculative: res.Stats.SpeculativeTasks,
+				WastedCPU:   res.Stats.WastedCPU,
+				Backoff:     res.Stats.RetryBackoff,
+				Match:       true,
+			}
+			if msg := compareResults(want, flattenRows(res)); msg != "" {
+				row.Match = false
+				rep.Consistent = false
+				rep.Mismatches = append(rep.Mismatches,
+					fmt.Sprintf("%s/%s: %s", mode.name, q.name, msg))
+			}
+			snap := env.Faults.Snapshot()
+			rep.Injected.TaskFailures += snap.TaskFailures
+			rep.Injected.ReadFaults += snap.ReadFaults
+			rep.Injected.Stragglers += snap.Stragglers
+			rep.Injected.CacheFaults += snap.CacheFaults
+			rep.CorruptReads += env.Driver.FS().Stats().Snapshot().CorruptReads
+			rep.Rows = append(rep.Rows, row)
+			env.Driver.Close()
+		}
+	}
+	return rep, nil
+}
+
+// PrintFaults renders the experiment.
+func PrintFaults(w io.Writer, rep *FaultsReport) {
+	fmt.Fprintf(w, "E10: fault-tolerant execution (seed %d; task crashes, read faults, 1 corrupt block/run, stragglers, cache faults)\n", rep.Seed)
+	fmt.Fprintf(w, "%-10s %-10s %12s %7s %8s %6s %12s %12s %6s\n",
+		"engine", "query", "elapsed(ms)", "failed", "retried", "spec", "wasted(ms)", "backoff(ms)", "match")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-10s %-10s %12d %7d %8d %6d %12d %12d %6v\n",
+			r.Engine, r.Query, r.Elapsed.Milliseconds(), r.Failed, r.Retried,
+			r.Speculative, r.WastedCPU.Milliseconds(), r.Backoff.Milliseconds(), r.Match)
+	}
+	fmt.Fprintf(w, "injected: %d task failures, %d read faults, %d stragglers, %d cache faults; %d corrupt reads detected\n",
+		rep.Injected.TaskFailures, rep.Injected.ReadFaults, rep.Injected.Stragglers,
+		rep.Injected.CacheFaults, rep.CorruptReads)
+	if rep.Consistent {
+		fmt.Fprintln(w, "All faulted runs returned the clean-run results on every engine.")
+	} else {
+		fmt.Fprintln(w, "RESULT MISMATCHES:")
+		for _, m := range rep.Mismatches {
+			fmt.Fprintln(w, "  "+m)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -220,6 +221,15 @@ type ExecStats struct {
 	// that scanned data, so per-byte ratios never divide by zero on the
 	// zero-DFS warm path.
 	TotalBytesRead int64
+	// Fault-tolerance accounting (nonzero only under fault injection or
+	// genuine failures): how many task attempts failed, how many retries
+	// and speculative duplicates ran, the CPU burned by attempts that did
+	// not commit, and the accounted retry backoff (included in Elapsed).
+	FailedTasks      int64
+	RetriedTasks     int64
+	SpeculativeTasks int64
+	WastedCPU        time.Duration
+	RetryBackoff     time.Duration
 }
 
 // Explain parses, plans and optimizes a query, returning the operator DAG
@@ -268,12 +278,20 @@ func (d *Driver) optimizerEnv() *optimizer.Env {
 
 // Run executes a query end to end.
 func (d *Driver) Run(query string) (*Result, error) {
+	return d.RunContext(context.Background(), query)
+}
+
+// RunContext executes a query end to end under a context: cancelling it
+// (or its deadline expiring) stops in-flight tasks, admission waits and
+// DFS reads, and the call returns ctx.Err(). This is the `\timeout` path
+// in the REPL and the query-cancellation story generally.
+func (d *Driver) RunContext(ctx context.Context, query string) (*Result, error) {
 	p, compiled, err := d.Explain(query)
 	if err != nil {
 		return nil, err
 	}
 	qid := d.queryID.Add(1)
-	ex := newExecutor(d, compiled, qid)
+	ex := newExecutor(d, compiled, qid, ctx)
 	defer ex.cleanup()
 
 	var chunkCache *llap.Cache
@@ -307,20 +325,25 @@ func (d *Driver) Run(query string) (*Result, error) {
 		Schema: schema,
 		Rows:   ex.results,
 		Stats: ExecStats{
-			Jobs:           engineDiff.Jobs,
-			MapOnlyJobs:    compiled.NumMapOnlyJobs(),
-			Elapsed:        wall + engineDiff.LaunchOverhead + fsDiff.IOTime,
-			WallTime:       wall,
-			CumulativeCPU:  engineDiff.CumulativeCPU(),
-			LaunchOverhead: engineDiff.LaunchOverhead,
-			SimulatedIO:    fsDiff.IOTime,
-			DFSBytesRead:   fsDiff.BytesRead,
-			ShuffleBytes:   engineDiff.ShuffleBytes,
-			ShuffleRecords: engineDiff.ShuffleRecords,
-			CacheHits:      cacheDiff.Hits,
-			CacheMisses:    cacheDiff.Misses,
-			CacheBytesRead: cacheDiff.BytesSaved,
-			TotalBytesRead: fsDiff.BytesRead + cacheDiff.BytesSaved,
+			Jobs:             engineDiff.Jobs,
+			MapOnlyJobs:      compiled.NumMapOnlyJobs(),
+			Elapsed:          wall + engineDiff.LaunchOverhead + engineDiff.Backoff + fsDiff.IOTime,
+			WallTime:         wall,
+			CumulativeCPU:    engineDiff.CumulativeCPU(),
+			LaunchOverhead:   engineDiff.LaunchOverhead,
+			SimulatedIO:      fsDiff.IOTime,
+			DFSBytesRead:     fsDiff.BytesRead,
+			ShuffleBytes:     engineDiff.ShuffleBytes,
+			ShuffleRecords:   engineDiff.ShuffleRecords,
+			CacheHits:        cacheDiff.Hits,
+			CacheMisses:      cacheDiff.Misses,
+			CacheBytesRead:   cacheDiff.BytesSaved,
+			TotalBytesRead:   fsDiff.BytesRead + cacheDiff.BytesSaved,
+			FailedTasks:      engineDiff.FailedTasks,
+			RetriedTasks:     engineDiff.RetriedTasks,
+			SpeculativeTasks: engineDiff.SpeculativeTasks,
+			WastedCPU:        engineDiff.WastedCPU,
+			RetryBackoff:     engineDiff.Backoff,
 		},
 	}, nil
 }

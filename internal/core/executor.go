@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ type executor struct {
 	d        *Driver
 	compiled *compiler.Compiled
 	qid      int64
+	ctx      context.Context
 	tempDir  string
 	tez      bool // in-memory edges (Tez and LLAP modes)
 	llap     bool
@@ -36,17 +38,23 @@ type executor struct {
 	// Each producing task attempt appends one chunk, which later becomes
 	// one input split.
 	memTemps map[string][][]types.Row
+	// sinks registers each live task attempt's private output set, keyed
+	// by attempt, until the engine commits (winning attempt: side effects
+	// published) or aborts it (loser: side effects discarded).
+	sinks map[string]*sinkSet
 }
 
-func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64) *executor {
+func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64, ctx context.Context) *executor {
 	ex := &executor{
 		d:        d,
 		compiled: compiled,
 		qid:      qid,
+		ctx:      ctx,
 		tempDir:  fmt.Sprintf("/tmp/query-%d", qid),
 		tez:      d.conf.Engine == ModeTez || d.conf.Engine == ModeLLAP,
 		llap:     d.conf.Engine == ModeLLAP,
 		memTemps: map[string][][]types.Row{},
+		sinks:    map[string]*sinkSet{},
 	}
 	if ex.llap {
 		ex.caches = d.LLAP().Caches()
@@ -54,9 +62,40 @@ func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64) *executor {
 	return ex
 }
 
+// attemptKey names one task attempt's private output set (and its temp
+// part files): retries and speculative twins of a task must never share
+// output paths.
+func attemptKey(tc *mapred.TaskContext) string {
+	kind := "m"
+	if tc.Reduce {
+		kind = "r"
+	}
+	return fmt.Sprintf("%s-%05d-a%02d", kind, tc.TaskID, tc.Attempt)
+}
+
+// registerSinks files an attempt's sink set for later commit or abort.
+func (ex *executor) registerSinks(key string, s *sinkSet) {
+	ex.mu.Lock()
+	ex.sinks[key] = s
+	ex.mu.Unlock()
+}
+
+// takeSinks removes and returns an attempt's sink set; nil when the
+// attempt never got far enough to create one.
+func (ex *executor) takeSinks(key string) *sinkSet {
+	ex.mu.Lock()
+	s := ex.sinks[key]
+	delete(ex.sinks, key)
+	ex.mu.Unlock()
+	return s
+}
+
 func (ex *executor) cleanup() {
 	ex.d.fs.RemoveAll(ex.tempDir)
+	ex.mu.Lock()
 	ex.memTemps = map[string][][]types.Row{}
+	ex.sinks = map[string]*sinkSet{}
+	ex.mu.Unlock()
 }
 
 // tableInfo resolves a scan's table to its storage location, format and
@@ -144,9 +183,25 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 		MapFunc: func(tc *mapred.TaskContext, sp any, out mapred.Collector) error {
 			return ex.runMapTask(task, tc, sp.(split), out)
 		},
+		// The output-commit protocol: only the winning attempt's private
+		// sink set is published; every other attempt's is discarded.
+		CommitTask: func(tc *mapred.TaskContext) error {
+			if s := ex.takeSinks(attemptKey(tc)); s != nil {
+				return s.commit()
+			}
+			return nil
+		},
+		AbortTask: func(tc *mapred.TaskContext) {
+			if s := ex.takeSinks(attemptKey(tc)); s != nil {
+				s.abort()
+			}
+		},
 	}
 	if ex.llap {
-		job.Runner = ex.d.LLAP().Execute
+		daemon := ex.d.LLAP()
+		job.Runner = func(ctx context.Context, fn func() error) error {
+			return daemon.ExecuteCtx(ctx, fn)
+		}
 	}
 	if !task.IsMapOnly() {
 		job.NumReduces = task.NumReducers
@@ -154,17 +209,21 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 			return ex.runReduceTask(task, tc, tagSchemas, groups)
 		}
 	}
-	return ex.d.engine.Run(job)
+	return ex.d.engine.RunContext(ex.ctx, job)
 }
 
-// sinkSet manages per-task-attempt output writers for temp destinations.
-// In Tez mode temp rows are buffered and handed to the in-memory store at
-// close, one chunk per task attempt.
+// sinkSet is one task attempt's private output: temp-file writers, Tez
+// in-memory chunks and buffered result rows. Nothing in it is visible to
+// the query until commit publishes it — Hadoop's output-commit protocol —
+// so a failed, cancelled or speculative-loser attempt leaves no trace
+// (abort discards the buffers and removes its part files).
 type sinkSet struct {
 	ex      *executor
 	suffix  string
 	writers map[string]fileformat.Writer
 	memRows map[string][]types.Row
+	resRows []types.Row
+	paths   []string // part files created by this attempt, for abort cleanup
 }
 
 func (ex *executor) newSinkSet(suffix string) *sinkSet {
@@ -173,9 +232,7 @@ func (ex *executor) newSinkSet(suffix string) *sinkSet {
 
 func (s *sinkSet) sinkRow(dest string, row types.Row) error {
 	if dest == "" {
-		s.ex.mu.Lock()
-		s.ex.results = append(s.ex.results, row.Clone())
-		s.ex.mu.Unlock()
+		s.resRows = append(s.resRows, row.Clone())
 		return nil
 	}
 	if s.ex.isMemTemp(dest) {
@@ -195,27 +252,46 @@ func (s *sinkSet) sinkRow(dest string, row types.Row) error {
 			return err
 		}
 		s.writers[dest] = w
+		s.paths = append(s.paths, path)
 	}
 	return w.Write(row)
 }
 
-func (s *sinkSet) close() error {
+// commit publishes the attempt's output: part files are sealed, in-memory
+// chunks handed to the Tez store, result rows appended to the query
+// result.
+func (s *sinkSet) commit() error {
 	for _, w := range s.writers {
 		if err := w.Close(); err != nil {
 			return err
 		}
 	}
+	s.ex.mu.Lock()
 	for dest, rows := range s.memRows {
-		s.ex.mu.Lock()
 		s.ex.memTemps[dest] = append(s.ex.memTemps[dest], rows)
-		s.ex.mu.Unlock()
 	}
+	s.ex.results = append(s.ex.results, s.resRows...)
+	s.ex.mu.Unlock()
 	s.memRows = map[string][]types.Row{}
+	s.resRows = nil
 	return nil
 }
 
+// abort discards the attempt's output, removing any part files it created.
+func (s *sinkSet) abort() {
+	for _, w := range s.writers {
+		// Close errors don't matter: the file is removed next.
+		_ = w.Close()
+	}
+	for _, p := range s.paths {
+		_ = s.ex.d.fs.Remove(p)
+	}
+	s.memRows = nil
+	s.resRows = nil
+}
+
 // execContext builds the runtime context for one task attempt.
-func (ex *executor) execContext(sinks *sinkSet, out mapred.Collector, numReduces int) *exec.Context {
+func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapred.Collector, numReduces int) *exec.Context {
 	return &exec.Context{
 		EmitShuffle: func(rs *plan.ReduceSink, key []byte, tag int, value []byte) error {
 			part := 0
@@ -226,7 +302,7 @@ func (ex *executor) execContext(sinks *sinkSet, out mapred.Collector, numReduces
 		},
 		SinkRow: sinks.sinkRow,
 		ScanRows: func(ts *plan.TableScan) (func() (types.Row, error), error) {
-			return ex.openScan(ts, 0)
+			return ex.openScan(ts, tc.Ctx, 0)
 		},
 	}
 }
@@ -258,7 +334,7 @@ func widen(row types.Row, scatter []int, width int) types.Row {
 
 // openScan opens a row iterator over every file of a scan's table (used
 // for map-join local work).
-func (ex *executor) openScan(ts *plan.TableScan, node int) (func() (types.Row, error), error) {
+func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int) (func() (types.Row, error), error) {
 	if ex.isMemTemp(ts.Table) {
 		ex.mu.Lock()
 		chunks := ex.memTemps[ts.Table]
@@ -293,7 +369,7 @@ func (ex *executor) openScan(ts *plan.TableScan, node int) (func() (types.Row, e
 				}
 				var err error
 				r, err = fileformat.Open(ex.d.fs, files[idx].Name, schema, format,
-					fileformat.ScanOptions{Include: include, SArg: ts.SArg, ORCCaches: ex.caches})
+					fileformat.ScanOptions{Include: include, SArg: ts.SArg, ORCCaches: ex.caches, Ctx: ctx, Node: node})
 				if err != nil {
 					return nil, err
 				}
@@ -314,10 +390,13 @@ func (ex *executor) openScan(ts *plan.TableScan, node int) (func() (types.Row, e
 }
 
 // runMapTask drives one split's rows through the scan's consumer chains.
+// All output lands in an attempt-private sink set; the engine publishes it
+// via CommitTask only if this attempt wins.
 func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp split, out mapred.Collector) error {
 	scan := task.MapScans[sp.scanIdx]
-	sinks := ex.newSinkSet(fmt.Sprintf("m-%05d", tc.TaskID))
-	ctx := ex.execContext(sinks, out, task.NumReducers)
+	sinks := ex.newSinkSet(attemptKey(tc))
+	ex.registerSinks(attemptKey(tc), sinks)
+	ctx := ex.execContext(tc, sinks, out, task.NumReducers)
 
 	if sp.rows != nil {
 		// Tez in-memory edge: no file reader, rows arrive full width.
@@ -331,7 +410,12 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 				return err
 			}
 		}
-		for _, row := range sp.rows {
+		for i, row := range sp.rows {
+			if i%1024 == 0 {
+				if err := tc.Ctx.Err(); err != nil {
+					return err
+				}
+			}
 			for _, op := range consumers {
 				if err := op.Process(row, 0); err != nil {
 					return err
@@ -343,7 +427,7 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 				return err
 			}
 		}
-		return sinks.close()
+		return nil
 	}
 
 	_, format, schema, _, err := ex.tableInfo(scan.Table)
@@ -351,10 +435,7 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 		return err
 	}
 	if scan.Vectorize {
-		if err := vexec.RunVectorizedScan(ex.d.fs, sp.path, scan, ctx, tc.Node, ex.caches); err != nil {
-			return err
-		}
-		return sinks.close()
+		return vexec.RunVectorizedScan(tc.Ctx, ex.d.fs, sp.path, scan, ctx, tc.Node, ex.caches)
 	}
 
 	builder := exec.NewBuilder()
@@ -369,15 +450,17 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 	}
 	include, scatter := scanInclude(scan)
 	r, err := fileformat.Open(ex.d.fs, sp.path, schema, format,
-		fileformat.ScanOptions{Include: include, SArg: scan.SArg, ORCCaches: ex.caches})
+		fileformat.ScanOptions{Include: include, SArg: scan.SArg, ORCCaches: ex.caches, Ctx: tc.Ctx, Node: tc.Node})
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	if fr, ok := r.(interface{ SetNode(int) }); ok {
-		fr.SetNode(tc.Node)
-	}
-	for {
+	for i := 0; ; i++ {
+		if i%1024 == 0 {
+			if err := tc.Ctx.Err(); err != nil {
+				return err
+			}
+		}
 		row, err := r.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -397,14 +480,15 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 			return err
 		}
 	}
-	return sinks.close()
+	return nil
 }
 
 // runReduceTask feeds shuffled groups into the reduce tree with
 // StartGroup/EndGroup signals — the Reducer Driver of §5.2.2.
 func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, tagSchemas map[int]*plan.Schema, groups func() (*mapred.Group, bool)) error {
-	sinks := ex.newSinkSet(fmt.Sprintf("r-%05d", tc.TaskID))
-	ctx := ex.execContext(sinks, nil, 0)
+	sinks := ex.newSinkSet(attemptKey(tc))
+	ex.registerSinks(attemptKey(tc), sinks)
+	ctx := ex.execContext(tc, sinks, nil, 0)
 
 	builder := exec.NewBuilder()
 	entry, err := builder.Build(task.ReduceEntry)
@@ -414,7 +498,12 @@ func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, t
 	if err := entry.Init(ctx); err != nil {
 		return err
 	}
-	for {
+	for i := 0; ; i++ {
+		if i%256 == 0 {
+			if err := tc.Ctx.Err(); err != nil {
+				return err
+			}
+		}
 		g, ok := groups()
 		if !ok {
 			break
@@ -439,8 +528,5 @@ func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, t
 			return err
 		}
 	}
-	if err := entry.Flush(); err != nil {
-		return err
-	}
-	return sinks.close()
+	return entry.Flush()
 }

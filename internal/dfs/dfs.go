@@ -7,7 +7,10 @@
 package dfs
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"path"
 	"sort"
@@ -38,50 +41,107 @@ type Stats struct {
 	// I/O volume shapes query latency the way real disks shaped the
 	// paper's numbers.
 	IOTimeNanos atomic.Int64
+	// CorruptReads counts block reads that failed CRC32 verification (each
+	// detection also fails over to the good replica, so the next read of
+	// the block succeeds).
+	CorruptReads atomic.Int64
+	// InjectedReadFaults counts reads failed by the fault policy's
+	// simulated datanode errors.
+	InjectedReadFaults atomic.Int64
 }
 
 // Snapshot is an immutable copy of Stats counters.
 type Snapshot struct {
-	BytesRead     int64
-	BytesWritten  int64
-	ReadOps       int64
-	WriteOps      int64
-	LocalReads    int64
-	RemoteReads   int64
-	MetaReadOps   int64
-	MetaBytesRead int64
-	IOTime        time.Duration
+	BytesRead          int64
+	BytesWritten       int64
+	ReadOps            int64
+	WriteOps           int64
+	LocalReads         int64
+	RemoteReads        int64
+	MetaReadOps        int64
+	MetaBytesRead      int64
+	IOTime             time.Duration
+	CorruptReads       int64
+	InjectedReadFaults int64
 }
 
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		BytesRead:     s.BytesRead.Load(),
-		BytesWritten:  s.BytesWritten.Load(),
-		ReadOps:       s.ReadOps.Load(),
-		WriteOps:      s.WriteOps.Load(),
-		LocalReads:    s.LocalReads.Load(),
-		RemoteReads:   s.RemoteReads.Load(),
-		MetaReadOps:   s.MetaReadOps.Load(),
-		MetaBytesRead: s.MetaBytesRead.Load(),
-		IOTime:        time.Duration(s.IOTimeNanos.Load()),
+		BytesRead:          s.BytesRead.Load(),
+		BytesWritten:       s.BytesWritten.Load(),
+		ReadOps:            s.ReadOps.Load(),
+		WriteOps:           s.WriteOps.Load(),
+		LocalReads:         s.LocalReads.Load(),
+		RemoteReads:        s.RemoteReads.Load(),
+		MetaReadOps:        s.MetaReadOps.Load(),
+		MetaBytesRead:      s.MetaBytesRead.Load(),
+		IOTime:             time.Duration(s.IOTimeNanos.Load()),
+		CorruptReads:       s.CorruptReads.Load(),
+		InjectedReadFaults: s.InjectedReadFaults.Load(),
 	}
 }
 
 // Diff returns the delta from an earlier snapshot.
 func (s Snapshot) Diff(earlier Snapshot) Snapshot {
 	return Snapshot{
-		BytesRead:     s.BytesRead - earlier.BytesRead,
-		BytesWritten:  s.BytesWritten - earlier.BytesWritten,
-		ReadOps:       s.ReadOps - earlier.ReadOps,
-		WriteOps:      s.WriteOps - earlier.WriteOps,
-		LocalReads:    s.LocalReads - earlier.LocalReads,
-		RemoteReads:   s.RemoteReads - earlier.RemoteReads,
-		MetaReadOps:   s.MetaReadOps - earlier.MetaReadOps,
-		MetaBytesRead: s.MetaBytesRead - earlier.MetaBytesRead,
-		IOTime:        s.IOTime - earlier.IOTime,
+		BytesRead:          s.BytesRead - earlier.BytesRead,
+		BytesWritten:       s.BytesWritten - earlier.BytesWritten,
+		ReadOps:            s.ReadOps - earlier.ReadOps,
+		WriteOps:           s.WriteOps - earlier.WriteOps,
+		LocalReads:         s.LocalReads - earlier.LocalReads,
+		RemoteReads:        s.RemoteReads - earlier.RemoteReads,
+		MetaReadOps:        s.MetaReadOps - earlier.MetaReadOps,
+		MetaBytesRead:      s.MetaBytesRead - earlier.MetaBytesRead,
+		IOTime:             s.IOTime - earlier.IOTime,
+		CorruptReads:       s.CorruptReads - earlier.CorruptReads,
+		InjectedReadFaults: s.InjectedReadFaults - earlier.InjectedReadFaults,
 	}
 }
+
+// ReadFaultPolicy decides whether a read touching a block fails with a
+// simulated datanode error (see internal/faultinject). Implementations
+// must be safe for concurrent use.
+type ReadFaultPolicy interface {
+	ReadFault(file string, block int64, node int) bool
+}
+
+// ErrReadFault is the sentinel all injected datanode read errors wrap;
+// callers retry on it the way Hadoop retries a failed block fetch.
+var ErrReadFault = errors.New("dfs: datanode read error (injected)")
+
+// ErrCorrupt is the sentinel all block-checksum failures wrap.
+var ErrCorrupt = errors.New("dfs: block checksum mismatch")
+
+// ReadFaultError is an injected datanode error naming the failing block.
+type ReadFaultError struct {
+	File     string
+	Block    int64
+	Datanode int
+}
+
+func (e *ReadFaultError) Error() string {
+	return fmt.Sprintf("dfs: read %s block %d on datanode %d: %v", e.File, e.Block, e.Datanode, ErrReadFault)
+}
+
+// Unwrap makes errors.Is(err, ErrReadFault) hold.
+func (e *ReadFaultError) Unwrap() error { return ErrReadFault }
+
+// CorruptError reports a CRC32 verification failure, naming the file,
+// block and hosting datanode. Detection also fails the bad replica over,
+// so a retried read of the same block succeeds.
+type CorruptError struct {
+	File     string
+	Block    int64
+	Datanode int
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("dfs: read %s block %d on datanode %d: %v", e.File, e.Block, e.Datanode, ErrCorrupt)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
 // FS is the in-memory distributed filesystem. It is safe for concurrent use.
 type FS struct {
@@ -93,6 +153,7 @@ type FS struct {
 	bandwidth int64 // simulated bytes/second, 0 = free I/O
 	seek      time.Duration
 	stats     Stats
+	faults    atomic.Value // ReadFaultPolicy
 }
 
 type file struct {
@@ -100,6 +161,16 @@ type file struct {
 	data   []byte
 	blocks []int // datanode hosting each block, by block index
 	closed bool
+	// sums holds one CRC32 (IEEE) per block, computed when the file is
+	// sealed; verified memoizes per-block verification (data is immutable
+	// after Close, so one successful check per block is sound — any
+	// corruption goes through the overlay below, which re-arms the check).
+	sums     []uint32
+	verified []atomic.Bool
+	// corrupt simulates a bad replica: block index → absolute byte offset
+	// whose stored value reads back XOR 0xFF. The pristine bytes are kept,
+	// so failing over (dropping the overlay) restores a good copy.
+	corrupt map[int64]int64
 }
 
 // Option configures a filesystem.
@@ -157,6 +228,46 @@ func (fs *FS) NumNodes() int { return fs.numNodes }
 
 // Stats exposes the cumulative I/O counters.
 func (fs *FS) Stats() *Stats { return &fs.stats }
+
+// SetFaultPolicy installs (or, with nil, removes) the read fault injector.
+func (fs *FS) SetFaultPolicy(p ReadFaultPolicy) {
+	fs.faults.Store(&p)
+}
+
+func (fs *FS) faultPolicy() ReadFaultPolicy {
+	if v := fs.faults.Load(); v != nil {
+		return *v.(*ReadFaultPolicy)
+	}
+	return nil
+}
+
+// CorruptBlock simulates a corrupted replica of one block of a sealed
+// file: subsequent reads touching the block fail CRC verification with a
+// CorruptError until a read detects the corruption and fails over to the
+// good replica.
+func (fs *FS) CorruptBlock(name string, block int64) error {
+	name = clean(name)
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("dfs: corrupt %s: file does not exist", name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.closed {
+		return fmt.Errorf("dfs: corrupt %s: file is still being written", name)
+	}
+	if block < 0 || block >= int64(len(f.blocks)) {
+		return fmt.Errorf("dfs: corrupt %s: block %d out of range [0,%d)", name, block, len(f.blocks))
+	}
+	if f.corrupt == nil {
+		f.corrupt = map[int64]int64{}
+	}
+	f.corrupt[block] = block * fs.blockSize // flip the block's first byte
+	f.verified[block].Store(false)
+	return nil
+}
 
 func clean(name string) string {
 	p := path.Clean("/" + name)
@@ -318,7 +429,8 @@ func (w *FileWriter) Pos() int64 {
 	return int64(len(w.f.data))
 }
 
-// Close seals the file. After Close the file is readable.
+// Close seals the file, computing the per-block CRC32 checksums reads
+// verify against. After Close the file is readable.
 func (w *FileWriter) Close() error {
 	w.f.mu.Lock()
 	defer w.f.mu.Unlock()
@@ -326,6 +438,17 @@ func (w *FileWriter) Close() error {
 		return fmt.Errorf("dfs: close %s: already closed", w.name)
 	}
 	w.f.closed = true
+	bs := w.fs.blockSize
+	w.f.sums = make([]uint32, len(w.f.blocks))
+	w.f.verified = make([]atomic.Bool, len(w.f.blocks))
+	for b := range w.f.blocks {
+		start := int64(b) * bs
+		end := start + bs
+		if end > int64(len(w.f.data)) {
+			end = int64(len(w.f.data))
+		}
+		w.f.sums[b] = crc32.ChecksumIEEE(w.f.data[start:end])
+	}
 	return nil
 }
 
@@ -339,10 +462,16 @@ type FileReader struct {
 	name string
 	off  int64
 	node int
+	ctx  context.Context
 }
 
 // SetNode declares which simulated node the reader runs on.
 func (r *FileReader) SetNode(n int) { r.node = n }
+
+// SetContext attaches a cancellation context: once ctx is cancelled every
+// subsequent read fails with ctx.Err(), so a cancelled or timed-out query
+// stops scanning promptly instead of draining its files.
+func (r *FileReader) SetContext(ctx context.Context) { r.ctx = ctx }
 
 // Size returns the file length.
 func (r *FileReader) Size() int64 {
@@ -351,23 +480,103 @@ func (r *FileReader) Size() int64 {
 	return int64(len(r.f.data))
 }
 
-// ReadAt implements io.ReaderAt with accounting.
+// ReadAt implements io.ReaderAt with accounting, injected-fault checks and
+// CRC32 verification of every block the read touches.
 func (r *FileReader) ReadAt(p []byte, off int64) (int, error) {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	r.f.mu.RLock()
-	defer r.f.mu.RUnlock()
 	if off < 0 {
+		r.f.mu.RUnlock()
 		return 0, fmt.Errorf("dfs: read %s: negative offset", r.name)
 	}
 	if off >= int64(len(r.f.data)) {
+		r.f.mu.RUnlock()
 		return 0, io.EOF
 	}
 	n := copy(p, r.f.data[off:])
+	first := off / r.fs.blockSize
+	last := (off + int64(n) - 1) / r.fs.blockSize
+	if pol := r.fs.faultPolicy(); pol != nil {
+		for b := first; b <= last; b++ {
+			if pol.ReadFault(r.name, b, r.node) {
+				node := r.hostOf(b)
+				r.f.mu.RUnlock()
+				r.fs.stats.InjectedReadFaults.Add(1)
+				return 0, &ReadFaultError{File: r.name, Block: b, Datanode: node}
+			}
+		}
+	}
+	bad := int64(-1)
+	for b := first; b <= last && int(b) < len(r.f.verified); b++ {
+		if r.f.verified[b].Load() {
+			continue
+		}
+		if r.checkBlockLocked(b) {
+			r.f.verified[b].Store(true)
+			continue
+		}
+		bad = b
+		break
+	}
+	if bad >= 0 {
+		node := r.hostOf(bad)
+		r.f.mu.RUnlock()
+		r.failoverCorrupt(bad)
+		return 0, &CorruptError{File: r.name, Block: bad, Datanode: node}
+	}
 	r.account(off, int64(n))
+	r.f.mu.RUnlock()
 	var err error
 	if n < len(p) {
 		err = io.EOF
 	}
 	return n, err
+}
+
+// hostOf returns the datanode hosting a block (caller holds f.mu).
+func (r *FileReader) hostOf(b int64) int {
+	if int(b) < len(r.f.blocks) {
+		return r.f.blocks[b]
+	}
+	return r.node
+}
+
+// checkBlockLocked verifies one block's CRC32 with the bad-replica overlay
+// applied (caller holds f.mu read lock).
+func (r *FileReader) checkBlockLocked(b int64) bool {
+	bs := r.fs.blockSize
+	start := b * bs
+	end := start + bs
+	if end > int64(len(r.f.data)) {
+		end = int64(len(r.f.data))
+	}
+	flip, corrupted := r.f.corrupt[b]
+	if !corrupted {
+		return crc32.ChecksumIEEE(r.f.data[start:end]) == r.f.sums[b]
+	}
+	sum := crc32.ChecksumIEEE(r.f.data[start:flip])
+	sum = crc32.Update(sum, crc32.IEEETable, []byte{r.f.data[flip] ^ 0xFF})
+	sum = crc32.Update(sum, crc32.IEEETable, r.f.data[flip+1:end])
+	return sum == r.f.sums[b]
+}
+
+// failoverCorrupt drops the bad-replica overlay for a block after a
+// detection, modeling HDFS switching to a healthy replica: the next read
+// of the block verifies cleanly.
+func (r *FileReader) failoverCorrupt(b int64) {
+	r.f.mu.Lock()
+	if _, ok := r.f.corrupt[b]; ok {
+		delete(r.f.corrupt, b)
+		r.fs.stats.CorruptReads.Add(1)
+	}
+	if int(b) < len(r.f.verified) {
+		r.f.verified[b].Store(false) // re-verify the healthy replica once
+	}
+	r.f.mu.Unlock()
 }
 
 // ReadAtMeta reads like ReadAt but additionally counts the read as a

@@ -2,8 +2,11 @@ package dfs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -325,5 +328,164 @@ func TestSnapshotDiffConcurrentReaders(t *testing.T) {
 	}
 	if d.BytesWritten != 0 || d.WriteOps != 0 {
 		t.Fatalf("unexpected write deltas: %+v", d)
+	}
+}
+
+// writeFile creates and seals a file of n bytes with a deterministic
+// pattern, returning the payload.
+func writeFile(t *testing.T, fs *FS, name string, n int) []byte {
+	t.Helper()
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	w, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestCorruptBlockDetected: flipping a byte of a stored block makes the
+// next read touching it fail with a typed error naming file, block and
+// datanode; detection fails over to the good replica so the retry reads
+// the original bytes.
+func TestCorruptBlockDetected(t *testing.T) {
+	fs := New(WithBlockSize(16), WithNodes(3))
+	payload := writeFile(t, fs, "/t/f", 64)
+	if err := fs.CorruptBlock("/t/f", 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	// Block 0 and 1 are fine.
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read of healthy block failed: %v", err)
+	}
+	// A read touching block 2 must fail typed.
+	_, err = r.ReadAt(buf, 2*16)
+	if err == nil {
+		t.Fatal("read of corrupt block succeeded")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, not ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T is not *CorruptError", err)
+	}
+	locs, _ := fs.BlockLocations("/t/f")
+	if ce.File != "/t/f" || ce.Block != 2 || ce.Datanode != locs[2] {
+		t.Errorf("CorruptError = %+v, want file=/t/f block=2 datanode=%d", ce, locs[2])
+	}
+	if got := fs.Stats().Snapshot().CorruptReads; got != 1 {
+		t.Errorf("CorruptReads = %d, want 1", got)
+	}
+	// Failover: the retry succeeds and reads pristine bytes.
+	if _, err := r.ReadAt(buf, 2*16); err != nil {
+		t.Fatalf("read after failover failed: %v", err)
+	}
+	if !bytes.Equal(buf, payload[32:40]) {
+		t.Errorf("post-failover bytes %v != original %v", buf, payload[32:40])
+	}
+}
+
+// TestCorruptBlockValidation: corruption of unknown files/blocks errors.
+func TestCorruptBlockValidation(t *testing.T) {
+	fs := New(WithBlockSize(16))
+	writeFile(t, fs, "/t/f", 20)
+	if err := fs.CorruptBlock("/nope", 0); err == nil {
+		t.Error("corrupting missing file succeeded")
+	}
+	if err := fs.CorruptBlock("/t/f", 9); err == nil {
+		t.Error("corrupting out-of-range block succeeded")
+	}
+	// Partial final block is corruptible too.
+	if err := fs.CorruptBlock("/t/f", 1); err != nil {
+		t.Errorf("corrupting final partial block: %v", err)
+	}
+}
+
+type alwaysFault struct{ fired atomic.Int64 }
+
+func (a *alwaysFault) ReadFault(file string, block int64, node int) bool {
+	// Fail only the first read of block 0.
+	if block == 0 && a.fired.Add(1) == 1 {
+		return true
+	}
+	return false
+}
+
+// TestInjectedReadFault: the fault policy fails a read with a typed,
+// retryable error; the retry succeeds.
+func TestInjectedReadFault(t *testing.T) {
+	fs := New(WithBlockSize(16))
+	writeFile(t, fs, "/t/f", 32)
+	fs.SetFaultPolicy(&alwaysFault{})
+	r, err := fs.Open("/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_, err = r.ReadAt(buf, 0)
+	if !errors.Is(err, ErrReadFault) {
+		t.Fatalf("err = %v, not ErrReadFault", err)
+	}
+	var fe *ReadFaultError
+	if !errors.As(err, &fe) || fe.File != "/t/f" || fe.Block != 0 {
+		t.Fatalf("fault error = %v", err)
+	}
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("retry after transient fault failed: %v", err)
+	}
+	if got := fs.Stats().Snapshot().InjectedReadFaults; got != 1 {
+		t.Errorf("InjectedReadFaults = %d, want 1", got)
+	}
+}
+
+// TestReaderContextCancellation: a cancelled context fails reads promptly.
+func TestReaderContextCancellation(t *testing.T) {
+	fs := New(WithBlockSize(16))
+	writeFile(t, fs, "/t/f", 32)
+	r, err := fs.Open("/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.SetContext(ctx)
+	buf := make([]byte, 4)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read with live context failed: %v", err)
+	}
+	cancel()
+	if _, err := r.ReadAt(buf, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read after cancel: err = %v, want context.Canceled", err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential read after cancel: err = %v", err)
+	}
+}
+
+// TestChecksumsSurviveMultiBlockReads: reads spanning several blocks of an
+// uncorrupted file verify and return correct data.
+func TestChecksumsSurviveMultiBlockReads(t *testing.T) {
+	fs := New(WithBlockSize(8))
+	payload := writeFile(t, fs, "/t/big", 100)
+	r, _ := fs.Open("/t/big")
+	got, err := io.ReadAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("multi-block read mismatch")
 	}
 }

@@ -1,0 +1,204 @@
+// Package faultinject is a seeded, deterministic fault policy for the
+// execution stack: it decides which task attempts crash, which DFS block
+// reads fail, which nodes straggle and which cache lookups error. Every
+// decision is a pure function of the seed and the fault's identity (job,
+// task, attempt, file, block, ...), never of goroutine scheduling, so a
+// fault run is reproducible: the same seed injects the same faults no
+// matter how the runtime interleaves tasks. (The engine consults the
+// policy with failure ordinals and skips speculative duplicates, keeping
+// the identity set schedule-independent too; only under speculation can a
+// cancelled loser skip its coin, making totals vary by a few.) That is
+// what lets the fault matrix assert byte-identical results and lets
+// `benchrunner -exp faults` print stable numbers.
+//
+// The one piece of mutable state is the read-fault fire counter: an
+// injected datanode read error is transient (a momentary outage, not a
+// lost disk), firing a bounded number of times per block before the
+// "datanode" heals — otherwise a retried task would re-fail on the same
+// block forever and retry could never succeed.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects fault classes and rates. The zero value injects nothing.
+type Config struct {
+	// Seed drives every decision; two policies with the same Seed and the
+	// same Config inject exactly the same faults.
+	Seed int64
+	// TaskFailProb is the per-attempt probability that a task attempt
+	// crashes after doing its work (exercising the output-commit protocol:
+	// the attempt's output must be discarded, not half-committed).
+	TaskFailProb float64
+	// MaxFailuresPerTask caps injected failures per task so a retrying
+	// engine always has a surviving attempt. Default 2.
+	MaxFailuresPerTask int
+	// ReadFaultProb is the per-block probability that reads of a DFS block
+	// fail with an injected datanode error.
+	ReadFaultProb float64
+	// ReadFaultRepeat is how many reads of a faulty block fail before the
+	// datanode "heals" (a transient outage, not a lost disk). Default 1.
+	ReadFaultRepeat int
+	// StragglerProb is the per-task probability that the first attempt
+	// lands on a slow node and sleeps StragglerDelay before running —
+	// the raw material for speculative execution.
+	StragglerProb float64
+	// StragglerDelay is the real (slept) delay of a straggling attempt.
+	// Default 20ms.
+	StragglerDelay time.Duration
+	// CacheFaultProb is the per-lookup probability that a cache read
+	// errors; the cache layer must degrade to a miss (direct DFS read),
+	// never fail the query.
+	CacheFaultProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFailuresPerTask == 0 {
+		c.MaxFailuresPerTask = 2
+	}
+	if c.ReadFaultRepeat == 0 {
+		c.ReadFaultRepeat = 1
+	}
+	if c.StragglerDelay == 0 {
+		c.StragglerDelay = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Stats counts injected faults; all fields are cumulative.
+type Stats struct {
+	TaskFailures atomic.Int64
+	ReadFaults   atomic.Int64
+	Stragglers   atomic.Int64
+	CacheFaults  atomic.Int64
+}
+
+// Snapshot is an immutable copy of Stats.
+type Snapshot struct {
+	TaskFailures int64
+	ReadFaults   int64
+	Stragglers   int64
+	CacheFaults  int64
+}
+
+// Policy is a live fault injector. It is safe for concurrent use.
+type Policy struct {
+	cfg   Config
+	stats Stats
+
+	mu        sync.Mutex
+	readFired map[string]int // (file#block) → times the fault already fired
+}
+
+// New creates a policy from a config (zero-valued fields take defaults).
+func New(cfg Config) *Policy {
+	return &Policy{cfg: cfg.withDefaults(), readFired: map[string]int{}}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Snapshot copies the injection counters.
+func (p *Policy) Snapshot() Snapshot {
+	return Snapshot{
+		TaskFailures: p.stats.TaskFailures.Load(),
+		ReadFaults:   p.stats.ReadFaults.Load(),
+		Stragglers:   p.stats.Stragglers.Load(),
+		CacheFaults:  p.stats.CacheFaults.Load(),
+	}
+}
+
+// chance is the deterministic coin flip: an FNV-64 hash of the seed and
+// the fault identity mapped to [0,1) and compared against prob.
+func (p *Policy) chance(prob float64, parts ...string) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", p.cfg.Seed)
+	for _, s := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(s))
+	}
+	// FNV avalanches poorly on short suffix changes (".../part-00001" vs
+	// ".../part-00002" land close together), which would correlate the
+	// coins of neighboring files and tasks; a splitmix64 finalizer
+	// decorrelates them. 53 bits → uniform float64 in [0,1).
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	return u < prob
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// TaskError implements the mapred fault hook: it decides whether this
+// attempt of this task crashes (after its work ran, before commit). Only
+// the first MaxFailuresPerTask attempts can fail, so attempt numbers at
+// or beyond the cap always succeed and retry converges.
+func (p *Policy) TaskError(job string, task, attempt, node int) error {
+	if attempt >= p.cfg.MaxFailuresPerTask {
+		return nil
+	}
+	if !p.chance(p.cfg.TaskFailProb, "task", job, itoa(task), itoa(attempt)) {
+		return nil
+	}
+	p.stats.TaskFailures.Add(1)
+	return fmt.Errorf("faultinject: task %s/%d attempt %d crashed on node %d", job, task, attempt, node)
+}
+
+// TaskDelay implements the mapred straggler hook: first attempts of
+// selected tasks sleep StragglerDelay, simulating a slow node. Retries and
+// speculative duplicates run at full speed (they land elsewhere), so a
+// speculating engine can beat the straggler.
+func (p *Policy) TaskDelay(job string, task, attempt, node int) time.Duration {
+	if attempt != 0 || !p.chance(p.cfg.StragglerProb, "straggle", job, itoa(task)) {
+		return 0
+	}
+	p.stats.Stragglers.Add(1)
+	return p.cfg.StragglerDelay
+}
+
+// ReadFault implements the dfs fault hook: whether a read touching this
+// block fails with an injected datanode error. Which blocks are faulty is
+// seed-deterministic; each faulty block fails ReadFaultRepeat reads and
+// then heals.
+func (p *Policy) ReadFault(file string, block int64, node int) bool {
+	if !p.chance(p.cfg.ReadFaultProb, "read", file, strconv.FormatInt(block, 10)) {
+		return false
+	}
+	key := file + "#" + strconv.FormatInt(block, 10)
+	p.mu.Lock()
+	if p.readFired[key] >= p.cfg.ReadFaultRepeat {
+		p.mu.Unlock()
+		return false
+	}
+	p.readFired[key]++
+	p.mu.Unlock()
+	p.stats.ReadFaults.Add(1)
+	return true
+}
+
+// CacheFault implements the llap cache fault hook: whether this lookup
+// errors. The cache must treat a faulted lookup as a miss and fall back to
+// the DFS; keys are opaque identity strings.
+func (p *Policy) CacheFault(key string) bool {
+	if !p.chance(p.cfg.CacheFaultProb, "cache", key) {
+		return false
+	}
+	p.stats.CacheFaults.Add(1)
+	return true
+}

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeterminism: two policies with the same seed make identical
+// decisions; a different seed makes (some) different ones.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, TaskFailProb: 0.3, ReadFaultProb: 0.3, StragglerProb: 0.3}
+	a, b := New(cfg), New(cfg)
+	diffSeed := New(Config{Seed: 43, TaskFailProb: 0.3, ReadFaultProb: 0.3, StragglerProb: 0.3})
+	divergence := false
+	for task := 0; task < 100; task++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			ea := a.TaskError("job", task, attempt, 0)
+			eb := b.TaskError("job", task, attempt, 0)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("same seed diverged at task %d attempt %d", task, attempt)
+			}
+			if (ea == nil) != (diffSeed.TaskError("job", task, attempt, 0) == nil) {
+				divergence = true
+			}
+			da := a.TaskDelay("job", task, attempt, 0)
+			if db := b.TaskDelay("job", task, attempt, 0); da != db {
+				t.Fatalf("straggler decision diverged at task %d", task)
+			}
+		}
+	}
+	if !divergence {
+		t.Error("seeds 42 and 43 injected identical task faults over 300 attempts")
+	}
+}
+
+// TestTaskFailureCap: attempts at or beyond MaxFailuresPerTask never fail,
+// so a retrying engine always converges.
+func TestTaskFailureCap(t *testing.T) {
+	p := New(Config{Seed: 1, TaskFailProb: 1.0, MaxFailuresPerTask: 2})
+	for task := 0; task < 20; task++ {
+		if p.TaskError("j", task, 0, 0) == nil || p.TaskError("j", task, 1, 0) == nil {
+			t.Fatalf("task %d: prob 1.0 attempt under cap did not fail", task)
+		}
+		if err := p.TaskError("j", task, 2, 0); err != nil {
+			t.Fatalf("task %d attempt 2 failed beyond cap: %v", task, err)
+		}
+	}
+	if got := p.Snapshot().TaskFailures; got != 40 {
+		t.Errorf("TaskFailures = %d, want 40", got)
+	}
+}
+
+// TestReadFaultHeals: a faulty block fails exactly ReadFaultRepeat reads,
+// then heals; retries therefore succeed.
+func TestReadFaultHeals(t *testing.T) {
+	p := New(Config{Seed: 7, ReadFaultProb: 1.0, ReadFaultRepeat: 2})
+	if !p.ReadFault("/f", 3, 0) || !p.ReadFault("/f", 3, 1) {
+		t.Fatal("faulty block did not fail its first two reads")
+	}
+	if p.ReadFault("/f", 3, 0) {
+		t.Fatal("block did not heal after ReadFaultRepeat fires")
+	}
+	// Other blocks fire independently.
+	if !p.ReadFault("/f", 4, 0) {
+		t.Fatal("block 4 should fault at prob 1.0")
+	}
+	if got := p.Snapshot().ReadFaults; got != 3 {
+		t.Errorf("ReadFaults = %d, want 3", got)
+	}
+}
+
+// TestRates: injection frequency tracks the configured probability.
+func TestRates(t *testing.T) {
+	p := New(Config{Seed: 99, TaskFailProb: 0.25, MaxFailuresPerTask: 1})
+	n := 0
+	const total = 2000
+	for task := 0; task < total; task++ {
+		if p.TaskError("j", task, 0, 0) != nil {
+			n++
+		}
+	}
+	frac := float64(n) / total
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("injected fraction %.3f far from configured 0.25", frac)
+	}
+}
+
+// TestZeroConfigInjectsNothing: the zero config is a no-op policy.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	p := New(Config{Seed: 5})
+	for task := 0; task < 50; task++ {
+		if p.TaskError("j", task, 0, 0) != nil || p.TaskDelay("j", task, 0, 0) != 0 ||
+			p.ReadFault("/f", int64(task), 0) || p.CacheFault("k") {
+			t.Fatal("zero config injected a fault")
+		}
+	}
+}
+
+// TestStragglerOnlyFirstAttempt: retries and speculative duplicates never
+// straggle, so they can beat the slow original.
+func TestStragglerOnlyFirstAttempt(t *testing.T) {
+	p := New(Config{Seed: 3, StragglerProb: 1.0, StragglerDelay: 5 * time.Millisecond})
+	if p.TaskDelay("j", 0, 0, 1) != 5*time.Millisecond {
+		t.Fatal("first attempt did not straggle at prob 1.0")
+	}
+	if p.TaskDelay("j", 0, 1, 2) != 0 {
+		t.Fatal("retry attempt straggled")
+	}
+}

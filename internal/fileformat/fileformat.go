@@ -7,6 +7,7 @@
 package fileformat
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compress"
@@ -89,6 +90,12 @@ type ScanOptions struct {
 	// an LLAP-style cache, keyed by the file's DFS path; other formats
 	// ignore it.
 	ORCCaches *orc.Caches
+	// Ctx, when set, cancels the underlying DFS reads: a cancelled query
+	// stops mid-file instead of finishing the scan.
+	Ctx context.Context
+	// Node is the datanode the reading task runs on, for the DFS's
+	// locality accounting.
+	Node int
 }
 
 // Create opens a writer for a new file at path.
@@ -135,6 +142,10 @@ func Open(fs *dfs.FS, path string, schema *types.Schema, kind Kind, scan ScanOpt
 	fr, err := fs.Open(path)
 	if err != nil {
 		return nil, err
+	}
+	fr.SetNode(scan.Node)
+	if scan.Ctx != nil {
+		fr.SetContext(scan.Ctx)
 	}
 	switch kind {
 	case Text:

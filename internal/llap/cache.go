@@ -24,6 +24,7 @@ type CacheStats struct {
 	Inserts    atomic.Int64
 	Rejected   atomic.Int64 // inserts refused (chunk larger than evictable space)
 	BytesSaved atomic.Int64 // decompressed bytes served from cache instead of the DFS
+	Faults     atomic.Int64 // injected lookup faults degraded to misses
 }
 
 // CacheSnapshot is an immutable copy of cache counters plus current
@@ -35,6 +36,7 @@ type CacheSnapshot struct {
 	Inserts     int64
 	Rejected    int64
 	BytesSaved  int64
+	Faults      int64
 	BytesCached int64
 	Entries     int64
 }
@@ -50,6 +52,7 @@ func (s CacheSnapshot) Diff(earlier CacheSnapshot) CacheSnapshot {
 		Inserts:     s.Inserts - earlier.Inserts,
 		Rejected:    s.Rejected - earlier.Rejected,
 		BytesSaved:  s.BytesSaved - earlier.BytesSaved,
+		Faults:      s.Faults - earlier.Faults,
 		BytesCached: s.BytesCached,
 		Entries:     s.Entries,
 	}
@@ -72,6 +75,7 @@ func (s CacheSnapshot) HitRate() float64 {
 type Cache struct {
 	budget int64 // byte budget; <= 0 means unbounded
 	stats  CacheStats
+	faults atomic.Value // func(orc.ChunkKey) bool, set before first use
 
 	mu      sync.Mutex
 	bytes   int64
@@ -98,9 +102,24 @@ func NewCache(budget int64) *Cache {
 // Budget returns the configured byte budget.
 func (c *Cache) Budget() int64 { return c.budget }
 
+// SetFaultHook installs a lookup fault injector: a lookup for which hook
+// returns true is served as a miss (the Faults counter records it), so the
+// caller falls back to reading the DFS — an injected cache error degrades
+// performance, never correctness. A nil hook disables injection.
+func (c *Cache) SetFaultHook(hook func(orc.ChunkKey) bool) {
+	if hook != nil {
+		c.faults.Store(hook)
+	}
+}
+
 // GetChunk returns the cached chunk for key, marking it most recently used.
 // The returned bytes are shared and must be treated as immutable.
 func (c *Cache) GetChunk(key orc.ChunkKey) ([]byte, bool) {
+	if hook, _ := c.faults.Load().(func(orc.ChunkKey) bool); hook != nil && hook(key) {
+		c.stats.Faults.Add(1)
+		c.stats.Misses.Add(1)
+		return nil, false
+	}
 	c.mu.Lock()
 	el, ok := c.entries[key]
 	if !ok {
@@ -236,6 +255,7 @@ func (c *Cache) Snapshot() CacheSnapshot {
 		Inserts:     c.stats.Inserts.Load(),
 		Rejected:    c.stats.Rejected.Load(),
 		BytesSaved:  c.stats.BytesSaved.Load(),
+		Faults:      c.stats.Faults.Load(),
 		BytesCached: bytes,
 		Entries:     entries,
 	}

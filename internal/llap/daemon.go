@@ -1,6 +1,7 @@
 package llap
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,11 @@ type Config struct {
 	// MetaEntries bounds the metadata cache. Default 1024; negative
 	// disables the metadata cache.
 	MetaEntries int
+	// CacheFaultHook, when set, injects chunk-cache lookup faults (see
+	// internal/faultinject): a lookup for which it returns true is treated
+	// as a miss, so the reader degrades to a direct DFS read instead of
+	// failing the query.
+	CacheFaultHook func(orc.ChunkKey) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +102,7 @@ func NewDaemon(cfg Config) *Daemon {
 	}
 	if cfg.CacheBytes > 0 {
 		d.chunks = NewCache(cfg.CacheBytes)
+		d.chunks.SetFaultHook(cfg.CacheFaultHook)
 		d.caches.Chunks = d.chunks
 	}
 	if cfg.MetaEntries > 0 {
@@ -140,20 +147,27 @@ func (d *Daemon) worker() {
 }
 
 // enqueue places a task on the admission queue. When block is false and the
-// queue is full, it returns ErrQueueFull without waiting.
-func (d *Daemon) enqueue(t *task, block bool) error {
+// queue is full, it returns ErrQueueFull without waiting. A blocking caller
+// whose ctx is cancelled while waiting for admission gives up with
+// ctx.Err() instead of holding its spot.
+func (d *Daemon) enqueue(ctx context.Context, t *task, block bool) error {
 	// The read lock spans the channel send so Close cannot close the
 	// channel mid-send; workers keep draining until Close wins the write
-	// lock, so a blocked send always completes.
+	// lock, so a blocked send always completes or is abandoned via ctx.
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.closed {
 		return ErrClosed
 	}
 	if block {
-		d.tasks <- t
-		d.stats.Submitted.Add(1)
-		return nil
+		select {
+		case d.tasks <- t:
+			d.stats.Submitted.Add(1)
+			return nil
+		case <-ctx.Done():
+			d.stats.Rejected.Add(1)
+			return ctx.Err()
+		}
 	}
 	select {
 	case d.tasks <- t:
@@ -168,11 +182,28 @@ func (d *Daemon) enqueue(t *task, block bool) error {
 // Execute runs fn on a pool worker and waits for it, queueing (and, when
 // the queue is full, waiting for admission) as needed.
 func (d *Daemon) Execute(fn func() error) error {
-	t := &task{fn: fn, done: make(chan error, 1)}
-	if err := d.enqueue(t, true); err != nil {
+	return d.ExecuteCtx(context.Background(), fn)
+}
+
+// ExecuteCtx is Execute with cancellation: a cancelled caller stops waiting
+// — whether it is queued for admission on a full queue or its task is
+// already running — and returns ctx.Err(). An admitted task the caller
+// abandoned still runs to completion on its worker (the pool owns it), but
+// nobody waits for it; its buffered done channel absorbs the result.
+func (d *Daemon) ExecuteCtx(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return <-t.done
+	t := &task{fn: fn, done: make(chan error, 1)}
+	if err := d.enqueue(ctx, t, true); err != nil {
+		return err
+	}
+	select {
+	case err := <-t.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Submit enqueues fn without waiting for execution. It returns a wait
@@ -180,7 +211,7 @@ func (d *Daemon) Execute(fn func() error) error {
 // rejects the task.
 func (d *Daemon) Submit(fn func() error) (wait func() error, err error) {
 	t := &task{fn: fn, done: make(chan error, 1)}
-	if err := d.enqueue(t, false); err != nil {
+	if err := d.enqueue(context.Background(), t, false); err != nil {
 		return nil, err
 	}
 	return func() error { return <-t.done }, nil

@@ -1,10 +1,13 @@
 package llap
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/orc"
 )
 
 // TestDaemonBoundsConcurrency checks the pool never runs more than Workers
@@ -192,5 +195,91 @@ func TestDaemonCachesWiring(t *testing.T) {
 	defer off.Close()
 	if off.Caches().Chunks != nil || off.Caches().Meta != nil {
 		t.Fatal("negative sizes should disable caches")
+	}
+}
+
+// TestExecuteCtxCancelledWhileQueued: a caller waiting for admission on a
+// full queue gives up when its context is cancelled instead of holding its
+// spot forever.
+func TestExecuteCtxCancelledWhileQueued(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1, QueueDepth: 1, CacheBytes: -1, MetaEntries: -1})
+	defer d.Close()
+	block := make(chan struct{})
+	// Occupy the single worker and fill the single queue slot.
+	running := make(chan struct{})
+	go d.Execute(func() error { close(running); <-block; return nil })
+	<-running
+	if _, err := d.Submit(func() error { return nil }); err != nil {
+		t.Fatalf("filling the queue: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- d.ExecuteCtx(ctx, func() error { return nil }) }()
+	// The call must be parked on admission, not done.
+	select {
+	case err := <-errc:
+		t.Fatalf("ExecuteCtx returned %v before cancellation with a full queue", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled ExecuteCtx never returned")
+	}
+	close(block)
+}
+
+// TestExecuteCtxCancelledWhileRunning: a caller whose admitted task is
+// still running stops waiting on cancellation; the task finishes on its
+// worker without anyone blocked on it.
+func TestExecuteCtxCancelledWhileRunning(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1, CacheBytes: -1, MetaEntries: -1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- d.ExecuteCtx(ctx, func() error { close(started); <-release; return nil })
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	d.Close() // waits for the abandoned task to drain; must not deadlock
+}
+
+// TestCacheFaultHookDegradesToMiss: an injected cache fault is served as a
+// miss (and counted), never an error — the reader falls back to the DFS.
+func TestCacheFaultHookDegradesToMiss(t *testing.T) {
+	faulty := true
+	d := NewDaemon(Config{
+		CacheBytes:     1 << 20,
+		MetaEntries:    -1,
+		CacheFaultHook: func(orc.ChunkKey) bool { return faulty },
+	})
+	defer d.Close()
+	c := d.ChunkCache()
+	key := orc.ChunkKey{Path: "/t/f0", Column: 1}
+	c.PutChunk(key, []byte("payload"))
+	if _, ok := c.GetChunk(key); ok {
+		t.Fatal("faulted lookup returned a hit")
+	}
+	faulty = false
+	data, ok := c.GetChunk(key)
+	if !ok || string(data) != "payload" {
+		t.Fatal("entry lost after a faulted lookup; fault must only degrade the lookup")
+	}
+	s := c.Snapshot()
+	if s.Faults != 1 {
+		t.Errorf("Faults = %d, want 1", s.Faults)
+	}
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("Misses = %d, Hits = %d; want 1 and 1", s.Misses, s.Hits)
 	}
 }

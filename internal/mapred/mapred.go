@@ -11,11 +11,19 @@
 //   - every job pays a configurable launch overhead, making unnecessary
 //     Map-only jobs measurably expensive (§5.1, Figure 11);
 //   - per-task execution time is accumulated into cumulative CPU counters,
-//     the quantity Figure 12(b) reports.
+//     the quantity Figure 12(b) reports;
+//   - tasks fail and are retried: each attempt writes to a private output
+//     buffer that is atomically committed to the shuffle only when the
+//     attempt wins its task (Hadoop's task-attempt/output-commit model),
+//     failing nodes are blacklisted, straggling attempts get speculative
+//     duplicates (first committer wins), and a cancelled job stops its
+//     in-flight tasks instead of letting them run to completion.
 package mapred
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -46,13 +54,49 @@ type Group struct {
 	Records []ShuffleRecord
 }
 
-// TaskContext identifies the running task and exposes its node for
-// locality-aware reads.
+// TaskContext identifies the running task attempt and exposes its node for
+// locality-aware reads and its context for cancellation.
 type TaskContext struct {
 	JobName string
 	TaskID  int
 	Node    int
 	Reduce  bool
+	// Attempt numbers this execution of the task: 0 for the first try,
+	// then one per retry or speculative duplicate. Attempt-private output
+	// (temp files, buffers) must be keyed by it so concurrent attempts of
+	// one task never collide.
+	Attempt int
+	// Speculative marks a duplicate attempt launched against a straggler.
+	// Fault hooks are not consulted for speculative attempts (they model a
+	// rescue launched on a healthy node), which also keeps injected-fault
+	// identities independent of speculation timing.
+	Speculative bool
+	// Ctx is cancelled when the attempt should stop: the query was
+	// cancelled or timed out, a sibling task failed terminally, or another
+	// attempt of this task already committed. Long-running task bodies
+	// must observe it.
+	Ctx context.Context
+
+	// faultAttempt is the failure ordinal handed to FaultPolicy: how many
+	// attempts of this task failed before this one launched. Unlike
+	// Attempt it is not inflated by speculative duplicates, so fault
+	// identities stay deterministic under speculation.
+	faultAttempt int
+}
+
+// FaultPolicy injects failures into task attempts (see
+// internal/faultinject). Implementations must be safe for concurrent use
+// and deterministic given (job, task, attempt) for reproducible runs. The
+// attempt number passed in is the task's failure ordinal (how many earlier
+// attempts failed), and speculative duplicates are never consulted, so the
+// set of decisions a run asks for does not depend on goroutine timing.
+type FaultPolicy interface {
+	// TaskError, when non-nil, crashes the attempt after its work ran but
+	// before commit — exercising the output-commit protocol.
+	TaskError(job string, task, attempt, node int) error
+	// TaskDelay is slept (cancellably) before the attempt's work,
+	// simulating a straggling node.
+	TaskDelay(job string, task, attempt, node int) time.Duration
 }
 
 // Job describes one MapReduce job. Reduces may be zero (a Map-only job,
@@ -66,72 +110,109 @@ type Job struct {
 	// NumReduces is the reducer count; zero means map-only.
 	NumReduces int
 	// MapFunc processes one split, emitting shuffle records via out (nil
-	// for map-only jobs).
+	// for map-only jobs). It may run several times for one split (retries,
+	// speculation); records reach the shuffle only when an attempt
+	// commits, so a failed attempt's partial output is never seen.
 	MapFunc func(tc *TaskContext, split any, out Collector) error
 	// ReduceFunc consumes key groups in key order; nil for map-only jobs.
 	ReduceFunc func(tc *TaskContext, groups func() (*Group, bool)) error
+	// CommitTask, when set, is called exactly once per task, for the
+	// winning attempt, after its shuffle output was committed: the place
+	// to publish attempt-private side effects (temp files, buffered rows).
+	CommitTask func(tc *TaskContext) error
+	// AbortTask, when set, is called for every attempt that does not
+	// commit — failed, cancelled, or a speculative loser — to discard its
+	// attempt-private side effects.
+	AbortTask func(tc *TaskContext)
 	// ChainedLaunch marks a stage that reuses the containers of a prior
 	// stage in the same DAG (Tez-style execution): no per-job launch
 	// overhead is charged.
 	ChainedLaunch bool
-	// Runner, when set, executes each task on an external persistent
-	// executor pool (LLAP-style daemons) instead of the engine's per-query
-	// task slots: no per-task launch overhead is charged and the engine's
-	// slot bound does not apply — the pool enforces its own concurrency
-	// limit and admission queue.
-	Runner func(fn func() error) error
+	// Runner, when set, executes each task attempt on an external
+	// persistent executor pool (LLAP-style daemons) instead of the
+	// engine's per-query task slots: no per-task launch overhead is
+	// charged and the engine's slot bound does not apply — the pool
+	// enforces its own concurrency limit and admission queue. The context
+	// is the attempt's; a cancelled attempt must not keep its caller
+	// waiting for admission.
+	Runner func(ctx context.Context, fn func() error) error
 }
 
 // Counters aggregates engine activity across jobs; all fields are
 // cumulative.
 type Counters struct {
 	Jobs           atomic.Int64
-	MapTasks       atomic.Int64
-	ReduceTasks    atomic.Int64
+	MapTasks       atomic.Int64 // committed map tasks (attempts are counted by the fault counters)
+	ReduceTasks    atomic.Int64 // committed reduce tasks
 	ShuffleRecords atomic.Int64
 	ShuffleBytes   atomic.Int64
-	MapCPU         atomic.Int64 // nanoseconds summed over map tasks
-	ReduceCPU      atomic.Int64 // nanoseconds summed over reduce tasks
+	MapCPU         atomic.Int64 // nanoseconds summed over all map attempts
+	ReduceCPU      atomic.Int64 // nanoseconds summed over all reduce attempts
 	LaunchOverhead atomic.Int64 // nanoseconds of simulated job/task launch cost
+	// Fault-tolerance counters.
+	FailedTasks      atomic.Int64 // attempts that ended in error
+	RetriedTasks     atomic.Int64 // retry attempts launched after a failure
+	SpeculativeTasks atomic.Int64 // duplicate attempts launched for stragglers
+	WastedCPU        atomic.Int64 // nanoseconds burned by non-committing attempts
+	Backoff          atomic.Int64 // accounted (not slept) retry backoff nanoseconds
+	BlacklistedNodes atomic.Int64 // nodes excluded after repeated failures
 }
 
 // CountersSnapshot is an immutable copy of Counters.
 type CountersSnapshot struct {
-	Jobs           int64
-	MapTasks       int64
-	ReduceTasks    int64
-	ShuffleRecords int64
-	ShuffleBytes   int64
-	MapCPU         time.Duration
-	ReduceCPU      time.Duration
-	LaunchOverhead time.Duration
+	Jobs             int64
+	MapTasks         int64
+	ReduceTasks      int64
+	ShuffleRecords   int64
+	ShuffleBytes     int64
+	MapCPU           time.Duration
+	ReduceCPU        time.Duration
+	LaunchOverhead   time.Duration
+	FailedTasks      int64
+	RetriedTasks     int64
+	SpeculativeTasks int64
+	WastedCPU        time.Duration
+	Backoff          time.Duration
+	BlacklistedNodes int64
 }
 
 // Snapshot copies the counters.
 func (c *Counters) Snapshot() CountersSnapshot {
 	return CountersSnapshot{
-		Jobs:           c.Jobs.Load(),
-		MapTasks:       c.MapTasks.Load(),
-		ReduceTasks:    c.ReduceTasks.Load(),
-		ShuffleRecords: c.ShuffleRecords.Load(),
-		ShuffleBytes:   c.ShuffleBytes.Load(),
-		MapCPU:         time.Duration(c.MapCPU.Load()),
-		ReduceCPU:      time.Duration(c.ReduceCPU.Load()),
-		LaunchOverhead: time.Duration(c.LaunchOverhead.Load()),
+		Jobs:             c.Jobs.Load(),
+		MapTasks:         c.MapTasks.Load(),
+		ReduceTasks:      c.ReduceTasks.Load(),
+		ShuffleRecords:   c.ShuffleRecords.Load(),
+		ShuffleBytes:     c.ShuffleBytes.Load(),
+		MapCPU:           time.Duration(c.MapCPU.Load()),
+		ReduceCPU:        time.Duration(c.ReduceCPU.Load()),
+		LaunchOverhead:   time.Duration(c.LaunchOverhead.Load()),
+		FailedTasks:      c.FailedTasks.Load(),
+		RetriedTasks:     c.RetriedTasks.Load(),
+		SpeculativeTasks: c.SpeculativeTasks.Load(),
+		WastedCPU:        time.Duration(c.WastedCPU.Load()),
+		Backoff:          time.Duration(c.Backoff.Load()),
+		BlacklistedNodes: c.BlacklistedNodes.Load(),
 	}
 }
 
 // Diff subtracts an earlier snapshot.
 func (s CountersSnapshot) Diff(earlier CountersSnapshot) CountersSnapshot {
 	return CountersSnapshot{
-		Jobs:           s.Jobs - earlier.Jobs,
-		MapTasks:       s.MapTasks - earlier.MapTasks,
-		ReduceTasks:    s.ReduceTasks - earlier.ReduceTasks,
-		ShuffleRecords: s.ShuffleRecords - earlier.ShuffleRecords,
-		ShuffleBytes:   s.ShuffleBytes - earlier.ShuffleBytes,
-		MapCPU:         s.MapCPU - earlier.MapCPU,
-		ReduceCPU:      s.ReduceCPU - earlier.ReduceCPU,
-		LaunchOverhead: s.LaunchOverhead - earlier.LaunchOverhead,
+		Jobs:             s.Jobs - earlier.Jobs,
+		MapTasks:         s.MapTasks - earlier.MapTasks,
+		ReduceTasks:      s.ReduceTasks - earlier.ReduceTasks,
+		ShuffleRecords:   s.ShuffleRecords - earlier.ShuffleRecords,
+		ShuffleBytes:     s.ShuffleBytes - earlier.ShuffleBytes,
+		MapCPU:           s.MapCPU - earlier.MapCPU,
+		ReduceCPU:        s.ReduceCPU - earlier.ReduceCPU,
+		LaunchOverhead:   s.LaunchOverhead - earlier.LaunchOverhead,
+		FailedTasks:      s.FailedTasks - earlier.FailedTasks,
+		RetriedTasks:     s.RetriedTasks - earlier.RetriedTasks,
+		SpeculativeTasks: s.SpeculativeTasks - earlier.SpeculativeTasks,
+		WastedCPU:        s.WastedCPU - earlier.WastedCPU,
+		Backoff:          s.Backoff - earlier.Backoff,
+		BlacklistedNodes: s.BlacklistedNodes - earlier.BlacklistedNodes,
 	}
 }
 
@@ -150,14 +231,41 @@ type Config struct {
 	// (JVM/scheduler latency on a real cluster). It is added to counters,
 	// not slept. Default 0.
 	JobLaunchOverhead time.Duration
-	// TaskLaunchOverhead is the accounted per-task startup cost.
+	// TaskLaunchOverhead is the accounted per-task-attempt startup cost.
 	TaskLaunchOverhead time.Duration
+	// MaxAttempts bounds executions per task (Hadoop's
+	// mapred.map.max.attempts). Default 1: the first failure is terminal,
+	// matching a retry-free engine; set 4 to survive injected faults.
+	MaxAttempts int
+	// RetryBackoff is the accounted (not slept) delay before a retry,
+	// doubling per consecutive failure of the task (exponential backoff).
+	// Default 0.
+	RetryBackoff time.Duration
+	// NodeFailureLimit is how many attempt failures a node hosts before
+	// it is blacklisted and excluded from scheduling. Default 3; negative
+	// disables blacklisting.
+	NodeFailureLimit int
+	// SpeculativeSlowdown enables speculative execution when > 0: once a
+	// phase is SpeculativeQuorum done, any attempt running longer than
+	// SpeculativeSlowdown × the median committed-task duration gets a
+	// duplicate attempt on another node; the first committer wins and the
+	// loser's work is charged to WastedCPU.
+	SpeculativeSlowdown float64
+	// SpeculativeQuorum is the fraction of a phase's tasks that must have
+	// committed before speculation starts. Default 0.75.
+	SpeculativeQuorum float64
+	// Faults, when set, injects task failures and straggler delays.
+	Faults FaultPolicy
 }
 
 // Engine runs jobs.
 type Engine struct {
 	cfg      Config
 	counters Counters
+
+	mu           sync.Mutex
+	nodeFailures map[int]int
+	blacklist    map[int]bool
 }
 
 // NewEngine creates an engine.
@@ -168,37 +276,123 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.NumNodes <= 0 {
 		cfg.NumNodes = 10
 	}
-	return &Engine{cfg: cfg}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.NodeFailureLimit == 0 {
+		cfg.NodeFailureLimit = 3
+	}
+	if cfg.SpeculativeQuorum <= 0 || cfg.SpeculativeQuorum > 1 {
+		cfg.SpeculativeQuorum = 0.75
+	}
+	return &Engine{
+		cfg:          cfg,
+		nodeFailures: map[int]int{},
+		blacklist:    map[int]bool{},
+	}
 }
 
 // Counters exposes the engine's cumulative counters.
 func (e *Engine) Counters() *Counters { return &e.counters }
 
-// partitionedBuffer collects map output for one reducer partition.
+// Blacklisted returns the currently blacklisted nodes, sorted.
+func (e *Engine) Blacklisted() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []int
+	for n := range e.blacklist {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// noteNodeFailure charges an attempt failure to its node, blacklisting the
+// node once it crosses the limit.
+func (e *Engine) noteNodeFailure(node int) {
+	if e.cfg.NodeFailureLimit < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nodeFailures[node]++
+	if e.nodeFailures[node] == e.cfg.NodeFailureLimit && !e.blacklist[node] {
+		e.blacklist[node] = true
+		e.counters.BlacklistedNodes.Add(1)
+	}
+}
+
+// pickNode spreads attempts round-robin over healthy (non-blacklisted)
+// nodes; later attempts of a task shift to a different node. With every
+// node blacklisted it falls back to the full cluster.
+func (e *Engine) pickNode(task, attempt int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.blacklist) == 0 {
+		return (task + attempt) % e.cfg.NumNodes
+	}
+	var healthy []int
+	for n := 0; n < e.cfg.NumNodes; n++ {
+		if !e.blacklist[n] {
+			healthy = append(healthy, n)
+		}
+	}
+	if len(healthy) == 0 {
+		return (task + attempt) % e.cfg.NumNodes
+	}
+	return healthy[(task+attempt)%len(healthy)]
+}
+
+// partitionedBuffer collects committed map output for one reducer
+// partition.
 type partitionedBuffer struct {
 	mu   sync.Mutex
 	recs []ShuffleRecord
 }
 
-type collector struct {
-	e     *Engine
+// attemptCollector is the output-commit protocol's private buffer: one map
+// attempt's shuffle records, invisible to reducers until commit. A failed
+// or losing attempt is simply dropped, so retries never duplicate records
+// and a mid-map failure never leaves partial output in the shuffle.
+type attemptCollector struct {
 	parts []*partitionedBuffer
+	bufs  [][]ShuffleRecord
+	recs  int64
+	bytes int64
 }
 
-func (c *collector) Collect(partition int, rec ShuffleRecord) error {
+func newAttemptCollector(parts []*partitionedBuffer) *attemptCollector {
+	return &attemptCollector{parts: parts, bufs: make([][]ShuffleRecord, len(parts))}
+}
+
+func (c *attemptCollector) Collect(partition int, rec ShuffleRecord) error {
 	if len(c.parts) == 0 {
 		return fmt.Errorf("mapred: Collect called in a map-only job")
 	}
 	if partition < 0 || partition >= len(c.parts) {
 		return fmt.Errorf("mapred: partition %d out of range [0,%d)", partition, len(c.parts))
 	}
-	c.e.counters.ShuffleRecords.Add(1)
-	c.e.counters.ShuffleBytes.Add(int64(len(rec.Key) + len(rec.Value) + 8))
-	p := c.parts[partition]
-	p.mu.Lock()
-	p.recs = append(p.recs, rec)
-	p.mu.Unlock()
+	c.bufs[partition] = append(c.bufs[partition], rec)
+	c.recs++
+	c.bytes += int64(len(rec.Key) + len(rec.Value) + 8)
 	return nil
+}
+
+// commit atomically publishes the attempt's records to the shared shuffle
+// partitions; shuffle counters are charged here, so they only ever count
+// committed output.
+func (c *attemptCollector) commit(e *Engine) {
+	for p, recs := range c.bufs {
+		if len(recs) == 0 {
+			continue
+		}
+		part := c.parts[p]
+		part.mu.Lock()
+		part.recs = append(part.recs, recs...)
+		part.mu.Unlock()
+	}
+	e.counters.ShuffleRecords.Add(c.recs)
+	e.counters.ShuffleBytes.Add(c.bytes)
 }
 
 // Partition is the default hash partitioner over key bytes.
@@ -211,10 +405,15 @@ func Partition(key []byte, numReduces int) int {
 	return int(h % uint32(numReduces))
 }
 
-// Run executes one job to completion: all map tasks, then (as the paper's
-// setup configures Hadoop, §7.1: "the Reduce phase starts after the entire
-// Map phase has finished") the shuffle sort and all reduce tasks.
-func (e *Engine) Run(job *Job) error {
+// Run executes one job to completion with a background context.
+func (e *Engine) Run(job *Job) error { return e.RunContext(context.Background(), job) }
+
+// RunContext executes one job to completion: all map tasks, then (as the
+// paper's setup configures Hadoop, §7.1: "the Reduce phase starts after
+// the entire Map phase has finished") the shuffle sort and all reduce
+// tasks. Cancelling ctx stops in-flight tasks promptly and returns
+// ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, job *Job) error {
 	e.counters.Jobs.Add(1)
 	if !job.ChainedLaunch {
 		e.counters.LaunchOverhead.Add(int64(e.cfg.JobLaunchOverhead))
@@ -225,41 +424,61 @@ func (e *Engine) Run(job *Job) error {
 	if job.NumReduces == 0 && job.ReduceFunc != nil {
 		return fmt.Errorf("mapred: map-only job %s has a ReduceFunc", job.Name)
 	}
-
-	out := &collector{e: e}
-	for i := 0; i < job.NumReduces; i++ {
-		out.parts = append(out.parts, &partitionedBuffer{})
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
-	// Map phase.
-	if err := e.runTasks(job, len(job.Splits), func(i, node int) error {
-		tc := &TaskContext{JobName: job.Name, TaskID: i, Node: node}
-		start := time.Now()
-		err := job.MapFunc(tc, job.Splits[i], out)
-		e.counters.MapCPU.Add(int64(time.Since(start)))
-		e.counters.MapTasks.Add(1)
-		return err
-	}); err != nil {
+	parts := make([]*partitionedBuffer, job.NumReduces)
+	for i := range parts {
+		parts[i] = &partitionedBuffer{}
+	}
+
+	// Map phase: each attempt collects into a private buffer committed on
+	// win.
+	mapAttempt := func(tc *TaskContext) (func() error, error) {
+		out := newAttemptCollector(parts)
+		if err := job.MapFunc(tc, job.Splits[tc.TaskID], out); err != nil {
+			return nil, err
+		}
+		return func() error {
+			out.commit(e)
+			if job.CommitTask != nil {
+				return job.CommitTask(tc)
+			}
+			return nil
+		}, nil
+	}
+	if err := e.runPhase(ctx, job, len(job.Splits), false, mapAttempt); err != nil {
 		return fmt.Errorf("mapred: job %s map phase: %w", job.Name, err)
 	}
 	if job.NumReduces == 0 {
 		return nil
 	}
 
-	// Reduce phase: sort each partition by (key, tag), group by key, and
-	// push groups to the reducer.
-	return e.runTasks(job, job.NumReduces, func(i, node int) error {
-		tc := &TaskContext{JobName: job.Name, TaskID: i, Node: node, Reduce: true}
-		start := time.Now()
-		err := e.reduceTask(tc, job, out.parts[i])
-		e.counters.ReduceCPU.Add(int64(time.Since(start)))
-		e.counters.ReduceTasks.Add(1)
-		return err
-	})
+	// Reduce phase: each attempt sorts a private copy of its partition by
+	// (key, tag), groups by key, and pushes groups to the reducer — a
+	// speculative twin must not race the winner on shared record slices.
+	reduceAttempt := func(tc *TaskContext) (func() error, error) {
+		if err := e.reduceTask(tc, job, parts[tc.TaskID]); err != nil {
+			return nil, err
+		}
+		return func() error {
+			if job.CommitTask != nil {
+				return job.CommitTask(tc)
+			}
+			return nil
+		}, nil
+	}
+	if err := e.runPhase(ctx, job, job.NumReduces, true, reduceAttempt); err != nil {
+		return fmt.Errorf("mapred: job %s reduce phase: %w", job.Name, err)
+	}
+	return nil
 }
 
 func (e *Engine) reduceTask(tc *TaskContext, job *Job, part *partitionedBuffer) error {
-	recs := part.recs
+	part.mu.Lock()
+	recs := append([]ShuffleRecord(nil), part.recs...)
+	part.mu.Unlock()
 	sort.SliceStable(recs, func(a, b int) bool {
 		if c := bytes.Compare(recs[a].Key, recs[b].Key); c != 0 {
 			return c < 0
@@ -281,43 +500,288 @@ func (e *Engine) reduceTask(tc *TaskContext, job *Job, part *partitionedBuffer) 
 	return job.ReduceFunc(tc, next)
 }
 
-// runTasks executes n tasks with the configured slot bound, spreading them
-// round-robin over simulated nodes. The first error aborts the phase. When
-// the job carries a Runner, tasks go to its persistent executors instead:
-// already-running workers, so no task launch overhead accrues.
-func (e *Engine) runTasks(job *Job, n int, run func(task, node int) error) error {
+// attemptOutcome is one finished attempt, reported to the phase scheduler.
+type attemptOutcome struct {
+	task    int
+	attempt int
+	node    int
+	tc      *TaskContext
+	dur     time.Duration
+	err     error
+	commit  func() error
+}
+
+// taskState tracks one task's attempts; mutated only by the phase
+// scheduler goroutine.
+type taskState struct {
+	attempts   int // launched so far
+	running    int // live right now
+	committed  bool
+	resolved   bool // committed, or terminally failed/cancelled
+	speculated bool
+	lastStart  time.Time // start of the most recently launched attempt
+	cancels    map[int]context.CancelFunc
+	errs       []error
+}
+
+// runPhase schedules one phase's tasks with retries, blacklisting,
+// speculative duplicates and cancellation. attempt runs one task attempt
+// and returns its commit step; the scheduler guarantees at most one commit
+// per task (first committer wins) and an AbortTask for every other
+// attempt. The phase fails with the errors.Join of every terminally failed
+// task; the first terminal failure cancels in-flight siblings.
+func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
+	attempt func(tc *TaskContext) (func() error, error)) error {
 	if n == 0 {
 		return nil
 	}
-	errs := make(chan error, n)
-	var wg sync.WaitGroup
-	if job.Runner != nil {
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				errs <- job.Runner(func() error { return run(i, i%e.cfg.NumNodes) })
-			}(i)
+	maxAttempts := e.cfg.MaxAttempts
+	phaseCtx, cancelPhase := context.WithCancel(ctx)
+	defer cancelPhase()
+
+	// Buffered so attempt goroutines never block on reporting: at most
+	// maxAttempts retries plus one speculative duplicate per task.
+	results := make(chan attemptOutcome, n*(maxAttempts+1))
+	slots := make(chan struct{}, e.cfg.Slots)
+	state := make([]*taskState, n)
+	for i := range state {
+		state[i] = &taskState{cancels: map[int]context.CancelFunc{}}
+	}
+	outstanding := 0
+	resolved := 0
+	var taskErrs []error
+	var committedDurs []time.Duration
+
+	// doAttempt runs the attempt body: straggler delay, work, injected
+	// crash. It is the part that executes on a slot or pool worker.
+	doAttempt := func(tc *TaskContext) (commit func() error, dur time.Duration, err error) {
+		start := time.Now()
+		defer func() {
+			dur = time.Since(start)
+			if reduce {
+				e.counters.ReduceCPU.Add(int64(dur))
+			} else {
+				e.counters.MapCPU.Add(int64(dur))
+			}
+		}()
+		if e.cfg.Faults != nil && !tc.Speculative {
+			if d := e.cfg.Faults.TaskDelay(job.Name, tc.TaskID, tc.faultAttempt, tc.Node); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-tc.Ctx.Done():
+					t.Stop()
+					return nil, 0, tc.Ctx.Err()
+				}
+			}
 		}
-	} else {
-		e.counters.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead) * int64(n))
-		slots := make(chan struct{}, e.cfg.Slots)
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			slots <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-slots }()
-				errs <- run(i, i%e.cfg.NumNodes)
-			}(i)
+		commit, err = attempt(tc)
+		if err == nil {
+			if cerr := tc.Ctx.Err(); cerr != nil {
+				return nil, 0, cerr
+			}
+			if e.cfg.Faults != nil && !tc.Speculative {
+				if ferr := e.cfg.Faults.TaskError(job.Name, tc.TaskID, tc.faultAttempt, tc.Node); ferr != nil {
+					return nil, 0, ferr
+				}
+			}
+		}
+		return commit, 0, err
+	}
+
+	launch := func(task int, speculative bool) {
+		st := state[task]
+		attemptNo := st.attempts
+		node := e.pickNode(task, attemptNo)
+		actx, cancel := context.WithCancel(phaseCtx)
+		st.attempts++
+		st.running++
+		st.cancels[attemptNo] = cancel
+		st.lastStart = time.Now()
+		outstanding++
+		tc := &TaskContext{
+			JobName: job.Name, TaskID: task, Node: node,
+			Reduce: reduce, Attempt: attemptNo, Speculative: speculative,
+			Ctx: actx, faultAttempt: len(st.errs),
+		}
+		if job.Runner != nil {
+			go func() {
+				// fn hands its results over a buffered channel, never via
+				// shared captures: when the pool abandons the attempt
+				// (cancelled while queued or mid-run) the worker may still
+				// execute fn after Runner returned, and its send then parks
+				// harmlessly in the buffer instead of racing.
+				type runnerRet struct {
+					commit func() error
+					dur    time.Duration
+				}
+				ret := make(chan runnerRet, 1)
+				rerr := job.Runner(actx, func() error {
+					c, d, err := doAttempt(tc)
+					ret <- runnerRet{commit: c, dur: d}
+					return err
+				})
+				var commit func() error
+				var dur time.Duration
+				select {
+				case r := <-ret:
+					commit, dur = r.commit, r.dur
+				default:
+				}
+				results <- attemptOutcome{task: task, attempt: attemptNo, node: node, tc: tc, dur: dur, err: rerr, commit: commit}
+			}()
+			return
+		}
+		e.counters.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead))
+		go func() {
+			select {
+			case slots <- struct{}{}:
+			case <-actx.Done():
+				results <- attemptOutcome{task: task, attempt: attemptNo, node: node, tc: tc, err: actx.Err()}
+				return
+			}
+			defer func() { <-slots }()
+			commit, dur, err := doAttempt(tc)
+			results <- attemptOutcome{task: task, attempt: attemptNo, node: node, tc: tc, dur: dur, err: err, commit: commit}
+		}()
+	}
+
+	abort := func(tc *TaskContext) {
+		if job.AbortTask != nil {
+			job.AbortTask(tc)
 		}
 	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
+
+	// handle consumes one attempt outcome; it runs only on the scheduler
+	// goroutine, so task state needs no locking.
+	handle := func(o attemptOutcome) {
+		outstanding--
+		st := state[o.task]
+		st.running--
+		if c, ok := st.cancels[o.attempt]; ok {
+			c()
+			delete(st.cancels, o.attempt)
 		}
+		if o.err == nil && !st.committed && !st.resolved {
+			// First committer wins; cancel sibling attempts of this task.
+			st.committed = true
+			st.resolved = true
+			resolved++
+			for _, c := range st.cancels {
+				c()
+			}
+			if cerr := o.commit(); cerr != nil {
+				// A failed commit is terminal: retrying it could publish
+				// output twice.
+				taskErrs = append(taskErrs, fmt.Errorf("task %d commit: %w", o.task, cerr))
+				cancelPhase()
+				return
+			}
+			if reduce {
+				e.counters.ReduceTasks.Add(1)
+			} else {
+				e.counters.MapTasks.Add(1)
+			}
+			committedDurs = append(committedDurs, o.dur)
+			return
+		}
+		if o.err == nil {
+			// Speculative loser finishing after the winner (or after the
+			// task failed terminally): discard its work.
+			e.counters.WastedCPU.Add(int64(o.dur))
+			abort(o.tc)
+			return
+		}
+		// Failed attempt.
+		abort(o.tc)
+		e.counters.WastedCPU.Add(int64(o.dur))
+		if st.resolved {
+			return // loser of a decided task
+		}
+		if phaseCtx.Err() != nil && (errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded)) {
+			// Cancelled sibling, not an error source: resolve silently
+			// (unless other attempts of the task are still draining).
+			if st.running == 0 {
+				st.resolved = true
+				resolved++
+			}
+			return
+		}
+		e.counters.FailedTasks.Add(1)
+		e.noteNodeFailure(o.node)
+		st.errs = append(st.errs, o.err)
+		if st.attempts < maxAttempts && phaseCtx.Err() == nil {
+			if e.cfg.RetryBackoff > 0 {
+				e.counters.Backoff.Add(int64(e.cfg.RetryBackoff) << (len(st.errs) - 1))
+			}
+			e.counters.RetriedTasks.Add(1)
+			launch(o.task, false)
+			return
+		}
+		if st.running > 0 {
+			return // a speculative twin may still win
+		}
+		st.resolved = true
+		resolved++
+		taskErrs = append(taskErrs, fmt.Errorf("task %d after %d attempt(s): %w", o.task, st.attempts, errors.Join(st.errs...)))
+		cancelPhase()
+	}
+
+	// speculate launches duplicates for stragglers once the phase is
+	// mostly done.
+	speculate := func() {
+		done := len(committedDurs)
+		if done == 0 || float64(done) < e.cfg.SpeculativeQuorum*float64(n) {
+			return
+		}
+		durs := append([]time.Duration(nil), committedDurs...)
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		median := durs[len(durs)/2]
+		threshold := time.Duration(e.cfg.SpeculativeSlowdown * float64(median))
+		if threshold < time.Millisecond {
+			threshold = time.Millisecond
+		}
+		for task, st := range state {
+			if st.resolved || st.speculated || st.running != 1 || st.attempts >= maxAttempts+1 {
+				continue
+			}
+			if time.Since(st.lastStart) < threshold {
+				continue
+			}
+			st.speculated = true
+			e.counters.SpeculativeTasks.Add(1)
+			launch(task, true)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		launch(i, false)
+	}
+	var specTick <-chan time.Time
+	if e.cfg.SpeculativeSlowdown > 0 && n > 1 {
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		specTick = ticker.C
+	}
+	for resolved < n {
+		select {
+		case o := <-results:
+			handle(o)
+		case <-specTick:
+			speculate()
+		}
+	}
+	// Stop losers and drain every outstanding attempt so no goroutine
+	// outlives the phase and every non-winning attempt is aborted.
+	cancelPhase()
+	for outstanding > 0 {
+		handle(<-results)
+	}
+	if len(taskErrs) > 0 {
+		return errors.Join(taskErrs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return nil
 }

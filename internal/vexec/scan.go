@@ -5,6 +5,7 @@
 package vexec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dfs"
@@ -31,13 +32,17 @@ func SetBatchSize(n int) {
 
 // RunVectorizedScan executes one marked map chain over one ORC file.
 // caches, when non-nil, lets the reader serve chunks and metadata from an
-// LLAP-style cache.
-func RunVectorizedScan(fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int, caches *orc.Caches) error {
+// LLAP-style cache. goctx cancels the scan between batches and inside DFS
+// reads.
+func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int, caches *orc.Caches) error {
 	fr, err := fs.Open(path)
 	if err != nil {
 		return err
 	}
 	fr.SetNode(node)
+	if goctx != nil {
+		fr.SetContext(goctx)
+	}
 	r, err := orc.NewCachedReader(fr, path, caches)
 	if err != nil {
 		return err
@@ -59,6 +64,11 @@ func RunVectorizedScan(fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.
 		return err
 	}
 	for {
+		if goctx != nil {
+			if err := goctx.Err(); err != nil {
+				return err
+			}
+		}
 		ok, err := br.Next(batch)
 		if err != nil {
 			return err
