@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-llap faults
+.PHONY: check vet build test race race-core bench-llap faults difftest
 
-# check is the tier-1 gate plus the race detector: everything a PR must pass.
-check: vet build race
+# check is the tier-1 gate plus the targeted race pass: everything a PR
+# must pass. `make race` remains the full-repo race sweep.
+check: vet build test race-core
+
+# race-core is the fast race pass over the correctness-critical packages
+# (the differential harness and the engine layers it drives).
+race-core:
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/mapred ./internal/vexec
 
 vet:
 	$(GO) vet ./...
@@ -25,3 +31,9 @@ bench-llap:
 # corrupt block, stragglers and cache faults on all three engines.
 faults:
 	$(GO) run ./cmd/benchrunner -exp faults
+
+# difftest runs the E11 differential query fuzzer: 500 seeded queries
+# across the full engine x format x pushdown x faults matrix; exits
+# nonzero on any disagreement and prints shrunk repros.
+difftest:
+	$(GO) run ./cmd/benchrunner -exp diff -diff-seed 1 -diff-queries 500

@@ -21,12 +21,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|faults|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|faults|ablations|all, or diff (E11, only when named explicitly)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
 	overhead := flag.Duration("job-overhead", 250*time.Millisecond,
 		"accounted per-job launch overhead (stands in for Hadoop job latency)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault-injection experiment")
+	diffSeed := flag.Int64("diff-seed", 1, "seed for the differential query fuzzer (E11)")
+	diffQueries := flag.Int("diff-queries", 500, "generated queries for the differential fuzzer (E11)")
 	flag.Parse()
 
 	cfg := bench.EnvConfig{
@@ -130,6 +132,21 @@ func main() {
 		bench.PrintFaults(os.Stdout, rep)
 		return nil
 	})
+	// E11 runs only when named: it is a correctness harness over tens of
+	// thousands of query executions, not one of the paper's figures.
+	if *exp == "diff" {
+		run("diff", func() error {
+			rep, err := bench.RunDiff(*diffSeed, *diffQueries, os.Stdout)
+			if err != nil {
+				return err
+			}
+			bench.PrintDiff(os.Stdout, rep)
+			if len(rep.Failures) > 0 {
+				return fmt.Errorf("%d disagreement(s)", len(rep.Failures))
+			}
+			return nil
+		})
+	}
 	run("ablations", func() error {
 		rows, err := bench.RunStripeSizeAblation(cfg)
 		if err != nil {

@@ -1,0 +1,52 @@
+// diff.go drives the differential query fuzzer experiment (E11): a
+// seeded qcheck run over the full {engine × format × pushdown × faults}
+// matrix. The paper's engineering claim — ORC, the optimized planner,
+// vectorized execution and the newer engines change how queries run, not
+// what they return — becomes a falsifiable statement here: N random
+// queries, every cell must match the unoptimized MapReduce-over-text
+// reference, any disagreement gets shrunk to a replayable repro.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/qcheck"
+)
+
+// RunDiff runs the E11 fuzzing pass. Same seed, same queries, same
+// verdicts: the report's fingerprint is reproducible across runs.
+func RunDiff(seed int64, queries int, progress io.Writer) (*qcheck.Report, error) {
+	cfg := qcheck.Config{
+		Seed:       seed,
+		Queries:    queries,
+		FullFaults: true,
+	}
+	if progress != nil {
+		cfg.Progress = func(line string) { fmt.Fprintln(progress, "  "+line) }
+	}
+	return qcheck.Run(cfg)
+}
+
+// PrintDiff renders the experiment; disagreements print as ready-to-commit
+// corpus entries (see internal/qcheck/testdata).
+func PrintDiff(w io.Writer, rep *qcheck.Report) {
+	fmt.Fprintf(w, "E11: differential query fuzzer (seed %d)\n", rep.Seed)
+	fmt.Fprintf(w, "%d queries over %d tables, %d matrix cells, %d query executions\n",
+		rep.Queries, rep.Scenarios, rep.Cells, rep.Executions)
+	fmt.Fprintf(w, "verdict fingerprint: %016x (same seed must reproduce this exactly)\n", rep.Fingerprint)
+	if len(rep.Failures) == 0 {
+		fmt.Fprintln(w, "All cells agreed with the reference (mapreduce/text, optimizations off) on every query.")
+		return
+	}
+	fmt.Fprintf(w, "DISAGREEMENTS: %d\n", len(rep.Failures))
+	for i, f := range rep.Failures {
+		fmt.Fprintf(w, "--- disagreement %d: %s: %s\n", i+1, f.Cell.ID(), f.Detail)
+		fmt.Fprintf(w, "    query: %s\n", f.Query)
+		if f.Repro != nil {
+			fmt.Fprintf(w, "    shrunk repro (save as internal/qcheck/testdata/<name>.q):\n")
+			fmt.Fprint(w, qcheck.FormatEntry(qcheck.ReproEntry(
+				fmt.Sprintf("repro-%d", i+1), "skipped", f.Repro)))
+		}
+	}
+}

@@ -564,6 +564,16 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 				e.counters.MapCPU.Add(int64(dur))
 			}
 		}()
+		// A panicking attempt is a failed attempt, not a dead engine: real
+		// task runtimes contain child-JVM crashes the same way. The retry
+		// machinery treats it like any other task error (and a retried
+		// deterministic panic still fails the phase after MaxAttempts).
+		defer func() {
+			if r := recover(); r != nil {
+				commit = nil
+				err = fmt.Errorf("mapred: task panic: %v", r)
+			}
+		}()
 		if e.cfg.Faults != nil && !tc.Speculative {
 			if d := e.cfg.Faults.TaskDelay(job.Name, tc.TaskID, tc.faultAttempt, tc.Node); d > 0 {
 				t := time.NewTimer(d)

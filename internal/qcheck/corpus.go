@@ -1,0 +1,356 @@
+// corpus.go reads and writes replayable repro files
+// (internal/qcheck/testdata/*.q). A corpus file is one shrunk
+// disagreement: the cell it failed on, the minimized table (schema in
+// Hive DDL, rows in text-SerDe form) and the query. `go test` replays
+// every file marked `status: fixed` against its cell on every run, so a
+// fixed bug stays fixed; `status: skipped` entries are known-open repros
+// that replay is expected to still flag.
+//
+// Add-a-repro workflow: run the fuzzer (make difftest or
+// `benchrunner -exp diff`), copy the printed repro block into
+// testdata/<name>.q with `# status: skipped`, fix the bug, flip the
+// entry to `# status: fixed`.
+package qcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fileformat"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// CorpusEntry is one parsed .q file.
+type CorpusEntry struct {
+	Name string
+	// Status is "fixed" (replay must pass) or "skipped" (known-open bug;
+	// replay must still disagree, proving the repro hasn't gone stale).
+	Status string
+	Cell   Cell
+	Table  *Table
+	Query  string
+	Detail string // informational: the disagreement at capture time
+}
+
+// FormatEntry renders an entry in corpus file syntax.
+func FormatEntry(e *CorpusEntry) string {
+	var b strings.Builder
+	b.WriteString("# qcheck repro\n")
+	b.WriteString("# status: " + e.Status + "\n")
+	b.WriteString("# cell: " + e.Cell.ID() + "\n")
+	if e.Detail != "" {
+		b.WriteString("# detail: " + e.Detail + "\n")
+	}
+	for _, c := range e.Table.Schema.Columns {
+		fmt.Fprintf(&b, "col %s %s\n", c.Name, c.Type)
+	}
+	for _, row := range e.Table.Rows {
+		fields := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				fields[i] = `\N`
+			} else {
+				fields[i] = escapeField(types.FormatValue(e.Table.Schema.Columns[i].Type, v))
+			}
+		}
+		b.WriteString("row " + strings.Join(fields, "\t") + "\n")
+	}
+	b.WriteString("query " + e.Query + "\n")
+	return b.String()
+}
+
+// WriteEntry writes an entry to a .q file.
+func WriteEntry(path string, e *CorpusEntry) error {
+	return os.WriteFile(path, []byte(FormatEntry(e)), 0o644)
+}
+
+// escapeField makes a text-SerDe field line-safe: backslashes, tabs and
+// newlines are escaped (NULL's bare \N marker is written by the caller
+// and so never collides with an escaped payload).
+func escapeField(s string) string {
+	r := strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
+	return r.Replace(s)
+}
+
+func unescapeField(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// ParseEntry parses corpus file contents.
+func ParseEntry(name, content string) (*CorpusEntry, error) {
+	e := &CorpusEntry{Name: name, Status: "fixed", Table: &Table{Name: "t"}}
+	var cols []types.Field
+	for ln, line := range strings.Split(content, "\n") {
+		fail := func(msg string) error {
+			return fmt.Errorf("qcheck: corpus %s line %d: %s", name, ln+1, msg)
+		}
+		switch {
+		case strings.HasPrefix(line, "# status:"):
+			e.Status = strings.TrimSpace(strings.TrimPrefix(line, "# status:"))
+		case strings.HasPrefix(line, "# cell:"):
+			c, err := ParseCellID(strings.TrimSpace(strings.TrimPrefix(line, "# cell:")))
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			e.Cell = c
+		case strings.HasPrefix(line, "# detail:"):
+			e.Detail = strings.TrimSpace(strings.TrimPrefix(line, "# detail:"))
+		case strings.HasPrefix(line, "#"), strings.TrimSpace(line) == "":
+		case strings.HasPrefix(line, "col "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "col "), " ", 2)
+			if len(parts) != 2 {
+				return nil, fail("col wants `col <name> <type>`")
+			}
+			t, err := parseDDLType(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			cols = append(cols, types.Col(parts[0], t))
+		case strings.HasPrefix(line, "row "):
+			if e.Table.Schema == nil {
+				e.Table.Schema = types.NewSchema(cols...)
+			}
+			fields := strings.Split(strings.TrimPrefix(line, "row "), "\t")
+			if len(fields) != len(cols) {
+				return nil, fail(fmt.Sprintf("row has %d fields, schema has %d", len(fields), len(cols)))
+			}
+			row := make(types.Row, len(fields))
+			for i, f := range fields {
+				if f == `\N` {
+					continue
+				}
+				v, err := types.ParseValue(cols[i].Type, unescapeField(f))
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				row[i] = v
+			}
+			e.Table.Rows = append(e.Table.Rows, row)
+		case strings.HasPrefix(line, "query "):
+			e.Query = strings.TrimPrefix(line, "query ")
+		default:
+			return nil, fail("unrecognized line")
+		}
+	}
+	if e.Table.Schema == nil {
+		e.Table.Schema = types.NewSchema(cols...)
+	}
+	if e.Query == "" {
+		return nil, fmt.Errorf("qcheck: corpus %s: no query line", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("qcheck: corpus %s: no col lines", name)
+	}
+	return e, nil
+}
+
+// ParseCellID inverts Cell.ID.
+func ParseCellID(id string) (Cell, error) {
+	if id == "reference" {
+		return Cell{Engine: core.ModeMapReduce, Format: fileformat.Text, Reference: true}, nil
+	}
+	parts := strings.Split(id, "/")
+	if len(parts) != 4 {
+		return Cell{}, fmt.Errorf("bad cell id %q", id)
+	}
+	var c Cell
+	switch parts[0] {
+	case "mapreduce":
+		c.Engine = core.ModeMapReduce
+	case "tez":
+		c.Engine = core.ModeTez
+	case "llap":
+		c.Engine = core.ModeLLAP
+	default:
+		return Cell{}, fmt.Errorf("bad engine %q", parts[0])
+	}
+	switch parts[1] {
+	case "text":
+		c.Format = fileformat.Text
+	case "seq":
+		c.Format = fileformat.Sequence
+	case "rc":
+		c.Format = fileformat.RC
+	case "orc":
+		c.Format = fileformat.ORC
+	default:
+		return Cell{}, fmt.Errorf("bad format %q", parts[1])
+	}
+	switch parts[2] {
+	case "push":
+		c.Pushdown = true
+	case "nopush":
+	default:
+		return Cell{}, fmt.Errorf("bad pushdown flag %q", parts[2])
+	}
+	switch parts[3] {
+	case "fault":
+		c.Faulted = true
+	case "clean":
+	default:
+		return Cell{}, fmt.Errorf("bad fault flag %q", parts[3])
+	}
+	return c, nil
+}
+
+// parseDDLType parses the Hive DDL type syntax Type.String() renders:
+// primitives, array<t>, map<k,v>, struct<name:t,...>.
+func parseDDLType(s string) (*types.Type, error) {
+	p := &ddlParser{src: s}
+	t, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing type syntax %q", p.src[p.pos:])
+	}
+	return t, nil
+}
+
+type ddlParser struct {
+	src string
+	pos int
+}
+
+func (p *ddlParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if ch == '<' || ch == '>' || ch == ',' || ch == ':' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *ddlParser) expect(ch byte) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != ch {
+		return fmt.Errorf("want %q at offset %d of type %q", ch, p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+var primByName = map[string]types.Kind{
+	"boolean": types.Boolean, "tinyint": types.Byte, "smallint": types.Short,
+	"int": types.Int, "bigint": types.Long, "float": types.Float,
+	"double": types.Double, "string": types.String,
+	"timestamp": types.Timestamp, "binary": types.Binary,
+}
+
+func (p *ddlParser) parse() (*types.Type, error) {
+	name := p.ident()
+	if k, ok := primByName[name]; ok {
+		return types.Primitive(k), nil
+	}
+	switch name {
+	case "array":
+		if err := p.expect('<'); err != nil {
+			return nil, err
+		}
+		elem, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('>'); err != nil {
+			return nil, err
+		}
+		return types.NewArray(elem), nil
+	case "map":
+		if err := p.expect('<'); err != nil {
+			return nil, err
+		}
+		key, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		val, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('>'); err != nil {
+			return nil, err
+		}
+		return types.NewMap(key, val), nil
+	case "struct":
+		if err := p.expect('<'); err != nil {
+			return nil, err
+		}
+		var names []string
+		var fields []*types.Type
+		for {
+			names = append(names, p.ident())
+			if err := p.expect(':'); err != nil {
+				return nil, err
+			}
+			ft, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, ft)
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect('>'); err != nil {
+			return nil, err
+		}
+		return types.NewStruct(names, fields), nil
+	}
+	return nil, fmt.Errorf("unknown type %q", name)
+}
+
+// ReplayEntry re-runs a corpus entry on its cell pair; it returns the
+// current disagreement detail, "" when reference and cell now agree, and
+// an error when the entry itself is broken (unparseable query).
+func ReplayEntry(e *CorpusEntry, seed int64) (string, error) {
+	stmt, err := sql.Parse(e.Query)
+	if err != nil {
+		return "", fmt.Errorf("qcheck: corpus %s: %w", e.Name, err)
+	}
+	disagrees, detail := disagreement(e.Table, stmt, e.Cell, seed)
+	if !disagrees {
+		return "", nil
+	}
+	if detail == "" {
+		detail = "disagrees"
+	}
+	return detail, nil
+}
+
+// ReproEntry converts a shrunk repro into a corpus entry.
+func ReproEntry(name, status string, r *Repro) *CorpusEntry {
+	return &CorpusEntry{
+		Name:   name,
+		Status: status,
+		Cell:   r.Cell,
+		Table:  r.Table,
+		Query:  r.Query,
+		Detail: r.Detail,
+	}
+}

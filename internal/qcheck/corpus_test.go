@@ -1,0 +1,90 @@
+package qcheck
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusReplay replays every testdata/*.q repro on its original cell
+// pair. Entries marked `fixed` must agree (the bug stays fixed); entries
+// marked `skipped` are known-open bugs that must still disagree — if one
+// starts agreeing, its fix landed and the entry should be flipped to
+// `fixed`.
+func TestCorpusReplay(t *testing.T) {
+	paths, err := filepath.Glob("testdata/*.q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus entries in testdata/")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			content, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := ParseEntry(filepath.Base(path), string(content))
+			if err != nil {
+				t.Fatal(err)
+			}
+			detail, err := ReplayEntry(e, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch e.Status {
+			case "fixed":
+				if detail != "" {
+					t.Errorf("regressed: %s\n  query: %s", detail, e.Query)
+				}
+			case "skipped":
+				if detail == "" {
+					t.Errorf("known-open repro now agrees; flip `# status:` to fixed\n  query: %s", e.Query)
+				} else {
+					t.Skipf("known-open bug still reproduces: %s", detail)
+				}
+			default:
+				t.Fatalf("unknown status %q (want fixed or skipped)", e.Status)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTrip checks FormatEntry/ParseEntry are inverses on a
+// generated table, so shrunk repros survive the trip to disk.
+func TestCorpusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := GenTable(rng, GenOptions{Rows: 20, Nested: true})
+	e := &CorpusEntry{
+		Name:   "rt",
+		Status: "fixed",
+		Cell:   Cell{Engine: allEngines[1], Format: allFormats[3], Pushdown: true},
+		Table:  tbl,
+		Query:  "SELECT c0 FROM t",
+		Detail: "round trip",
+	}
+	text := FormatEntry(e)
+	back, err := ParseEntry("rt", text)
+	if err != nil {
+		t.Fatalf("parse-back failed: %v\n%s", err, text)
+	}
+	if back.Cell != e.Cell || back.Status != e.Status || back.Query != e.Query {
+		t.Fatalf("header mismatch: %+v vs %+v", back, e)
+	}
+	if len(back.Table.Rows) != len(tbl.Rows) {
+		t.Fatalf("row count %d vs %d", len(back.Table.Rows), len(tbl.Rows))
+	}
+	for i, c := range tbl.Schema.Columns {
+		if !back.Table.Schema.Columns[i].Type.Equal(c.Type) {
+			t.Fatalf("column %s type %s parsed back as %s", c.Name, c.Type, back.Table.Schema.Columns[i].Type)
+		}
+	}
+	for i := range tbl.Rows {
+		if !rowEq(back.Table.Rows[i], tbl.Rows[i]) {
+			t.Fatalf("row %d mismatch: %s vs %s", i, formatRow(back.Table.Rows[i]), formatRow(tbl.Rows[i]))
+		}
+	}
+}

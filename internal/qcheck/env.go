@@ -1,0 +1,212 @@
+// env.go builds the execution matrix: one warehouse per
+// (storage format × fault setting) holding the scenario table, with the
+// engine mode and optimizer options swapped per query via SetConfig. The
+// reference cell — MapReduce over TextFile with every optimization off
+// and no faults — is the simplest path through the system; every other
+// cell must agree with it.
+package qcheck
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/faultinject"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/orc"
+)
+
+// Cell is one point of the comparison matrix.
+type Cell struct {
+	Engine   core.EngineMode
+	Format   fileformat.Kind
+	Pushdown bool // AllOn optimizations with PredicatePushdown on/off
+	Faulted  bool
+	// Reference marks the oracle cell: zero optimizer options, clean run.
+	Reference bool
+}
+
+// ID renders the cell compactly, e.g. "tez/orc/push/fault".
+func (c Cell) ID() string {
+	if c.Reference {
+		return "reference"
+	}
+	p, f := "nopush", "clean"
+	if c.Pushdown {
+		p = "push"
+	}
+	if c.Faulted {
+		f = "fault"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", c.Engine, formatName(c.Format), p, f)
+}
+
+func formatName(k fileformat.Kind) string {
+	switch k {
+	case fileformat.Sequence:
+		return "seq"
+	case fileformat.RC:
+		return "rc"
+	case fileformat.ORC:
+		return "orc"
+	}
+	return "text"
+}
+
+// allFormats is the storage axis.
+var allFormats = []fileformat.Kind{
+	fileformat.Text, fileformat.Sequence, fileformat.RC, fileformat.ORC,
+}
+
+// allEngines is the engine axis.
+var allEngines = []core.EngineMode{core.ModeMapReduce, core.ModeTez, core.ModeLLAP}
+
+// Matrix returns the reference cell followed by the full comparison
+// matrix: engines × formats × pushdown × {clean, fault}. FullFaults=false
+// restricts the fault axis to one representative cell per engine
+// (ORC+pushdown), which is what the short-mode smoke test runs.
+func Matrix(fullFaults bool) []Cell {
+	cells := []Cell{{Engine: core.ModeMapReduce, Format: fileformat.Text, Reference: true}}
+	for _, eng := range allEngines {
+		for _, f := range allFormats {
+			for _, push := range []bool{false, true} {
+				for _, faulted := range []bool{false, true} {
+					if faulted && !fullFaults && !(f == fileformat.ORC && push) {
+						continue
+					}
+					cells = append(cells, Cell{Engine: eng, Format: f, Pushdown: push, Faulted: faulted})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// faultConfig is the harness's seeded fault policy. Stragglers are
+// deliberately absent: a straggling attempt sleeps real wall time and —
+// with speculation on — lets scheduling races decide which attempt's
+// fault coins get consulted, which would break both the <60s budget and
+// the same-seed-same-verdicts guarantee.
+func faultConfig(seed int64) faultinject.Config {
+	return faultinject.Config{
+		Seed:           seed,
+		TaskFailProb:   0.25,
+		ReadFaultProb:  0.20,
+		CacheFaultProb: 0.10,
+	}
+}
+
+// scenarioEnv is one loaded warehouse, shared by every cell with the same
+// (format, faulted) coordinates.
+type scenarioEnv struct {
+	driver  *core.Driver
+	format  fileformat.Kind
+	faulted bool
+}
+
+// rowsPerFile splits the scenario table across several DFS files so every
+// query runs as a multi-task job (task retries, splits, shuffle all
+// engage even at repro scale).
+const rowsPerFile = 40
+
+// newScenarioEnv builds a warehouse for one (format, faulted) pair and
+// loads the table into it.
+func newScenarioEnv(t *Table, format fileformat.Kind, faulted bool, seed int64) (*scenarioEnv, error) {
+	// No simulated disk latency and no accounted launch overhead: the
+	// harness cares about answers, not timings, and runs tens of
+	// thousands of queries.
+	fs := dfs.New(dfs.WithBlockSize(1 << 20))
+	ecfg := mapred.Config{Slots: 4}
+	if faulted {
+		policy := faultinject.New(faultConfig(seed))
+		fs.SetFaultPolicy(policy)
+		ecfg.Faults = policy
+		ecfg.MaxAttempts = 4
+		ecfg.RetryBackoff = time.Millisecond
+	}
+	engine := mapred.NewEngine(ecfg)
+	d := core.NewDriver(fs, engine, core.Config{DefaultFormat: format})
+
+	opts := &fileformat.Options{}
+	if format == fileformat.ORC {
+		// Small stripes and a tight index stride so even ~100-row tables
+		// produce multiple stripes and multiple index groups — the units
+		// predicate pushdown skips.
+		opts.ORCOptions = &orc.WriterOptions{StripeSize: 2 << 10, RowIndexStride: 16}
+	}
+	loader, err := d.CreateTable(t.Name, t.Schema, format, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range t.Rows {
+		if i > 0 && i%rowsPerFile == 0 {
+			if err := loader.NextFile(); err != nil {
+				return nil, err
+			}
+		}
+		if err := loader.Write(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := loader.Close(); err != nil {
+		return nil, err
+	}
+	return &scenarioEnv{driver: d, format: format, faulted: faulted}, nil
+}
+
+func (e *scenarioEnv) close() { e.driver.Close() }
+
+// configure points the env's driver at a cell (engine + optimizations).
+func (e *scenarioEnv) configure(c Cell) {
+	conf := e.driver.Config()
+	conf.Engine = c.Engine
+	if c.Reference {
+		conf.Opt = optimizer.Options{}
+	} else {
+		conf.Opt = optimizer.AllOn()
+		conf.Opt.PredicatePushdown = c.Pushdown
+	}
+	e.driver.SetConfig(conf)
+}
+
+// envSet is the warehouses for one scenario, keyed by (format, faulted).
+type envSet struct {
+	envs map[[2]int]*scenarioEnv
+}
+
+func envKey(format fileformat.Kind, faulted bool) [2]int {
+	f := 0
+	if faulted {
+		f = 1
+	}
+	return [2]int{int(format), f}
+}
+
+// newEnvSet loads the table into every warehouse the cells need.
+func newEnvSet(t *Table, cells []Cell, seed int64) (*envSet, error) {
+	s := &envSet{envs: map[[2]int]*scenarioEnv{}}
+	for _, c := range cells {
+		k := envKey(c.Format, c.Faulted)
+		if _, ok := s.envs[k]; ok {
+			continue
+		}
+		env, err := newScenarioEnv(t, c.Format, c.Faulted, seed)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		s.envs[k] = env
+	}
+	return s, nil
+}
+
+func (s *envSet) get(c Cell) *scenarioEnv { return s.envs[envKey(c.Format, c.Faulted)] }
+
+func (s *envSet) close() {
+	for _, e := range s.envs {
+		e.close()
+	}
+}

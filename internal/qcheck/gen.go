@@ -1,0 +1,276 @@
+// gen.go is the random schema + dataset generator of the differential
+// harness: seeded, deterministic tables whose columns carry the value
+// distributions the storage layer is sensitive to — NULL-heavy columns,
+// low-cardinality strings (dictionary-encoded in ORC), high-cardinality
+// strings (direct-encoded), distributions that straddle the 0.8
+// dictionary threshold, empty strings, and nested Array/Map/Struct
+// columns that exercise the column-tree decomposition.
+package qcheck
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// Table is one generated scenario table: its schema and its full row set.
+// The harness loads the same rows into every storage format; the rows are
+// also what the shrinker minimizes.
+type Table struct {
+	Name   string
+	Schema *types.Schema
+	Rows   []types.Row
+}
+
+// GenOptions tunes table generation; the zero value takes defaults.
+type GenOptions struct {
+	// Rows is the target row count (jittered ±25%). Default 120.
+	Rows int
+	// Nested forces at least one Array, one Map and one Struct column
+	// (the round-trip property test wants guaranteed nested coverage;
+	// the differential fuzzer takes its chances).
+	Nested bool
+	// AllowEmpty permits the occasional zero-row table.
+	AllowEmpty bool
+}
+
+// stringMode enumerates the string distributions the generator emits.
+type stringMode int
+
+const (
+	stringLowCard   stringMode = iota // few distinct values: dictionary wins
+	stringHighCard                    // all-distinct: direct encoding wins
+	stringThreshold                   // distinct/total ≈ 0.8: straddles the dictionary cutoff
+)
+
+// colSpec is the per-column generation recipe.
+type colSpec struct {
+	kind     types.Kind
+	typ      *types.Type
+	nullProb float64
+	// integers
+	intLo, intHi int64
+	// doubles (values are rounded to 3 decimals so literals re-render
+	// losslessly through the SQL lexer, which has no exponent syntax)
+	fLo, fHi float64
+	// strings
+	strMode stringMode
+	vocab   []string
+	// booleans
+	trueProb float64
+}
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+func randWord(rng *rand.Rand, minLen, maxLen int) string {
+	n := minLen + rng.Intn(maxLen-minLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// roundMilli rounds to 3 decimals; every such value in (|v| < 1e6) renders
+// without an exponent under %g, which the SQL lexer can re-parse.
+func roundMilli(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func genNullProb(rng *rand.Rand) float64 {
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		return 0
+	case r < 0.70:
+		return 0.15
+	case r < 0.90:
+		return 0.5
+	case r < 0.97:
+		return 0.9
+	default:
+		return 1.0 // an all-NULL column: empty data streams, present-only
+	}
+}
+
+func genPrimitiveSpec(rng *rand.Rand, k types.Kind) colSpec {
+	sp := colSpec{kind: k, typ: types.Primitive(k), nullProb: genNullProb(rng)}
+	switch k {
+	case types.Long:
+		switch rng.Intn(3) {
+		case 0: // duplicate-heavy small domain (group keys, IN lists)
+			sp.intLo, sp.intHi = 0, int64(2+rng.Intn(15))
+		case 1:
+			sp.intLo, sp.intHi = -1000, 1000
+		default:
+			sp.intLo, sp.intHi = -90000, 90000
+		}
+	case types.Double:
+		if rng.Intn(2) == 0 {
+			sp.fLo, sp.fHi = -10, 10
+		} else {
+			sp.fLo, sp.fHi = -90000, 90000
+		}
+	case types.String:
+		switch rng.Intn(3) {
+		case 0:
+			sp.strMode = stringLowCard
+			n := 2 + rng.Intn(6)
+			for i := 0; i < n; i++ {
+				sp.vocab = append(sp.vocab, randWord(rng, 1, 8))
+			}
+			if rng.Intn(3) == 0 {
+				sp.vocab = append(sp.vocab, "") // empty string ≠ NULL
+			}
+		case 1:
+			sp.strMode = stringHighCard
+		default:
+			sp.strMode = stringThreshold
+		}
+	case types.Boolean:
+		sp.trueProb = [4]float64{0.5, 0.1, 0.9, 0.5}[rng.Intn(4)]
+	}
+	return sp
+}
+
+func genNestedType(rng *rand.Rand) *types.Type {
+	prim := func() *types.Type {
+		return types.Primitive([]types.Kind{types.Long, types.Double, types.String}[rng.Intn(3)])
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return types.NewArray(prim())
+	case 1:
+		return types.NewMap(types.Primitive(types.String), prim())
+	default:
+		return types.NewStruct([]string{"f0", "f1"}, []*types.Type{prim(), prim()})
+	}
+}
+
+// GenTable builds one deterministic random table from the rng.
+func GenTable(rng *rand.Rand, opts GenOptions) *Table {
+	if opts.Rows <= 0 {
+		opts.Rows = 120
+	}
+	// Queryable primitive columns; always at least one numeric so the
+	// query generator has aggregation material.
+	nPrim := 3 + rng.Intn(5)
+	specs := make([]colSpec, 0, nPrim+3)
+	specs = append(specs, genPrimitiveSpec(rng, types.Long))
+	kinds := []types.Kind{types.Long, types.Double, types.String, types.Boolean,
+		types.Long, types.Double, types.String}
+	for i := 1; i < nPrim; i++ {
+		specs = append(specs, genPrimitiveSpec(rng, kinds[rng.Intn(len(kinds))]))
+	}
+	// Nested passenger columns: written and (in the round-trip test) read
+	// back, but never referenced by generated queries.
+	if opts.Nested {
+		specs = append(specs,
+			colSpec{kind: types.Array, typ: types.NewArray(types.Primitive(types.Long)), nullProb: 0.2},
+			colSpec{kind: types.Map, typ: types.NewMap(types.Primitive(types.String), types.Primitive(types.Long)), nullProb: 0.2},
+			colSpec{kind: types.Struct, typ: types.NewStruct([]string{"f0", "f1"},
+				[]*types.Type{types.Primitive(types.String), types.Primitive(types.Double)}), nullProb: 0.2},
+		)
+	} else if rng.Intn(4) == 0 {
+		t := genNestedType(rng)
+		specs = append(specs, colSpec{kind: t.Kind, typ: t, nullProb: genNullProb(rng)})
+	}
+
+	cols := make([]types.Field, len(specs))
+	for i, sp := range specs {
+		cols[i] = types.Col(fmt.Sprintf("c%d", i), sp.typ)
+	}
+	tbl := &Table{Name: "t", Schema: types.NewSchema(cols...)}
+
+	n := opts.Rows - opts.Rows/4 + rng.Intn(opts.Rows/2+1)
+	if opts.AllowEmpty && rng.Intn(20) == 0 {
+		n = 0
+	}
+	// Threshold-straddling string columns need their vocabulary sized
+	// against the final row count.
+	for i := range specs {
+		if specs[i].kind == types.String {
+			switch specs[i].strMode {
+			case stringThreshold:
+				v := int(float64(n)*0.8) + rng.Intn(3) - 1
+				if v < 1 {
+					v = 1
+				}
+				for j := 0; j < v; j++ {
+					specs[i].vocab = append(specs[i].vocab, fmt.Sprintf("%s%d", randWord(rng, 2, 5), j))
+				}
+			case stringHighCard:
+				// vocabulary generated inline per row
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		row := make(types.Row, len(specs))
+		for c, sp := range specs {
+			row[c] = genValue(rng, &sp, r)
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+func genValue(rng *rand.Rand, sp *colSpec, rowIdx int) any {
+	if rng.Float64() < sp.nullProb {
+		return nil
+	}
+	switch sp.kind {
+	case types.Long:
+		return sp.intLo + rng.Int63n(sp.intHi-sp.intLo+1)
+	case types.Double:
+		return roundMilli(sp.fLo + rng.Float64()*(sp.fHi-sp.fLo))
+	case types.String:
+		switch sp.strMode {
+		case stringHighCard:
+			return fmt.Sprintf("%s%d", randWord(rng, 3, 10), rowIdx)
+		default:
+			return sp.vocab[rng.Intn(len(sp.vocab))]
+		}
+	case types.Boolean:
+		return rng.Float64() < sp.trueProb
+	case types.Array:
+		n := rng.Intn(4)
+		out := make([]any, n)
+		for i := range out {
+			out[i] = genLeaf(rng, sp.typ.Children[0])
+		}
+		return out
+	case types.Map:
+		n := rng.Intn(3)
+		mv := &types.MapValue{}
+		for i := 0; i < n; i++ {
+			mv.Keys = append(mv.Keys, fmt.Sprintf("k%d", i))
+			mv.Values = append(mv.Values, genLeaf(rng, sp.typ.Children[1]))
+		}
+		return mv
+	case types.Struct:
+		out := make([]any, len(sp.typ.Children))
+		for i, ct := range sp.typ.Children {
+			out[i] = genLeaf(rng, ct)
+		}
+		return out
+	}
+	return nil
+}
+
+// genLeaf generates a primitive value for a nested child type (nested
+// NULLs appear with a fixed small probability).
+func genLeaf(rng *rand.Rand, t *types.Type) any {
+	if rng.Intn(10) == 0 {
+		return nil
+	}
+	switch t.Kind {
+	case types.Long:
+		return rng.Int63n(2001) - 1000
+	case types.Double:
+		return roundMilli(rng.Float64()*200 - 100)
+	case types.String:
+		return randWord(rng, 1, 8)
+	case types.Boolean:
+		return rng.Intn(2) == 0
+	}
+	return nil
+}

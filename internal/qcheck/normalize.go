@@ -1,0 +1,329 @@
+// normalize.go turns query results into comparable form. Cells disagree
+// harmlessly in row order (unless ORDER BY) and in float low bits (sum
+// order differs across engines and shuffle layouts), so results compare
+// as multisets — sorted by a coarse numeric key so near-equal floats land
+// adjacently — with pairwise-tolerant value equality: canonical NULL and
+// -0, integer exactness, relative-epsilon/ULP floats. ORDER BY is checked
+// separately as a sortedness property of the raw row order.
+package qcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// canonValue maps a result value to canonical form: NULL stays nil, -0
+// becomes +0, every NaN becomes the same NaN.
+func canonValue(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == 0 {
+			return 0.0 // collapses -0
+		}
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
+	}
+	return v
+}
+
+func canonRows(rows []types.Row) []types.Row {
+	out := make([]types.Row, len(rows))
+	for i, r := range rows {
+		nr := make(types.Row, len(r))
+		for j, v := range r {
+			nr[j] = canonValue(v)
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+// numVal widens any numeric to float64.
+func numVal(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// floatsClose is the tolerant float comparison: exact, both-NaN, absolute
+// epsilon near zero, or relative epsilon (~a few hundred ULPs at double
+// precision) elsewhere.
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff < 1e-9 {
+		return true
+	}
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// valueEq is tolerant pairwise equality over canonical values.
+func valueEq(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if af, aok := numVal(a); aok {
+		bf, bok := numVal(b)
+		if !bok {
+			return false
+		}
+		// Integer-vs-integer must be exact; anything involving a float is
+		// tolerant.
+		if _, ai := a.(int64); ai {
+			if _, bi := b.(int64); bi {
+				return a.(int64) == b.(int64)
+			}
+		}
+		return floatsClose(af, bf)
+	}
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	}
+	// Non-primitive values (never produced by generated queries): compare
+	// by formatted text.
+	return fmtVal(a) == fmtVal(b)
+}
+
+// fmtVal renders one value for sorting fallbacks and mismatch messages
+// (type-free, unlike types.FormatValue).
+func fmtVal(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return strconv.Quote(x)
+	}
+	return fmt.Sprint(v)
+}
+
+func rowEq(a, b types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !valueEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// coarseKey renders a float at 8 significant digits: floats that differ
+// only by engine-order drift share a key, so multiset sorting puts them
+// in the same position on both sides.
+func coarseKey(v float64) string { return strconv.FormatFloat(v, 'e', 7, 64) }
+
+// valueCmp is the multiset sort order: NULL < bool < numeric < string,
+// numerics by coarse key first and full precision as tiebreak.
+func valueCmp(a, b any) int {
+	rank := func(v any) int {
+		switch v.(type) {
+		case nil:
+			return 0
+		case bool:
+			return 1
+		case string:
+			return 3
+		}
+		if _, ok := numVal(v); ok {
+			return 2
+		}
+		return 4
+	}
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ra {
+	case 0:
+		return 0
+	case 1:
+		x, y := a.(bool), b.(bool)
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		}
+		return 1
+	case 2:
+		x, _ := numVal(a)
+		y, _ := numVal(b)
+		if ck := strings.Compare(coarseKey(x), coarseKey(y)); ck != 0 {
+			// Coarse keys are 'e'-format strings; lexicographic order is not
+			// numeric order, but it is *an* order, and it is the same total
+			// order on both sides — which is all a multiset sort needs.
+			return ck
+		}
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case 3:
+		return strings.Compare(a.(string), b.(string))
+	}
+	return strings.Compare(fmtVal(a), fmtVal(b))
+}
+
+func rowCmp(a, b types.Row) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := valueCmp(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// normalizeRows canonicalizes and multiset-sorts a result.
+func normalizeRows(rows []types.Row) []types.Row {
+	out := canonRows(rows)
+	sort.SliceStable(out, func(i, j int) bool { return rowCmp(out[i], out[j]) < 0 })
+	return out
+}
+
+// formatRow renders a row for mismatch messages and corpus files.
+func formatRow(r types.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmtVal(v)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// compareNormalized diffs two already-normalized results, returning ""
+// on agreement or a one-line description of the first difference.
+func compareNormalized(want, got []types.Row) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("row count %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if !rowEq(want[i], got[i]) {
+			return fmt.Sprintf("row %d: %s vs %s", i, formatRow(want[i]), formatRow(got[i]))
+		}
+	}
+	return ""
+}
+
+// orderKey is one ORDER BY key resolved to a projection index.
+type orderKey struct {
+	idx  int
+	desc bool
+}
+
+// orderSpec maps the statement's ORDER BY items onto projection indices by
+// expression text (the generator builds ORDER BY keys as clones of
+// projected expressions, mirroring the planner's own matching rule).
+func orderSpec(stmt *sql.SelectStmt) []orderKey {
+	var keys []orderKey
+	for _, ob := range stmt.OrderBy {
+		txt := ob.Expr.String()
+		for i, it := range stmt.Items {
+			if it.Expr.String() == txt {
+				keys = append(keys, orderKey{idx: i, desc: ob.Desc})
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// orderedCmp compares two values under ORDER BY semantics (NULLs first,
+// numerics numerically). Floats compare EXACTLY, not tolerantly: the
+// sortedness check runs against one cell's own output, which that cell's
+// engine sorted by its own full-precision values — a tolerant tie here
+// would wrongly promote a later sort key and flag correct output (two
+// rows computing 7 and 7.000000000000001 are ordered, not tied).
+func orderedCmp(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		}
+		return 1
+	}
+	if af, aok := numVal(a); aok {
+		if bf, bok := numVal(b); bok {
+			// NaN compares as tied with everything, matching the engine's
+			// own comparator (types.Compare) so NaN rows never flag.
+			if af < bf {
+				return -1
+			}
+			if af > bf {
+				return 1
+			}
+			return 0
+		}
+	}
+	return valueCmp(a, b)
+}
+
+// checkOrdered verifies a cell's raw row order satisfies the statement's
+// ORDER BY; returns "" or a description of the first violation.
+func checkOrdered(stmt *sql.SelectStmt, rows []types.Row) string {
+	keys := orderSpec(stmt)
+	if len(keys) == 0 {
+		return ""
+	}
+	for i := 1; i < len(rows); i++ {
+		for _, k := range keys {
+			if k.idx >= len(rows[i-1]) || k.idx >= len(rows[i]) {
+				return fmt.Sprintf("order key %d out of range", k.idx)
+			}
+			c := orderedCmp(rows[i-1][k.idx], rows[i][k.idx])
+			if k.desc {
+				c = -c
+			}
+			if c < 0 {
+				break // strictly ordered on this key; later keys don't matter
+			}
+			if c > 0 {
+				return fmt.Sprintf("rows %d,%d violate ORDER BY: %s then %s",
+					i-1, i, formatRow(rows[i-1]), formatRow(rows[i]))
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,201 @@
+// Package qcheck is a seeded differential testing harness (SQLancer
+// style) for the reproduction's query stack: generate random tables and
+// random queries, run each query on every cell of the
+// {engine × format × pushdown × faults} matrix, and demand that every
+// cell return the reference cell's answer — MapReduce over TextFile with
+// every optimization off, the simplest path through the system. Any
+// disagreement is minimized by a delta-debugging shrinker into a small
+// replayable repro (E11).
+package qcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Config tunes one fuzzing run; the zero value takes defaults.
+type Config struct {
+	// Seed drives table generation, query generation and fault injection;
+	// same seed, same everything — queries, verdicts, fingerprint.
+	Seed int64
+	// Queries is the number of generated queries (default 100).
+	Queries int
+	// QueriesPerTable is how many queries share one generated table
+	// before a fresh schema+dataset is drawn (default 10).
+	QueriesPerTable int
+	// FullFaults runs the whole fault axis (every engine × format ×
+	// pushdown cell again under injected faults) instead of one
+	// representative faulted cell per engine.
+	FullFaults bool
+	// Shrink minimizes disagreements before reporting (default true via
+	// NoShrink=false).
+	NoShrink bool
+	// MaxFailures stops the run after this many disagreements (default 3;
+	// each one triggers a shrink, which is the expensive part).
+	MaxFailures int
+	// Progress, when non-nil, receives a line per scenario (benchrunner
+	// wires this to stdout; tests leave it nil).
+	Progress func(string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queries <= 0 {
+		c.Queries = 100
+	}
+	if c.QueriesPerTable <= 0 {
+		c.QueriesPerTable = 10
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = 3
+	}
+	return c
+}
+
+// Failure is one disagreement between a cell and the reference cell.
+type Failure struct {
+	// Query is the SQL text that disagreed (pre-shrink).
+	Query string
+	// Cell is the first disagreeing cell.
+	Cell Cell
+	// Detail describes the disagreement (row diff, error mismatch,
+	// ORDER BY violation).
+	Detail string
+	// Table is the scenario table the query ran against (pre-shrink).
+	Table *Table
+	// Stmt is the parsed-back statement (what the shrinker minimizes).
+	Stmt *sql.SelectStmt
+	// Repro is the shrunk reproduction, nil when shrinking was off or
+	// the shrink could not re-trigger the disagreement.
+	Repro *Repro
+}
+
+// Report is one fuzzing run's outcome.
+type Report struct {
+	Seed       int64
+	Cells      int   // matrix cells compared per query (incl. reference)
+	Scenarios  int   // tables generated
+	Queries    int   // statements generated and cross-checked
+	Executions int64 // total query executions across all cells
+	Failures   []*Failure
+	// Fingerprint hashes every query text and verdict; two runs with the
+	// same seed and config must produce the same fingerprint.
+	Fingerprint uint64
+}
+
+// Run executes one fuzzing run.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cells := Matrix(cfg.FullFaults)
+	rep := &Report{Seed: cfg.Seed, Cells: len(cells)}
+	fp := fnv.New64a()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for rep.Queries < cfg.Queries && len(rep.Failures) < cfg.MaxFailures {
+		table := GenTable(rng, GenOptions{AllowEmpty: true})
+		envs, err := newEnvSet(table, cells, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("qcheck: scenario %d: %w", rep.Scenarios, err)
+		}
+		rep.Scenarios++
+		n := cfg.QueriesPerTable
+		if left := cfg.Queries - rep.Queries; n > left {
+			n = left
+		}
+		var scenarioFails int
+		for i := 0; i < n && len(rep.Failures) < cfg.MaxFailures; i++ {
+			stmt := GenQuery(rng, table)
+			query := stmt.String()
+			verdict := runOne(envs, cells, stmt, query, &rep.Executions)
+			rep.Queries++
+			fmt.Fprintf(fp, "%s\x00%s\x01", query, verdictText(verdict))
+			if verdict != nil {
+				verdict.Table = table
+				verdict.Stmt = stmt
+				rep.Failures = append(rep.Failures, verdict)
+				scenarioFails++
+			}
+		}
+		envs.close()
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("scenario %d: %d rows, %d queries, %d disagreements",
+				rep.Scenarios, len(table.Rows), n, scenarioFails))
+		}
+	}
+	rep.Fingerprint = fp.Sum64()
+
+	if !cfg.NoShrink {
+		for _, f := range rep.Failures {
+			f.Repro = ShrinkFailure(f, cfg.Seed)
+		}
+	}
+	return rep, nil
+}
+
+func verdictText(f *Failure) string {
+	if f == nil {
+		return "ok"
+	}
+	return "FAIL " + f.Cell.ID() + ": " + f.Detail
+}
+
+// runOne cross-checks one query over the matrix; nil means all cells
+// agreed.
+func runOne(envs *envSet, cells []Cell, stmt *sql.SelectStmt, query string, execs *int64) *Failure {
+	ref := cells[0]
+	refEnv := envs.get(ref)
+	refEnv.configure(ref)
+	*execs++
+	refRes, refErr := refEnv.driver.Run(query)
+
+	var want []types.Row
+	if refErr == nil {
+		if msg := checkOrdered(stmt, refRes.Rows); msg != "" {
+			return &Failure{Query: query, Cell: ref, Detail: msg}
+		}
+		want = normalizeRows(refRes.Rows)
+	}
+
+	for _, c := range cells[1:] {
+		env := envs.get(c)
+		env.configure(c)
+		*execs++
+		res, err := env.driver.Run(query)
+		switch {
+		case refErr != nil && err == nil:
+			return &Failure{Query: query, Cell: c,
+				Detail: fmt.Sprintf("reference errored (%v) but cell succeeded", refErr)}
+		case refErr == nil && err != nil:
+			return &Failure{Query: query, Cell: c, Detail: fmt.Sprintf("cell errored: %v", err)}
+		case refErr != nil:
+			continue // both errored: agreement
+		}
+		if msg := checkOrdered(stmt, res.Rows); msg != "" {
+			return &Failure{Query: query, Cell: c, Detail: msg}
+		}
+		if msg := compareNormalized(want, normalizeRows(res.Rows)); msg != "" {
+			return &Failure{Query: query, Cell: c, Detail: msg}
+		}
+	}
+	return nil
+}
+
+// disagreement re-runs one (table, stmt) pair on just {reference, cell}
+// and reports whether they still disagree; the shrinker's predicate.
+func disagreement(t *Table, stmt *sql.SelectStmt, cell Cell, seed int64) (bool, string) {
+	cells := []Cell{{Engine: allEngines[0], Format: allFormats[0], Reference: true}, cell}
+	envs, err := newEnvSet(t, cells, seed)
+	if err != nil {
+		return false, ""
+	}
+	defer envs.close()
+	var execs int64
+	f := runOne(envs, cells, stmt, stmt.String(), &execs)
+	if f == nil {
+		return false, ""
+	}
+	return true, f.Detail
+}

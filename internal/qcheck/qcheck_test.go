@@ -1,0 +1,91 @@
+package qcheck
+
+import (
+	"testing"
+
+	"repro/internal/fileformat"
+	"repro/internal/vector"
+)
+
+// failureText renders failures for t.Errorf, shrunk repro included.
+func failureText(f *Failure) string {
+	out := "cell " + f.Cell.ID() + ": " + f.Detail + "\n  query: " + f.Query
+	if f.Repro != nil {
+		out += "\n  shrunk to:\n" + FormatEntry(ReproEntry("repro", "skipped", f.Repro))
+	}
+	return out
+}
+
+// TestDifferentialSmoke is the short-mode tripwire: a fixed-seed fuzzing
+// run over the matrix (one representative faulted cell per engine) that
+// must find no disagreements.
+func TestDifferentialSmoke(t *testing.T) {
+	cfg := Config{Seed: 1, Queries: 60, QueriesPerTable: 12}
+	if testing.Short() {
+		cfg.Queries = 24
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed %d: %d queries, %d scenarios, %d cells, %d executions",
+		rep.Seed, rep.Queries, rep.Scenarios, rep.Cells, rep.Executions)
+	for _, f := range rep.Failures {
+		t.Errorf("disagreement:\n%s", failureText(f))
+	}
+}
+
+// TestDeterminism re-runs the same seed and demands identical verdicts —
+// the property that makes every fuzzer finding replayable.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Queries: 10, QueriesPerTable: 5, NoShrink: true, MaxFailures: 100}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same seed, different fingerprints: %#x vs %#x", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Queries != b.Queries || a.Executions != b.Executions {
+		t.Fatalf("same seed, different shapes: %d/%d queries, %d/%d executions",
+			a.Queries, b.Queries, a.Executions, b.Executions)
+	}
+}
+
+// TestInjectedComparatorBug arms the deliberate vexec off-by-one (every
+// vectorized `<` evaluates as `<=`) and demands the harness catch it and
+// shrink the repro to at most 3 clauses. This is the end-to-end proof
+// that the oracle and the shrinker work.
+func TestInjectedComparatorBug(t *testing.T) {
+	vector.SetCmpFlipForTest(vector.LT, true)
+	defer vector.SetCmpFlipForTest(vector.LT, false)
+
+	rep, err := Run(Config{Seed: 3, Queries: 120, QueriesPerTable: 12, MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("injected comparator bug was not detected")
+	}
+	f := rep.Failures[0]
+	t.Logf("detected after %d queries at %s: %s", rep.Queries, f.Cell.ID(), f.Detail)
+	if f.Cell.Format != fileformat.ORC {
+		t.Errorf("flip only affects vectorized (ORC) cells, but failed on %s", f.Cell.ID())
+	}
+	if f.Repro == nil {
+		t.Fatal("shrinker could not reproduce the disagreement")
+	}
+	n := ClauseCount(f.Repro.Stmt)
+	t.Logf("shrunk (%d evals) to %d clauses, %d rows: %s",
+		f.Repro.Evals, n, len(f.Repro.Table.Rows), f.Repro.Query)
+	if n > 3 {
+		t.Errorf("shrunk query still has %d clauses (> 3): %s", n, f.Repro.Query)
+	}
+	if len(f.Repro.Table.Rows) > 10 {
+		t.Errorf("shrunk table still has %d rows: want <= 10", len(f.Repro.Table.Rows))
+	}
+}

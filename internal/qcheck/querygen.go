@@ -1,0 +1,413 @@
+// querygen.go is the random query generator: it walks exactly the grammar
+// internal/sql accepts — projections, arithmetic, WHERE with
+// AND/OR/NOT/BETWEEN/IN/IS NULL, GROUP BY with COUNT/SUM/MIN/MAX/AVG,
+// ORDER BY, LIMIT — and emits only type-correct statements, so a query
+// that fails on one engine but not another is always a bug, never a
+// generator artifact. Predicate literals are sampled from the table's
+// actual values most of the time, so comparisons land on equality
+// boundaries and IN lists actually hit.
+package qcheck
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// queryCol is one queryable (primitive) column of the scenario table.
+type queryCol struct {
+	idx  int
+	name string
+	kind types.Kind
+}
+
+func queryCols(t *Table) []queryCol {
+	var out []queryCol
+	for i, c := range t.Schema.Columns {
+		k := c.Type.Kind
+		if k.IsInteger() || k.IsFloating() || k == types.String || k == types.Boolean {
+			out = append(out, queryCol{idx: i, name: c.Name, kind: k})
+		}
+	}
+	return out
+}
+
+func isNumeric(k types.Kind) bool { return k.IsInteger() || k.IsFloating() }
+
+// GenQuery builds one random statement over the table. The statement is
+// rendered to SQL text by the caller (stmt.String()) and re-parsed by the
+// driver, so generated queries travel the full front-end path.
+func GenQuery(rng *rand.Rand, t *Table) *sql.SelectStmt {
+	g := &queryGen{rng: rng, t: t, cols: queryCols(t)}
+	if rng.Intn(10) < 4 {
+		return g.aggregate()
+	}
+	return g.plain()
+}
+
+type queryGen struct {
+	rng  *rand.Rand
+	t    *Table
+	cols []queryCol
+}
+
+func (g *queryGen) pick(pred func(queryCol) bool) (queryCol, bool) {
+	var cand []queryCol
+	for _, c := range g.cols {
+		if pred == nil || pred(c) {
+			cand = append(cand, c)
+		}
+	}
+	if len(cand) == 0 {
+		return queryCol{}, false
+	}
+	return cand[g.rng.Intn(len(cand))], true
+}
+
+func colRef(c queryCol) *sql.ColumnRef { return &sql.ColumnRef{Column: c.name} }
+
+// literal samples a predicate literal for a column: usually one of the
+// column's actual values (boundary-hitting), otherwise synthetic.
+func (g *queryGen) literal(c queryCol) sql.Expr {
+	if len(g.t.Rows) > 0 && g.rng.Intn(10) < 7 {
+		// Up to 8 probes for a non-NULL sample; deterministic.
+		for i := 0; i < 8; i++ {
+			v := g.t.Rows[g.rng.Intn(len(g.t.Rows))][c.idx]
+			if v == nil {
+				continue
+			}
+			switch x := v.(type) {
+			case int64:
+				return &sql.IntLit{Value: x}
+			case float64:
+				return &sql.FloatLit{Value: roundMilli(x)}
+			case string:
+				return &sql.StringLit{Value: x}
+			case bool:
+				return &sql.BoolLit{Value: x}
+			}
+		}
+	}
+	switch c.kind {
+	case types.Double, types.Float:
+		return &sql.FloatLit{Value: roundMilli(g.rng.Float64()*200 - 100)}
+	case types.String:
+		return &sql.StringLit{Value: randWord(g.rng, 1, 8)}
+	case types.Boolean:
+		return &sql.BoolLit{Value: g.rng.Intn(2) == 0}
+	default:
+		return &sql.IntLit{Value: g.rng.Int63n(2001) - 1000}
+	}
+}
+
+var cmpOps = []string{"=", "<>", "<", "<=", ">", ">="}
+
+// predicate builds one atomic WHERE clause.
+func (g *queryGen) predicate() sql.Expr {
+	switch g.rng.Intn(10) {
+	case 0, 1, 2, 3: // col cmp literal — the sargable workhorse
+		c, ok := g.pick(nil)
+		if !ok {
+			return &sql.BoolLit{Value: true}
+		}
+		if c.kind == types.Boolean && g.rng.Intn(2) == 0 {
+			return colRef(c) // bare boolean column
+		}
+		return &sql.BinaryExpr{Op: cmpOps[g.rng.Intn(len(cmpOps))], Left: colRef(c), Right: g.literal(c)}
+	case 4: // col cmp col, same comparison family
+		a, ok := g.pick(nil)
+		if !ok {
+			return &sql.BoolLit{Value: true}
+		}
+		b, ok2 := g.pick(func(x queryCol) bool {
+			if isNumeric(a.kind) {
+				return isNumeric(x.kind)
+			}
+			return x.kind == a.kind
+		})
+		if !ok2 {
+			return &sql.BinaryExpr{Op: "=", Left: colRef(a), Right: g.literal(a)}
+		}
+		return &sql.BinaryExpr{Op: cmpOps[g.rng.Intn(len(cmpOps))], Left: colRef(a), Right: colRef(b)}
+	case 5, 6: // BETWEEN over a numeric column
+		c, ok := g.pick(func(x queryCol) bool { return isNumeric(x.kind) })
+		if !ok {
+			return &sql.BoolLit{Value: true}
+		}
+		lo, hi := g.literal(c), g.literal(c)
+		if litLess(hi, lo) {
+			lo, hi = hi, lo
+		}
+		return &sql.BetweenExpr{Operand: colRef(c), Lo: lo, Hi: hi}
+	case 7: // IN list
+		c, ok := g.pick(func(x queryCol) bool { return x.kind != types.Boolean })
+		if !ok {
+			return &sql.BoolLit{Value: true}
+		}
+		n := 1 + g.rng.Intn(4)
+		list := make([]sql.Expr, n)
+		for i := range list {
+			list[i] = g.literal(c)
+		}
+		return &sql.InExpr{Operand: colRef(c), List: list}
+	default: // IS [NOT] NULL
+		c, ok := g.pick(nil)
+		if !ok {
+			return &sql.BoolLit{Value: true}
+		}
+		return &sql.IsNullExpr{Operand: colRef(c), Negated: g.rng.Intn(2) == 0}
+	}
+}
+
+func litLess(a, b sql.Expr) bool {
+	f := func(e sql.Expr) (float64, bool) {
+		switch t := e.(type) {
+		case *sql.IntLit:
+			return float64(t.Value), true
+		case *sql.FloatLit:
+			return t.Value, true
+		}
+		return 0, false
+	}
+	av, aok := f(a)
+	bv, bok := f(b)
+	return aok && bok && av < bv
+}
+
+// where builds a predicate tree of the given depth (AND/OR combinators,
+// the occasional NOT — which also derails vectorization, keeping the
+// row-mode filter path in the comparison set).
+func (g *queryGen) where(depth int) sql.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		p := g.predicate()
+		if g.rng.Intn(10) == 0 {
+			return &sql.NotExpr{Inner: p}
+		}
+		return p
+	}
+	op := "AND"
+	if g.rng.Intn(3) == 0 {
+		op = "OR"
+	}
+	return &sql.BinaryExpr{Op: op, Left: g.where(depth - 1), Right: g.where(depth - 1)}
+}
+
+// arith builds a numeric value expression of bounded depth.
+func (g *queryGen) arith(depth int) (sql.Expr, bool) {
+	if depth <= 0 || g.rng.Intn(2) == 0 {
+		c, ok := g.pick(func(x queryCol) bool { return isNumeric(x.kind) })
+		if !ok {
+			return nil, false
+		}
+		return colRef(c), true
+	}
+	left, ok := g.arith(depth - 1)
+	if !ok {
+		return nil, false
+	}
+	op := []string{"+", "-", "*", "/"}[g.rng.Intn(4)]
+	var right sql.Expr
+	if g.rng.Intn(2) == 0 {
+		r, ok := g.arith(depth - 1)
+		if !ok {
+			return nil, false
+		}
+		right = r
+	} else {
+		// Literal operand; never a zero literal under division (runtime
+		// zero division from a column is fine — both engines map it to
+		// NULL — but a constant 1/0 is pointless noise).
+		v := g.rng.Int63n(19) - 9
+		if op == "/" && v == 0 {
+			v = 3
+		}
+		if g.rng.Intn(3) == 0 {
+			right = &sql.FloatLit{Value: roundMilli(float64(v) + 0.5)}
+		} else {
+			right = &sql.IntLit{Value: v}
+		}
+	}
+	return &sql.BinaryExpr{Op: op, Left: left, Right: right}, true
+}
+
+// plain builds a non-aggregate query: projections, WHERE, ORDER BY, LIMIT.
+func (g *queryGen) plain() *sql.SelectStmt {
+	stmt := &sql.SelectStmt{From: sql.TableRef{Table: g.t.Name}, Limit: -1}
+	nItems := 1 + g.rng.Intn(4)
+	for i := 0; i < nItems; i++ {
+		if g.rng.Intn(4) == 0 {
+			if e, ok := g.arith(2); ok {
+				stmt.Items = append(stmt.Items, sql.SelectItem{Expr: e})
+				continue
+			}
+		}
+		c, ok := g.pick(nil)
+		if !ok {
+			break
+		}
+		stmt.Items = append(stmt.Items, sql.SelectItem{Expr: colRef(c)})
+	}
+	if len(stmt.Items) == 0 {
+		stmt.Items = []sql.SelectItem{{Expr: &sql.IntLit{Value: 1}}}
+	}
+	if g.rng.Intn(10) < 7 {
+		stmt.Where = g.where(1 + g.rng.Intn(2))
+	}
+	g.orderAndLimit(stmt)
+	return stmt
+}
+
+// aggregate builds a GROUP BY query (possibly keyless). Projections are
+// group keys and aggregate calls only, matching the planner's rule that a
+// selected expression must be grouped or aggregated.
+func (g *queryGen) aggregate() *sql.SelectStmt {
+	stmt := &sql.SelectStmt{From: sql.TableRef{Table: g.t.Name}, Limit: -1}
+	nKeys := g.rng.Intn(3) // 0 = keyless global aggregate
+	seen := map[string]bool{}
+	for i := 0; i < nKeys; i++ {
+		c, ok := g.pick(func(x queryCol) bool {
+			return !seen[x.name] && (x.kind.IsInteger() || x.kind == types.String || x.kind == types.Boolean)
+		})
+		if !ok {
+			break
+		}
+		seen[c.name] = true
+		stmt.GroupBy = append(stmt.GroupBy, colRef(c))
+		stmt.Items = append(stmt.Items, sql.SelectItem{Expr: colRef(c)})
+	}
+	nAggs := 1 + g.rng.Intn(3)
+	for i := 0; i < nAggs; i++ {
+		stmt.Items = append(stmt.Items, sql.SelectItem{Expr: g.aggCall()})
+	}
+	if g.rng.Intn(2) == 0 {
+		stmt.Where = g.where(1)
+	}
+	g.orderAndLimit(stmt)
+	return stmt
+}
+
+func (g *queryGen) aggCall() sql.Expr {
+	switch g.rng.Intn(6) {
+	case 0:
+		return &sql.FuncExpr{Name: "count", Star: true}
+	case 1:
+		c, ok := g.pick(nil)
+		if !ok {
+			return &sql.FuncExpr{Name: "count", Star: true}
+		}
+		return &sql.FuncExpr{Name: "count", Args: []sql.Expr{colRef(c)}}
+	case 2, 3:
+		fn := []string{"sum", "avg"}[g.rng.Intn(2)]
+		var arg sql.Expr
+		if g.rng.Intn(4) == 0 {
+			if e, ok := g.arith(1); ok {
+				arg = e
+			}
+		}
+		if arg == nil {
+			c, ok := g.pick(func(x queryCol) bool { return isNumeric(x.kind) })
+			if !ok {
+				return &sql.FuncExpr{Name: "count", Star: true}
+			}
+			arg = colRef(c)
+		}
+		return &sql.FuncExpr{Name: fn, Args: []sql.Expr{arg}}
+	default:
+		fn := []string{"min", "max"}[g.rng.Intn(2)]
+		c, ok := g.pick(func(x queryCol) bool { return isNumeric(x.kind) || x.kind == types.String })
+		if !ok {
+			return &sql.FuncExpr{Name: "count", Star: true}
+		}
+		return &sql.FuncExpr{Name: fn, Args: []sql.Expr{colRef(c)}}
+	}
+}
+
+// orderAndLimit optionally appends ORDER BY over projected expressions
+// and — only when the ordering covers every projection, making the
+// selected multiset deterministic — a LIMIT.
+func (g *queryGen) orderAndLimit(stmt *sql.SelectStmt) {
+	if g.rng.Intn(2) == 1 {
+		return
+	}
+	idxs := g.rng.Perm(len(stmt.Items))
+	full := g.rng.Intn(2) == 0 // order by every projection → LIMIT-safe
+	n := len(idxs)
+	if !full && n > 1 {
+		n = 1 + g.rng.Intn(n)
+	}
+	for _, i := range idxs[:n] {
+		stmt.OrderBy = append(stmt.OrderBy, sql.OrderItem{
+			Expr: cloneExpr(stmt.Items[i].Expr),
+			Desc: g.rng.Intn(2) == 0,
+		})
+	}
+	if n == len(stmt.Items) && g.rng.Intn(3) == 0 {
+		stmt.Limit = 1 + g.rng.Intn(int(math.Max(1, float64(len(g.t.Rows)))))
+	}
+}
+
+// cloneExpr deep-copies an expression so shrinker rewrites of one clause
+// never alias another.
+func cloneExpr(e sql.Expr) sql.Expr {
+	switch t := e.(type) {
+	case *sql.ColumnRef:
+		c := *t
+		return &c
+	case *sql.IntLit:
+		c := *t
+		return &c
+	case *sql.FloatLit:
+		c := *t
+		return &c
+	case *sql.StringLit:
+		c := *t
+		return &c
+	case *sql.BoolLit:
+		c := *t
+		return &c
+	case *sql.NullLit:
+		return &sql.NullLit{}
+	case *sql.BinaryExpr:
+		return &sql.BinaryExpr{Op: t.Op, Left: cloneExpr(t.Left), Right: cloneExpr(t.Right)}
+	case *sql.NotExpr:
+		return &sql.NotExpr{Inner: cloneExpr(t.Inner)}
+	case *sql.BetweenExpr:
+		return &sql.BetweenExpr{Operand: cloneExpr(t.Operand), Lo: cloneExpr(t.Lo), Hi: cloneExpr(t.Hi)}
+	case *sql.InExpr:
+		list := make([]sql.Expr, len(t.List))
+		for i, x := range t.List {
+			list[i] = cloneExpr(x)
+		}
+		return &sql.InExpr{Operand: cloneExpr(t.Operand), List: list}
+	case *sql.IsNullExpr:
+		return &sql.IsNullExpr{Operand: cloneExpr(t.Operand), Negated: t.Negated}
+	case *sql.FuncExpr:
+		args := make([]sql.Expr, len(t.Args))
+		for i, x := range t.Args {
+			args[i] = cloneExpr(x)
+		}
+		return &sql.FuncExpr{Name: t.Name, Args: args, Star: t.Star}
+	}
+	return e
+}
+
+// cloneStmt deep-copies a statement (single-table statements only, which
+// is all the generator emits).
+func cloneStmt(s *sql.SelectStmt) *sql.SelectStmt {
+	out := &sql.SelectStmt{From: s.From, Limit: s.Limit}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, sql.SelectItem{Expr: cloneExpr(it.Expr), Alias: it.Alias})
+	}
+	if s.Where != nil {
+		out.Where = cloneExpr(s.Where)
+	}
+	for _, gb := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, cloneExpr(gb))
+	}
+	for _, ob := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, sql.OrderItem{Expr: cloneExpr(ob.Expr), Desc: ob.Desc})
+	}
+	return out
+}

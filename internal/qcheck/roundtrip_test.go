@@ -1,0 +1,130 @@
+package qcheck
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/orc"
+	"repro/internal/types"
+)
+
+// writeReadORC writes rows to one ORC file on a fresh DFS and reads them
+// all back.
+func writeReadORC(t *testing.T, schema *types.Schema, rows []types.Row, opts *orc.WriterOptions) []types.Row {
+	t.Helper()
+	fs := dfs.New(dfs.WithBlockSize(1 << 20))
+	w, err := fileformat.Create(fs, "/rt/part-0", schema, fileformat.ORC, &fileformat.Options{ORCOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := fileformat.Open(fs, "/rt/part-0", schema, fileformat.ORC, fileformat.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var out []types.Row
+	for {
+		row, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row.Clone())
+	}
+	return out
+}
+
+func requireRowsEqual(t *testing.T, schema *types.Schema, want, got []types.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("wrote %d rows, read %d", len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			for c := range want[i] {
+				if !reflect.DeepEqual(got[i][c], want[i][c]) {
+					t.Fatalf("row %d col %s (%s): wrote %#v, read %#v",
+						i, schema.Columns[c].Name, schema.Columns[c].Type, want[i][c], got[i][c])
+				}
+			}
+			t.Fatalf("row %d mismatch: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestORCRoundTripProperty writes qcheck-generated tables — nested
+// columns forced, NULL-heavy and threshold-straddling string
+// distributions included — through the ORC writer with tiny stripes and
+// a tight row-index stride, and demands byte-exact row recovery.
+func TestORCRoundTripProperty(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14, 15, 16}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tbl := GenTable(rng, GenOptions{Rows: 150, Nested: true})
+			got := writeReadORC(t, tbl.Schema, tbl.Rows,
+				&orc.WriterOptions{StripeSize: 1 << 10, RowIndexStride: 16})
+			requireRowsEqual(t, tbl.Schema, tbl.Rows, got)
+		})
+	}
+}
+
+// TestORCRoundTripEdgeCases pins the boundaries the property test only
+// samples: an empty file, all-NULL stripes, and string columns right at
+// the 0.8 dictionary-encoding threshold (just under: dictionary; at and
+// just over: direct).
+func TestORCRoundTripEdgeCases(t *testing.T) {
+	schema := types.NewSchema(
+		types.Col("a", types.Primitive(types.Long)),
+		types.Col("s", types.Primitive(types.String)),
+		types.Col("arr", types.NewArray(types.Primitive(types.Double))),
+	)
+
+	t.Run("empty", func(t *testing.T) {
+		got := writeReadORC(t, schema, nil, nil)
+		if len(got) != 0 {
+			t.Fatalf("read %d rows from empty file", len(got))
+		}
+	})
+
+	t.Run("all-null-stripes", func(t *testing.T) {
+		rows := make([]types.Row, 64)
+		for i := range rows {
+			rows[i] = types.Row{nil, nil, nil}
+		}
+		got := writeReadORC(t, schema, rows, &orc.WriterOptions{StripeSize: 256, RowIndexStride: 8})
+		requireRowsEqual(t, schema, rows, got)
+	})
+
+	// 100 rows; distinct string counts straddling the 0.8 cutoff.
+	for _, distinct := range []int{79, 80, 81} {
+		distinct := distinct
+		t.Run(fmt.Sprintf("dictionary-threshold-%d", distinct), func(t *testing.T) {
+			rows := make([]types.Row, 100)
+			for i := range rows {
+				rows[i] = types.Row{int64(i), fmt.Sprintf("v%d", i%distinct), []any{float64(i) / 4}}
+			}
+			got := writeReadORC(t, schema, rows, &orc.WriterOptions{StripeSize: 1 << 10, RowIndexStride: 16})
+			requireRowsEqual(t, schema, rows, got)
+		})
+	}
+}

@@ -1,0 +1,273 @@
+// shrink.go minimizes a disagreement to a small replayable repro:
+// delta debugging (ddmin) over the dataset rows, dropping of columns the
+// query never touches, then a fixpoint of one-step query reductions
+// (drop LIMIT, ORDER BY keys, projections, group keys, WHERE subtrees)
+// — each step re-checked against the pair {reference cell, failing cell},
+// keeping only reductions that still disagree. Invalid reductions reject
+// themselves: both cells share the front end, so a candidate that cannot
+// plan errors identically on both sides, which counts as agreement.
+package qcheck
+
+import (
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Repro is a minimized disagreement, small enough to read and to commit
+// as a corpus file.
+type Repro struct {
+	Table  *Table
+	Stmt   *sql.SelectStmt
+	Query  string
+	Cell   Cell
+	Detail string
+	// Evals counts disagreement re-checks the shrink spent.
+	Evals int
+}
+
+// shrinkBudget bounds disagreement evaluations per shrink; each one
+// rebuilds two warehouses and runs the query twice.
+const shrinkBudget = 500
+
+type shrinker struct {
+	cell  Cell
+	seed  int64
+	evals int
+}
+
+// check reports whether the pair still disagrees on (t, stmt).
+func (s *shrinker) check(t *Table, stmt *sql.SelectStmt) (bool, string) {
+	if s.evals >= shrinkBudget {
+		return false, ""
+	}
+	s.evals++
+	return disagreement(t, stmt, s.cell, s.seed)
+}
+
+// ShrinkFailure minimizes a failure; nil when the disagreement does not
+// reproduce on the isolated {reference, cell} pair.
+func ShrinkFailure(f *Failure, seed int64) *Repro {
+	s := &shrinker{cell: f.Cell, seed: seed}
+	t, stmt := f.Table, cloneStmt(f.Stmt)
+	ok, detail := s.check(t, stmt)
+	if !ok {
+		return nil
+	}
+	// Alternate passes until a full round makes no progress: smaller data
+	// makes query reductions cheaper to validate and vice versa.
+	for {
+		progressed := false
+		if t2, moved := s.minimizeRows(t, stmt); moved {
+			t, progressed = t2, true
+		}
+		if t2, moved := s.dropColumns(t, stmt); moved {
+			t, progressed = t2, true
+		}
+		if st2, moved := s.reduceQuery(t, stmt); moved {
+			stmt, progressed = st2, true
+		}
+		if !progressed || s.evals >= shrinkBudget {
+			break
+		}
+	}
+	_, detail2 := s.check(t, stmt)
+	if detail2 != "" {
+		detail = detail2
+	}
+	return &Repro{Table: t, Stmt: stmt, Query: stmt.String(), Cell: f.Cell, Detail: detail, Evals: s.evals}
+}
+
+func withRows(t *Table, rows []types.Row) *Table {
+	return &Table{Name: t.Name, Schema: t.Schema, Rows: rows}
+}
+
+// minimizeRows is classic ddmin over the row set.
+func (s *shrinker) minimizeRows(t *Table, stmt *sql.SelectStmt) (*Table, bool) {
+	rows := t.Rows
+	moved := false
+	n := 2
+	for len(rows) >= 1 && s.evals < shrinkBudget {
+		if n > len(rows) {
+			n = len(rows)
+		}
+		chunk := (len(rows) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(rows); start += chunk {
+			end := start + chunk
+			if end > len(rows) {
+				end = len(rows)
+			}
+			complement := make([]types.Row, 0, len(rows)-(end-start))
+			complement = append(complement, rows[:start]...)
+			complement = append(complement, rows[end:]...)
+			if ok, _ := s.check(withRows(t, complement), stmt); ok {
+				rows = complement
+				moved, reduced = true, true
+				n = 2
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(rows) {
+				break
+			}
+			n *= 2
+		}
+	}
+	return withRows(t, rows), moved
+}
+
+// referencedColumns collects the column names the statement mentions.
+func referencedColumns(stmt *sql.SelectStmt) map[string]bool {
+	used := map[string]bool{}
+	stmt.WalkExprs(func(e sql.Expr) {
+		if c, ok := e.(*sql.ColumnRef); ok {
+			used[c.Column] = true
+		}
+	})
+	return used
+}
+
+// dropColumns removes columns the query never references (the nested
+// passenger columns usually go first).
+func (s *shrinker) dropColumns(t *Table, stmt *sql.SelectStmt) (*Table, bool) {
+	used := referencedColumns(stmt)
+	moved := false
+	for i := len(t.Schema.Columns) - 1; i >= 0 && len(t.Schema.Columns) > 1; i-- {
+		col := t.Schema.Columns[i]
+		if used[col.Name] || s.evals >= shrinkBudget {
+			continue
+		}
+		cols := make([]types.Field, 0, len(t.Schema.Columns)-1)
+		cols = append(cols, t.Schema.Columns[:i]...)
+		cols = append(cols, t.Schema.Columns[i+1:]...)
+		rows := make([]types.Row, len(t.Rows))
+		for r, row := range t.Rows {
+			nr := make(types.Row, 0, len(row)-1)
+			nr = append(nr, row[:i]...)
+			nr = append(nr, row[i+1:]...)
+			rows[r] = nr
+		}
+		cand := &Table{Name: t.Name, Schema: types.NewSchema(cols...), Rows: rows}
+		if ok, _ := s.check(cand, stmt); ok {
+			t, moved = cand, true
+		}
+	}
+	return t, moved
+}
+
+// reduceQuery applies one-step reductions to a fixpoint.
+func (s *shrinker) reduceQuery(t *Table, stmt *sql.SelectStmt) (*sql.SelectStmt, bool) {
+	moved := false
+	for s.evals < shrinkBudget {
+		adopted := false
+		for _, cand := range reductions(stmt) {
+			if ok, _ := s.check(t, cand); ok {
+				stmt, adopted, moved = cand, true, true
+				break
+			}
+		}
+		if !adopted {
+			break
+		}
+	}
+	return stmt, moved
+}
+
+// reductions enumerates one-step simplifications of the statement, most
+// aggressive first.
+func reductions(stmt *sql.SelectStmt) []*sql.SelectStmt {
+	var out []*sql.SelectStmt
+	edit := func(f func(*sql.SelectStmt)) {
+		c := cloneStmt(stmt)
+		f(c)
+		out = append(out, c)
+	}
+	if stmt.Where != nil {
+		edit(func(c *sql.SelectStmt) { c.Where = nil })
+	}
+	if stmt.Limit >= 0 {
+		edit(func(c *sql.SelectStmt) { c.Limit = -1 })
+	}
+	if len(stmt.OrderBy) > 0 {
+		edit(func(c *sql.SelectStmt) { c.OrderBy = nil })
+		for i := range stmt.OrderBy {
+			i := i
+			edit(func(c *sql.SelectStmt) { c.OrderBy = append(c.OrderBy[:i], c.OrderBy[i+1:]...) })
+		}
+	}
+	// Drop a projection; a group-key projection takes its GROUP BY entry
+	// along so the statement stays plannable.
+	if len(stmt.Items) > 1 {
+		for i := range stmt.Items {
+			i := i
+			edit(func(c *sql.SelectStmt) {
+				txt := c.Items[i].Expr.String()
+				c.Items = append(c.Items[:i], c.Items[i+1:]...)
+				for g := range c.GroupBy {
+					if c.GroupBy[g].String() == txt {
+						c.GroupBy = append(c.GroupBy[:g], c.GroupBy[g+1:]...)
+						break
+					}
+				}
+			})
+		}
+	}
+	// WHERE subtree reductions.
+	if stmt.Where != nil {
+		for _, w := range reduceExpr(stmt.Where) {
+			w := w
+			edit(func(c *sql.SelectStmt) { c.Where = w })
+		}
+	}
+	return out
+}
+
+// reduceExpr returns one-step reductions of a predicate tree.
+func reduceExpr(e sql.Expr) []sql.Expr {
+	var out []sql.Expr
+	switch t := e.(type) {
+	case *sql.BinaryExpr:
+		if t.Op == "AND" || t.Op == "OR" {
+			out = append(out, cloneExpr(t.Left), cloneExpr(t.Right))
+			for _, l := range reduceExpr(t.Left) {
+				out = append(out, &sql.BinaryExpr{Op: t.Op, Left: l, Right: cloneExpr(t.Right)})
+			}
+			for _, r := range reduceExpr(t.Right) {
+				out = append(out, &sql.BinaryExpr{Op: t.Op, Left: cloneExpr(t.Left), Right: r})
+			}
+		}
+	case *sql.NotExpr:
+		out = append(out, cloneExpr(t.Inner))
+	case *sql.InExpr:
+		for i := range t.List {
+			if len(t.List) <= 1 {
+				break
+			}
+			c := cloneExpr(t).(*sql.InExpr)
+			c.List = append(c.List[:i], c.List[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClauseCount measures statement size for shrink-quality assertions:
+// projections + WHERE atoms + group keys + order keys + LIMIT.
+func ClauseCount(stmt *sql.SelectStmt) int {
+	n := len(stmt.Items) + len(stmt.GroupBy) + len(stmt.OrderBy)
+	if stmt.Limit >= 0 {
+		n++
+	}
+	var atoms func(e sql.Expr) int
+	atoms = func(e sql.Expr) int {
+		if b, ok := e.(*sql.BinaryExpr); ok && (b.Op == "AND" || b.Op == "OR") {
+			return atoms(b.Left) + atoms(b.Right)
+		}
+		return 1
+	}
+	if stmt.Where != nil {
+		n += atoms(stmt.Where)
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+# qcheck repro
+# Found by the fuzzer (seed 1, query 1): IN over a double column was
+# marked vectorizable but the vexec compiler only specialized string and
+# integer IN lists, so every ORC cell errored with "vexec: IN
+# unsupported for kind double" while the row-mode reference succeeded.
+# Fixed by adding vector.FilterDoubleInList (and numeric-coercion
+# handling for integral float literals against long columns).
+# status: fixed
+# cell: mapreduce/orc/nopush/clean
+# detail: cell errored: vexec: IN unsupported for kind double
+col c1 double
+col c4 double
+row -4007.1	6.035
+row 82096.167	1.5
+query SELECT c4 FROM t WHERE c1 IN (82096.167)

@@ -1,0 +1,17 @@
+# qcheck repro
+# Found by the fuzzer (seed 1): a harness bug, kept as a regression
+# against the checker itself. (c5 * 7) / c5 computes 7 for one row and
+# 7.000000000000001 for another; the engine sorts them correctly by full
+# precision, but the sortedness check compared ORDER BY keys with float
+# tolerance, treated them as tied, fell through to the DESC second key
+# and flagged correct output. The checker now compares exactly: each
+# cell sorted by its own computed values, so tolerance belongs only in
+# the cross-cell multiset comparison.
+# status: fixed
+# cell: reference
+# detail: rows 0,1 violate ORDER BY: [7, 561] then [7.000000000000001, 717]
+col c3 bigint
+col c5 double
+row 717	-2.653
+row 561	-5.141
+query SELECT ((c5 * 7) / c5), c3 FROM t ORDER BY ((c5 * 7) / c5), c3 DESC

@@ -1,0 +1,15 @@
+# qcheck repro
+# Found by the fuzzer (seed 3): the vectorization optimizer marked
+# string col-vs-col comparisons as vectorizable, but the vexec compiler
+# had no specialization and the ORC cells failed with
+# "vexec: string col-col comparison not specialized" while the row-mode
+# reference succeeded. Fixed by adding vector.FilterBytesColCol.
+# status: fixed
+# cell: mapreduce/orc/nopush/clean
+# detail: cell errored: vexec: string col-col comparison not specialized
+col c1 bigint
+col c2 string
+row 1	ab
+row 2	ba
+row \N	\N
+query SELECT c1 FROM t WHERE (c2 <= c2)

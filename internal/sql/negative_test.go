@@ -1,0 +1,134 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseMalformed is the table-driven negative suite: every malformed
+// query must come back as an error — never a panic, never a silent
+// success. Several entries are shrunk differential-fuzzer inputs fed
+// back in (the qcheck generator renders statements to text and re-parses
+// them, so the parser sees machine-mangled SQL constantly).
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"empty", ""},
+		{"whitespace", "   \n\t  "},
+		{"bare-select", "SELECT"},
+		{"no-from-tail", "SELECT a FROM"},
+		{"missing-projection", "SELECT FROM t"},
+		{"trailing-comma", "SELECT a, FROM t"},
+		{"double-comma", "SELECT a,, b FROM t"},
+		{"where-empty", "SELECT a FROM t WHERE"},
+		{"where-dangling-and", "SELECT a FROM t WHERE a = 1 AND"},
+		{"where-dangling-cmp", "SELECT a FROM t WHERE a ="},
+		{"between-no-and", "SELECT a FROM t WHERE a BETWEEN 1 2"},
+		{"between-truncated", "SELECT a FROM t WHERE a BETWEEN"},
+		{"in-unclosed", "SELECT a FROM t WHERE a IN (1, 2"},
+		{"in-empty", "SELECT a FROM t WHERE a IN ()"},
+		{"is-missing-null", "SELECT a FROM t WHERE a IS"},
+		{"is-not-missing-null", "SELECT a FROM t WHERE a IS NOT"},
+		{"group-by-empty", "SELECT a FROM t GROUP BY"},
+		{"group-missing-by", "SELECT a FROM t GROUP a"},
+		{"order-by-empty", "SELECT a FROM t ORDER BY"},
+		{"order-missing-by", "SELECT a FROM t ORDER a"},
+		{"limit-no-count", "SELECT a FROM t LIMIT"},
+		{"limit-not-number", "SELECT a FROM t LIMIT x"},
+		{"unclosed-paren", "SELECT (a + 1 FROM t"},
+		{"unbalanced-close", "SELECT a) FROM t"},
+		{"unterminated-string", "SELECT a FROM t WHERE s = 'abc"},
+		{"stray-operator", "SELECT * a FROM t"},
+		{"double-operator", "SELECT a + * b FROM t"},
+		{"join-no-on", "SELECT a FROM t JOIN u"},
+		{"join-on-truncated", "SELECT a FROM t JOIN u ON"},
+		{"subquery-unclosed", "SELECT a FROM (SELECT b FROM u"},
+		{"subquery-empty", "SELECT a FROM ()"},
+		{"garbage-after-query", "SELECT a FROM t LIMIT 3 GARBAGE"},
+		{"func-unclosed", "SELECT count(a FROM t"},
+		{"func-star-unclosed", "SELECT sum(* FROM t"},
+		{"lone-keyword", "WHERE"},
+		{"not-a-statement", "INSERT INTO t VALUES (1)"},
+		{"bad-qualified-ref", "SELECT t. FROM t"},
+		{"dot-only", "."},
+		{"semicolon-garbage", ";;;"},
+		// Shrunk qcheck generator outputs, hand-mangled one token each.
+		{"fuzz-dangling-between-and", "SELECT c0 FROM t WHERE c3 BETWEEN -684 AND"},
+		{"fuzz-order-by-desc-only", "SELECT c1 FROM t ORDER BY DESC"},
+		{"fuzz-group-by-agg-comma", "SELECT c2, count(*) FROM t GROUP BY c2,"},
+		{"fuzz-in-list-rparen", "SELECT c4 FROM t WHERE c4 IN 1, 2)"},
+		{"fuzz-float-double-dot", "SELECT c5 FROM t WHERE c5 < 1.2.3"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", tc.query, r)
+				}
+			}()
+			stmt, err := Parse(tc.query)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded: %s", tc.query, stmt)
+			}
+		})
+	}
+}
+
+// TestParseTruncations chops valid queries at every byte boundary; no
+// prefix may panic (erroring or parsing a shorter valid statement are
+// both fine). This is the property the fuzzer relies on when the
+// shrinker re-renders partial statements.
+func TestParseTruncations(t *testing.T) {
+	queries := []string{
+		"SELECT c0, (c1 + 2.5) FROM t WHERE (c2 = 'ab' AND c3 BETWEEN 1 AND 9) OR c4 IS NOT NULL ORDER BY c0 DESC LIMIT 7",
+		"SELECT c2, count(*), sum(c1) FROM t WHERE c0 IN (1, -2, 3) GROUP BY c2 ORDER BY c2",
+		"SELECT a.x, b.y FROM t a JOIN u b ON a.k = b.k WHERE NOT a.x <= 0",
+		"SELECT s FROM (SELECT s, n FROM inner_t WHERE n <> 4) v WHERE s = ''",
+	}
+	for _, q := range queries {
+		for i := 0; i <= len(q); i++ {
+			prefix := q[:i]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("parser panicked on truncation %q: %v", prefix, r)
+					}
+				}()
+				_, _ = Parse(prefix)
+			}()
+		}
+	}
+}
+
+// TestParseRenderReparse pins the round trip the differential harness
+// depends on: a parsed statement's String() must re-parse to the same
+// rendering.
+func TestParseRenderReparse(t *testing.T) {
+	queries := []string{
+		"SELECT c0 FROM t",
+		"SELECT c0, (c1 * -3) FROM t WHERE c2 IS NULL ORDER BY c0 LIMIT 2",
+		"SELECT c1, count(*) FROM t WHERE (c0 > 1 OR c3 = FALSE) GROUP BY c1",
+		"SELECT c5 FROM t WHERE c5 BETWEEN -1.5 AND 2.25",
+		"SELECT c2 FROM t WHERE c2 IN ('a', '', 'b c')",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		text := stmt.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", text, err)
+		}
+		if again.String() != text {
+			t.Fatalf("render not stable:\n  first:  %s\n  second: %s", text, again.String())
+		}
+		if !strings.Contains(text, "FROM t") {
+			t.Fatalf("rendering lost the FROM clause: %s", text)
+		}
+	}
+}

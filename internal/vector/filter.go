@@ -4,7 +4,10 @@
 // passed. NULL comparison results reject the row, matching SQL WHERE.
 package vector
 
-import "bytes"
+import (
+	"bytes"
+	"sync/atomic"
+)
 
 // CmpOp enumerates comparison operators.
 type CmpOp int
@@ -19,7 +22,27 @@ const (
 	GE
 )
 
+// flippedOp is a deliberate-bug switch for the differential harness
+// (qcheck): when set to LT, every vectorized `<` evaluates as `<=` — the
+// classic off-by-one boundary bug. It exists so tests can prove the
+// harness detects and shrinks a real comparator defect; production code
+// never sets it. Stored as op+1 so the zero value means "no flip".
+var flippedOp atomic.Int32
+
+// SetCmpFlipForTest arms (or, with on=false, disarms) the deliberate
+// comparison bug. Test-only.
+func SetCmpFlipForTest(op CmpOp, on bool) {
+	if on {
+		flippedOp.Store(int32(op) + 1)
+	} else {
+		flippedOp.Store(0)
+	}
+}
+
 func cmpHolds[T Number](op CmpOp, a, b T) bool {
+	if f := flippedOp.Load(); f != 0 && CmpOp(f-1) == op && op == LT {
+		return a <= b // injected off-by-one: see SetCmpFlipForTest
+	}
 	switch op {
 	case EQ:
 		return a == b
@@ -98,6 +121,12 @@ func filterColScalar[T Number](b *VectorizedRowBatch, op CmpOp, in numVector[T],
 	}
 	v := in.vector
 	if in.flags.NoNulls {
+		if flippedOp.Load() != 0 {
+			// Deliberate-bug mode (SetCmpFlipForTest): take the generic
+			// comparator so the armed flip applies on the no-nulls path too.
+			filterByPred(b, func(i int) bool { return cmpHolds(op, v[i], scalar) })
+			return
+		}
 		// The hot path: no null checks in the loop.
 		switch op {
 		case EQ:
@@ -156,6 +185,11 @@ func filterColCol[T Number](b *VectorizedRowBatch, op CmpOp, l, r numVector[T]) 
 	}
 	if !l.flags.IsRepeating && !r.flags.IsRepeating && l.flags.NoNulls && r.flags.NoNulls {
 		lv, rv := l.vector, r.vector
+		if flippedOp.Load() != 0 {
+			// Deliberate-bug mode: see filterColScalar.
+			filterByPred(b, func(i int) bool { return cmpHolds(op, lv[i], rv[i]) })
+			return
+		}
 		switch op {
 		case EQ:
 			filterByPred(b, func(i int) bool { return lv[i] == rv[i] })
@@ -238,27 +272,30 @@ type FilterBytesColScalar struct {
 	Scalar []byte
 }
 
+// cmpOrd evaluates op against a three-way comparison result (bytes.Compare
+// style: negative, zero, positive).
+func cmpOrd(op CmpOp, c int) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
 // Filter implements FilterExpression.
 func (f *FilterBytesColScalar) Filter(b *VectorizedRowBatch) {
 	in := b.Bytes(f.Input)
-	holds := func(v []byte) bool {
-		c := bytes.Compare(v, f.Scalar)
-		switch f.Op {
-		case EQ:
-			return c == 0
-		case NE:
-			return c != 0
-		case LT:
-			return c < 0
-		case LE:
-			return c <= 0
-		case GT:
-			return c > 0
-		case GE:
-			return c >= 0
-		}
-		return false
-	}
+	holds := func(v []byte) bool { return cmpOrd(f.Op, bytes.Compare(v, f.Scalar)) }
 	if in.IsRepeating {
 		if nullAt(&in.base, 0) || !holds(in.Vector[0]) {
 			b.Size = 0
@@ -275,6 +312,28 @@ func (f *FilterBytesColScalar) Filter(b *VectorizedRowBatch) {
 	filterByPred(b, func(i int) bool { return !nulls[i] && holds(v[i]) })
 }
 
+// FilterBytesColCol filters `bytes_col op bytes_col`.
+type FilterBytesColCol struct {
+	Op          CmpOp
+	Left, Right int
+}
+
+// Filter implements FilterExpression.
+func (f *FilterBytesColCol) Filter(b *VectorizedRowBatch) {
+	l, r := b.Bytes(f.Left), b.Bytes(f.Right)
+	val := func(v *BytesColumnVector, i int) ([]byte, bool) {
+		if v.IsRepeating {
+			return v.Vector[0], nullAt(&v.base, 0)
+		}
+		return v.Vector[i], nullAt(&v.base, i)
+	}
+	filterByPred(b, func(i int) bool {
+		a, an := val(l, i)
+		c, cn := val(r, i)
+		return !an && !cn && cmpOrd(f.Op, bytes.Compare(a, c))
+	})
+}
+
 // FilterLongInList filters `long_col IN (...)`.
 type FilterLongInList struct {
 	Input int
@@ -284,6 +343,29 @@ type FilterLongInList struct {
 // Filter implements FilterExpression.
 func (f *FilterLongInList) Filter(b *VectorizedRowBatch) {
 	in := b.Long(f.Input)
+	member := func(i int) bool {
+		_, ok := f.Set[in.Value(i)]
+		return ok && !nullAt(&in.base, i)
+	}
+	if in.IsRepeating {
+		if !member(0) {
+			b.Size = 0
+			b.SelectedInUse = true
+		}
+		return
+	}
+	filterByPred(b, member)
+}
+
+// FilterDoubleInList filters `double_col IN (...)`.
+type FilterDoubleInList struct {
+	Input int
+	Set   map[float64]struct{}
+}
+
+// Filter implements FilterExpression.
+func (f *FilterDoubleInList) Filter(b *VectorizedRowBatch) {
+	in := b.Double(f.Input)
 	member := func(i int) bool {
 		_, ok := f.Set[in.Value(i)]
 		return ok && !nullAt(&in.base, i)

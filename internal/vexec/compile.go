@@ -13,6 +13,7 @@ package vexec
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -339,13 +340,38 @@ func (c *compiler) compileFilter(e plan.Expr) (vector.FilterExpression, error) {
 				if !ok {
 					return nil, fmt.Errorf("vexec: IN requires constant list")
 				}
-				iv, ok := v.(int64)
-				if !ok {
+				switch iv := v.(type) {
+				case int64:
+					set[iv] = struct{}{}
+				case float64:
+					// Match the row engine's numeric coercion: an integral
+					// float literal can hit a long column; a fractional one
+					// never can and just drops from the set.
+					if iv == math.Trunc(iv) {
+						set[int64(iv)] = struct{}{}
+					}
+				default:
 					return nil, fmt.Errorf("vexec: IN list type mismatch")
 				}
-				set[iv] = struct{}{}
 			}
 			return &vector.FilterLongInList{Input: col, Set: set}, nil
+		case kind.IsFloating():
+			set := map[float64]struct{}{}
+			for _, item := range t.List {
+				v, ok := constOperand(item)
+				if !ok {
+					return nil, fmt.Errorf("vexec: IN requires constant list")
+				}
+				switch fv := v.(type) {
+				case float64:
+					set[fv] = struct{}{}
+				case int64:
+					set[float64(fv)] = struct{}{}
+				default:
+					return nil, fmt.Errorf("vexec: IN list type mismatch")
+				}
+			}
+			return &vector.FilterDoubleInList{Input: col, Set: set}, nil
 		}
 		return nil, fmt.Errorf("vexec: IN unsupported for kind %s", kind)
 	case *plan.IsNullExpr:
@@ -402,7 +428,7 @@ func (c *compiler) compileComparison(t *plan.CompareExpr) (vector.FilterExpressi
 			rCol = c.asDouble(rCol, rKind)
 			return &vector.FilterColColDouble{Op: op, Left: lCol, Right: rCol}, nil
 		case lKind == types.String && rKind == types.String:
-			return nil, fmt.Errorf("vexec: string col-col comparison not specialized")
+			return &vector.FilterBytesColCol{Op: op, Left: lCol, Right: rCol}, nil
 		default:
 			return &vector.FilterColColLong{Op: op, Left: lCol, Right: rCol}, nil
 		}
