@@ -1,15 +1,20 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap faults difftest
+.PHONY: check vet build test race race-core bench-llap faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
-# must pass. `make race` remains the full-repo race sweep.
+# must pass. `make race` remains the full-repo race sweep. The bench step
+# builds and runs the nil-tracer benchmark once (a smoke that the
+# disabled-tracing fast path keeps compiling and running; no timing
+# assertion — compare ns/op manually with `go test -bench . ./internal/obs`).
 check: vet build test race-core
+	$(GO) test -run=NONE -bench=BenchmarkNilTracer -benchtime=1x ./internal/obs
 
 # race-core is the fast race pass over the correctness-critical packages
-# (the differential harness and the engine layers it drives).
+# (the differential harness, the engine layers it drives, and the
+# observability counters those layers now mutate while queries run).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/mapred ./internal/vexec
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/mapred ./internal/vexec ./internal/obs ./internal/dfs ./internal/llap
 
 vet:
 	$(GO) vet ./...
@@ -37,3 +42,9 @@ faults:
 # nonzero on any disagreement and prints shrunk repros.
 difftest:
 	$(GO) run ./cmd/benchrunner -exp diff -diff-seed 1 -diff-queries 500
+
+# obs runs the E12 observability walkthrough: cold/warm/faulted TPC-H q6
+# with per-operator profiles, a unified-registry diff, and a Chrome
+# trace_event file (open trace.json in chrome://tracing or Perfetto).
+obs:
+	$(GO) run ./cmd/benchrunner -exp obs -trace trace.json

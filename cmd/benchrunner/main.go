@@ -21,7 +21,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|faults|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|faults|obs|ablations|all, or diff (E11, only when named explicitly)")
+	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
 	overhead := flag.Duration("job-overhead", 250*time.Millisecond,
@@ -130,6 +131,14 @@ func main() {
 			return err
 		}
 		bench.PrintFaults(os.Stdout, rep)
+		return nil
+	})
+	run("obs", func() error {
+		rep, err := bench.RunObs(cfg, *faultSeed, *tracePath)
+		if err != nil {
+			return err
+		}
+		bench.PrintObs(os.Stdout, rep)
 		return nil
 	})
 	// E11 runs only when named: it is a correctness harness over tens of

@@ -21,8 +21,11 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/compress"
+	"repro/internal/core"
 	"repro/internal/fileformat"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -75,8 +78,10 @@ func main() {
 	fatalIf(err)
 
 	fmt.Println("tables:", strings.Join(env.Driver.Metastore().Names(), ", "))
-	fmt.Println(`enter a SELECT statement on one line ("\q" to quit, "\explain <sql>" for the plan, "\cache" for LLAP cache stats, "\timeout <dur>" to bound queries)`)
+	fmt.Println(`enter a SELECT statement on one line ("\help" lists commands; EXPLAIN ANALYZE <sql> profiles a query)`)
 	var timeout time.Duration
+	profile := false
+	tracePath := ""
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -90,6 +95,42 @@ func main() {
 			continue
 		case line == `\q` || line == "quit" || line == "exit":
 			return
+		case line == `\help` || line == `\h`:
+			fmt.Print(`commands:
+  \q                      quit
+  \help                   this help
+  \explain <sql>          show the optimized plan and job count without running
+  \profile on|off         append the EXPLAIN ANALYZE tree (per-operator rows,
+                          wall time, DFS-vs-cache bytes) after every query
+  \trace <path>|off       record each query as a Chrome trace_event file at
+                          <path> (open in chrome://tracing or Perfetto);
+                          spans cover phases, jobs, task attempts, operators
+  \cache                  LLAP cache and daemon pool statistics (-engine llap)
+  \timeout <dur>|off      bound query wall time (e.g. \timeout 30s)
+statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
+`)
+		case strings.HasPrefix(line, `\profile`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\profile`))
+			switch arg {
+			case "on":
+				profile = true
+				fmt.Println("profiling on: each query prints its annotated plan")
+			case "off":
+				profile = false
+				fmt.Println("profiling off")
+			default:
+				fmt.Println(`usage: \profile on|off`)
+			}
+		case strings.HasPrefix(line, `\trace`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\trace`))
+			switch arg {
+			case "", "off":
+				tracePath = ""
+				fmt.Println("tracing off")
+			default:
+				tracePath = arg
+				fmt.Printf("tracing on: each query overwrites %s (open in chrome://tracing or Perfetto)\n", tracePath)
+			}
 		case line == `\cache`:
 			if *engine != "llap" {
 				fmt.Println("no cache: start with -engine llap")
@@ -139,8 +180,33 @@ func main() {
 			if timeout > 0 {
 				ctx, cancel = context.WithTimeout(ctx, timeout)
 			}
-			res, err := env.Driver.RunContext(ctx, line)
+			var tracer *obs.Tracer
+			if tracePath != "" {
+				tracer = obs.NewTracer()
+				ctx = obs.WithTracer(ctx, tracer)
+			}
+			var res *core.Result
+			var err error
+			if profile {
+				var p *plan.Plan
+				var prof *obs.PlanProfile
+				res, p, prof, err = env.Driver.RunProfiled(ctx, line)
+				if err == nil {
+					for _, l := range core.RenderAnalyzedPlan(p, prof, res) {
+						fmt.Println(l)
+					}
+				}
+			} else {
+				res, err = env.Driver.RunContext(ctx, line)
+			}
 			cancel()
+			if tracer != nil {
+				if werr := tracer.WriteFile(tracePath); werr != nil {
+					fmt.Println("trace write error:", werr)
+				} else {
+					fmt.Printf("trace written to %s\n", tracePath)
+				}
+			}
 			if err != nil {
 				fmt.Println("error:", err)
 				continue

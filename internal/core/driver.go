@@ -12,6 +12,7 @@ import (
 	"repro/internal/fileformat"
 	"repro/internal/llap"
 	"repro/internal/mapred"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -73,6 +74,9 @@ type Driver struct {
 
 	llapMu     sync.Mutex
 	llapDaemon *llap.Daemon // created on first ModeLLAP query; outlives queries
+
+	regOnce sync.Once
+	reg     *obs.Registry // built on first Registry() call
 }
 
 // NewDriver assembles a driver over a DFS and a MapReduce engine.
@@ -102,6 +106,31 @@ func (d *Driver) LLAP() *llap.Daemon {
 		d.llapDaemon = llap.NewDaemon(d.conf.LLAP)
 	}
 	return d.llapDaemon
+}
+
+// Registry returns the session's unified metrics registry: the DFS, engine
+// and (once started) LLAP daemon stats structs registered under stable
+// prefixes, plus a task-attempt latency histogram installed on the engine.
+// The structs register by adoption — the registry reads their existing
+// atomics — so hot paths are untouched. Safe to call repeatedly; LLAP
+// metrics appear on the first call after the daemon starts.
+func (d *Driver) Registry() *obs.Registry {
+	d.regOnce.Do(func() {
+		d.reg = obs.NewRegistry()
+		obs.RegisterStruct(d.reg, "dfs", d.fs.Stats())
+		obs.RegisterStruct(d.reg, "mapred", d.engine.Counters())
+		d.engine.SetTaskHistogram(d.reg.Histogram("mapred.TaskNanos"))
+	})
+	d.llapMu.Lock()
+	daemon := d.llapDaemon
+	d.llapMu.Unlock()
+	if daemon != nil {
+		if cc := daemon.ChunkCache(); cc != nil {
+			obs.RegisterStruct(d.reg, "llap.cache", cc.Stats())
+		}
+		obs.RegisterStruct(d.reg, "llap.pool", daemon.Stats())
+	}
+	return d.reg
 }
 
 // Close releases session resources (the LLAP daemon's workers, if started).
@@ -235,25 +264,43 @@ type ExecStats struct {
 // Explain parses, plans and optimizes a query, returning the operator DAG
 // and compiled tasks without executing.
 func (d *Driver) Explain(query string) (*plan.Plan, *compiler.Compiled, error) {
+	_, p, compiled, err := d.explainStaged(context.Background(), query)
+	return p, compiled, err
+}
+
+// explainStaged runs the front-end phases — parse, plan, optimize,
+// compile — each under its own trace span (no-ops when the context
+// carries no tracer), returning the parsed statement as well so callers
+// can see EXPLAIN / EXPLAIN ANALYZE flags.
+func (d *Driver) explainStaged(ctx context.Context, query string) (*sql.SelectStmt, *plan.Plan, *compiler.Compiled, error) {
+	_, sp := obs.StartSpan(ctx, "parse", obs.CatPhase)
 	stmt, err := sql.Parse(query)
+	sp.FinishErr(err)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "plan", obs.CatPhase)
 	p, err := plan.NewPlanner(d.meta, &d.conf.Planner).Plan(stmt)
+	sp.FinishErr(err)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if err := optimizer.Apply(p, d.optimizerEnv()); err != nil {
-		return nil, nil, err
+	_, sp = obs.StartSpan(ctx, "optimize", obs.CatPhase)
+	err = optimizer.Apply(p, d.optimizerEnv())
+	sp.FinishErr(err)
+	if err != nil {
+		return nil, nil, nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "compile", obs.CatPhase)
 	compiled, err := compiler.Compile(p)
+	if err == nil {
+		err = optimizer.PostCompile(p, compiled, d.optimizerEnv())
+	}
+	sp.FinishErr(err)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if err := optimizer.PostCompile(p, compiled, d.optimizerEnv()); err != nil {
-		return nil, nil, err
-	}
-	return p, compiled, nil
+	return stmt, p, compiled, nil
 }
 
 func (d *Driver) optimizerEnv() *optimizer.Env {
@@ -285,13 +332,73 @@ func (d *Driver) Run(query string) (*Result, error) {
 // (or its deadline expiring) stops in-flight tasks, admission waits and
 // DFS reads, and the call returns ctx.Err(). This is the `\timeout` path
 // in the REPL and the query-cancellation story generally.
+//
+// The context is also the observability hook: a tracer installed with
+// obs.WithTracer receives query / phase / job / task / operator spans,
+// and an EXPLAIN or EXPLAIN ANALYZE prefix on the query turns the result
+// into a rendered (and, for ANALYZE, executed and profile-annotated)
+// plan tree.
 func (d *Driver) RunContext(ctx context.Context, query string) (*Result, error) {
-	p, compiled, err := d.Explain(query)
+	qid := d.queryID.Add(1)
+	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
+	qsp.SetAttr("engine", d.conf.Engine.String())
+	res, err := d.runStaged(ctx, qid, query)
+	qsp.FinishErr(err)
+	return res, err
+}
+
+func (d *Driver) runStaged(ctx context.Context, qid int64, query string) (*Result, error) {
+	stmt, p, compiled, err := d.explainStaged(ctx, query)
 	if err != nil {
 		return nil, err
 	}
+	if stmt.Explain && !stmt.Analyze {
+		return explainResult(p), nil
+	}
+	var prof *obs.PlanProfile
+	if (stmt.Explain && stmt.Analyze) || obs.TracerFrom(ctx) != nil {
+		// EXPLAIN ANALYZE needs the profile for its rendering; a traced
+		// run needs it for per-operator spans.
+		prof = obs.NewPlanProfile()
+	}
+	res, err := d.execute(ctx, qid, p, compiled, prof)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Explain && stmt.Analyze {
+		return analyzeResult(p, prof, res), nil
+	}
+	return res, nil
+}
+
+// RunProfiled executes a (plain) query and also returns its optimized
+// plan and per-operator profile — the programmatic face of EXPLAIN
+// ANALYZE, used by the REPL's \profile mode and by tests that reconcile
+// operator numbers against ExecStats.
+func (d *Driver) RunProfiled(ctx context.Context, query string) (*Result, *plan.Plan, *obs.PlanProfile, error) {
 	qid := d.queryID.Add(1)
-	ex := newExecutor(d, compiled, qid, ctx)
+	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
+	qsp.SetAttr("engine", d.conf.Engine.String())
+	_, p, compiled, err := d.explainStaged(ctx, query)
+	if err != nil {
+		qsp.FinishErr(err)
+		return nil, nil, nil, err
+	}
+	prof := obs.NewPlanProfile()
+	res, err := d.execute(ctx, qid, p, compiled, prof)
+	qsp.FinishErr(err)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, p, prof, nil
+}
+
+// execute runs a compiled plan, assembling ExecStats from engine, DFS and
+// cache counter diffs. With a profile, committed task attempts fold their
+// per-operator numbers into it; with a tracer in ctx, operator spans are
+// emitted from the folded profile after the run.
+func (d *Driver) execute(ctx context.Context, qid int64, p *plan.Plan, compiled *compiler.Compiled, prof *obs.PlanProfile) (*Result, error) {
+	ex := newExecutor(d, compiled, qid, ctx, prof)
 	defer ex.cleanup()
 
 	var chunkCache *llap.Cache
@@ -314,6 +421,7 @@ func (d *Driver) RunContext(ctx context.Context, query string) (*Result, error) 
 	if chunkCache != nil {
 		cacheDiff = chunkCache.Snapshot().Diff(cacheBefore)
 	}
+	emitOpSpans(ctx, p, prof)
 
 	var schema *plan.Schema
 	for _, sink := range p.Sinks {

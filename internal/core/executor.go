@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/exec"
 	"repro/internal/fileformat"
 	"repro/internal/mapred"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -31,6 +33,12 @@ type executor struct {
 	llap     bool
 	caches   *orc.Caches // LLAP's shared caches; nil outside ModeLLAP
 
+	// prof is the query-level operator profile (nil when profiling is
+	// off). Task attempts record into private per-attempt profiles and
+	// only the committing attempt's numbers are merged in, so retries and
+	// speculative losers never double-count rows.
+	prof *obs.PlanProfile
+
 	mu      sync.Mutex
 	results []types.Row
 	// memTemps holds intermediate tables for Tez mode: rows flow between
@@ -42,24 +50,57 @@ type executor struct {
 	// by attempt, until the engine commits (winning attempt: side effects
 	// published) or aborts it (loser: side effects discarded).
 	sinks map[string]*sinkSet
+	// attemptProfs holds each live attempt's private profile, same
+	// lifecycle as sinks.
+	attemptProfs map[string]*obs.PlanProfile
 }
 
-func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64, ctx context.Context) *executor {
+func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64, ctx context.Context, prof *obs.PlanProfile) *executor {
 	ex := &executor{
-		d:        d,
-		compiled: compiled,
-		qid:      qid,
-		ctx:      ctx,
-		tempDir:  fmt.Sprintf("/tmp/query-%d", qid),
-		tez:      d.conf.Engine == ModeTez || d.conf.Engine == ModeLLAP,
-		llap:     d.conf.Engine == ModeLLAP,
-		memTemps: map[string][][]types.Row{},
-		sinks:    map[string]*sinkSet{},
+		d:            d,
+		compiled:     compiled,
+		qid:          qid,
+		ctx:          ctx,
+		prof:         prof,
+		tempDir:      fmt.Sprintf("/tmp/query-%d", qid),
+		tez:          d.conf.Engine == ModeTez || d.conf.Engine == ModeLLAP,
+		llap:         d.conf.Engine == ModeLLAP,
+		memTemps:     map[string][][]types.Row{},
+		sinks:        map[string]*sinkSet{},
+		attemptProfs: map[string]*obs.PlanProfile{},
 	}
 	if ex.llap {
 		ex.caches = d.LLAP().Caches()
 	}
 	return ex
+}
+
+// attemptProfile returns (creating on first use) the private profile for
+// one task attempt, or nil when the query is not being profiled.
+func (ex *executor) attemptProfile(key string) *obs.PlanProfile {
+	if ex.prof == nil {
+		return nil
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	p := ex.attemptProfs[key]
+	if p == nil {
+		p = obs.NewPlanProfile()
+		ex.attemptProfs[key] = p
+	}
+	return p
+}
+
+// takeAttemptProfile removes and returns an attempt's profile.
+func (ex *executor) takeAttemptProfile(key string) *obs.PlanProfile {
+	if ex.prof == nil {
+		return nil
+	}
+	ex.mu.Lock()
+	p := ex.attemptProfs[key]
+	delete(ex.attemptProfs, key)
+	ex.mu.Unlock()
+	return p
 }
 
 // attemptKey names one task attempt's private output set (and its temp
@@ -184,14 +225,17 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 			return ex.runMapTask(task, tc, sp.(split), out)
 		},
 		// The output-commit protocol: only the winning attempt's private
-		// sink set is published; every other attempt's is discarded.
+		// sink set is published — and only its profile is folded into the
+		// query profile; every other attempt's is discarded.
 		CommitTask: func(tc *mapred.TaskContext) error {
+			ex.prof.Merge(ex.takeAttemptProfile(attemptKey(tc)))
 			if s := ex.takeSinks(attemptKey(tc)); s != nil {
 				return s.commit()
 			}
 			return nil
 		},
 		AbortTask: func(tc *mapred.TaskContext) {
+			ex.takeAttemptProfile(attemptKey(tc))
 			if s := ex.takeSinks(attemptKey(tc)); s != nil {
 				s.abort()
 			}
@@ -290,8 +334,10 @@ func (s *sinkSet) abort() {
 	s.resRows = nil
 }
 
-// execContext builds the runtime context for one task attempt.
-func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapred.Collector, numReduces int) *exec.Context {
+// execContext builds the runtime context for one task attempt. aprof is
+// the attempt's private profile (nil when unprofiled); map-join local
+// scans attribute their rows and I/O to the scanned node through it.
+func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapred.Collector, numReduces int, aprof *obs.PlanProfile) *exec.Context {
 	return &exec.Context{
 		EmitShuffle: func(rs *plan.ReduceSink, key []byte, tag int, value []byte) error {
 			part := 0
@@ -302,7 +348,7 @@ func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapr
 		},
 		SinkRow: sinks.sinkRow,
 		ScanRows: func(ts *plan.TableScan) (func() (types.Row, error), error) {
-			return ex.openScan(ts, tc.Ctx, 0)
+			return ex.openScan(ts, tc.Ctx, 0, aprof.Op(ts.ID))
 		},
 	}
 }
@@ -333,8 +379,9 @@ func widen(row types.Row, scatter []int, width int) types.Row {
 }
 
 // openScan opens a row iterator over every file of a scan's table (used
-// for map-join local work).
-func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int) (func() (types.Row, error), error) {
+// for map-join local work). stats, when non-nil, receives the scan's
+// rows, I/O attribution and ORC selection counters.
+func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, stats *obs.OpStats) (func() (types.Row, error), error) {
 	if ex.isMemTemp(ts.Table) {
 		ex.mu.Lock()
 		chunks := ex.memTemps[ts.Table]
@@ -345,6 +392,7 @@ func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int) 
 				if ri < len(chunks[ci]) {
 					row := chunks[ci][ri]
 					ri++
+					stats.AddRows(1)
 					return row, nil
 				}
 				ci++
@@ -369,7 +417,7 @@ func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int) 
 				}
 				var err error
 				r, err = fileformat.Open(ex.d.fs, files[idx].Name, schema, format,
-					fileformat.ScanOptions{Include: include, SArg: ts.SArg, ORCCaches: ex.caches, Ctx: ctx, Node: node})
+					fileformat.ScanOptions{Include: include, SArg: ts.SArg, ORCCaches: ex.caches, Ctx: ctx, Node: node, Tally: stats.Tally()})
 				if err != nil {
 					return nil, err
 				}
@@ -378,15 +426,29 @@ func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int) 
 			row, err := r.Next()
 			if err != nil {
 				if errors.Is(err, io.EOF) {
+					foldScanCounters(stats, r)
 					r = nil
 					continue
 				}
 				return nil, err
 			}
+			stats.AddRows(1)
 			return widen(row, scatter, len(ts.Cols)), nil
 		}
 	}
 	return next, nil
+}
+
+// foldScanCounters copies a finished reader's ORC stripe / index-group
+// selection counters into the scan's stats, when both exist.
+func foldScanCounters(stats *obs.OpStats, r fileformat.Reader) {
+	if stats == nil {
+		return
+	}
+	if src, ok := r.(fileformat.ScanCounterSource); ok {
+		c := src.ScanCounters()
+		stats.AddScanCounters(c.StripesRead, c.StripesSkipped, c.GroupsRead, c.GroupsSkipped)
+	}
 }
 
 // runMapTask drives one split's rows through the scan's consumer chains.
@@ -396,11 +458,14 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 	scan := task.MapScans[sp.scanIdx]
 	sinks := ex.newSinkSet(attemptKey(tc))
 	ex.registerSinks(attemptKey(tc), sinks)
-	ctx := ex.execContext(tc, sinks, out, task.NumReducers)
+	aprof := ex.attemptProfile(attemptKey(tc))
+	ctx := ex.execContext(tc, sinks, out, task.NumReducers, aprof)
+	scanStats := aprof.Op(scan.ID) // nil aprof -> nil stats; methods no-op
 
 	if sp.rows != nil {
 		// Tez in-memory edge: no file reader, rows arrive full width.
 		builder := exec.NewBuilder()
+		builder.SetProfile(aprof)
 		consumers, err := builder.BuildMapChain(scan)
 		if err != nil {
 			return err
@@ -410,12 +475,17 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 				return err
 			}
 		}
+		var scanStart time.Time
+		if scanStats != nil {
+			scanStart = time.Now()
+		}
 		for i, row := range sp.rows {
 			if i%1024 == 0 {
 				if err := tc.Ctx.Err(); err != nil {
 					return err
 				}
 			}
+			scanStats.AddRows(1)
 			for _, op := range consumers {
 				if err := op.Process(row, 0); err != nil {
 					return err
@@ -427,6 +497,11 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 				return err
 			}
 		}
+		if scanStats != nil {
+			end := time.Now()
+			scanStats.AddWall(end.Sub(scanStart))
+			scanStats.MarkInterval(scanStart, end)
+		}
 		return nil
 	}
 
@@ -435,10 +510,11 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 		return err
 	}
 	if scan.Vectorize {
-		return vexec.RunVectorizedScan(tc.Ctx, ex.d.fs, sp.path, scan, ctx, tc.Node, ex.caches)
+		return vexec.RunVectorizedScan(tc.Ctx, ex.d.fs, sp.path, scan, ctx, tc.Node, ex.caches, aprof)
 	}
 
 	builder := exec.NewBuilder()
+	builder.SetProfile(aprof)
 	consumers, err := builder.BuildMapChain(scan)
 	if err != nil {
 		return err
@@ -450,11 +526,15 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 	}
 	include, scatter := scanInclude(scan)
 	r, err := fileformat.Open(ex.d.fs, sp.path, schema, format,
-		fileformat.ScanOptions{Include: include, SArg: scan.SArg, ORCCaches: ex.caches, Ctx: tc.Ctx, Node: tc.Node})
+		fileformat.ScanOptions{Include: include, SArg: scan.SArg, ORCCaches: ex.caches, Ctx: tc.Ctx, Node: tc.Node, Tally: scanStats.Tally()})
 	if err != nil {
 		return err
 	}
 	defer r.Close()
+	var scanStart time.Time
+	if scanStats != nil {
+		scanStart = time.Now()
+	}
 	for i := 0; ; i++ {
 		if i%1024 == 0 {
 			if err := tc.Ctx.Err(); err != nil {
@@ -468,6 +548,7 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 			}
 			return err
 		}
+		scanStats.AddRows(1)
 		row = widen(row, scatter, len(scan.Cols))
 		for _, op := range consumers {
 			if err := op.Process(row, 0); err != nil {
@@ -480,6 +561,12 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 			return err
 		}
 	}
+	if scanStats != nil {
+		end := time.Now()
+		scanStats.AddWall(end.Sub(scanStart))
+		scanStats.MarkInterval(scanStart, end)
+		foldScanCounters(scanStats, r)
+	}
 	return nil
 }
 
@@ -488,15 +575,24 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, tagSchemas map[int]*plan.Schema, groups func() (*mapred.Group, bool)) error {
 	sinks := ex.newSinkSet(attemptKey(tc))
 	ex.registerSinks(attemptKey(tc), sinks)
-	ctx := ex.execContext(tc, sinks, nil, 0)
+	aprof := ex.attemptProfile(attemptKey(tc))
+	ctx := ex.execContext(tc, sinks, nil, 0, aprof)
+	// The entry operator is driven directly (its taps cover only edges
+	// below it), so its rows and wall are recorded here.
+	entryStats := aprof.Op(task.ReduceEntry.Base().ID)
 
 	builder := exec.NewBuilder()
+	builder.SetProfile(aprof)
 	entry, err := builder.Build(task.ReduceEntry)
 	if err != nil {
 		return err
 	}
 	if err := entry.Init(ctx); err != nil {
 		return err
+	}
+	var entryStart time.Time
+	if entryStats != nil {
+		entryStart = time.Now()
 	}
 	for i := 0; ; i++ {
 		if i%256 == 0 {
@@ -520,6 +616,7 @@ func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, t
 			if err != nil {
 				return err
 			}
+			entryStats.AddRows(1)
 			if err := entry.Process(row, rec.Tag); err != nil {
 				return err
 			}
@@ -528,5 +625,11 @@ func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, t
 			return err
 		}
 	}
-	return entry.Flush()
+	err = entry.Flush()
+	if entryStats != nil {
+		end := time.Now()
+		entryStats.AddWall(end.Sub(entryStart))
+		entryStats.MarkInterval(entryStart, end)
+	}
+	return err
 }

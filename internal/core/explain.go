@@ -1,0 +1,154 @@
+// explain.go renders EXPLAIN and EXPLAIN ANALYZE output: the optimized
+// operator DAG as an indented tree (sinks at the root, scans at the
+// leaves, matching plan.Plan.String), annotated for ANALYZE with each
+// operator's committed runtime profile — rows, inclusive wall time, and
+// for scans the DFS-vs-cache byte attribution and ORC stripe/index-group
+// selection. It also emits the per-operator trace spans for traced runs.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// explainSchema is the single-column output shape of EXPLAIN results.
+func explainSchema() *plan.Schema {
+	return plan.NewSchema(plan.Column{Name: "plan", Kind: types.String})
+}
+
+// explainResult renders the plan tree without executing (plain EXPLAIN).
+func explainResult(p *plan.Plan) *Result {
+	return &Result{Schema: explainSchema(), Rows: planRows(p, nil, nil)}
+}
+
+// analyzeResult renders the executed plan tree annotated with the query
+// profile, followed by a totals footer reconciling against ExecStats.
+func analyzeResult(p *plan.Plan, prof *obs.PlanProfile, res *Result) *Result {
+	rows := planRows(p, prof, &res.Stats)
+	rows = append(rows,
+		types.Row{""},
+		types.Row{fmt.Sprintf("elapsed: %v  (wall %v, launch %v, io %v)",
+			res.Stats.Elapsed.Round(0), res.Stats.WallTime.Round(0),
+			res.Stats.LaunchOverhead.Round(0), res.Stats.SimulatedIO.Round(0))},
+		types.Row{fmt.Sprintf("bytes: total=%d dfs=%d cache=%d  shuffle: %d bytes / %d records  jobs: %d",
+			res.Stats.TotalBytesRead, res.Stats.DFSBytesRead, res.Stats.CacheBytesRead,
+			res.Stats.ShuffleBytes, res.Stats.ShuffleRecords, res.Stats.Jobs)},
+	)
+	if res.Stats.FailedTasks+res.Stats.RetriedTasks+res.Stats.SpeculativeTasks > 0 {
+		rows = append(rows, types.Row{fmt.Sprintf("attempts: failed=%d retried=%d speculative=%d wasted_cpu=%v",
+			res.Stats.FailedTasks, res.Stats.RetriedTasks, res.Stats.SpeculativeTasks, res.Stats.WastedCPU.Round(0))})
+	}
+	return &Result{Schema: explainSchema(), Rows: rows, Stats: res.Stats}
+}
+
+// RenderAnalyzedPlan formats an executed plan annotated with its runtime
+// profile, one line per element, exactly as EXPLAIN ANALYZE would print
+// it. The interactive shell's \profile mode uses it to append the
+// annotated plan to any query's output.
+func RenderAnalyzedPlan(p *plan.Plan, prof *obs.PlanProfile, res *Result) []string {
+	out := analyzeResult(p, prof, res)
+	lines := make([]string, len(out.Rows))
+	for i, r := range out.Rows {
+		lines[i], _ = r[0].(string)
+	}
+	return lines
+}
+
+// planRows walks the DAG exactly like plan.Plan.String — each sink down
+// to its leaves, parents indented under children — one output row per
+// line, annotated when a profile is given.
+func planRows(p *plan.Plan, prof *obs.PlanProfile, stats *ExecStats) []types.Row {
+	var rows []types.Row
+	seen := map[plan.Node]bool{}
+	var dump func(n plan.Node, depth int)
+	dump = func(n plan.Node, depth int) {
+		line := strings.Repeat("  ", depth) + n.Label()
+		if seen[n] {
+			rows = append(rows, types.Row{line + " (shared)"})
+			return
+		}
+		seen[n] = true
+		if prof != nil {
+			line += annotate(n, prof.Lookup(n.Base().ID))
+		}
+		rows = append(rows, types.Row{line})
+		for _, parent := range n.Base().Parents {
+			dump(parent, depth+1)
+		}
+	}
+	for _, s := range p.Sinks {
+		dump(s, 0)
+	}
+	return rows
+}
+
+// annotate formats one operator's profile: row count and inclusive wall
+// time for everyone; byte attribution and pushdown selectivity for scans.
+// An operator with no stats cell never ran (e.g. pruned or empty input).
+func annotate(n plan.Node, st *obs.OpStats) string {
+	if st == nil {
+		return "  [did not run]"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  [rows=%d", st.Rows.Load())
+	if batches := st.Batches.Load(); batches > 0 {
+		fmt.Fprintf(&b, " batches=%d", batches)
+	}
+	fmt.Fprintf(&b, " wall=%v", st.Wall().Round(0))
+	if _, ok := n.(*plan.TableScan); ok {
+		fmt.Fprintf(&b, " dfs=%dB cache=%dB", st.IO.DFSBytes.Load(), st.IO.CacheBytes.Load())
+		sr, ss := st.StripesRead.Load(), st.StripesSkipped.Load()
+		gr, gs := st.GroupsRead.Load(), st.GroupsSkipped.Load()
+		if sr+ss > 0 {
+			fmt.Fprintf(&b, " stripes=%d/%d groups=%d/%d", sr, sr+ss, gr, gr+gs)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// emitOpSpans converts the folded query profile into CatOp trace spans —
+// one per operator that marked an activity interval — parented under the
+// context's current (query) span. Operators only know their intervals
+// after committed attempts merge, so these spans are emitted
+// retroactively via Tracer.Emit. No-op without both a tracer and a
+// profile.
+func emitOpSpans(ctx context.Context, p *plan.Plan, prof *obs.PlanProfile) {
+	tr := obs.TracerFrom(ctx)
+	if tr == nil || prof == nil {
+		return
+	}
+	parent := obs.SpanFrom(ctx)
+	labels := map[int]string{}
+	p.Walk(func(n plan.Node) { labels[n.Base().ID] = n.Label() })
+	for _, id := range prof.IDs() {
+		st := prof.Lookup(id)
+		first, last, ok := st.Interval()
+		if !ok {
+			continue
+		}
+		name := labels[id]
+		if name == "" {
+			name = fmt.Sprintf("op-%d", id)
+		}
+		attrs := []obs.Attr{
+			{Key: "rows", Val: st.Rows.Load()},
+			{Key: "wall", Val: st.Wall().String()},
+		}
+		if dfs := st.IO.DFSBytes.Load(); dfs > 0 {
+			attrs = append(attrs, obs.Attr{Key: "dfs_bytes", Val: dfs})
+		}
+		if cb := st.IO.CacheBytes.Load(); cb > 0 {
+			attrs = append(attrs, obs.Attr{Key: "cache_bytes", Val: cb})
+		}
+		if gs := st.GroupsSkipped.Load(); gs > 0 {
+			attrs = append(attrs, obs.Attr{Key: "groups_skipped", Val: gs})
+		}
+		tr.Emit(name, obs.CatOp, parent, first, last.Sub(first), attrs...)
+	}
+}

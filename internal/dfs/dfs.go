@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats aggregates I/O accounting across a filesystem. All counters are
@@ -65,38 +67,17 @@ type Snapshot struct {
 	InjectedReadFaults int64
 }
 
-// Snapshot copies the current counter values.
+// Snapshot copies the current counter values (obs.ReadStruct maps the
+// IOTimeNanos counter onto the IOTime duration by the Nanos convention).
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		BytesRead:          s.BytesRead.Load(),
-		BytesWritten:       s.BytesWritten.Load(),
-		ReadOps:            s.ReadOps.Load(),
-		WriteOps:           s.WriteOps.Load(),
-		LocalReads:         s.LocalReads.Load(),
-		RemoteReads:        s.RemoteReads.Load(),
-		MetaReadOps:        s.MetaReadOps.Load(),
-		MetaBytesRead:      s.MetaBytesRead.Load(),
-		IOTime:             time.Duration(s.IOTimeNanos.Load()),
-		CorruptReads:       s.CorruptReads.Load(),
-		InjectedReadFaults: s.InjectedReadFaults.Load(),
-	}
+	var out Snapshot
+	obs.ReadStruct(&out, s)
+	return out
 }
 
 // Diff returns the delta from an earlier snapshot.
 func (s Snapshot) Diff(earlier Snapshot) Snapshot {
-	return Snapshot{
-		BytesRead:          s.BytesRead - earlier.BytesRead,
-		BytesWritten:       s.BytesWritten - earlier.BytesWritten,
-		ReadOps:            s.ReadOps - earlier.ReadOps,
-		WriteOps:           s.WriteOps - earlier.WriteOps,
-		LocalReads:         s.LocalReads - earlier.LocalReads,
-		RemoteReads:        s.RemoteReads - earlier.RemoteReads,
-		MetaReadOps:        s.MetaReadOps - earlier.MetaReadOps,
-		MetaBytesRead:      s.MetaBytesRead - earlier.MetaBytesRead,
-		IOTime:             s.IOTime - earlier.IOTime,
-		CorruptReads:       s.CorruptReads - earlier.CorruptReads,
-		InjectedReadFaults: s.InjectedReadFaults - earlier.InjectedReadFaults,
-	}
+	return obs.DiffStruct(s, earlier)
 }
 
 // ReadFaultPolicy decides whether a read touching a block fails with a
@@ -457,16 +438,22 @@ func (w *FileWriter) Close() error {
 // classified local vs. remote, modeling MapReduce's locality-aware
 // scheduling.
 type FileReader struct {
-	fs   *FS
-	f    *file
-	name string
-	off  int64
-	node int
-	ctx  context.Context
+	fs    *FS
+	f     *file
+	name  string
+	off   int64
+	node  int
+	ctx   context.Context
+	tally *obs.IOTally
 }
 
 // SetNode declares which simulated node the reader runs on.
 func (r *FileReader) SetNode(n int) { r.node = n }
+
+// SetTally attributes this reader's bytes to a per-operator I/O tally
+// (EXPLAIN ANALYZE / span attribution) in addition to the global Stats.
+// nil detaches; the disabled cost is one nil check per read.
+func (r *FileReader) SetTally(t *obs.IOTally) { r.tally = t }
 
 // SetContext attaches a cancellation context: once ctx is cancelled every
 // subsequent read fails with ctx.Err(), so a cancelled or timed-out query
@@ -588,6 +575,7 @@ func (r *FileReader) ReadAtMeta(p []byte, off int64) (int, error) {
 	if n > 0 {
 		r.fs.stats.MetaReadOps.Add(1)
 		r.fs.stats.MetaBytesRead.Add(int64(n))
+		r.tally.AddMeta(int64(n))
 	}
 	return n, err
 }
@@ -637,6 +625,7 @@ func (fs *FS) chargeIO(n int64) {
 func (r *FileReader) account(off, n int64) {
 	r.fs.stats.BytesRead.Add(n)
 	r.fs.stats.ReadOps.Add(1)
+	r.tally.AddDFS(n)
 	r.fs.chargeIO(n)
 	first := off / r.fs.blockSize
 	last := (off + n - 1) / r.fs.blockSize

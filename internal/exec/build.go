@@ -6,6 +6,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -13,10 +14,15 @@ import (
 // parents (joins, demux targets) get exactly one runtime operator.
 type Builder struct {
 	built map[plan.Node]Operator
+	prof  *obs.PlanProfile
 }
 
 // NewBuilder creates a builder.
 func NewBuilder() *Builder { return &Builder{built: map[plan.Node]Operator{}} }
+
+// SetProfile makes subsequent builds insert per-edge profiling taps that
+// record into p (see tap.go). A nil profile builds untapped trees.
+func (b *Builder) SetProfile(p *obs.PlanProfile) { b.prof = p }
 
 // Build returns the runtime operator for a plan node, constructing it and
 // its downstream subtree on first use.
@@ -37,7 +43,7 @@ func (b *Builder) Build(n plan.Node) (Operator, error) {
 				return nil, err
 			}
 			withKids.kids().children = append(withKids.kids().children, childRef{
-				op:  childOp,
+				op:  b.tap(childNode, childOp),
 				tag: parentIndex(childNode, n),
 			})
 		}
@@ -93,7 +99,7 @@ func (b *Builder) construct(n plan.Node) (Operator, error) {
 			if err != nil {
 				return nil, err
 			}
-			op.children = append(op.children, childRef{op: childOp})
+			op.children = append(op.children, childRef{op: b.tap(childNode, childOp)})
 		}
 		return op, nil
 	case *plan.TableScan:
@@ -114,7 +120,7 @@ func (b *Builder) BuildMapChain(scan *plan.TableScan) ([]Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, op)
+		out = append(out, b.tap(c, op))
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("exec: scan %s has no consumers", scan.Label())

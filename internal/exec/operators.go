@@ -611,8 +611,9 @@ func (o *demuxOp) Process(row types.Row, newTag int) error {
 	}
 	child := o.children[o.node.ChildIdx[newTag]]
 	// A Mux target receives the restored old tag directly (its edge-based
-	// ParentTags translation only applies to in-phase operator edges).
-	if m, ok := child.op.(*muxOp); ok {
+	// ParentTags translation only applies to in-phase operator edges). The
+	// interface also matches a profiling tap wrapping a Mux.
+	if m, ok := child.op.(muxTarget); ok {
 		return m.processDirect(row, o.node.OldTag[newTag])
 	}
 	return child.op.Process(row, o.node.OldTag[newTag])

@@ -1,0 +1,105 @@
+// tap.go wraps operator edges with profiling taps. Taps exist only when
+// the builder is given a PlanProfile; an unprofiled build produces exactly
+// the operator tree it always did, so profiling costs nothing when off.
+//
+// A tap sits on one parent→child edge and charges the *child* node: its
+// row count is the child's input rows, and its wall time is the time spent
+// inside the child's subtree (inclusive — a parent's wall includes its
+// children's, since Process calls nest). Several edges into the same child
+// share one OpStats, so a Join's stats sum both inputs.
+package exec
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// muxTarget is satisfied by operators that accept rows whose reduce tag is
+// already resolved (muxOp, and taps wrapping one). Demux dispatches through
+// this interface instead of a concrete type so profiling taps are
+// transparent to the §5.2.2 coordination path.
+type muxTarget interface {
+	processDirect(row types.Row, tag int) error
+}
+
+// tapOp wraps an edge into inner, recording rows and inclusive wall time
+// into stats. It runs on a single task goroutine, so the first/last
+// interval is tracked locally and folded into stats at Flush.
+type tapOp struct {
+	inner Operator
+	stats *obs.OpStats
+	first time.Time
+	last  time.Time
+}
+
+func (t *tapOp) Init(ctx *Context) error { return t.inner.Init(ctx) }
+
+func (t *tapOp) Process(row types.Row, tag int) error {
+	start := time.Now()
+	if t.first.IsZero() {
+		t.first = start
+	}
+	err := t.inner.Process(row, tag)
+	t.last = time.Now()
+	t.stats.AddRows(1)
+	t.stats.AddWall(t.last.Sub(start))
+	return err
+}
+
+// processDirect mirrors Process for the Demux→Mux fast path.
+func (t *tapOp) processDirect(row types.Row, tag int) error {
+	start := time.Now()
+	if t.first.IsZero() {
+		t.first = start
+	}
+	var err error
+	if m, ok := t.inner.(muxTarget); ok {
+		err = m.processDirect(row, tag)
+	} else {
+		err = t.inner.Process(row, tag)
+	}
+	t.last = time.Now()
+	t.stats.AddRows(1)
+	t.stats.AddWall(t.last.Sub(start))
+	return err
+}
+
+func (t *tapOp) StartGroup() error {
+	start := time.Now()
+	err := t.inner.StartGroup()
+	t.stats.AddWall(time.Since(start))
+	return err
+}
+
+func (t *tapOp) EndGroup() error {
+	start := time.Now()
+	err := t.inner.EndGroup()
+	t.stats.AddWall(time.Since(start))
+	return err
+}
+
+// Flush times the inner flush (group-bys emit their hash tables here) and
+// folds the observed activity interval into the shared stats.
+func (t *tapOp) Flush() error {
+	start := time.Now()
+	if t.first.IsZero() {
+		t.first = start
+	}
+	err := t.inner.Flush()
+	t.last = time.Now()
+	t.stats.AddWall(t.last.Sub(start))
+	t.stats.MarkInterval(t.first, t.last)
+	return err
+}
+
+// tap wraps op with a profiling tap charging node n, or returns op
+// unchanged when the builder has no profile.
+func (b *Builder) tap(n plan.Node, op Operator) Operator {
+	if b.prof == nil {
+		return op
+	}
+	return &tapOp{inner: op, stats: b.prof.Op(n.Base().ID)}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/types"
 )
@@ -96,6 +97,10 @@ type ScanOptions struct {
 	// Node is the datanode the reading task runs on, for the DFS's
 	// locality accounting.
 	Node int
+	// Tally, when set, attributes the scan's I/O (DFS bytes via the file
+	// reader, cache bytes via ORC) to one consumer for per-operator
+	// profiles and trace spans.
+	Tally *obs.IOTally
 }
 
 // Create opens a writer for a new file at path.
@@ -147,6 +152,7 @@ func Open(fs *dfs.FS, path string, schema *types.Schema, kind Kind, scan ScanOpt
 	if scan.Ctx != nil {
 		fr.SetContext(scan.Ctx)
 	}
+	fr.SetTally(scan.Tally)
 	switch kind {
 	case Text:
 		return newTextReader(fr, schema, scan)
@@ -159,7 +165,7 @@ func Open(fs *dfs.FS, path string, schema *types.Schema, kind Kind, scan ScanOpt
 		if err != nil {
 			return nil, err
 		}
-		rr, err := r.Rows(orc.ReadOptions{Include: scan.Include, SArg: scan.SArg})
+		rr, err := r.Rows(orc.ReadOptions{Include: scan.Include, SArg: scan.SArg, Tally: scan.Tally})
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +194,16 @@ type orcReaderAdapter struct {
 
 func (a *orcReaderAdapter) Next() (types.Row, error) { return a.rr.Next() }
 func (a *orcReaderAdapter) Close() error             { return nil }
+
+// ScanCounters exposes the ORC scan's skip accounting (see
+// ScanCounterSource).
+func (a *orcReaderAdapter) ScanCounters() orc.ScanCounters { return a.rr.Counters() }
+
+// ScanCounterSource is implemented by readers that track stripe /
+// index-group selection (ORC); profiling callers type-assert for it.
+type ScanCounterSource interface {
+	ScanCounters() orc.ScanCounters
+}
 
 // projection maps included column names to indexes once per reader.
 type projection struct {

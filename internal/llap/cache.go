@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/orc"
 )
 
@@ -30,32 +31,23 @@ type CacheStats struct {
 // CacheSnapshot is an immutable copy of cache counters plus current
 // occupancy.
 type CacheSnapshot struct {
-	Hits        int64
-	Misses      int64
-	Evictions   int64
-	Inserts     int64
-	Rejected    int64
-	BytesSaved  int64
-	Faults      int64
-	BytesCached int64
-	Entries     int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Inserts    int64
+	Rejected   int64
+	BytesSaved int64
+	Faults     int64
+	// Occupancy is a gauge, not a counter: Diff keeps the current value.
+	BytesCached int64 `obs:",gauge"`
+	Entries     int64 `obs:",gauge"`
 }
 
 // Diff returns the delta of the cumulative counters from an earlier
 // snapshot; occupancy fields (BytesCached, Entries) keep their current
 // values, since they are gauges, not counters.
 func (s CacheSnapshot) Diff(earlier CacheSnapshot) CacheSnapshot {
-	return CacheSnapshot{
-		Hits:        s.Hits - earlier.Hits,
-		Misses:      s.Misses - earlier.Misses,
-		Evictions:   s.Evictions - earlier.Evictions,
-		Inserts:     s.Inserts - earlier.Inserts,
-		Rejected:    s.Rejected - earlier.Rejected,
-		BytesSaved:  s.BytesSaved - earlier.BytesSaved,
-		Faults:      s.Faults - earlier.Faults,
-		BytesCached: s.BytesCached,
-		Entries:     s.Entries,
-	}
+	return obs.DiffStruct(s, earlier)
 }
 
 // HitRate returns hits/(hits+misses), or 0 when no lookups happened.
@@ -101,6 +93,10 @@ func NewCache(budget int64) *Cache {
 
 // Budget returns the configured byte budget.
 func (c *Cache) Budget() int64 { return c.budget }
+
+// Stats exposes the live counters so they can be registered into an
+// obs.Registry; use Snapshot for an immutable copy.
+func (c *Cache) Stats() *CacheStats { return &c.stats }
 
 // SetFaultHook installs a lookup fault injector: a lookup for which hook
 // returns true is served as a miss (the Faults counter records it), so the
@@ -244,19 +240,11 @@ func (c *Cache) Unpin(key orc.ChunkKey) {
 
 // Snapshot copies the current counter values and occupancy.
 func (c *Cache) Snapshot() CacheSnapshot {
+	var out CacheSnapshot
+	obs.ReadStruct(&out, &c.stats)
 	c.mu.Lock()
-	bytes := c.bytes
-	entries := int64(c.lru.Len())
+	out.BytesCached = c.bytes
+	out.Entries = int64(c.lru.Len())
 	c.mu.Unlock()
-	return CacheSnapshot{
-		Hits:        c.stats.Hits.Load(),
-		Misses:      c.stats.Misses.Load(),
-		Evictions:   c.stats.Evictions.Load(),
-		Inserts:     c.stats.Inserts.Load(),
-		Rejected:    c.stats.Rejected.Load(),
-		BytesSaved:  c.stats.BytesSaved.Load(),
-		Faults:      c.stats.Faults.Load(),
-		BytesCached: bytes,
-		Entries:     entries,
-	}
+	return out
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/orc"
 )
 
@@ -67,7 +68,7 @@ type DaemonSnapshot struct {
 	Submitted     int64
 	Rejected      int64
 	Executed      int64
-	MaxConcurrent int64
+	MaxConcurrent int64 `obs:",gauge"` // high-water mark, not a delta
 }
 
 // Daemon is a persistent executor pool with an admission queue and the
@@ -128,6 +129,10 @@ func (d *Daemon) ChunkCache() *Cache { return d.chunks }
 
 // MetaCache returns the metadata cache, or nil when disabled.
 func (d *Daemon) MetaCache() *MetaCache { return d.meta }
+
+// Stats exposes the live pool counters so they can be registered into an
+// obs.Registry; use Snapshot for an immutable copy.
+func (d *Daemon) Stats() *DaemonStats { return &d.stats }
 
 func (d *Daemon) worker() {
 	defer d.wg.Done()
@@ -233,10 +238,7 @@ func (d *Daemon) Close() {
 
 // Snapshot copies the executor-pool counters.
 func (d *Daemon) Snapshot() DaemonSnapshot {
-	return DaemonSnapshot{
-		Submitted:     d.stats.Submitted.Load(),
-		Rejected:      d.stats.Rejected.Load(),
-		Executed:      d.stats.Executed.Load(),
-		MaxConcurrent: d.stats.MaxConcurrent.Load(),
-	}
+	var out DaemonSnapshot
+	obs.ReadStruct(&out, &d.stats)
+	return out
 }

@@ -29,7 +29,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// taskSpanName labels a task-attempt span: "map 3 a1" / "reduce 0 a0".
+func taskSpanName(tc *TaskContext) string {
+	kind := "map"
+	if tc.Reduce {
+		kind = "reduce"
+	}
+	return fmt.Sprintf("%s %d a%d", kind, tc.TaskID, tc.Attempt)
+}
 
 // ShuffleRecord is one record emitted by a map task toward the shuffle.
 // Key bytes determine partitioning, sorting and grouping; Tag identifies
@@ -176,44 +187,17 @@ type CountersSnapshot struct {
 	BlacklistedNodes int64
 }
 
-// Snapshot copies the counters.
+// Snapshot copies the counters (obs.ReadStruct maps nanosecond counters
+// onto the snapshot's Duration fields by name).
 func (c *Counters) Snapshot() CountersSnapshot {
-	return CountersSnapshot{
-		Jobs:             c.Jobs.Load(),
-		MapTasks:         c.MapTasks.Load(),
-		ReduceTasks:      c.ReduceTasks.Load(),
-		ShuffleRecords:   c.ShuffleRecords.Load(),
-		ShuffleBytes:     c.ShuffleBytes.Load(),
-		MapCPU:           time.Duration(c.MapCPU.Load()),
-		ReduceCPU:        time.Duration(c.ReduceCPU.Load()),
-		LaunchOverhead:   time.Duration(c.LaunchOverhead.Load()),
-		FailedTasks:      c.FailedTasks.Load(),
-		RetriedTasks:     c.RetriedTasks.Load(),
-		SpeculativeTasks: c.SpeculativeTasks.Load(),
-		WastedCPU:        time.Duration(c.WastedCPU.Load()),
-		Backoff:          time.Duration(c.Backoff.Load()),
-		BlacklistedNodes: c.BlacklistedNodes.Load(),
-	}
+	var out CountersSnapshot
+	obs.ReadStruct(&out, c)
+	return out
 }
 
 // Diff subtracts an earlier snapshot.
 func (s CountersSnapshot) Diff(earlier CountersSnapshot) CountersSnapshot {
-	return CountersSnapshot{
-		Jobs:             s.Jobs - earlier.Jobs,
-		MapTasks:         s.MapTasks - earlier.MapTasks,
-		ReduceTasks:      s.ReduceTasks - earlier.ReduceTasks,
-		ShuffleRecords:   s.ShuffleRecords - earlier.ShuffleRecords,
-		ShuffleBytes:     s.ShuffleBytes - earlier.ShuffleBytes,
-		MapCPU:           s.MapCPU - earlier.MapCPU,
-		ReduceCPU:        s.ReduceCPU - earlier.ReduceCPU,
-		LaunchOverhead:   s.LaunchOverhead - earlier.LaunchOverhead,
-		FailedTasks:      s.FailedTasks - earlier.FailedTasks,
-		RetriedTasks:     s.RetriedTasks - earlier.RetriedTasks,
-		SpeculativeTasks: s.SpeculativeTasks - earlier.SpeculativeTasks,
-		WastedCPU:        s.WastedCPU - earlier.WastedCPU,
-		Backoff:          s.Backoff - earlier.Backoff,
-		BlacklistedNodes: s.BlacklistedNodes - earlier.BlacklistedNodes,
-	}
+	return obs.DiffStruct(s, earlier)
 }
 
 // CumulativeCPU is the total task time, the Figure 12(b) metric.
@@ -262,11 +246,18 @@ type Config struct {
 type Engine struct {
 	cfg      Config
 	counters Counters
+	taskHist atomic.Pointer[obs.Histogram] // optional attempt-duration histogram
 
 	mu           sync.Mutex
 	nodeFailures map[int]int
 	blacklist    map[int]bool
 }
+
+// SetTaskHistogram installs an optional histogram observing every task
+// attempt's duration in nanoseconds (power-of-two latency buckets). A nil
+// histogram is a no-op. Safe to call while queries run (the field is an
+// atomic pointer: registries attach mid-session).
+func (e *Engine) SetTaskHistogram(h *obs.Histogram) { e.taskHist.Store(h) }
 
 // NewEngine creates an engine.
 func NewEngine(cfg Config) *Engine {
@@ -413,7 +404,13 @@ func (e *Engine) Run(job *Job) error { return e.RunContext(context.Background(),
 // the entire Map phase has finished") the shuffle sort and all reduce
 // tasks. Cancelling ctx stops in-flight tasks promptly and returns
 // ctx.Err().
-func (e *Engine) RunContext(ctx context.Context, job *Job) error {
+func (e *Engine) RunContext(ctx context.Context, job *Job) (err error) {
+	ctx, sp := obs.StartSpan(ctx, job.Name, obs.CatJob)
+	if sp != nil {
+		sp.SetAttr("splits", len(job.Splits))
+		sp.SetAttr("reduces", job.NumReduces)
+		defer func() { sp.FinishErr(err) }()
+	}
 	e.counters.Jobs.Add(1)
 	if !job.ChainedLaunch {
 		e.counters.LaunchOverhead.Add(int64(e.cfg.JobLaunchOverhead))
@@ -555,6 +552,19 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 	// doAttempt runs the attempt body: straggler delay, work, injected
 	// crash. It is the part that executes on a slot or pool worker.
 	doAttempt := func(tc *TaskContext) (commit func() error, dur time.Duration, err error) {
+		// Task-attempt span: tc.Ctx derives from the query context, so a
+		// tracer installed by the driver propagates here automatically.
+		// The replaced tc.Ctx makes operator spans nest under the attempt.
+		sctx, sp := obs.StartSpan(tc.Ctx, taskSpanName(tc), obs.CatTask)
+		if sp != nil {
+			tc.Ctx = sctx
+			sp.SetAttr("job", tc.JobName)
+			sp.SetAttr("attempt", tc.Attempt)
+			sp.SetAttr("node", tc.Node)
+			if tc.Speculative {
+				sp.SetAttr("speculative", true)
+			}
+		}
 		start := time.Now()
 		defer func() {
 			dur = time.Since(start)
@@ -563,6 +573,8 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 			} else {
 				e.counters.MapCPU.Add(int64(dur))
 			}
+			e.taskHist.Load().ObserveDuration(dur)
+			sp.FinishErr(err)
 		}()
 		// A panicking attempt is a failed attempt, not a dead engine: real
 		// task runtimes contain child-JVM crashes the same way. The retry

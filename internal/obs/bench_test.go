@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDisabledTracingAllocatesNothing pins the zero-cost claim harder than
+// a benchmark can: the disabled path (no tracer in context) must not
+// allocate at all.
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpan(ctx, "q", CatQuery)
+		sp.SetAttr("k", 1)
+		sp.Finish()
+		_ = c2
+	})
+	if allocs != 0 {
+		t.Errorf("disabled StartSpan allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNilTracerStartSpan measures the disabled fast path: two context
+// lookups and nil-receiver no-ops. Compare with BenchmarkEnabledStartSpan
+// to see what turning tracing on costs; the disabled number is the one
+// every untraced query pays and must stay within noise of doing nothing.
+func BenchmarkNilTracerStartSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "q", CatQuery)
+		sp.SetAttr("k", 1)
+		sp.Finish()
+	}
+}
+
+// BenchmarkNilTracerMetrics measures nil-receiver metric mutation — the
+// cost operators pay when no profile is attached.
+func BenchmarkNilTracerMetrics(b *testing.B) {
+	var st *OpStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.AddRows(1)
+		st.Tally().AddDFS(100)
+	}
+}
+
+func BenchmarkEnabledStartSpan(b *testing.B) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "q", CatQuery)
+		sp.Finish()
+	}
+}

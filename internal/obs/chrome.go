@@ -1,0 +1,133 @@
+// chrome.go exports a tracer's spans in the Chrome trace_event JSON
+// format, so a query run opens directly in chrome://tracing or Perfetto
+// (ui.perfetto.dev): one process, lane 0 for driver-side work (parse /
+// plan / optimize / per-job spans), and one lane per concurrently running
+// task attempt. Operator spans render nested inside their attempt.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds relative to trace start
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace as Chrome trace_event JSON. Still-open spans
+// are exported truncated at the current clock, so a cancelled query still
+// yields a loadable trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans() // sorted by (start, id): parents precede children
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+
+	// Lane assignment: task-attempt spans get the first free lane
+	// (greedy interval scheduling), everything else inherits the nearest
+	// ancestor's lane, defaulting to lane 0 (the driver).
+	lane := map[int64]int{}
+	parent := map[int64]int64{}
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	var laneEnd []time.Time
+	for _, s := range spans {
+		if s.Cat == CatTask {
+			l := -1
+			for i, end := range laneEnd {
+				if !end.After(s.Start) {
+					l = i
+					break
+				}
+			}
+			if l < 0 {
+				l = len(laneEnd)
+				laneEnd = append(laneEnd, time.Time{})
+			}
+			laneEnd[l] = s.Start.Add(s.Dur)
+			lane[s.ID] = l + 1
+			continue
+		}
+		l := 0
+		for p := s.Parent; p != 0; p = parent[p] {
+			if pl, ok := lane[p]; ok {
+				l = pl
+				break
+			}
+		}
+		lane[s.ID] = l
+	}
+
+	maxLane := 0
+	for _, l := range lane {
+		if l > maxLane {
+			maxLane = l
+		}
+	}
+	events := make([]traceEvent, 0, len(spans)+maxLane+2)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "hive query"},
+	})
+	for l := 0; l <= maxLane; l++ {
+		name := "driver"
+		if l > 0 {
+			name = "tasks"
+		}
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: l,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]any{}
+		for _, a := range s.Attrs { // last write wins
+			args[a.Key] = a.Val
+		}
+		if s.Truncated {
+			args["truncated"] = true
+		}
+		dur := s.Dur.Microseconds()
+		if dur < 1 {
+			dur = 1 // chrome://tracing drops zero-width slices
+		}
+		events = append(events, traceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.Start.Sub(epoch).Microseconds(), Dur: dur,
+			PID: 1, TID: lane[s.ID], Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the Chrome trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds a deterministic trace: a query span on the driver
+// lane, two overlapping task attempts (forcing two task lanes), and a
+// retroactive operator span nested in the first attempt.
+func goldenTrace() *Tracer {
+	tr := scriptClock(time.Unix(1_700_000_000, 0), 10*time.Microsecond)
+	q := tr.Start("q1", CatQuery, nil) // t+0
+	q.SetAttr("engine", "llap")
+	t1 := tr.Start("q1-job0-m0-a0", CatTask, q) // t+10
+	t1.SetAttr("attempt", 0)
+	t2 := tr.Start("q1-job0-m1-a0", CatTask, q) // t+20, overlaps t1
+	t2.Finish()                                 // t+30
+	t1.Finish()                                 // t+40
+	tr.Emit("TS-0[lineitem]", CatOp, t1, time.Unix(1_700_000_000, 15_000), 20*time.Microsecond,
+		Attr{"rows", int64(3000)}, Attr{"dfs_bytes", int64(78297)})
+	q.Finish() // t+50
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape validates the exporter's structural promises
+// independent of the golden bytes: valid JSON, metadata present, task
+// lanes distinct for overlapping attempts, operator span on its
+// attempt's lane.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	lanes := map[string]int{}
+	var metaEvents, sliceEvents int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metaEvents++
+		case "X":
+			sliceEvents++
+			lanes[e.Name] = e.TID
+			if e.Dur < 1 {
+				t.Errorf("slice %q has zero width", e.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	// process_name + one thread_name per lane (driver + 2 task lanes).
+	if metaEvents != 4 {
+		t.Errorf("metadata events = %d, want 4", metaEvents)
+	}
+	if sliceEvents != 4 {
+		t.Errorf("slice events = %d, want 4", sliceEvents)
+	}
+	if lanes["q1"] != 0 {
+		t.Errorf("query span on lane %d, want driver lane 0", lanes["q1"])
+	}
+	if lanes["q1-job0-m0-a0"] == lanes["q1-job0-m1-a0"] {
+		t.Error("overlapping task attempts share a lane")
+	}
+	if lanes["TS-0[lineitem]"] != lanes["q1-job0-m0-a0"] {
+		t.Errorf("operator span on lane %d, want its attempt's lane %d",
+			lanes["TS-0[lineitem]"], lanes["q1-job0-m0-a0"])
+	}
+}

@@ -1,0 +1,304 @@
+// metrics.go is the unified metrics registry: named counters, gauges and
+// power-of-two histograms with one diffable snapshot type. The existing
+// ad-hoc stats structs (mapred.Counters, dfs.Stats, llap.CacheStats, ...)
+// register their atomic fields here via RegisterStruct, so a driver-wide
+// view is one Snapshot() call and a per-query view is a Diff of two.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricKind distinguishes how values diff: counters and histograms
+// subtract, gauges keep the current value.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Counter is a monotonically increasing metric. nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value. nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets covers the full int64 range: bucket i counts observations v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0 holds v <= 0.
+const histBuckets = 65
+
+// Histogram counts observations into power-of-two buckets — latency
+// distributions without per-observation allocation. nil-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+func (h *Histogram) snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time histogram state.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper edge of the first bucket whose cumulative count reaches q.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return int64(^uint64(0) >> 1)
+			}
+			return 1 << i
+		}
+	}
+	return int64(^uint64(0) >> 1)
+}
+
+// Mean returns the arithmetic mean of all observations.
+func (h HistSnapshot) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+func (h HistSnapshot) diff(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+type metric struct {
+	name string
+	kind MetricKind
+	read func() int64
+	hist *Histogram
+}
+
+// Registry holds named metrics. One per Driver; safe for concurrent use.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{m: map[string]*metric{}} }
+
+func (r *Registry) register(mt *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[mt.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", mt.name))
+	}
+	r.m[mt.name] = mt
+}
+
+// Counter creates and registers a counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, kind: KindCounter, read: c.Load})
+	return c
+}
+
+// Gauge creates and registers a gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, kind: KindGauge, read: g.Load})
+	return g
+}
+
+// Histogram creates and registers a power-of-two histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.register(&metric{name: name, kind: KindHistogram, hist: h})
+	return h
+}
+
+// RegisterFunc adopts an externally owned value (typically an atomic a
+// stats struct already maintains) under the given name and kind.
+func (r *Registry) RegisterFunc(name string, kind MetricKind, read func() int64) {
+	r.register(&metric{name: name, kind: kind, read: read})
+}
+
+// RegisterStruct registers every atomic.Int64 field of *src (a stats
+// struct) as "<prefix>.<FieldName>". Fields tagged `obs:",gauge"`
+// register as gauges; everything else as counters. This is how the
+// pre-existing stats structs join the registry without changing their
+// hot-path mutation sites.
+func RegisterStruct(r *Registry, prefix string, src any) {
+	v := reflect.ValueOf(src).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" {
+			continue // unexported
+		}
+		a, ok := v.Field(i).Addr().Interface().(*atomic.Int64)
+		if !ok {
+			continue
+		}
+		kind := KindCounter
+		if tagHasGauge(f.Tag) {
+			kind = KindGauge
+		}
+		r.RegisterFunc(prefix+"."+f.Name, kind, a.Load)
+	}
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Values: make(map[string]Value, len(r.m))}
+	for name, mt := range r.m {
+		v := Value{Kind: mt.kind}
+		if mt.hist != nil {
+			v.Hist = mt.hist.snapshot()
+			v.N = v.Hist.Count
+		} else {
+			v.N = mt.read()
+		}
+		s.Values[name] = v
+	}
+	return s
+}
+
+// Value is one metric's snapshot state.
+type Value struct {
+	Kind MetricKind
+	N    int64
+	Hist HistSnapshot
+}
+
+// Snapshot is a diffable point-in-time view of a registry.
+type Snapshot struct {
+	Values map[string]Value
+}
+
+// Diff returns the delta since prev: counters and histograms subtract,
+// gauges keep their current value.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{Values: make(map[string]Value, len(s.Values))}
+	for name, v := range s.Values {
+		p, ok := prev.Values[name]
+		if ok && v.Kind != KindGauge {
+			v.N -= p.N
+			if v.Kind == KindHistogram {
+				v.Hist = v.Hist.diff(p.Hist)
+			}
+		}
+		out.Values[name] = v
+	}
+	return out
+}
+
+// Get returns the named metric's value (histograms: observation count).
+func (s Snapshot) Get(name string) int64 { return s.Values[name].N }
+
+// Hist returns the named histogram's state.
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Values[name].Hist }
+
+// String renders non-zero metrics, one per line, sorted by name.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s.Values))
+	for name := range s.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		v := s.Values[name]
+		if v.N == 0 {
+			continue
+		}
+		if v.Kind == KindHistogram {
+			fmt.Fprintf(&sb, "%s count=%d mean=%d p50<=%d p99<=%d\n",
+				name, v.Hist.Count, v.Hist.Mean(), v.Hist.Quantile(0.5), v.Hist.Quantile(0.99))
+		} else {
+			fmt.Fprintf(&sb, "%s %d\n", name, v.N)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	g.Add(1)
+	h.Observe(10)
+	h.ObserveDuration(time.Second)
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Fatal("nil metrics returned nonzero values")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// Power-of-two buckets: v lands in bucket bits.Len64(v), i.e. the
+	// quantile upper bound for v in [2^(i-1), 2^i) is 2^i - 1... the
+	// reported bound is the bucket's inclusive top.
+	for _, v := range []int64{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	h.Observe(0)
+	h.Observe(-7) // non-positive values share bucket 0
+	s := h.snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 1+2+3+4+100+1000-7 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if q := s.Quantile(0); q > 0 {
+		t.Errorf("q0 = %d, want the bottom bucket", q)
+	}
+	if q := s.Quantile(1); q < 1000 {
+		t.Errorf("q1 = %d, want a bound covering the max observation", q)
+	}
+	if m := s.Mean(); m != (1+2+3+4+100+1000-7)/8 {
+		t.Errorf("mean = %d", m)
+	}
+}
+
+func TestHistogramDiff(t *testing.T) {
+	var h Histogram
+	h.Observe(8)
+	before := h.snapshot()
+	h.Observe(16)
+	h.Observe(16)
+	d := h.snapshot().diff(before)
+	if d.Count != 2 || d.Sum != 32 {
+		t.Fatalf("diff count=%d sum=%d, want 2/32", d.Count, d.Sum)
+	}
+}
+
+func TestRegistrySnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads")
+	g := r.Gauge("entries")
+	h := r.Histogram("latency")
+	c.Add(10)
+	g.Set(7)
+	h.ObserveDuration(100 * time.Nanosecond)
+	before := r.Snapshot()
+	c.Add(5)
+	g.Set(9)
+	h.ObserveDuration(200 * time.Nanosecond)
+	d := r.Snapshot().Diff(before)
+	if got := d.Get("reads"); got != 5 {
+		t.Errorf("counter diff = %d, want 5", got)
+	}
+	if got := d.Get("entries"); got != 9 {
+		t.Errorf("gauge diff = %d, want current value 9", got)
+	}
+	if got := d.Get("latency"); got != 1 {
+		t.Errorf("histogram diff count = %d, want 1", got)
+	}
+	if d.String() == "" {
+		t.Error("diff rendered empty")
+	}
+}
+
+type fakeStats struct {
+	Reads   atomic.Int64
+	Entries atomic.Int64 `obs:",gauge"`
+	hidden  atomic.Int64 //nolint:unused // must be skipped by reflection
+}
+
+func TestRegisterStructAdoptsAtomics(t *testing.T) {
+	var st fakeStats
+	r := NewRegistry()
+	RegisterStruct(r, "fake", &st)
+	st.Reads.Add(3)
+	st.Entries.Store(2)
+	s := r.Snapshot()
+	if s.Get("fake.Reads") != 3 {
+		t.Errorf("fake.Reads = %d, want 3 (adopted, not copied)", s.Get("fake.Reads"))
+	}
+	if v := s.Values["fake.Entries"]; v.N != 2 || v.Kind != KindGauge {
+		t.Errorf("fake.Entries = %+v, want gauge 2", v)
+	}
+	st.Reads.Add(1)
+	d := r.Snapshot().Diff(s)
+	if d.Get("fake.Reads") != 1 || d.Get("fake.Entries") != 2 {
+		t.Errorf("diff reads=%d entries=%d, want 1 and current 2", d.Get("fake.Reads"), d.Get("fake.Entries"))
+	}
+}
+
+type srcStats struct {
+	BytesRead   atomic.Int64
+	IOTimeNanos atomic.Int64
+	Entries     atomic.Int64
+}
+
+type snapStats struct {
+	BytesRead int64
+	IOTime    time.Duration // falls back to IOTimeNanos
+	Renamed   int64         `obs:"Entries"`
+	Computed  int64         // no source: left for the caller
+}
+
+func TestReadStructAndDiffStruct(t *testing.T) {
+	var src srcStats
+	src.BytesRead.Store(100)
+	src.IOTimeNanos.Store(int64(2 * time.Second))
+	src.Entries.Store(4)
+	var snap snapStats
+	ReadStruct(&snap, &src)
+	if snap.BytesRead != 100 || snap.IOTime != 2*time.Second || snap.Renamed != 4 || snap.Computed != 0 {
+		t.Fatalf("ReadStruct = %+v", snap)
+	}
+	src.BytesRead.Add(50)
+	var cur snapStats
+	ReadStruct(&cur, &src)
+	d := DiffStruct(cur, snap)
+	if d.BytesRead != 50 || d.IOTime != 0 || d.Renamed != 0 {
+		t.Fatalf("DiffStruct = %+v", d)
+	}
+}
+
+// TestConcurrentRegistryAccess exercises mid-query reads: mutators hammer
+// adopted atomics and registry-owned metrics while snapshots are taken.
+// Exists for the race detector as much as for the assertions.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	var st fakeStats
+	r := NewRegistry()
+	RegisterStruct(r, "fake", &st)
+	h := r.Histogram("lat")
+	const writers, iters = 4, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				st.Reads.Add(1)
+				st.Entries.Store(5)
+				h.Observe(64)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot().Diff(r.Snapshot())
+	}
+	wg.Wait()
+	if got := r.Snapshot().Get("fake.Reads"); got != writers*iters {
+		t.Errorf("fake.Reads = %d, want %d", got, writers*iters)
+	}
+}

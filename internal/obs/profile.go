@@ -1,0 +1,271 @@
+// profile.go holds the per-operator query profile behind EXPLAIN ANALYZE:
+// a PlanProfile maps plan node IDs to OpStats (rows, wall time, I/O), and
+// an IOTally attributes DFS vs cache bytes to the one scan that caused
+// them. Task attempts accumulate into private profiles that are merged
+// into the query's profile only when the attempt commits, so retried and
+// speculative attempts never double-count rows.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IOTally attributes I/O to one consumer (a table scan). It is threaded
+// through dfs.FileReader and the ORC reader. All methods are nil-safe.
+type IOTally struct {
+	DFSBytes    atomic.Int64 // bytes served by datanode reads (incl. metadata)
+	DFSReads    atomic.Int64
+	MetaBytes   atomic.Int64 // subset of DFSBytes: footer/index reads
+	CacheBytes  atomic.Int64 // decompressed bytes served from the LLAP cache
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+}
+
+// AddDFS records one datanode read of n bytes.
+func (t *IOTally) AddDFS(n int64) {
+	if t == nil {
+		return
+	}
+	t.DFSBytes.Add(n)
+	t.DFSReads.Add(1)
+}
+
+// AddMeta records n bytes of the preceding DFS reads as metadata.
+func (t *IOTally) AddMeta(n int64) {
+	if t == nil {
+		return
+	}
+	t.MetaBytes.Add(n)
+}
+
+// CacheHit records n decompressed bytes served from cache.
+func (t *IOTally) CacheHit(n int64) {
+	if t == nil {
+		return
+	}
+	t.CacheHits.Add(1)
+	t.CacheBytes.Add(n)
+}
+
+// CacheMiss records a cache lookup that fell through to DFS.
+func (t *IOTally) CacheMiss() {
+	if t == nil {
+		return
+	}
+	t.CacheMisses.Add(1)
+}
+
+func (t *IOTally) merge(o *IOTally) {
+	t.DFSBytes.Add(o.DFSBytes.Load())
+	t.DFSReads.Add(o.DFSReads.Load())
+	t.MetaBytes.Add(o.MetaBytes.Load())
+	t.CacheBytes.Add(o.CacheBytes.Load())
+	t.CacheHits.Add(o.CacheHits.Load())
+	t.CacheMisses.Add(o.CacheMisses.Load())
+}
+
+// OpStats accumulates one plan operator's runtime profile. All methods
+// are nil-safe; wall time is inclusive of the operator's subtree.
+type OpStats struct {
+	Rows      atomic.Int64 // rows into the operator (out of a scan)
+	Batches   atomic.Int64 // vectorized batches (scans only)
+	WallNanos atomic.Int64
+
+	// ORC scan selectivity (scans only).
+	StripesRead    atomic.Int64
+	StripesSkipped atomic.Int64
+	GroupsRead     atomic.Int64
+	GroupsSkipped  atomic.Int64
+
+	// Activity interval in unix nanos (0 = never active), for placing the
+	// operator's span on the trace timeline.
+	FirstNanos atomic.Int64
+	LastNanos  atomic.Int64
+
+	IO IOTally
+}
+
+// AddRows records n rows entering the operator.
+func (s *OpStats) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.Rows.Add(n)
+}
+
+// AddBatch records one vectorized batch of n rows.
+func (s *OpStats) AddBatch(n int64) {
+	if s == nil {
+		return
+	}
+	s.Batches.Add(1)
+	s.Rows.Add(n)
+}
+
+// AddWall adds inclusive wall time.
+func (s *OpStats) AddWall(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.WallNanos.Add(int64(d))
+}
+
+// Wall returns the accumulated inclusive wall time.
+func (s *OpStats) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.WallNanos.Load())
+}
+
+// AddScanCounters folds an ORC scan's stripe / index-group selection
+// counters in.
+func (s *OpStats) AddScanCounters(stripesRead, stripesSkipped, groupsRead, groupsSkipped int) {
+	if s == nil {
+		return
+	}
+	s.StripesRead.Add(int64(stripesRead))
+	s.StripesSkipped.Add(int64(stripesSkipped))
+	s.GroupsRead.Add(int64(groupsRead))
+	s.GroupsSkipped.Add(int64(groupsSkipped))
+}
+
+// MarkInterval widens the operator's activity interval to include
+// [first, last]. Zero times are ignored.
+func (s *OpStats) MarkInterval(first, last time.Time) {
+	if s == nil || first.IsZero() {
+		return
+	}
+	fn := first.UnixNano()
+	for {
+		cur := s.FirstNanos.Load()
+		if cur != 0 && cur <= fn {
+			break
+		}
+		if s.FirstNanos.CompareAndSwap(cur, fn) {
+			break
+		}
+	}
+	ln := last.UnixNano()
+	for {
+		cur := s.LastNanos.Load()
+		if cur >= ln {
+			break
+		}
+		if s.LastNanos.CompareAndSwap(cur, ln) {
+			break
+		}
+	}
+}
+
+// Interval returns the activity interval, with ok false when the operator
+// never marked one.
+func (s *OpStats) Interval() (first, last time.Time, ok bool) {
+	if s == nil {
+		return time.Time{}, time.Time{}, false
+	}
+	fn := s.FirstNanos.Load()
+	if fn == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	ln := s.LastNanos.Load()
+	if ln < fn {
+		ln = fn
+	}
+	return time.Unix(0, fn), time.Unix(0, ln), true
+}
+
+// Tally returns the operator's I/O tally (nil for a nil receiver, which
+// downstream readers treat as "don't attribute").
+func (s *OpStats) Tally() *IOTally {
+	if s == nil {
+		return nil
+	}
+	return &s.IO
+}
+
+func (s *OpStats) merge(o *OpStats) {
+	s.Rows.Add(o.Rows.Load())
+	s.Batches.Add(o.Batches.Load())
+	s.WallNanos.Add(o.WallNanos.Load())
+	s.StripesRead.Add(o.StripesRead.Load())
+	s.StripesSkipped.Add(o.StripesSkipped.Load())
+	s.GroupsRead.Add(o.GroupsRead.Load())
+	s.GroupsSkipped.Add(o.GroupsSkipped.Load())
+	if fn := o.FirstNanos.Load(); fn != 0 {
+		s.MarkInterval(time.Unix(0, fn), time.Unix(0, o.LastNanos.Load()))
+	}
+	s.IO.merge(&o.IO)
+}
+
+// PlanProfile maps plan node IDs to operator stats. A nil *PlanProfile is
+// a valid disabled profile: Op returns nil, whose methods no-op.
+type PlanProfile struct {
+	mu  sync.Mutex
+	ops map[int]*OpStats
+}
+
+// NewPlanProfile creates an empty profile.
+func NewPlanProfile() *PlanProfile { return &PlanProfile{ops: map[int]*OpStats{}} }
+
+// Op returns the stats cell for a plan node ID, creating it on first use.
+func (p *PlanProfile) Op(id int) *OpStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.ops[id]
+	if st == nil {
+		st = &OpStats{}
+		p.ops[id] = st
+	}
+	return st
+}
+
+// Lookup returns the stats cell for id, or nil if the operator never ran.
+func (p *PlanProfile) Lookup(id int) *OpStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ops[id]
+}
+
+// Merge folds a (committed) attempt's profile into p.
+func (p *PlanProfile) Merge(o *PlanProfile) {
+	if p == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	ids := make([]int, 0, len(o.ops))
+	for id := range o.ops {
+		ids = append(ids, id)
+	}
+	o.mu.Unlock()
+	for _, id := range ids {
+		o.mu.Lock()
+		src := o.ops[id]
+		o.mu.Unlock()
+		p.Op(id).merge(src)
+	}
+}
+
+// IDs returns the profiled node IDs, sorted.
+func (p *PlanProfile) IDs() []int {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.ops))
+	for id := range p.ops {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

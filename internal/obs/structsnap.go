@@ -1,0 +1,97 @@
+// structsnap.go replaces the copy-pasted Snapshot()/Diff() boilerplate
+// that mapred.Counters, dfs.Stats and llap.CacheStats each hand-rolled:
+// ReadStruct fills a plain snapshot struct from an atomic stats struct by
+// field name, and DiffStruct subtracts two snapshots field-wise. The
+// typed snapshot structs and their public accessors stay; only the
+// plumbing is shared.
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// ReadStruct fills *dst, a plain snapshot struct, from *src, a stats
+// struct whose fields are atomic.Int64 (or plain int64). Fields match by
+// name; a dst tag `obs:"SrcName"` overrides the source field name, and a
+// time.Duration dst field additionally falls back to "<Name>Nanos" (the
+// convention for nanosecond counters, e.g. dfs.Stats.IOTimeNanos →
+// Snapshot.IOTime). dst fields with no source are left at their zero
+// value for the caller to fill (computed gauges).
+func ReadStruct(dst, src any) {
+	dv := reflect.ValueOf(dst).Elem()
+	sv := reflect.ValueOf(src).Elem()
+	dt := dv.Type()
+	for i := 0; i < dt.NumField(); i++ {
+		f := dt.Field(i)
+		if f.PkgPath != "" || dv.Field(i).Kind() != reflect.Int64 {
+			continue
+		}
+		name := f.Name
+		if tag, ok := f.Tag.Lookup("obs"); ok {
+			if n, _, _ := strings.Cut(tag, ","); n != "" {
+				name = n
+			}
+		}
+		sf := sv.FieldByName(name)
+		if !sf.IsValid() && f.Type == durationType {
+			sf = sv.FieldByName(name + "Nanos")
+		}
+		if !sf.IsValid() {
+			continue
+		}
+		var v int64
+		if a, ok := sf.Addr().Interface().(*atomic.Int64); ok {
+			v = a.Load()
+		} else if sf.Kind() == reflect.Int64 {
+			v = sf.Int()
+		} else {
+			continue
+		}
+		dv.Field(i).SetInt(v)
+	}
+}
+
+// DiffStruct returns cur - prev field-wise for integer fields (including
+// time.Duration). Fields tagged `obs:",gauge"` keep their current value
+// — cache sizes and entry counts describe "now", not a delta.
+func DiffStruct[S any](cur, prev S) S {
+	out := cur
+	ov := reflect.ValueOf(&out).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	t := ov.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" || tagHasGauge(f.Tag) {
+			continue
+		}
+		fv := ov.Field(i)
+		switch fv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(fv.Int() - pv.Field(i).Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(fv.Uint() - pv.Field(i).Uint())
+		}
+	}
+	return out
+}
+
+func tagHasGauge(tag reflect.StructTag) bool {
+	t, ok := tag.Lookup("obs")
+	if !ok {
+		return false
+	}
+	_, opts, _ := strings.Cut(t, ",")
+	for opts != "" {
+		var o string
+		o, opts, _ = strings.Cut(opts, ",")
+		if o == "gauge" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// scriptClock returns a tracer whose clock starts at base and advances by
+// step on every reading, making span intervals deterministic.
+func scriptClock(base time.Time, step time.Duration) *Tracer {
+	tr := NewTracer()
+	cur := base
+	tr.now = func() time.Time {
+		t := cur
+		cur = cur.Add(step)
+		return t
+	}
+	return tr
+}
+
+func TestStartSpanWithoutTracerIsFree(t *testing.T) {
+	ctx := context.Background()
+	if TracerFrom(ctx) != nil {
+		t.Fatal("empty context has a tracer")
+	}
+	ctx2, sp := StartSpan(ctx, "q1", CatQuery)
+	if sp != nil {
+		t.Fatal("StartSpan without a tracer returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a tracer replaced the context")
+	}
+	// Every method is a no-op on the nil results.
+	sp.SetAttr("k", 1)
+	sp.Finish()
+	sp.FinishErr(nil)
+	var tr *Tracer
+	tr.Emit("x", CatOp, nil, time.Now(), time.Second)
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer exported spans")
+	}
+	if tr.Start("x", CatOp, nil) != nil {
+		t.Fatal("nil tracer started a span")
+	}
+}
+
+func TestSpanNestingAndContext(t *testing.T) {
+	tr := scriptClock(time.Unix(1000, 0), time.Microsecond)
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatal("tracer did not round-trip through the context")
+	}
+	ctx, q := StartSpan(ctx, "q1", CatQuery)
+	if SpanFrom(ctx) != q {
+		t.Fatal("query span not current in its context")
+	}
+	ctx2, job := StartSpan(ctx, "job0", CatJob)
+	_, task := StartSpan(ctx2, "m0", CatTask)
+	task.Finish()
+	job.Finish()
+	q.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["q1"].Parent != 0 {
+		t.Errorf("query span has parent %d, want root", byName["q1"].Parent)
+	}
+	if byName["job0"].Parent != byName["q1"].ID {
+		t.Errorf("job parent = %d, want query id %d", byName["job0"].Parent, byName["q1"].ID)
+	}
+	if byName["m0"].Parent != byName["job0"].ID {
+		t.Errorf("task parent = %d, want job id %d", byName["m0"].Parent, byName["job0"].ID)
+	}
+}
+
+func TestOutOfOrderFinish(t *testing.T) {
+	tr := scriptClock(time.Unix(1000, 0), time.Microsecond)
+	parent := tr.Start("parent", CatJob, nil)
+	child := tr.Start("child", CatTask, parent)
+	parent.Finish() // parent first: parentage was captured at Start
+	child.Finish()
+	child.Finish() // idempotent
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (double Finish must not duplicate)", len(spans))
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("child parent = %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+	for _, s := range spans {
+		if s.Dur <= 0 || s.Truncated {
+			t.Errorf("span %q: dur=%v truncated=%v, want a positive closed span", s.Name, s.Dur, s.Truncated)
+		}
+	}
+}
+
+func TestCancelledContextExportsTruncatedSpan(t *testing.T) {
+	tr := scriptClock(time.Unix(1000, 0), time.Microsecond)
+	ctx, cancel := context.WithCancel(WithTracer(context.Background(), tr))
+	_, sp := StartSpan(ctx, "q1", CatQuery)
+	cancel() // the query abandons the span without Finish
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want the open span exported", len(spans))
+	}
+	if !spans[0].Truncated {
+		t.Error("open span not marked truncated")
+	}
+	if spans[0].Dur <= 0 {
+		t.Errorf("truncated span duration = %v, want > 0 (clamped to export time)", spans[0].Dur)
+	}
+	// Finishing afterwards moves it to the finished list exactly once.
+	sp.Finish()
+	spans = tr.Spans()
+	if len(spans) != 1 || spans[0].Truncated {
+		t.Fatalf("after Finish: got %d spans, truncated=%v; want 1 final span", len(spans), spans[0].Truncated)
+	}
+}
+
+func TestEmitRetroactiveSpan(t *testing.T) {
+	tr := scriptClock(time.Unix(1000, 0), time.Microsecond)
+	parent := tr.Start("q1", CatQuery, nil)
+	start := time.Unix(999, 0)
+	tr.Emit("TS-0", CatOp, parent, start, 5*time.Millisecond, Attr{"rows", int64(42)})
+	tr.Emit("neg", CatOp, nil, start, -time.Second)
+	parent.Finish()
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Emitted spans start before the parent (sorted first).
+	if spans[0].Name != "TS-0" || spans[0].Parent == 0 {
+		t.Errorf("first span = %q parent=%d, want TS-0 under the query", spans[0].Name, spans[0].Parent)
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0].Key != "rows" {
+		t.Errorf("emitted attrs = %v, want rows", spans[0].Attrs)
+	}
+	if spans[1].Dur != 0 {
+		t.Errorf("negative duration exported as %v, want clamped to 0", spans[1].Dur)
+	}
+}

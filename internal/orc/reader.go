@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"repro/internal/compress"
+	"repro/internal/obs"
 	"repro/internal/orc/stream"
 	"repro/internal/types"
 )
@@ -203,6 +204,11 @@ type ReadOptions struct {
 	// SArg, when set, is evaluated against stripe- and index-group-level
 	// statistics to skip data (predicate pushdown).
 	SArg *SearchArgument
+	// Tally, when set, attributes this scan's cache traffic (hits, misses,
+	// decompressed bytes served from memory) to one consumer for
+	// per-operator profiles. DFS bytes are attributed by the FileReader's
+	// own tally; this covers the reads the cache absorbed.
+	Tally *obs.IOTally
 }
 
 // ScanCounters reports what a scan skipped and read; Figure 10 plots the
@@ -221,6 +227,7 @@ type RowReader struct {
 	childSet map[int]bool // nil = every child column
 	sarg     *SearchArgument
 	counters ScanCounters
+	tally    *obs.IOTally
 
 	stripeIdx int
 	// Current stripe state.
@@ -269,7 +276,7 @@ func (r *Reader) Rows(opts ReadOptions) (*RowReader, error) {
 			include = append(include, i)
 		}
 	}
-	rr := &RowReader{r: r, include: include, sarg: opts.SArg}
+	rr := &RowReader{r: r, include: include, sarg: opts.SArg, tally: opts.Tally}
 	if opts.IncludeChildIDs != nil {
 		rr.childSet = map[int]bool{}
 		for _, id := range opts.IncludeChildIDs {
@@ -555,7 +562,7 @@ func (rr *RowReader) openGroup() error {
 	st := rr.stripe
 	g := st.selected[rr.groupIdx]
 	rr.groupIdx++
-	src := &runSource{r: rr.r, st: st, group: g}
+	src := &runSource{r: rr.r, st: st, group: g, tally: rr.tally}
 	rr.colReaders = rr.colReaders[:0]
 	for _, top := range rr.include {
 		node := rr.r.tree.TopLevel(top)
@@ -582,6 +589,7 @@ type runSource struct {
 	r     *Reader
 	st    *stripeState
 	group int
+	tally *obs.IOTally
 }
 
 func (s *runSource) encodingOf(colID int) ColumnEncoding {
@@ -612,8 +620,10 @@ func (s *runSource) fetch(colID int, kind stream.Kind) ([]byte, bool, error) {
 	if cc != nil {
 		ck = ChunkKey{Path: s.r.path, Stripe: s.st.ordinal, Column: colID, Stream: kind, Group: s.group}
 		if raw, ok := cc.GetChunk(ck); ok {
+			s.tally.CacheHit(int64(len(raw)))
 			return raw, true, nil
 		}
+		s.tally.CacheMiss()
 	}
 	info := s.st.footer.Streams[di]
 	base := s.st.dirOffsets[di]
@@ -671,9 +681,11 @@ func (s *runSource) fetchWhole(colID int, kind stream.Kind) ([]byte, bool, error
 	if cc != nil {
 		ck = ChunkKey{Path: s.r.path, Stripe: s.st.ordinal, Column: colID, Stream: kind, Group: WholeStream}
 		if raw, ok := cc.GetChunk(ck); ok {
+			s.tally.CacheHit(int64(len(raw)))
 			s.st.wholeCache[di] = raw
 			return raw, true, nil
 		}
+		s.tally.CacheMiss()
 	}
 	info := s.st.footer.Streams[di]
 	buf := make([]byte, info.Length)

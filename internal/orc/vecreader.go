@@ -111,7 +111,7 @@ func (br *BatchReader) openGroup(b *vector.VectorizedRowBatch) error {
 	st := rr.stripe
 	g := st.selected[rr.groupIdx]
 	rr.groupIdx++
-	src := &runSource{r: rr.r, st: st, group: g}
+	src := &runSource{r: rr.r, st: st, group: g, tally: rr.tally}
 	br.fillers = br.fillers[:0]
 	for slot, top := range rr.include {
 		node := rr.r.tree.TopLevel(top)

@@ -24,6 +24,12 @@ type SelectStmt struct {
 	GroupBy []Expr
 	OrderBy []OrderItem
 	Limit   int // -1 when absent
+	// Explain / Analyze mark an EXPLAIN or EXPLAIN ANALYZE prefix on the
+	// top-level statement. The planner plans the inner query normally; the
+	// driver decides whether to render the plan (EXPLAIN), or execute and
+	// render it annotated with runtime profiles (EXPLAIN ANALYZE).
+	Explain bool
+	Analyze bool
 }
 
 // SelectItem is one projection with an optional alias.
@@ -203,6 +209,12 @@ func (t TableRef) String() string {
 
 func (s *SelectStmt) String() string {
 	var b strings.Builder
+	if s.Explain {
+		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+	}
 	b.WriteString("SELECT ")
 	for i, it := range s.Items {
 		if i > 0 {

@@ -29,7 +29,7 @@ var keywords = map[string]bool{
 	"ORDER": true, "LIMIT": true, "JOIN": true, "ON": true, "AS": true,
 	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
 	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "ASC": true,
-	"DESC": true, "INNER": true,
+	"DESC": true, "INNER": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {

@@ -12,6 +12,8 @@ func Parse(src string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.accept(tokKeyword, "EXPLAIN")
+	analyze := explain && p.accept(tokKeyword, "ANALYZE")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -19,6 +21,7 @@ func Parse(src string) (*SelectStmt, error) {
 	if !p.at(tokEOF, "") {
 		return nil, p.errorf("trailing input %q", p.cur().text)
 	}
+	stmt.Explain, stmt.Analyze = explain, analyze
 	return stmt, nil
 }
 

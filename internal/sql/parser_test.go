@@ -226,3 +226,31 @@ func TestStringRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestParseExplainPrefixes(t *testing.T) {
+	cases := []struct {
+		src              string
+		explain, analyze bool
+	}{
+		{"SELECT a FROM t", false, false},
+		{"EXPLAIN SELECT a FROM t", true, false},
+		{"EXPLAIN ANALYZE SELECT a FROM t", true, true},
+		{"explain analyze SELECT a FROM t", true, true}, // keywords are case-insensitive
+	}
+	for _, c := range cases {
+		s := mustParse(t, c.src)
+		if s.Explain != c.explain || s.Analyze != c.analyze {
+			t.Errorf("Parse(%q): explain=%v analyze=%v, want %v/%v",
+				c.src, s.Explain, s.Analyze, c.explain, c.analyze)
+		}
+		// The prefix must survive a render/reparse cycle.
+		s2 := mustParse(t, s.String())
+		if s2.Explain != c.explain || s2.Analyze != c.analyze {
+			t.Errorf("round trip of %q lost the prefix: %q", c.src, s.String())
+		}
+	}
+	// ANALYZE without EXPLAIN is not a statement prefix.
+	if _, err := Parse("ANALYZE SELECT a FROM t"); err == nil {
+		t.Error("bare ANALYZE prefix parsed")
+	}
+}

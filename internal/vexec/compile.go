@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -75,6 +76,9 @@ type compiler struct {
 	// exprSteps buffers the value expressions needed before a pending
 	// filter.
 	capacity int
+	// prof, when set, makes the compiler wrap each node's steps with
+	// profiling taps (see profile.go).
+	prof *obs.PlanProfile
 }
 
 func (c *compiler) addScratch(k types.Kind) int {

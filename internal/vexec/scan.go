@@ -7,9 +7,11 @@ package vexec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/dfs"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -33,8 +35,9 @@ func SetBatchSize(n int) {
 // RunVectorizedScan executes one marked map chain over one ORC file.
 // caches, when non-nil, lets the reader serve chunks and metadata from an
 // LLAP-style cache. goctx cancels the scan between batches and inside DFS
-// reads.
-func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int, caches *orc.Caches) error {
+// reads. prof, when non-nil, collects per-operator rows, wall time and I/O
+// attribution for the fragment.
+func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *plan.TableScan, ctx *exec.Context, node int, caches *orc.Caches, prof *obs.PlanProfile) error {
 	fr, err := fs.Open(path)
 	if err != nil {
 		return err
@@ -43,6 +46,8 @@ func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *pla
 	if goctx != nil {
 		fr.SetContext(goctx)
 	}
+	scanStats := prof.Op(scan.ID) // nil prof -> nil stats; methods no-op
+	fr.SetTally(scanStats.Tally())
 	r, err := orc.NewCachedReader(fr, path, caches)
 	if err != nil {
 		return err
@@ -54,12 +59,12 @@ func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *pla
 			include = append(include, scan.Cols[idx])
 		}
 	}
-	br, err := r.Batches(orc.ReadOptions{Include: include, SArg: scan.SArg})
+	br, err := r.Batches(orc.ReadOptions{Include: include, SArg: scan.SArg, Tally: scanStats.Tally()})
 	if err != nil {
 		return err
 	}
 	batch := br.NewBatchFor(batchSize)
-	prog, err := CompileChain(scan, batch, ctx)
+	prog, err := compileChain(scan, batch, ctx, prof)
 	if err != nil {
 		return err
 	}
@@ -69,16 +74,30 @@ func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *pla
 				return err
 			}
 		}
+		var start time.Time
+		if scanStats != nil {
+			start = time.Now()
+		}
 		ok, err := br.Next(batch)
+		if scanStats != nil {
+			end := time.Now()
+			scanStats.AddWall(end.Sub(start))
+			scanStats.MarkInterval(start, end)
+		}
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
+		scanStats.AddBatch(int64(batch.Size))
 		if err := prog.processBatch(batch); err != nil {
 			return err
 		}
+	}
+	if scanStats != nil {
+		sc := br.Counters()
+		scanStats.AddScanCounters(sc.StripesRead, sc.StripesSkipped, sc.GroupsRead, sc.GroupsSkipped)
 	}
 	return prog.term.flush()
 }
@@ -100,6 +119,12 @@ func (p *program) processBatch(b *vector.VectorizedRowBatch) error {
 // GroupBy(Partial)+ReduceSink, ReduceSink, or FileSink, with single
 // children throughout.
 func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *exec.Context) (*program, error) {
+	return compileChain(scan, batch, ctx, nil)
+}
+
+// compileChain is CompileChain plus optional per-operator profiling: with a
+// profile, every node's steps and the terminal are wrapped (profile.go).
+func compileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *exec.Context, prof *obs.PlanProfile) (*program, error) {
 	if len(scan.Children) != 1 {
 		return nil, fmt.Errorf("vexec: scan %s has %d consumers; vectorization requires 1", scan.Label(), len(scan.Children))
 	}
@@ -125,10 +150,11 @@ func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 		state.colMap = append(state.colMap, p)
 		state.kinds = append(state.kinds, col.Kind)
 	}
-	c := &compiler{batch: batch, state: state, capacity: batch.Columns[0].Capacity()}
+	c := &compiler{batch: batch, state: state, capacity: batch.Columns[0].Capacity(), prof: prof}
 
 	node := scan.Children[0]
 	for {
+		pre := len(c.steps)
 		switch t := node.(type) {
 		case *plan.Filter:
 			f, err := c.compileFilter(t.Cond)
@@ -136,6 +162,7 @@ func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 				return nil, err
 			}
 			c.steps = append(c.steps, filterStep{f})
+			c.tagNode(t, pre)
 		case *plan.Select:
 			mapping := make([]int, len(t.Exprs))
 			kinds := make([]types.Kind, len(t.Exprs))
@@ -148,6 +175,7 @@ func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 				kinds[i] = kind
 			}
 			c.steps = append(c.steps, projectStep{prog: state, mapping: mapping, kinds: kinds})
+			c.tagNode(t, pre)
 		case *plan.GroupBy:
 			if t.Mode != plan.GBYPartial {
 				return nil, fmt.Errorf("vexec: unexpected %s group-by in map chain", t.Mode)
@@ -160,11 +188,12 @@ func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 			if err != nil {
 				return nil, err
 			}
-			return &program{batch: batch, steps: c.steps, term: term}, nil
+			c.tagNode(t, pre)
+			return &program{batch: batch, steps: c.steps, term: c.tagTerm(t, term)}, nil
 		case *plan.ReduceSink:
-			return &program{batch: batch, steps: c.steps, term: newRowEmitter(c, t, nil, ctx)}, nil
+			return &program{batch: batch, steps: c.steps, term: c.tagTerm(t, newRowEmitter(c, t, nil, ctx))}, nil
 		case *plan.FileSink:
-			return &program{batch: batch, steps: c.steps, term: newRowEmitter(c, nil, t, ctx)}, nil
+			return &program{batch: batch, steps: c.steps, term: c.tagTerm(t, newRowEmitter(c, nil, t, ctx))}, nil
 		default:
 			return nil, fmt.Errorf("vexec: unsupported operator %s in vectorized chain", node.Label())
 		}

@@ -87,7 +87,7 @@ func runFragment(t *testing.T, schema *types.Schema, rows []types.Row, spec frag
 			return nil
 		},
 	}
-	if err := RunVectorizedScan(context.Background(), fs, path, scan, ctx, 0, nil); err != nil {
+	if err := RunVectorizedScan(context.Background(), fs, path, scan, ctx, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	return out
