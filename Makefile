@@ -1,20 +1,23 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap faults difftest obs
+.PHONY: check vet build test race race-core bench-llap bench-join faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
-# must pass. `make race` remains the full-repo race sweep. The bench step
-# builds and runs the nil-tracer benchmark once (a smoke that the
-# disabled-tracing fast path keeps compiling and running; no timing
-# assertion — compare ns/op manually with `go test -bench . ./internal/obs`).
+# must pass. `make race` remains the full-repo race sweep. The bench steps
+# build and run the nil-tracer and vectorized map-join benchmarks once
+# (smokes that the disabled-tracing fast path and the pooled join pipeline
+# keep compiling and running; no timing assertion — compare ns/op manually
+# with `go test -bench . ./internal/obs` / `./internal/vexec`).
 check: vet build test race-core
 	$(GO) test -run=NONE -bench=BenchmarkNilTracer -benchtime=1x ./internal/obs
+	$(GO) test -run=NONE -bench=BenchmarkVectorizedMapJoin -benchtime=1x ./internal/vexec
 
 # race-core is the fast race pass over the correctness-critical packages
-# (the differential harness, the engine layers it drives, and the
-# observability counters those layers now mutate while queries run).
+# (the differential harness, the engine layers it drives, the vector
+# batch/pool primitives shared across concurrent tasks, and the
+# observability counters those layers mutate while queries run).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/mapred ./internal/vexec ./internal/obs ./internal/dfs ./internal/llap
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +34,11 @@ race:
 # bench-llap reproduces the E9 cold-vs-warm numbers from the command line.
 bench-llap:
 	$(GO) run ./cmd/benchrunner -exp llap
+
+# bench-join reproduces E13: TPC-DS q27 star join under the row engine,
+# the vectorized probe, and LLAP with a warm build cache.
+bench-join:
+	$(GO) run ./cmd/benchrunner -exp join
 
 # faults runs the E10 fault matrix: seeded task crashes, read faults, a
 # corrupt block, stragglers and cache faults on all three engines.

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|llap|faults|obs|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|llap|faults|obs|ablations|all, or diff (E11, only when named explicitly)")
 	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
@@ -115,6 +115,14 @@ func main() {
 			return err
 		}
 		bench.PrintFig11(os.Stdout, "Extension E7: TPC-DS q95 fully optimized, MapReduce vs Tez-style DAG engine", rows)
+		return nil
+	})
+	run("join", func() error {
+		rep, err := bench.RunJoin(cfg, *runs)
+		if err != nil {
+			return err
+		}
+		bench.PrintJoin(os.Stdout, rep)
 		return nil
 	})
 	run("llap", func() error {

@@ -284,6 +284,61 @@ func BenchmarkLLAPWarmCache(b *testing.B) {
 	}
 }
 
+// TestJoinShape is the E13 acceptance check at tiny scale: all four
+// configurations agree, the vectorized configs actually probe in batches,
+// builds happen once per query, and warm LLAP runs build nothing because
+// every table comes from the daemon's build cache.
+func TestJoinShape(t *testing.T) {
+	rep, err := RunJoin(tinyCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent {
+		t.Errorf("configurations disagree: %v", rep.Mismatches)
+	}
+	byConfig := map[string]JoinRow{}
+	for _, r := range rep.Runs {
+		byConfig[r.Config] = r
+	}
+	row, vec := byConfig["row (tez)"], byConfig["vectorized (tez)"]
+	cold, warm := byConfig["llap cold"], byConfig["llap warm"]
+	warmRow := byConfig["llap warm (row)"]
+	if row.Rows == 0 || row.Builds == 0 {
+		t.Fatalf("row config ran nothing: %+v", row)
+	}
+	if row.Batches != 0 {
+		t.Errorf("row engine reported %d probe batches", row.Batches)
+	}
+	if vec.Batches == 0 {
+		t.Error("vectorized config consumed no probe batches")
+	}
+	// Shared builds: 4 small tables, each built exactly once per query.
+	for _, r := range []JoinRow{row, vec, cold} {
+		if r.Builds != 4 {
+			t.Errorf("%s: %d builds, want 4 (once per small table)", r.Config, r.Builds)
+		}
+	}
+	for _, r := range []JoinRow{warm, warmRow} {
+		if r.Builds != 0 {
+			t.Errorf("%s still built %d hash tables", r.Config, r.Builds)
+		}
+		if r.Cached != 4 {
+			t.Errorf("%s served %d tables from the build cache, want 4", r.Config, r.Cached)
+		}
+	}
+	if warmRow.Batches != 0 {
+		t.Errorf("row-mode warm run reported %d probe batches", warmRow.Batches)
+	}
+	if rep.VecSpeedup < 1 || rep.WarmSpeedup < 1 {
+		t.Logf("note: speedups below 1 at tiny scale: vec %.2fx warm %.2fx", rep.VecSpeedup, rep.WarmSpeedup)
+	}
+	var buf bytes.Buffer
+	PrintJoin(&buf, rep)
+	if !strings.Contains(buf.String(), "E13") {
+		t.Error("printout incomplete")
+	}
+}
+
 func TestTezComparisonShape(t *testing.T) {
 	rows, err := RunTezComparison(tinyCfg())
 	if err != nil {

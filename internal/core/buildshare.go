@@ -1,0 +1,127 @@
+// buildshare.go shares map-join build-side hash tables. Within a query,
+// every map task and retry/speculative attempt that needs small table i
+// of a map join gets the same build (one small-table scan per query
+// instead of one per attempt). Under ModeLLAP the built tables are also
+// cached in the daemon keyed by (table, snapshot version, build chain,
+// join keys), so a warm join skips the build entirely; table writes
+// invalidate the cached builds (see metastore versioning and
+// TableLoader).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// buildSlot is one (map-join node, input) build: the first acquirer runs
+// the build under the lock, everyone else waits and reuses. Failures are
+// not cached — a transient build error (injected read fault) leaves the
+// slot empty so the failing attempt's retry rebuilds instead of replaying
+// the stale error forever.
+type buildSlot struct {
+	mu   sync.Mutex
+	done bool
+	ht   *exec.HashTable
+}
+
+// sharedHashTable implements exec.Context.SharedHashTable. Build-side
+// counters are recorded on the query-level profile directly: a build
+// happens at most once per query regardless of which attempt triggered
+// it, so the per-attempt commit/abort folding would lose counts when a
+// losing attempt built the table.
+func (ex *executor) sharedHashTable(mj *plan.MapJoin, input int, build func() (*exec.HashTable, error)) (*exec.HashTable, error) {
+	slotKey := fmt.Sprintf("%d/%d", mj.ID, input)
+	ex.mu.Lock()
+	slot := ex.builds[slotKey]
+	if slot == nil {
+		slot = &buildSlot{}
+		ex.builds[slotKey] = slot
+	}
+	ex.mu.Unlock()
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.done {
+		ex.prof.Op(mj.ID).AddHashBuild(false, true, false)
+		return slot.ht, nil
+	}
+	ht, err := ex.resolveBuild(mj, input, build)
+	if err != nil {
+		return nil, err
+	}
+	slot.ht, slot.done = ht, true
+	return ht, nil
+}
+
+// resolveBuild consults the daemon's build cache (LLAP mode, cacheable
+// chains only), falling back to a fresh build that it then publishes.
+func (ex *executor) resolveBuild(mj *plan.MapJoin, input int, build func() (*exec.HashTable, error)) (*exec.HashTable, error) {
+	st := ex.prof.Op(mj.ID)
+	cacheKey, table, cacheable := "", "", false
+	if ex.llap {
+		cacheKey, table, cacheable = ex.buildCacheKey(mj, input)
+	}
+	if cacheable {
+		if v, hit := ex.d.LLAP().Builds().Get(cacheKey); hit {
+			st.AddHashBuild(false, false, true)
+			return v.(*exec.HashTable), nil
+		}
+	}
+	ht, err := build()
+	if err != nil {
+		return nil, err
+	}
+	st.AddHashBuild(true, false, false)
+	if cacheable {
+		ex.d.LLAP().Builds().Put(cacheKey, table, ht)
+	}
+	return ht, nil
+}
+
+// buildCacheKey fingerprints a map-join small-table chain for the daemon
+// cache: base table name + its metastore snapshot version + the rendered
+// operator chain (filters, projections, scan shape) + the build-side join
+// keys. Chains over temp tables (query-private) are not cacheable.
+func (ex *executor) buildCacheKey(mj *plan.MapJoin, input int) (key, table string, ok bool) {
+	if input < 0 || input >= len(mj.Parents) || ex.d.LLAP().Builds() == nil {
+		return "", "", false
+	}
+	var parts []string
+	cur := mj.Parents[input]
+	for {
+		switch n := cur.(type) {
+		case *plan.TableScan:
+			if _, temp := ex.compiled.TempSchemas[n.Table]; temp {
+				return "", "", false
+			}
+			table = n.Table
+			parts = append(parts, fmt.Sprintf("T:%s|cols=%v|needed=%v|sarg=%v", n.Table, n.Cols, n.Needed, n.SArg))
+		case *plan.Filter:
+			parts = append(parts, "F:"+n.Cond.String())
+		case *plan.Select:
+			exprs := make([]string, len(n.Exprs))
+			for i, e := range n.Exprs {
+				exprs[i] = e.String()
+			}
+			parts = append(parts, "S:"+strings.Join(exprs, ","))
+		default:
+			return "", "", false
+		}
+		if table != "" {
+			break
+		}
+		if len(cur.Base().Parents) != 1 {
+			return "", "", false
+		}
+		cur = cur.Base().Parents[0]
+	}
+	keys := make([]string, len(mj.Keys[input]))
+	for i, k := range mj.Keys[input] {
+		keys[i] = k.String()
+	}
+	key = fmt.Sprintf("%s@v%d|%s|keys=%s", table, ex.d.meta.Version(table), strings.Join(parts, ";"), strings.Join(keys, ","))
+	return key, table, true
+}

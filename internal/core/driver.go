@@ -128,6 +128,9 @@ func (d *Driver) Registry() *obs.Registry {
 		if cc := daemon.ChunkCache(); cc != nil {
 			obs.RegisterStruct(d.reg, "llap.cache", cc.Stats())
 		}
+		if bc := daemon.Builds(); bc != nil {
+			obs.RegisterStruct(d.reg, "llap.builds", bc.Stats())
+		}
 		obs.RegisterStruct(d.reg, "llap.pool", daemon.Stats())
 	}
 	return d.reg
@@ -193,6 +196,7 @@ func (l *TableLoader) Write(row types.Row) error {
 			return err
 		}
 		l.w = w
+		l.d.noteTableWrite(l.meta.Name)
 	}
 	l.count++
 	return l.w.Write(row)
@@ -208,7 +212,21 @@ func (l *TableLoader) NextFile() error {
 	err := l.w.Close()
 	l.w = nil
 	l.part++
+	l.d.noteTableWrite(l.meta.Name)
 	return err
+}
+
+// noteTableWrite advances the table's snapshot version and drops any
+// daemon-cached map-join builds over it, so snapshot-keyed caches never
+// serve pre-write contents.
+func (d *Driver) noteTableWrite(name string) {
+	d.meta.BumpVersion(name)
+	d.llapMu.Lock()
+	daemon := d.llapDaemon
+	d.llapMu.Unlock()
+	if daemon != nil {
+		daemon.Builds().InvalidateTable(name)
+	}
 }
 
 // Close finishes loading.

@@ -53,6 +53,9 @@ type executor struct {
 	// attemptProfs holds each live attempt's private profile, same
 	// lifecycle as sinks.
 	attemptProfs map[string]*obs.PlanProfile
+	// builds shares map-join build-side hash tables across this query's
+	// tasks and attempts, keyed by "nodeID/input" (see buildshare.go).
+	builds map[string]*buildSlot
 }
 
 func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64, ctx context.Context, prof *obs.PlanProfile) *executor {
@@ -68,6 +71,7 @@ func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64, ctx context.
 		memTemps:     map[string][][]types.Row{},
 		sinks:        map[string]*sinkSet{},
 		attemptProfs: map[string]*obs.PlanProfile{},
+		builds:       map[string]*buildSlot{},
 	}
 	if ex.llap {
 		ex.caches = d.LLAP().Caches()
@@ -350,6 +354,7 @@ func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapr
 		ScanRows: func(ts *plan.TableScan) (func() (types.Row, error), error) {
 			return ex.openScan(ts, tc.Ctx, 0, aprof.Op(ts.ID))
 		},
+		SharedHashTable: ex.sharedHashTable,
 	}
 }
 

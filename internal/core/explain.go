@@ -108,6 +108,10 @@ func annotate(n plan.Node, st *obs.OpStats) string {
 			fmt.Fprintf(&b, " stripes=%d/%d groups=%d/%d", sr, sr+ss, gr, gr+gs)
 		}
 	}
+	if _, ok := n.(*plan.MapJoin); ok {
+		fmt.Fprintf(&b, " builds=%d reused=%d cached=%d",
+			st.HashBuilds.Load(), st.HashReused.Load(), st.HashCached.Load())
+	}
 	b.WriteString("]")
 	return b.String()
 }

@@ -26,13 +26,14 @@ type TableMeta struct {
 // Metastore is the in-process catalog (paper §2: the Driver contacts the
 // Metastore during analysis). It implements plan.Catalog.
 type Metastore struct {
-	mu     sync.RWMutex
-	tables map[string]*TableMeta
+	mu       sync.RWMutex
+	tables   map[string]*TableMeta
+	versions map[string]int64 // snapshot counters, bumped on every write
 }
 
 // NewMetastore creates an empty catalog.
 func NewMetastore() *Metastore {
-	return &Metastore{tables: make(map[string]*TableMeta)}
+	return &Metastore{tables: make(map[string]*TableMeta), versions: make(map[string]int64)}
 }
 
 // Register adds or replaces a table.
@@ -40,6 +41,7 @@ func (m *Metastore) Register(meta *TableMeta) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.tables[meta.Name] = meta
+	m.versions[meta.Name]++
 }
 
 // Drop removes a table from the catalog (files are the caller's problem).
@@ -47,6 +49,23 @@ func (m *Metastore) Drop(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.tables, name)
+	m.versions[name]++
+}
+
+// BumpVersion advances a table's snapshot counter; every data write must
+// call it so snapshot-keyed caches (the daemon's build cache) never serve
+// stale contents.
+func (m *Metastore) BumpVersion(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.versions[name]++
+}
+
+// Version returns a table's current snapshot counter.
+func (m *Metastore) Version(name string) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.versions[name]
 }
 
 // Table returns a table's metadata.

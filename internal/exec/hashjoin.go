@@ -1,0 +1,143 @@
+// hashjoin.go holds the map-join build side: a hash table from encoded
+// join-key bytes to build rows, built once per query and shared across
+// map tasks, retry and speculative attempts (§5.1's local work used to
+// run per attempt). For the vectorized probe (§6) the same table exposes
+// a lazily-derived column-major projection so probes gather build values
+// without boxing rows.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// HashTable is a built map-join small table: encoded key bytes -> build
+// rows in scan order. Once built it is read-only, so concurrent map tasks
+// probe it without locking.
+type HashTable struct {
+	Table map[string][]types.Row
+	Rows  int64 // build-side rows hashed
+
+	colOnce sync.Once
+	col     *ColumnarBuild
+	colErr  error
+}
+
+// ColumnarBuild is the column-major projection of a HashTable used by the
+// vectorized probe: Index maps key bytes to build-row positions (per-key
+// order preserved, so vectorized output matches the row engine's match
+// order byte for byte) and the per-column arrays hold the decomposed
+// values, typed like column vectors (booleans as 0/1 longs, strings as
+// byte slices).
+type ColumnarBuild struct {
+	Index   map[string][]int32
+	Longs   [][]int64
+	Doubles [][]float64
+	Bytes   [][][]byte
+	Nulls   [][]bool
+}
+
+// Columnar returns the column-major projection, deriving it on first use.
+// kinds describes the build rows' column kinds (the small side's output
+// schema); the projection is cached, so every caller must pass the same
+// kinds.
+func (t *HashTable) Columnar(kinds []types.Kind) (*ColumnarBuild, error) {
+	t.colOnce.Do(func() {
+		t.col, t.colErr = buildColumnar(t, kinds)
+	})
+	return t.col, t.colErr
+}
+
+func buildColumnar(t *HashTable, kinds []types.Kind) (*ColumnarBuild, error) {
+	cb := &ColumnarBuild{
+		Index:   make(map[string][]int32, len(t.Table)),
+		Longs:   make([][]int64, len(kinds)),
+		Doubles: make([][]float64, len(kinds)),
+		Bytes:   make([][][]byte, len(kinds)),
+		Nulls:   make([][]bool, len(kinds)),
+	}
+	n := int(t.Rows)
+	for i, k := range kinds {
+		cb.Nulls[i] = make([]bool, 0, n)
+		switch {
+		case k.IsInteger() || k == types.Boolean || k == types.Timestamp:
+			cb.Longs[i] = make([]int64, 0, n)
+		case k.IsFloating():
+			cb.Doubles[i] = make([]float64, 0, n)
+		case k == types.String:
+			cb.Bytes[i] = make([][]byte, 0, n)
+		default:
+			return nil, fmt.Errorf("exec: columnar build of %s column", k)
+		}
+	}
+	pos := int32(0)
+	for key, rows := range t.Table {
+		positions := make([]int32, 0, len(rows))
+		for _, row := range rows {
+			if len(row) != len(kinds) {
+				return nil, fmt.Errorf("exec: build row width %d != %d kinds", len(row), len(kinds))
+			}
+			for i, k := range kinds {
+				v := row[i]
+				cb.Nulls[i] = append(cb.Nulls[i], v == nil)
+				switch {
+				case k.IsInteger() || k == types.Timestamp:
+					var x int64
+					if v != nil {
+						x = v.(int64)
+					}
+					cb.Longs[i] = append(cb.Longs[i], x)
+				case k == types.Boolean:
+					var x int64
+					if v == true {
+						x = 1
+					}
+					cb.Longs[i] = append(cb.Longs[i], x)
+				case k.IsFloating():
+					var x float64
+					if v != nil {
+						x = v.(float64)
+					}
+					cb.Doubles[i] = append(cb.Doubles[i], x)
+				default: // String
+					var b []byte
+					if v != nil {
+						b = []byte(v.(string))
+					}
+					cb.Bytes[i] = append(cb.Bytes[i], b)
+				}
+			}
+			positions = append(positions, pos)
+			pos++
+		}
+		cb.Index[key] = positions
+	}
+	return cb, nil
+}
+
+// BuildHashTable runs the small-table operator chain locally (scan +
+// filters/selects) and hashes its output by the join key — the hash-table
+// build of §5.1.
+func BuildHashTable(ctx *Context, src plan.Node, keys []plan.Expr) (*HashTable, error) {
+	ht := &HashTable{Table: make(map[string][]types.Row)}
+	sink := func(row types.Row) error {
+		keyVals := make([]any, len(keys))
+		for i, k := range keys {
+			keyVals[i] = k.Eval(row)
+		}
+		kb, err := EncodeKey(keyVals, nil)
+		if err != nil {
+			return err
+		}
+		ht.Table[string(kb)] = append(ht.Table[string(kb)], row.Clone())
+		ht.Rows++
+		return nil
+	}
+	if err := runLocalChain(ctx, src, sink); err != nil {
+		return nil, err
+	}
+	return ht, nil
+}

@@ -25,6 +25,11 @@ type Context struct {
 	// ScanRows opens a row iterator over a table for map-join hash-table
 	// builds (the "local work" of §5.1).
 	ScanRows func(ts *plan.TableScan) (func() (types.Row, error), error)
+	// SharedHashTable, when set, resolves the map-join build side for
+	// small input `input` of mj, calling build at most once per query and
+	// sharing the result across tasks and attempts. Nil falls back to a
+	// local per-operator build.
+	SharedHashTable func(mj *plan.MapJoin, input int, build func() (*HashTable, error)) (*HashTable, error)
 }
 
 // Operator is a runtime operator instance.
@@ -274,9 +279,12 @@ func (o *groupByOp) Process(row types.Row, _ int) error {
 		}
 		ent, ok := o.hash[string(kb)]
 		if !ok {
+			// One string conversion, shared by the map key and the
+			// insertion-order slice (the lookup above converts for free).
+			k := string(kb)
 			ent = &hashEntry{keyVals: keyVals, states: o.newStates()}
-			o.hash[string(kb)] = ent
-			o.hashKeys = append(o.hashKeys, string(kb))
+			o.hash[k] = ent
+			o.hashKeys = append(o.hashKeys, k)
 		}
 		for _, s := range ent.states {
 			s.Update(row)
@@ -436,48 +444,35 @@ type mapJoinOp struct {
 	base
 	node *plan.MapJoin
 	// tables[i] is the hash table for small input i (nil for the big
-	// input): join key bytes -> rows.
-	tables []map[string][]types.Row
+	// input).
+	tables []*HashTable
 	// smallScans[i] is the plan subtree root feeding small input i.
 	smallSources []plan.Node
 }
 
 func (o *mapJoinOp) Init(ctx *Context) error {
-	o.tables = make([]map[string][]types.Row, len(o.node.Keys))
+	o.tables = make([]*HashTable, len(o.node.Keys))
 	for i, src := range o.smallSources {
 		if i == o.node.BigIdx {
 			continue
 		}
-		table, err := buildHashTable(ctx, src, o.node.Keys[i])
+		i, src := i, src
+		build := func() (*HashTable, error) {
+			return BuildHashTable(ctx, src, o.node.Keys[i])
+		}
+		var table *HashTable
+		var err error
+		if ctx.SharedHashTable != nil {
+			table, err = ctx.SharedHashTable(o.node, i, build)
+		} else {
+			table, err = build()
+		}
 		if err != nil {
 			return err
 		}
 		o.tables[i] = table
 	}
 	return o.initChildren(ctx)
-}
-
-// buildHashTable runs the small-table operator chain locally (scan +
-// filters/selects) and hashes its output by the join key — the hash-table
-// build of §5.1.
-func buildHashTable(ctx *Context, src plan.Node, keys []plan.Expr) (map[string][]types.Row, error) {
-	table := make(map[string][]types.Row)
-	sink := func(row types.Row) error {
-		keyVals := make([]any, len(keys))
-		for i, k := range keys {
-			keyVals[i] = k.Eval(row)
-		}
-		kb, err := EncodeKey(keyVals, nil)
-		if err != nil {
-			return err
-		}
-		table[string(kb)] = append(table[string(kb)], row.Clone())
-		return nil
-	}
-	if err := runLocalChain(ctx, src, sink); err != nil {
-		return nil, err
-	}
-	return table, nil
 }
 
 // runLocalChain evaluates a map-side chain rooted at a TableScan directly
@@ -575,7 +570,7 @@ func (o *mapJoinOp) probe(input int, bigRow types.Row, acc types.Row) error {
 	if err != nil {
 		return err
 	}
-	for _, match := range o.tables[input][string(kb)] {
+	for _, match := range o.tables[input].Table[string(kb)] {
 		next := append(acc, match...)
 		if err := o.probe(input+1, bigRow, next); err != nil {
 			return err

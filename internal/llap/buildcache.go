@@ -1,0 +1,163 @@
+// buildcache.go caches map-join build-side hash tables in the daemon,
+// keyed by (table, snapshot version, build chain, join keys). Because the
+// daemon outlives queries, a warm star join skips the small-table scans
+// and hash builds entirely; a write to a table invalidates every cached
+// build over it. Values are opaque to this package (the executor stores
+// *exec.HashTable) so llap stays decoupled from the row engine.
+package llap
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// BuildCacheStats counts build-cache activity.
+type BuildCacheStats struct {
+	Hits          atomic.Int64
+	Misses        atomic.Int64
+	Puts          atomic.Int64
+	Evictions     atomic.Int64
+	Invalidations atomic.Int64 // entries dropped by table writes
+}
+
+// BuildCacheSnapshot is an immutable copy of BuildCacheStats.
+type BuildCacheSnapshot struct {
+	Hits          int64
+	Misses        int64
+	Puts          int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// BuildCache is an entry-count-bounded LRU of built hash tables with a
+// per-table index for invalidation.
+type BuildCache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // front = most recent; values are *buildEntry
+	byKey   map[string]*list.Element
+	byTable map[string]map[string]struct{} // table -> keys cached for it
+	stats   BuildCacheStats
+}
+
+type buildEntry struct {
+	key   string
+	table string
+	val   any
+}
+
+// NewBuildCache creates a cache bounded to max entries.
+func NewBuildCache(max int) *BuildCache {
+	return &BuildCache{
+		max:     max,
+		lru:     list.New(),
+		byKey:   make(map[string]*list.Element),
+		byTable: make(map[string]map[string]struct{}),
+	}
+}
+
+// Get returns the cached build for key, refreshing its recency.
+func (c *BuildCache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.stats.Misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits.Add(1)
+	return el.Value.(*buildEntry).val, true
+}
+
+// Put stores a built table under key, attributed to table for
+// invalidation, evicting the least recently used entry if full.
+func (c *BuildCache) Put(key, table string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*buildEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.max {
+		c.removeLocked(c.lru.Back())
+		c.stats.Evictions.Add(1)
+	}
+	el := c.lru.PushFront(&buildEntry{key: key, table: table, val: val})
+	c.byKey[key] = el
+	keys := c.byTable[table]
+	if keys == nil {
+		keys = make(map[string]struct{})
+		c.byTable[table] = keys
+	}
+	keys[key] = struct{}{}
+	c.stats.Puts.Add(1)
+}
+
+// InvalidateTable drops every build cached over table (called on table
+// writes so stale snapshots are never served).
+func (c *BuildCache) InvalidateTable(table string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.byTable[table] {
+		if el, ok := c.byKey[key]; ok {
+			c.removeLocked(el)
+			c.stats.Invalidations.Add(1)
+		}
+	}
+}
+
+func (c *BuildCache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*buildEntry)
+	c.lru.Remove(el)
+	delete(c.byKey, ent.key)
+	if keys := c.byTable[ent.table]; keys != nil {
+		delete(keys, ent.key)
+		if len(keys) == 0 {
+			delete(c.byTable, ent.table)
+		}
+	}
+}
+
+// Len returns the number of cached builds.
+func (c *BuildCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats exposes the live counters for registry adoption.
+func (c *BuildCache) Stats() *BuildCacheStats {
+	if c == nil {
+		return nil
+	}
+	return &c.stats
+}
+
+// Snapshot copies the counters.
+func (c *BuildCache) Snapshot() BuildCacheSnapshot {
+	var out BuildCacheSnapshot
+	if c != nil {
+		obs.ReadStruct(&out, &c.stats)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package llap
+
+import "testing"
+
+func TestBuildCacheLRUEviction(t *testing.T) {
+	c := NewBuildCache(2)
+	c.Put("a", "t1", 1)
+	c.Put("b", "t2", 2)
+	// Touch a so b becomes the eviction victim.
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("c", "t3", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing after Put")
+	}
+	s := c.Snapshot()
+	if s.Evictions != 1 || s.Puts != 3 {
+		t.Errorf("snapshot = %+v, want 1 eviction, 3 puts", s)
+	}
+}
+
+func TestBuildCacheInvalidateTable(t *testing.T) {
+	c := NewBuildCache(8)
+	c.Put("k1", "dim", 1)
+	c.Put("k2", "dim", 2)
+	c.Put("k3", "other", 3)
+	c.InvalidateTable("dim")
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived invalidation of its table")
+	}
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 survived invalidation of its table")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Error("k3 dropped by invalidation of an unrelated table")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if s := c.Snapshot(); s.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", s.Invalidations)
+	}
+	// Invalidating an absent table is a no-op.
+	c.InvalidateTable("missing")
+}
+
+func TestBuildCacheUpdateInPlace(t *testing.T) {
+	c := NewBuildCache(2)
+	c.Put("k", "t", 1)
+	c.Put("k", "t", 2)
+	if v, _ := c.Get("k"); v.(int) != 2 {
+		t.Errorf("value after re-Put = %v, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestBuildCacheNilSafe(t *testing.T) {
+	var c *BuildCache
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil Get returned ok")
+	}
+	c.Put("k", "t", 1)
+	c.InvalidateTable("t")
+	if c.Len() != 0 {
+		t.Error("nil Len != 0")
+	}
+	if c.Stats() != nil {
+		t.Error("nil Stats != nil")
+	}
+	_ = c.Snapshot()
+}

@@ -25,6 +25,10 @@ type Config struct {
 	// MetaEntries bounds the metadata cache. Default 1024; negative
 	// disables the metadata cache.
 	MetaEntries int
+	// BuildEntries bounds the map-join build-side cache (built hash
+	// tables keyed by table snapshot + join keys). Default 64; negative
+	// disables it.
+	BuildEntries int
 	// CacheFaultHook, when set, injects chunk-cache lookup faults (see
 	// internal/faultinject): a lookup for which it returns true is treated
 	// as a miss, so the reader degrades to a direct DFS read instead of
@@ -44,6 +48,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MetaEntries == 0 {
 		c.MetaEntries = 1024
+	}
+	if c.BuildEntries == 0 {
+		c.BuildEntries = 64
 	}
 	return c
 }
@@ -79,6 +86,7 @@ type Daemon struct {
 	cfg     Config
 	chunks  *Cache
 	meta    *MetaCache
+	builds  *BuildCache
 	caches  orc.Caches
 	tasks   chan *task
 	wg      sync.WaitGroup
@@ -110,6 +118,9 @@ func NewDaemon(cfg Config) *Daemon {
 		d.meta = NewMetaCache(cfg.MetaEntries)
 		d.caches.Meta = d.meta
 	}
+	if cfg.BuildEntries > 0 {
+		d.builds = NewBuildCache(cfg.BuildEntries)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		d.wg.Add(1)
 		go d.worker()
@@ -129,6 +140,9 @@ func (d *Daemon) ChunkCache() *Cache { return d.chunks }
 
 // MetaCache returns the metadata cache, or nil when disabled.
 func (d *Daemon) MetaCache() *MetaCache { return d.meta }
+
+// Builds returns the map-join build-side cache, or nil when disabled.
+func (d *Daemon) Builds() *BuildCache { return d.builds }
 
 // Stats exposes the live pool counters so they can be registered into an
 // obs.Registry; use Snapshot for an immutable copy.

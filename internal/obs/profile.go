@@ -80,6 +80,12 @@ type OpStats struct {
 	GroupsRead     atomic.Int64
 	GroupsSkipped  atomic.Int64
 
+	// Map-join build-side accounting (map joins only): how the small
+	// tables' hash tables were obtained this query.
+	HashBuilds atomic.Int64 // built from a fresh small-table scan
+	HashReused atomic.Int64 // reused a table another task/attempt built
+	HashCached atomic.Int64 // served from the LLAP daemon's build cache
+
 	// Activity interval in unix nanos (0 = never active), for placing the
 	// operator's span on the trace timeline.
 	FirstNanos atomic.Int64
@@ -131,6 +137,23 @@ func (s *OpStats) AddScanCounters(stripesRead, stripesSkipped, groupsRead, group
 	s.StripesSkipped.Add(int64(stripesSkipped))
 	s.GroupsRead.Add(int64(groupsRead))
 	s.GroupsSkipped.Add(int64(groupsSkipped))
+}
+
+// AddHashBuild records how one map-join small table was obtained: built
+// fresh, reused from another task/attempt, or served by the daemon cache.
+func (s *OpStats) AddHashBuild(built, reused, cached bool) {
+	if s == nil {
+		return
+	}
+	if built {
+		s.HashBuilds.Add(1)
+	}
+	if reused {
+		s.HashReused.Add(1)
+	}
+	if cached {
+		s.HashCached.Add(1)
+	}
 }
 
 // MarkInterval widens the operator's activity interval to include
@@ -195,6 +218,9 @@ func (s *OpStats) merge(o *OpStats) {
 	s.StripesSkipped.Add(o.StripesSkipped.Load())
 	s.GroupsRead.Add(o.GroupsRead.Load())
 	s.GroupsSkipped.Add(o.GroupsSkipped.Load())
+	s.HashBuilds.Add(o.HashBuilds.Load())
+	s.HashReused.Add(o.HashReused.Load())
+	s.HashCached.Add(o.HashCached.Load())
 	if fn := o.FirstNanos.Load(); fn != 0 {
 		s.MarkInterval(time.Unix(0, fn), time.Unix(0, o.LastNanos.Load()))
 	}

@@ -41,8 +41,8 @@ func chainVectorizable(scan *plan.TableScan) bool {
 			return false
 		}
 	}
-	var check func(n plan.Node) bool
-	check = func(n plan.Node) bool {
+	var check func(n, from plan.Node) bool
+	check = func(n, from plan.Node) bool {
 		switch t := n.(type) {
 		case *plan.Filter:
 			if !filterVectorizable(t.Cond) {
@@ -52,6 +52,31 @@ func chainVectorizable(scan *plan.TableScan) bool {
 			for _, e := range t.Exprs {
 				if !projectionVectorizable(e) {
 					return false
+				}
+			}
+		case *plan.MapJoin:
+			// Vectorized probing drives the join from the big side; a chain
+			// arriving over a small parent is the build side, which runs on
+			// the row engine inside BuildHashTable.
+			if from != t.Parents[t.BigIdx] {
+				return false
+			}
+			if len(t.Children) != 1 {
+				return false
+			}
+			for i, p := range t.Parents {
+				for _, c := range p.Schema().Cols {
+					if !vectorKind(c.Kind) {
+						return false
+					}
+				}
+				if i == t.BigIdx {
+					continue
+				}
+				for _, pk := range t.ProbeKeys[i] {
+					if !projectionVectorizable(pk) {
+						return false
+					}
 				}
 			}
 		case *plan.GroupBy:
@@ -72,12 +97,12 @@ func chainVectorizable(scan *plan.TableScan) bool {
 			// Fragment boundary: emitted row by row.
 			return true
 		default:
-			// Joins (map or reduce side) and other operators fall back
-			// to the row engine.
+			// Reduce-side joins and other operators fall back to the row
+			// engine.
 			return false
 		}
 		for _, c := range n.Base().Children {
-			if !check(c) {
+			if !check(c, n) {
 				return false
 			}
 		}
@@ -88,7 +113,7 @@ func chainVectorizable(scan *plan.TableScan) bool {
 	if len(scan.Children) != 1 {
 		return false
 	}
-	return check(scan.Children[0])
+	return check(scan.Children[0], scan)
 }
 
 func vectorKind(k types.Kind) bool {

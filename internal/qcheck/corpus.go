@@ -35,7 +35,9 @@ type CorpusEntry struct {
 	Detail string // informational: the disagreement at capture time
 }
 
-// FormatEntry renders an entry in corpus file syntax.
+// FormatEntry renders an entry in corpus file syntax. Dimension tables
+// follow the fact table, each introduced by a `table <name>` line whose
+// col/row lines then apply to it.
 func FormatEntry(e *CorpusEntry) string {
 	var b strings.Builder
 	b.WriteString("# qcheck repro\n")
@@ -44,19 +46,26 @@ func FormatEntry(e *CorpusEntry) string {
 	if e.Detail != "" {
 		b.WriteString("# detail: " + e.Detail + "\n")
 	}
-	for _, c := range e.Table.Schema.Columns {
-		fmt.Fprintf(&b, "col %s %s\n", c.Name, c.Type)
-	}
-	for _, row := range e.Table.Rows {
-		fields := make([]string, len(row))
-		for i, v := range row {
-			if v == nil {
-				fields[i] = `\N`
-			} else {
-				fields[i] = escapeField(types.FormatValue(e.Table.Schema.Columns[i].Type, v))
-			}
+	writeTable := func(t *Table) {
+		for _, c := range t.Schema.Columns {
+			fmt.Fprintf(&b, "col %s %s\n", c.Name, c.Type)
 		}
-		b.WriteString("row " + strings.Join(fields, "\t") + "\n")
+		for _, row := range t.Rows {
+			fields := make([]string, len(row))
+			for i, v := range row {
+				if v == nil {
+					fields[i] = `\N`
+				} else {
+					fields[i] = escapeField(types.FormatValue(t.Schema.Columns[i].Type, v))
+				}
+			}
+			b.WriteString("row " + strings.Join(fields, "\t") + "\n")
+		}
+	}
+	writeTable(e.Table)
+	for _, d := range e.Table.Dims {
+		b.WriteString("table " + d.Name + "\n")
+		writeTable(d)
 	}
 	b.WriteString("query " + e.Query + "\n")
 	return b.String()
@@ -95,10 +104,18 @@ func unescapeField(s string) string {
 	return b.String()
 }
 
-// ParseEntry parses corpus file contents.
+// ParseEntry parses corpus file contents. `table <name>` lines open a
+// dimension table; col/row lines before the first one describe the fact
+// table.
 func ParseEntry(name, content string) (*CorpusEntry, error) {
 	e := &CorpusEntry{Name: name, Status: "fixed", Table: &Table{Name: "t"}}
+	cur := e.Table
 	var cols []types.Field
+	seal := func() {
+		if cur.Schema == nil {
+			cur.Schema = types.NewSchema(cols...)
+		}
+	}
 	for ln, line := range strings.Split(content, "\n") {
 		fail := func(msg string) error {
 			return fmt.Errorf("qcheck: corpus %s line %d: %s", name, ln+1, msg)
@@ -115,6 +132,14 @@ func ParseEntry(name, content string) (*CorpusEntry, error) {
 		case strings.HasPrefix(line, "# detail:"):
 			e.Detail = strings.TrimSpace(strings.TrimPrefix(line, "# detail:"))
 		case strings.HasPrefix(line, "#"), strings.TrimSpace(line) == "":
+		case strings.HasPrefix(line, "table "):
+			if len(cols) == 0 {
+				return nil, fail("table line before any col lines")
+			}
+			seal()
+			cur = &Table{Name: strings.TrimSpace(strings.TrimPrefix(line, "table "))}
+			e.Table.Dims = append(e.Table.Dims, cur)
+			cols = nil
 		case strings.HasPrefix(line, "col "):
 			parts := strings.SplitN(strings.TrimPrefix(line, "col "), " ", 2)
 			if len(parts) != 2 {
@@ -126,9 +151,7 @@ func ParseEntry(name, content string) (*CorpusEntry, error) {
 			}
 			cols = append(cols, types.Col(parts[0], t))
 		case strings.HasPrefix(line, "row "):
-			if e.Table.Schema == nil {
-				e.Table.Schema = types.NewSchema(cols...)
-			}
+			seal()
 			fields := strings.Split(strings.TrimPrefix(line, "row "), "\t")
 			if len(fields) != len(cols) {
 				return nil, fail(fmt.Sprintf("row has %d fields, schema has %d", len(fields), len(cols)))
@@ -144,20 +167,18 @@ func ParseEntry(name, content string) (*CorpusEntry, error) {
 				}
 				row[i] = v
 			}
-			e.Table.Rows = append(e.Table.Rows, row)
+			cur.Rows = append(cur.Rows, row)
 		case strings.HasPrefix(line, "query "):
 			e.Query = strings.TrimPrefix(line, "query ")
 		default:
 			return nil, fail("unrecognized line")
 		}
 	}
-	if e.Table.Schema == nil {
-		e.Table.Schema = types.NewSchema(cols...)
-	}
+	seal()
 	if e.Query == "" {
 		return nil, fmt.Errorf("qcheck: corpus %s: no query line", name)
 	}
-	if len(cols) == 0 {
+	if len(e.Table.Schema.Columns) == 0 {
 		return nil, fmt.Errorf("qcheck: corpus %s: no col lines", name)
 	}
 	return e, nil

@@ -88,3 +88,51 @@ func TestCorpusRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCorpusRoundTripDims checks that dimension tables survive the trip
+// to disk: a shrunk join repro must replay against the same star schema.
+func TestCorpusRoundTripDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var tbl *Table
+	for tbl == nil || len(tbl.Dims) == 0 {
+		tbl = GenTable(rng, GenOptions{Rows: 10, Dims: true})
+	}
+	e := &CorpusEntry{
+		Name:   "rtd",
+		Status: "fixed",
+		Cell:   Cell{Engine: allEngines[2], Format: allFormats[3], Pushdown: true},
+		Table:  tbl,
+		Query:  "SELECT c0 FROM t JOIN d0 ON (c0 = d0k0)",
+	}
+	text := FormatEntry(e)
+	back, err := ParseEntry("rtd", text)
+	if err != nil {
+		t.Fatalf("parse-back failed: %v\n%s", err, text)
+	}
+	if len(back.Table.Dims) != len(tbl.Dims) {
+		t.Fatalf("dim count %d vs %d:\n%s", len(back.Table.Dims), len(tbl.Dims), text)
+	}
+	for di, dim := range tbl.Dims {
+		got := back.Table.Dims[di]
+		if got.Name != dim.Name {
+			t.Fatalf("dim %d name %q vs %q", di, got.Name, dim.Name)
+		}
+		if len(got.Schema.Columns) != len(dim.Schema.Columns) {
+			t.Fatalf("dim %s column count %d vs %d", dim.Name, len(got.Schema.Columns), len(dim.Schema.Columns))
+		}
+		for i, c := range dim.Schema.Columns {
+			if got.Schema.Columns[i].Name != c.Name || !got.Schema.Columns[i].Type.Equal(c.Type) {
+				t.Fatalf("dim %s column %d: %s %s vs %s %s", dim.Name, i,
+					got.Schema.Columns[i].Name, got.Schema.Columns[i].Type, c.Name, c.Type)
+			}
+		}
+		if len(got.Rows) != len(dim.Rows) {
+			t.Fatalf("dim %s row count %d vs %d", dim.Name, len(got.Rows), len(dim.Rows))
+		}
+		for i := range dim.Rows {
+			if !rowEq(got.Rows[i], dim.Rows[i]) {
+				t.Fatalf("dim %s row %d mismatch: %s vs %s", dim.Name, i, formatRow(got.Rows[i]), formatRow(dim.Rows[i]))
+			}
+		}
+	}
+}

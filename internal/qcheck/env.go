@@ -137,22 +137,24 @@ func newScenarioEnv(t *Table, format fileformat.Kind, faulted bool, seed int64) 
 		// predicate pushdown skips.
 		opts.ORCOptions = &orc.WriterOptions{StripeSize: 2 << 10, RowIndexStride: 16}
 	}
-	loader, err := d.CreateTable(t.Name, t.Schema, format, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, row := range t.Rows {
-		if i > 0 && i%rowsPerFile == 0 {
-			if err := loader.NextFile(); err != nil {
+	for _, tbl := range append([]*Table{t}, t.Dims...) {
+		loader, err := d.CreateTable(tbl.Name, tbl.Schema, format, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, row := range tbl.Rows {
+			if i > 0 && i%rowsPerFile == 0 {
+				if err := loader.NextFile(); err != nil {
+					return nil, err
+				}
+			}
+			if err := loader.Write(row); err != nil {
 				return nil, err
 			}
 		}
-		if err := loader.Write(row); err != nil {
+		if err := loader.Close(); err != nil {
 			return nil, err
 		}
-	}
-	if err := loader.Close(); err != nil {
-		return nil, err
 	}
 	return &scenarioEnv{driver: d, format: format, faulted: faulted}, nil
 }

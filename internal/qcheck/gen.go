@@ -22,6 +22,15 @@ type Table struct {
 	Name   string
 	Schema *types.Schema
 	Rows   []types.Row
+	// Dims are small dimension tables attached to a fact table: loaded
+	// into every warehouse alongside it, joined by generated queries, and
+	// persisted in corpus files. Column names are prefixed (d0k0, d0v0,
+	// ...) so unqualified references stay unambiguous after a join.
+	Dims []*Table
+	// JoinOn is generator metadata on a dimension table: {dimCol, factCol}
+	// equality pairs the query generator turns into ON clauses. Replay
+	// does not need it — the ON clause lives in the query text.
+	JoinOn [][2]string
 }
 
 // GenOptions tunes table generation; the zero value takes defaults.
@@ -34,6 +43,9 @@ type GenOptions struct {
 	Nested bool
 	// AllowEmpty permits the occasional zero-row table.
 	AllowEmpty bool
+	// Dims attaches 1-2 small dimension tables (usually; sometimes none)
+	// so the query generator can emit equi-joins.
+	Dims bool
 }
 
 // stringMode enumerates the string distributions the generator emits.
@@ -210,7 +222,84 @@ func GenTable(rng *rand.Rand, opts GenOptions) *Table {
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
+	if opts.Dims && rng.Intn(4) > 0 {
+		genDims(rng, tbl)
+	}
 	return tbl
+}
+
+// genDims attaches dimension tables to a fact table. The first join key
+// is always the fact's c0 (Long); a second String key joins multi-key
+// when the fact has a string column. Dim key values mostly sample the
+// fact's actual keys (hits), with misses, NULLs and natural duplicates
+// mixed in; one dim in a while is empty (joins annihilate).
+func genDims(rng *rand.Rand, fact *Table) {
+	strCols := []int{}
+	for i, c := range fact.Schema.Columns {
+		k := c.Type.Kind
+		// The reference cell runs joins reduce-side with no column pruning,
+		// shipping whole fact rows through the shuffle — which cannot carry
+		// nested columns. Facts with nested passengers stay join-free.
+		if !(k.IsInteger() || k.IsFloating() || k == types.String || k == types.Boolean) {
+			return
+		}
+		if k == types.String {
+			strCols = append(strCols, i)
+		}
+	}
+	nd := 1 + rng.Intn(2)
+	for d := 0; d < nd; d++ {
+		dim := &Table{Name: fmt.Sprintf("d%d", d)}
+		keyFact := []int{0}
+		cols := []types.Field{types.Col(fmt.Sprintf("d%dk0", d), types.Primitive(types.Long))}
+		dim.JoinOn = [][2]string{{fmt.Sprintf("d%dk0", d), fact.Schema.Columns[0].Name}}
+		if len(strCols) > 0 && rng.Intn(3) == 0 {
+			sc := strCols[rng.Intn(len(strCols))]
+			keyFact = append(keyFact, sc)
+			cols = append(cols, types.Col(fmt.Sprintf("d%dk1", d), types.Primitive(types.String)))
+			dim.JoinOn = append(dim.JoinOn, [2]string{fmt.Sprintf("d%dk1", d), fact.Schema.Columns[sc].Name})
+		}
+		nv := 1 + rng.Intn(2)
+		var vSpecs []colSpec
+		for j := 0; j < nv; j++ {
+			sp := genPrimitiveSpec(rng, []types.Kind{types.Long, types.Double, types.String, types.Boolean}[rng.Intn(4)])
+			if sp.strMode == stringThreshold {
+				// Dims skip GenTable's row-count-scaled vocabulary pass;
+				// give threshold-mode strings a small one here.
+				for v := 0; v < 3+rng.Intn(6); v++ {
+					sp.vocab = append(sp.vocab, fmt.Sprintf("%s%d", randWord(rng, 2, 5), v))
+				}
+			}
+			vSpecs = append(vSpecs, sp)
+			cols = append(cols, types.Col(fmt.Sprintf("d%dv%d", d, j), sp.typ))
+		}
+		dim.Schema = types.NewSchema(cols...)
+
+		n := 2 + rng.Intn(10)
+		if rng.Intn(15) == 0 {
+			n = 0
+		}
+		for r := 0; r < n; r++ {
+			row := make(types.Row, len(cols))
+			for ki, fc := range keyFact {
+				switch {
+				case len(fact.Rows) > 0 && rng.Intn(10) < 6:
+					row[ki] = fact.Rows[rng.Intn(len(fact.Rows))][fc] // hit (or fact NULL)
+				case rng.Intn(8) == 0:
+					row[ki] = nil
+				case ki == 0:
+					row[ki] = rng.Int63n(2001) - 1000 // probable miss
+				default:
+					row[ki] = randWord(rng, 1, 6)
+				}
+			}
+			for j, sp := range vSpecs {
+				row[len(keyFact)+j] = genValue(rng, &sp, r)
+			}
+			dim.Rows = append(dim.Rows, row)
+		}
+		fact.Dims = append(fact.Dims, dim)
+	}
 }
 
 func genValue(rng *rand.Rand, sp *colSpec, rowIdx int) any {

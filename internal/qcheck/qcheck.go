@@ -95,7 +95,7 @@ func Run(cfg Config) (*Report, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for rep.Queries < cfg.Queries && len(rep.Failures) < cfg.MaxFailures {
-		table := GenTable(rng, GenOptions{AllowEmpty: true})
+		table := GenTable(rng, GenOptions{AllowEmpty: true, Dims: true})
 		envs, err := newEnvSet(table, cells, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("qcheck: scenario %d: %w", rep.Scenarios, err)

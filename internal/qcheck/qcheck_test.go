@@ -1,9 +1,11 @@
 package qcheck
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/fileformat"
+	"repro/internal/sql"
 	"repro/internal/vector"
 )
 
@@ -32,6 +34,45 @@ func TestDifferentialSmoke(t *testing.T) {
 		rep.Seed, rep.Queries, rep.Scenarios, rep.Cells, rep.Executions)
 	for _, f := range rep.Failures {
 		t.Errorf("disagreement:\n%s", failureText(f))
+	}
+}
+
+// TestJoinGeneration pins the equi-join grammar's coverage: across a
+// spread of seeds the generator must attach dimension tables to fact
+// tables and must emit JOIN queries against them (the map-join /
+// vectorized-probe paths only get differential coverage if joins
+// actually appear in the stream).
+func TestJoinGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tables, withDims, joins, multiKey := 0, 0, 0, 0
+	for i := 0; i < 40; i++ {
+		tbl := GenTable(rng, GenOptions{AllowEmpty: true, Dims: true})
+		tables++
+		if len(tbl.Dims) > 0 {
+			withDims++
+		}
+		for q := 0; q < 10; q++ {
+			stmt := GenQuery(rng, tbl)
+			if len(stmt.Joins) > 0 {
+				joins++
+			}
+			for _, j := range stmt.Joins {
+				if b, ok := j.On.(*sql.BinaryExpr); ok && b.Op == "AND" {
+					multiKey++
+				}
+			}
+		}
+	}
+	t.Logf("%d tables, %d with dims, %d join queries, %d multi-key joins",
+		tables, withDims, joins, multiKey)
+	if withDims < tables/4 {
+		t.Errorf("only %d/%d tables got dimension tables", withDims, tables)
+	}
+	if joins < 20 {
+		t.Errorf("only %d/400 queries joined", joins)
+	}
+	if multiKey == 0 {
+		t.Error("no multi-key (composite ON) joins generated")
 	}
 }
 
@@ -64,7 +105,7 @@ func TestInjectedComparatorBug(t *testing.T) {
 	vector.SetCmpFlipForTest(vector.LT, true)
 	defer vector.SetCmpFlipForTest(vector.LT, false)
 
-	rep, err := Run(Config{Seed: 3, Queries: 120, QueriesPerTable: 12, MaxFailures: 1})
+	rep, err := Run(Config{Seed: 5, Queries: 120, QueriesPerTable: 12, MaxFailures: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

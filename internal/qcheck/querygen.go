@@ -16,11 +16,14 @@ import (
 	"repro/internal/types"
 )
 
-// queryCol is one queryable (primitive) column of the scenario table.
+// queryCol is one queryable (primitive) column of a scenario table; tbl
+// points at the table that owns it so literal sampling reads the right
+// row set when dimension tables join in.
 type queryCol struct {
 	idx  int
 	name string
 	kind types.Kind
+	tbl  *Table
 }
 
 func queryCols(t *Table) []queryCol {
@@ -28,7 +31,7 @@ func queryCols(t *Table) []queryCol {
 	for i, c := range t.Schema.Columns {
 		k := c.Type.Kind
 		if k.IsInteger() || k.IsFloating() || k == types.String || k == types.Boolean {
-			out = append(out, queryCol{idx: i, name: c.Name, kind: k})
+			out = append(out, queryCol{idx: i, name: c.Name, kind: k, tbl: t})
 		}
 	}
 	return out
@@ -41,10 +44,40 @@ func isNumeric(k types.Kind) bool { return k.IsInteger() || k.IsFloating() }
 // driver, so generated queries travel the full front-end path.
 func GenQuery(rng *rand.Rand, t *Table) *sql.SelectStmt {
 	g := &queryGen{rng: rng, t: t, cols: queryCols(t)}
-	if rng.Intn(10) < 4 {
-		return g.aggregate()
+	// Half the queries over a dimensioned fact table are equi-joins: the
+	// joined statement draws projections, predicates and literals from the
+	// union of the joined tables' columns, so every downstream clause
+	// exercises cross-table rows.
+	var joins []sql.Join
+	if len(t.Dims) > 0 && rng.Intn(2) == 0 {
+		order := rng.Perm(len(t.Dims))
+		n := 1 + rng.Intn(len(t.Dims))
+		for _, di := range order[:n] {
+			dim := t.Dims[di]
+			var on sql.Expr
+			for _, pair := range dim.JoinOn {
+				eq := &sql.BinaryExpr{Op: "=",
+					Left:  &sql.ColumnRef{Column: pair[1]},
+					Right: &sql.ColumnRef{Column: pair[0]},
+				}
+				if on == nil {
+					on = eq
+				} else {
+					on = &sql.BinaryExpr{Op: "AND", Left: on, Right: eq}
+				}
+			}
+			joins = append(joins, sql.Join{Right: sql.TableRef{Table: dim.Name}, On: on})
+			g.cols = append(g.cols, queryCols(dim)...)
+		}
 	}
-	return g.plain()
+	var stmt *sql.SelectStmt
+	if rng.Intn(10) < 4 {
+		stmt = g.aggregate()
+	} else {
+		stmt = g.plain()
+	}
+	stmt.Joins = joins
+	return stmt
 }
 
 type queryGen struct {
@@ -71,10 +104,14 @@ func colRef(c queryCol) *sql.ColumnRef { return &sql.ColumnRef{Column: c.name} }
 // literal samples a predicate literal for a column: usually one of the
 // column's actual values (boundary-hitting), otherwise synthetic.
 func (g *queryGen) literal(c queryCol) sql.Expr {
-	if len(g.t.Rows) > 0 && g.rng.Intn(10) < 7 {
+	rows := g.t.Rows
+	if c.tbl != nil {
+		rows = c.tbl.Rows
+	}
+	if len(rows) > 0 && g.rng.Intn(10) < 7 {
 		// Up to 8 probes for a non-NULL sample; deterministic.
 		for i := 0; i < 8; i++ {
-			v := g.t.Rows[g.rng.Intn(len(g.t.Rows))][c.idx]
+			v := rows[g.rng.Intn(len(rows))][c.idx]
 			if v == nil {
 				continue
 			}
@@ -393,10 +430,13 @@ func cloneExpr(e sql.Expr) sql.Expr {
 	return e
 }
 
-// cloneStmt deep-copies a statement (single-table statements only, which
-// is all the generator emits).
+// cloneStmt deep-copies a statement (the generator's single-table and
+// fact-JOIN-dims shapes; no subqueries).
 func cloneStmt(s *sql.SelectStmt) *sql.SelectStmt {
 	out := &sql.SelectStmt{From: s.From, Limit: s.Limit}
+	for _, j := range s.Joins {
+		out.Joins = append(out.Joins, sql.Join{Right: j.Right, On: cloneExpr(j.On)})
+	}
 	for _, it := range s.Items {
 		out.Items = append(out.Items, sql.SelectItem{Expr: cloneExpr(it.Expr), Alias: it.Alias})
 	}

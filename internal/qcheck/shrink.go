@@ -66,6 +66,12 @@ func ShrinkFailure(f *Failure, seed int64) *Repro {
 		if st2, moved := s.reduceQuery(t, stmt); moved {
 			stmt, progressed = st2, true
 		}
+		if t2, moved := s.dropDims(t, stmt); moved {
+			t, progressed = t2, true
+		}
+		if t2, moved := s.minimizeDimRows(t, stmt); moved {
+			t, progressed = t2, true
+		}
 		if !progressed || s.evals >= shrinkBudget {
 			break
 		}
@@ -78,7 +84,7 @@ func ShrinkFailure(f *Failure, seed int64) *Repro {
 }
 
 func withRows(t *Table, rows []types.Row) *Table {
-	return &Table{Name: t.Name, Schema: t.Schema, Rows: rows}
+	return &Table{Name: t.Name, Schema: t.Schema, Rows: rows, Dims: t.Dims}
 }
 
 // minimizeRows is classic ddmin over the row set.
@@ -148,9 +154,64 @@ func (s *shrinker) dropColumns(t *Table, stmt *sql.SelectStmt) (*Table, bool) {
 			nr = append(nr, row[i+1:]...)
 			rows[r] = nr
 		}
-		cand := &Table{Name: t.Name, Schema: types.NewSchema(cols...), Rows: rows}
+		cand := &Table{Name: t.Name, Schema: types.NewSchema(cols...), Rows: rows, Dims: t.Dims}
 		if ok, _ := s.check(cand, stmt); ok {
 			t, moved = cand, true
+		}
+	}
+	return t, moved
+}
+
+// dropDims removes dimension tables the statement no longer joins (after
+// a join-drop reduction sticks, its table should stop being loaded).
+func (s *shrinker) dropDims(t *Table, stmt *sql.SelectStmt) (*Table, bool) {
+	if len(t.Dims) == 0 {
+		return t, false
+	}
+	joined := map[string]bool{}
+	for _, j := range stmt.Joins {
+		joined[j.Right.Name()] = true
+	}
+	var keep []*Table
+	for _, d := range t.Dims {
+		if joined[d.Name] {
+			keep = append(keep, d)
+		}
+	}
+	if len(keep) == len(t.Dims) || s.evals >= shrinkBudget {
+		return t, false
+	}
+	cand := &Table{Name: t.Name, Schema: t.Schema, Rows: t.Rows, Dims: keep}
+	if ok, _ := s.check(cand, stmt); ok {
+		return cand, true
+	}
+	return t, false
+}
+
+// minimizeDimRows runs ddmin over each dimension table's rows.
+func (s *shrinker) minimizeDimRows(t *Table, stmt *sql.SelectStmt) (*Table, bool) {
+	moved := false
+	for di, dim := range t.Dims {
+		rows := dim.Rows
+		for len(rows) >= 1 && s.evals < shrinkBudget {
+			reduced := false
+			for drop := 0; drop < len(rows); drop++ {
+				complement := make([]types.Row, 0, len(rows)-1)
+				complement = append(complement, rows[:drop]...)
+				complement = append(complement, rows[drop+1:]...)
+				dims := append([]*Table(nil), t.Dims...)
+				dims[di] = &Table{Name: dim.Name, Schema: dim.Schema, Rows: complement}
+				cand := &Table{Name: t.Name, Schema: t.Schema, Rows: t.Rows, Dims: dims}
+				if ok, _ := s.check(cand, stmt); ok {
+					rows = complement
+					t = cand
+					moved, reduced = true, true
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
 		}
 	}
 	return t, moved
@@ -185,6 +246,13 @@ func reductions(stmt *sql.SelectStmt) []*sql.SelectStmt {
 	}
 	if stmt.Where != nil {
 		edit(func(c *sql.SelectStmt) { c.Where = nil })
+	}
+	// Drop a join. Candidates whose remaining clauses still reference the
+	// dropped table fail to plan identically on both cells, which counts
+	// as agreement, so the reduction rejects itself.
+	for i := range stmt.Joins {
+		i := i
+		edit(func(c *sql.SelectStmt) { c.Joins = append(c.Joins[:i], c.Joins[i+1:]...) })
 	}
 	if stmt.Limit >= 0 {
 		edit(func(c *sql.SelectStmt) { c.Limit = -1 })
@@ -255,7 +323,7 @@ func reduceExpr(e sql.Expr) []sql.Expr {
 // ClauseCount measures statement size for shrink-quality assertions:
 // projections + WHERE atoms + group keys + order keys + LIMIT.
 func ClauseCount(stmt *sql.SelectStmt) int {
-	n := len(stmt.Items) + len(stmt.GroupBy) + len(stmt.OrderBy)
+	n := len(stmt.Items) + len(stmt.GroupBy) + len(stmt.OrderBy) + len(stmt.Joins)
 	if stmt.Limit >= 0 {
 		n++
 	}

@@ -1,0 +1,100 @@
+// pool.go recycles batches and column vectors. A vectorized fragment
+// allocates a batch per map task (plus scratch columns per compiled
+// expression); under a persistent daemon thousands of tasks churn through
+// identical allocations, so batches are drawn from a capacity-specific
+// pool instead and returned when the fragment ends.
+package vector
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool recycles column vectors and batch shells of one fixed capacity.
+type Pool struct {
+	capacity int
+	longs    sync.Pool
+	doubles  sync.Pool
+	bytes    sync.Pool
+	shells   sync.Pool
+
+	// Gets counts vectors handed out; News the subset that had to be
+	// freshly allocated (steady state: News stops growing).
+	Gets atomic.Int64
+	News atomic.Int64
+}
+
+// NewPool creates a pool of vectors with the given row capacity.
+func NewPool(capacity int) *Pool {
+	p := &Pool{capacity: capacity}
+	p.longs.New = func() any { p.News.Add(1); return NewLongColumnVector(capacity) }
+	p.doubles.New = func() any { p.News.Add(1); return NewDoubleColumnVector(capacity) }
+	p.bytes.New = func() any { p.News.Add(1); return NewBytesColumnVector(capacity) }
+	p.shells.New = func() any { return &VectorizedRowBatch{Selected: make([]int, capacity)} }
+	return p
+}
+
+// Capacity returns the row capacity of pooled vectors.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// GetLong returns a reset long vector.
+func (p *Pool) GetLong() *LongColumnVector {
+	p.Gets.Add(1)
+	v := p.longs.Get().(*LongColumnVector)
+	v.Reset()
+	return v
+}
+
+// GetDouble returns a reset double vector.
+func (p *Pool) GetDouble() *DoubleColumnVector {
+	p.Gets.Add(1)
+	v := p.doubles.Get().(*DoubleColumnVector)
+	v.Reset()
+	return v
+}
+
+// GetBytes returns a reset bytes vector.
+func (p *Pool) GetBytes() *BytesColumnVector {
+	p.Gets.Add(1)
+	v := p.bytes.Get().(*BytesColumnVector)
+	v.Reset()
+	return v
+}
+
+// GetBatch assembles a pooled batch shell around cols.
+func (p *Pool) GetBatch(cols ...ColumnVector) *VectorizedRowBatch {
+	b := p.shells.Get().(*VectorizedRowBatch)
+	b.Size = 0
+	b.SelectedInUse = false
+	b.Columns = append(b.Columns[:0], cols...)
+	return b
+}
+
+// Put returns a batch and every one of its columns — including scratch
+// columns appended after GetBatch — to the pool. Vectors of a different
+// capacity (or foreign types) are dropped.
+func (p *Pool) Put(b *VectorizedRowBatch) {
+	if b == nil {
+		return
+	}
+	for _, c := range b.Columns {
+		if c.Capacity() != p.capacity {
+			continue
+		}
+		switch v := c.(type) {
+		case *LongColumnVector:
+			p.longs.Put(v)
+		case *DoubleColumnVector:
+			p.doubles.Put(v)
+		case *BytesColumnVector:
+			// Drop value references so pooled vectors don't pin reader
+			// buffers.
+			for i := range v.Vector {
+				v.Vector[i] = nil
+			}
+			p.bytes.Put(v)
+		}
+	}
+	b.Columns = b.Columns[:0]
+	p.shells.Put(b)
+}

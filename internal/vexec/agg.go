@@ -97,9 +97,12 @@ func (t *hashAggTerminal) consume(b *vector.VectorizedRowBatch) error {
 		}
 		g, ok := t.groups[string(kb)]
 		if !ok {
+			// One string conversion shared by the map key and the order
+			// slice; the lookup above stays allocation-free on hits.
+			k := string(kb)
 			g = &aggGroup{keys: append([]any(nil), t.keyBuf...), accs: make([]aggAcc, len(t.gby.Aggs))}
-			t.groups[string(kb)] = g
-			t.order = append(t.order, string(kb))
+			t.groups[k] = g
+			t.order = append(t.order, k)
 		}
 		for a := range t.gby.Aggs {
 			failed = t.update(&g.accs[a], t.gby.Aggs[a], a, b, i)

@@ -79,9 +79,15 @@ type compiler struct {
 	// prof, when set, makes the compiler wrap each node's steps with
 	// profiling taps (see profile.go).
 	prof *obs.PlanProfile
+	// env, when set, draws batches and scratch columns from the vector
+	// pool (see pool.go); nil falls back to fresh allocation.
+	env *batchEnv
 }
 
 func (c *compiler) addScratch(k types.Kind) int {
+	if c.env != nil {
+		return c.batch.AddColumn(c.env.vectorFor(k))
+	}
 	var col vector.ColumnVector
 	switch {
 	case k.IsInteger() || k == types.Boolean || k == types.Timestamp:

@@ -1,0 +1,403 @@
+// mapjoin.go implements the vectorized map-join probe (§6 applied to
+// §5.1's map join): probe keys are encoded per batch row straight from
+// the typed column vectors — byte-identical to the row engine's
+// exec.EncodeKey, so both engines agree on every match including
+// NULL-key joins — and matches are gathered from the build side's
+// column-major projection into a pooled output batch that feeds the
+// downstream compiled program. Inner join; multi-key and multi-small-
+// table chains compose (a chained MapJoin just compiles as the
+// downstream program's terminal).
+package vexec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// cellCopier writes one output cell: src is the probe row (big side) or
+// the build position (small side).
+type cellCopier func(outRow, src int)
+
+// joinInput is one map-join input in parent order.
+type joinInput struct {
+	big bool
+	// Small inputs: the shared build side and the probe-key encoders.
+	index  map[string][]int32
+	keys   []probeKey
+	keyBuf []byte
+	// copiers write this input's slice of the output row.
+	copiers []cellCopier
+}
+
+// probeKey encodes one probe-key column from its typed vector, matching
+// exec.EncodeKey byte for byte (booleans ride in long vectors but encode
+// as the row engine's bool byte).
+type probeKey struct {
+	isBool bool
+	long   *vector.LongColumnVector
+	dbl    *vector.DoubleColumnVector
+	byt    *vector.BytesColumnVector
+}
+
+func (k *probeKey) append(buf []byte, i int) []byte {
+	switch {
+	case k.long != nil:
+		if k.long.Null(i) {
+			return append(buf, 0x00)
+		}
+		buf = append(buf, 0x01)
+		if k.isBool {
+			if k.long.Value(i) != 0 {
+				return append(buf, 1)
+			}
+			return append(buf, 0)
+		}
+		return binary.BigEndian.AppendUint64(buf, uint64(k.long.Value(i))^(1<<63))
+	case k.dbl != nil:
+		if k.dbl.Null(i) {
+			return append(buf, 0x00)
+		}
+		buf = append(buf, 0x01)
+		bits := math.Float64bits(k.dbl.Value(i))
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		return binary.BigEndian.AppendUint64(buf, bits)
+	default:
+		if k.byt.Null(i) {
+			return append(buf, 0x00)
+		}
+		buf = append(buf, 0x01)
+		for _, ch := range k.byt.Value(i) {
+			if ch == 0x00 {
+				buf = append(buf, 0x00, 0xFF)
+			} else {
+				buf = append(buf, ch)
+			}
+		}
+		return append(buf, 0x00, 0x00)
+	}
+}
+
+// vecMapJoin is the terminal that probes the build sides one batch at a
+// time and streams joined rows into the downstream program.
+type vecMapJoin struct {
+	inputs   []joinInput
+	matches  [][]int32 // current probe row's matches per input (unused at big)
+	sel      []int32   // chosen build position per input during emission
+	out      *vector.VectorizedRowBatch
+	down     *program
+	capacity int
+	stats    *obs.OpStats
+}
+
+// compileMapJoin resolves the shared build sides, compiles the probe keys
+// against the current (big-side) column state, and compiles the join's
+// downstream chain over a fresh output batch laid out as the
+// concatenation of the parents' schemas in parent order — exactly the
+// row-mode mapJoinOp's output row.
+func (c *compiler) compileMapJoin(mj *plan.MapJoin, ctx *exec.Context) (terminal, error) {
+	if len(mj.Children) != 1 {
+		return nil, fmt.Errorf("vexec: map join %s has %d consumers; vectorization requires 1", mj.Label(), len(mj.Children))
+	}
+	j := &vecMapJoin{capacity: c.capacity}
+	if c.prof != nil {
+		j.stats = c.prof.Op(mj.ID)
+	}
+
+	var outKinds []types.Kind
+	for _, parent := range mj.Parents {
+		for _, col := range parent.Schema().Cols {
+			outKinds = append(outKinds, col.Kind)
+		}
+	}
+	if c.env != nil {
+		j.out = c.env.newBatch(outKinds)
+	} else {
+		cols := make([]vector.ColumnVector, len(outKinds))
+		for i, k := range outKinds {
+			switch {
+			case k.IsInteger() || k == types.Boolean || k == types.Timestamp:
+				cols[i] = vector.NewLongColumnVector(c.capacity)
+			case k.IsFloating():
+				cols[i] = vector.NewDoubleColumnVector(c.capacity)
+			default:
+				cols[i] = vector.NewBytesColumnVector(c.capacity)
+			}
+		}
+		j.out = vector.NewBatch(c.capacity, cols...)
+	}
+
+	outCol := 0
+	for i, parent := range mj.Parents {
+		pcols := parent.Schema().Cols
+		in := joinInput{}
+		if i == mj.BigIdx {
+			if len(pcols) != len(c.state.colMap) {
+				return nil, fmt.Errorf("vexec: map-join big side width %d != chain width %d", len(pcols), len(c.state.colMap))
+			}
+			in.big = true
+			for k := range pcols {
+				cp, err := c.bigCopier(c.state.colMap[k], j.out, outCol+k)
+				if err != nil {
+					return nil, err
+				}
+				in.copiers = append(in.copiers, cp)
+			}
+		} else {
+			kinds := make([]types.Kind, len(pcols))
+			for k, col := range pcols {
+				kinds[k] = col.Kind
+			}
+			parent := parent
+			build := func() (*exec.HashTable, error) {
+				return exec.BuildHashTable(ctx, parent, mj.Keys[i])
+			}
+			var ht *exec.HashTable
+			var err error
+			if ctx.SharedHashTable != nil {
+				ht, err = ctx.SharedHashTable(mj, i, build)
+			} else {
+				ht, err = build()
+			}
+			if err != nil {
+				return nil, err
+			}
+			cb, err := ht.Columnar(kinds)
+			if err != nil {
+				return nil, err
+			}
+			in.index = cb.Index
+			for k := range pcols {
+				cp, err := smallCopier(cb, k, kinds[k], j.out, outCol+k)
+				if err != nil {
+					return nil, err
+				}
+				in.copiers = append(in.copiers, cp)
+			}
+			for _, e := range mj.ProbeKeys[i] {
+				col, kind, err := c.compileValue(e)
+				if err != nil {
+					return nil, err
+				}
+				pk := probeKey{isBool: kind == types.Boolean}
+				switch v := c.batch.Columns[col].(type) {
+				case *vector.LongColumnVector:
+					pk.long = v
+				case *vector.DoubleColumnVector:
+					pk.dbl = v
+				case *vector.BytesColumnVector:
+					pk.byt = v
+				}
+				in.keys = append(in.keys, pk)
+			}
+		}
+		j.inputs = append(j.inputs, in)
+		outCol += len(pcols)
+	}
+	j.matches = make([][]int32, len(j.inputs))
+	j.sel = make([]int32, len(j.inputs))
+
+	dc := &compiler{
+		batch:    j.out,
+		state:    &colState{colMap: identity(len(outKinds)), kinds: outKinds},
+		capacity: c.capacity,
+		prof:     c.prof,
+		env:      c.env,
+	}
+	down, err := dc.compileFrom(singleChild(mj), ctx)
+	if err != nil {
+		return nil, err
+	}
+	j.down = down
+	return j, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// bigCopier gathers a big-side column from the probe batch into the
+// output batch; a pruned column (phys < 0) stays NULL, as the row
+// engine's widen leaves it nil.
+func (c *compiler) bigCopier(phys int, out *vector.VectorizedRowBatch, outCol int) (cellCopier, error) {
+	if phys < 0 {
+		switch ov := out.Columns[outCol].(type) {
+		case *vector.LongColumnVector:
+			return func(o, _ int) { ov.SetNull(o) }, nil
+		case *vector.DoubleColumnVector:
+			return func(o, _ int) { ov.SetNull(o) }, nil
+		case *vector.BytesColumnVector:
+			return func(o, _ int) { ov.SetNull(o) }, nil
+		}
+	}
+	switch iv := c.batch.Columns[phys].(type) {
+	case *vector.LongColumnVector:
+		ov := out.Long(outCol)
+		return func(o, i int) {
+			if iv.Null(i) {
+				ov.SetNull(o)
+			} else {
+				ov.Vector[o] = iv.Value(i)
+			}
+		}, nil
+	case *vector.DoubleColumnVector:
+		ov := out.Double(outCol)
+		return func(o, i int) {
+			if iv.Null(i) {
+				ov.SetNull(o)
+			} else {
+				ov.Vector[o] = iv.Value(i)
+			}
+		}, nil
+	case *vector.BytesColumnVector:
+		ov := out.Bytes(outCol)
+		return func(o, i int) {
+			if iv.Null(i) {
+				ov.SetNull(o)
+			} else {
+				ov.Vector[o] = iv.Value(i)
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("vexec: no copier for column %d", phys)
+}
+
+// smallCopier gathers a build-side column from the columnar build into
+// the output batch.
+func smallCopier(cb *exec.ColumnarBuild, col int, k types.Kind, out *vector.VectorizedRowBatch, outCol int) (cellCopier, error) {
+	nulls := cb.Nulls[col]
+	switch {
+	case k.IsInteger() || k == types.Boolean || k == types.Timestamp:
+		vals := cb.Longs[col]
+		ov := out.Long(outCol)
+		return func(o, p int) {
+			if nulls[p] {
+				ov.SetNull(o)
+			} else {
+				ov.Vector[o] = vals[p]
+			}
+		}, nil
+	case k.IsFloating():
+		vals := cb.Doubles[col]
+		ov := out.Double(outCol)
+		return func(o, p int) {
+			if nulls[p] {
+				ov.SetNull(o)
+			} else {
+				ov.Vector[o] = vals[p]
+			}
+		}, nil
+	case k == types.String:
+		vals := cb.Bytes[col]
+		ov := out.Bytes(outCol)
+		return func(o, p int) {
+			if nulls[p] {
+				ov.SetNull(o)
+			} else {
+				ov.Vector[o] = vals[p]
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("vexec: no build-side copier for kind %s", k)
+}
+
+func (j *vecMapJoin) consume(b *vector.VectorizedRowBatch) error {
+	if j.stats != nil {
+		j.stats.Batches.Add(1)
+	}
+	var failed error
+	b.Rows(func(i int) {
+		if failed != nil {
+			return
+		}
+		failed = j.probeRow(i)
+	})
+	return failed
+}
+
+// probeRow looks up row i's key in every small table; any miss drops the
+// row (inner join), otherwise the cross product of the matches is
+// emitted in input order — the row engine's probe order.
+func (j *vecMapJoin) probeRow(i int) error {
+	for idx := range j.inputs {
+		in := &j.inputs[idx]
+		if in.big {
+			continue
+		}
+		buf := in.keyBuf[:0]
+		for k := range in.keys {
+			buf = in.keys[k].append(buf, i)
+		}
+		in.keyBuf = buf
+		m := in.index[string(buf)]
+		if len(m) == 0 {
+			return nil
+		}
+		j.matches[idx] = m
+	}
+	return j.emit(0, i)
+}
+
+func (j *vecMapJoin) emit(input, probeRow int) error {
+	if input == len(j.inputs) {
+		o := j.out.Size
+		for idx := range j.inputs {
+			in := &j.inputs[idx]
+			src := probeRow
+			if !in.big {
+				src = int(j.sel[idx])
+			}
+			for _, cp := range in.copiers {
+				cp(o, src)
+			}
+		}
+		j.out.Size++
+		if j.out.Size == j.capacity {
+			return j.flushOut()
+		}
+		return nil
+	}
+	in := &j.inputs[input]
+	if in.big {
+		return j.emit(input+1, probeRow)
+	}
+	for _, p := range j.matches[input] {
+		j.sel[input] = p
+		if err := j.emit(input+1, probeRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushOut pushes the accumulated output batch through the downstream
+// program and resets it for refilling.
+func (j *vecMapJoin) flushOut() error {
+	if j.out.Size == 0 {
+		return nil
+	}
+	err := j.down.processBatch(j.out)
+	j.out.Reset()
+	return err
+}
+
+func (j *vecMapJoin) flush() error {
+	if err := j.flushOut(); err != nil {
+		return err
+	}
+	return j.down.term.flush()
+}

@@ -1,0 +1,73 @@
+// pool.go wires the vector pool into fragment compilation: one batchEnv
+// per fragment run draws every batch and scratch column from a
+// capacity-keyed shared pool and returns them all when the fragment ends,
+// so steady-state scans allocate no new column vectors.
+package vexec
+
+import (
+	"sync"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+var (
+	poolsMu sync.Mutex
+	pools   = map[int]*vector.Pool{}
+)
+
+// poolFor returns the process-wide pool for one batch capacity.
+func poolFor(n int) *vector.Pool {
+	poolsMu.Lock()
+	defer poolsMu.Unlock()
+	p := pools[n]
+	if p == nil {
+		p = vector.NewPool(n)
+		pools[n] = p
+	}
+	return p
+}
+
+// batchEnv tracks the pooled batches of one fragment run for release.
+type batchEnv struct {
+	pool    *vector.Pool
+	batches []*vector.VectorizedRowBatch
+}
+
+func newBatchEnv(capacity int) *batchEnv {
+	return &batchEnv{pool: poolFor(capacity)}
+}
+
+// vectorFor draws a typed vector for a column kind (same kind-to-vector
+// mapping as the ORC BatchReader).
+func (e *batchEnv) vectorFor(k types.Kind) vector.ColumnVector {
+	switch {
+	case k.IsInteger() || k == types.Boolean || k == types.Timestamp:
+		return e.pool.GetLong()
+	case k.IsFloating():
+		return e.pool.GetDouble()
+	default:
+		return e.pool.GetBytes()
+	}
+}
+
+// newBatch assembles a pooled batch with one typed column per kind and
+// registers it for release.
+func (e *batchEnv) newBatch(kinds []types.Kind) *vector.VectorizedRowBatch {
+	cols := make([]vector.ColumnVector, len(kinds))
+	for i, k := range kinds {
+		cols[i] = e.vectorFor(k)
+	}
+	b := e.pool.GetBatch(cols...)
+	e.batches = append(e.batches, b)
+	return b
+}
+
+// release returns every batch (and its columns, scratch included) to the
+// pool.
+func (e *batchEnv) release() {
+	for _, b := range e.batches {
+		e.pool.Put(b)
+	}
+	e.batches = nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package vexec
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops a fraction of Puts to widen interleaving
+// coverage, so alloc-pinning assertions over pool counters cannot hold.
+const raceEnabled = true

@@ -63,8 +63,10 @@ func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *pla
 	if err != nil {
 		return err
 	}
-	batch := br.NewBatchFor(batchSize)
-	prog, err := compileChain(scan, batch, ctx, prof)
+	env := newBatchEnv(batchSize)
+	defer env.release()
+	batch := env.newBatch(br.Kinds())
+	prog, err := compileChain(scan, batch, ctx, prof, env)
 	if err != nil {
 		return err
 	}
@@ -115,16 +117,17 @@ func (p *program) processBatch(b *vector.VectorizedRowBatch) error {
 }
 
 // CompileChain compiles the operator chain hanging off a marked scan. The
-// vectorization optimizer validated the shape: Filter* / Select? ending in
-// GroupBy(Partial)+ReduceSink, ReduceSink, or FileSink, with single
-// children throughout.
+// vectorization optimizer validated the shape: Filter* / Select? /
+// MapJoin* ending in GroupBy(Partial)+ReduceSink, ReduceSink, or
+// FileSink, with single children throughout.
 func CompileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *exec.Context) (*program, error) {
-	return compileChain(scan, batch, ctx, nil)
+	return compileChain(scan, batch, ctx, nil, nil)
 }
 
-// compileChain is CompileChain plus optional per-operator profiling: with a
-// profile, every node's steps and the terminal are wrapped (profile.go).
-func compileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *exec.Context, prof *obs.PlanProfile) (*program, error) {
+// compileChain is CompileChain plus optional per-operator profiling (every
+// node's steps and the terminal are wrapped, profile.go) and batch
+// pooling.
+func compileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *exec.Context, prof *obs.PlanProfile, env *batchEnv) (*program, error) {
 	if len(scan.Children) != 1 {
 		return nil, fmt.Errorf("vexec: scan %s has %d consumers; vectorization requires 1", scan.Label(), len(scan.Children))
 	}
@@ -150,9 +153,15 @@ func compileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 		state.colMap = append(state.colMap, p)
 		state.kinds = append(state.kinds, col.Kind)
 	}
-	c := &compiler{batch: batch, state: state, capacity: batch.Columns[0].Capacity(), prof: prof}
+	c := &compiler{batch: batch, state: state, capacity: batch.Columns[0].Capacity(), prof: prof, env: env}
+	return c.compileFrom(scan.Children[0], ctx)
+}
 
-	node := scan.Children[0]
+// compileFrom compiles the chain from node down to its terminal against
+// the compiler's current batch and column state. The map-join case
+// recurses: the join becomes a terminal owning a freshly compiled
+// downstream program over its output batch.
+func (c *compiler) compileFrom(node plan.Node, ctx *exec.Context) (*program, error) {
 	for {
 		pre := len(c.steps)
 		switch t := node.(type) {
@@ -174,8 +183,15 @@ func compileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 				mapping[i] = col
 				kinds[i] = kind
 			}
-			c.steps = append(c.steps, projectStep{prog: state, mapping: mapping, kinds: kinds})
+			c.steps = append(c.steps, projectStep{prog: c.state, mapping: mapping, kinds: kinds})
 			c.tagNode(t, pre)
+		case *plan.MapJoin:
+			term, err := c.compileMapJoin(t, ctx)
+			if err != nil {
+				return nil, err
+			}
+			c.tagNode(t, pre) // probe-key value steps, if any
+			return &program{batch: c.batch, steps: c.steps, term: c.tagTerm(t, term)}, nil
 		case *plan.GroupBy:
 			if t.Mode != plan.GBYPartial {
 				return nil, fmt.Errorf("vexec: unexpected %s group-by in map chain", t.Mode)
@@ -189,11 +205,11 @@ func compileChain(scan *plan.TableScan, batch *vector.VectorizedRowBatch, ctx *e
 				return nil, err
 			}
 			c.tagNode(t, pre)
-			return &program{batch: batch, steps: c.steps, term: c.tagTerm(t, term)}, nil
+			return &program{batch: c.batch, steps: c.steps, term: c.tagTerm(t, term)}, nil
 		case *plan.ReduceSink:
-			return &program{batch: batch, steps: c.steps, term: c.tagTerm(t, newRowEmitter(c, t, nil, ctx))}, nil
+			return &program{batch: c.batch, steps: c.steps, term: c.tagTerm(t, newRowEmitter(c, t, nil, ctx))}, nil
 		case *plan.FileSink:
-			return &program{batch: batch, steps: c.steps, term: c.tagTerm(t, newRowEmitter(c, nil, t, ctx))}, nil
+			return &program{batch: c.batch, steps: c.steps, term: c.tagTerm(t, newRowEmitter(c, nil, t, ctx))}, nil
 		default:
 			return nil, fmt.Errorf("vexec: unsupported operator %s in vectorized chain", node.Label())
 		}
