@@ -1,23 +1,28 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap bench-join faults difftest obs
+.PHONY: check vet build test race race-core bench-llap bench-join bench-concurrency faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
 # must pass. `make race` remains the full-repo race sweep. The bench steps
 # build and run the nil-tracer and vectorized map-join benchmarks once
 # (smokes that the disabled-tracing fast path and the pooled join pipeline
 # keep compiling and running; no timing assertion — compare ns/op manually
-# with `go test -bench . ./internal/obs` / `./internal/vexec`).
+# with `go test -bench . ./internal/obs` / `./internal/vexec`). The last
+# step is a tiny E14 run: a mixed interactive+batch client population
+# through the multi-tenant server, checking concurrent results stay
+# byte-identical to serial.
 check: vet build test race-core
 	$(GO) test -run=NONE -bench=BenchmarkNilTracer -benchtime=1x ./internal/obs
 	$(GO) test -run=NONE -bench=BenchmarkVectorizedMapJoin -benchtime=1x ./internal/vexec
+	$(GO) test -run=TestConcurrencyShape -count=1 ./internal/bench
 
 # race-core is the fast race pass over the correctness-critical packages
-# (the differential harness, the engine layers it drives, the vector
-# batch/pool primitives shared across concurrent tasks, and the
-# observability counters those layers mutate while queries run).
+# (the differential harness, the engine layers it drives, the multi-tenant
+# server dispatching them in parallel, the vector batch/pool primitives
+# shared across concurrent tasks, and the observability counters those
+# layers mutate while queries run).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +44,12 @@ bench-llap:
 # the vectorized probe, and LLAP with a warm build cache.
 bench-join:
 	$(GO) run ./cmd/benchrunner -exp join
+
+# bench-concurrency reproduces E14: mixed interactive+batch clients through
+# the multi-tenant server, sweeping client counts, with the
+# preemption-ablation pair at the top level.
+bench-concurrency:
+	$(GO) run ./cmd/benchrunner -exp concurrency
 
 # faults runs the E10 fault matrix: seeded task crashes, read faults, a
 # corrupt block, stragglers and cache faults on all three engines.

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|llap|faults|obs|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|llap|concurrency|faults|obs|ablations|all, or diff (E11, only when named explicitly)")
 	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
@@ -30,6 +30,8 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault-injection experiment")
 	diffSeed := flag.Int64("diff-seed", 1, "seed for the differential query fuzzer (E11)")
 	diffQueries := flag.Int("diff-queries", 500, "generated queries for the differential fuzzer (E11)")
+	concMax := flag.Int("conc-max", 256, "largest client count for the concurrency experiment (E14)")
+	concQueries := flag.Int("conc-queries", 4, "interactive queries per client for the concurrency experiment (E14)")
 	flag.Parse()
 
 	cfg := bench.EnvConfig{
@@ -133,6 +135,14 @@ func main() {
 		bench.PrintLLAP(os.Stdout, rep)
 		return nil
 	})
+	run("concurrency", func() error {
+		rep, err := bench.RunConcurrency(cfg, concLevels(*concMax), *concQueries, minInt(*concMax, 64))
+		if err != nil {
+			return err
+		}
+		bench.PrintConcurrency(os.Stdout, rep)
+		return nil
+	})
 	run("faults", func() error {
 		rep, err := bench.RunFaults(cfg, bench.DefaultFaultConfig(*faultSeed))
 		if err != nil {
@@ -187,6 +197,22 @@ func main() {
 		bench.PrintAblation(os.Stdout, "A4: index-group stride (SS-DB q1.easy)", rows)
 		return nil
 	})
+}
+
+// concLevels builds the E14 client sweep: powers of four up to max.
+func concLevels(max int) []int {
+	var levels []int
+	for n := 1; n < max; n *= 4 {
+		levels = append(levels, n)
+	}
+	return append(levels, max)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func scaled(f float64) workload.Scale {

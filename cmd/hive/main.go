@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	optimize := flag.String("optimize", "all", "optimizations: all|none|ppd|mapjoin|correlation|vectorize (comma-separated)")
 	scale := flag.Float64("scale", 0.3, "dataset scale factor")
 	engine := flag.String("engine", "mapreduce", "execution engine: mapreduce|tez|llap")
+	serve := flag.Bool("serve", false,
+		"route queries through the multi-tenant query server: sessions, resource pools, admission control (\\sessions, \\pool, \\pools)")
 	flag.Parse()
 
 	kind, err := fileformat.ParseKind(strings.ToUpper(*format))
@@ -78,6 +81,26 @@ func main() {
 	fatalIf(err)
 
 	fmt.Println("tables:", strings.Join(env.Driver.Metastore().Names(), ", "))
+
+	// In -serve mode every statement goes through the multi-tenant server:
+	// the shell holds one current session (switchable with \session) and
+	// each query passes workload-manager admission for its session's pool.
+	var srv *server.Server
+	var sess *server.Session
+	if *serve {
+		srv = server.New(env.Driver, server.ManagerConfig{
+			Pools: []server.PoolConfig{
+				{Name: "interactive", Slots: 2, Interactive: true},
+				{Name: "batch", Slots: 2, Preemptable: true},
+			},
+		})
+		defer srv.Close()
+		sess, err = srv.OpenSession("")
+		fatalIf(err)
+		fmt.Printf("server mode: session %s in pool %q (\\sessions lists, \\pools shows admission stats)\n",
+			sess.ID(), sess.Pool())
+	}
+
 	fmt.Println(`enter a SELECT statement on one line ("\help" lists commands; EXPLAIN ANALYZE <sql> profiles a query)`)
 	var timeout time.Duration
 	profile := false
@@ -107,6 +130,12 @@ func main() {
                           spans cover phases, jobs, task attempts, operators
   \cache                  LLAP cache and daemon pool statistics (-engine llap)
   \timeout <dur>|off      bound query wall time (e.g. \timeout 30s)
+server mode (-serve):
+  \sessions               list open sessions (current one starred)
+  \session new [pool]     open a session (in pool) and switch to it
+  \session <id>           switch to an open session
+  \pool <name>            move the current session to a resource pool
+  \pools                  per-pool admission stats (running, queued, preempted)
 statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
 `)
 		case strings.HasPrefix(line, `\profile`):
@@ -152,6 +181,70 @@ statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
 				daemon.MetaCache().Len(), daemon.MetaCache().Hits(), daemon.MetaCache().Misses())
 			fmt.Printf("daemon pool: %d workers; %d tasks submitted, %d executed, %d rejected, peak concurrency %d\n",
 				daemon.Config().Workers, ds.Submitted, ds.Executed, ds.Rejected, ds.MaxConcurrent)
+		case line == `\pools`:
+			if srv == nil {
+				fmt.Println("no server: start with -serve")
+				continue
+			}
+			fmt.Printf("%-14s %7s %7s %7s %9s %9s %9s %10s\n",
+				"pool", "slots", "running", "queued", "admitted", "rejected", "timedout", "preempted")
+			for _, st := range srv.Manager().Stats() {
+				name := st.Name
+				if st.Interactive {
+					name += "*"
+				}
+				fmt.Printf("%-14s %7d %7d %7d %9d %9d %9d %10d\n",
+					name, st.Slots, st.Running, st.Queued, st.Admitted, st.Rejected, st.TimedOut, st.Preempted)
+			}
+			fmt.Println("(* = interactive pool: dispatched first, may preempt batch)")
+		case strings.HasPrefix(line, `\pool `):
+			if srv == nil {
+				fmt.Println("no server: start with -serve")
+				continue
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\pool `))
+			if err := sess.SetPool(name); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("session %s now in pool %q\n", sess.ID(), name)
+		case line == `\sessions`:
+			if srv == nil {
+				fmt.Println("no server: start with -serve")
+				continue
+			}
+			for _, s := range srv.Sessions() {
+				marker := " "
+				if s.ID() == sess.ID() {
+					marker = "*"
+				}
+				fmt.Printf("%s %-6s pool=%-14s engine=%-10s queries=%d preemptions=%d\n",
+					marker, s.ID(), s.Pool(), s.Config().Engine, s.Queries(), s.Preemptions())
+			}
+		case strings.HasPrefix(line, `\session `):
+			if srv == nil {
+				fmt.Println("no server: start with -serve")
+				continue
+			}
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\session `))
+			if arg == "new" || strings.HasPrefix(arg, "new ") {
+				pool := strings.TrimSpace(strings.TrimPrefix(arg, "new"))
+				ns, err := srv.OpenSession(pool)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				sess = ns
+				fmt.Printf("session %s opened in pool %q (now current)\n", sess.ID(), sess.Pool())
+				continue
+			}
+			ns, ok := srv.Session(arg)
+			if !ok {
+				fmt.Printf("no session %q (\\sessions lists them)\n", arg)
+				continue
+			}
+			sess = ns
+			fmt.Printf("session %s is now current (pool %q)\n", sess.ID(), sess.Pool())
 		case strings.HasPrefix(line, `\timeout`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\timeout`))
 			if arg == "" || arg == "off" {
@@ -190,12 +283,18 @@ statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
 			if profile {
 				var p *plan.Plan
 				var prof *obs.PlanProfile
-				res, p, prof, err = env.Driver.RunProfiled(ctx, line)
+				if srv != nil {
+					res, p, prof, err = sess.RunProfiled(ctx, line)
+				} else {
+					res, p, prof, err = env.Driver.RunProfiled(ctx, line)
+				}
 				if err == nil {
 					for _, l := range core.RenderAnalyzedPlan(p, prof, res) {
 						fmt.Println(l)
 					}
 				}
+			} else if srv != nil {
+				res, err = sess.Run(ctx, line)
 			} else {
 				res, err = env.Driver.RunContext(ctx, line)
 			}

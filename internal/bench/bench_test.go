@@ -426,3 +426,38 @@ func TestFaultMatrix(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrencyShape is the E14 smoke: a small client sweep must keep
+// every concurrent result identical to the serial reference, finish with
+// zero errors, and actually exercise preemption in the ablation pair.
+func TestConcurrencyShape(t *testing.T) {
+	rep, err := RunConcurrency(tinyCfg(), []int{1, 8}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if !r.Consistent {
+			t.Errorf("%d clients: concurrent results diverged from serial reference", r.Clients)
+		}
+		if r.Errors > 0 {
+			t.Errorf("%d clients: %d query errors", r.Clients, r.Errors)
+		}
+		if r.Queries == 0 || r.Throughput <= 0 {
+			t.Errorf("%d clients: no throughput measured (%+v)", r.Clients, r)
+		}
+	}
+	if rep.P95With == 0 || rep.P95Without == 0 {
+		t.Errorf("preemption ablation missing: with=%v without=%v", rep.P95With, rep.P95Without)
+	}
+	var buf bytes.Buffer
+	PrintConcurrency(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"E14", "clients", "preemption ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintConcurrency output missing %q", want)
+		}
+	}
+}

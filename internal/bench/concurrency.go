@@ -1,0 +1,307 @@
+// concurrency.go drives E14, the multi-tenant concurrency experiment
+// (beyond the paper's figures; its §9 "servers and workload management"
+// outlook): a mixed interactive+batch client population fires queries at
+// one shared driver through internal/server, sweeping the client count.
+// Reported per level: total throughput, interactive and batch latency
+// quantiles, preemption counts, and a correctness bit (every concurrent
+// result must equal the serial reference). A with/without-preemption pair
+// at one level isolates what admission-queue preemption buys the
+// interactive pool's tail.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fileformat"
+	"repro/internal/optimizer"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// ConcurrencyRow is one client-count measurement.
+type ConcurrencyRow struct {
+	Clients    int
+	Preemption bool
+	Queries    int
+	Errors     int
+	Wall       time.Duration
+	Throughput float64 // queries per second across both pools
+	InterP50   time.Duration
+	InterP95   time.Duration
+	InterP99   time.Duration
+	BatchP50   time.Duration
+	BatchP95   time.Duration
+	Preempted  int64
+	Consistent bool
+}
+
+// ConcurrencyReport bundles the sweep and the preemption ablation.
+type ConcurrencyReport struct {
+	Rows []ConcurrencyRow
+	// CompareClients is the client count of the preemption ablation;
+	// P95With/P95Without are the interactive pool's p95 there.
+	CompareClients int
+	P95With        time.Duration
+	P95Without     time.Duration
+}
+
+// concSlots is the global executor-slot budget the pools share; matching
+// the LLAP daemon's default worker count keeps admission the bottleneck
+// under study rather than the daemon queue behind it.
+const concSlots = 4
+
+// ablationReps is how many with/without pairs the preemption ablation
+// pools before comparing interactive p95s.
+const ablationReps = 3
+
+// RunConcurrency loads the warehouse once and sweeps the client levels;
+// perClient is the interactive queries per interactive client (batch
+// clients run about half as many of the heavier batch query). A final
+// with/without-preemption pair runs at compareClients.
+func RunConcurrency(cfg EnvConfig, levels []int, perClient, compareClients int) (*ConcurrencyReport, error) {
+	ecfg := cfg
+	ecfg.Format = fileformat.ORC
+	ecfg.Opt = optimizer.AllOn()
+	ecfg.LLAP = true
+	// Batch must genuinely hold slots for the interactive pool to starve:
+	// scale lineitem up so TPC-H q1 runs long relative to the interactive
+	// point query, which is the contrast this experiment is about.
+	ecfg.Scale.Lineitem *= 8
+	grid := cfg.Scale.SSDBGrid
+	if ecfg.ORCStride == 0 || ecfg.ORCStride > grid/2 {
+		ecfg.ORCStride = maxInt(grid/2, 16)
+	}
+	tables := append(SSDBTables(), TableSpec{
+		Name: "lineitem", Schema: workload.LineitemSchema(), Gen: workload.GenLineitem,
+	})
+	env, _, err := NewEnv(ecfg, tables)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Driver.Close()
+	d := env.Driver
+
+	interQ := workload.SSDBQuery1(grid / 2)
+	// TPC-H q1's shape, restricted to integer aggregates: double sums
+	// are order-sensitive in the last bits, and concurrent runs merge
+	// partials in nondeterministic order. Integer columns keep the
+	// byte-identical-to-serial check meaningful.
+	batchQ := `SELECT l_returnflag, l_linestatus,
+  count(*) AS count_order,
+  sum(l_quantity) AS sum_qty,
+  sum(l_orderkey) AS sum_key,
+  min(l_shipdate) AS min_ship,
+  max(l_receiptdate) AS max_rcpt
+FROM lineitem
+WHERE l_shipdate <= 10471
+GROUP BY l_returnflag, l_linestatus`
+	refInter, err := serialReference(d, interQ)
+	if err != nil {
+		return nil, err
+	}
+	refBatch, err := serialReference(d, batchQ)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ConcurrencyReport{CompareClients: compareClients}
+	for _, n := range levels {
+		row, _, err := runConcurrencyLevel(d, n, perClient, true, interQ, batchQ, refInter, refBatch)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// The ablation pools interactive latencies over ablationReps repeated
+	// runs of each arm (alternating with/without) before taking p95; a
+	// single pair is too noisy for a few-millisecond tail effect.
+	var withLat, withoutLat []time.Duration
+	for r := 0; r < ablationReps; r++ {
+		_, lat, err := runConcurrencyLevel(d, compareClients, perClient, true, interQ, batchQ, refInter, refBatch)
+		if err != nil {
+			return nil, err
+		}
+		withLat = append(withLat, lat...)
+		_, lat, err = runConcurrencyLevel(d, compareClients, perClient, false, interQ, batchQ, refInter, refBatch)
+		if err != nil {
+			return nil, err
+		}
+		withoutLat = append(withoutLat, lat...)
+	}
+	rep.P95With = quantileDur(withLat, 0.95)
+	rep.P95Without = quantileDur(withoutLat, 0.95)
+	return rep, nil
+}
+
+func serialReference(d *core.Driver, q string) (string, error) {
+	res, err := d.Run(q)
+	if err != nil {
+		return "", err
+	}
+	return renderConcRows(res), nil
+}
+
+// renderConcRows renders a result order-insensitively (rows sorted by
+// their printed form) so concurrent runs compare byte-identically.
+func renderConcRows(res *core.Result) string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, fmt.Sprint(r))
+	}
+	sort.Strings(out)
+	return fmt.Sprint(out)
+}
+
+// runConcurrencyLevel opens a fresh server (two pools over concSlots
+// shared slots), splits clients ~1:2 interactive:batch, and drives them to
+// completion. Batch clients start first and hold slots with long queries;
+// interactive clients arrive staggered and pause between queries (think
+// time), so their arrivals keep finding batch queries mid-flight — the
+// starvation pattern workload management exists for. Batch sessions run on
+// the Tez engine: a preempted Tez query's tasks observe cancellation and
+// stop, genuinely returning their executors, where the LLAP daemon would
+// finish abandoned tasks it owns. Preemption=false demotes the pools to
+// plain admission — same budgets, no cancel-and-requeue.
+func runConcurrencyLevel(d *core.Driver, clients, perClient int, preemption bool,
+	interQ, batchQ, refInter, refBatch string) (ConcurrencyRow, []time.Duration, error) {
+	srv := server.New(d, server.ManagerConfig{
+		TotalSlots: concSlots,
+		Pools: []server.PoolConfig{
+			{Name: "interactive", Slots: concSlots, QueueDepth: 4096, Interactive: preemption},
+			// MaxRequeues is generous so batch stays preemptable for the
+			// whole run; interactive think-time gaps are when batch
+			// retries complete, so batch still drains.
+			{Name: "batch", Slots: concSlots, QueueDepth: 4096, Preemptable: preemption, MaxRequeues: 64},
+		},
+	})
+	defer srv.Close()
+
+	// 1:2 interactive:batch — batch supplies the slot pressure, and the
+	// lighter interactive population measures latency under it. (With the
+	// ratio inverted the interactive pool queues behind itself, which
+	// preemption of batch cannot help.)
+	nInter := clients / 3
+	if nInter == 0 {
+		nInter = 1
+	}
+	nBatch := clients - nInter
+	batchPerClient := perClient/2 + 1
+
+	row := ConcurrencyRow{Clients: clients, Preemption: preemption, Consistent: true}
+	var (
+		mu        sync.Mutex
+		interLat  []time.Duration
+		batchLat  []time.Duration
+		wg        sync.WaitGroup
+		runClient = func(idx int, pool, query, want string, queries int) {
+			defer wg.Done()
+			sess, err := srv.OpenSession(pool)
+			if err != nil {
+				mu.Lock()
+				row.Errors++
+				mu.Unlock()
+				return
+			}
+			defer sess.Close()
+			if pool == "batch" {
+				conf := sess.Config()
+				conf.Engine = core.ModeTez
+				sess.SetConfig(conf)
+			} else {
+				// Deterministic stagger + think time keeps interactive
+				// arrivals spread out instead of one synchronized burst.
+				time.Sleep(time.Duration(1+idx%7) * time.Millisecond)
+			}
+			for i := 0; i < queries; i++ {
+				if pool == "interactive" && i > 0 {
+					time.Sleep(5 * time.Millisecond)
+				}
+				qStart := time.Now()
+				res, err := sess.Run(context.Background(), query)
+				lat := time.Since(qStart)
+				mu.Lock()
+				if err != nil {
+					row.Errors++
+				} else {
+					row.Queries++
+					if pool == "interactive" {
+						interLat = append(interLat, lat)
+					} else {
+						batchLat = append(batchLat, lat)
+					}
+					if renderConcRows(res) != want {
+						row.Consistent = false
+					}
+				}
+				mu.Unlock()
+			}
+		}
+	)
+
+	start := time.Now()
+	for c := 0; c < nBatch; c++ {
+		wg.Add(1)
+		go runClient(c, "batch", batchQ, refBatch, batchPerClient)
+	}
+	for c := 0; c < nInter; c++ {
+		wg.Add(1)
+		go runClient(c, "interactive", interQ, refInter, perClient)
+	}
+	wg.Wait()
+	row.Wall = time.Since(start)
+	if row.Wall > 0 {
+		row.Throughput = float64(row.Queries) / row.Wall.Seconds()
+	}
+	row.InterP50 = quantileDur(interLat, 0.50)
+	row.InterP95 = quantileDur(interLat, 0.95)
+	row.InterP99 = quantileDur(interLat, 0.99)
+	row.BatchP50 = quantileDur(batchLat, 0.50)
+	row.BatchP95 = quantileDur(batchLat, 0.95)
+	for _, st := range srv.Manager().Stats() {
+		row.Preempted += st.Preempted
+	}
+	return row, interLat, nil
+}
+
+// quantileDur returns the q-quantile of the (unsorted) latency sample.
+func quantileDur(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// PrintConcurrency renders the E14 table and the preemption ablation.
+func PrintConcurrency(w io.Writer, rep *ConcurrencyReport) {
+	fmt.Fprintln(w, "E14: multi-tenant concurrency (interactive SS-DB q1 + batch lineitem scan,")
+	fmt.Fprintf(w, "     1:2 clients, %d shared slots, interactive on LLAP, batch on Tez)\n", concSlots)
+	fmt.Fprintf(w, "%8s %8s %9s %12s %12s %12s %12s %10s %6s\n",
+		"clients", "queries", "q/s", "inter p50", "inter p95", "inter p99", "batch p95", "preempted", "ok")
+	for _, r := range rep.Rows {
+		ok := "yes"
+		if !r.Consistent || r.Errors > 0 {
+			ok = "NO"
+		}
+		fmt.Fprintf(w, "%8d %8d %9.1f %12s %12s %12s %12s %10d %6s\n",
+			r.Clients, r.Queries, r.Throughput,
+			r.InterP50.Round(time.Microsecond), r.InterP95.Round(time.Microsecond),
+			r.InterP99.Round(time.Microsecond), r.BatchP95.Round(time.Microsecond),
+			r.Preempted, ok)
+	}
+	verdict := "improved"
+	if rep.P95With >= rep.P95Without {
+		verdict = "did not improve"
+	}
+	fmt.Fprintf(w, "preemption ablation at %d clients: interactive p95 %s with preemption vs %s without (%s the tail)\n",
+		rep.CompareClients, rep.P95With.Round(time.Microsecond), rep.P95Without.Round(time.Microsecond), verdict)
+}

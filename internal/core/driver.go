@@ -64,19 +64,27 @@ type Config struct {
 	LLAP llap.Config
 }
 
-// Driver is the session façade (Figure 1).
+// Driver is the session façade (Figure 1). Since the multi-tenant server
+// layer (internal/server) it is shared by concurrent queries: the active
+// configuration is read under confMu and snapshotted once per query, so a
+// SetConfig (or a per-session RunWith) never races a running query.
 type Driver struct {
 	fs      *dfs.FS
 	engine  *mapred.Engine
 	meta    *Metastore
-	conf    Config
 	queryID atomic.Int64
+
+	confMu sync.RWMutex
+	conf   Config
 
 	llapMu     sync.Mutex
 	llapDaemon *llap.Daemon // created on first ModeLLAP query; outlives queries
 
-	regOnce sync.Once
+	regMu   sync.Mutex
 	reg     *obs.Registry // built on first Registry() call
+	regLLAP bool          // LLAP stats structs registered (at most once)
+
+	queryHist atomic.Pointer[obs.Histogram] // per-query latency, set with the registry
 }
 
 // NewDriver assembles a driver over a DFS and a MapReduce engine.
@@ -103,35 +111,47 @@ func (d *Driver) LLAP() *llap.Daemon {
 	d.llapMu.Lock()
 	defer d.llapMu.Unlock()
 	if d.llapDaemon == nil {
-		d.llapDaemon = llap.NewDaemon(d.conf.LLAP)
+		d.confMu.RLock()
+		cfg := d.conf.LLAP
+		d.confMu.RUnlock()
+		d.llapDaemon = llap.NewDaemon(cfg)
 	}
 	return d.llapDaemon
 }
 
 // Registry returns the session's unified metrics registry: the DFS, engine
 // and (once started) LLAP daemon stats structs registered under stable
-// prefixes, plus a task-attempt latency histogram installed on the engine.
-// The structs register by adoption — the registry reads their existing
-// atomics — so hot paths are untouched. Safe to call repeatedly; LLAP
-// metrics appear on the first call after the daemon starts.
+// prefixes, plus a task-attempt latency histogram installed on the engine
+// and a per-query latency histogram (core.QueryNanos) observed by every
+// Run. The structs register by adoption — the registry reads their
+// existing atomics — so hot paths are untouched. Safe to call repeatedly
+// and from concurrent queries: creation and the one-shot LLAP registration
+// both happen under regMu, so two racing callers can neither build two
+// registries nor double-register (and panic) the daemon's structs.
 func (d *Driver) Registry() *obs.Registry {
-	d.regOnce.Do(func() {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	if d.reg == nil {
 		d.reg = obs.NewRegistry()
 		obs.RegisterStruct(d.reg, "dfs", d.fs.Stats())
 		obs.RegisterStruct(d.reg, "mapred", d.engine.Counters())
 		d.engine.SetTaskHistogram(d.reg.Histogram("mapred.TaskNanos"))
-	})
-	d.llapMu.Lock()
-	daemon := d.llapDaemon
-	d.llapMu.Unlock()
-	if daemon != nil {
-		if cc := daemon.ChunkCache(); cc != nil {
-			obs.RegisterStruct(d.reg, "llap.cache", cc.Stats())
+		d.queryHist.Store(d.reg.Histogram("core.QueryNanos"))
+	}
+	if !d.regLLAP {
+		d.llapMu.Lock()
+		daemon := d.llapDaemon
+		d.llapMu.Unlock()
+		if daemon != nil {
+			if cc := daemon.ChunkCache(); cc != nil {
+				obs.RegisterStruct(d.reg, "llap.cache", cc.Stats())
+			}
+			if bc := daemon.Builds(); bc != nil {
+				obs.RegisterStruct(d.reg, "llap.builds", bc.Stats())
+			}
+			obs.RegisterStruct(d.reg, "llap.pool", daemon.Stats())
+			d.regLLAP = true
 		}
-		if bc := daemon.Builds(); bc != nil {
-			obs.RegisterStruct(d.reg, "llap.builds", bc.Stats())
-		}
-		obs.RegisterStruct(d.reg, "llap.pool", daemon.Stats())
 	}
 	return d.reg
 }
@@ -147,11 +167,19 @@ func (d *Driver) Close() {
 	}
 }
 
-// Config returns the active configuration.
-func (d *Driver) Config() Config { return d.conf }
+// Config returns a copy of the active configuration.
+func (d *Driver) Config() Config {
+	d.confMu.RLock()
+	defer d.confMu.RUnlock()
+	return d.conf
+}
 
 // SetConfig swaps the configuration (benchmarks toggle optimizations).
+// Queries already running keep the snapshot they started with; queries
+// started after the call see the new configuration.
 func (d *Driver) SetConfig(conf Config) {
+	d.confMu.Lock()
+	defer d.confMu.Unlock()
 	if conf.WarehouseDir == "" {
 		conf.WarehouseDir = d.conf.WarehouseDir
 	}
@@ -167,11 +195,14 @@ func (d *Driver) CreateTable(name string, schema *types.Schema, format fileforma
 	if opts != nil {
 		o = *opts
 	}
+	d.confMu.RLock()
+	warehouse := d.conf.WarehouseDir
+	d.confMu.RUnlock()
 	meta := &TableMeta{
 		Name:    name,
 		Schema:  schema,
 		Format:  format,
-		Path:    d.conf.WarehouseDir + "/" + name,
+		Path:    warehouse + "/" + name,
 		Options: o,
 	}
 	d.meta.Register(meta)
@@ -282,15 +313,17 @@ type ExecStats struct {
 // Explain parses, plans and optimizes a query, returning the operator DAG
 // and compiled tasks without executing.
 func (d *Driver) Explain(query string) (*plan.Plan, *compiler.Compiled, error) {
-	_, p, compiled, err := d.explainStaged(context.Background(), query)
+	conf := d.Config()
+	_, p, compiled, err := d.explainStaged(context.Background(), &conf, query)
 	return p, compiled, err
 }
 
 // explainStaged runs the front-end phases — parse, plan, optimize,
 // compile — each under its own trace span (no-ops when the context
 // carries no tracer), returning the parsed statement as well so callers
-// can see EXPLAIN / EXPLAIN ANALYZE flags.
-func (d *Driver) explainStaged(ctx context.Context, query string) (*sql.SelectStmt, *plan.Plan, *compiler.Compiled, error) {
+// can see EXPLAIN / EXPLAIN ANALYZE flags. conf is the query's private
+// configuration snapshot: concurrent queries each plan against their own.
+func (d *Driver) explainStaged(ctx context.Context, conf *Config, query string) (*sql.SelectStmt, *plan.Plan, *compiler.Compiled, error) {
 	_, sp := obs.StartSpan(ctx, "parse", obs.CatPhase)
 	stmt, err := sql.Parse(query)
 	sp.FinishErr(err)
@@ -298,13 +331,13 @@ func (d *Driver) explainStaged(ctx context.Context, query string) (*sql.SelectSt
 		return nil, nil, nil, err
 	}
 	_, sp = obs.StartSpan(ctx, "plan", obs.CatPhase)
-	p, err := plan.NewPlanner(d.meta, &d.conf.Planner).Plan(stmt)
+	p, err := plan.NewPlanner(d.meta, &conf.Planner).Plan(stmt)
 	sp.FinishErr(err)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	_, sp = obs.StartSpan(ctx, "optimize", obs.CatPhase)
-	err = optimizer.Apply(p, d.optimizerEnv())
+	err = optimizer.Apply(p, d.optimizerEnv(conf))
 	sp.FinishErr(err)
 	if err != nil {
 		return nil, nil, nil, err
@@ -312,7 +345,7 @@ func (d *Driver) explainStaged(ctx context.Context, query string) (*sql.SelectSt
 	_, sp = obs.StartSpan(ctx, "compile", obs.CatPhase)
 	compiled, err := compiler.Compile(p)
 	if err == nil {
-		err = optimizer.PostCompile(p, compiled, d.optimizerEnv())
+		err = optimizer.PostCompile(p, compiled, d.optimizerEnv(conf))
 	}
 	sp.FinishErr(err)
 	if err != nil {
@@ -321,9 +354,9 @@ func (d *Driver) explainStaged(ctx context.Context, query string) (*sql.SelectSt
 	return stmt, p, compiled, nil
 }
 
-func (d *Driver) optimizerEnv() *optimizer.Env {
+func (d *Driver) optimizerEnv(conf *Config) *optimizer.Env {
 	return &optimizer.Env{
-		Options: d.conf.Opt,
+		Options: conf.Opt,
 		TableSize: func(name string) (int64, error) {
 			meta, err := d.meta.Table(name)
 			if err != nil {
@@ -339,6 +372,46 @@ func (d *Driver) optimizerEnv() *optimizer.Env {
 			return meta.Format, true
 		},
 	}
+}
+
+// EstimateScanBytes returns the total on-disk size of every base table the
+// query references — FROM, JOINs and derived tables, each counted once.
+// The server's workload manager uses it as the memory-admission estimate:
+// a proxy for the query's working set, available before planning. Unknown
+// tables and unparseable queries estimate 0, so admission for them gates on
+// slots alone (the parse error itself surfaces when the query runs).
+func (d *Driver) EstimateScanBytes(query string) int64 {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return 0
+	}
+	seen := map[string]bool{}
+	var total int64
+	var walk func(s *sql.SelectStmt)
+	ref := func(r sql.TableRef) {
+		if r.Subquery != nil {
+			walk(r.Subquery)
+			return
+		}
+		if r.Table == "" || seen[r.Table] {
+			return
+		}
+		seen[r.Table] = true
+		if meta, err := d.meta.Table(r.Table); err == nil {
+			total += d.fs.TotalSize(meta.Path)
+		}
+	}
+	walk = func(s *sql.SelectStmt) {
+		if s == nil {
+			return
+		}
+		ref(s.From)
+		for _, j := range s.Joins {
+			ref(j.Right)
+		}
+	}
+	walk(stmt)
+	return total
 }
 
 // Run executes a query end to end.
@@ -357,16 +430,27 @@ func (d *Driver) Run(query string) (*Result, error) {
 // into a rendered (and, for ANALYZE, executed and profile-annotated)
 // plan tree.
 func (d *Driver) RunContext(ctx context.Context, query string) (*Result, error) {
+	return d.RunWith(ctx, d.Config(), query)
+}
+
+// RunWith is RunContext with an explicit configuration snapshot: the query
+// plans and executes under conf regardless of (and without racing) the
+// driver's current configuration. The server layer uses it to run many
+// sessions — each with its own engine and optimizer settings — through
+// one shared driver concurrently.
+func (d *Driver) RunWith(ctx context.Context, conf Config, query string) (*Result, error) {
 	qid := d.queryID.Add(1)
+	start := time.Now()
 	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
-	qsp.SetAttr("engine", d.conf.Engine.String())
-	res, err := d.runStaged(ctx, qid, query)
+	qsp.SetAttr("engine", conf.Engine.String())
+	res, err := d.runStaged(ctx, &conf, qid, query)
 	qsp.FinishErr(err)
+	d.queryHist.Load().ObserveDuration(time.Since(start))
 	return res, err
 }
 
-func (d *Driver) runStaged(ctx context.Context, qid int64, query string) (*Result, error) {
-	stmt, p, compiled, err := d.explainStaged(ctx, query)
+func (d *Driver) runStaged(ctx context.Context, conf *Config, qid int64, query string) (*Result, error) {
+	stmt, p, compiled, err := d.explainStaged(ctx, conf, query)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +463,7 @@ func (d *Driver) runStaged(ctx context.Context, qid int64, query string) (*Resul
 		// run needs it for per-operator spans.
 		prof = obs.NewPlanProfile()
 	}
-	res, err := d.execute(ctx, qid, p, compiled, prof)
+	res, err := d.execute(ctx, conf, qid, p, compiled, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -394,51 +478,57 @@ func (d *Driver) runStaged(ctx context.Context, qid int64, query string) (*Resul
 // ANALYZE, used by the REPL's \profile mode and by tests that reconcile
 // operator numbers against ExecStats.
 func (d *Driver) RunProfiled(ctx context.Context, query string) (*Result, *plan.Plan, *obs.PlanProfile, error) {
+	return d.RunProfiledWith(ctx, d.Config(), query)
+}
+
+// RunProfiledWith is RunProfiled under an explicit configuration snapshot
+// (the server's per-session \profile path).
+func (d *Driver) RunProfiledWith(ctx context.Context, conf Config, query string) (*Result, *plan.Plan, *obs.PlanProfile, error) {
 	qid := d.queryID.Add(1)
+	start := time.Now()
 	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
-	qsp.SetAttr("engine", d.conf.Engine.String())
-	_, p, compiled, err := d.explainStaged(ctx, query)
+	qsp.SetAttr("engine", conf.Engine.String())
+	_, p, compiled, err := d.explainStaged(ctx, &conf, query)
 	if err != nil {
 		qsp.FinishErr(err)
 		return nil, nil, nil, err
 	}
 	prof := obs.NewPlanProfile()
-	res, err := d.execute(ctx, qid, p, compiled, prof)
+	res, err := d.execute(ctx, &conf, qid, p, compiled, prof)
 	qsp.FinishErr(err)
+	d.queryHist.Load().ObserveDuration(time.Since(start))
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return res, p, prof, nil
 }
 
-// execute runs a compiled plan, assembling ExecStats from engine, DFS and
-// cache counter diffs. With a profile, committed task attempts fold their
-// per-operator numbers into it; with a tracer in ctx, operator spans are
-// emitted from the folded profile after the run.
-func (d *Driver) execute(ctx context.Context, qid int64, p *plan.Plan, compiled *compiler.Compiled, prof *obs.PlanProfile) (*Result, error) {
-	ex := newExecutor(d, compiled, qid, ctx, prof)
+// execute runs a compiled plan, assembling ExecStats from per-query
+// counter scopes: the engine charges this query's jobs into a private
+// mapred.Counters, DFS readers and writers mirror into a context-carried
+// dfs.Stats, and scan tallies tee cache hits into a per-query IOTally.
+// Scoped counting (not diffing shared cumulative counters) keeps the
+// numbers exact when several queries run concurrently on one driver. With
+// a profile, committed task attempts fold their per-operator numbers into
+// it; with a tracer in ctx, operator spans are emitted from the folded
+// profile after the run.
+func (d *Driver) execute(ctx context.Context, conf *Config, qid int64, p *plan.Plan, compiled *compiler.Compiled, prof *obs.PlanProfile) (*Result, error) {
+	qcounters := &mapred.Counters{}
+	qstats := &dfs.Stats{}
+	qtally := &obs.IOTally{}
+	ctx = dfs.WithStatsScope(ctx, qstats)
+	ctx = obs.WithQueryTally(ctx, qtally)
+	ex := newExecutor(d, conf, compiled, qid, ctx, prof)
+	ex.counters = qcounters
 	defer ex.cleanup()
 
-	var chunkCache *llap.Cache
-	var cacheBefore llap.CacheSnapshot
-	if d.conf.Engine == ModeLLAP {
-		if chunkCache = d.LLAP().ChunkCache(); chunkCache != nil {
-			cacheBefore = chunkCache.Snapshot()
-		}
-	}
-	engineBefore := d.engine.Counters().Snapshot()
-	fsBefore := d.fs.Stats().Snapshot()
 	start := time.Now()
 	if err := ex.run(); err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
-	engineDiff := d.engine.Counters().Snapshot().Diff(engineBefore)
-	fsDiff := d.fs.Stats().Snapshot().Diff(fsBefore)
-	var cacheDiff llap.CacheSnapshot
-	if chunkCache != nil {
-		cacheDiff = chunkCache.Snapshot().Diff(cacheBefore)
-	}
+	engineDiff := qcounters.Snapshot()
+	fsDiff := qstats.Snapshot()
 	emitOpSpans(ctx, p, prof)
 
 	var schema *plan.Schema
@@ -461,10 +551,10 @@ func (d *Driver) execute(ctx context.Context, qid int64, p *plan.Plan, compiled 
 			DFSBytesRead:     fsDiff.BytesRead,
 			ShuffleBytes:     engineDiff.ShuffleBytes,
 			ShuffleRecords:   engineDiff.ShuffleRecords,
-			CacheHits:        cacheDiff.Hits,
-			CacheMisses:      cacheDiff.Misses,
-			CacheBytesRead:   cacheDiff.BytesSaved,
-			TotalBytesRead:   fsDiff.BytesRead + cacheDiff.BytesSaved,
+			CacheHits:        qtally.CacheHits.Load(),
+			CacheMisses:      qtally.CacheMisses.Load(),
+			CacheBytesRead:   qtally.CacheBytes.Load(),
+			TotalBytesRead:   fsDiff.BytesRead + qtally.CacheBytes.Load(),
 			FailedTasks:      engineDiff.FailedTasks,
 			RetriedTasks:     engineDiff.RetriedTasks,
 			SpeculativeTasks: engineDiff.SpeculativeTasks,

@@ -25,6 +25,7 @@ import (
 
 type executor struct {
 	d        *Driver
+	conf     *Config // this query's config snapshot (immutable during the run)
 	compiled *compiler.Compiled
 	qid      int64
 	ctx      context.Context
@@ -38,6 +39,11 @@ type executor struct {
 	// only the committing attempt's numbers are merged in, so retries and
 	// speculative losers never double-count rows.
 	prof *obs.PlanProfile
+
+	// counters, when set, is this query's private engine-counter scope:
+	// every job the executor launches charges it in addition to the
+	// engine's cumulative counters.
+	counters *mapred.Counters
 
 	mu      sync.Mutex
 	results []types.Row
@@ -58,16 +64,17 @@ type executor struct {
 	builds map[string]*buildSlot
 }
 
-func newExecutor(d *Driver, compiled *compiler.Compiled, qid int64, ctx context.Context, prof *obs.PlanProfile) *executor {
+func newExecutor(d *Driver, conf *Config, compiled *compiler.Compiled, qid int64, ctx context.Context, prof *obs.PlanProfile) *executor {
 	ex := &executor{
 		d:            d,
+		conf:         conf,
 		compiled:     compiled,
 		qid:          qid,
 		ctx:          ctx,
 		prof:         prof,
 		tempDir:      fmt.Sprintf("/tmp/query-%d", qid),
-		tez:          d.conf.Engine == ModeTez || d.conf.Engine == ModeLLAP,
-		llap:         d.conf.Engine == ModeLLAP,
+		tez:          conf.Engine == ModeTez || conf.Engine == ModeLLAP,
+		llap:         conf.Engine == ModeLLAP,
 		memTemps:     map[string][][]types.Row{},
 		sinks:        map[string]*sinkSet{},
 		attemptProfs: map[string]*obs.PlanProfile{},
@@ -225,6 +232,7 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 		Name:          fmt.Sprintf("q%d-job%d", ex.qid, task.ID),
 		Splits:        splits,
 		ChainedLaunch: chained,
+		Counters:      ex.counters,
 		MapFunc: func(tc *mapred.TaskContext, sp any, out mapred.Collector) error {
 			return ex.runMapTask(task, tc, sp.(split), out)
 		},
@@ -295,7 +303,7 @@ func (s *sinkSet) sinkRow(dest string, row types.Row) error {
 		}
 		path := s.ex.tempDir + "/" + dest + "/part-" + s.suffix
 		var err error
-		w, err = fileformat.Create(s.ex.d.fs, path, compiler.TempTypesSchema(schema), fileformat.Sequence, nil)
+		w, err = fileformat.CreateCtx(s.ex.d.fs, path, compiler.TempTypesSchema(schema), fileformat.Sequence, nil, s.ex.ctx)
 		if err != nil {
 			return err
 		}

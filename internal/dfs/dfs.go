@@ -52,6 +52,28 @@ type Stats struct {
 	InjectedReadFaults atomic.Int64
 }
 
+// statsScopeKey carries a per-query *Stats through a context.
+type statsScopeKey struct{}
+
+// WithStatsScope returns a context carrying a per-query Stats scope.
+// Readers and writers whose context (SetContext) carries a scope mirror
+// every counter they charge to the filesystem's global Stats into the
+// scope as well, so a driver running concurrent queries can measure one
+// query's I/O directly instead of diffing shared cumulative counters —
+// which would attribute every simultaneous query's bytes to all of them.
+func WithStatsScope(ctx context.Context, s *Stats) context.Context {
+	return context.WithValue(ctx, statsScopeKey{}, s)
+}
+
+// StatsScopeFrom extracts the per-query Stats scope from a context, or nil.
+func StatsScopeFrom(ctx context.Context) *Stats {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(statsScopeKey{}).(*Stats)
+	return s
+}
+
 // Snapshot is an immutable copy of Stats counters.
 type Snapshot struct {
 	BytesRead          int64
@@ -374,10 +396,16 @@ func (fs *FS) TotalSize(dir string) int64 {
 // FileWriter writes a DFS file sequentially. Close must be called to make
 // the file readable.
 type FileWriter struct {
-	fs   *FS
-	f    *file
-	name string
+	fs    *FS
+	f     *file
+	name  string
+	scope *Stats // per-query stats scope from SetContext; nil = global only
 }
+
+// SetContext adopts the context's per-query stats scope (WithStatsScope),
+// mirroring this writer's accounting into it. Writers have no read path to
+// cancel, so unlike the reader's SetContext only the scope is taken.
+func (w *FileWriter) SetContext(ctx context.Context) { w.scope = StatsScopeFrom(ctx) }
 
 // Write appends p to the file, allocating blocks round-robin across
 // datanodes as block boundaries are crossed.
@@ -397,7 +425,11 @@ func (w *FileWriter) Write(p []byte) (int, error) {
 	}
 	w.fs.stats.BytesWritten.Add(int64(len(p)))
 	w.fs.stats.WriteOps.Add(1)
-	w.fs.chargeIO(int64(len(p)))
+	w.fs.chargeIO(int64(len(p)), w.scope)
+	if w.scope != nil {
+		w.scope.BytesWritten.Add(int64(len(p)))
+		w.scope.WriteOps.Add(1)
+	}
 	return len(p), nil
 }
 
@@ -445,6 +477,7 @@ type FileReader struct {
 	node  int
 	ctx   context.Context
 	tally *obs.IOTally
+	scope *Stats // per-query stats scope from SetContext; nil = global only
 }
 
 // SetNode declares which simulated node the reader runs on.
@@ -457,8 +490,12 @@ func (r *FileReader) SetTally(t *obs.IOTally) { r.tally = t }
 
 // SetContext attaches a cancellation context: once ctx is cancelled every
 // subsequent read fails with ctx.Err(), so a cancelled or timed-out query
-// stops scanning promptly instead of draining its files.
-func (r *FileReader) SetContext(ctx context.Context) { r.ctx = ctx }
+// stops scanning promptly instead of draining its files. The context's
+// per-query stats scope (WithStatsScope), if any, is adopted too.
+func (r *FileReader) SetContext(ctx context.Context) {
+	r.ctx = ctx
+	r.scope = StatsScopeFrom(ctx)
+}
 
 // Size returns the file length.
 func (r *FileReader) Size() int64 {
@@ -493,6 +530,9 @@ func (r *FileReader) ReadAt(p []byte, off int64) (int, error) {
 				node := r.hostOf(b)
 				r.f.mu.RUnlock()
 				r.fs.stats.InjectedReadFaults.Add(1)
+				if r.scope != nil {
+					r.scope.InjectedReadFaults.Add(1)
+				}
 				return 0, &ReadFaultError{File: r.name, Block: b, Datanode: node}
 			}
 		}
@@ -559,6 +599,9 @@ func (r *FileReader) failoverCorrupt(b int64) {
 	if _, ok := r.f.corrupt[b]; ok {
 		delete(r.f.corrupt, b)
 		r.fs.stats.CorruptReads.Add(1)
+		if r.scope != nil {
+			r.scope.CorruptReads.Add(1)
+		}
 	}
 	if int(b) < len(r.f.verified) {
 		r.f.verified[b].Store(false) // re-verify the healthy replica once
@@ -575,6 +618,10 @@ func (r *FileReader) ReadAtMeta(p []byte, off int64) (int, error) {
 	if n > 0 {
 		r.fs.stats.MetaReadOps.Add(1)
 		r.fs.stats.MetaBytesRead.Add(int64(n))
+		if r.scope != nil {
+			r.scope.MetaReadOps.Add(1)
+			r.scope.MetaBytesRead.Add(int64(n))
+		}
 		r.tally.AddMeta(int64(n))
 	}
 	return n, err
@@ -611,7 +658,7 @@ func (r *FileReader) Seek(offset int64, whence int) (int64, error) {
 // Close releases the reader (no-op; present for io.Closer symmetry).
 func (r *FileReader) Close() error { return nil }
 
-func (fs *FS) chargeIO(n int64) {
+func (fs *FS) chargeIO(n int64, scope *Stats) {
 	var t int64
 	if fs.bandwidth > 0 {
 		t += n * int64(time.Second) / fs.bandwidth
@@ -619,21 +666,36 @@ func (fs *FS) chargeIO(n int64) {
 	t += int64(fs.seek)
 	if t > 0 {
 		fs.stats.IOTimeNanos.Add(t)
+		if scope != nil {
+			scope.IOTimeNanos.Add(t)
+		}
 	}
 }
 
 func (r *FileReader) account(off, n int64) {
 	r.fs.stats.BytesRead.Add(n)
 	r.fs.stats.ReadOps.Add(1)
+	if r.scope != nil {
+		r.scope.BytesRead.Add(n)
+		r.scope.ReadOps.Add(1)
+	}
 	r.tally.AddDFS(n)
-	r.fs.chargeIO(n)
+	r.fs.chargeIO(n, r.scope)
 	first := off / r.fs.blockSize
 	last := (off + n - 1) / r.fs.blockSize
 	for b := first; b <= last; b++ {
-		if int(b) < len(r.f.blocks) && r.f.blocks[b] == r.node {
+		local := int(b) < len(r.f.blocks) && r.f.blocks[b] == r.node
+		if local {
 			r.fs.stats.LocalReads.Add(1)
 		} else {
 			r.fs.stats.RemoteReads.Add(1)
+		}
+		if r.scope != nil {
+			if local {
+				r.scope.LocalReads.Add(1)
+			} else {
+				r.scope.RemoteReads.Add(1)
+			}
 		}
 	}
 }

@@ -105,12 +105,23 @@ type ScanOptions struct {
 
 // Create opens a writer for a new file at path.
 func Create(fs *dfs.FS, path string, schema *types.Schema, kind Kind, opts *Options) (Writer, error) {
+	return CreateCtx(fs, path, schema, kind, opts, nil)
+}
+
+// CreateCtx is Create with a context: the underlying DFS writer adopts the
+// context's per-query stats scope (dfs.WithStatsScope), so a query's
+// temp-file writes are attributed to that query and not only to the global
+// counters. A nil context behaves exactly like Create.
+func CreateCtx(fs *dfs.FS, path string, schema *types.Schema, kind Kind, opts *Options, ctx context.Context) (Writer, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
 	fw, err := fs.Create(path)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		fw.SetContext(ctx)
 	}
 	switch kind {
 	case Text:
@@ -152,6 +163,10 @@ func Open(fs *dfs.FS, path string, schema *types.Schema, kind Kind, scan ScanOpt
 	if scan.Ctx != nil {
 		fr.SetContext(scan.Ctx)
 	}
+	// Tee the per-operator tally into the context's per-query tally (if
+	// any) so cache hits and bytes stay attributable per query even when
+	// several queries share the caches concurrently.
+	scan.Tally = obs.TeeTally(scan.Tally, obs.QueryTallyFrom(scan.Ctx))
 	fr.SetTally(scan.Tally)
 	switch kind {
 	case Text:

@@ -62,6 +62,27 @@ var ErrQueueFull = errors.New("llap: admission queue full")
 // ErrClosed is returned when submitting to a closed daemon.
 var ErrClosed = errors.New("llap: daemon closed")
 
+// tenantKey carries a tenant label through a context.
+type tenantKey struct{}
+
+// WithTenant labels a context with the tenant (session, resource pool) on
+// whose behalf work is submitted. The daemon schedules fairly across
+// tenants: a tenant flooding the queue cannot starve the others, because
+// workers pick the next task from the tenant with the fewest running
+// tasks. An unlabeled context is the "" tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant label, or "" when absent.
+func TenantFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
 // DaemonStats aggregates executor-pool accounting.
 type DaemonStats struct {
 	Submitted     atomic.Int64
@@ -82,33 +103,48 @@ type DaemonSnapshot struct {
 // shared caches. Unlike the per-query task slots of the MapReduce and Tez
 // modes, its workers outlive queries: a query running in ModeLLAP pays no
 // worker start cost and shares cache contents with every query before it.
+//
+// The pool is shared fairly across tenants (see WithTenant): each tenant
+// gets its own FIFO queue, and a free worker serves the nonempty queue of
+// the tenant with the fewest tasks currently running (round-robin among
+// ties). One session's burst therefore queues behind its own earlier
+// tasks, not in front of everyone else's.
 type Daemon struct {
 	cfg     Config
 	chunks  *Cache
 	meta    *MetaCache
 	builds  *BuildCache
 	caches  orc.Caches
-	tasks   chan *task
+	space   chan struct{} // queue-capacity tokens; one held per queued task
 	wg      sync.WaitGroup
 	running atomic.Int64
 	stats   DaemonStats
 
-	mu     sync.RWMutex // guards closed vs. sends on tasks
-	closed bool
+	mu        sync.Mutex
+	cond      *sync.Cond         // signaled when a task is queued or the daemon closes
+	queues    map[string][]*task // per-tenant FIFO admission queues
+	rr        []string           // tenants with queued tasks, in round-robin order
+	runningBy map[string]int     // running tasks per tenant
+	queued    int                // total queued tasks across tenants
+	closed    bool
 }
 
 type task struct {
-	fn   func() error
-	done chan error
+	tenant string
+	fn     func() error
+	done   chan error
 }
 
 // NewDaemon starts the worker pool.
 func NewDaemon(cfg Config) *Daemon {
 	cfg = cfg.withDefaults()
 	d := &Daemon{
-		cfg:   cfg,
-		tasks: make(chan *task, cfg.QueueDepth),
+		cfg:       cfg,
+		space:     make(chan struct{}, cfg.QueueDepth),
+		queues:    map[string][]*task{},
+		runningBy: map[string]int{},
 	}
+	d.cond = sync.NewCond(&d.mu)
 	if cfg.CacheBytes > 0 {
 		d.chunks = NewCache(cfg.CacheBytes)
 		d.chunks.SetFaultHook(cfg.CacheFaultHook)
@@ -150,7 +186,22 @@ func (d *Daemon) Stats() *DaemonStats { return &d.stats }
 
 func (d *Daemon) worker() {
 	defer d.wg.Done()
-	for t := range d.tasks {
+	for {
+		d.mu.Lock()
+		for d.queued == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if d.queued == 0 {
+			// closed and drained
+			d.mu.Unlock()
+			return
+		}
+		t := d.pickLocked()
+		d.runningBy[t.tenant]++
+		d.queued--
+		d.mu.Unlock()
+		<-d.space // the task left the queue; free its capacity token
+
 		n := d.running.Add(1)
 		for {
 			max := d.stats.MaxConcurrent.Load()
@@ -161,41 +212,98 @@ func (d *Daemon) worker() {
 		err := t.fn()
 		d.running.Add(-1)
 		d.stats.Executed.Add(1)
+
+		d.mu.Lock()
+		if d.runningBy[t.tenant]--; d.runningBy[t.tenant] == 0 {
+			delete(d.runningBy, t.tenant)
+		}
+		d.mu.Unlock()
 		t.done <- err
 	}
 }
 
-// enqueue places a task on the admission queue. When block is false and the
-// queue is full, it returns ErrQueueFull without waiting. A blocking caller
-// whose ctx is cancelled while waiting for admission gives up with
-// ctx.Err() instead of holding its spot.
+// pickLocked dequeues the next task under fair sharing: the head of the
+// nonempty queue whose tenant has the fewest running tasks, round-robin
+// among ties (the winner's tenant rotates to the back). Caller holds d.mu
+// with d.queued > 0.
+func (d *Daemon) pickLocked() *task {
+	best := 0
+	for i := 1; i < len(d.rr); i++ {
+		if d.runningBy[d.rr[i]] < d.runningBy[d.rr[best]] {
+			best = i
+		}
+	}
+	tenant := d.rr[best]
+	q := d.queues[tenant]
+	t := q[0]
+	if len(q) == 1 {
+		delete(d.queues, tenant)
+		d.rr = append(d.rr[:best], d.rr[best+1:]...)
+	} else {
+		d.queues[tenant] = q[1:]
+		// Rotate the served tenant to the back so ties break round-robin.
+		d.rr = append(append(d.rr[:best], d.rr[best+1:]...), tenant)
+	}
+	return t
+}
+
+// enqueue places a task on its tenant's admission queue. When block is
+// false and the queue is full, it returns ErrQueueFull without waiting. A
+// blocking caller whose ctx is cancelled while waiting for admission gives
+// up with ctx.Err() instead of holding its spot.
 func (d *Daemon) enqueue(ctx context.Context, t *task, block bool) error {
-	// The read lock spans the channel send so Close cannot close the
-	// channel mid-send; workers keep draining until Close wins the write
-	// lock, so a blocked send always completes or is abandoned via ctx.
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.closed {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		d.stats.Rejected.Add(1)
 		return ErrClosed
 	}
 	if block {
 		select {
-		case d.tasks <- t:
-			d.stats.Submitted.Add(1)
-			return nil
+		case d.space <- struct{}{}:
 		case <-ctx.Done():
 			d.stats.Rejected.Add(1)
 			return ctx.Err()
 		}
+	} else {
+		select {
+		case d.space <- struct{}{}:
+		default:
+			d.stats.Rejected.Add(1)
+			return ErrQueueFull
+		}
 	}
-	select {
-	case d.tasks <- t:
-		d.stats.Submitted.Add(1)
-		return nil
-	default:
+	d.mu.Lock()
+	if d.closed {
+		// Lost the race with Close; give the token back.
+		d.mu.Unlock()
+		<-d.space
 		d.stats.Rejected.Add(1)
-		return ErrQueueFull
+		return ErrClosed
 	}
+	q := d.queues[t.tenant]
+	if len(q) == 0 {
+		d.rr = append(d.rr, t.tenant)
+	}
+	d.queues[t.tenant] = append(q, t)
+	d.queued++
+	d.cond.Signal()
+	d.mu.Unlock()
+	d.stats.Submitted.Add(1)
+	return nil
+}
+
+// QueueLengths reports the queued tasks per tenant (empty tenants absent);
+// introspection for tests and the server's \pools display.
+func (d *Daemon) QueueLengths() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.queues))
+	for tenant, q := range d.queues {
+		out[tenant] = len(q)
+	}
+	return out
 }
 
 // Execute runs fn on a pool worker and waits for it, queueing (and, when
@@ -213,7 +321,7 @@ func (d *Daemon) ExecuteCtx(ctx context.Context, fn func() error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	t := &task{fn: fn, done: make(chan error, 1)}
+	t := &task{tenant: TenantFrom(ctx), fn: fn, done: make(chan error, 1)}
 	if err := d.enqueue(ctx, t, true); err != nil {
 		return err
 	}
@@ -245,7 +353,7 @@ func (d *Daemon) Close() {
 		return
 	}
 	d.closed = true
-	close(d.tasks)
+	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.wg.Wait()
 }

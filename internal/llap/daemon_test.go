@@ -283,3 +283,141 @@ func TestCacheFaultHookDegradesToMiss(t *testing.T) {
 		t.Errorf("Misses = %d, Hits = %d; want 1 and 1", s.Misses, s.Hits)
 	}
 }
+
+// TestFairSchedulingAcrossTenants: with tenant A flooding a one-worker
+// pool's queue, tenant B's lone task is served within the first round of
+// picks instead of waiting out A's whole backlog — a strictly FIFO pool
+// would run it last.
+func TestFairSchedulingAcrossTenants(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1, QueueDepth: 16, CacheBytes: -1, MetaEntries: -1, BuildEntries: -1})
+	defer d.Close()
+
+	ctxA := WithTenant(context.Background(), "a")
+	ctxB := WithTenant(context.Background(), "b")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		first <- d.ExecuteCtx(ctxA, func() error { close(started); <-release; return nil })
+	}()
+	<-started
+
+	// Flood tenant A's queue, then append one tenant-B task. A strictly
+	// FIFO pool would run all of A's backlog first.
+	order := make(chan string, 8)
+	var waits []chan error
+	for i := 0; i < 6; i++ {
+		done := make(chan error, 1)
+		waits = append(waits, done)
+		go func() { done <- d.ExecuteCtx(ctxA, func() error { order <- "a"; return nil }) }()
+	}
+	// Wait until A's backlog is actually queued so B arrives last.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d.QueueLengths()["a"] == 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant a backlog never queued: %v", d.QueueLengths())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	doneB := make(chan error, 1)
+	go func() { doneB <- d.ExecuteCtx(ctxB, func() error { order <- "b"; return nil }) }()
+	for {
+		if d.QueueLengths()["b"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant b task never queued: %v", d.QueueLengths())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("first task: %v", err)
+	}
+	// Round-robin across the two tenants: b must appear within the first
+	// two picks (FIFO would place it after all six of a's tasks).
+	got := []string{<-order, <-order}
+	if got[0] != "b" && got[1] != "b" {
+		t.Fatalf("first two dequeued tenants = %v, want b among them (fair share must not starve b)", got)
+	}
+	if err := <-doneB; err != nil {
+		t.Fatalf("tenant b task: %v", err)
+	}
+	for _, w := range waits {
+		if err := <-w; err != nil {
+			t.Fatalf("tenant a task: %v", err)
+		}
+	}
+}
+
+// TestTenantRoundRobinTieBreak: tenants with equal running counts are
+// served round-robin, so three tenants with queued backlogs interleave
+// instead of draining one queue at a time.
+func TestTenantRoundRobinTieBreak(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1, QueueDepth: 32, CacheBytes: -1, MetaEntries: -1, BuildEntries: -1})
+	defer d.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	hold := make(chan error, 1)
+	go func() {
+		hold <- d.ExecuteCtx(context.Background(), func() error { close(started); <-release; return nil })
+	}()
+	<-started
+
+	tenants := []string{"x", "y", "z"}
+	order := make(chan string, 9)
+	var waits []chan error
+	for round := 0; round < 3; round++ {
+		for _, tn := range tenants {
+			tn := tn
+			done := make(chan error, 1)
+			waits = append(waits, done)
+			go func() {
+				done <- d.ExecuteCtx(WithTenant(context.Background(), tn), func() error { order <- tn; return nil })
+			}()
+			// Queue in a deterministic arrival order.
+			deadline := time.Now().Add(5 * time.Second)
+			want := round + 1
+			if round > 0 {
+				want = round + 1
+			}
+			for d.QueueLengths()[tn] != want {
+				if time.Now().After(deadline) {
+					t.Fatalf("tenant %s never reached queue length %d: %v", tn, want, d.QueueLengths())
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	close(release)
+	if err := <-hold; err != nil {
+		t.Fatalf("hold task: %v", err)
+	}
+	for _, w := range waits {
+		if err := <-w; err != nil {
+			t.Fatalf("task: %v", err)
+		}
+	}
+	// With one worker, tasks run one at a time: every consecutive window of
+	// three served tasks must cover all three tenants.
+	var seq []string
+	for i := 0; i < 9; i++ {
+		seq = append(seq, <-order)
+	}
+	for i := 0; i+3 <= 9; i += 3 {
+		seen := map[string]bool{}
+		for _, tn := range seq[i : i+3] {
+			seen[tn] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("window %d not fair: %v (full order %v)", i/3, seq[i:i+3], seq)
+		}
+	}
+}

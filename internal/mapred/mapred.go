@@ -147,6 +147,13 @@ type Job struct {
 	// is the attempt's; a cancelled attempt must not keep its caller
 	// waiting for admission.
 	Runner func(ctx context.Context, fn func() error) error
+	// Counters, when set, additionally receives every counter charge this
+	// job generates (the engine's cumulative counters are always charged).
+	// A driver running concurrent queries hands each query's jobs one
+	// private Counters so per-query stats don't absorb other queries'
+	// work. BlacklistedNodes is the exception: node health is an
+	// engine-global property, so it is never charged to a job scope.
+	Counters *Counters
 }
 
 // Counters aggregates engine activity across jobs; all fields are
@@ -286,6 +293,15 @@ func NewEngine(cfg Config) *Engine {
 // Counters exposes the engine's cumulative counters.
 func (e *Engine) Counters() *Counters { return &e.counters }
 
+// charge applies one counter mutation to the engine's cumulative counters
+// and, when the job carries a per-job scope, to that scope too.
+func (e *Engine) charge(job *Job, f func(*Counters)) {
+	f(&e.counters)
+	if job.Counters != nil {
+		f(job.Counters)
+	}
+}
+
 // Blacklisted returns the currently blacklisted nodes, sorted.
 func (e *Engine) Blacklisted() []int {
 	e.mu.Lock()
@@ -372,7 +388,7 @@ func (c *attemptCollector) Collect(partition int, rec ShuffleRecord) error {
 // commit atomically publishes the attempt's records to the shared shuffle
 // partitions; shuffle counters are charged here, so they only ever count
 // committed output.
-func (c *attemptCollector) commit(e *Engine) {
+func (c *attemptCollector) commit(e *Engine, job *Job) {
 	for p, recs := range c.bufs {
 		if len(recs) == 0 {
 			continue
@@ -382,8 +398,10 @@ func (c *attemptCollector) commit(e *Engine) {
 		part.recs = append(part.recs, recs...)
 		part.mu.Unlock()
 	}
-	e.counters.ShuffleRecords.Add(c.recs)
-	e.counters.ShuffleBytes.Add(c.bytes)
+	e.charge(job, func(cs *Counters) {
+		cs.ShuffleRecords.Add(c.recs)
+		cs.ShuffleBytes.Add(c.bytes)
+	})
 }
 
 // Partition is the default hash partitioner over key bytes.
@@ -411,10 +429,12 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (err error) {
 		sp.SetAttr("reduces", job.NumReduces)
 		defer func() { sp.FinishErr(err) }()
 	}
-	e.counters.Jobs.Add(1)
-	if !job.ChainedLaunch {
-		e.counters.LaunchOverhead.Add(int64(e.cfg.JobLaunchOverhead))
-	}
+	e.charge(job, func(cs *Counters) {
+		cs.Jobs.Add(1)
+		if !job.ChainedLaunch {
+			cs.LaunchOverhead.Add(int64(e.cfg.JobLaunchOverhead))
+		}
+	})
 	if job.NumReduces > 0 && job.ReduceFunc == nil {
 		return fmt.Errorf("mapred: job %s has reducers but no ReduceFunc", job.Name)
 	}
@@ -438,7 +458,7 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (err error) {
 			return nil, err
 		}
 		return func() error {
-			out.commit(e)
+			out.commit(e, job)
 			if job.CommitTask != nil {
 				return job.CommitTask(tc)
 			}
@@ -568,11 +588,13 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 		start := time.Now()
 		defer func() {
 			dur = time.Since(start)
-			if reduce {
-				e.counters.ReduceCPU.Add(int64(dur))
-			} else {
-				e.counters.MapCPU.Add(int64(dur))
-			}
+			e.charge(job, func(cs *Counters) {
+				if reduce {
+					cs.ReduceCPU.Add(int64(dur))
+				} else {
+					cs.MapCPU.Add(int64(dur))
+				}
+			})
 			e.taskHist.Load().ObserveDuration(dur)
 			sp.FinishErr(err)
 		}()
@@ -654,7 +676,7 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 			}()
 			return
 		}
-		e.counters.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead))
+		e.charge(job, func(cs *Counters) { cs.LaunchOverhead.Add(int64(e.cfg.TaskLaunchOverhead)) })
 		go func() {
 			select {
 			case slots <- struct{}{}:
@@ -699,24 +721,26 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 				cancelPhase()
 				return
 			}
-			if reduce {
-				e.counters.ReduceTasks.Add(1)
-			} else {
-				e.counters.MapTasks.Add(1)
-			}
+			e.charge(job, func(cs *Counters) {
+				if reduce {
+					cs.ReduceTasks.Add(1)
+				} else {
+					cs.MapTasks.Add(1)
+				}
+			})
 			committedDurs = append(committedDurs, o.dur)
 			return
 		}
 		if o.err == nil {
 			// Speculative loser finishing after the winner (or after the
 			// task failed terminally): discard its work.
-			e.counters.WastedCPU.Add(int64(o.dur))
+			e.charge(job, func(cs *Counters) { cs.WastedCPU.Add(int64(o.dur)) })
 			abort(o.tc)
 			return
 		}
 		// Failed attempt.
 		abort(o.tc)
-		e.counters.WastedCPU.Add(int64(o.dur))
+		e.charge(job, func(cs *Counters) { cs.WastedCPU.Add(int64(o.dur)) })
 		if st.resolved {
 			return // loser of a decided task
 		}
@@ -729,14 +753,16 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 			}
 			return
 		}
-		e.counters.FailedTasks.Add(1)
+		e.charge(job, func(cs *Counters) { cs.FailedTasks.Add(1) })
 		e.noteNodeFailure(o.node)
 		st.errs = append(st.errs, o.err)
 		if st.attempts < maxAttempts && phaseCtx.Err() == nil {
-			if e.cfg.RetryBackoff > 0 {
-				e.counters.Backoff.Add(int64(e.cfg.RetryBackoff) << (len(st.errs) - 1))
-			}
-			e.counters.RetriedTasks.Add(1)
+			e.charge(job, func(cs *Counters) {
+				if e.cfg.RetryBackoff > 0 {
+					cs.Backoff.Add(int64(e.cfg.RetryBackoff) << (len(st.errs) - 1))
+				}
+				cs.RetriedTasks.Add(1)
+			})
 			launch(o.task, false)
 			return
 		}
@@ -771,7 +797,7 @@ func (e *Engine) runPhase(ctx context.Context, job *Job, n int, reduce bool,
 				continue
 			}
 			st.speculated = true
-			e.counters.SpeculativeTasks.Add(1)
+			e.charge(job, func(cs *Counters) { cs.SpeculativeTasks.Add(1) })
 			launch(task, true)
 		}
 	}

@@ -196,6 +196,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// RemovePrefix unregisters every metric whose name starts with prefix. A
+// subsystem that can be torn down and rebuilt against the same registry
+// (e.g. a query server's per-pool metrics) removes its prefix on close so
+// the next registration doesn't panic as a duplicate.
+func (r *Registry) RemovePrefix(prefix string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.m {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.m, name)
+		}
+	}
+}
+
 // RegisterFunc adopts an externally owned value (typically an atomic a
 // stats struct already maintains) under the given name and kind.
 func (r *Registry) RegisterFunc(name string, kind MetricKind, read func() int64) {

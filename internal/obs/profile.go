@@ -7,6 +7,7 @@
 package obs
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -22,7 +23,41 @@ type IOTally struct {
 	CacheBytes  atomic.Int64 // decompressed bytes served from the LLAP cache
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+
+	// also is an optional secondary sink (the per-query tally TeeTally
+	// attaches) that receives every event this tally records.
+	also atomic.Pointer[IOTally]
 }
+
+// TeeTally couples a per-operator tally with a per-query one: events
+// recorded on the returned tally land in both. Either argument may be nil;
+// with a nil op tally the query tally is used directly (profiling off).
+func TeeTally(op, query *IOTally) *IOTally {
+	if op == nil || op == query {
+		return query
+	}
+	op.also.Store(query)
+	return op
+}
+
+// WithQueryTally returns a context carrying a per-query IOTally; scan
+// paths (fileformat.Open, the vectorized reader) tee their per-operator
+// tallies into it so one query's cache hits and bytes can be read off
+// directly even while other queries share the same caches.
+func WithQueryTally(ctx context.Context, t *IOTally) context.Context {
+	return context.WithValue(ctx, queryTallyKey{}, t)
+}
+
+// QueryTallyFrom extracts the per-query tally from a context, or nil.
+func QueryTallyFrom(ctx context.Context) *IOTally {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(queryTallyKey{}).(*IOTally)
+	return t
+}
+
+type queryTallyKey struct{}
 
 // AddDFS records one datanode read of n bytes.
 func (t *IOTally) AddDFS(n int64) {
@@ -31,6 +66,7 @@ func (t *IOTally) AddDFS(n int64) {
 	}
 	t.DFSBytes.Add(n)
 	t.DFSReads.Add(1)
+	t.also.Load().AddDFS(n)
 }
 
 // AddMeta records n bytes of the preceding DFS reads as metadata.
@@ -39,6 +75,7 @@ func (t *IOTally) AddMeta(n int64) {
 		return
 	}
 	t.MetaBytes.Add(n)
+	t.also.Load().AddMeta(n)
 }
 
 // CacheHit records n decompressed bytes served from cache.
@@ -48,6 +85,7 @@ func (t *IOTally) CacheHit(n int64) {
 	}
 	t.CacheHits.Add(1)
 	t.CacheBytes.Add(n)
+	t.also.Load().CacheHit(n)
 }
 
 // CacheMiss records a cache lookup that fell through to DFS.
@@ -56,6 +94,7 @@ func (t *IOTally) CacheMiss() {
 		return
 	}
 	t.CacheMisses.Add(1)
+	t.also.Load().CacheMiss()
 }
 
 func (t *IOTally) merge(o *IOTally) {

@@ -1,0 +1,55 @@
+// concurrent.go: the concurrent-sessions axis. A Concurrent cell pushes
+// the fuzzed query through internal/server — the multi-tenant gateway —
+// from several sessions at once, all sharing the cell's driver. Each
+// session's answer is checked against the serial reference individually,
+// so any cross-query interference (cache corruption, counter bleed,
+// engine state races) shows up as an ordinary qcheck disagreement with a
+// shrinkable repro.
+package qcheck
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+// concurrentSessions is how many sessions fire the query simultaneously
+// in a Concurrent cell.
+const concurrentSessions = 4
+
+// runConcurrent runs query through a fresh server over d from
+// concurrentSessions sessions at once, returning each session's rows and
+// error positionally. The server (and its "wm." metrics) is torn down
+// before returning, so the driver is reusable by the next query.
+func runConcurrent(d *core.Driver, query string) ([][]types.Row, []error) {
+	srv := server.New(d, server.ManagerConfig{Pools: []server.PoolConfig{
+		{Name: "qcheck", Slots: concurrentSessions, QueueDepth: concurrentSessions},
+	}})
+	defer srv.Close()
+
+	rows := make([][]types.Row, concurrentSessions)
+	errs := make([]error, concurrentSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrentSessions; i++ {
+		sess, err := srv.OpenSession("")
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sess *server.Session) {
+			defer wg.Done()
+			res, err := sess.Run(context.Background(), query)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = res.Rows
+		}(i, sess)
+	}
+	wg.Wait()
+	return rows, errs
+}

@@ -25,6 +25,12 @@ type Cell struct {
 	Format   fileformat.Kind
 	Pushdown bool // AllOn optimizations with PredicatePushdown on/off
 	Faulted  bool
+	// Concurrent runs the query through the multi-session server layer —
+	// several sessions firing it simultaneously at one shared driver —
+	// instead of a single serial Run. Every session's answer must match
+	// the reference, so this axis catches cross-query interference
+	// (shared caches, shared counters, shared engine state).
+	Concurrent bool
 	// Reference marks the oracle cell: zero optimizer options, clean run.
 	Reference bool
 }
@@ -41,7 +47,11 @@ func (c Cell) ID() string {
 	if c.Faulted {
 		f = "fault"
 	}
-	return fmt.Sprintf("%s/%s/%s/%s", c.Engine, formatName(c.Format), p, f)
+	id := fmt.Sprintf("%s/%s/%s/%s", c.Engine, formatName(c.Format), p, f)
+	if c.Concurrent {
+		id += "/conc"
+	}
+	return id
 }
 
 func formatName(k fileformat.Kind) string {
@@ -65,9 +75,12 @@ var allFormats = []fileformat.Kind{
 var allEngines = []core.EngineMode{core.ModeMapReduce, core.ModeTez, core.ModeLLAP}
 
 // Matrix returns the reference cell followed by the full comparison
-// matrix: engines × formats × pushdown × {clean, fault}. FullFaults=false
-// restricts the fault axis to one representative cell per engine
-// (ORC+pushdown), which is what the short-mode smoke test runs.
+// matrix: engines × formats × pushdown × {clean, fault}, plus one
+// concurrent-sessions cell per engine (ORC+pushdown, clean): the same
+// query fired simultaneously from several server sessions must agree with
+// the serial reference. FullFaults=false restricts the fault axis to one
+// representative cell per engine (ORC+pushdown), which is what the
+// short-mode smoke test runs.
 func Matrix(fullFaults bool) []Cell {
 	cells := []Cell{{Engine: core.ModeMapReduce, Format: fileformat.Text, Reference: true}}
 	for _, eng := range allEngines {
@@ -81,6 +94,9 @@ func Matrix(fullFaults bool) []Cell {
 				}
 			}
 		}
+	}
+	for _, eng := range allEngines {
+		cells = append(cells, Cell{Engine: eng, Format: fileformat.ORC, Pushdown: true, Concurrent: true})
 	}
 	return cells
 }

@@ -162,23 +162,48 @@ func runOne(envs *envSet, cells []Cell, stmt *sql.SelectStmt, query string, exec
 	for _, c := range cells[1:] {
 		env := envs.get(c)
 		env.configure(c)
+		if c.Concurrent {
+			*execs += concurrentSessions
+			allRows, errs := runConcurrent(env.driver, query)
+			for i := range errs {
+				if f := checkAgainstRef(stmt, query, c, allRows[i], errs[i], refErr, want); f != nil {
+					f.Detail = fmt.Sprintf("session %d/%d: %s", i+1, concurrentSessions, f.Detail)
+					return f
+				}
+			}
+			continue
+		}
 		*execs++
 		res, err := env.driver.Run(query)
-		switch {
-		case refErr != nil && err == nil:
-			return &Failure{Query: query, Cell: c,
-				Detail: fmt.Sprintf("reference errored (%v) but cell succeeded", refErr)}
-		case refErr == nil && err != nil:
-			return &Failure{Query: query, Cell: c, Detail: fmt.Sprintf("cell errored: %v", err)}
-		case refErr != nil:
-			continue // both errored: agreement
+		var rows []types.Row
+		if err == nil {
+			rows = res.Rows
 		}
-		if msg := checkOrdered(stmt, res.Rows); msg != "" {
-			return &Failure{Query: query, Cell: c, Detail: msg}
+		if f := checkAgainstRef(stmt, query, c, rows, err, refErr, want); f != nil {
+			return f
 		}
-		if msg := compareNormalized(want, normalizeRows(res.Rows)); msg != "" {
-			return &Failure{Query: query, Cell: c, Detail: msg}
-		}
+	}
+	return nil
+}
+
+// checkAgainstRef applies the agreement rules for one execution of one
+// cell: errors must match the reference's error-ness, ORDER BY must hold,
+// and normalized rows must equal the reference's.
+func checkAgainstRef(stmt *sql.SelectStmt, query string, c Cell, rows []types.Row, err, refErr error, want []types.Row) *Failure {
+	switch {
+	case refErr != nil && err == nil:
+		return &Failure{Query: query, Cell: c,
+			Detail: fmt.Sprintf("reference errored (%v) but cell succeeded", refErr)}
+	case refErr == nil && err != nil:
+		return &Failure{Query: query, Cell: c, Detail: fmt.Sprintf("cell errored: %v", err)}
+	case refErr != nil:
+		return nil // both errored: agreement
+	}
+	if msg := checkOrdered(stmt, rows); msg != "" {
+		return &Failure{Query: query, Cell: c, Detail: msg}
+	}
+	if msg := compareNormalized(want, normalizeRows(rows)); msg != "" {
+		return &Failure{Query: query, Cell: c, Detail: msg}
 	}
 	return nil
 }

@@ -37,6 +37,29 @@ func TestDifferentialSmoke(t *testing.T) {
 	}
 }
 
+// TestConcurrentCellsInMatrix pins the concurrent-sessions axis: the
+// matrix carries one concurrent cell per engine (ORC + pushdown, clean),
+// distinguishable by ID, so every differential run also cross-checks the
+// multi-session server path.
+func TestConcurrentCellsInMatrix(t *testing.T) {
+	var conc int
+	for _, c := range Matrix(false) {
+		if !c.Concurrent {
+			continue
+		}
+		conc++
+		if c.Faulted {
+			t.Errorf("concurrent cell %s is faulted; the concurrent axis must be clean", c.ID())
+		}
+		if id := c.ID(); id[len(id)-5:] != "/conc" {
+			t.Errorf("concurrent cell ID %q lacks the /conc suffix", id)
+		}
+	}
+	if conc != 3 {
+		t.Fatalf("matrix has %d concurrent cells, want one per engine (3)", conc)
+	}
+}
+
 // TestJoinGeneration pins the equi-join grammar's coverage: across a
 // spread of seeds the generator must attach dimension tables to fact
 // tables and must emit JOIN queries against them (the map-join /

@@ -1,0 +1,121 @@
+// server.go is the query gateway: a Server wraps one shared core.Driver
+// with session management and the workload manager, so many clients run
+// concurrently — each under its own configuration and resource pool —
+// through a single set of engine, cache and metastore resources.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Server is the multi-tenant front end over one driver. All methods are
+// safe for concurrent use.
+type Server struct {
+	driver *core.Driver
+	wm     *Manager
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int64
+	closed   bool
+}
+
+// New builds a server over an existing driver. An empty pool list gets a
+// single "default" pool. Per-pool metrics register into the driver's
+// registry under "wm.<pool>." and are removed again by Close, so a driver
+// can host servers back to back.
+func New(d *core.Driver, cfg ManagerConfig) *Server {
+	if len(cfg.Pools) == 0 {
+		cfg.Pools = []PoolConfig{{Name: "default"}}
+	}
+	return &Server{
+		driver:   d,
+		wm:       NewManager(cfg, d.Registry()),
+		sessions: map[string]*Session{},
+	}
+}
+
+// Driver exposes the shared driver (benchmarks and the REPL read its
+// registry and metastore through it).
+func (s *Server) Driver() *core.Driver { return s.driver }
+
+// Manager exposes the workload manager (pool stats, direct admission).
+func (s *Server) Manager() *Manager { return s.wm }
+
+// OpenSession starts a session in the named pool ("" means the default
+// pool). The session's configuration starts as a snapshot of the driver's.
+func (s *Server) OpenSession(pool string) (*Session, error) {
+	if pool == "" {
+		pool = s.wm.DefaultPool()
+	}
+	if _, ok := s.wm.Pool(pool); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPool, pool)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	sess := &Session{
+		id:   fmt.Sprintf("s%d", s.nextID),
+		srv:  s,
+		conf: s.driver.Config(),
+		pool: pool,
+	}
+	s.sessions[sess.id] = sess
+	return sess, nil
+}
+
+// Session looks a session up by id.
+func (s *Server) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// Sessions lists open sessions sorted by id.
+func (s *Server) Sessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (s *Server) dropSession(id string) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// Close closes every session, shuts the workload manager (queued queries
+// reject with ErrClosed; running ones finish), and unregisters the "wm."
+// metrics so a new server can be built over the same driver. The driver
+// itself stays open — the server does not own it.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	s.wm.Close()
+	s.driver.Registry().RemovePrefix("wm.")
+}

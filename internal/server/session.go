@@ -1,0 +1,159 @@
+// session.go: one client's stateful handle on the server. A session owns a
+// private configuration snapshot (engine, optimizer toggles) and a resource
+// pool binding; its queries go through workload-manager admission and run
+// on the shared driver under the session's configuration, labeled with the
+// session id as the LLAP tenant so daemon workers are shared fairly.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/llap"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Session is one client's handle. Safe for concurrent use; one session may
+// even run several queries at once (each is admitted separately).
+type Session struct {
+	id  string
+	srv *Server
+
+	mu     sync.Mutex
+	conf   core.Config
+	pool   string
+	closed bool
+
+	queries   atomic.Int64 // completed successfully
+	preempted atomic.Int64 // preemptions absorbed (each later requeued)
+}
+
+// ID returns the session id ("s1", "s2", ...).
+func (s *Session) ID() string { return s.id }
+
+// Pool returns the session's resource pool.
+func (s *Session) Pool() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
+}
+
+// SetPool rebinds the session to another pool (the REPL's \pool command).
+func (s *Session) SetPool(name string) error {
+	if _, ok := s.srv.wm.Pool(name); !ok {
+		return fmt.Errorf("%w: %q", ErrNoPool, name)
+	}
+	s.mu.Lock()
+	s.pool = name
+	s.mu.Unlock()
+	return nil
+}
+
+// Config returns a copy of the session's configuration.
+func (s *Session) Config() core.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conf
+}
+
+// SetConfig replaces the session's configuration. Queries already running
+// keep the snapshot they started with; the driver and other sessions are
+// unaffected.
+func (s *Session) SetConfig(conf core.Config) {
+	s.mu.Lock()
+	s.conf = conf
+	s.mu.Unlock()
+}
+
+// Queries returns how many queries the session completed successfully.
+func (s *Session) Queries() int64 { return s.queries.Load() }
+
+// Preemptions returns how many times the session's queries were preempted
+// (each preemption was followed by a requeue).
+func (s *Session) Preemptions() int64 { return s.preempted.Load() }
+
+// Run executes one query under the session's configuration, going through
+// workload-manager admission first. A preempted query transparently
+// re-enters admission (up to the pool's MaxRequeues; the final attempt
+// runs unpreemptable), so callers only ever see real results or real
+// errors — never ErrPreempted.
+func (s *Session) Run(ctx context.Context, query string) (*core.Result, error) {
+	res, _, _, err := s.run(ctx, query, false)
+	return res, err
+}
+
+// RunProfiled is Run returning the optimized plan and per-operator profile
+// as well (the REPL's \profile path).
+func (s *Session) RunProfiled(ctx context.Context, query string) (*core.Result, *plan.Plan, *obs.PlanProfile, error) {
+	return s.run(ctx, query, true)
+}
+
+func (s *Session) run(ctx context.Context, query string, profiled bool) (*core.Result, *plan.Plan, *obs.PlanProfile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, nil, ErrClosed
+	}
+	conf := s.conf
+	poolName := s.pool
+	s.mu.Unlock()
+
+	d := s.srv.driver
+	pc, ok := s.srv.wm.Pool(poolName)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: %q", ErrNoPool, poolName)
+	}
+	mem := d.EstimateScanBytes(query)
+	for attempt := 0; ; attempt++ {
+		preemptable := pc.Preemptable && attempt < pc.MaxRequeues
+		t, err := s.srv.wm.Acquire(ctx, poolName, mem, preemptable)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		qctx, cancel := context.WithCancelCause(llap.WithTenant(ctx, s.id))
+		t.SetCancel(cancel)
+		var (
+			res  *core.Result
+			p    *plan.Plan
+			prof *obs.PlanProfile
+		)
+		if profiled {
+			res, p, prof, err = d.RunProfiledWith(qctx, conf, query)
+		} else {
+			res, err = d.RunWith(qctx, conf, query)
+		}
+		t.Release()
+		wasPreempted := errors.Is(context.Cause(qctx), ErrPreempted)
+		cancel(nil)
+		if err == nil {
+			s.queries.Add(1)
+			return res, p, prof, nil
+		}
+		if wasPreempted && ctx.Err() == nil {
+			s.preempted.Add(1)
+			continue // cancel-and-requeue: back through admission
+		}
+		return nil, nil, nil, err
+	}
+}
+
+// Close ends the session. Queries already admitted finish; new Runs reject
+// with ErrClosed.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.srv.dropSession(s.id)
+}

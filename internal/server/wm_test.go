@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSlotsCapConcurrency: a pool never runs more queries than its Slots.
+func TestSlotsCapConcurrency(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p", Slots: 2, QueueDepth: 16}}}, nil)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := m.Acquire(context.Background(), "p", 0, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			running.Add(-1)
+			tk.Release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrency %d, want <= 2", got)
+	}
+	st := m.Stats()[0]
+	if st.Admitted != 8 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("final stats %+v, want 8 admitted, all drained", st)
+	}
+}
+
+// TestGlobalSlots: TotalSlots constrains across pools even when each pool
+// has its own headroom.
+func TestGlobalSlots(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		TotalSlots: 2,
+		Pools:      []PoolConfig{{Name: "a", Slots: 2}, {Name: "b", Slots: 2}},
+	}, nil)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		pool := "a"
+		if i%2 == 1 {
+			pool = "b"
+		}
+		wg.Add(1)
+		go func(pool string) {
+			defer wg.Done()
+			tk, err := m.Acquire(context.Background(), pool, 0, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			tk.Release()
+		}(pool)
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak global concurrency %d, want <= 2", got)
+	}
+}
+
+// TestQueueFullRejects: past QueueDepth waiting queries, Acquire rejects.
+func TestQueueFullRejects(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p", Slots: 1, QueueDepth: 1}}}, nil)
+	t1, err := m.Acquire(context.Background(), "p", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tk, err := m.Acquire(context.Background(), "p", 0, false)
+		if err == nil {
+			tk.Release()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return m.Stats()[0].Queued == 1 })
+	if _, err := m.Acquire(context.Background(), "p", 0, false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire: got %v, want ErrQueueFull", err)
+	}
+	t1.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if st := m.Stats()[0]; st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// TestQueueTimeout: a queued query rejects with ErrQueueTimeout after the
+// pool's QueueTimeout.
+func TestQueueTimeout(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{
+		{Name: "p", Slots: 1, QueueTimeout: 20 * time.Millisecond},
+	}}, nil)
+	t1, err := m.Acquire(context.Background(), "p", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Release()
+	if _, err := m.Acquire(context.Background(), "p", 0, false); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("got %v, want ErrQueueTimeout", err)
+	}
+	st := m.Stats()[0]
+	if st.TimedOut != 1 || st.Queued != 0 {
+		t.Fatalf("stats %+v, want 1 timed out, empty queue", st)
+	}
+}
+
+// TestCancelWhileQueued: a caller whose context dies while queued gets
+// ctx.Err() and leaves the queue.
+func TestCancelWhileQueued(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p", Slots: 1}}}, nil)
+	t1, err := m.Acquire(context.Background(), "p", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(ctx, "p", 0, false)
+		done <- err
+	}()
+	waitFor(t, func() bool { return m.Stats()[0].Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st := m.Stats()[0]; st.Queued != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", st.Queued)
+	}
+}
+
+// TestMemoryAdmission: the pool's memory budget serializes queries whose
+// summed estimates exceed it, and rejects a single query that could never
+// fit.
+func TestMemoryAdmission(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{
+		{Name: "p", Slots: 4, MemoryBytes: 100},
+	}}, nil)
+	if _, err := m.Acquire(context.Background(), "p", 150, false); !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("oversized query: got %v, want ErrMemoryExceeded", err)
+	}
+	t1, err := m.Acquire(context.Background(), "p", 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tk, err := m.Acquire(context.Background(), "p", 60, false)
+		if err == nil {
+			tk.Release()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return m.Stats()[0].Queued == 1 })
+	if st := m.Stats()[0]; st.Running != 1 || st.MemUsed != 60 {
+		t.Fatalf("stats %+v, want second 60-byte query queued behind the first", st)
+	}
+	t1.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemption: an interactive query starved of a global slot preempts
+// the longest-running preemptable batch query; the batch ticket's context
+// is cancelled with cause ErrPreempted and the interactive query is
+// granted the freed slot.
+func TestPreemption(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		TotalSlots: 1,
+		Pools: []PoolConfig{
+			{Name: "batch", Slots: 1, Preemptable: true},
+			{Name: "inter", Slots: 1, Interactive: true},
+		},
+	}, nil)
+	bt, err := m.Acquire(context.Background(), "batch", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bctx, bcancel := context.WithCancelCause(context.Background())
+	bt.SetCancel(bcancel)
+
+	granted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := m.Acquire(context.Background(), "inter", 0, false)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- tk
+	}()
+
+	select {
+	case <-bctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch query was not preempted")
+	}
+	if cause := context.Cause(bctx); !errors.Is(cause, ErrPreempted) {
+		t.Fatalf("cancellation cause = %v, want ErrPreempted", cause)
+	}
+	if !bt.Preempted() {
+		t.Fatal("ticket not marked preempted")
+	}
+	// The victim unwinds and releases; the interactive query gets the slot.
+	bt.Release()
+	select {
+	case tk := <-granted:
+		tk.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("interactive query not granted after preemption")
+	}
+	for _, st := range m.Stats() {
+		if st.Name == "batch" && st.Preempted != 1 {
+			t.Fatalf("batch preempted = %d, want 1", st.Preempted)
+		}
+	}
+}
+
+// TestNoPreemptionWhenUnpreemptable: a ticket acquired with
+// preemptable=false is never chosen as a victim — the interactive query
+// must wait for it.
+func TestNoPreemptionWhenUnpreemptable(t *testing.T) {
+	m := NewManager(ManagerConfig{
+		TotalSlots: 1,
+		Pools: []PoolConfig{
+			{Name: "batch", Slots: 1, Preemptable: true},
+			{Name: "inter", Slots: 1, Interactive: true},
+		},
+	}, nil)
+	// Final-attempt semantics: the pool is preemptable but this ticket
+	// (attempt >= MaxRequeues) is not.
+	bt, err := m.Acquire(context.Background(), "batch", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bctx, bcancel := context.WithCancelCause(context.Background())
+	bt.SetCancel(bcancel)
+	defer bcancel(nil)
+
+	granted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := m.Acquire(context.Background(), "inter", 0, false)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- tk
+	}()
+	waitFor(t, func() bool {
+		for _, st := range m.Stats() {
+			if st.Name == "inter" && st.Queued == 1 {
+				return true
+			}
+		}
+		return false
+	})
+	if bctx.Err() != nil {
+		t.Fatal("unpreemptable ticket was cancelled")
+	}
+	bt.Release()
+	tk := <-granted
+	tk.Release()
+}
+
+// TestCloseRejectsQueued: Close fails queued acquires with ErrClosed and
+// refuses new ones; running tickets still release cleanly.
+func TestCloseRejectsQueued(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p", Slots: 1}}}, nil)
+	t1, err := m.Acquire(context.Background(), "p", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(context.Background(), "p", 0, false)
+		done <- err
+	}()
+	waitFor(t, func() bool { return m.Stats()[0].Queued == 1 })
+	m.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued acquire after close: got %v, want ErrClosed", err)
+	}
+	if _, err := m.Acquire(context.Background(), "p", 0, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("new acquire after close: got %v, want ErrClosed", err)
+	}
+	t1.Release()
+}
+
+// TestUnknownPool: acquiring from an unconfigured pool rejects.
+func TestUnknownPool(t *testing.T) {
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p"}}}, nil)
+	if _, err := m.Acquire(context.Background(), "nope", 0, false); !errors.Is(err, ErrNoPool) {
+		t.Fatalf("got %v, want ErrNoPool", err)
+	}
+}
+
+// TestPoolMetrics: with a registry, the manager exposes per-pool gauges,
+// counters and histograms under "wm.<pool>.", and RemovePrefix clears them
+// so a rebuilt manager can re-register.
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p", Slots: 1}}}, reg)
+	tk, err := m.Acquire(context.Background(), "p", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("wm.p.Running"); got != 1 {
+		t.Fatalf("wm.p.Running = %d, want 1", got)
+	}
+	if got := snap.Get("wm.p.Admitted"); got != 1 {
+		t.Fatalf("wm.p.Admitted = %d, want 1", got)
+	}
+	tk.Release()
+	snap = reg.Snapshot()
+	if got := snap.Get("wm.p.Running"); got != 0 {
+		t.Fatalf("wm.p.Running after release = %d, want 0", got)
+	}
+	if got := snap.Hist("wm.p.QueryNanos").Count; got != 1 {
+		t.Fatalf("wm.p.QueryNanos count = %d, want 1", got)
+	}
+	reg.RemovePrefix("wm.")
+	// Re-registering the same pool names must not panic.
+	NewManager(ManagerConfig{Pools: []PoolConfig{{Name: "p", Slots: 1}}}, reg)
+}
+
+// waitFor polls cond until true or a 5s deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

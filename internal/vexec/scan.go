@@ -47,7 +47,10 @@ func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *pla
 		fr.SetContext(goctx)
 	}
 	scanStats := prof.Op(scan.ID) // nil prof -> nil stats; methods no-op
-	fr.SetTally(scanStats.Tally())
+	// Tee into the per-query tally (if the context carries one) so cache
+	// hits stay per-query attributable under concurrent queries.
+	tally := obs.TeeTally(scanStats.Tally(), obs.QueryTallyFrom(goctx))
+	fr.SetTally(tally)
 	r, err := orc.NewCachedReader(fr, path, caches)
 	if err != nil {
 		return err
@@ -59,7 +62,7 @@ func RunVectorizedScan(goctx context.Context, fs *dfs.FS, path string, scan *pla
 			include = append(include, scan.Cols[idx])
 		}
 	}
-	br, err := r.Batches(orc.ReadOptions{Include: include, SArg: scan.SArg, Tally: scanStats.Tally()})
+	br, err := r.Batches(orc.ReadOptions{Include: include, SArg: scan.SArg, Tally: tally})
 	if err != nil {
 		return err
 	}
