@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap bench-join bench-concurrency faults difftest obs
+.PHONY: check vet build test race race-core bench-llap bench-join bench-concurrency bench-acid faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
 # must pass. `make race` remains the full-repo race sweep. The bench steps
@@ -15,14 +15,16 @@ check: vet build test race-core
 	$(GO) test -run=NONE -bench=BenchmarkNilTracer -benchtime=1x ./internal/obs
 	$(GO) test -run=NONE -bench=BenchmarkVectorizedMapJoin -benchtime=1x ./internal/vexec
 	$(GO) test -run=TestConcurrencyShape -count=1 ./internal/bench
+	$(GO) test -run=TestACIDShape -count=1 ./internal/bench
 
 # race-core is the fast race pass over the correctness-critical packages
 # (the differential harness, the engine layers it drives, the multi-tenant
-# server dispatching them in parallel, the vector batch/pool primitives
-# shared across concurrent tasks, and the observability counters those
-# layers mutate while queries run).
+# server dispatching them in parallel, the transaction manager whose
+# commits and compactions race those queries, the vector batch/pool
+# primitives shared across concurrent tasks, and the observability
+# counters those layers mutate while queries run).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +52,12 @@ bench-join:
 # preemption-ablation pair at the top level.
 bench-concurrency:
 	$(GO) run ./cmd/benchrunner -exp concurrency
+
+# bench-acid reproduces E15: streaming-ingest throughput into an ACID
+# table, read latency while background compaction rewrites it, and the
+# with/without-compaction ablation.
+bench-acid:
+	$(GO) run ./cmd/benchrunner -exp acid
 
 # faults runs the E10 fault matrix: seeded task crashes, read faults, a
 # corrupt block, stragglers and cache faults on all three engines.

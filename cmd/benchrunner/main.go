@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|llap|concurrency|faults|obs|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|llap|concurrency|faults|obs|acid|ablations|all, or diff (E11, only when named explicitly)")
 	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
@@ -32,6 +32,8 @@ func main() {
 	diffQueries := flag.Int("diff-queries", 500, "generated queries for the differential fuzzer (E11)")
 	concMax := flag.Int("conc-max", 256, "largest client count for the concurrency experiment (E14)")
 	concQueries := flag.Int("conc-queries", 4, "interactive queries per client for the concurrency experiment (E14)")
+	acidRows := flag.Int("acid-rows", 24000, "rows streamed into the ACID table for E15")
+	acidReads := flag.Int("acid-reads", 24, "measurement reads for E15's compaction phases")
 	flag.Parse()
 
 	cfg := bench.EnvConfig{
@@ -149,6 +151,14 @@ func main() {
 			return err
 		}
 		bench.PrintFaults(os.Stdout, rep)
+		return nil
+	})
+	run("acid", func() error {
+		rep, err := bench.RunACID(cfg, *acidRows, 8, *acidReads)
+		if err != nil {
+			return err
+		}
+		bench.PrintACID(os.Stdout, rep)
 		return nil
 	})
 	run("obs", func() error {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/server"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -129,6 +130,10 @@ func main() {
                           <path> (open in chrome://tracing or Perfetto);
                           spans cover phases, jobs, task attempts, operators
   \cache                  LLAP cache and daemon pool statistics (-engine llap)
+  \txns                   ACID transaction state: open txns, high watermark,
+                          per-table base/delta manifests, compaction counters
+  \compact <table> [major] run a minor (merge deltas) or major (fold into a
+                          new base) compaction on an ACID table now
   \timeout <dur>|off      bound query wall time (e.g. \timeout 30s)
 server mode (-serve):
   \sessions               list open sessions (current one starred)
@@ -181,6 +186,71 @@ statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
 				daemon.MetaCache().Len(), daemon.MetaCache().Hits(), daemon.MetaCache().Misses())
 			fmt.Printf("daemon pool: %d workers; %d tasks submitted, %d executed, %d rejected, peak concurrency %d\n",
 				daemon.Config().Workers, ds.Submitted, ds.Executed, ds.Rejected, ds.MaxConcurrent)
+		case line == `\txns`:
+			m := env.Driver.Txns()
+			fmt.Printf("high watermark: txn %d; %d active snapshot(s); %d file(s) pending clean\n",
+				m.HighWater(), m.ActiveSnapshots(), m.PendingCleanFiles())
+			open := m.OpenTxns()
+			if len(open) == 0 {
+				fmt.Println("open transactions: none")
+			} else {
+				fmt.Printf("open transactions: %d\n", len(open))
+				for _, ts := range open {
+					fmt.Printf("  txn %d (%s): %d pending row(s) in %s\n",
+						ts.ID, ts.State, ts.Rows, strings.Join(ts.Tables, ", "))
+				}
+			}
+			tables := m.Tables()
+			if len(tables) == 0 {
+				fmt.Println("ACID tables: none (CreateACIDTable registers one; plain tables stay non-transactional)")
+			}
+			for _, name := range tables {
+				man, err := m.ManifestOf(name)
+				if err != nil {
+					fmt.Printf("  %s: manifest error: %v\n", name, err)
+					continue
+				}
+				var deltaFiles int
+				var deltaRows int64
+				for _, d := range man.Deltas {
+					deltaFiles += len(d.Files)
+					deltaRows += d.Rows
+				}
+				fmt.Printf("  %s: v%d, base %d file(s)/%d row(s) (through txn %d), %d delta(s) = %d file(s)/%d row(s)\n",
+					name, man.Version, len(man.Base), man.BaseRows, man.BaseTxn,
+					len(man.Deltas), deltaFiles, deltaRows)
+			}
+			st := m.Snapshot()
+			fmt.Printf("txns: %d begun, %d committed, %d aborted; compactions: %d minor, %d major (%d lost race, %d crashed); %d file(s) cleaned, %d orphan(s) recovered\n",
+				st.Begun, st.Committed, st.Aborted,
+				st.CompactionsMinor, st.CompactionsMajor, st.CompactionsLost, st.CompactionCrashes,
+				st.FilesRemoved, st.OrphansRemoved)
+		case strings.HasPrefix(line, `\compact`):
+			args := strings.Fields(strings.TrimPrefix(line, `\compact`))
+			if len(args) == 0 || len(args) > 2 || (len(args) == 2 && args[1] != "major" && args[1] != "minor") {
+				fmt.Println(`usage: \compact <table> [major|minor]`)
+				continue
+			}
+			m := env.Driver.Txns()
+			if !m.IsRegistered(args[0]) {
+				fmt.Printf("%s is not an ACID table (\\txns lists them)\n", args[0])
+				continue
+			}
+			res, err := m.Compact(args[0], txn.CompactOptions{Major: len(args) == 2 && args[1] == "major"})
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			switch {
+			case res.LostRace:
+				fmt.Printf("%s compaction lost the publish race after %d attempt(s); another compactor got there first\n",
+					res.Kind, res.Attempts)
+			case !res.Compacted:
+				fmt.Printf("nothing to do: not enough deltas below the compaction ceiling (txn %d)\n", res.Ceiling)
+			default:
+				fmt.Printf("%s compaction merged %d delta(s) (%d file(s), %d row(s)) into %d file(s), up through txn %d\n",
+					res.Kind, res.InputDeltas, res.InputFiles, res.Rows, len(res.OutputFiles), res.Ceiling)
+			}
 		case line == `\pools`:
 			if srv == nil {
 				fmt.Println("no server: start with -serve")

@@ -1,0 +1,381 @@
+// acid.go drives E15, the ACID transactional-table experiment (the
+// paper's §9 "advanced transaction support" outlook, realized as Hive
+// ACID): streaming-ingest throughput through the server's transaction
+// endpoint, read latency while background compaction is actively
+// rewriting the table underneath the readers, and a with/without
+// compaction ablation. Every read doubles as a correctness probe: the
+// inserted ids are consecutive, so a snapshot that sees N rows must see
+// exactly ids 0..N-1 — SUM(id) = N(N-1)/2 — and N must sit on a
+// batch-commit boundary. A torn batch, a leaked uncommitted row, or a
+// half-compacted file set all break the arithmetic.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/llap"
+	"repro/internal/mapred"
+	"repro/internal/orc"
+	"repro/internal/server"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// ACIDReport is E15's outcome.
+type ACIDReport struct {
+	// Ingest phase: writer sessions streaming batches concurrently.
+	Writers           int
+	Batches           int // committed transactions during ingest
+	IngestRows        int64
+	IngestWall        time.Duration
+	RowsPerSec        float64
+	DeltasAfterIngest int
+
+	// Read-under-compaction phase: queries racing background compaction
+	// and a churn writer.
+	Reads             int
+	ReadP50           time.Duration
+	ReadP95           time.Duration
+	CompactionsDuring int64 // compactions committed while reads ran
+	ChurnRows         int64 // rows committed by the churn writer during reads
+	Consistent        bool
+
+	// Ablation: read p95 against a compacted vs never-compacted table.
+	AblationReads    int
+	P95Compacted     time.Duration
+	P95Uncompacted   time.Duration
+	FilesCompacted   int
+	FilesUncompacted int
+}
+
+const (
+	acidWriters    = 2
+	churnBatchRows = 64
+)
+
+// acidReadQuery is the measurement query; COUNT and SUM(id) together form
+// the snapshot-consistency probe (see checkRead).
+const acidReadQuery = "SELECT COUNT(*), SUM(id) FROM events"
+
+// eventsSchema is E15's table: consecutive ids, a group key, a payload.
+func eventsSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("grp", types.Primitive(types.Long)),
+		types.Col("val", types.Primitive(types.Long)),
+	)
+}
+
+// newACIDBenchDriver builds a warehouse with one empty ACID table
+// "events". autoCompact <0 disables background compaction, >0 sets the
+// delta threshold.
+func newACIDBenchDriver(cfg EnvConfig, autoCompact int) (*core.Driver, error) {
+	c := cfg.withDefaults()
+	fs := dfs.New(dfs.WithBlockSize(8<<20), dfs.WithSimulatedDisk(c.DiskBandwidth, c.SeekLatency))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4, JobLaunchOverhead: c.LaunchOverhead})
+	d := core.NewDriver(fs, engine, core.Config{
+		Engine:            core.ModeLLAP,
+		Opt:               c.Opt,
+		LLAP:              llap.Config{CacheBytes: c.LLAPCacheBytes},
+		AutoCompactDeltas: autoCompact,
+	})
+	opts := fileformat.Options{ORCOptions: &orc.WriterOptions{
+		RowIndexStride: c.ORCStride,
+		StripeSize:     c.ORCStripeSize,
+	}}
+	if err := d.CreateACIDTable("events", eventsSchema(), &opts); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// acidRow builds the row for one consecutive id.
+func acidRow(id int64) types.Row {
+	return types.Row{id, id % 32, id % 97}
+}
+
+// ingest streams rows [0, total) into events through nWriters concurrent
+// server sessions, batchesPerWriter commits each. Ids are split in
+// contiguous halves, so once ingest completes every snapshot sees exactly
+// ids 0..total-1. Returns the wall time of the concurrent ingest.
+func ingest(d *core.Driver, total, nWriters, batchesPerWriter int) (time.Duration, error) {
+	srv := server.New(d, server.ManagerConfig{Pools: []server.PoolConfig{
+		{Name: "ingest", Slots: nWriters + 1, QueueDepth: 64},
+	}})
+	defer srv.Close()
+
+	perWriter := total / nWriters
+	var wg sync.WaitGroup
+	errs := make([]error, nWriters)
+	start := time.Now()
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := srv.OpenSession("")
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer sess.Close()
+			st, err := sess.OpenStream("events")
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			lo := w * perWriter
+			hi := lo + perWriter
+			if w == nWriters-1 {
+				hi = total
+			}
+			batchRows := perWriter / batchesPerWriter
+			if batchRows == 0 {
+				batchRows = 1
+			}
+			for i := lo; i < hi; i++ {
+				if err := st.Write(acidRow(int64(i))); err != nil {
+					errs[w] = err
+					return
+				}
+				if (i-lo+1)%batchRows == 0 {
+					if err := st.Commit(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+			errs[w] = st.Close()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return wall, nil
+}
+
+// checkRead verifies the id arithmetic for one read: n rows seen means
+// ids 0..n-1 exactly (SUM over a consecutive prefix), and any rows beyond
+// the ingest floor must arrive in whole churn batches.
+func checkRead(n, sum, ingested int64, batchRows int64) bool {
+	if n < ingested || sum != n*(n-1)/2 {
+		return false
+	}
+	return batchRows == 0 || (n-ingested)%batchRows == 0
+}
+
+// readCountSum runs the probe query once and decodes it.
+func readCountSum(d *core.Driver) (n, sum int64, lat time.Duration, err error) {
+	start := time.Now()
+	res, err := d.Run(acidReadQuery)
+	lat = time.Since(start)
+	if err != nil {
+		return 0, 0, lat, err
+	}
+	if len(res.Rows) != 1 {
+		return 0, 0, lat, fmt.Errorf("probe returned %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0].(int64), res.Rows[0][1].(int64), lat, nil
+}
+
+// RunACID runs E15: ingest totalRows through concurrent streaming
+// writers, measure read latency while compaction and a churn writer run,
+// then the compaction ablation. reads is the query count of the
+// measurement phases.
+func RunACID(cfg EnvConfig, totalRows, batchesPerWriter, reads int) (*ACIDReport, error) {
+	rep := &ACIDReport{
+		Writers:       acidWriters,
+		Batches:       acidWriters * batchesPerWriter,
+		Reads:         reads,
+		AblationReads: reads,
+		Consistent:    true,
+	}
+
+	// Phase 1: ingest throughput. Auto-compaction stays off so the table
+	// ends the phase with its full delta count — the worst case phase 2
+	// starts from.
+	d, err := newACIDBenchDriver(cfg, -1)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	wall, err := ingest(d, totalRows, acidWriters, batchesPerWriter)
+	if err != nil {
+		return nil, err
+	}
+	rep.IngestRows = int64(totalRows)
+	rep.IngestWall = wall
+	if wall > 0 {
+		rep.RowsPerSec = float64(totalRows) / wall.Seconds()
+	}
+	man, err := d.Txns().ManifestOf("events")
+	if err != nil {
+		return nil, err
+	}
+	rep.DeltasAfterIngest = len(man.Deltas)
+
+	// Phase 2: read latency while compaction is active. A churn writer
+	// keeps committing small batches so the compactor always has fresh
+	// input, and the compactor loops minor passes with a periodic major.
+	mgr := d.Txns()
+	before := mgr.Snapshot()
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+	var churnRows atomic.Int64
+	var bgErr atomic.Value // error
+	bg.Add(1)
+	go func() { // churn writer
+		defer bg.Done()
+		next := int64(totalRows)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l, err := d.LoadACID("events")
+			if err != nil {
+				bgErr.Store(err)
+				return
+			}
+			for i := 0; i < churnBatchRows; i++ {
+				if err := l.Write(acidRow(next + int64(i))); err != nil {
+					bgErr.Store(err)
+					l.Abort()
+					return
+				}
+			}
+			if err := l.Close(); err != nil {
+				bgErr.Store(err)
+				return
+			}
+			next += churnBatchRows
+			churnRows.Add(churnBatchRows)
+			// Pace the churn: the phase measures read latency against a
+			// compacting table, not against unbounded table growth.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	bg.Add(1)
+	go func() { // compactor
+		defer bg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			opts := txn.CompactOptions{Major: i%4 == 3}
+			res, err := mgr.Compact("events", opts)
+			if err != nil {
+				bgErr.Store(err)
+				return
+			}
+			if !res.Compacted {
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	var lats []time.Duration
+	for i := 0; i < reads; i++ {
+		n, sum, lat, err := readCountSum(d)
+		if err != nil {
+			close(stop)
+			bg.Wait()
+			return nil, err
+		}
+		lats = append(lats, lat)
+		if !checkRead(n, sum, rep.IngestRows, churnBatchRows) {
+			rep.Consistent = false
+		}
+	}
+	close(stop)
+	bg.Wait()
+	if err, _ := bgErr.Load().(error); err != nil {
+		return nil, err
+	}
+	diff := mgr.Snapshot().Diff(before)
+	rep.CompactionsDuring = diff.CompactionsMinor + diff.CompactionsMajor
+	rep.ChurnRows = churnRows.Load()
+	rep.ReadP50 = quantileDur(lats, 0.50)
+	rep.ReadP95 = quantileDur(lats, 0.95)
+
+	// Phase 3: the ablation — identical ingest, then reads against a fully
+	// compacted table vs the raw delta pile.
+	measure := func(compacted bool) (time.Duration, int, error) {
+		auto := -1
+		if compacted {
+			auto = 4
+		}
+		ad, err := newACIDBenchDriver(cfg, auto)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer ad.Close()
+		if _, err := ingest(ad, totalRows, acidWriters, batchesPerWriter); err != nil {
+			return 0, 0, err
+		}
+		if compacted {
+			if _, err := ad.Txns().Compact("events", txn.CompactOptions{Major: true}); err != nil {
+				return 0, 0, err
+			}
+		}
+		aman, err := ad.Txns().ManifestOf("events")
+		if err != nil {
+			return 0, 0, err
+		}
+		files := len(aman.Base)
+		for _, dl := range aman.Deltas {
+			files += len(dl.Files)
+		}
+		var alats []time.Duration
+		for i := 0; i < reads; i++ {
+			n, sum, lat, err := readCountSum(ad)
+			if err != nil {
+				return 0, 0, err
+			}
+			if n != int64(totalRows) || !checkRead(n, sum, int64(totalRows), 0) {
+				rep.Consistent = false
+			}
+			alats = append(alats, lat)
+		}
+		return quantileDur(alats, 0.95), files, nil
+	}
+	if rep.P95Compacted, rep.FilesCompacted, err = measure(true); err != nil {
+		return nil, err
+	}
+	if rep.P95Uncompacted, rep.FilesUncompacted, err = measure(false); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// PrintACID renders the E15 report.
+func PrintACID(w io.Writer, rep *ACIDReport) {
+	fmt.Fprintln(w, "E15: ACID transactional tables (streaming ingest, snapshot reads under background compaction)")
+	fmt.Fprintf(w, "ingest: %d rows via %d streaming writers, %d txns in %s (%.0f rows/s), %d deltas\n",
+		rep.IngestRows, rep.Writers, rep.Batches, rep.IngestWall.Round(time.Millisecond),
+		rep.RowsPerSec, rep.DeltasAfterIngest)
+	ok := "yes"
+	if !rep.Consistent {
+		ok = "NO"
+	}
+	fmt.Fprintf(w, "reads under compaction: %d reads, p50 %s, p95 %s; %d compactions and %d churn rows during; consistent %s\n",
+		rep.Reads, rep.ReadP50.Round(time.Microsecond), rep.ReadP95.Round(time.Microsecond),
+		rep.CompactionsDuring, rep.ChurnRows, ok)
+	fmt.Fprintf(w, "compaction ablation (%d reads): p95 %s over %d files compacted vs p95 %s over %d files uncompacted\n",
+		rep.AblationReads, rep.P95Compacted.Round(time.Microsecond), rep.FilesCompacted,
+		rep.P95Uncompacted.Round(time.Microsecond), rep.FilesUncompacted)
+}

@@ -461,3 +461,43 @@ func TestConcurrencyShape(t *testing.T) {
 		}
 	}
 }
+
+// TestACIDShape is the E15 smoke: a small streaming ingest, reads racing
+// background compaction (which must actually run), and the compaction
+// ablation — all with the id-arithmetic consistency probe intact.
+func TestACIDShape(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.DiskBandwidth = -1 // answers and counts, not timings
+	rep, err := RunACID(cfg, 2000, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent {
+		t.Error("a snapshot read diverged from the committed-transaction arithmetic")
+	}
+	if rep.RowsPerSec <= 0 || rep.IngestRows != 2000 {
+		t.Errorf("ingest not measured: %+v", rep)
+	}
+	if rep.DeltasAfterIngest < rep.Batches/2 {
+		t.Errorf("ingest left %d deltas, want about %d (streaming commits must produce deltas)",
+			rep.DeltasAfterIngest, rep.Batches)
+	}
+	if rep.CompactionsDuring == 0 {
+		t.Error("no compaction committed while reads ran; the read-under-compaction phase measured nothing")
+	}
+	if rep.ReadP95 == 0 || rep.P95Compacted == 0 || rep.P95Uncompacted == 0 {
+		t.Errorf("missing latency quantiles: %+v", rep)
+	}
+	if rep.FilesCompacted >= rep.FilesUncompacted {
+		t.Errorf("compaction did not shrink the file set: %d vs %d files",
+			rep.FilesCompacted, rep.FilesUncompacted)
+	}
+	var buf bytes.Buffer
+	PrintACID(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"E15", "rows/s", "reads under compaction", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintACID output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// acid.go wires ACID transactional tables (internal/txn) into the driver:
+// CREATE of transactional tables, transaction-backed loading, per-query
+// snapshot acquisition, and the executor's manifest-driven file resolution.
+// An ACID table's directory holds delta files in every state — uncommitted,
+// committed, replaced-but-pinned, compaction temps — so the executor never
+// lists it; every scan resolves its file set through the transaction
+// manager at the query's snapshot.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fileformat"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// defaultAutoCompactDeltas is the delta count that triggers a background
+// minor compaction when Config.AutoCompactDeltas is zero.
+const defaultAutoCompactDeltas = 8
+
+// Txns returns the session's transaction manager, starting it on first
+// use. The manager is wired into the driver's write-tracking path (a commit
+// invalidates every cache tier exactly once, through the same hook bulk
+// loads use) and into background compaction: a commit that leaves a table
+// with enough deltas schedules a minor compaction onto the LLAP daemon's
+// executor pool.
+func (d *Driver) Txns() *txn.Manager {
+	d.txnMu.Lock()
+	defer d.txnMu.Unlock()
+	if d.txns == nil {
+		m := txn.NewManager(d.fs)
+		m.SetCommitHook(func(info txn.TableInfo) { d.noteTableWrite(info.Name) })
+		d.confMu.RLock()
+		threshold := d.conf.AutoCompactDeltas
+		d.confMu.RUnlock()
+		if threshold == 0 {
+			threshold = defaultAutoCompactDeltas
+		}
+		if threshold > 0 {
+			m.SetAutoCompaction(threshold, func(table string) {
+				// Fire-and-forget onto the daemon pool; a full admission
+				// queue just means the next commit re-triggers.
+				_, _ = d.LLAP().Submit(func() error {
+					_, err := m.Compact(table, txn.CompactOptions{})
+					return err
+				})
+			})
+		}
+		d.txns = m
+	}
+	return d.txns
+}
+
+// txnManager returns the transaction manager if one was started, without
+// creating it: queries in sessions that never touched ACID tables skip all
+// snapshot work.
+func (d *Driver) txnManager() *txn.Manager {
+	d.txnMu.Lock()
+	defer d.txnMu.Unlock()
+	return d.txns
+}
+
+// CreateACIDTable registers a transactional table. ACID tables are ORC (as
+// in Hive); their rows arrive only through transactions — Begin/Write/
+// Commit on the manager, the LoadACID convenience loader, or a server
+// session's streaming-insert endpoint — and their readers see
+// snapshot-consistent merges of base plus committed deltas.
+func (d *Driver) CreateACIDTable(name string, schema *types.Schema, opts *fileformat.Options) error {
+	if _, err := d.meta.Table(name); err == nil {
+		return fmt.Errorf("core: table %q already exists", name)
+	}
+	o := fileformat.Options{}
+	if opts != nil {
+		o = *opts
+	}
+	d.confMu.RLock()
+	warehouse := d.conf.WarehouseDir
+	d.confMu.RUnlock()
+	meta := &TableMeta{
+		Name:    name,
+		Schema:  schema,
+		Format:  fileformat.ORC,
+		Path:    warehouse + "/" + name,
+		Options: o,
+		ACID:    true,
+	}
+	if err := d.Txns().RegisterTable(txn.TableInfo{
+		Name:    name,
+		Path:    meta.Path,
+		Schema:  schema,
+		Format:  fileformat.ORC,
+		Options: &meta.Options,
+	}); err != nil {
+		return err
+	}
+	d.meta.Register(meta)
+	return nil
+}
+
+// ACIDLoader loads rows into an ACID table through one transaction: the
+// counterpart of TableLoader with commit/abort semantics. Nothing is
+// visible until Close commits; Abort (or a crash before Close) leaves no
+// visible state.
+type ACIDLoader struct {
+	table string
+	tx    *txn.Txn
+	rows  int64
+}
+
+// LoadACID begins a transaction-backed loader for an ACID table.
+func (d *Driver) LoadACID(name string) (*ACIDLoader, error) {
+	meta, err := d.meta.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	if !meta.ACID {
+		return nil, fmt.Errorf("core: table %q is not transactional", name)
+	}
+	return &ACIDLoader{table: name, tx: d.Txns().Begin()}, nil
+}
+
+// Txn exposes the loader's transaction (its id names the delta directory).
+func (l *ACIDLoader) Txn() *txn.Txn { return l.tx }
+
+// Write stages one row in the transaction's delta.
+func (l *ACIDLoader) Write(row types.Row) error {
+	if err := l.tx.Write(l.table, row); err != nil {
+		return err
+	}
+	l.rows++
+	return nil
+}
+
+// NextFile seals the current delta file so subsequent writes open the next.
+func (l *ACIDLoader) NextFile() error { return l.tx.NewFile(l.table) }
+
+// Close commits the transaction, publishing the delta atomically.
+func (l *ACIDLoader) Close() error { return l.tx.Commit() }
+
+// Abort discards everything staged.
+func (l *ACIDLoader) Abort() { l.tx.Abort() }
+
+// Rows returns how many rows were staged.
+func (l *ACIDLoader) Rows() int64 { return l.rows }
+
+// acidView resolves (and caches for the query's lifetime) the file set a
+// scan of an ACID table reads at this query's snapshot. ok is false for
+// non-transactional tables. Caching per executor keeps every consumer of
+// the table — split planning, map-join local scans, build-cache keys —
+// agreeing on one file set even if transactions commit mid-query.
+func (ex *executor) acidView(table string) (txn.View, bool, error) {
+	mgr := ex.d.txnManager()
+	if mgr == nil || !mgr.IsRegistered(table) {
+		return txn.View{}, false, nil
+	}
+	ex.mu.Lock()
+	if v, ok := ex.views[table]; ok {
+		ex.mu.Unlock()
+		return v, true, nil
+	}
+	ex.mu.Unlock()
+	v, err := mgr.ResolveView(table, txn.SnapshotFrom(ex.ctx))
+	if err != nil {
+		return txn.View{}, true, err
+	}
+	ex.mu.Lock()
+	ex.views[table] = v
+	ex.mu.Unlock()
+	return v, true, nil
+}
+
+// scanFiles resolves the files a scan of the named table reads: ACID
+// tables through their snapshot-resolved manifest view, regular tables by
+// listing the directory.
+func (ex *executor) scanFiles(table, path string) ([]string, error) {
+	if view, acid, err := ex.acidView(table); acid || err != nil {
+		return view.Files, err
+	}
+	infos := ex.d.fs.List(path)
+	files := make([]string, len(infos))
+	for i, fi := range infos {
+		files[i] = fi.Name
+	}
+	return files, nil
+}

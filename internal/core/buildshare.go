@@ -122,6 +122,18 @@ func (ex *executor) buildCacheKey(mj *plan.MapJoin, input int) (key, table strin
 	for i, k := range mj.Keys[input] {
 		keys[i] = k.String()
 	}
-	key = fmt.Sprintf("%s@v%d|%s|keys=%s", table, ex.d.meta.Version(table), strings.Join(parts, ";"), strings.Join(keys, ","))
+	// ACID tables key by the snapshot-resolved file-set fingerprint rather
+	// than the live metastore version: a query reading at an older snapshot
+	// must not publish (or consume) a build under the post-commit version,
+	// and two queries whose snapshots resolve the same file set share one
+	// build even across unrelated manifest republishes.
+	snapTag := fmt.Sprintf("v%d", ex.d.meta.Version(table))
+	if view, acid, err := ex.acidView(table); acid {
+		if err != nil {
+			return "", "", false
+		}
+		snapTag = view.Fingerprint()
+	}
+	key = fmt.Sprintf("%s@%s|%s|keys=%s", table, snapTag, strings.Join(parts, ";"), strings.Join(keys, ","))
 	return key, table, true
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sql"
+	"repro/internal/txn"
 	"repro/internal/types"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	// LLAP sizes the daemon layer used by ModeLLAP (workers, admission
 	// queue, cache budgets). Zero-value fields take llap defaults.
 	LLAP llap.Config
+	// AutoCompactDeltas is the delta-file count at which a committed write
+	// to an ACID table schedules a background minor compaction onto the
+	// LLAP executor pool. Zero means the default (8); negative disables
+	// auto-compaction (tests and crash drills drive compaction manually).
+	// Read once, when the session's transaction manager starts.
+	AutoCompactDeltas int
 }
 
 // Driver is the session façade (Figure 1). Since the multi-tenant server
@@ -80,9 +87,13 @@ type Driver struct {
 	llapMu     sync.Mutex
 	llapDaemon *llap.Daemon // created on first ModeLLAP query; outlives queries
 
+	txnMu sync.Mutex
+	txns  *txn.Manager // created on first ACID use; outlives queries
+
 	regMu   sync.Mutex
 	reg     *obs.Registry // built on first Registry() call
 	regLLAP bool          // LLAP stats structs registered (at most once)
+	regTxn  bool          // txn manager stats registered (at most once)
 
 	queryHist atomic.Pointer[obs.Histogram] // per-query latency, set with the registry
 }
@@ -151,6 +162,12 @@ func (d *Driver) Registry() *obs.Registry {
 			}
 			obs.RegisterStruct(d.reg, "llap.pool", daemon.Stats())
 			d.regLLAP = true
+		}
+	}
+	if !d.regTxn {
+		if mgr := d.txnManager(); mgr != nil {
+			obs.RegisterStruct(d.reg, "txn", mgr.Stats())
+			d.regTxn = true
 		}
 	}
 	return d.reg
@@ -247,16 +264,23 @@ func (l *TableLoader) NextFile() error {
 	return err
 }
 
-// noteTableWrite advances the table's snapshot version and drops any
-// daemon-cached map-join builds over it, so snapshot-keyed caches never
-// serve pre-write contents.
+// noteTableWrite is the unified write-tracking path: every data write —
+// bulk load or committed transaction — advances the table's snapshot
+// version and invalidates every daemon cache tier (map-join builds by
+// table name, chunk and metadata caches by warehouse path) exactly once,
+// so no tier can serve pre-write contents or chunks of a replaced file
+// that happens to reuse a path.
 func (d *Driver) noteTableWrite(name string) {
 	d.meta.BumpVersion(name)
 	d.llapMu.Lock()
 	daemon := d.llapDaemon
 	d.llapMu.Unlock()
 	if daemon != nil {
-		daemon.Builds().InvalidateTable(name)
+		path := ""
+		if meta, err := d.meta.Table(name); err == nil {
+			path = meta.Path
+		}
+		daemon.InvalidateTable(name, path)
 	}
 }
 
@@ -513,6 +537,16 @@ func (d *Driver) RunProfiledWith(ctx context.Context, conf Config, query string)
 // it; with a tracer in ctx, operator spans are emitted from the folded
 // profile after the run.
 func (d *Driver) execute(ctx context.Context, conf *Config, qid int64, p *plan.Plan, compiled *compiler.Compiled, prof *obs.PlanProfile) (*Result, error) {
+	// Transactional sessions read at one snapshot for the whole query: every
+	// ACID scan resolves its file set against the same frontier, and the
+	// snapshot pins compaction's cleaner away from the resolved files until
+	// the query finishes. A caller-supplied snapshot (qcheck's explicit
+	// frontiers) is honored as-is.
+	if mgr := d.txnManager(); mgr != nil && txn.SnapshotFrom(ctx) == nil {
+		snap := mgr.AcquireSnapshot()
+		defer snap.Release()
+		ctx = txn.WithSnapshot(ctx, snap)
+	}
 	qcounters := &mapred.Counters{}
 	qstats := &dfs.Stats{}
 	qtally := &obs.IOTally{}

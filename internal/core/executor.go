@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/plan"
+	"repro/internal/txn"
 	"repro/internal/types"
 	"repro/internal/vexec"
 )
@@ -62,6 +63,10 @@ type executor struct {
 	// builds shares map-join build-side hash tables across this query's
 	// tasks and attempts, keyed by "nodeID/input" (see buildshare.go).
 	builds map[string]*buildSlot
+	// views caches each ACID table's snapshot-resolved file set for the
+	// query's lifetime (see acid.go), so split planning, local scans and
+	// build-cache keys agree even as transactions commit mid-query.
+	views map[string]txn.View
 }
 
 func newExecutor(d *Driver, conf *Config, compiled *compiler.Compiled, qid int64, ctx context.Context, prof *obs.PlanProfile) *executor {
@@ -79,6 +84,7 @@ func newExecutor(d *Driver, conf *Config, compiled *compiler.Compiled, qid int64
 		sinks:        map[string]*sinkSet{},
 		attemptProfs: map[string]*obs.PlanProfile{},
 		builds:       map[string]*buildSlot{},
+		views:        map[string]txn.View{},
 	}
 	if ex.llap {
 		ex.caches = d.LLAP().Caches()
@@ -212,14 +218,17 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 		if err != nil {
 			return err
 		}
-		files := ex.d.fs.List(path)
+		files, err := ex.scanFiles(scan.Table, path)
+		if err != nil {
+			return err
+		}
 		if len(files) == 0 {
 			// An empty table still needs one (empty) map task so that
 			// fragment side effects (e.g. keyless aggregates) happen.
 			continue
 		}
 		for _, f := range files {
-			splits = append(splits, split{scanIdx: i, path: f.Name})
+			splits = append(splits, split{scanIdx: i, path: f})
 		}
 	}
 
@@ -419,7 +428,10 @@ func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, 
 		return nil, err
 	}
 	include, scatter := scanInclude(ts)
-	files := ex.d.fs.List(path)
+	files, err := ex.scanFiles(ts.Table, path)
+	if err != nil {
+		return nil, err
+	}
 	idx := 0
 	var r fileformat.Reader
 	next := func() (types.Row, error) {
@@ -429,7 +441,7 @@ func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, 
 					return nil, nil
 				}
 				var err error
-				r, err = fileformat.Open(ex.d.fs, files[idx].Name, schema, format,
+				r, err = fileformat.Open(ex.d.fs, files[idx], schema, format,
 					fileformat.ScanOptions{Include: include, SArg: ts.SArg, ORCCaches: ex.caches, Ctx: ctx, Node: node, Tally: stats.Tally()})
 				if err != nil {
 					return nil, err

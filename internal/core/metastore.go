@@ -21,6 +21,10 @@ type TableMeta struct {
 	Format  fileformat.Kind
 	Path    string // warehouse directory holding the table's files
 	Options fileformat.Options
+	// ACID marks a transactional table: rows arrive only through
+	// transactions, and readers resolve files through the transaction
+	// manager's manifest instead of listing Path.
+	ACID bool
 }
 
 // Metastore is the in-process catalog (paper §2: the Driver contacts the

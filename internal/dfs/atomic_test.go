@@ -1,0 +1,133 @@
+package dfs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRenameReplacesTarget(t *testing.T) {
+	fs := New()
+	for name, content := range map[string]string{"/a": "old", "/b": "new"} {
+		w, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Rename("/b", "/a"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if fs.Exists("/b") {
+		t.Fatal("source still exists after rename")
+	}
+	r, err := fs.Open("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "new" {
+		t.Fatalf("target content = %q, want %q", buf, "new")
+	}
+}
+
+func TestRenameUnsealedFails(t *testing.T) {
+	fs := New()
+	w, err := fs.Create("/open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/open", "/elsewhere"); err == nil {
+		t.Fatal("rename of an unsealed file should fail")
+	}
+	_ = w.Close()
+	if err := fs.Rename("/missing", "/x"); err == nil {
+		t.Fatal("rename of a missing file should fail")
+	}
+}
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	fs := New()
+	payload := []byte(`{"version":1,"deltas":[]}`)
+	if err := fs.WriteAtomic("/t/_manifest", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadVerified("/t/_manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	// Overwrite is atomic too: new payload fully replaces the old.
+	next := []byte(`{"version":2,"deltas":["delta_1_1"]}`)
+	if err := fs.WriteAtomic("/t/_manifest", next); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.ReadVerified("/t/_manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(next) {
+		t.Fatalf("payload = %q, want %q", got, next)
+	}
+	// No temp debris left behind.
+	for _, fi := range fs.List("/t") {
+		if strings.Contains(fi.Name, ".tmp-") {
+			t.Fatalf("temp file %s left after publish", fi.Name)
+		}
+	}
+}
+
+func TestReadVerifiedRejectsCorruption(t *testing.T) {
+	fs := New()
+	w, err := fs.Create("/raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("not a sealed manifest")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadVerified("/raw"); err == nil {
+		t.Fatal("ReadVerified accepted a file without a valid CRC trailer")
+	}
+	if _, err := fs.ReadVerified("/missing"); err == nil {
+		t.Fatal("ReadVerified accepted a missing file")
+	}
+}
+
+func TestWriteAtomicConcurrent(t *testing.T) {
+	// Concurrent publishers to one path: the surviving contents must be
+	// one writer's complete payload (CRC verifies), never a torn mix.
+	fs := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := strings.Repeat(string(rune('a'+i)), 100)
+			if err := fs.WriteAtomic("/m", []byte(payload)); err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, err := fs.ReadVerified("/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || strings.Count(string(got), string(got[0])) != 100 {
+		t.Fatalf("torn payload survived: %q", got)
+	}
+}

@@ -9,6 +9,7 @@ package llap
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -26,18 +27,22 @@ type CacheStats struct {
 	Rejected   atomic.Int64 // inserts refused (chunk larger than evictable space)
 	BytesSaved atomic.Int64 // decompressed bytes served from cache instead of the DFS
 	Faults     atomic.Int64 // injected lookup faults degraded to misses
+	// Invalidations counts chunks dropped by table writes (the unified
+	// write-tracking path: a committed delta invalidates every cache tier).
+	Invalidations atomic.Int64
 }
 
 // CacheSnapshot is an immutable copy of cache counters plus current
 // occupancy.
 type CacheSnapshot struct {
-	Hits       int64
-	Misses     int64
-	Evictions  int64
-	Inserts    int64
-	Rejected   int64
-	BytesSaved int64
-	Faults     int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Inserts       int64
+	Rejected      int64
+	BytesSaved    int64
+	Faults        int64
+	Invalidations int64
 	// Occupancy is a gauge, not a counter: Diff keeps the current value.
 	BytesCached int64 `obs:",gauge"`
 	Entries     int64 `obs:",gauge"`
@@ -212,6 +217,32 @@ func (c *Cache) removeLocked(el *list.Element) {
 	c.lru.Remove(el)
 	delete(c.entries, e.key)
 	c.bytes -= int64(len(e.data))
+}
+
+// InvalidatePath drops every cached chunk whose file lives under the given
+// path prefix (a table's warehouse directory), returning how many were
+// dropped. Called through the unified write-tracking path when a
+// transaction commits to (or a loader rewrites) a table, so a recreated or
+// compacted table never serves chunks from a dead file that happens to
+// reuse a path. Pinned chunks are dropped from the index too — the pinning
+// reader keeps its bytes alive, but no later lookup can see them.
+func (c *Cache) InvalidatePath(prefix string) int {
+	if c == nil || prefix == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*list.Element
+	for key, el := range c.entries {
+		if key.Path == prefix || strings.HasPrefix(key.Path, prefix+"/") {
+			victims = append(victims, el)
+		}
+	}
+	for _, el := range victims {
+		c.removeLocked(el)
+	}
+	c.stats.Invalidations.Add(int64(len(victims)))
+	return len(victims)
 }
 
 // Pin marks the chunk as non-evictable until a matching Unpin. Pinning a

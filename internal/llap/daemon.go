@@ -184,6 +184,18 @@ func (d *Daemon) Builds() *BuildCache { return d.builds }
 // obs.Registry; use Snapshot for an immutable copy.
 func (d *Daemon) Stats() *DaemonStats { return &d.stats }
 
+// InvalidateTable drops everything every cache tier holds for one table —
+// map-join builds keyed by the table name, chunk-cache entries and
+// metadata-cache entries keyed by files under the table's warehouse path.
+// This is the single write-tracking entry point: a committed transaction
+// (or a bulk load) invalidates all tiers through one call, exactly once,
+// instead of each tier growing its own per-table hook.
+func (d *Daemon) InvalidateTable(name, path string) {
+	d.builds.InvalidateTable(name)
+	d.chunks.InvalidatePath(path)
+	d.meta.InvalidatePath(path)
+}
+
 func (d *Daemon) worker() {
 	defer d.wg.Done()
 	for {

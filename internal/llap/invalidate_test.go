@@ -1,0 +1,68 @@
+package llap
+
+import (
+	"testing"
+
+	"repro/internal/orc"
+	"repro/internal/orc/stream"
+)
+
+func TestInvalidatePathDropsOnlyTableEntries(t *testing.T) {
+	c := NewCache(1 << 20)
+	mk := func(path string, stripe int) orc.ChunkKey {
+		return orc.ChunkKey{Path: path, Stripe: stripe, Column: 1, Stream: stream.Data, Group: 0}
+	}
+	c.PutChunk(mk("/warehouse/t/part-00000", 0), []byte("aaaa"))
+	c.PutChunk(mk("/warehouse/t/delta_1_1/part-00000", 0), []byte("bbbb"))
+	c.PutChunk(mk("/warehouse/tt/part-00000", 0), []byte("cccc")) // prefix-sibling table
+
+	if n := c.InvalidatePath("/warehouse/t"); n != 2 {
+		t.Fatalf("invalidated %d chunks, want 2", n)
+	}
+	if _, ok := c.GetChunk(mk("/warehouse/t/part-00000", 0)); ok {
+		t.Fatal("table chunk survived invalidation")
+	}
+	if _, ok := c.GetChunk(mk("/warehouse/tt/part-00000", 0)); !ok {
+		t.Fatal("sibling table's chunk was wrongly invalidated")
+	}
+	if got := c.Snapshot().Invalidations; got != 2 {
+		t.Fatalf("Invalidations = %d, want 2", got)
+	}
+}
+
+func TestMetaCacheInvalidatePath(t *testing.T) {
+	m := NewMetaCache(16)
+	m.PutMeta("/warehouse/t/part-00000", 1)
+	m.PutMeta("/warehouse/t/part-00000\x00stripe\x000", 2)
+	m.PutMeta("/warehouse/tt/part-00000", 3)
+	if n := m.InvalidatePath("/warehouse/t"); n != 2 {
+		t.Fatalf("invalidated %d meta entries, want 2", n)
+	}
+	if _, ok := m.GetMeta("/warehouse/tt/part-00000"); !ok {
+		t.Fatal("sibling table's metadata was wrongly invalidated")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestDaemonInvalidateTableHitsAllTiers(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1})
+	defer d.Close()
+	key := orc.ChunkKey{Path: "/warehouse/t/part-00000", Column: 1, Stream: stream.Data}
+	d.ChunkCache().PutChunk(key, []byte("data"))
+	d.MetaCache().PutMeta("/warehouse/t/part-00000", 7)
+	d.Builds().Put("t@v1|chain|keys=k", "t", "build")
+
+	d.InvalidateTable("t", "/warehouse/t")
+
+	if _, ok := d.ChunkCache().GetChunk(key); ok {
+		t.Fatal("chunk survived InvalidateTable")
+	}
+	if _, ok := d.MetaCache().GetMeta("/warehouse/t/part-00000"); ok {
+		t.Fatal("metadata survived InvalidateTable")
+	}
+	if _, ok := d.Builds().Get("t@v1|chain|keys=k"); ok {
+		t.Fatal("build survived InvalidateTable")
+	}
+}

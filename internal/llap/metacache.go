@@ -2,6 +2,7 @@ package llap
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -68,6 +69,30 @@ func (c *MetaCache) PutMeta(key string, v any) {
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*metaEntry).key)
 	}
+}
+
+// InvalidatePath drops every metadata entry whose key (an ORC file path,
+// optionally with a "\x00stripe\x00N" suffix) lives under the given path
+// prefix, returning how many were dropped. Part of the unified per-table
+// write-tracking invalidation (see Daemon.InvalidateTable).
+func (c *MetaCache) InvalidatePath(prefix string) int {
+	if c == nil || prefix == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*list.Element
+	for key, el := range c.entries {
+		path, _, _ := strings.Cut(key, "\x00")
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			victims = append(victims, el)
+		}
+	}
+	for _, el := range victims {
+		c.lru.Remove(el)
+		delete(c.entries, el.Value.(*metaEntry).key)
+	}
+	return len(victims)
 }
 
 // Len returns the current entry count.

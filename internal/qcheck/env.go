@@ -31,6 +31,12 @@ type Cell struct {
 	// the reference, so this axis catches cross-query interference
 	// (shared caches, shared counters, shared engine state).
 	Concurrent bool
+	// Txn runs the query against an ACID copy of the scenario table that
+	// is receiving streaming inserts from two writer sessions while the
+	// reader executes at acquired snapshots. Each snapshot read must equal
+	// a reference replay of exactly the transactions committed at that
+	// snapshot (see txncell.go).
+	Txn bool
 	// Reference marks the oracle cell: zero optimizer options, clean run.
 	Reference bool
 }
@@ -50,6 +56,9 @@ func (c Cell) ID() string {
 	id := fmt.Sprintf("%s/%s/%s/%s", c.Engine, formatName(c.Format), p, f)
 	if c.Concurrent {
 		id += "/conc"
+	}
+	if c.Txn {
+		id += "/txn"
 	}
 	return id
 }
@@ -78,7 +87,9 @@ var allEngines = []core.EngineMode{core.ModeMapReduce, core.ModeTez, core.ModeLL
 // matrix: engines × formats × pushdown × {clean, fault}, plus one
 // concurrent-sessions cell per engine (ORC+pushdown, clean): the same
 // query fired simultaneously from several server sessions must agree with
-// the serial reference. FullFaults=false restricts the fault axis to one
+// the serial reference — plus one transactional writer/reader cell
+// (streaming inserts racing snapshot reads). FullFaults=false restricts
+// the fault axis to one
 // representative cell per engine (ORC+pushdown), which is what the
 // short-mode smoke test runs.
 func Matrix(fullFaults bool) []Cell {
@@ -98,6 +109,10 @@ func Matrix(fullFaults bool) []Cell {
 	for _, eng := range allEngines {
 		cells = append(cells, Cell{Engine: eng, Format: fileformat.ORC, Pushdown: true, Concurrent: true})
 	}
+	// One transactional writer/reader cell: ACID tables are ORC-only, and
+	// one engine suffices — the axis stresses the snapshot machinery, which
+	// is engine-independent.
+	cells = append(cells, Cell{Engine: core.ModeLLAP, Format: fileformat.ORC, Pushdown: true, Txn: true})
 	return cells
 }
 
@@ -193,6 +208,7 @@ func (e *scenarioEnv) configure(c Cell) {
 // envSet is the warehouses for one scenario, keyed by (format, faulted).
 type envSet struct {
 	envs map[[2]int]*scenarioEnv
+	seed int64
 }
 
 func envKey(format fileformat.Kind, faulted bool) [2]int {
@@ -205,7 +221,7 @@ func envKey(format fileformat.Kind, faulted bool) [2]int {
 
 // newEnvSet loads the table into every warehouse the cells need.
 func newEnvSet(t *Table, cells []Cell, seed int64) (*envSet, error) {
-	s := &envSet{envs: map[[2]int]*scenarioEnv{}}
+	s := &envSet{envs: map[[2]int]*scenarioEnv{}, seed: seed}
 	for _, c := range cells {
 		k := envKey(c.Format, c.Faulted)
 		if _, ok := s.envs[k]; ok {

@@ -109,7 +109,7 @@ func Run(cfg Config) (*Report, error) {
 		for i := 0; i < n && len(rep.Failures) < cfg.MaxFailures; i++ {
 			stmt := GenQuery(rng, table)
 			query := stmt.String()
-			verdict := runOne(envs, cells, stmt, query, &rep.Executions)
+			verdict := runOne(envs, cells, table, stmt, query, &rep.Executions)
 			rep.Queries++
 			fmt.Fprintf(fp, "%s\x00%s\x01", query, verdictText(verdict))
 			if verdict != nil {
@@ -129,6 +129,14 @@ func Run(cfg Config) (*Report, error) {
 
 	if !cfg.NoShrink {
 		for _, f := range rep.Failures {
+			if f.Cell.Txn {
+				// Minimize the transaction schedule first: knowing the
+				// smallest committed-batch subset that still disagrees is
+				// the txn axis's analogue of row minimization.
+				if minimal, evals, ok := ShrinkSchedule(f, cfg.Seed); ok {
+					f.Detail += fmt.Sprintf(" [minimal schedule: batches %v, %d evals]", minimal, evals)
+				}
+			}
 			f.Repro = ShrinkFailure(f, cfg.Seed)
 		}
 	}
@@ -144,7 +152,7 @@ func verdictText(f *Failure) string {
 
 // runOne cross-checks one query over the matrix; nil means all cells
 // agreed.
-func runOne(envs *envSet, cells []Cell, stmt *sql.SelectStmt, query string, execs *int64) *Failure {
+func runOne(envs *envSet, cells []Cell, table *Table, stmt *sql.SelectStmt, query string, execs *int64) *Failure {
 	ref := cells[0]
 	refEnv := envs.get(ref)
 	refEnv.configure(ref)
@@ -160,6 +168,15 @@ func runOne(envs *envSet, cells []Cell, stmt *sql.SelectStmt, query string, exec
 	}
 
 	for _, c := range cells[1:] {
+		if c.Txn {
+			// The transactional cell owns its environments: writers mutate
+			// the table, so every query gets a fresh warehouse and its own
+			// replay oracles rather than the shared reference result.
+			if f := runTxnCell(table, c, stmt, query, envs.seed, execs); f != nil {
+				return f
+			}
+			continue
+		}
 		env := envs.get(c)
 		env.configure(c)
 		if c.Concurrent {
@@ -218,7 +235,7 @@ func disagreement(t *Table, stmt *sql.SelectStmt, cell Cell, seed int64) (bool, 
 	}
 	defer envs.close()
 	var execs int64
-	f := runOne(envs, cells, stmt, stmt.String(), &execs)
+	f := runOne(envs, cells, t, stmt, stmt.String(), &execs)
 	if f == nil {
 		return false, ""
 	}

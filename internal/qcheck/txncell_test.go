@@ -1,0 +1,111 @@
+package qcheck
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTxnCellInMatrix pins the transactional writer/reader axis: exactly
+// one clean /txn cell in the matrix.
+func TestTxnCellInMatrix(t *testing.T) {
+	var found int
+	for _, c := range Matrix(false) {
+		if !c.Txn {
+			continue
+		}
+		found++
+		if c.Faulted || c.Concurrent {
+			t.Errorf("txn cell %s overlaps another axis", c.ID())
+		}
+		if id := c.ID(); id[len(id)-4:] != "/txn" {
+			t.Errorf("txn cell ID %q lacks the /txn suffix", id)
+		}
+	}
+	if found != 1 {
+		t.Fatalf("matrix has %d txn cells, want 1", found)
+	}
+}
+
+// TestTxnCellAgainstReplay is the direct drill: fuzzed queries run against
+// a table receiving streaming inserts from two writer sessions, and every
+// snapshot read must equal the reference replay of the transactions
+// committed at that snapshot.
+func TestTxnCellAgainstReplay(t *testing.T) {
+	cell := Cell{Engine: core.ModeLLAP, Format: allFormats[3], Pushdown: true, Txn: true}
+	rng := rand.New(rand.NewSource(11))
+	scenarios := 3
+	queriesPer := 4
+	if testing.Short() {
+		scenarios, queriesPer = 2, 2
+	}
+	var execs int64
+	for s := 0; s < scenarios; s++ {
+		table := GenTable(rng, GenOptions{AllowEmpty: true, Dims: true})
+		for q := 0; q < queriesPer; q++ {
+			stmt := GenQuery(rng, table)
+			if f := runTxnCell(table, cell, stmt, stmt.String(), 11, &execs); f != nil {
+				t.Fatalf("snapshot read diverged from replay:\n%s", failureText(f))
+			}
+		}
+	}
+	t.Logf("%d scenarios, %d queries each, %d executions", scenarios, queriesPer, execs)
+}
+
+// TestTxnScheduleDeterministicReplay pins the shrinker's predicate: a
+// serial commit of any batch subset must agree with its replay (and so
+// report no disagreement) on a healthy tree.
+func TestTxnScheduleDeterministicReplay(t *testing.T) {
+	cell := Cell{Engine: core.ModeLLAP, Format: allFormats[3], Pushdown: true, Txn: true}
+	rng := rand.New(rand.NewSource(5))
+	table := GenTable(rng, GenOptions{Dims: true})
+	stmt := GenQuery(rng, table)
+	for _, idxs := range [][]int{{}, {0}, {1, 4}, {0, 1, 2, 3, 4, 5}} {
+		if bad, detail := txnScheduleDisagrees(table, cell, stmt, stmt.String(), idxs, 5); bad {
+			t.Fatalf("schedule %v disagrees with replay: %s", idxs, detail)
+		}
+	}
+}
+
+// TestDdminIdxs exercises the schedule minimizer against synthetic
+// predicates with known 1-minimal answers.
+func TestDdminIdxs(t *testing.T) {
+	contains := func(idxs []int, want ...int) bool {
+		have := map[int]bool{}
+		for _, i := range idxs {
+			have[i] = true
+		}
+		for _, w := range want {
+			if !have[w] {
+				return false
+			}
+		}
+		return true
+	}
+	cases := []struct {
+		name string
+		pred func([]int) bool
+		want []int
+	}{
+		{"single", func(idxs []int) bool { return contains(idxs, 3) }, []int{3}},
+		{"pair", func(idxs []int) bool { return contains(idxs, 1, 4) }, []int{1, 4}},
+		{"triple", func(idxs []int) bool { return contains(idxs, 0, 2, 5) }, []int{0, 2, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			all := []int{0, 1, 2, 3, 4, 5}
+			got := ddminIdxs(all, tc.pred)
+			sort.Ints(got)
+			if len(got) != len(tc.want) {
+				t.Fatalf("minimized to %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("minimized to %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}

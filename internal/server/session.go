@@ -24,10 +24,11 @@ type Session struct {
 	id  string
 	srv *Server
 
-	mu     sync.Mutex
-	conf   core.Config
-	pool   string
-	closed bool
+	mu      sync.Mutex
+	conf    core.Config
+	pool    string
+	closed  bool
+	streams map[*Stream]struct{} // open streaming-insert handles
 
 	queries   atomic.Int64 // completed successfully
 	preempted atomic.Int64 // preemptions absorbed (each later requeued)
@@ -146,7 +147,9 @@ func (s *Session) run(ctx context.Context, query string, profiled bool) (*core.R
 }
 
 // Close ends the session. Queries already admitted finish; new Runs reject
-// with ErrClosed.
+// with ErrClosed. Open streaming inserts are abandoned: their uncommitted
+// tail transactions abort, exactly as if the client had crashed, so no
+// partially-streamed batch ever becomes visible.
 func (s *Session) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -154,6 +157,20 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
+	streams := make([]*Stream, 0, len(s.streams))
+	for st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.streams = nil
 	s.mu.Unlock()
+	for _, st := range streams {
+		st.abandon()
+	}
 	s.srv.dropSession(s.id)
+}
+
+func (s *Session) dropStream(st *Stream) {
+	s.mu.Lock()
+	delete(s.streams, st)
+	s.mu.Unlock()
 }

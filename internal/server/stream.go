@@ -1,0 +1,175 @@
+// stream.go: the streaming-insert endpoint (Hive's streaming ingest API).
+// A Stream is a session-owned sequence of transactions against one ACID
+// table: clients Write rows continuously and Commit at batch boundaries;
+// each commit atomically publishes the batch as a delta and begins the
+// next transaction. Rows between commits are staged in an uncommitted
+// delta, so a client crash, an Abort, or closing the session discards the
+// unfinished tail without ever having exposed it to readers.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Stream is a continuous insert handle on one ACID table. It is owned by
+// one session and is not safe for concurrent use (open one stream per
+// producer; commits from different streams interleave safely through the
+// transaction manager).
+type Stream struct {
+	sess  *Session
+	table string
+
+	loader *core.ACIDLoader // current (uncommitted) transaction
+	closed bool
+
+	committedRows int64
+	batches       int64
+}
+
+// OpenStream starts a streaming insert into an ACID table. The stream's
+// first transaction is open immediately; nothing becomes visible until the
+// first Commit.
+func (s *Session) OpenStream(table string) (*Stream, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.mu.Unlock()
+
+	loader, err := s.srv.driver.LoadACID(table)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{sess: s, table: table, loader: loader}
+
+	s.mu.Lock()
+	if s.closed {
+		// Session closed between the checks: don't leak the transaction.
+		s.mu.Unlock()
+		loader.Abort()
+		return nil, ErrClosed
+	}
+	if s.streams == nil {
+		s.streams = map[*Stream]struct{}{}
+	}
+	s.streams[st] = struct{}{}
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Table returns the destination table.
+func (st *Stream) Table() string { return st.table }
+
+// Write stages one row in the current transaction. It is invisible to
+// readers until Commit.
+func (st *Stream) Write(row types.Row) error {
+	if st.closed {
+		return fmt.Errorf("server: stream on %q is closed: %w", st.table, ErrClosed)
+	}
+	return st.loader.Write(row)
+}
+
+// Commit publishes every row written since the last commit as one atomic
+// delta and opens the next transaction. Committing an empty batch is a
+// no-op that keeps the current transaction.
+func (st *Stream) Commit() error {
+	if st.closed {
+		return fmt.Errorf("server: stream on %q is closed: %w", st.table, ErrClosed)
+	}
+	if st.loader.Rows() == 0 {
+		return nil
+	}
+	rows := st.loader.Rows()
+	if err := st.loader.Close(); err != nil {
+		return err
+	}
+	st.committedRows += rows
+	st.batches++
+	next, err := st.sess.srv.driver.LoadACID(st.table)
+	if err != nil {
+		// The batch committed but the stream can't continue; close it so
+		// later Writes fail loudly instead of panicking on a nil loader.
+		st.closed = true
+		st.sess.dropStream(st)
+		return err
+	}
+	st.loader = next
+	return nil
+}
+
+// Abort discards the rows written since the last commit and opens a fresh
+// transaction. Previously committed batches are unaffected.
+func (st *Stream) Abort() error {
+	if st.closed {
+		return nil
+	}
+	st.loader.Abort()
+	next, err := st.sess.srv.driver.LoadACID(st.table)
+	if err != nil {
+		st.closed = true
+		st.sess.dropStream(st)
+		return err
+	}
+	st.loader = next
+	return nil
+}
+
+// Close commits any pending rows and ends the stream. Use Abort first for
+// a discard-and-close.
+func (st *Stream) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	st.sess.dropStream(st)
+	if st.loader.Rows() == 0 {
+		st.loader.Abort()
+		return nil
+	}
+	rows := st.loader.Rows()
+	if err := st.loader.Close(); err != nil {
+		return err
+	}
+	st.committedRows += rows
+	st.batches++
+	return nil
+}
+
+// abandon is the session-close path: the uncommitted tail is discarded, as
+// if the client had crashed mid-batch.
+func (st *Stream) abandon() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.loader.Abort()
+}
+
+// Rows returns how many rows the stream has committed (staged rows in the
+// open batch are not counted until Commit).
+func (st *Stream) Rows() int64 { return st.committedRows }
+
+// TxnID returns the id of the stream's current open transaction — the one
+// the next Commit publishes. Callers (the qcheck harness) use it to map
+// batches to transactions for snapshot-visibility oracles.
+func (st *Stream) TxnID() int64 {
+	if st.closed {
+		return 0
+	}
+	return st.loader.Txn().ID()
+}
+
+// Pending returns how many rows are staged in the open batch.
+func (st *Stream) Pending() int64 {
+	if st.closed {
+		return 0
+	}
+	return st.loader.Rows()
+}
+
+// Batches returns how many transactions the stream has committed.
+func (st *Stream) Batches() int64 { return st.batches }

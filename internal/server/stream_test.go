@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// newStreamServer builds a server over a driver holding one empty ACID
+// table "clicks"(k Long, v Long), auto-compaction disabled.
+func newStreamServer(t *testing.T) *Server {
+	t.Helper()
+	d := newTestDriver(t, core.Config{AutoCompactDeltas: -1})
+	t.Cleanup(d.Close)
+	schema := types.NewSchema(
+		types.Col("k", types.Primitive(types.Long)),
+		types.Col("v", types.Primitive(types.Long)),
+	)
+	if err := d.CreateACIDTable("clicks", schema, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(d, ManagerConfig{})
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func clickCount(t *testing.T, srv *Server) int64 {
+	t.Helper()
+	sess, err := srv.OpenSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Run(context.Background(), "SELECT COUNT(*) FROM clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].(int64)
+}
+
+func TestStreamCommitBoundariesAreAtomic(t *testing.T) {
+	srv := newStreamServer(t)
+	sess, err := srv.OpenSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.OpenStream("clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Write(types.Row{int64(i), int64(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := clickCount(t, srv); n != 0 {
+		t.Fatalf("uncommitted batch visible: count=%d", n)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := clickCount(t, srv); n != 10 {
+		t.Fatalf("count=%d after first commit, want 10", n)
+	}
+	// Second batch: abort discards only the uncommitted tail.
+	for i := 0; i < 5; i++ {
+		if err := st.Write(types.Row{int64(i), int64(2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := clickCount(t, srv); n != 10 {
+		t.Fatalf("count=%d after abort, want 10", n)
+	}
+	// Close commits the pending tail.
+	if err := st.Write(types.Row{int64(99), int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := clickCount(t, srv); n != 11 {
+		t.Fatalf("count=%d after close, want 11", n)
+	}
+	if st.Rows() != 11 || st.Batches() != 2 {
+		t.Fatalf("rows=%d batches=%d, want 11, 2", st.Rows(), st.Batches())
+	}
+	if err := st.Write(types.Row{int64(0), int64(0)}); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestStreamRejectsNonACIDTable(t *testing.T) {
+	srv := newStreamServer(t)
+	sess, err := srv.OpenSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.OpenStream("sales"); err == nil {
+		t.Fatal("streaming into a non-transactional table succeeded")
+	}
+	if _, err := sess.OpenStream("nope"); err == nil {
+		t.Fatal("streaming into a missing table succeeded")
+	}
+}
+
+func TestSessionCloseAbandonsOpenStream(t *testing.T) {
+	srv := newStreamServer(t)
+	sess, err := srv.OpenSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.OpenStream("clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(types.Row{int64(1), int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(types.Row{int64(2), int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close() // client "crashes" mid-batch
+
+	if n := clickCount(t, srv); n != 1 {
+		t.Fatalf("count=%d after session close, want 1 (only the committed batch)", n)
+	}
+	if err := st.Write(types.Row{int64(3), int64(3)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write on abandoned stream: %v, want ErrClosed", err)
+	}
+	// No dangling open transaction remains to hold back compaction.
+	if open := srv.Driver().Txns().OpenTxns(); len(open) != 0 {
+		t.Fatalf("%d transactions left open after session close", len(open))
+	}
+	if _, err := sess.OpenStream("clicks"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open stream on closed session: %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentStreamsAndReaders(t *testing.T) {
+	srv := newStreamServer(t)
+	const writers, batches, perBatch = 2, 5, 20
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := srv.OpenSession("")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			st, err := sess.OpenStream("clicks")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for b := 0; b < batches; b++ {
+				for i := 0; i < perBatch; i++ {
+					if err := st.Write(types.Row{int64(w*1000 + b*100 + i), int64(w)}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := st.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- st.Close()
+		}(w)
+	}
+	// A reader races the writers: every observed count must be a multiple
+	// of perBatch (commits are atomic — no torn batch is ever visible).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := srv.OpenSession("")
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer sess.Close()
+		for i := 0; i < 20; i++ {
+			res, err := sess.Run(context.Background(), "SELECT COUNT(*) FROM clicks")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if n := res.Rows[0][0].(int64); n%perBatch != 0 {
+				errs <- errors.New("torn batch visible")
+				return
+			}
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := clickCount(t, srv); n != writers*batches*perBatch {
+		t.Fatalf("final count=%d, want %d", n, writers*batches*perBatch)
+	}
+}

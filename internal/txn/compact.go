@@ -1,0 +1,461 @@
+// compact.go: background compaction folds accumulated deltas into fewer,
+// larger files — minor compaction merges deltas into one merged delta,
+// major compaction rewrites base + deltas into a new base — mirroring
+// Hive's compactor. Compaction is crash-safe by construction: an attempt
+// writes its output under a _compact temp directory nobody references,
+// consults the fault-injection policy at two seeded crash points (mid-write
+// and post-write/pre-publish), and commits by first-committer-wins — the
+// publish step re-verifies, under the table lock, that every input it
+// merged is still in the manifest, then renames the output into place and
+// swaps the manifest atomically. A crashed attempt leaves only
+// unreferenced temp files (removed by retry or Recover); a lost race
+// removes its own output and changes nothing. Readers resolve file sets
+// only through the manifest, so no reader ever observes a half-compacted
+// table.
+package txn
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/fileformat"
+)
+
+// TaskFaulter injects crashes into compaction attempts; it is the same
+// deterministic seeded hook the MapReduce engine gives its tasks (see
+// internal/faultinject.Policy.TaskError). Task ordinal 0 is the mid-write
+// crash point, ordinal 1 the post-write/pre-publish crash point.
+type TaskFaulter interface {
+	TaskError(job string, task, attempt, node int) error
+}
+
+// CompactOptions configures one compaction run.
+type CompactOptions struct {
+	// Major rewrites base + all eligible deltas into a new base; false
+	// (minor) merges eligible deltas into one merged delta.
+	Major bool
+	// MaxAttempts bounds the crash-retry loop. Default 3.
+	MaxAttempts int
+	// MinDeltas is the fewest eligible deltas worth a minor compaction.
+	// Default 2. Major compaction runs whenever at least one eligible
+	// delta exists.
+	MinDeltas int
+	// Faults, when set, injects deterministic crashes into attempts.
+	Faults TaskFaulter
+	// Exec, when set, runs the whole attempt loop on an executor (core
+	// wires the LLAP daemon pool here); nil runs inline.
+	Exec func(func() error) error
+}
+
+// CompactResult reports what a compaction run did.
+type CompactResult struct {
+	Kind        string // "minor" or "major"
+	Compacted   bool   // false when nothing was eligible or the race was lost
+	LostRace    bool
+	Attempts    int
+	Ceiling     int64 // the transaction ceiling the run merged up to
+	InputDeltas int
+	InputFiles  int
+	OutputFiles []string
+	Rows        int64
+}
+
+// CompactionCeiling returns the highest transaction id compaction may fold
+// into merged files: everything at or below it is decided (no open
+// transaction) and visible to every active snapshot's frontier. Merged
+// deltas and bases built below the ceiling are therefore unconditionally
+// visible — to snapshots alive now and to every later one — which is what
+// lets ResolveView skip per-transaction checks on them.
+func (m *Manager) CompactionCeiling() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.next
+	for id := range m.open {
+		if id-1 < c {
+			c = id - 1
+		}
+	}
+	for s := range m.active {
+		if s.floor < c {
+			c = s.floor
+		}
+	}
+	return c
+}
+
+// Compact runs one minor or major compaction of a table, retrying crashed
+// attempts up to MaxAttempts. It returns an error only when every attempt
+// crashed or an input file could not be read; "nothing to do" and "lost the
+// publish race" are successful results with Compacted == false.
+func (m *Manager) Compact(table string, opts CompactOptions) (CompactResult, error) {
+	st, err := m.tableState(table)
+	if err != nil {
+		return CompactResult{}, err
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.MinDeltas <= 0 {
+		opts.MinDeltas = 2
+	}
+	nonce := m.compactSeq.Add(1)
+	var res CompactResult
+	run := func() error {
+		var lastErr error
+		for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+			r, err := m.compactAttempt(st, nonce, attempt, opts)
+			r.Attempts = attempt + 1
+			if err == nil {
+				res = r
+				// Retries succeeded: sweep the temp debris earlier crashed
+				// attempts of this run left behind.
+				for k := 0; k < attempt; k++ {
+					m.fs.RemoveAll(compactTempDir(st.info.Path, nonce, k))
+				}
+				return nil
+			}
+			m.stats.CompactionCrashes.Add(1)
+			lastErr = err
+			res = r
+		}
+		return fmt.Errorf("txn: compaction of %s gave up after %d attempts: %w", table, opts.MaxAttempts, lastErr)
+	}
+	exec := opts.Exec
+	if exec == nil {
+		exec = func(fn func() error) error { return fn() }
+	}
+	if err := exec(run); err != nil {
+		return res, err
+	}
+	if res.Compacted {
+		if res.Kind == "major" {
+			m.stats.CompactionsMajor.Add(1)
+		} else {
+			m.stats.CompactionsMinor.Add(1)
+		}
+	}
+	if res.LostRace {
+		m.stats.CompactionsLost.Add(1)
+	}
+	return res, nil
+}
+
+func compactTempDir(tablePath string, nonce int64, attempt int) string {
+	return fmt.Sprintf("%s/_compact/%d-%d", tablePath, nonce, attempt)
+}
+
+func (m *Manager) compactAttempt(st *tableState, nonce int64, attempt int, opts CompactOptions) (CompactResult, error) {
+	kind := "minor"
+	if opts.Major {
+		kind = "major"
+	}
+	res := CompactResult{Kind: kind}
+
+	// The ceiling is computed before the manifest is read; a snapshot
+	// acquired later can only have a floor at or above it (transaction ids
+	// are monotonic and nothing at or below the ceiling is still open), so
+	// the merge output stays unconditionally visible.
+	ceiling := m.CompactionCeiling()
+	res.Ceiling = ceiling
+
+	st.mu.Lock()
+	man, err := st.manifestLocked(m.fs)
+	if err != nil {
+		st.mu.Unlock()
+		return res, err
+	}
+	var inputs []Delta
+	for _, d := range man.Deltas {
+		if d.TxnHi <= ceiling {
+			inputs = append(inputs, d)
+		}
+	}
+	info := st.info
+	baseFiles := append([]string(nil), man.Base...)
+	baseTxn := man.BaseTxn
+	st.mu.Unlock()
+
+	if opts.Major {
+		if len(inputs) == 0 {
+			return res, nil // base already covers everything decided
+		}
+	} else if len(inputs) < opts.MinDeltas {
+		return res, nil
+	}
+	res.InputDeltas = len(inputs)
+
+	// Decide this attempt's fate up front: the coins are seeded and
+	// deterministic, so a given (table, attempt) either always or never
+	// crashes at each point — exactly reproducible across runs.
+	var crashMid, crashPub error
+	if opts.Faults != nil {
+		job := "compact:" + info.Name
+		crashMid = opts.Faults.TaskError(job, 0, attempt, 0)
+		crashPub = opts.Faults.TaskError(job, 1, attempt, 0)
+	}
+
+	var srcs []string
+	if opts.Major {
+		srcs = append(srcs, baseFiles...)
+	}
+	for _, d := range inputs {
+		srcs = append(srcs, d.Files...)
+	}
+	res.InputFiles = len(srcs)
+
+	tmpDir := compactTempDir(info.Path, nonce, attempt)
+	outPath := tmpDir + "/part-00000"
+	w, err := fileformat.Create(m.fs, outPath, info.Schema, info.Format, info.Options)
+	if err != nil {
+		return res, err
+	}
+	crashAfter := len(srcs) / 2 // mid-write crash point: half the inputs copied
+	var rows int64
+	for i, src := range srcs {
+		if crashMid != nil && i == crashAfter {
+			// Simulated crash mid-write: the unsealed temp file stays
+			// behind exactly as a dead compactor would leave it.
+			return res, fmt.Errorf("txn: %s compaction of %s: %w", kind, info.Name, crashMid)
+		}
+		r, err := fileformat.Open(m.fs, src, info.Schema, info.Format, fileformat.ScanOptions{})
+		if err != nil {
+			_ = w.Close()
+			m.fs.RemoveAll(tmpDir)
+			return res, err
+		}
+		for {
+			row, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				_ = r.Close()
+				_ = w.Close()
+				m.fs.RemoveAll(tmpDir)
+				return res, fmt.Errorf("txn: compacting %s: reading %s: %w", info.Name, src, err)
+			}
+			if err := w.Write(row); err != nil {
+				_ = r.Close()
+				_ = w.Close()
+				m.fs.RemoveAll(tmpDir)
+				return res, err
+			}
+			rows++
+		}
+		_ = r.Close()
+	}
+	if crashMid != nil && crashAfter >= len(srcs) {
+		return res, fmt.Errorf("txn: %s compaction of %s: %w", kind, info.Name, crashMid)
+	}
+	if err := w.Close(); err != nil {
+		m.fs.RemoveAll(tmpDir)
+		return res, err
+	}
+	if crashPub != nil {
+		// Simulated crash after the output sealed but before publication:
+		// a complete, orphaned temp file nobody references.
+		return res, fmt.Errorf("txn: %s compaction of %s pre-publish: %w", kind, info.Name, crashPub)
+	}
+
+	// Publish: first-committer-wins under the table lock.
+	st.mu.Lock()
+	man, err = st.manifestLocked(m.fs)
+	if err != nil {
+		st.mu.Unlock()
+		m.fs.RemoveAll(tmpDir)
+		return res, err
+	}
+	if !inputsPresent(man, inputs) || (opts.Major && (baseTxn != man.BaseTxn || !sameFiles(baseFiles, man.Base))) {
+		st.mu.Unlock()
+		m.fs.RemoveAll(tmpDir)
+		res.LostRace = true
+		return res, nil
+	}
+	lo, hi := inputs[0].TxnLo, inputs[0].TxnHi
+	for _, d := range inputs {
+		if d.TxnHi > hi {
+			hi = d.TxnHi
+		}
+	}
+	var finalDir string
+	if opts.Major {
+		finalDir = fmt.Sprintf("%s/base_%d", info.Path, hi)
+	} else {
+		finalDir = fmt.Sprintf("%s/delta_%d_%d", info.Path, lo, hi)
+	}
+	finalPath := finalDir + "/part-00000"
+	if err := m.fs.Rename(outPath, finalPath); err != nil {
+		st.mu.Unlock()
+		m.fs.RemoveAll(tmpDir)
+		return res, err
+	}
+	nm := man.clone()
+	kept := nm.Deltas[:0]
+	var replaced []string
+	for _, d := range nm.Deltas {
+		if containsDelta(inputs, d) {
+			replaced = append(replaced, d.Files...)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	nm.Deltas = kept
+	if opts.Major {
+		replaced = append(replaced, nm.Base...)
+		nm.Base = []string{finalPath}
+		nm.BaseTxn = hi
+		nm.BaseRows = rows
+	} else {
+		pos := len(nm.Deltas)
+		for i, d := range nm.Deltas {
+			if d.TxnLo > lo {
+				pos = i
+				break
+			}
+		}
+		merged := Delta{TxnLo: lo, TxnHi: hi, Files: []string{finalPath}, Rows: rows}
+		nm.Deltas = append(nm.Deltas[:pos], append([]Delta{merged}, nm.Deltas[pos:]...)...)
+	}
+	nm.Version++
+	if err := st.publishLocked(m.fs, nm); err != nil {
+		st.mu.Unlock()
+		m.fs.Remove(finalPath)
+		return res, err
+	}
+	st.mu.Unlock()
+
+	// The replaced inputs leave the manifest now but their bytes wait for
+	// every snapshot alive at publication: an in-flight reader that
+	// resolved the old file set must be able to finish its scan.
+	m.deferRemoval(replaced)
+	res.Compacted = true
+	res.OutputFiles = []string{finalPath}
+	res.Rows = rows
+	return res, nil
+}
+
+func inputsPresent(man *Manifest, inputs []Delta) bool {
+	for _, in := range inputs {
+		if !containsDelta(man.Deltas, in) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsDelta(set []Delta, d Delta) bool {
+	for _, e := range set {
+		if e.TxnLo == d.TxnLo && e.TxnHi == d.TxnHi {
+			return true
+		}
+	}
+	return false
+}
+
+func sameFiles(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// deferRemoval removes replaced files once no snapshot from publication
+// time remains; with no active snapshots they go immediately.
+func (m *Manager) deferRemoval(files []string) {
+	if len(files) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if len(m.active) > 0 {
+		waits := make(map[*Snapshot]struct{}, len(m.active))
+		for s := range m.active {
+			waits[s] = struct{}{}
+		}
+		m.pending = append(m.pending, &pendingClean{files: files, waits: waits})
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	for _, f := range files {
+		if m.fs.Remove(f) == nil {
+			m.stats.FilesRemoved.Add(1)
+		}
+	}
+}
+
+// Recover removes crash debris under a table's directory: any file that is
+// not the manifest, not referenced by the manifest (reloaded and
+// CRC-verified from the DFS), not owned by a live open transaction, and not
+// awaiting deferred cleanup. Call it while the table is quiesced — after a
+// crashed compactor or writer, as Hive's cleaner does — and it restores the
+// directory to exactly the published state plus live work. It returns how
+// many files were removed.
+func (m *Manager) Recover(table string) (int, error) {
+	st, err := m.tableState(table)
+	if err != nil {
+		return 0, err
+	}
+	keep := map[string]struct{}{}
+
+	m.mu.Lock()
+	txns := make([]*Txn, 0, len(m.open))
+	for _, t := range m.open {
+		txns = append(txns, t)
+	}
+	for _, p := range m.pending {
+		for _, f := range p.files {
+			keep[f] = struct{}{}
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range txns {
+		t.mu.Lock()
+		for _, dw := range t.writes {
+			for _, f := range dw.files {
+				keep[f] = struct{}{}
+			}
+		}
+		t.mu.Unlock()
+	}
+
+	st.mu.Lock()
+	info := st.info
+	man, err := readManifest(m.fs, ManifestPath(info.Path))
+	if err != nil {
+		st.mu.Unlock()
+		return 0, err
+	}
+	st.man = man // adopt the on-disk state as current
+	st.mu.Unlock()
+	for _, f := range man.Base {
+		keep[f] = struct{}{}
+	}
+	for _, d := range man.Deltas {
+		for _, f := range d.Files {
+			keep[f] = struct{}{}
+		}
+	}
+	keep[ManifestPath(info.Path)] = struct{}{}
+
+	var victims []string
+	for _, fi := range m.fs.List(info.Path) {
+		if _, ok := keep[fi.Name]; !ok {
+			victims = append(victims, fi.Name)
+		}
+	}
+	sort.Strings(victims)
+	removed := 0
+	for _, f := range victims {
+		if m.fs.Remove(f) == nil {
+			removed++
+		}
+	}
+	m.stats.OrphansRemoved.Add(int64(removed))
+	return removed, nil
+}

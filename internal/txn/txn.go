@@ -1,0 +1,649 @@
+// Package txn implements Hive-style ACID transactional tables on top of the
+// simulated HDFS (paper §8 outlook; Hive's ACID design as shipped in 0.13/
+// HIVE-5317): a transaction manager issuing monotonically increasing
+// transaction ids, snapshot-isolated reads built from a high-watermark plus
+// an exceptions list (Hive's ValidTxnList), per-transaction delta files that
+// become visible only through an atomic manifest publish, and background
+// minor/major compaction that merges deltas without ever exposing a
+// half-compacted table.
+//
+// The write discipline generalizes the engine's output-commit protocol: a
+// transaction writes delta files under the table directory, but readers
+// resolve file sets exclusively through the table's _manifest (published via
+// dfs.WriteAtomic, the rename-based single atomicity lever HDFS offers), so
+// a crashed or aborted writer leaves only unreferenced debris — never
+// visible state. Recover removes that debris.
+package txn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// TableInfo registers one ACID table with the manager: where its files live
+// and how delta files are written. ACID tables are ORC in Hive; the manager
+// accepts any self-describing or schema-carried format the repo supports,
+// but core only creates ORC ACID tables.
+type TableInfo struct {
+	Name    string
+	Path    string
+	Schema  *types.Schema
+	Format  fileformat.Kind
+	Options *fileformat.Options
+}
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	StateOpen State = iota
+	StateCommitted
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Stats aggregates transaction-manager accounting. All counters are
+// cumulative; use Snapshot for an immutable copy.
+type Stats struct {
+	Begun             atomic.Int64
+	Committed         atomic.Int64
+	Aborted           atomic.Int64
+	SnapshotsAcquired atomic.Int64
+	DeltaFiles        atomic.Int64 // delta files sealed by commits
+	DeltaRows         atomic.Int64 // rows written through transactions
+	CompactionsMinor  atomic.Int64 // successful minor compactions
+	CompactionsMajor  atomic.Int64 // successful major compactions
+	CompactionCrashes atomic.Int64 // compaction attempts killed by fault injection
+	CompactionsLost   atomic.Int64 // compactions beaten by a first committer
+	FilesRemoved      atomic.Int64 // replaced files removed after compaction
+	OrphansRemoved    atomic.Int64 // crash debris removed by Recover
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	Begun             int64
+	Committed         int64
+	Aborted           int64
+	SnapshotsAcquired int64
+	DeltaFiles        int64
+	DeltaRows         int64
+	CompactionsMinor  int64
+	CompactionsMajor  int64
+	CompactionCrashes int64
+	CompactionsLost   int64
+	FilesRemoved      int64
+	OrphansRemoved    int64
+}
+
+// Diff returns the delta of the counters from an earlier snapshot.
+func (s StatsSnapshot) Diff(earlier StatsSnapshot) StatsSnapshot {
+	return obs.DiffStruct(s, earlier)
+}
+
+// pendingClean is a set of replaced files whose removal waits for the
+// snapshots that were active when the replacement published (Hive's
+// cleaner): an in-flight reader resolved its file list from the old
+// manifest and must be able to finish its scan.
+type pendingClean struct {
+	files []string
+	waits map[*Snapshot]struct{}
+}
+
+// Manager issues transaction ids, tracks open/aborted transactions and
+// active snapshots, and owns each registered table's manifest state.
+type Manager struct {
+	fs         *dfs.FS
+	stats      Stats
+	compactSeq atomic.Int64 // unique temp-dir nonce per compaction run
+
+	mu      sync.Mutex
+	next    int64 // last issued transaction id (high watermark)
+	open    map[int64]*Txn
+	aborted map[int64]struct{} // exceptions list entries that never become visible
+	active  map[*Snapshot]struct{}
+	pending []*pendingClean
+	tables  map[string]*tableState
+
+	hookMu        sync.Mutex
+	commitHook    func(TableInfo)    // fired once per table per commit (cache invalidation)
+	autoThreshold int                // deltas that trigger auto-compaction; 0 disables
+	autoRun       func(table string) // scheduled by commit when threshold is reached
+}
+
+// NewManager creates a transaction manager over the DFS.
+func NewManager(fs *dfs.FS) *Manager {
+	return &Manager{
+		fs:      fs,
+		open:    map[int64]*Txn{},
+		aborted: map[int64]struct{}{},
+		active:  map[*Snapshot]struct{}{},
+		tables:  map[string]*tableState{},
+	}
+}
+
+// Stats exposes the live counters for registry registration.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// Snapshot copies the current counter values.
+func (m *Manager) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	obs.ReadStruct(&out, &m.stats)
+	return out
+}
+
+// SetCommitHook installs the write-tracking hook: after a transaction
+// publishes its delta to a table, hook runs exactly once for that table.
+// Core wires this to the unified cache-invalidation path (metastore version
+// bump plus llap.Daemon.InvalidateTable).
+func (m *Manager) SetCommitHook(hook func(TableInfo)) {
+	m.hookMu.Lock()
+	m.commitHook = hook
+	m.hookMu.Unlock()
+}
+
+// SetAutoCompaction arranges for run(table) to be called whenever a commit
+// leaves a table with at least threshold deltas. run must not block the
+// committer: core wires it to an async submit on the LLAP executor pool.
+// threshold <= 0 disables the trigger.
+func (m *Manager) SetAutoCompaction(threshold int, run func(table string)) {
+	m.hookMu.Lock()
+	m.autoThreshold = threshold
+	m.autoRun = run
+	m.hookMu.Unlock()
+}
+
+// RegisterTable makes a table transactional. If a manifest already exists at
+// the table path it is adopted (restart recovery); otherwise an empty
+// version-1 manifest is published so the table is readable immediately.
+func (m *Manager) RegisterTable(info TableInfo) error {
+	if info.Name == "" || info.Path == "" || info.Schema == nil {
+		return fmt.Errorf("txn: RegisterTable: name, path and schema are required")
+	}
+	st := &tableState{info: info}
+	m.mu.Lock()
+	if _, ok := m.tables[info.Name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("txn: table %s already registered", info.Name)
+	}
+	m.tables[info.Name] = st
+	m.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, err := st.manifestLocked(m.fs)
+	return err
+}
+
+// Table returns the registration info for a table.
+func (m *Manager) Table(name string) (TableInfo, bool) {
+	m.mu.Lock()
+	st, ok := m.tables[name]
+	m.mu.Unlock()
+	if !ok {
+		return TableInfo{}, false
+	}
+	return st.info, true
+}
+
+// IsRegistered reports whether the table is transactional.
+func (m *Manager) IsRegistered(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.tables[name]
+	return ok
+}
+
+func (m *Manager) tableState(name string) (*tableState, error) {
+	m.mu.Lock()
+	st, ok := m.tables[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("txn: table %s is not transactional", name)
+	}
+	return st, nil
+}
+
+// HighWater returns the last issued transaction id.
+func (m *Manager) HighWater() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
+}
+
+// Begin opens a transaction with the next monotonic id.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	m.next++
+	t := &Txn{m: m, id: m.next, writes: map[string]*deltaWrite{}}
+	m.open[t.id] = t
+	m.mu.Unlock()
+	m.stats.Begun.Add(1)
+	return t
+}
+
+// Snapshot captures what one reader is allowed to see: every transaction
+// id at or below the high watermark, minus the exceptions — transactions
+// open or aborted at acquisition (Hive's ValidTxnList). Snapshots also pin
+// compaction's ceiling and defer cleanup of replaced files, so a query's
+// resolved file set stays readable for the snapshot's whole lifetime;
+// Release them promptly.
+type Snapshot struct {
+	m         *Manager
+	high      int64
+	floor     int64 // highest id such that every id <= floor is decided (not open)
+	invisible map[int64]struct{}
+	released  bool // guarded by m.mu
+}
+
+// AcquireSnapshot captures the current visibility frontier and registers the
+// snapshot as active until Release.
+func (m *Manager) AcquireSnapshot() *Snapshot {
+	m.mu.Lock()
+	s := &Snapshot{m: m, high: m.next, floor: m.next, invisible: map[int64]struct{}{}}
+	for id := range m.open {
+		s.invisible[id] = struct{}{}
+		if id-1 < s.floor {
+			s.floor = id - 1
+		}
+	}
+	// Aborted transactions never published anything, so they are invisible
+	// with or without this; listing them keeps Visible() honest when asked
+	// directly and mirrors Hive's exceptions list. They do not drag the
+	// compaction floor down: their ids can safely sit inside a merged range
+	// (they contributed no rows).
+	for id := range m.aborted {
+		if id <= s.high {
+			s.invisible[id] = struct{}{}
+		}
+	}
+	m.active[s] = struct{}{}
+	m.mu.Unlock()
+	m.stats.SnapshotsAcquired.Add(1)
+	return s
+}
+
+// HighWater returns the snapshot's high watermark.
+func (s *Snapshot) HighWater() int64 { return s.high }
+
+// Visible reports whether the given transaction's writes are visible.
+func (s *Snapshot) Visible(id int64) bool {
+	if s == nil {
+		return true // nil snapshot = read latest committed state
+	}
+	if id > s.high {
+		return false
+	}
+	_, hidden := s.invisible[id]
+	return !hidden
+}
+
+// Fingerprint renders the snapshot compactly and deterministically, for
+// logs and cache keys: "h<highwater>" plus the sorted exceptions list.
+func (s *Snapshot) Fingerprint() string {
+	if s == nil {
+		return "latest"
+	}
+	if len(s.invisible) == 0 {
+		return fmt.Sprintf("h%d", s.high)
+	}
+	ids := make([]int64, 0, len(s.invisible))
+	for id := range s.invisible {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := fmt.Sprintf("h%d:x", s.high)
+	for i, id := range ids {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", id)
+	}
+	return out
+}
+
+// Release retires the snapshot: compaction's ceiling may advance past it,
+// and replaced files whose cleanup waited on it are removed once every
+// snapshot from their publish time is gone. Release is idempotent.
+func (s *Snapshot) Release() {
+	if s == nil || s.m == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	if s.released {
+		m.mu.Unlock()
+		return
+	}
+	s.released = true
+	delete(m.active, s)
+	var freed []string
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		delete(p.waits, s)
+		if len(p.waits) == 0 {
+			freed = append(freed, p.files...)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	m.pending = kept
+	m.mu.Unlock()
+	for _, f := range freed {
+		if m.fs.Remove(f) == nil {
+			m.stats.FilesRemoved.Add(1)
+		}
+	}
+}
+
+// ActiveSnapshots returns how many snapshots are currently held.
+func (m *Manager) ActiveSnapshots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// PendingCleanFiles returns how many replaced files await snapshot releases
+// before they can be removed.
+func (m *Manager) PendingCleanFiles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.pending {
+		n += len(p.files)
+	}
+	return n
+}
+
+// snapKey carries a snapshot through a context.
+type snapKey struct{}
+
+// WithSnapshot attaches a snapshot to the context, so every table resolution
+// inside one query reads the same frontier.
+func WithSnapshot(ctx context.Context, s *Snapshot) context.Context {
+	return context.WithValue(ctx, snapKey{}, s)
+}
+
+// SnapshotFrom extracts the context's snapshot, or nil when absent.
+func SnapshotFrom(ctx context.Context) *Snapshot {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(snapKey{}).(*Snapshot)
+	return s
+}
+
+// deltaWrite accumulates one transaction's writes to one table.
+type deltaWrite struct {
+	info  TableInfo
+	dir   string
+	w     fileformat.Writer
+	part  int
+	files []string
+	rows  int64
+}
+
+// Txn is one write transaction. Write/NewFile stage rows into delta files
+// under the table directory; nothing is visible until Commit publishes the
+// delta into the table manifest. Txn methods are safe for one goroutine; a
+// streaming session serializes access itself.
+type Txn struct {
+	m  *Manager
+	id int64
+
+	mu     sync.Mutex
+	state  State
+	writes map[string]*deltaWrite
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+// State returns the current lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Write appends a row to the transaction's delta for the table, opening the
+// delta file on first use. The row must match the table schema width.
+func (t *Txn) Write(table string, row types.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateOpen {
+		return fmt.Errorf("txn %d: write in state %s", t.id, t.state)
+	}
+	dw, err := t.writeStateLocked(table)
+	if err != nil {
+		return err
+	}
+	if dw.w == nil {
+		if err := t.openFileLocked(dw); err != nil {
+			return err
+		}
+	}
+	if err := dw.w.Write(row); err != nil {
+		return fmt.Errorf("txn %d: write %s: %w", t.id, table, err)
+	}
+	dw.rows++
+	return nil
+}
+
+// NewFile seals the current delta file for the table and starts the next
+// one (part-00001, ...). Streaming sessions call it between batches so one
+// long-lived transaction does not grow a single unbounded file.
+func (t *Txn) NewFile(table string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateOpen {
+		return fmt.Errorf("txn %d: new file in state %s", t.id, t.state)
+	}
+	dw, err := t.writeStateLocked(table)
+	if err != nil {
+		return err
+	}
+	if dw.w == nil {
+		return nil // nothing written yet; next Write opens the first file
+	}
+	if err := dw.w.Close(); err != nil {
+		return fmt.Errorf("txn %d: sealing %s: %w", t.id, dw.files[len(dw.files)-1], err)
+	}
+	dw.w = nil
+	return nil
+}
+
+func (t *Txn) writeStateLocked(table string) (*deltaWrite, error) {
+	if dw, ok := t.writes[table]; ok {
+		return dw, nil
+	}
+	info, ok := t.m.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("txn %d: table %s is not transactional", t.id, table)
+	}
+	dw := &deltaWrite{
+		info: info,
+		dir:  fmt.Sprintf("%s/delta_%d_%d", info.Path, t.id, t.id),
+	}
+	t.writes[table] = dw
+	return dw, nil
+}
+
+func (t *Txn) openFileLocked(dw *deltaWrite) error {
+	path := fmt.Sprintf("%s/part-%05d", dw.dir, dw.part)
+	w, err := fileformat.Create(t.m.fs, path, dw.info.Schema, dw.info.Format, dw.info.Options)
+	if err != nil {
+		return fmt.Errorf("txn %d: creating %s: %w", t.id, path, err)
+	}
+	dw.w = w
+	dw.part++
+	dw.files = append(dw.files, path)
+	return nil
+}
+
+// Commit seals every delta file and publishes one manifest entry per
+// written table, then fires the write-tracking hook. Publication per table
+// is atomic (readers see the delta entirely or not at all); like Hive, a
+// multi-table transaction commits table by table. A sealing failure aborts
+// the transaction.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateOpen {
+		return fmt.Errorf("txn %d: commit in state %s", t.id, t.state)
+	}
+	for _, dw := range t.writes {
+		if dw.w == nil {
+			continue
+		}
+		err := dw.w.Close()
+		dw.w = nil
+		if err != nil {
+			t.abortLocked()
+			return fmt.Errorf("txn %d: sealing delta: %w", t.id, err)
+		}
+	}
+	names := make([]string, 0, len(t.writes))
+	for name := range t.writes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	published := make([]struct {
+		info   TableInfo
+		deltas int
+	}, 0, len(names))
+	for _, name := range names {
+		dw := t.writes[name]
+		if len(dw.files) == 0 {
+			continue
+		}
+		st, err := t.m.tableState(name)
+		if err != nil {
+			t.abortLocked()
+			return err
+		}
+		deltas, err := st.appendDelta(t.m.fs, Delta{TxnLo: t.id, TxnHi: t.id, Files: dw.files, Rows: dw.rows})
+		if err != nil {
+			t.abortLocked()
+			return fmt.Errorf("txn %d: publishing delta for %s: %w", t.id, name, err)
+		}
+		t.m.stats.DeltaFiles.Add(int64(len(dw.files)))
+		t.m.stats.DeltaRows.Add(dw.rows)
+		published = append(published, struct {
+			info   TableInfo
+			deltas int
+		}{st.info, deltas})
+	}
+	t.state = StateCommitted
+	m := t.m
+	m.mu.Lock()
+	delete(m.open, t.id)
+	m.mu.Unlock()
+	m.stats.Committed.Add(1)
+	m.hookMu.Lock()
+	hook, threshold, autoRun := m.commitHook, m.autoThreshold, m.autoRun
+	m.hookMu.Unlock()
+	for _, p := range published {
+		if hook != nil {
+			hook(p.info)
+		}
+		if threshold > 0 && autoRun != nil && p.deltas >= threshold {
+			autoRun(p.info.Name)
+		}
+	}
+	return nil
+}
+
+// Abort discards the transaction: delta files are removed and the id joins
+// the exceptions list, so the transaction can never become visible. Abort
+// after Commit (or a second Abort) is a no-op, making it safe to defer.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateOpen {
+		return
+	}
+	t.abortLocked()
+}
+
+func (t *Txn) abortLocked() {
+	for _, dw := range t.writes {
+		if dw.w != nil {
+			_ = dw.w.Close() // best effort; the files are removed next
+			dw.w = nil
+		}
+		if len(dw.files) > 0 {
+			t.m.fs.RemoveAll(dw.dir)
+		}
+	}
+	t.state = StateAborted
+	m := t.m
+	m.mu.Lock()
+	delete(m.open, t.id)
+	m.aborted[t.id] = struct{}{}
+	m.mu.Unlock()
+	m.stats.Aborted.Add(1)
+}
+
+// TxnStatus summarizes one open transaction for introspection (the shell's
+// \txns display).
+type TxnStatus struct {
+	ID     int64
+	State  string
+	Tables []string
+	Rows   int64
+}
+
+// OpenTxns lists the currently open transactions, oldest first.
+func (m *Manager) OpenTxns() []TxnStatus {
+	m.mu.Lock()
+	txns := make([]*Txn, 0, len(m.open))
+	for _, t := range m.open {
+		txns = append(txns, t)
+	}
+	m.mu.Unlock()
+	out := make([]TxnStatus, 0, len(txns))
+	for _, t := range txns {
+		t.mu.Lock()
+		s := TxnStatus{ID: t.id, State: t.state.String()}
+		for name, dw := range t.writes {
+			s.Tables = append(s.Tables, name)
+			s.Rows += dw.rows
+		}
+		t.mu.Unlock()
+		sort.Strings(s.Tables)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Tables lists the registered transactional tables, sorted by name.
+func (m *Manager) Tables() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tables))
+	for name := range m.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
