@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap bench-join bench-concurrency bench-acid faults difftest obs
+.PHONY: check vet build test race race-core bench-llap bench-join bench-cbo bench-concurrency bench-acid faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
 # must pass. `make race` remains the full-repo race sweep. The bench steps
@@ -16,15 +16,17 @@ check: vet build test race-core
 	$(GO) test -run=NONE -bench=BenchmarkVectorizedMapJoin -benchtime=1x ./internal/vexec
 	$(GO) test -run=TestConcurrencyShape -count=1 ./internal/bench
 	$(GO) test -run=TestACIDShape -count=1 ./internal/bench
+	$(GO) test -run=TestCBOShape -count=1 ./internal/bench
 
 # race-core is the fast race pass over the correctness-critical packages
 # (the differential harness, the engine layers it drives, the multi-tenant
 # server dispatching them in parallel, the transaction manager whose
 # commits and compactions race those queries, the vector batch/pool
-# primitives shared across concurrent tasks, and the observability
-# counters those layers mutate while queries run).
+# primitives shared across concurrent tasks, the observability
+# counters those layers mutate while queries run, and the statistics
+# catalog that write commits and query planning update concurrently).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap ./internal/stats
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +48,12 @@ bench-llap:
 # the vectorized probe, and LLAP with a warm build cache.
 bench-join:
 	$(GO) run ./cmd/benchrunner -exp join
+
+# bench-cbo reproduces E16: the skewed star join under the heuristic
+# planner vs cost-based ordering from ORC catalog statistics, with the
+# per-operator estimate-vs-actual row error.
+bench-cbo:
+	$(GO) run ./cmd/benchrunner -exp cbo
 
 # bench-concurrency reproduces E14: mixed interactive+batch clients through
 # the multi-tenant server, sweeping client counts, with the

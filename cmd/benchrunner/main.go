@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|llap|concurrency|faults|obs|acid|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|cbo|llap|concurrency|faults|obs|acid|ablations|all, or diff (E11, only when named explicitly)")
 	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
@@ -127,6 +127,14 @@ func main() {
 			return err
 		}
 		bench.PrintJoin(os.Stdout, rep)
+		return nil
+	})
+	run("cbo", func() error {
+		rep, err := bench.RunCBO(cfg, *runs)
+		if err != nil {
+			return err
+		}
+		bench.PrintCBO(os.Stdout, rep)
 		return nil
 	})
 	run("llap", func() error {

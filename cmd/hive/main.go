@@ -35,7 +35,7 @@ func main() {
 	dataset := flag.String("dataset", "tpch", "dataset to load: tpch|tpcds|ssdb|all")
 	format := flag.String("format", "ORC", "storage format: TEXTFILE|SEQUENCEFILE|RCFILE|ORC")
 	codec := flag.String("compress", "NONE", "codec: NONE|ZLIB|SNAPPY")
-	optimize := flag.String("optimize", "all", "optimizations: all|none|ppd|mapjoin|correlation|vectorize (comma-separated)")
+	optimize := flag.String("optimize", "all", "optimizations: all|none|ppd|mapjoin|correlation|vectorize|cbo (comma-separated)")
 	scale := flag.Float64("scale", 0.3, "dataset scale factor")
 	engine := flag.String("engine", "mapreduce", "execution engine: mapreduce|tez|llap")
 	serve := flag.Bool("serve", false,
@@ -330,12 +330,22 @@ statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
 			timeout = d
 			fmt.Printf("queries now time out after %s\n", timeout)
 		case strings.HasPrefix(line, `\explain `):
-			p, compiled, err := env.Driver.Explain(strings.TrimPrefix(line, `\explain `))
+			q := strings.TrimPrefix(line, `\explain `)
+			_, compiled, err := env.Driver.Explain(q)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Print(p.String())
+			// Render through the EXPLAIN statement rather than plan.String()
+			// so CBO cardinality estimates ([est=N]) appear in the tree.
+			res, err := env.Driver.Run("EXPLAIN " + q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, r := range res.Rows {
+				fmt.Println(r[0])
+			}
 			fmt.Printf("jobs: %d (%d map-only)\n", compiled.NumJobs(), compiled.NumMapOnlyJobs())
 		default:
 			ctx := context.Background()
@@ -422,11 +432,14 @@ func parseOpt(s string) (optimizer.Options, error) {
 			opt.PredicatePushdown = true
 		case "mapjoin":
 			opt.MapJoinConversion = true
+			opt.MapJoinThreshold = optimizer.DefaultMapJoinThreshold
 			opt.MergeMapOnlyJobs = true
 		case "correlation":
 			opt.Correlation = true
 		case "vectorize":
 			opt.Vectorize = true
+		case "cbo":
+			opt.CBO = true
 		default:
 			return opt, fmt.Errorf("unknown optimization %q", part)
 		}

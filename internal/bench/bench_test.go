@@ -339,6 +339,40 @@ func TestJoinShape(t *testing.T) {
 	}
 }
 
+func TestCBOShape(t *testing.T) {
+	rep, err := RunCBO(tinyCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(rep.Runs))
+	}
+	if !rep.Consistent {
+		t.Errorf("CBO plan changed the answer: %v", rep.Mismatches)
+	}
+	h, c := rep.Runs[0], rep.Runs[1]
+	if h.FirstDim != "cust_demo" {
+		t.Errorf("heuristic joined %q first, want cust_demo (query order)", h.FirstDim)
+	}
+	if c.FirstDim != "promo" {
+		t.Errorf("CBO joined %q first, want promo (statistics order)", c.FirstDim)
+	}
+	if !rep.OrderChanged {
+		t.Error("CBO did not change the join order")
+	}
+	if c.EstOps == 0 {
+		t.Error("CBO run carried no operator estimates")
+	}
+	if h.EstOps != 0 {
+		t.Errorf("heuristic run carried %d estimates, want none", h.EstOps)
+	}
+	var buf bytes.Buffer
+	PrintCBO(&buf, rep)
+	if !strings.Contains(buf.String(), "E16") {
+		t.Error("printout incomplete")
+	}
+}
+
 func TestTezComparisonShape(t *testing.T) {
 	rows, err := RunTezComparison(tinyCfg())
 	if err != nil {

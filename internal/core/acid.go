@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/fileformat"
+	"repro/internal/stats"
 	"repro/internal/txn"
 	"repro/internal/types"
 )
@@ -31,6 +32,9 @@ func (d *Driver) Txns() *txn.Manager {
 	if d.txns == nil {
 		m := txn.NewManager(d.fs)
 		m.SetCommitHook(func(info txn.TableInfo) { d.noteTableWrite(info.Name) })
+		m.SetFileStatsSink(func(table, path string, fs *stats.FileStats) {
+			d.meta.Stats().RecordFile(table, path, fs)
+		})
 		d.confMu.RLock()
 		threshold := d.conf.AutoCompactDeltas
 		d.confMu.RUnlock()

@@ -205,7 +205,7 @@ func TestACIDBuildCacheKeyedBySnapshotFileSet(t *testing.T) {
 	engine := mapred.NewEngine(mapred.Config{Slots: 4})
 	d := NewDriver(fs, engine, Config{
 		Engine: ModeLLAP,
-		Opt:    optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: true},
+		Opt:    optimizer.Options{MapJoinConversion: true, MapJoinThreshold: optimizer.DefaultMapJoinThreshold, MergeMapOnlyJobs: true},
 	})
 	t.Cleanup(d.Close)
 

@@ -1,0 +1,354 @@
+// cbo_test.go pins the cost-based optimizer's observable behavior: golden
+// join orders for canonical star/chain shapes, the estimate-driven
+// map-join flip for a filtered-but-big dimension, EXPLAIN's estimated-row
+// surfacing, and catalog-statistics freshness across ACID commits.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// cboStarDriver loads a star schema with deliberately skewed dimensions:
+// bigdim fans out (480 rows over 12 distinct keys, factor 40) while
+// smalldim is selective (8 rows against the fact's 12 key values, factor
+// < 1), so cost-based reordering must put smalldim first regardless of
+// the order the query lists them.
+func cboStarDriver(t *testing.T, conf Config) *Driver {
+	t.Helper()
+	fs := dfs.New(dfs.WithBlockSize(1 << 20))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4})
+	d := NewDriver(fs, engine, conf)
+	t.Cleanup(d.Close)
+
+	fact := types.NewSchema(
+		types.Col("k1", types.Primitive(types.Long)),
+		types.Col("qty", types.Primitive(types.Long)),
+	)
+	loader, err := d.CreateTable("fact", fact, fileformat.ORC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if err := loader.Write(types.Row{int64(i % 12), int64(i % 5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dim := types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("name", types.Primitive(types.String)),
+	)
+	bl, err := d.CreateTable("bigdim", dim, fileformat.ORC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 480; i++ {
+		if err := bl.Write(types.Row{int64(i % 12), fmt.Sprintf("b%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sl, err := d.CreateTable("smalldim", dim, fileformat.ORC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := sl.Write(types.Row{int64(i), fmt.Sprintf("s%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// firstJoinedDim finds the bottom join of the spine — the one whose tag-0
+// side reaches the fact scan (through any compile-inserted temp
+// boundaries) — and names the dimension on its tag-1 side.
+func firstJoinedDim(p *plan.Plan) string {
+	var dim string
+	p.Walk(func(n plan.Node) {
+		j, ok := n.(*plan.Join)
+		if !ok || len(j.Parents) != 2 {
+			return
+		}
+		if subtreeHasTable(j.Parents[0], "fact") {
+			for _, name := range baseTables(j.Parents[1]) {
+				dim = name
+			}
+		}
+	})
+	return dim
+}
+
+func subtreeHasTable(n plan.Node, table string) bool {
+	for _, name := range baseTables(n) {
+		if name == table {
+			return true
+		}
+	}
+	return false
+}
+
+// baseTables lists the non-temp tables scanned in the subtree above n.
+func baseTables(n plan.Node) []string {
+	var out []string
+	var walk func(plan.Node)
+	seen := map[plan.Node]bool{}
+	walk = func(n plan.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if ts, ok := n.(*plan.TableScan); ok && !strings.HasPrefix(ts.Table, "_tmp_") {
+			out = append(out, ts.Table)
+		}
+		for _, p := range n.Base().Parents {
+			walk(p)
+		}
+	}
+	walk(n)
+	return out
+}
+
+const starQuery = `SELECT count(*) FROM fact
+	JOIN bigdim ON fact.k1 = bigdim.id
+	JOIN smalldim ON fact.k1 = smalldim.id`
+
+// TestCBOStarJoinReorder is the golden star shape: the query lists the
+// fanning-out dimension first, and CBO must flip the chain so the
+// selective dimension joins first — without changing the answer.
+func TestCBOStarJoinReorder(t *testing.T) {
+	// Tez keeps the join chain one connected DAG (MapReduce materializes
+	// a temp table between the two shuffles, hiding the spine).
+	d := cboStarDriver(t, Config{Engine: ModeTez, Opt: optimizer.Options{PredicatePushdown: true}})
+
+	p, _, err := d.Explain(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := firstJoinedDim(p); got != "bigdim" {
+		t.Fatalf("heuristic plan joins %q first, want bigdim (query order)\n%s", got, p)
+	}
+	res, err := d.Run(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conf := d.Config()
+	conf.Opt.CBO = true
+	d.SetConfig(conf)
+	cp, _, err := d.Explain(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := firstJoinedDim(cp); got != "smalldim" {
+		t.Fatalf("CBO plan joins %q first, want smalldim (selective dimension)\n%s", got, cp)
+	}
+	cres, err := d.Run(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != cres.Rows[0][0] {
+		t.Fatalf("reordered plan changed the answer: %v vs %v", res.Rows[0][0], cres.Rows[0][0])
+	}
+}
+
+// TestCBOChainNoReorder is the golden non-star shape: the second join
+// keys on a column of the first dimension, so reordering would orphan the
+// key — the plan must be byte-identical with CBO on.
+func TestCBOChainNoReorder(t *testing.T) {
+	d := cboStarDriver(t, Config{Engine: ModeTez, Opt: optimizer.Options{PredicatePushdown: true}})
+	chain := `SELECT count(*) FROM fact
+		JOIN bigdim ON fact.k1 = bigdim.id
+		JOIN smalldim ON bigdim.id = smalldim.id`
+	p, _, err := d.Explain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := d.Config()
+	conf.Opt.CBO = true
+	d.SetConfig(conf)
+	cp, _, err := d.Explain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != cp.String() {
+		t.Fatalf("chain reordered despite non-star keys:\nheuristic:\n%s\nCBO:\n%s", p, cp)
+	}
+}
+
+// TestCBOMapJoinFlipFilteredDim pins the estimate-driven map-join
+// decision: a dimension too big to hash-build by raw size carries a
+// selective filter, so under CBO its estimated build side fits the
+// threshold and the join flips to a map join; the heuristic planner keeps
+// the reduce join. Answers must agree.
+func TestCBOMapJoinFlipFilteredDim(t *testing.T) {
+	d := cboStarDriver(t, Config{})
+	bd, ok := d.TableStats("bigdim")
+	if !ok {
+		t.Fatal("no catalog stats for bigdim")
+	}
+	// Threshold sits between the filtered build estimate (~1/12 of the
+	// table) and the raw table size, and below the fact table's size.
+	opt := optimizer.Options{
+		MapJoinConversion: true,
+		MapJoinThreshold:  bd.Bytes / 2,
+		MergeMapOnlyJobs:  true,
+		PredicatePushdown: true,
+	}
+	q := `SELECT count(*) FROM fact JOIN bigdim ON fact.k1 = bigdim.id WHERE bigdim.id = 3`
+
+	conf := d.Config()
+	conf.Opt = opt
+	d.SetConfig(conf)
+	p, _, err := d.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.String(), "MAPJOIN") {
+		t.Fatalf("heuristic plan map-joined a dimension over the size threshold:\n%s", p)
+	}
+	res, err := d.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conf.Opt.CBO = true
+	d.SetConfig(conf)
+	cp, _, err := d.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cp.String(), "MAPJOIN") {
+		t.Fatalf("CBO did not map-join the filtered dimension:\n%s", cp)
+	}
+	cres, err := d.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != cres.Rows[0][0] {
+		t.Fatalf("map-join flip changed the answer: %v vs %v", res.Rows[0][0], cres.Rows[0][0])
+	}
+}
+
+// TestCBOExplainEstimates pins the estimate surfacing: EXPLAIN under CBO
+// annotates operators with [est=N], and EXPLAIN ANALYZE prints the
+// estimate next to the actual row count so estimation error is visible
+// per operator.
+func TestCBOExplainEstimates(t *testing.T) {
+	conf := Config{Opt: optimizer.Options{PredicatePushdown: true, CBO: true}}
+	d := cboStarDriver(t, conf)
+	q := `SELECT count(*) FROM fact WHERE fact.k1 <= 5`
+
+	res, err := d.Run("EXPLAIN " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := renderRows(res)
+	if !strings.Contains(text, "[est=") {
+		t.Fatalf("EXPLAIN under CBO lacks estimates:\n%s", text)
+	}
+	// The scan estimate must reflect the full table; the filter estimate
+	// must be strictly smaller (k1 <= 5 keeps half the key domain).
+	var scanEst, filEst string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "TS-") {
+			scanEst = line
+		}
+		if strings.Contains(line, "FIL-") {
+			filEst = line
+		}
+	}
+	if !strings.Contains(scanEst, "[est=4000]") {
+		t.Errorf("scan estimate not the table row count: %q", scanEst)
+	}
+	if filEst == "" || !strings.Contains(filEst, "[est=") || strings.Contains(filEst, "[est=4000]") {
+		t.Errorf("filter estimate missing or unreduced: %q", filEst)
+	}
+
+	ares, err := d.Run("EXPLAIN ANALYZE " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atext := renderRows(ares)
+	if !strings.Contains(atext, " est=") || !strings.Contains(atext, "[rows=") {
+		t.Fatalf("EXPLAIN ANALYZE lacks estimate-vs-actual annotations:\n%s", atext)
+	}
+}
+
+// TestCBOStaleStatsACIDCommit proves catalog statistics stay fresh under
+// ACID writes: a commit bumps the table version, invalidating the derived
+// entry, and the next derivation covers the new delta's rows. Compaction
+// rewrites the files and must leave the derived totals unchanged.
+func TestCBOStaleStatsACIDCommit(t *testing.T) {
+	d := newACIDDriver(t, Config{})
+	ts, ok := d.TableStats("events")
+	if !ok {
+		t.Fatal("no catalog stats for ACID table")
+	}
+	if ts.Rows != 300 {
+		t.Fatalf("initial stats rows = %d, want 300", ts.Rows)
+	}
+
+	l, err := d.LoadACID("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := l.Write(types.Row{int64(1000 + i), int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts2, ok := d.TableStats("events")
+	if !ok {
+		t.Fatal("stats unavailable after commit")
+	}
+	if ts2.Rows != 350 {
+		t.Fatalf("post-commit stats rows = %d, want 350 (stale entry served?)", ts2.Rows)
+	}
+	if c := ts2.Column("k"); c == nil || c.NonNull != 350 {
+		t.Fatalf("post-commit column stats not re-derived: %+v", c)
+	}
+
+	if _, err := d.Txns().Compact("events", txn.CompactOptions{Major: true}); err != nil {
+		t.Fatal(err)
+	}
+	ts3, ok := d.TableStats("events")
+	if !ok {
+		t.Fatal("stats unavailable after compaction")
+	}
+	if ts3.Rows != 350 {
+		t.Fatalf("post-compaction stats rows = %d, want 350", ts3.Rows)
+	}
+}
+
+func renderRows(res *Result) string {
+	var b strings.Builder
+	for _, r := range res.Rows {
+		if s, ok := r[0].(string); ok {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sql"
+	"repro/internal/stats"
 	"repro/internal/txn"
 	"repro/internal/types"
 )
@@ -232,6 +233,7 @@ type TableLoader struct {
 	meta  *TableMeta
 	part  int
 	w     fileformat.Writer
+	path  string // current part file, for stats recording at seal
 	count int64
 }
 
@@ -244,6 +246,7 @@ func (l *TableLoader) Write(row types.Row) error {
 			return err
 		}
 		l.w = w
+		l.path = path
 		l.d.noteTableWrite(l.meta.Name)
 	}
 	l.count++
@@ -258,6 +261,14 @@ func (l *TableLoader) NextFile() error {
 		return nil
 	}
 	err := l.w.Close()
+	if err == nil {
+		// Record catalog stats for the sealed file (stats-collecting
+		// formats only) before the version bump below, so a derivation at
+		// the new version already sees this file.
+		if src, ok := l.w.(fileformat.FileStatsSource); ok {
+			l.d.meta.Stats().RecordFile(l.meta.Name, l.path, src.FileStatistics())
+		}
+	}
 	l.w = nil
 	l.part++
 	l.d.noteTableWrite(l.meta.Name)
@@ -395,7 +406,39 @@ func (d *Driver) optimizerEnv(conf *Config) *optimizer.Env {
 			}
 			return meta.Format, true
 		},
+		TableStats: d.TableStats,
 	}
+}
+
+// TableStats returns the table-level statistics derived from the catalog's
+// per-file stats over the table's currently visible file set — directory
+// listing for regular tables, the committed manifest view for ACID tables.
+// The derivation is cached keyed on the metastore version, which every
+// write path (bulk load, ACID commit, compaction) bumps through
+// noteTableWrite, so a commit invalidates and the next call re-derives.
+// ok is false when any visible file lacks stats (non-ORC formats, unknown
+// tables) — CBO callers fall back to heuristics.
+func (d *Driver) TableStats(name string) (*stats.TableStats, bool) {
+	meta, err := d.meta.Table(name)
+	if err != nil {
+		return nil, false
+	}
+	version := d.meta.Version(name)
+	var files []string
+	if mgr := d.txnManager(); mgr != nil && mgr.IsRegistered(name) {
+		v, err := mgr.ResolveView(name, nil)
+		if err != nil {
+			return nil, false
+		}
+		files = v.Files
+	} else {
+		infos := d.fs.List(meta.Path)
+		files = make([]string, len(infos))
+		for i, fi := range infos {
+			files[i] = fi.Name
+		}
+	}
+	return d.meta.Stats().Derive(name, version, files)
 }
 
 // EstimateScanBytes returns the total on-disk size of every base table the

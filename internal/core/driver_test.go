@@ -273,10 +273,10 @@ func TestOptimizationsPreserveResults(t *testing.T) {
 	}
 	configs := map[string]optimizer.Options{
 		"none":        {},
-		"mapjoin":     {MapJoinConversion: true},
-		"mapjoin+mrg": {MapJoinConversion: true, MergeMapOnlyJobs: true},
+		"mapjoin":     {MapJoinConversion: true, MapJoinThreshold: optimizer.DefaultMapJoinThreshold},
+		"mapjoin+mrg": {MapJoinConversion: true, MapJoinThreshold: optimizer.DefaultMapJoinThreshold, MergeMapOnlyJobs: true},
 		"correlation": {Correlation: true},
-		"all-row":     {MapJoinConversion: true, MergeMapOnlyJobs: true, Correlation: true, PredicatePushdown: true},
+		"all-row":     {MapJoinConversion: true, MapJoinThreshold: optimizer.DefaultMapJoinThreshold, MergeMapOnlyJobs: true, Correlation: true, PredicatePushdown: true},
 	}
 	for qi, q := range queries {
 		var baseline []types.Row
@@ -317,8 +317,8 @@ func TestMapJoinReducesJobs(t *testing.T) {
 	}
 
 	noneJobs, _ := jobs(optimizer.Options{})
-	unmergedJobs, unmergedMapOnly := jobs(optimizer.Options{MapJoinConversion: true})
-	mergedJobs, mergedMapOnly := jobs(optimizer.Options{MapJoinConversion: true, MergeMapOnlyJobs: true})
+	unmergedJobs, unmergedMapOnly := jobs(optimizer.Options{MapJoinConversion: true, MapJoinThreshold: optimizer.DefaultMapJoinThreshold})
+	mergedJobs, mergedMapOnly := jobs(optimizer.Options{MapJoinConversion: true, MapJoinThreshold: optimizer.DefaultMapJoinThreshold, MergeMapOnlyJobs: true})
 
 	if unmergedMapOnly == 0 {
 		t.Errorf("unmerged conversion created no map-only jobs (got %d jobs)", unmergedJobs)

@@ -75,6 +75,10 @@ func planRows(p *plan.Plan, prof *obs.PlanProfile, stats *ExecStats) []types.Row
 		seen[n] = true
 		if prof != nil {
 			line += annotate(n, prof.Lookup(n.Base().ID))
+		} else if n.Base().EstSet {
+			// Plain EXPLAIN under CBO: show the optimizer's cardinality
+			// estimate (ANALYZE shows it next to the actual count instead).
+			line += fmt.Sprintf("  [est=%d]", n.Base().EstRows)
 		}
 		rows = append(rows, types.Row{line})
 		for _, parent := range n.Base().Parents {
@@ -96,6 +100,9 @@ func annotate(n plan.Node, st *obs.OpStats) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "  [rows=%d", st.Rows.Load())
+	if n.Base().EstSet {
+		fmt.Fprintf(&b, " est=%d", n.Base().EstRows)
+	}
 	if batches := st.Batches.Load(); batches > 0 {
 		fmt.Fprintf(&b, " batches=%d", batches)
 	}

@@ -124,6 +124,7 @@ var mapJoinQueries = []string{
 func mapJoinConf(vectorize bool) Config {
 	return Config{Opt: optimizer.Options{
 		MapJoinConversion: true,
+		MapJoinThreshold:  optimizer.DefaultMapJoinThreshold,
 		MergeMapOnlyJobs:  true,
 		PredicatePushdown: true,
 		Vectorize:         vectorize,

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/fileformat"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -33,12 +34,22 @@ type Metastore struct {
 	mu       sync.RWMutex
 	tables   map[string]*TableMeta
 	versions map[string]int64 // snapshot counters, bumped on every write
+	stats    *stats.Catalog   // per-file column statistics (S25)
 }
 
 // NewMetastore creates an empty catalog.
 func NewMetastore() *Metastore {
-	return &Metastore{tables: make(map[string]*TableMeta), versions: make(map[string]int64)}
+	return &Metastore{
+		tables:   make(map[string]*TableMeta),
+		versions: make(map[string]int64),
+		stats:    stats.NewCatalog(),
+	}
 }
+
+// Stats returns the statistics catalog. Writers record per-file column
+// stats here as files seal; the optimizer reads table-level stats derived
+// from them (see Driver.TableStats).
+func (m *Metastore) Stats() *stats.Catalog { return m.stats }
 
 // Register adds or replaces a table.
 func (m *Metastore) Register(meta *TableMeta) {
@@ -51,9 +62,10 @@ func (m *Metastore) Register(meta *TableMeta) {
 // Drop removes a table from the catalog (files are the caller's problem).
 func (m *Metastore) Drop(name string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	delete(m.tables, name)
 	m.versions[name]++
+	m.mu.Unlock()
+	m.stats.DropTable(name)
 }
 
 // BumpVersion advances a table's snapshot counter; every data write must

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/obs"
 	"repro/internal/orc"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -201,6 +202,19 @@ func (a *orcWriterAdapter) Close() error {
 		return err
 	}
 	return a.f.Close()
+}
+
+// FileStatistics exposes the ORC writer's catalog statistics (see
+// FileStatsSource). Valid only after Close.
+func (a *orcWriterAdapter) FileStatistics() *stats.FileStats { return a.w.FileStatistics() }
+
+// FileStatsSource is implemented by writers that collect catalog-level
+// column statistics while writing (ORC); stats-recording callers
+// type-assert for it after Close. Formats without statistics simply don't
+// implement it, and the table's stats coverage stays incomplete — the
+// optimizer then falls back to heuristics.
+type FileStatsSource interface {
+	FileStatistics() *stats.FileStats
 }
 
 type orcReaderAdapter struct {

@@ -1,0 +1,446 @@
+// cardinality.go is the cost model behind CBO (S25): per-operator output
+// row estimates derived from catalog statistics. Selectivity of predicates
+// comes from per-column null fractions, NDV sketches and histograms; join
+// output uses the System-R containment formula |L|·|R| / Π max(V(L,k),
+// V(R,k)). Estimates are honest about ignorance: any operator whose inputs
+// or columns lack stats reports "unknown" rather than a guess, and callers
+// (join reordering, map-join sizing) fall back to rule-only behavior.
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/compiler"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Default selectivities when a predicate's columns have no stats, mirroring
+// the classic System-R constants.
+const (
+	defaultEqSel    = 0.1
+	defaultRangeSel = 1.0 / 3.0
+	defaultSel      = 0.25
+)
+
+// estimator memoizes row estimates over one plan (or plan fragment).
+type estimator struct {
+	env *Env
+	// aliasTable maps a schema column's Table qualifier (the scan alias)
+	// to the base table it reads, so column stats resolve through joins.
+	aliasTable map[string]string
+	memo       map[plan.Node]estimate
+}
+
+type estimate struct {
+	rows float64
+	ok   bool
+}
+
+// newEstimator builds an estimator whose alias map covers every TableScan
+// reachable upward from roots.
+func newEstimator(env *Env, roots ...plan.Node) *estimator {
+	e := &estimator{env: env, aliasTable: map[string]string{}, memo: map[plan.Node]estimate{}}
+	seen := map[plan.Node]bool{}
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if ts, ok := n.(*plan.TableScan); ok {
+			alias := ts.Alias
+			if alias == "" {
+				alias = ts.Table
+			}
+			e.aliasTable[alias] = ts.Table
+		}
+		for _, p := range n.Base().Parents {
+			walk(p)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return e
+}
+
+// rows estimates an operator's output cardinality; ok is false when the
+// estimate would be a guess (missing stats, unsupported shapes).
+func (e *estimator) rows(n plan.Node) (float64, bool) {
+	if m, ok := e.memo[n]; ok {
+		return m.rows, m.ok
+	}
+	r, ok := e.computeRows(n)
+	e.memo[n] = estimate{rows: r, ok: ok}
+	return r, ok
+}
+
+func (e *estimator) computeRows(n plan.Node) (float64, bool) {
+	switch t := n.(type) {
+	case *plan.TableScan:
+		if isTemp(t.Table) || e.env.TableStats == nil {
+			return 0, false
+		}
+		ts, ok := e.env.TableStats(t.Table)
+		if !ok {
+			return 0, false
+		}
+		return float64(ts.Rows), true
+	case *plan.Filter:
+		in, ok := e.parentRows(n)
+		if !ok {
+			return 0, false
+		}
+		return in * e.selectivity(t.Cond, parentSchema(n)), true
+	case *plan.Join:
+		return e.joinRows(t)
+	case *plan.MapJoin:
+		return e.mapJoinRows(t)
+	case *plan.GroupBy:
+		return e.groupByRows(t)
+	case *plan.Limit:
+		in, ok := e.parentRows(n)
+		if !ok {
+			return 0, false
+		}
+		return math.Min(in, float64(t.N)), true
+	case *plan.Select, *plan.ReduceSink, *plan.FileSink, *plan.Demux, *plan.Mux:
+		return e.parentRows(n)
+	default:
+		return e.parentRows(n)
+	}
+}
+
+// parentRows sums the estimates of all parents (operators that neither
+// grow nor shrink their input pass one parent through).
+func (e *estimator) parentRows(n plan.Node) (float64, bool) {
+	parents := n.Base().Parents
+	if len(parents) == 0 {
+		return 0, false
+	}
+	var total float64
+	for _, p := range parents {
+		r, ok := e.rows(p)
+		if !ok {
+			return 0, false
+		}
+		total += r
+	}
+	return total, true
+}
+
+func parentSchema(n plan.Node) *plan.Schema {
+	if len(n.Base().Parents) == 1 {
+		return n.Base().Parents[0].Schema()
+	}
+	return nil
+}
+
+// joinRows estimates a reduce join over its two ReduceSink inputs:
+// |L|·|R| / Π_k max(V(L,k), V(R,k)), with a side's row count standing in
+// for an unknown key NDV (the foreign-key assumption).
+func (e *estimator) joinRows(j *plan.Join) (float64, bool) {
+	if len(j.Parents) != 2 {
+		return 0, false
+	}
+	lrs, lok := j.Parents[0].(*plan.ReduceSink)
+	rrs, rok := j.Parents[1].(*plan.ReduceSink)
+	if !lok || !rok || len(lrs.Keys) != len(rrs.Keys) {
+		return 0, false
+	}
+	lRows, ok := e.rows(lrs)
+	if !ok {
+		return 0, false
+	}
+	rRows, ok := e.rows(rrs)
+	if !ok {
+		return 0, false
+	}
+	out := lRows * rRows
+	for k := range lrs.Keys {
+		out /= e.keyFactor(lrs.Keys[k], lrs.Schema(), lRows, rrs.Keys[k], rrs.Schema(), rRows)
+	}
+	return out, true
+}
+
+// mapJoinRows composes the same containment formula over the big input and
+// each hash-built small input.
+func (e *estimator) mapJoinRows(mj *plan.MapJoin) (float64, bool) {
+	if mj.BigIdx >= len(mj.Parents) {
+		return 0, false
+	}
+	big := mj.Parents[mj.BigIdx]
+	out, ok := e.rows(big)
+	if !ok {
+		return 0, false
+	}
+	bigRows := out
+	for i, p := range mj.Parents {
+		if i == mj.BigIdx {
+			continue
+		}
+		sRows, ok := e.rows(p)
+		if !ok {
+			return 0, false
+		}
+		out *= sRows
+		if i >= len(mj.Keys) || i >= len(mj.ProbeKeys) || len(mj.Keys[i]) != len(mj.ProbeKeys[i]) {
+			return 0, false
+		}
+		for k := range mj.Keys[i] {
+			out /= e.keyFactor(mj.ProbeKeys[i][k], big.Schema(), bigRows, mj.Keys[i][k], p.Schema(), sRows)
+		}
+	}
+	return out, true
+}
+
+// keyFactor is max(V(L,k), V(R,k), 1) for one equi-join key pair; a side
+// with no column stats contributes its row count (every row distinct).
+func (e *estimator) keyFactor(lk plan.Expr, ls *plan.Schema, lRows float64, rk plan.Expr, rs *plan.Schema, rRows float64) float64 {
+	lv := e.keyNDV(lk, ls, lRows)
+	rv := e.keyNDV(rk, rs, rRows)
+	return math.Max(1, math.Max(lv, rv))
+}
+
+func (e *estimator) keyNDV(key plan.Expr, schema *plan.Schema, sideRows float64) float64 {
+	if cs := e.colStats(key, schema); cs != nil {
+		if v := cs.DistinctValues(); v > 0 {
+			return v
+		}
+	}
+	return math.Max(sideRows, 1)
+}
+
+// groupByRows bounds output by the product of grouping-key NDVs; a global
+// aggregate emits one row.
+func (e *estimator) groupByRows(g *plan.GroupBy) (float64, bool) {
+	in, ok := e.parentRows(g)
+	if !ok {
+		return 0, false
+	}
+	if len(g.Keys) == 0 {
+		return 1, true
+	}
+	schema := parentSchema(g)
+	groups := 1.0
+	for _, k := range g.Keys {
+		cs := e.colStats(k, schema)
+		if cs == nil {
+			return in, true // no NDV: can't bound below input
+		}
+		groups *= math.Max(cs.DistinctValues(), 1)
+	}
+	return math.Min(in, groups), true
+}
+
+// colStats resolves a column reference to its base-table statistics via
+// the schema's alias qualifier. Non-column expressions and computed or
+// unqualified columns return nil.
+func (e *estimator) colStats(expr plan.Expr, schema *plan.Schema) *stats.ColumnStats {
+	col, ok := expr.(*plan.ColExpr)
+	if !ok || schema == nil || col.Idx >= len(schema.Cols) {
+		return nil
+	}
+	sc := schema.Cols[col.Idx]
+	base := e.aliasTable[sc.Table]
+	if base == "" || e.env.TableStats == nil {
+		return nil
+	}
+	ts, ok := e.env.TableStats(base)
+	if !ok {
+		return nil
+	}
+	return ts.Column(sc.Name)
+}
+
+// selectivity estimates the fraction of rows a predicate keeps.
+func (e *estimator) selectivity(cond plan.Expr, schema *plan.Schema) float64 {
+	return clamp01(e.sel(cond, schema))
+}
+
+func (e *estimator) sel(cond plan.Expr, schema *plan.Schema) float64 {
+	switch t := cond.(type) {
+	case *plan.LogicalExpr:
+		l := e.sel(t.Left, schema)
+		r := e.sel(t.Right, schema)
+		if t.Op == "AND" {
+			return l * r
+		}
+		return l + r - l*r
+	case *plan.NotExpr:
+		return 1 - e.sel(t.Inner, schema)
+	case *plan.CompareExpr:
+		return e.compareSel(t, schema)
+	case *plan.BetweenExpr:
+		if cs := e.colStats(t.Operand, schema); cs != nil {
+			lo, lok := constFloat(t.Lo)
+			hi, hok := constFloat(t.Hi)
+			if lok && hok && cs.Hist != nil {
+				return cs.Hist.FractionBetween(lo, hi) * (1 - cs.NullFraction())
+			}
+		}
+		return defaultSel
+	case *plan.InExpr:
+		if cs := e.colStats(t.Operand, schema); cs != nil {
+			if v := cs.DistinctValues(); v > 0 {
+				return math.Min(1, float64(len(t.List))/v) * (1 - cs.NullFraction())
+			}
+		}
+		return math.Min(1, defaultEqSel*float64(len(t.List)))
+	case *plan.IsNullExpr:
+		frac := 0.1
+		if cs := e.colStats(t.Operand, schema); cs != nil {
+			frac = cs.NullFraction()
+		}
+		if t.Negated {
+			return 1 - frac
+		}
+		return frac
+	case *plan.ColExpr:
+		// Bare boolean column as a predicate.
+		if cs := e.colStats(t, schema); cs != nil {
+			total := float64(cs.NonNull + cs.Nulls)
+			if total > 0 {
+				return float64(cs.TrueCount) / total
+			}
+		}
+		return 0.5
+	case *plan.ConstExpr:
+		if t.Value == true {
+			return 1
+		}
+		return 0
+	default:
+		return defaultSel
+	}
+}
+
+func (e *estimator) compareSel(c *plan.CompareExpr, schema *plan.Schema) float64 {
+	lcs := e.colStats(c.Left, schema)
+	rcs := e.colStats(c.Right, schema)
+	switch c.Op {
+	case "=":
+		if lcs != nil && rcs != nil {
+			// Column-to-column equality within one row.
+			return 1 / math.Max(1, math.Max(lcs.DistinctValues(), rcs.DistinctValues()))
+		}
+		cs, cv := colConst(lcs, rcs, c)
+		if cs != nil {
+			if v := cs.DistinctValues(); v > 0 {
+				s := (1 - cs.NullFraction()) / v
+				// Constants outside the known range match nothing.
+				if f, ok := cv.(float64); ok && cs.HasRange && (f < cs.Min || f > cs.Max) {
+					return 0
+				}
+				return s
+			}
+		}
+		return defaultEqSel
+	case "<>":
+		if cs, _ := colConst(lcs, rcs, c); cs != nil {
+			if v := cs.DistinctValues(); v > 0 {
+				return (1 - cs.NullFraction()) * (1 - 1/v)
+			}
+		}
+		return 1 - defaultEqSel
+	case "<", "<=", ">", ">=":
+		cs, cv := colConst(lcs, rcs, c)
+		if cs != nil && cs.Hist != nil {
+			if f, ok := cv.(float64); ok {
+				op := c.Op
+				if rcs != nil { // constant on the left: flip the operator
+					op = flipOp(op)
+				}
+				var frac float64
+				switch op {
+				case "<", "<=":
+					frac = cs.Hist.FractionBetween(math.Inf(-1), f)
+				default:
+					frac = cs.Hist.FractionBetween(f, math.Inf(1))
+				}
+				return frac * (1 - cs.NullFraction())
+			}
+		}
+		return defaultRangeSel
+	}
+	return defaultSel
+}
+
+// colConst picks out the (column stats, constant value) pair of a
+// column-vs-literal comparison, whichever side each is on. The constant is
+// returned as float64 for numerics, or the raw value otherwise.
+func colConst(lcs, rcs *stats.ColumnStats, c *plan.CompareExpr) (*stats.ColumnStats, any) {
+	if lcs != nil {
+		if v, ok := constValue(c.Right); ok {
+			return lcs, v
+		}
+		return nil, nil
+	}
+	if rcs != nil {
+		if v, ok := constValue(c.Left); ok {
+			return rcs, v
+		}
+	}
+	return nil, nil
+}
+
+func constValue(e plan.Expr) (any, bool) {
+	ce, ok := e.(*plan.ConstExpr)
+	if !ok {
+		return nil, false
+	}
+	if f, ok := toFloat64(ce.Value); ok {
+		return f, true
+	}
+	return ce.Value, true
+}
+
+func constFloat(e plan.Expr) (float64, bool) {
+	ce, ok := e.(*plan.ConstExpr)
+	if !ok {
+		return 0, false
+	}
+	return toFloat64(ce.Value)
+}
+
+func toFloat64(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 || math.IsNaN(f) {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func isTemp(table string) bool {
+	return len(table) >= len(compiler.TempPrefix) && table[:len(compiler.TempPrefix)] == compiler.TempPrefix
+}
+
+// AnnotateEstimates stamps every reachable operator with its estimated
+// output rows (EXPLAIN's "est=" annotation). Operators whose estimate
+// would be a guess are left unstamped and print no estimate.
+func AnnotateEstimates(p *plan.Plan, env *Env) {
+	roots := make([]plan.Node, len(p.Sinks))
+	for i, s := range p.Sinks {
+		roots[i] = s
+	}
+	est := newEstimator(env, roots...)
+	p.Walk(func(n plan.Node) {
+		if r, ok := est.rows(n); ok {
+			n.Base().EstRows = int64(math.Round(r))
+			n.Base().EstSet = true
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// joinorder.go reorders left-deep join chains by estimated cost (the CBO
+// pillar): in a star query, joining the most selective dimension first
+// shrinks the spine early, so every later join (and its shuffle) processes
+// fewer rows. The pass is conservative — it only rewrites chains whose
+// shape it fully understands and whose inputs all have estimates, and it
+// restores the original output column order with a projection so nothing
+// above the chain can observe the rewrite.
+package optimizer
+
+import (
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// chainLink is one join of a left-deep spine: J has parents [lrs, rrs],
+// lrs (tag 0) carries the spine, rrs (tag 1) carries this link's dimension
+// subtree.
+type chainLink struct {
+	join *plan.Join
+	lrs  *plan.ReduceSink
+	rrs  *plan.ReduceSink
+}
+
+// ReorderJoins rewrites every maximal left-deep join chain whose dimension
+// fan-out factors are all estimable, placing dimensions in ascending order
+// of estimated output growth. Chains it cannot prove safe (shared
+// operators, non-star key shapes, missing stats) are left untouched.
+func ReorderJoins(p *plan.Plan, env *Env) {
+	if env.TableStats == nil {
+		return
+	}
+	// A join is "inner" when another join's spine (tag-0 RS) consumes it;
+	// chain walks start only from the top joins.
+	inner := map[*plan.Join]bool{}
+	joins := []*plan.Join{}
+	p.Walk(func(n plan.Node) {
+		j, ok := n.(*plan.Join)
+		if !ok {
+			return
+		}
+		joins = append(joins, j)
+		if lrs, ok := spineLink(j); ok {
+			if below, ok := lrs.Parents[0].(*plan.Join); ok {
+				inner[below] = true
+			}
+		}
+	})
+	for _, j := range joins {
+		if !inner[j] {
+			reorderChain(p, j, env)
+		}
+	}
+}
+
+// spineLink validates a join's shape: exactly two single-child ReduceSink
+// parents with tags 0 and 1, each with a single parent.
+func spineLink(j *plan.Join) (*plan.ReduceSink, bool) {
+	if len(j.Parents) != 2 {
+		return nil, false
+	}
+	lrs, lok := j.Parents[0].(*plan.ReduceSink)
+	rrs, rok := j.Parents[1].(*plan.ReduceSink)
+	if !lok || !rok || lrs.Tag != 0 || rrs.Tag != 1 {
+		return nil, false
+	}
+	for _, rs := range []*plan.ReduceSink{lrs, rrs} {
+		if len(rs.Parents) != 1 || len(rs.Children) != 1 {
+			return nil, false
+		}
+	}
+	return lrs, true
+}
+
+// reorderChain walks the spine down from the top join, collecting links
+// until the spine's parent is no longer a join (that subtree — the fact
+// side, possibly with residual filters — anchors the chain).
+func reorderChain(p *plan.Plan, top *plan.Join, env *Env) {
+	var links []chainLink // links[0] = top, descending
+	j := top
+	for {
+		lrs, ok := spineLink(j)
+		if !ok {
+			return
+		}
+		if j != top && len(j.Children) != 1 {
+			return // inner join output shared outside the spine
+		}
+		links = append(links, chainLink{join: j, lrs: lrs, rrs: j.Parents[1].(*plan.ReduceSink)})
+		below, ok := lrs.Parents[0].(*plan.Join)
+		if !ok {
+			break
+		}
+		j = below
+	}
+	if len(links) < 2 {
+		return
+	}
+	// Ascending order: links[0] is the bottom join (nearest the fact).
+	for i, k := 0, len(links)-1; i < k; i, k = i+1, k-1 {
+		links[i], links[k] = links[k], links[i]
+	}
+	fact := links[0].lrs.Parents[0]
+	factWidth := len(fact.Schema().Cols)
+
+	// Star check: every spine key of every link must reference only fact
+	// columns (index < factWidth). A chain like A⋈B then ON b.y = c.y is
+	// not a star — reordering it would orphan the key — so skip.
+	for _, l := range links {
+		for _, k := range l.lrs.Keys {
+			star := true
+			walkCols(k, func(idx int) {
+				if idx >= factWidth {
+					star = false
+				}
+			})
+			if !star {
+				return
+			}
+		}
+	}
+
+	est := newEstimator(env, top)
+	factRows, ok := est.rows(fact)
+	if !ok {
+		return
+	}
+	// Fan-out factor of each link: estRows(dim subtree) / Π_k max(NDV of
+	// the key pair) — multiplying the spine's row count by this factor
+	// gives the join's output. Sorting ascending puts the most selective
+	// dimensions (factor < 1) first.
+	type ranked struct {
+		link   chainLink
+		factor float64
+		orig   int
+	}
+	rankedLinks := make([]ranked, len(links))
+	for i, l := range links {
+		dim := l.rrs.Parents[0]
+		dimRows, ok := est.rows(dim)
+		if !ok {
+			return
+		}
+		if len(l.lrs.Keys) != len(l.rrs.Keys) {
+			return
+		}
+		factor := dimRows
+		for k := range l.lrs.Keys {
+			factor /= est.keyFactor(l.lrs.Keys[k], fact.Schema(), factRows, l.rrs.Keys[k], l.rrs.Schema(), dimRows)
+		}
+		rankedLinks[i] = ranked{link: l, factor: factor, orig: i}
+	}
+	sort.SliceStable(rankedLinks, func(a, b int) bool { return rankedLinks[a].factor < rankedLinks[b].factor })
+	identity := true
+	for i, r := range rankedLinks {
+		if r.orig != i {
+			identity = false
+		}
+	}
+	if identity {
+		return
+	}
+
+	// Rewire: each join keeps its spine parent but takes the dimension RS
+	// chosen for its position. Disconnect all dimension edges first, then
+	// reconnect — Connect appends, so the spine RS stays parents[0]. The
+	// spine-side key expressions move with their dimension: they reference
+	// only fact columns, which sit at identical indexes at every spine
+	// level, so reassignment is position-independent.
+	origTopSchema := top.Schema()
+	origSpineKeys := make([][]plan.Expr, len(links))
+	for i, l := range links {
+		origSpineKeys[i] = l.lrs.Keys
+		plan.Disconnect(l.rrs, l.join)
+	}
+	for i, r := range rankedLinks {
+		plan.Connect(r.link.rrs, links[i].join)
+		links[i].lrs.Keys = origSpineKeys[r.orig]
+	}
+	// Recompute spine schemas bottom-up: each join's output is its spine
+	// input concatenated with its (new) dimension schema.
+	cur := fact.Schema()
+	for i := range links {
+		links[i].lrs.Out = cur
+		cur = cur.Concat(rankedLinks[i].link.rrs.Schema())
+		links[i].join.Out = cur
+	}
+	// Restore the original column order above the top join with a
+	// projection, so consumers are oblivious to the reorder. newOffset[j]
+	// is where original dimension j's segment now starts.
+	newOffset := make([]int, len(links))
+	off := factWidth
+	for _, r := range rankedLinks {
+		newOffset[r.orig] = off
+		off += len(r.link.rrs.Schema().Cols)
+	}
+	sel := p.NewNode(&plan.Select{}).(*plan.Select)
+	sel.Out = origTopSchema
+	for c := 0; c < factWidth; c++ {
+		col := origTopSchema.Cols[c]
+		sel.Exprs = append(sel.Exprs, &plan.ColExpr{Idx: c, K: col.Kind, Name: col.Name})
+	}
+	pos := factWidth
+	for j := 0; j < len(links); j++ {
+		width := 0
+		for _, r := range rankedLinks {
+			if r.orig == j {
+				width = len(r.link.rrs.Schema().Cols)
+			}
+		}
+		for c := 0; c < width; c++ {
+			col := origTopSchema.Cols[pos]
+			sel.Exprs = append(sel.Exprs, &plan.ColExpr{Idx: newOffset[j] + c, K: col.Kind, Name: col.Name})
+			pos++
+		}
+	}
+	topJoin := links[len(links)-1].join
+	for _, child := range append([]plan.Node(nil), topJoin.Children...) {
+		plan.ReplaceParent(child, topJoin, sel)
+	}
+	plan.Connect(topJoin, sel)
+}
+
+// walkCols invokes fn for every column index an expression references.
+func walkCols(e plan.Expr, fn func(idx int)) {
+	switch t := e.(type) {
+	case *plan.ColExpr:
+		fn(t.Idx)
+	case *plan.ArithExpr:
+		walkCols(t.Left, fn)
+		walkCols(t.Right, fn)
+	case *plan.CompareExpr:
+		walkCols(t.Left, fn)
+		walkCols(t.Right, fn)
+	case *plan.LogicalExpr:
+		walkCols(t.Left, fn)
+		walkCols(t.Right, fn)
+	case *plan.NotExpr:
+		walkCols(t.Inner, fn)
+	case *plan.BetweenExpr:
+		walkCols(t.Operand, fn)
+		walkCols(t.Lo, fn)
+		walkCols(t.Hi, fn)
+	case *plan.InExpr:
+		walkCols(t.Operand, fn)
+		for _, item := range t.List {
+			walkCols(item, fn)
+		}
+	case *plan.IsNullExpr:
+		walkCols(t.Operand, fn)
+	}
+}

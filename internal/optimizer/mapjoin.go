@@ -18,7 +18,11 @@ import (
 func ConvertMapJoins(p *plan.Plan, env *Env) error {
 	threshold := env.Options.MapJoinThreshold
 	if threshold <= 0 {
-		threshold = DefaultMapJoinThreshold
+		// Zero means "never map-join" (hash-build memory is capped at the
+		// threshold, so a zero cap admits nothing). It used to silently
+		// fall back to the default, making map joins impossible to turn
+		// off with MapJoinConversion still set.
+		return nil
 	}
 	// Convert bottom-up so a converted join's output can stream into the
 	// next join's conversion (the pipelined M-JoinOp-1 -> M-JoinOp-2 of
@@ -105,13 +109,27 @@ func convertOne(p *plan.Plan, join *plan.Join, env *Env, threshold int64) bool {
 
 // isSmallLocalChain reports whether the subtree at n is a linear
 // Filter/Select chain over a base-table scan under the size threshold.
-// Temp tables (sizes unknown at plan time) never qualify.
+// Temp tables (sizes unknown at plan time) never qualify. Under CBO with
+// catalog stats, the size is the *estimated build-side* bytes — chain
+// output rows (selectivity applied) × average row width — so a big table
+// with a selective filter can still hash-build; without stats it is the
+// raw on-disk table size, as in §5.1.
 func isSmallLocalChain(n plan.Node, env *Env, threshold int64) bool {
+	chainTop := n
 	for {
 		switch t := n.(type) {
 		case *plan.TableScan:
 			if len(t.Table) >= len(compiler.TempPrefix) && t.Table[:len(compiler.TempPrefix)] == compiler.TempPrefix {
 				return false
+			}
+			if env.Options.CBO && env.TableStats != nil {
+				if ts, ok := env.TableStats(t.Table); ok && ts.Rows > 0 {
+					est := newEstimator(env, chainTop)
+					if rows, ok := est.rows(chainTop); ok {
+						bytes := rows * ts.RowWidth()
+						return int64(bytes) <= threshold
+					}
+				}
 			}
 			if env.TableSize == nil {
 				return false

@@ -12,6 +12,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/fileformat"
 	"repro/internal/plan"
+	"repro/internal/stats"
 )
 
 // Options toggles the rewrites.
@@ -22,8 +23,10 @@ type Options struct {
 	// MapJoinConversion converts Reduce Joins whose non-streamed inputs
 	// are small local chains into Map Joins (§5.1).
 	MapJoinConversion bool
-	// MapJoinThreshold is the max total bytes of small tables per merged
-	// job (default 64 MB).
+	// MapJoinThreshold is the max estimated build-side bytes for map-join
+	// conversion. Zero (and any value <= 0) disables conversion outright —
+	// it is NOT treated as "use the default"; callers that want the
+	// default must set DefaultMapJoinThreshold explicitly (AllOn does).
 	MapJoinThreshold int64
 	// MergeMapOnlyJobs merges each converted Map Join into its child job
 	// instead of materializing a Map-only job (§5.1). Disabling it
@@ -34,13 +37,25 @@ type Options struct {
 	// Vectorize marks eligible plan fragments for the vectorized
 	// execution engine (§6.4).
 	Vectorize bool
+	// CBO enables cost-based optimization from catalog statistics (S25):
+	// join chains are reordered by estimated cardinality, map-join
+	// smallness uses estimated build-side bytes (selectivity × row width)
+	// instead of raw file size, and every operator is annotated with its
+	// estimated row count for EXPLAIN. Without table stats (non-ORC
+	// formats, empty catalogs) each decision falls back to the rule-only
+	// behavior, so enabling CBO is always safe.
+	CBO bool
 }
 
 // AllOn returns the fully optimized configuration the paper advocates.
+// CBO is deliberately not included: it post-dates the paper (the 2019
+// paper's Calcite pillar) and is opted into per config, so the paper's
+// rule-only plans stay reproducible.
 func AllOn() Options {
 	return Options{
 		PredicatePushdown: true,
 		MapJoinConversion: true,
+		MapJoinThreshold:  DefaultMapJoinThreshold,
 		MergeMapOnlyJobs:  true,
 		Correlation:       true,
 		Vectorize:         true,
@@ -56,6 +71,10 @@ type Env struct {
 	// TableFormat reports a table's storage format (predicate pushdown
 	// only applies to ORC).
 	TableFormat func(name string) (fileformat.Kind, bool)
+	// TableStats returns catalog statistics for a base table (row counts,
+	// per-column NDV/min-max/histograms), or ok=false when coverage is
+	// incomplete. Nil disables all stats-based decisions.
+	TableStats func(name string) (*stats.TableStats, bool)
 }
 
 // DefaultMapJoinThreshold mirrors a typical hive.mapjoin.smalltable size
@@ -72,6 +91,11 @@ func Apply(p *plan.Plan, env *Env) error {
 			return err
 		}
 	}
+	if env.Options.CBO {
+		// Reorder before map-join conversion so conversion sees the
+		// cost-chosen join shape.
+		ReorderJoins(p, env)
+	}
 	if env.Options.MapJoinConversion {
 		if err := ConvertMapJoins(p, env); err != nil {
 			return err
@@ -81,6 +105,9 @@ func Apply(p *plan.Plan, env *Env) error {
 		if err := PushdownPredicates(p, env); err != nil {
 			return err
 		}
+	}
+	if env.Options.CBO {
+		AnnotateEstimates(p, env)
 	}
 	return nil
 }

@@ -131,7 +131,7 @@ func TestPushdownSkipsNonORC(t *testing.T) {
 
 func TestMapJoinConversion(t *testing.T) {
 	p := planFor(t, `SELECT f.val FROM fact f JOIN dim d ON f.dkey = d.id WHERE d.attr = 'x'`)
-	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MergeMapOnlyJobs: true})); err != nil {
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MapJoinThreshold: DefaultMapJoinThreshold, MergeMapOnlyJobs: true})); err != nil {
 		t.Fatal(err)
 	}
 	if count[*plan.Join](p) != 0 {
@@ -153,9 +153,24 @@ func TestMapJoinConversion(t *testing.T) {
 	}
 }
 
+// A zero threshold disables map-join conversion outright — it must not
+// silently fall back to the default (the pre-fix behavior).
+func TestMapJoinThresholdZeroDisables(t *testing.T) {
+	p := planFor(t, `SELECT f.val FROM fact f JOIN dim d ON f.dkey = d.id`)
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MapJoinThreshold: 0, MergeMapOnlyJobs: true})); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.Find(func(n plan.Node) bool { _, ok := n.(*plan.MapJoin); return ok })); n != 0 {
+		t.Fatalf("threshold 0 still converted %d map join(s):\n%s", n, p)
+	}
+	if count[*plan.Join](p) != 1 {
+		t.Fatalf("reduce join missing:\n%s", p)
+	}
+}
+
 func TestMapJoinNotConvertedWhenBothBig(t *testing.T) {
 	p := planFor(t, "SELECT f.val FROM fact f JOIN fact2 g ON f.key = g.key")
-	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true})); err != nil {
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MapJoinThreshold: DefaultMapJoinThreshold})); err != nil {
 		t.Fatal(err)
 	}
 	if count[*plan.Join](p) != 1 || count[*plan.MapJoin](p) != 0 {
@@ -165,7 +180,7 @@ func TestMapJoinNotConvertedWhenBothBig(t *testing.T) {
 
 func TestMapJoinUnmergedAddsBoundary(t *testing.T) {
 	p := planFor(t, "SELECT f.val FROM fact f JOIN dim d ON f.dkey = d.id")
-	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MergeMapOnlyJobs: false})); err != nil {
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MapJoinThreshold: DefaultMapJoinThreshold, MergeMapOnlyJobs: false})); err != nil {
 		t.Fatal(err)
 	}
 	// The unmerged conversion materializes the map-join output.
@@ -186,7 +201,7 @@ func TestMapJoinChainPipelines(t *testing.T) {
 	p := planFor(t, `SELECT f.val FROM fact f
 		JOIN dim d1 ON f.dkey = d1.id
 		JOIN dim2 d2 ON f.key = d2.id`)
-	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MergeMapOnlyJobs: true})); err != nil {
+	if err := ConvertMapJoins(p, env(Options{MapJoinConversion: true, MapJoinThreshold: DefaultMapJoinThreshold, MergeMapOnlyJobs: true})); err != nil {
 		t.Fatal(err)
 	}
 	if count[*plan.MapJoin](p) != 2 || count[*plan.Join](p) != 0 || count[*plan.ReduceSink](p) != 0 {

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/compress"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -95,6 +96,9 @@ type Writer struct {
 	stripeStats   [][]*ColumnStats
 	checkInterval int64
 	closed        bool
+
+	collect  *stats.Collector // catalog stats, fed per row
+	catStats *stats.FileStats // sealed by Close
 }
 
 // NewWriter creates an ORC writer over f for the given schema.
@@ -112,6 +116,7 @@ func NewWriter(f File, schema *types.Schema, opts *WriterOptions) (*Writer, erro
 		schema:        schema,
 		tree:          tree,
 		checkInterval: 1024,
+		collect:       stats.NewCollector(schema),
 	}
 	w.root, err = newColumnWriter(tree.Root, &o)
 	if err != nil {
@@ -150,6 +155,7 @@ func (w *Writer) Write(row types.Row) error {
 	if err := w.root.write([]any(row)); err != nil {
 		return err
 	}
+	w.collect.Add(row)
 	w.rowsInStripe++
 	w.rowsInFile++
 	if w.rowsInStripe%w.checkInterval == 0 && w.estimatedStripeSize() >= w.effectiveStripeSize() {
@@ -335,5 +341,13 @@ func (w *Writer) Close() error {
 			return err
 		}
 	}
+	// Seal catalog statistics with the final encoded size, while the file
+	// handle is still open (callers close it right after Close returns).
+	w.catStats = w.collect.Finish(w.f.Pos())
 	return nil
 }
+
+// FileStatistics returns the catalog-level statistics for the written
+// file (per-column counts, ranges, NDV sketches). Valid only after a
+// successful Close; nil otherwise.
+func (w *Writer) FileStatistics() *stats.FileStats { return w.catStats }

@@ -25,6 +25,11 @@ type BaseNode struct {
 	Parents  []Node // inputs
 	Children []Node // outputs
 	Out      *Schema
+	// EstRows is the cost-based optimizer's output-cardinality estimate,
+	// valid when EstSet; EXPLAIN prints it next to (for ANALYZE) the
+	// actual row count so estimate error is observable per operator.
+	EstRows int64
+	EstSet  bool
 }
 
 // Base implements Node.

@@ -37,6 +37,12 @@ type Cell struct {
 	// a reference replay of exactly the transactions committed at that
 	// snapshot (see txncell.go).
 	Txn bool
+	// CBO turns on cost-based optimization (join reordering from catalog
+	// statistics, estimated map-join build sizes). CBO cells additionally
+	// diff the optimized plan against the same cell with CBO off — the
+	// plan-differential oracle: plans may diverge (that is the point), but
+	// results never may.
+	CBO bool
 	// Reference marks the oracle cell: zero optimizer options, clean run.
 	Reference bool
 }
@@ -59,6 +65,9 @@ func (c Cell) ID() string {
 	}
 	if c.Txn {
 		id += "/txn"
+	}
+	if c.CBO {
+		id += "/cbo"
 	}
 	return id
 }
@@ -113,6 +122,11 @@ func Matrix(fullFaults bool) []Cell {
 	// one engine suffices — the axis stresses the snapshot machinery, which
 	// is engine-independent.
 	cells = append(cells, Cell{Engine: core.ModeLLAP, Format: fileformat.ORC, Pushdown: true, Txn: true})
+	// One cost-based-optimization cell (ORC so the write path populates
+	// catalog statistics): every query is also plan-diffed against the same
+	// configuration with CBO off, and the results must still match the
+	// reference regardless of how the plan changed.
+	cells = append(cells, Cell{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, CBO: true})
 	return cells
 }
 
@@ -201,8 +215,20 @@ func (e *scenarioEnv) configure(c Cell) {
 	} else {
 		conf.Opt = optimizer.AllOn()
 		conf.Opt.PredicatePushdown = c.Pushdown
+		conf.Opt.CBO = c.CBO
 	}
 	e.driver.SetConfig(conf)
+}
+
+// planString renders the optimized plan the cell's configuration would
+// produce for the query, without executing it.
+func (e *scenarioEnv) planString(c Cell, query string) (string, error) {
+	e.configure(c)
+	p, _, err := e.driver.Explain(query)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
 }
 
 // envSet is the warehouses for one scenario, keyed by (format, faulted).

@@ -40,6 +40,9 @@ type Config struct {
 	// Progress, when non-nil, receives a line per scenario (benchrunner
 	// wires this to stdout; tests leave it nil).
 	Progress func(string)
+	// cells overrides the comparison matrix (tests use it to focus a run
+	// on one axis, e.g. just {reference, cbo}); nil means Matrix().
+	cells []Cell
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +84,11 @@ type Report struct {
 	Queries    int   // statements generated and cross-checked
 	Executions int64 // total query executions across all cells
 	Failures   []*Failure
+	// PlanDivergences counts queries whose optimized plan changed when CBO
+	// was toggled on (join order, map-join choice, or estimate-driven
+	// rewrites). Divergence is expected and healthy; it is only meaningful
+	// because every divergent plan still produced the reference answer.
+	PlanDivergences int64
 	// Fingerprint hashes every query text and verdict; two runs with the
 	// same seed and config must produce the same fingerprint.
 	Fingerprint uint64
@@ -89,7 +97,10 @@ type Report struct {
 // Run executes one fuzzing run.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	cells := Matrix(cfg.FullFaults)
+	cells := cfg.cells
+	if cells == nil {
+		cells = Matrix(cfg.FullFaults)
+	}
 	rep := &Report{Seed: cfg.Seed, Cells: len(cells)}
 	fp := fnv.New64a()
 
@@ -109,7 +120,7 @@ func Run(cfg Config) (*Report, error) {
 		for i := 0; i < n && len(rep.Failures) < cfg.MaxFailures; i++ {
 			stmt := GenQuery(rng, table)
 			query := stmt.String()
-			verdict := runOne(envs, cells, table, stmt, query, &rep.Executions)
+			verdict := runOne(envs, cells, table, stmt, query, &rep.Executions, &rep.PlanDivergences)
 			rep.Queries++
 			fmt.Fprintf(fp, "%s\x00%s\x01", query, verdictText(verdict))
 			if verdict != nil {
@@ -152,7 +163,7 @@ func verdictText(f *Failure) string {
 
 // runOne cross-checks one query over the matrix; nil means all cells
 // agreed.
-func runOne(envs *envSet, cells []Cell, table *Table, stmt *sql.SelectStmt, query string, execs *int64) *Failure {
+func runOne(envs *envSet, cells []Cell, table *Table, stmt *sql.SelectStmt, query string, execs, planDivs *int64) *Failure {
 	ref := cells[0]
 	refEnv := envs.get(ref)
 	refEnv.configure(ref)
@@ -199,6 +210,19 @@ func runOne(envs *envSet, cells []Cell, table *Table, stmt *sql.SelectStmt, quer
 		if f := checkAgainstRef(stmt, query, c, rows, err, refErr, want); f != nil {
 			return f
 		}
+		if c.CBO && err == nil {
+			// Plan differential: the results above already agreed with the
+			// reference, so any plan change CBO made is safe by
+			// construction; record how often it changed anything. Explain
+			// errors are ignored — correctness is owned by the result check.
+			off := c
+			off.CBO = false
+			offPlan, offErr := env.planString(off, query)
+			onPlan, onErr := env.planString(c, query)
+			if offErr == nil && onErr == nil && offPlan != onPlan {
+				*planDivs++
+			}
+		}
 	}
 	return nil
 }
@@ -234,8 +258,8 @@ func disagreement(t *Table, stmt *sql.SelectStmt, cell Cell, seed int64) (bool, 
 		return false, ""
 	}
 	defer envs.close()
-	var execs int64
-	f := runOne(envs, cells, t, stmt, stmt.String(), &execs)
+	var execs, planDivs int64
+	f := runOne(envs, cells, t, stmt, stmt.String(), &execs, &planDivs)
 	if f == nil {
 		return false, ""
 	}

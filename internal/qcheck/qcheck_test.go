@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fileformat"
 	"repro/internal/sql"
 	"repro/internal/vector"
@@ -57,6 +58,40 @@ func TestConcurrentCellsInMatrix(t *testing.T) {
 	}
 	if conc != 3 {
 		t.Fatalf("matrix has %d concurrent cells, want one per engine (3)", conc)
+	}
+}
+
+// TestCBOPlanDifferential is the plan-differential fuzzing cell run at
+// volume: ≥200 fuzzed queries over just {reference, cbo}, demanding zero
+// result disagreements while counting how often toggling CBO changed the
+// optimized plan. At least one divergence must occur — a CBO that never
+// changes a plan is vacuously "safe" and untested.
+func TestCBOPlanDifferential(t *testing.T) {
+	cfg := Config{
+		Seed:            3,
+		Queries:         200,
+		QueriesPerTable: 10,
+		NoShrink:        true,
+		MaxFailures:     100,
+		cells: []Cell{
+			{Engine: allEngines[0], Format: allFormats[0], Reference: true},
+			{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, CBO: true},
+		},
+	}
+	if testing.Short() {
+		cfg.Queries = 60
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed %d: %d queries, %d scenarios, %d plan divergences",
+		rep.Seed, rep.Queries, rep.Scenarios, rep.PlanDivergences)
+	for _, f := range rep.Failures {
+		t.Errorf("CBO changed a result:\n%s", failureText(f))
+	}
+	if rep.PlanDivergences == 0 {
+		t.Error("no query's plan changed under CBO; the differential is vacuous")
 	}
 }
 

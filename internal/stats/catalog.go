@@ -1,0 +1,115 @@
+package stats
+
+import "sync"
+
+// Catalog is the metastore statistics store: per-file stats recorded as
+// writers seal files (loader parts, ACID deltas, compaction outputs), plus
+// a cache of table-level stats derived by merging the files visible in the
+// current metastore version. Invalidation is implicit — Derive is keyed on
+// the caller-supplied metastore version, which the driver bumps through
+// the unified write-invalidation path on every load, ACID commit, and
+// compaction, so a stale derived entry simply misses and is rebuilt from
+// the new file set.
+type Catalog struct {
+	mu      sync.Mutex
+	files   map[string]map[string]*FileStats // table → file path → stats
+	derived map[string]derivedEntry
+}
+
+type derivedEntry struct {
+	version int64
+	stats   *TableStats
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		files:   make(map[string]map[string]*FileStats),
+		derived: make(map[string]derivedEntry),
+	}
+}
+
+// RecordFile stores the stats for one sealed file of a table. Recording
+// does not invalidate derived stats by itself — the version bump that
+// follows every write does.
+func (c *Catalog) RecordFile(table, path string, fs *FileStats) {
+	if fs == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.files[table]
+	if m == nil {
+		m = make(map[string]*FileStats)
+		c.files[table] = m
+	}
+	m[path] = fs
+}
+
+// FileCount returns how many files have recorded stats for a table.
+func (c *Catalog) FileCount(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.files[table])
+}
+
+// DropTable forgets all stats for a table.
+func (c *Catalog) DropTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.files, table)
+	delete(c.derived, table)
+}
+
+// Derive returns table-level stats for the given visible file set at the
+// given metastore version, merging per-file stats on demand and caching
+// the result until the version moves. It returns (nil, false) when any
+// visible file lacks recorded stats (e.g. a non-ORC table, or files
+// written before the catalog existed) — the optimizer then falls back to
+// its heuristics. Per-file entries for files no longer visible (replaced
+// by compaction) are pruned as a side effect.
+func (c *Catalog) Derive(table string, version int64, visible []string) (*TableStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.derived[table]; ok && e.version == version {
+		return e.stats, e.stats != nil
+	}
+	m := c.files[table]
+	ts := &TableStats{Columns: make(map[string]*ColumnStats)}
+	for _, path := range visible {
+		fs := m[path]
+		if fs == nil {
+			// Incomplete coverage: cache the miss for this version so
+			// repeated queries don't rescan the file list.
+			c.derived[table] = derivedEntry{version: version}
+			return nil, false
+		}
+		ts.Rows += fs.Rows
+		ts.Bytes += fs.Bytes
+		ts.Files++
+		for _, cs := range fs.Columns {
+			if cs == nil {
+				continue
+			}
+			agg := ts.Columns[cs.Name]
+			if agg == nil {
+				agg = NewColumnStats(cs.Name, cs.Kind)
+				ts.Columns[cs.Name] = agg
+			}
+			agg.Merge(cs)
+		}
+	}
+	if len(m) > len(visible) {
+		keep := make(map[string]bool, len(visible))
+		for _, p := range visible {
+			keep[p] = true
+		}
+		for p := range m {
+			if !keep[p] {
+				delete(m, p)
+			}
+		}
+	}
+	c.derived[table] = derivedEntry{version: version, stats: ts}
+	return ts, true
+}

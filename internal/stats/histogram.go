@@ -1,0 +1,204 @@
+package stats
+
+import "math"
+
+// histBuckets is the fixed bucket count for equi-width histograms. 32
+// buckets bound selectivity error at ~3% of the value range per boundary,
+// which is plenty for the estimator's range predicates.
+const histBuckets = 32
+
+// Histogram is a dynamic equi-width histogram over float64-projected
+// values (integers, floats, and timestamps all project; strings and
+// booleans use NDV/TrueCount instead). The range grows on demand: an
+// out-of-range insert widens the domain with 25% padding on the growing
+// side and proportionally rebins existing counts, so monotone insert
+// streams (auto-increment keys, timestamps) amortize to O(1) rebins per
+// doubling rather than one per insert.
+type Histogram struct {
+	lo, hi  float64 // current domain, lo < hi once initialized
+	counts  [histBuckets]float64
+	total   float64
+	started bool
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add inserts one value.
+func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if !h.started {
+		h.lo, h.hi = v, v
+		h.started = true
+	}
+	if v < h.lo || v > h.hi {
+		h.grow(v)
+	}
+	h.counts[h.bucket(v)]++
+	h.total++
+}
+
+func (h *Histogram) bucket(v float64) int {
+	if h.hi == h.lo {
+		return 0
+	}
+	b := int(float64(histBuckets) * (v - h.lo) / (h.hi - h.lo))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// grow widens the domain to include v, padding the growing side by 25% of
+// the new span so the next out-of-range insert in the same direction is
+// often already covered.
+func (h *Histogram) grow(v float64) {
+	lo, hi := h.lo, h.hi
+	if v < lo {
+		lo = v
+		pad := (h.lo - v) * 0.25
+		if lo-pad > -math.MaxFloat64 {
+			lo -= pad
+		}
+	}
+	if v > hi {
+		hi = v
+		pad := (v - h.hi) * 0.25
+		if hi+pad < math.MaxFloat64 {
+			hi += pad
+		}
+	}
+	h.rebin(lo, hi)
+}
+
+// rebin redistributes current counts onto a new [lo, hi] domain by
+// fractional bucket overlap (counts are assumed uniform within a bucket).
+func (h *Histogram) rebin(lo, hi float64) {
+	if lo == h.lo && hi == h.hi {
+		return
+	}
+	var out [histBuckets]float64
+	if h.total > 0 && h.hi > h.lo {
+		oldW := (h.hi - h.lo) / histBuckets
+		newW := (hi - lo) / histBuckets
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			bLo := h.lo + float64(i)*oldW
+			bHi := bLo + oldW
+			// Spread c across new buckets overlapping [bLo, bHi).
+			j0 := int((bLo - lo) / newW)
+			j1 := int((bHi - lo) / newW)
+			for j := j0; j <= j1 && j < histBuckets; j++ {
+				if j < 0 {
+					continue
+				}
+				nLo := lo + float64(j)*newW
+				nHi := nLo + newW
+				ov := math.Min(bHi, nHi) - math.Max(bLo, nLo)
+				if ov > 0 {
+					out[j] += c * ov / oldW
+				}
+			}
+		}
+	} else if h.total > 0 {
+		// Degenerate single-point domain: all mass at h.lo.
+		out[bucketFor(h.lo, lo, hi)] = h.total
+	}
+	h.lo, h.hi, h.counts = lo, hi, out
+}
+
+func bucketFor(v, lo, hi float64) int {
+	if hi == lo {
+		return 0
+	}
+	b := int(float64(histBuckets) * (v - lo) / (hi - lo))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Merge folds other into h, widening the domain to cover both. Merge is
+// approximate (rebinning assumes uniformity within buckets) but the total
+// mass is preserved exactly up to float rounding.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || !other.started {
+		return
+	}
+	if !h.started {
+		*h = *other
+		return
+	}
+	lo, hi := math.Min(h.lo, other.lo), math.Max(h.hi, other.hi)
+	h.rebin(lo, hi)
+	o := *other // copy so rebinning the donor doesn't mutate it
+	o.rebin(lo, hi)
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// Clone copies the histogram.
+func (h *Histogram) Clone() *Histogram {
+	out := *h
+	return &out
+}
+
+// Total returns the number of values added.
+func (h *Histogram) Total() float64 { return h.total }
+
+// FractionBetween estimates the fraction of inserted values in [lo, hi].
+// Use ±Inf for one-sided ranges. Returns a value in [0, 1].
+func (h *Histogram) FractionBetween(lo, hi float64) float64 {
+	if !h.started || h.total == 0 || lo > hi {
+		return 0
+	}
+	if h.hi == h.lo {
+		if lo <= h.lo && h.lo <= hi {
+			return 1
+		}
+		return 0
+	}
+	lo = math.Max(lo, h.lo)
+	hi = math.Min(hi, h.hi)
+	if lo > hi {
+		return 0
+	}
+	w := (h.hi - h.lo) / histBuckets
+	var mass float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bLo := h.lo + float64(i)*w
+		bHi := bLo + w
+		ov := math.Min(hi, bHi) - math.Max(lo, bLo)
+		if ov >= w {
+			mass += c
+		} else if ov > 0 {
+			mass += c * ov / w
+		} else if ov == 0 && lo == hi && lo >= bLo && lo <= bHi {
+			// Point query: charge one bucket-width's uniform share.
+			mass += c / histBuckets
+		}
+	}
+	f := mass / h.total
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/types"
+)
+
+// ColumnStats accumulates per-column statistics for one file (and, after
+// merging, for a table). Numeric columns carry a min/max range and a
+// histogram; strings carry a lexical min/max; booleans count trues. NDV is
+// tracked for every supported kind via the sketch.
+type ColumnStats struct {
+	Name    string
+	Kind    types.Kind
+	NonNull int64
+	Nulls   int64
+
+	TrueCount int64 // boolean columns
+
+	HasRange bool // numeric min/max valid
+	Min, Max float64
+
+	HasStrRange bool // string min/max valid
+	MinStr      string
+	MaxStr      string
+
+	NDV  *Sketch
+	Hist *Histogram // numeric columns only
+}
+
+// NewColumnStats creates empty stats for one column.
+func NewColumnStats(name string, kind types.Kind) *ColumnStats {
+	cs := &ColumnStats{Name: name, Kind: kind, NDV: NewSketch()}
+	if numericKind(kind) {
+		cs.Hist = NewHistogram()
+	}
+	return cs
+}
+
+func numericKind(k types.Kind) bool {
+	return k.IsInteger() || k.IsFloating() || k == types.Timestamp
+}
+
+// statable reports whether per-column statistics are collected for kind.
+// Complex types (array/map/struct/union) and opaque binary are skipped.
+func statable(k types.Kind) bool {
+	return k.IsPrimitive() && k != types.Binary
+}
+
+// Update folds one value (nil = SQL NULL) into the stats.
+func (c *ColumnStats) Update(v any) {
+	if v == nil {
+		c.Nulls++
+		return
+	}
+	c.NonNull++
+	switch x := v.(type) {
+	case int64:
+		c.updateNum(float64(x))
+		c.NDV.Add(x)
+	case float64:
+		c.updateNum(x)
+		c.NDV.Add(x)
+	case string:
+		if !c.HasStrRange || x < c.MinStr {
+			c.MinStr = x
+		}
+		if !c.HasStrRange || x > c.MaxStr {
+			c.MaxStr = x
+		}
+		c.HasStrRange = true
+		c.NDV.Add(x)
+	case bool:
+		if x {
+			c.TrueCount++
+		}
+		c.NDV.Add(x)
+	}
+}
+
+func (c *ColumnStats) updateNum(f float64) {
+	if math.IsNaN(f) {
+		return
+	}
+	if !c.HasRange || f < c.Min {
+		c.Min = f
+	}
+	if !c.HasRange || f > c.Max {
+		c.Max = f
+	}
+	c.HasRange = true
+	if c.Hist != nil {
+		c.Hist.Add(f)
+	}
+}
+
+// Merge folds other into c. All component merges commute, so per-file
+// stats fold into table stats in any order.
+func (c *ColumnStats) Merge(other *ColumnStats) {
+	if other == nil {
+		return
+	}
+	c.NonNull += other.NonNull
+	c.Nulls += other.Nulls
+	c.TrueCount += other.TrueCount
+	if other.HasRange {
+		if !c.HasRange || other.Min < c.Min {
+			c.Min = other.Min
+		}
+		if !c.HasRange || other.Max > c.Max {
+			c.Max = other.Max
+		}
+		c.HasRange = true
+	}
+	if other.HasStrRange {
+		if !c.HasStrRange || other.MinStr < c.MinStr {
+			c.MinStr = other.MinStr
+		}
+		if !c.HasStrRange || other.MaxStr > c.MaxStr {
+			c.MaxStr = other.MaxStr
+		}
+		c.HasStrRange = true
+	}
+	if other.NDV != nil {
+		if c.NDV == nil {
+			c.NDV = NewSketch()
+		}
+		c.NDV.Merge(other.NDV)
+	}
+	if other.Hist != nil {
+		if c.Hist == nil {
+			c.Hist = NewHistogram()
+		}
+		c.Hist.Merge(other.Hist)
+	}
+}
+
+// Clone deep-copies the stats.
+func (c *ColumnStats) Clone() *ColumnStats {
+	out := *c
+	if c.NDV != nil {
+		out.NDV = c.NDV.Clone()
+	}
+	if c.Hist != nil {
+		out.Hist = c.Hist.Clone()
+	}
+	return &out
+}
+
+// DistinctValues returns the estimated NDV, at least 1 when the column has
+// any non-null values.
+func (c *ColumnStats) DistinctValues() float64 {
+	if c.NDV == nil || c.NonNull == 0 {
+		return 0
+	}
+	e := c.NDV.Estimate()
+	if e < 1 {
+		e = 1
+	}
+	if e > float64(c.NonNull) {
+		e = float64(c.NonNull)
+	}
+	return e
+}
+
+// NullFraction returns the fraction of rows that are NULL.
+func (c *ColumnStats) NullFraction() float64 {
+	n := c.NonNull + c.Nulls
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Nulls) / float64(n)
+}
+
+// FileStats carries statistics for one sealed data file. Columns is
+// indexed by top-level column position in the file schema; entries are nil
+// for unsupported (complex/binary) columns.
+type FileStats struct {
+	Rows    int64
+	Bytes   int64
+	Columns []*ColumnStats
+}
+
+// TableStats is the merged view over a table's currently visible file set.
+type TableStats struct {
+	Rows    int64
+	Bytes   int64
+	Files   int
+	Columns map[string]*ColumnStats // keyed by column name
+}
+
+// Column returns the stats for a named column, or nil.
+func (t *TableStats) Column(name string) *ColumnStats {
+	if t == nil {
+		return nil
+	}
+	return t.Columns[name]
+}
+
+// RowWidth returns the average encoded bytes per row, or 0 if unknown.
+func (t *TableStats) RowWidth() float64 {
+	if t == nil || t.Rows == 0 {
+		return 0
+	}
+	return float64(t.Bytes) / float64(t.Rows)
+}
+
+// Collector gathers FileStats while a writer streams rows. Built from the
+// file schema; Add expects rows in schema column order (the writer's
+// validated row shape).
+type Collector struct {
+	cols []*ColumnStats // nil for unsupported columns
+	rows int64
+}
+
+// NewCollector creates a collector for schema's top-level columns.
+func NewCollector(schema *types.Schema) *Collector {
+	c := &Collector{cols: make([]*ColumnStats, len(schema.Columns))}
+	for i, f := range schema.Columns {
+		if statable(f.Type.Kind) {
+			c.cols[i] = NewColumnStats(f.Name, f.Type.Kind)
+		}
+	}
+	return c
+}
+
+// Add folds one row.
+func (c *Collector) Add(row []any) {
+	c.rows++
+	for i, cs := range c.cols {
+		if cs == nil || i >= len(row) {
+			continue
+		}
+		cs.Update(normalize(row[i]))
+	}
+}
+
+// normalize widens writer-accepted representations to the canonical stat
+// types (int64 / float64 / string / bool). Rows are validated by the ORC
+// writer before reaching the collector, so anything else maps to NULL.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	case float32:
+		return float64(x)
+	case float64:
+		return x
+	case string, bool:
+		return x
+	default:
+		return nil
+	}
+}
+
+// Finish seals the collector into FileStats with the given encoded size.
+func (c *Collector) Finish(bytes int64) *FileStats {
+	return &FileStats{Rows: c.rows, Bytes: bytes, Columns: c.cols}
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestSketchRelativeError pins the NDV sketch's relative error at ≤5%
+// across five orders of magnitude of true cardinality, for both integer
+// and string value streams (including duplicate-heavy streams, which must
+// not inflate the estimate).
+func TestSketchRelativeError(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 10_000, 100_000, 1_000_000} {
+		t.Run(fmt.Sprintf("int-%d", n), func(t *testing.T) {
+			s := NewSketch()
+			for i := 0; i < n; i++ {
+				s.Add(int64(i))
+				if i%3 == 0 {
+					s.Add(int64(i)) // duplicates must not change the estimate
+				}
+			}
+			checkRelErr(t, s.Estimate(), float64(n), 0.05)
+		})
+		t.Run(fmt.Sprintf("str-%d", n), func(t *testing.T) {
+			s := NewSketch()
+			for i := 0; i < n; i++ {
+				s.Add(fmt.Sprintf("value-%d", i))
+			}
+			checkRelErr(t, s.Estimate(), float64(n), 0.05)
+		})
+	}
+}
+
+func checkRelErr(t *testing.T, got, want, bound float64) {
+	t.Helper()
+	rel := math.Abs(got-want) / want
+	if rel > bound {
+		t.Fatalf("estimate %.0f for true cardinality %.0f: relative error %.3f > %.2f", got, want, rel, bound)
+	}
+}
+
+// TestSketchMergeAssociativeCommutative proves merge order and grouping
+// are irrelevant: ((a∪b)∪c), (a∪(b∪c)), and (c∪(b∪a)) produce identical
+// registers, and a merged sketch equals one fed the union stream directly.
+func TestSketchMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]*Sketch, 3)
+	union := NewSketch()
+	for p := range parts {
+		parts[p] = NewSketch()
+		for i := 0; i < 5000; i++ {
+			v := int64(rng.Intn(12_000)) // overlapping domains
+			parts[p].Add(v)
+			union.Add(v)
+		}
+	}
+	ab := parts[0].Clone()
+	ab.Merge(parts[1])
+	abc := ab.Clone()
+	abc.Merge(parts[2])
+
+	bc := parts[1].Clone()
+	bc.Merge(parts[2])
+	aBC := parts[0].Clone()
+	aBC.Merge(bc)
+
+	cba := parts[2].Clone()
+	cba.Merge(parts[1])
+	cba.Merge(parts[0])
+
+	for i := range abc.reg {
+		if abc.reg[i] != aBC.reg[i] || abc.reg[i] != cba.reg[i] {
+			t.Fatalf("register %d differs across merge orders: %d %d %d", i, abc.reg[i], aBC.reg[i], cba.reg[i])
+		}
+		if abc.reg[i] != union.reg[i] {
+			t.Fatalf("register %d: merged %d != direct union %d", i, abc.reg[i], union.reg[i])
+		}
+	}
+}
+
+// TestHistogramMergeUnderCompaction models the delta-file lifecycle: many
+// small per-delta histograms merged together (as table-stat derivation
+// does) must estimate range fractions close to one histogram fed the whole
+// stream (as a major compaction's single output file produces), and both
+// must be close to ground truth.
+func TestHistogramMergeUnderCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const deltas, perDelta = 16, 2000
+	var all []float64
+	merged := NewHistogram()
+	compacted := NewHistogram()
+	for d := 0; d < deltas; d++ {
+		h := NewHistogram()
+		for i := 0; i < perDelta; i++ {
+			// Skewed stream: each delta covers a shifting window, so merge
+			// must rebin across disjoint-ish domains.
+			v := float64(d*1000) + rng.NormFloat64()*300
+			all = append(all, v)
+			h.Add(v)
+			compacted.Add(v)
+		}
+		merged.Merge(h)
+	}
+	if got, want := merged.Total(), float64(deltas*perDelta); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("merge lost mass: total %.2f want %.0f", got, want)
+	}
+	for _, q := range [][2]float64{{math.Inf(-1), 3000}, {2000, 9000}, {12_000, math.Inf(1)}, {5000, 5500}} {
+		truth := 0.0
+		for _, v := range all {
+			if v >= q[0] && v <= q[1] {
+				truth++
+			}
+		}
+		truth /= float64(len(all))
+		for name, h := range map[string]*Histogram{"merged": merged, "compacted": compacted} {
+			got := h.FractionBetween(q[0], q[1])
+			if math.Abs(got-truth) > 0.08 {
+				t.Errorf("%s FractionBetween(%v, %v) = %.3f, truth %.3f (abs err > 0.08)", name, q[0], q[1], got, truth)
+			}
+		}
+	}
+}
+
+// TestHistogramGrowth pins the dynamic-domain behavior: monotone inserts
+// (auto-increment keys) keep all mass and sane range estimates.
+func TestHistogramGrowth(t *testing.T) {
+	h := NewHistogram()
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total() != n {
+		t.Fatalf("total %.0f want %d", h.Total(), n)
+	}
+	got := h.FractionBetween(0, n/2)
+	if math.Abs(got-0.5) > 0.08 {
+		t.Fatalf("FractionBetween(0, n/2) = %.3f, want ~0.5", got)
+	}
+	if f := h.FractionBetween(2*n, 3*n); f != 0 {
+		t.Fatalf("out-of-range fraction = %.3f, want 0", f)
+	}
+}
+
+func TestColumnStatsMergeMatchesDirect(t *testing.T) {
+	a := NewColumnStats("x", types.Long)
+	b := NewColumnStats("x", types.Long)
+	direct := NewColumnStats("x", types.Long)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		v := int64(rng.Intn(500))
+		var tgt *ColumnStats
+		if i%2 == 0 {
+			tgt = a
+		} else {
+			tgt = b
+		}
+		if v%17 == 0 {
+			tgt.Update(nil)
+			direct.Update(nil)
+		} else {
+			tgt.Update(v)
+			direct.Update(v)
+		}
+	}
+	a.Merge(b)
+	if a.NonNull != direct.NonNull || a.Nulls != direct.Nulls {
+		t.Fatalf("counts diverge: merged %d/%d direct %d/%d", a.NonNull, a.Nulls, direct.NonNull, direct.Nulls)
+	}
+	if a.Min != direct.Min || a.Max != direct.Max {
+		t.Fatalf("range diverges: merged [%v,%v] direct [%v,%v]", a.Min, a.Max, direct.Min, direct.Max)
+	}
+	if a.NDV.Estimate() != direct.NDV.Estimate() {
+		t.Fatalf("NDV diverges: merged %.1f direct %.1f", a.NDV.Estimate(), direct.NDV.Estimate())
+	}
+}
+
+func TestCatalogDeriveVersioningAndPruning(t *testing.T) {
+	c := NewCatalog()
+	schema := types.NewSchema(types.Col("id", types.Primitive(types.Long)))
+	mk := func(rows int64, vals ...int64) *FileStats {
+		col := NewCollector(schema)
+		for _, v := range vals {
+			col.Add([]any{v})
+		}
+		fs := col.Finish(rows * 10)
+		return fs
+	}
+	c.RecordFile("t", "f1", mk(2, 1, 2))
+	c.RecordFile("t", "f2", mk(3, 3, 4, 5))
+
+	ts, ok := c.Derive("t", 1, []string{"f1", "f2"})
+	if !ok || ts.Rows != 5 || ts.Files != 2 {
+		t.Fatalf("derive: ok=%v ts=%+v", ok, ts)
+	}
+	if got := ts.Column("id").NonNull; got != 5 {
+		t.Fatalf("merged NonNull = %d, want 5", got)
+	}
+
+	// Same version: cached pointer, even if files change underneath.
+	c.RecordFile("t", "f3", mk(1, 9))
+	ts2, ok := c.Derive("t", 1, []string{"f1", "f2"})
+	if !ok || ts2 != ts {
+		t.Fatal("expected cached derived stats at same version")
+	}
+
+	// Missing file stats → miss, cached as miss for that version.
+	if _, ok := c.Derive("t", 2, []string{"f1", "unknown"}); ok {
+		t.Fatal("expected miss when a visible file has no stats")
+	}
+	if _, ok := c.Derive("t", 2, []string{"f1", "f2"}); ok {
+		t.Fatal("miss should be cached per version")
+	}
+
+	// Compaction: f1+f2 replaced by f3; old entries pruned.
+	ts3, ok := c.Derive("t", 3, []string{"f3"})
+	if !ok || ts3.Rows != 1 {
+		t.Fatalf("post-compaction derive: ok=%v rows=%d", ok, ts3.Rows)
+	}
+	if n := c.FileCount("t"); n != 1 {
+		t.Fatalf("expected pruning to leave 1 file entry, got %d", n)
+	}
+}
+
+func TestCollectorSkipsComplexColumns(t *testing.T) {
+	schema := types.NewSchema(
+		types.Col("id", types.Primitive(types.Long)),
+		types.Col("tags", types.NewArray(types.Primitive(types.String))),
+	)
+	col := NewCollector(schema)
+	col.Add([]any{int64(1), []any{"a"}})
+	fs := col.Finish(100)
+	if fs.Columns[0] == nil || fs.Columns[1] != nil {
+		t.Fatalf("expected stats for primitive only: %v %v", fs.Columns[0], fs.Columns[1])
+	}
+	if fs.Rows != 1 {
+		t.Fatalf("rows = %d", fs.Rows)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/fileformat"
+	"repro/internal/stats"
 )
 
 // TaskFaulter injects crashes into compaction attempts; it is the same
@@ -252,6 +253,10 @@ func (m *Manager) compactAttempt(st *tableState, nonce int64, attempt int, opts 
 		m.fs.RemoveAll(tmpDir)
 		return res, err
 	}
+	var outStats *stats.FileStats
+	if src, ok := w.(fileformat.FileStatsSource); ok {
+		outStats = src.FileStatistics()
+	}
 	if crashPub != nil {
 		// Simulated crash after the output sealed but before publication:
 		// a complete, orphaned temp file nobody references.
@@ -329,6 +334,20 @@ func (m *Manager) compactAttempt(st *tableState, nonce int64, attempt int, opts 
 	// every snapshot alive at publication: an in-flight reader that
 	// resolved the old file set must be able to finish its scan.
 	m.deferRemoval(replaced)
+
+	// A compaction is a write like any other: record the output file's
+	// catalog stats, then fire the commit hook so the metastore version
+	// moves and table stats re-derive over the new file set (the unified
+	// write-invalidation path — same ordering as Txn.Commit).
+	if sink := m.fileStatsSink(); sink != nil && outStats != nil {
+		sink(info.Name, finalPath, outStats)
+	}
+	m.hookMu.Lock()
+	hook := m.commitHook
+	m.hookMu.Unlock()
+	if hook != nil {
+		hook(info)
+	}
 	res.Compacted = true
 	res.OutputFiles = []string{finalPath}
 	res.Rows = rows

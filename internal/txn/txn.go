@@ -25,6 +25,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/fileformat"
 	"repro/internal/obs"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -128,6 +129,7 @@ type Manager struct {
 	commitHook    func(TableInfo)    // fired once per table per commit (cache invalidation)
 	autoThreshold int                // deltas that trigger auto-compaction; 0 disables
 	autoRun       func(table string) // scheduled by commit when threshold is reached
+	statsSink     func(table, path string, fs *stats.FileStats)
 }
 
 // NewManager creates a transaction manager over the DFS.
@@ -159,6 +161,25 @@ func (m *Manager) SetCommitHook(hook func(TableInfo)) {
 	m.hookMu.Lock()
 	m.commitHook = hook
 	m.hookMu.Unlock()
+}
+
+// SetFileStatsSink installs the catalog-stats hook: as a commit or
+// compaction publishes files whose writers collected column statistics
+// (ORC), sink runs once per file, before the commit hook's cache
+// invalidation — so by the time the metastore version moves, the catalog
+// already covers the new files. Core wires this to the metastore stats
+// catalog (S25).
+func (m *Manager) SetFileStatsSink(sink func(table, path string, fs *stats.FileStats)) {
+	m.hookMu.Lock()
+	m.statsSink = sink
+	m.hookMu.Unlock()
+}
+
+// fileStatsSink reads the installed sink (nil when unset).
+func (m *Manager) fileStatsSink() func(table, path string, fs *stats.FileStats) {
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
+	return m.statsSink
 }
 
 // SetAutoCompaction arranges for run(table) to be called whenever a commit
@@ -393,12 +414,32 @@ func SnapshotFrom(ctx context.Context) *Snapshot {
 
 // deltaWrite accumulates one transaction's writes to one table.
 type deltaWrite struct {
-	info  TableInfo
-	dir   string
-	w     fileformat.Writer
-	part  int
-	files []string
-	rows  int64
+	info   TableInfo
+	dir    string
+	w      fileformat.Writer
+	part   int
+	files  []string
+	rows   int64
+	fstats map[string]*stats.FileStats // per sealed file, for the stats sink
+}
+
+// sealLocked closes the current delta file and captures its catalog stats
+// (stats-collecting writers only); no-op when no file is open.
+func (dw *deltaWrite) sealLocked() error {
+	if dw.w == nil {
+		return nil
+	}
+	err := dw.w.Close()
+	if err == nil {
+		if src, ok := dw.w.(fileformat.FileStatsSource); ok {
+			if dw.fstats == nil {
+				dw.fstats = map[string]*stats.FileStats{}
+			}
+			dw.fstats[dw.files[len(dw.files)-1]] = src.FileStatistics()
+		}
+	}
+	dw.w = nil
+	return err
 }
 
 // Txn is one write transaction. Write/NewFile stage rows into delta files
@@ -464,10 +505,9 @@ func (t *Txn) NewFile(table string) error {
 	if dw.w == nil {
 		return nil // nothing written yet; next Write opens the first file
 	}
-	if err := dw.w.Close(); err != nil {
+	if err := dw.sealLocked(); err != nil {
 		return fmt.Errorf("txn %d: sealing %s: %w", t.id, dw.files[len(dw.files)-1], err)
 	}
-	dw.w = nil
 	return nil
 }
 
@@ -511,12 +551,7 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("txn %d: commit in state %s", t.id, t.state)
 	}
 	for _, dw := range t.writes {
-		if dw.w == nil {
-			continue
-		}
-		err := dw.w.Close()
-		dw.w = nil
-		if err != nil {
+		if err := dw.sealLocked(); err != nil {
 			t.abortLocked()
 			return fmt.Errorf("txn %d: sealing delta: %w", t.id, err)
 		}
@@ -526,6 +561,7 @@ func (t *Txn) Commit() error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	sink := t.m.fileStatsSink()
 	published := make([]struct {
 		info   TableInfo
 		deltas int
@@ -544,6 +580,16 @@ func (t *Txn) Commit() error {
 		if err != nil {
 			t.abortLocked()
 			return fmt.Errorf("txn %d: publishing delta for %s: %w", t.id, name, err)
+		}
+		if sink != nil {
+			// Record catalog stats for the published files before the commit
+			// hook below bumps the metastore version, so a derivation at the
+			// post-commit version already covers this delta.
+			for _, f := range dw.files {
+				if fs := dw.fstats[f]; fs != nil {
+					sink(name, f, fs)
+				}
+			}
 		}
 		t.m.stats.DeltaFiles.Add(int64(len(dw.files)))
 		t.m.stats.DeltaRows.Add(dw.rows)
