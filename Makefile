@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap bench-join bench-cbo bench-concurrency bench-acid faults difftest obs
+.PHONY: check vet build test race race-core bench-llap bench-join bench-cbo bench-concurrency bench-acid bench-ops faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
 # must pass. `make race` remains the full-repo race sweep. The bench steps
@@ -17,6 +17,9 @@ check: vet build test race-core
 	$(GO) test -run=TestConcurrencyShape -count=1 ./internal/bench
 	$(GO) test -run=TestACIDShape -count=1 ./internal/bench
 	$(GO) test -run=TestCBOShape -count=1 ./internal/bench
+	$(GO) test -run=TestOpsShape -count=1 ./internal/bench
+	$(GO) test -run=TestAdminPlane -count=1 ./internal/server
+	$(GO) test -run=TestSysTablesAllEngines -count=1 ./internal/core
 
 # race-core is the fast race pass over the correctness-critical packages
 # (the differential harness, the engine layers it drives, the multi-tenant
@@ -26,7 +29,7 @@ check: vet build test race-core
 # counters those layers mutate while queries run, and the statistics
 # catalog that write commits and query planning update concurrently).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap ./internal/stats
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap ./internal/stats ./internal/sysdb
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +69,12 @@ bench-concurrency:
 # with/without-compaction ablation.
 bench-acid:
 	$(GO) run ./cmd/benchrunner -exp acid
+
+# bench-ops reproduces E17: the E14 workload with the observability plane
+# off vs on (query history + sampling + slow capture + a live Prometheus
+# scraper over loopback HTTP), reporting the throughput overhead.
+bench-ops:
+	$(GO) run ./cmd/benchrunner -exp ops
 
 # faults runs the E10 fault matrix: seeded task crashes, read faults, a
 # corrupt block, stragglers and cache faults on all three engines.

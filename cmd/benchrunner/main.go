@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|cbo|llap|concurrency|faults|obs|acid|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|cbo|llap|concurrency|faults|obs|acid|ops|ablations|all, or diff (E11, only when named explicitly)")
 	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
@@ -32,6 +32,7 @@ func main() {
 	diffQueries := flag.Int("diff-queries", 500, "generated queries for the differential fuzzer (E11)")
 	concMax := flag.Int("conc-max", 256, "largest client count for the concurrency experiment (E14)")
 	concQueries := flag.Int("conc-queries", 4, "interactive queries per client for the concurrency experiment (E14)")
+	opsClients := flag.Int("ops-clients", 64, "client count for the observability-overhead experiment (E17)")
 	acidRows := flag.Int("acid-rows", 24000, "rows streamed into the ACID table for E15")
 	acidReads := flag.Int("acid-reads", 24, "measurement reads for E15's compaction phases")
 	flag.Parse()
@@ -167,6 +168,14 @@ func main() {
 			return err
 		}
 		bench.PrintACID(os.Stdout, rep)
+		return nil
+	})
+	run("ops", func() error {
+		rep, err := bench.RunOps(cfg, *opsClients, *concQueries)
+		if err != nil {
+			return err
+		}
+		bench.PrintOps(os.Stdout, rep)
 		return nil
 	})
 	run("obs", func() error {

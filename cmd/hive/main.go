@@ -15,7 +15,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,7 +42,12 @@ func main() {
 	engine := flag.String("engine", "mapreduce", "execution engine: mapreduce|tez|llap")
 	serve := flag.Bool("serve", false,
 		"route queries through the multi-tenant query server: sessions, resource pools, admission control (\\sessions, \\pool, \\pools)")
+	httpAddr := flag.String("http", "",
+		"with -serve: listen address for the HTTP admin plane, e.g. :8080 (Prometheus /metrics, /debug/queries, /debug/trace/<qid>, /healthz, /readyz)")
 	flag.Parse()
+	if *httpAddr != "" && !*serve {
+		fatalIf(fmt.Errorf("-http requires -serve (the admin plane reports server state)"))
+	}
 
 	kind, err := fileformat.ParseKind(strings.ToUpper(*format))
 	fatalIf(err)
@@ -100,6 +107,16 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("server mode: session %s in pool %q (\\sessions lists, \\pools shows admission stats)\n",
 			sess.ID(), sess.Pool())
+		if *httpAddr != "" {
+			hs := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+			go func() {
+				if err := server.Serve(context.Background(), hs); err != nil {
+					fmt.Fprintln(os.Stderr, "hive: admin plane:", err)
+				}
+			}()
+			defer hs.Close()
+			fmt.Printf("admin plane on %s: /metrics /debug/queries /debug/trace/<qid> /healthz /readyz\n", *httpAddr)
+		}
 	}
 
 	fmt.Println(`enter a SELECT statement on one line ("\help" lists commands; EXPLAIN ANALYZE <sql> profiles a query)`)
@@ -135,6 +152,10 @@ func main() {
   \compact <table> [major] run a minor (merge deltas) or major (fold into a
                           new base) compaction on an ACID table now
   \timeout <dur>|off      bound query wall time (e.g. \timeout 30s)
+  \history [N]            last N query-history records (default 10): state,
+                          wall time, rows, bytes — same data as sys.queries
+  \sys                    list the queryable sys.* virtual tables and their
+                          columns (e.g. SELECT qid, wall_ms FROM sys.queries)
 server mode (-serve):
   \sessions               list open sessions (current one starred)
   \session new [pool]     open a session (in pool) and switch to it
@@ -251,6 +272,56 @@ statements: SELECT ...; EXPLAIN <select>; EXPLAIN ANALYZE <select>
 				fmt.Printf("%s compaction merged %d delta(s) (%d file(s), %d row(s)) into %d file(s), up through txn %d\n",
 					res.Kind, res.InputDeltas, res.InputFiles, res.Rows, len(res.OutputFiles), res.Ceiling)
 			}
+		case line == `\history` || strings.HasPrefix(line, `\history `):
+			n := 10
+			if arg := strings.TrimSpace(strings.TrimPrefix(line, `\history`)); arg != "" {
+				if v, err := strconv.Atoi(arg); err != nil || v <= 0 {
+					fmt.Println(`usage: \history [N]`)
+					continue
+				} else {
+					n = v
+				}
+			}
+			hist := env.Driver.History()
+			if !hist.Enabled() {
+				fmt.Println("query history is disabled in this session's configuration")
+				continue
+			}
+			recs := hist.Tail(n)
+			if len(recs) == 0 {
+				fmt.Println("no queries recorded yet")
+				continue
+			}
+			fmt.Printf("%-5s %-10s %-9s %9s %8s %12s %6s %s\n",
+				"qid", "state", "engine", "wall", "rows", "bytes", "trace", "query")
+			for _, r := range recs {
+				traced := ""
+				if r.Traced {
+					traced = "yes"
+				}
+				q := r.Query
+				if len(q) > 48 {
+					q = q[:45] + "..."
+				}
+				fmt.Printf("%-5d %-10s %-9s %9s %8d %12d %6s %s\n",
+					r.ID, r.State, r.Engine, r.Wall.Round(time.Millisecond),
+					r.ActualRows, r.TotalBytes, traced, q)
+			}
+			fmt.Printf("%d recorded in total; sys.queries holds the same data for SQL (\\sys lists tables)\n", hist.Total())
+		case line == `\sys`:
+			for _, name := range env.Driver.SysTables() {
+				sch, err := env.Driver.SysTableSchema(name)
+				if err != nil {
+					fmt.Printf("%s: %v\n", name, err)
+					continue
+				}
+				cols := make([]string, len(sch.Columns))
+				for i, c := range sch.Columns {
+					cols[i] = c.Name
+				}
+				fmt.Printf("%-16s %s\n", name, strings.Join(cols, ", "))
+			}
+			fmt.Println(`query them like any table: SELECT qid, wall_ms FROM sys.queries WHERE state = 'ok'`)
 		case line == `\pools`:
 			if srv == nil {
 				fmt.Println("no server: start with -serve")

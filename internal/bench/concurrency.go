@@ -112,7 +112,7 @@ GROUP BY l_returnflag, l_linestatus`
 
 	rep := &ConcurrencyReport{CompareClients: compareClients}
 	for _, n := range levels {
-		row, _, err := runConcurrencyLevel(d, n, perClient, true, interQ, batchQ, refInter, refBatch)
+		row, _, err := runConcurrencyLevel(d, n, perClient, true, interQ, batchQ, refInter, refBatch, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -124,12 +124,12 @@ GROUP BY l_returnflag, l_linestatus`
 	// single pair is too noisy for a few-millisecond tail effect.
 	var withLat, withoutLat []time.Duration
 	for r := 0; r < ablationReps; r++ {
-		_, lat, err := runConcurrencyLevel(d, compareClients, perClient, true, interQ, batchQ, refInter, refBatch)
+		_, lat, err := runConcurrencyLevel(d, compareClients, perClient, true, interQ, batchQ, refInter, refBatch, nil)
 		if err != nil {
 			return nil, err
 		}
 		withLat = append(withLat, lat...)
-		_, lat, err = runConcurrencyLevel(d, compareClients, perClient, false, interQ, batchQ, refInter, refBatch)
+		_, lat, err = runConcurrencyLevel(d, compareClients, perClient, false, interQ, batchQ, refInter, refBatch, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -169,8 +169,10 @@ func renderConcRows(res *core.Result) string {
 // stop, genuinely returning their executors, where the LLAP daemon would
 // finish abandoned tasks it owns. Preemption=false demotes the pools to
 // plain admission — same budgets, no cancel-and-requeue.
+// onServer, when non-nil, observes the freshly built server before clients
+// start (E17 points its HTTP admin plane and metrics scraper at it).
 func runConcurrencyLevel(d *core.Driver, clients, perClient int, preemption bool,
-	interQ, batchQ, refInter, refBatch string) (ConcurrencyRow, []time.Duration, error) {
+	interQ, batchQ, refInter, refBatch string, onServer func(*server.Server)) (ConcurrencyRow, []time.Duration, error) {
 	srv := server.New(d, server.ManagerConfig{
 		TotalSlots: concSlots,
 		Pools: []server.PoolConfig{
@@ -182,6 +184,9 @@ func runConcurrencyLevel(d *core.Driver, clients, perClient int, preemption bool
 		},
 	})
 	defer srv.Close()
+	if onServer != nil {
+		onServer(srv)
+	}
 
 	// 1:2 interactive:batch — batch supplies the slot pressure, and the
 	// lighter interactive population measures latency under it. (With the

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mapred"
 	"repro/internal/optimizer"
 	"repro/internal/orc"
+	"repro/internal/sysdb"
 	"repro/internal/types"
 	"repro/internal/workload"
 )
@@ -113,6 +114,10 @@ type EnvConfig struct {
 	// speculative execution), datanode read faults into the DFS, lookup
 	// faults into the LLAP chunk cache (E10).
 	Faults faultinject.Config
+	// History configures the driver's query history (S26); the zero value
+	// records with default sampling, Disabled turns the plane off (E17's
+	// baseline arm).
+	History sysdb.Config
 }
 
 func (c *EnvConfig) withDefaults() EnvConfig {
@@ -156,7 +161,7 @@ func NewEnv(cfg EnvConfig, tables []TableSpec) (*Env, map[string]time.Duration, 
 		}
 	}
 	engine := mapred.NewEngine(ecfg)
-	conf := core.Config{Opt: c.Opt}
+	conf := core.Config{Opt: c.Opt, History: c.History}
 	switch {
 	case c.LLAP:
 		conf.Engine = core.ModeLLAP

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOpsShape is the E17 smoke: both arms must answer byte-identically
+// with zero errors, the observed arm's history must actually record (and
+// the live HTTP scraper must actually scrape), and the print path must
+// stay in sync with the report.
+func TestOpsShape(t *testing.T) {
+	rep, err := RunOps(tinyCfg(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []struct {
+		name string
+		row  ConcurrencyRow
+	}{{"baseline", rep.Baseline}, {"observed", rep.Observed}} {
+		if !arm.row.Consistent {
+			t.Errorf("%s arm diverged from the serial reference", arm.name)
+		}
+		if arm.row.Errors > 0 {
+			t.Errorf("%s arm: %d query errors", arm.name, arm.row.Errors)
+		}
+		if arm.row.Queries == 0 || arm.row.Throughput <= 0 {
+			t.Errorf("%s arm: no throughput measured (%+v)", arm.name, arm.row)
+		}
+	}
+	if rep.Recorded == 0 {
+		t.Error("observed arm recorded no queries")
+	}
+	if rep.Scrapes == 0 {
+		t.Error("scraper never scraped the admin plane")
+	}
+	if rep.ScrapeErrors > 0 {
+		t.Errorf("%d scrape errors against the admin plane", rep.ScrapeErrors)
+	}
+	if rep.MetricsBytes == 0 {
+		t.Error("no /metrics exposition observed")
+	}
+
+	var buf bytes.Buffer
+	PrintOps(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"E17", "baseline", "observed", "overhead", "scrapes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintOps output missing %q", want)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/stats"
+	"repro/internal/sysdb"
 	"repro/internal/txn"
 	"repro/internal/types"
 )
@@ -70,6 +71,10 @@ type Config struct {
 	// auto-compaction (tests and crash drills drive compaction manually).
 	// Read once, when the session's transaction manager starts.
 	AutoCompactDeltas int
+	// History sizes the query history and slow-query capture (S26).
+	// Zero-value fields take sysdb defaults. Read once, when the first
+	// query (or sys-table lookup) starts the history.
+	History sysdb.Config
 }
 
 // Driver is the session façade (Figure 1). Since the multi-tenant server
@@ -95,8 +100,14 @@ type Driver struct {
 	reg     *obs.Registry // built on first Registry() call
 	regLLAP bool          // LLAP stats structs registered (at most once)
 	regTxn  bool          // txn manager stats registered (at most once)
+	regHist bool          // query-history stats registered (at most once)
 
 	queryHist atomic.Pointer[obs.Histogram] // per-query latency, set with the registry
+
+	hist atomic.Pointer[sysdb.History] // query history; built on first use
+
+	sysMu    sync.Mutex
+	sysExtra map[string]sysdb.TableDef // subsystem-registered sys.* tables
 }
 
 // NewDriver assembles a driver over a DFS and a MapReduce engine.
@@ -129,6 +140,33 @@ func (d *Driver) LLAP() *llap.Daemon {
 		d.llapDaemon = llap.NewDaemon(cfg)
 	}
 	return d.llapDaemon
+}
+
+// StartedLLAP returns the daemon if one has been started, nil otherwise —
+// unlike LLAP it never starts one as a side effect. Readiness probes use
+// it: a never-started daemon is not a failure, a closed one is.
+func (d *Driver) StartedLLAP() *llap.Daemon {
+	d.llapMu.Lock()
+	defer d.llapMu.Unlock()
+	return d.llapDaemon
+}
+
+// History returns the session's query history, starting it (from the
+// configuration's History block, read once) on first use. Like the LLAP
+// daemon it outlives individual queries; unlike it, it always exists —
+// a Disabled config yields an inert history whose Begin returns nil.
+func (d *Driver) History() *sysdb.History {
+	if h := d.hist.Load(); h != nil {
+		return h
+	}
+	d.confMu.RLock()
+	cfg := d.conf.History
+	d.confMu.RUnlock()
+	h := sysdb.New(d.fs, cfg)
+	if d.hist.CompareAndSwap(nil, h) {
+		return h
+	}
+	return d.hist.Load()
 }
 
 // Registry returns the session's unified metrics registry: the DFS, engine
@@ -171,10 +209,17 @@ func (d *Driver) Registry() *obs.Registry {
 			d.regTxn = true
 		}
 	}
+	if !d.regHist {
+		if h := d.History(); h.Enabled() {
+			obs.RegisterStruct(d.reg, "sysdb", h.Stats())
+		}
+		d.regHist = true
+	}
 	return d.reg
 }
 
-// Close releases session resources (the LLAP daemon's workers, if started).
+// Close releases session resources: the LLAP daemon's workers (if
+// started) and any query-history records not yet flushed to the DFS.
 func (d *Driver) Close() {
 	d.llapMu.Lock()
 	daemon := d.llapDaemon
@@ -183,6 +228,7 @@ func (d *Driver) Close() {
 	if daemon != nil {
 		daemon.Close()
 	}
+	d.hist.Load().Flush()
 }
 
 // Config returns a copy of the active configuration.
@@ -366,7 +412,7 @@ func (d *Driver) explainStaged(ctx context.Context, conf *Config, query string) 
 		return nil, nil, nil, err
 	}
 	_, sp = obs.StartSpan(ctx, "plan", obs.CatPhase)
-	p, err := plan.NewPlanner(d.meta, &conf.Planner).Plan(stmt)
+	p, err := plan.NewPlanner(sysCatalog{d}, &conf.Planner).Plan(stmt)
 	sp.FinishErr(err)
 	if err != nil {
 		return nil, nil, nil, err
@@ -506,38 +552,94 @@ func (d *Driver) RunContext(ctx context.Context, query string) (*Result, error) 
 // sessions — each with its own engine and optimizer settings — through
 // one shared driver concurrently.
 func (d *Driver) RunWith(ctx context.Context, conf Config, query string) (*Result, error) {
-	qid := d.queryID.Add(1)
-	start := time.Now()
-	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
-	qsp.SetAttr("engine", conf.Engine.String())
-	res, err := d.runStaged(ctx, &conf, qid, query)
-	qsp.FinishErr(err)
-	d.queryHist.Load().ObserveDuration(time.Since(start))
+	res, _, _, err := d.runTracked(ctx, &conf, query, false)
 	return res, err
 }
 
-func (d *Driver) runStaged(ctx context.Context, conf *Config, qid int64, query string) (*Result, error) {
+// runTracked is the shared run path under query-history accounting: it
+// assigns the query id, opens the query span, decides tracing (a
+// caller-installed tracer is adopted; otherwise the history's 1-in-N
+// sampler may install one), runs the staged pipeline, and retires the
+// query into the history with its final state and byte/row tallies.
+func (d *Driver) runTracked(ctx context.Context, conf *Config, query string, profiled bool) (*Result, *plan.Plan, *obs.PlanProfile, error) {
+	qid := d.queryID.Add(1)
+	h := d.History()
+	meta := sysdb.MetaFrom(ctx)
+	lq := h.Begin(qid, query, conf.Engine.String(), meta)
+	if lq != nil {
+		if t := obs.TracerFrom(ctx); t != nil {
+			lq.AttachTrace(t, false)
+		} else if h.SampleNext() {
+			t := obs.NewTracer()
+			ctx = obs.WithTracer(ctx, t)
+			lq.AttachTrace(t, true)
+		}
+	}
+	start := time.Now()
+	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
+	qsp.SetAttr("engine", conf.Engine.String())
+	res, p, prof, err := d.runStaged(ctx, conf, qid, query, profiled, lq, h)
+	qsp.FinishErr(err)
+	wall := time.Since(start)
+	d.queryHist.Load().ObserveDuration(wall)
+	if lq != nil {
+		o := sysdb.Outcome{Err: err, Wall: wall}
+		if err != nil {
+			if ctx.Err() != nil {
+				o.Cancelled = true
+			}
+			if meta.Classify != nil {
+				o.State = meta.Classify(err, context.Cause(ctx))
+			}
+		}
+		if res != nil {
+			o.ActualRows = int64(len(res.Rows))
+			o.DFSBytes = res.Stats.DFSBytesRead
+			o.CacheBytes = res.Stats.CacheBytesRead
+			o.TotalBytes = res.Stats.TotalBytesRead
+			o.ShuffleBytes = res.Stats.ShuffleBytes
+			o.Retries = res.Stats.RetriedTasks
+			o.FailedTasks = res.Stats.FailedTasks
+		}
+		lq.Finish(o, prof)
+	}
+	return res, p, prof, err
+}
+
+func (d *Driver) runStaged(ctx context.Context, conf *Config, qid int64, query string, profiled bool, lq *sysdb.LiveQuery, h *sysdb.History) (*Result, *plan.Plan, *obs.PlanProfile, error) {
 	stmt, p, compiled, err := d.explainStaged(ctx, conf, query)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
+	}
+	lq.SetPlan(planFingerprint(p), planEstRows(p))
+	if lq != nil && !lq.Traced() && h.SlowCandidate(d.planScanBytes(p)) {
+		// Slow-candidate pre-trace: the plan is about to scan enough bytes
+		// to plausibly cross the slow threshold, so install a tracer now.
+		// Parse/plan spans are already past — for a slow query the
+		// execution is what matters; the capture is only retained if the
+		// run actually proves slow.
+		t := obs.NewTracer()
+		ctx = obs.WithTracer(ctx, t)
+		lq.AttachTrace(t, false)
 	}
 	if stmt.Explain && !stmt.Analyze {
-		return explainResult(p), nil
+		return explainResult(p), p, nil, nil
 	}
 	var prof *obs.PlanProfile
-	if (stmt.Explain && stmt.Analyze) || obs.TracerFrom(ctx) != nil {
+	if profiled || (stmt.Explain && stmt.Analyze) || obs.TracerFrom(ctx) != nil {
 		// EXPLAIN ANALYZE needs the profile for its rendering; a traced
-		// run needs it for per-operator spans.
+		// run needs it for per-operator spans (and the slow-query capture
+		// retains it alongside the trace).
 		prof = obs.NewPlanProfile()
 	}
 	res, err := d.execute(ctx, conf, qid, p, compiled, prof)
 	if err != nil {
-		return nil, err
+		return nil, p, prof, err
 	}
 	if stmt.Explain && stmt.Analyze {
-		return analyzeResult(p, prof, res), nil
+		return analyzeResult(p, prof, res), p, prof, nil
 	}
-	return res, nil
+	return res, p, prof, nil
 }
 
 // RunProfiled executes a (plain) query and also returns its optimized
@@ -551,19 +653,7 @@ func (d *Driver) RunProfiled(ctx context.Context, query string) (*Result, *plan.
 // RunProfiledWith is RunProfiled under an explicit configuration snapshot
 // (the server's per-session \profile path).
 func (d *Driver) RunProfiledWith(ctx context.Context, conf Config, query string) (*Result, *plan.Plan, *obs.PlanProfile, error) {
-	qid := d.queryID.Add(1)
-	start := time.Now()
-	ctx, qsp := obs.StartSpan(ctx, fmt.Sprintf("q%d", qid), obs.CatQuery)
-	qsp.SetAttr("engine", conf.Engine.String())
-	_, p, compiled, err := d.explainStaged(ctx, &conf, query)
-	if err != nil {
-		qsp.FinishErr(err)
-		return nil, nil, nil, err
-	}
-	prof := obs.NewPlanProfile()
-	res, err := d.execute(ctx, &conf, qid, p, compiled, prof)
-	qsp.FinishErr(err)
-	d.queryHist.Load().ObserveDuration(time.Since(start))
+	res, p, prof, err := d.runTracked(ctx, &conf, query, true)
 	if err != nil {
 		return nil, nil, nil, err
 	}

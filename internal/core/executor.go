@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/plan"
+	"repro/internal/sysdb"
 	"repro/internal/txn"
 	"repro/internal/types"
 	"repro/internal/vexec"
@@ -67,6 +68,11 @@ type executor struct {
 	// query's lifetime (see acid.go), so split planning, local scans and
 	// build-cache keys agree even as transactions commit mid-query.
 	views map[string]txn.View
+	// sysSnaps caches one rows-snapshot per sys.* table for the query's
+	// lifetime: a query scanning sys.queries twice (self-join, retry) sees
+	// one consistent snapshot, and the reconciliation invariants (row
+	// counts vs ExecStats) hold exactly.
+	sysSnaps map[string][]types.Row
 }
 
 func newExecutor(d *Driver, conf *Config, compiled *compiler.Compiled, qid int64, ctx context.Context, prof *obs.PlanProfile) *executor {
@@ -85,6 +91,7 @@ func newExecutor(d *Driver, conf *Config, compiled *compiler.Compiled, qid int64
 		attemptProfs: map[string]*obs.PlanProfile{},
 		builds:       map[string]*buildSlot{},
 		views:        map[string]txn.View{},
+		sysSnaps:     map[string][]types.Row{},
 	}
 	if ex.llap {
 		ex.caches = d.LLAP().Caches()
@@ -200,9 +207,41 @@ func (ex *executor) isMemTemp(name string) bool {
 	return ok
 }
 
+// sysRows snapshots a sys.* table's rows, once per query: later scans of
+// the same table (and retried attempts, which re-read the same split
+// slice) see the first snapshot.
+func (ex *executor) sysRows(name string) ([]types.Row, error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if rows, ok := ex.sysSnaps[name]; ok {
+		return rows, nil
+	}
+	def, ok := ex.d.sysTableDef(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown sys table %q", name)
+	}
+	rows := def.Rows()
+	ex.sysSnaps[name] = rows
+	return rows, nil
+}
+
 func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 	var splits []any
 	for i, scan := range task.MapScans {
+		if sysdb.IsSysTable(scan.Table) {
+			// Virtual table: its snapshot is one in-memory split, the same
+			// shape as a Tez edge, so every engine mode scans it through
+			// the ordinary rows path. An empty snapshot contributes no
+			// split — exactly like an empty base table.
+			rows, err := ex.sysRows(scan.Table)
+			if err != nil {
+				return err
+			}
+			if len(rows) > 0 {
+				splits = append(splits, split{scanIdx: i, rows: rows})
+			}
+			continue
+		}
 		if ex.isMemTemp(scan.Table) {
 			ex.mu.Lock()
 			chunks := ex.memTemps[scan.Table]
@@ -404,6 +443,22 @@ func widen(row types.Row, scatter []int, width int) types.Row {
 // for map-join local work). stats, when non-nil, receives the scan's
 // rows, I/O attribution and ORC selection counters.
 func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, stats *obs.OpStats) (func() (types.Row, error), error) {
+	if sysdb.IsSysTable(ts.Table) {
+		rows, err := ex.sysRows(ts.Table)
+		if err != nil {
+			return nil, err
+		}
+		i := 0
+		return func() (types.Row, error) {
+			if i >= len(rows) {
+				return nil, nil
+			}
+			row := rows[i]
+			i++
+			stats.AddRows(1)
+			return row, nil
+		}, nil
+	}
 	if ex.isMemTemp(ts.Table) {
 		ex.mu.Lock()
 		chunks := ex.memTemps[ts.Table]

@@ -184,6 +184,14 @@ func (d *Daemon) Builds() *BuildCache { return d.builds }
 // obs.Registry; use Snapshot for an immutable copy.
 func (d *Daemon) Stats() *DaemonStats { return &d.stats }
 
+// Alive reports whether the daemon is accepting work (the admin plane's
+// readiness probe: a closed daemon fails /readyz).
+func (d *Daemon) Alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.closed
+}
+
 // InvalidateTable drops everything every cache tier holds for one table —
 // map-join builds keyed by the table name, chunk-cache entries and
 // metadata-cache entries keyed by files under the table's warehouse path.

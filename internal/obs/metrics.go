@@ -108,28 +108,47 @@ type HistSnapshot struct {
 	Buckets [histBuckets]int64
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
-// upper edge of the first bucket whose cumulative count reaches q.
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// whose cumulative count reaches q and interpolating linearly within it
+// (observations assumed uniform across the bucket's [2^(i-1), 2^i)
+// range). The old upper-edge answer was off by up to 2x at p99; the
+// interpolated estimate's error is bounded by the within-bucket
+// distribution, not the bucket width.
 func (h HistSnapshot) Quantile(q float64) int64 {
 	if h.Count == 0 {
 		return 0
 	}
-	target := int64(q * float64(h.Count))
+	target := q * float64(h.Count)
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
 	for i, c := range h.Buckets {
-		cum += c
-		if cum >= target {
-			if i == 0 {
-				return 0
-			}
-			if i >= 63 {
-				return int64(^uint64(0) >> 1)
-			}
-			return 1 << i
+		if c == 0 {
+			cum += c
+			continue
 		}
+		if float64(cum+c) >= target {
+			if i == 0 {
+				return 0 // bucket 0 holds v <= 0
+			}
+			lo := int64(1) << (i - 1)
+			hi := int64(^uint64(0) >> 1) // bucket 63 spans up to MaxInt64
+			if i < 63 {
+				hi = int64(1) << i
+			}
+			// Position of the target within this bucket's count mass.
+			frac := (target - float64(cum)) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v >= hi { // bucket range is half-open: [lo, hi)
+				v = hi - 1
+			}
+			if v < lo {
+				v = lo
+			}
+			return v
+		}
+		cum += c
 	}
 	return int64(^uint64(0) >> 1)
 }
@@ -308,7 +327,7 @@ func (s Snapshot) String() string {
 			continue
 		}
 		if v.Kind == KindHistogram {
-			fmt.Fprintf(&sb, "%s count=%d mean=%d p50<=%d p99<=%d\n",
+			fmt.Fprintf(&sb, "%s count=%d mean=%d p50~%d p99~%d\n",
 				name, v.Hist.Count, v.Hist.Mean(), v.Hist.Quantile(0.5), v.Hist.Quantile(0.99))
 		} else {
 			fmt.Fprintf(&sb, "%s %d\n", name, v.N)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -47,6 +48,119 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	}
 	if m := s.Mean(); m != (1+2+3+4+100+1000-7)/8 {
 		t.Errorf("mean = %d", m)
+	}
+}
+
+// TestQuantileInterpolation pins the interpolated quantile on known
+// distributions. The pre-interpolation implementation returned the
+// bucket's upper edge (up to 2x error at p99); these values are exact
+// under the uniform-within-bucket assumption and must not regress.
+func TestQuantileInterpolation(t *testing.T) {
+	// Uniform 1..1024: every value observed once.
+	var u Histogram
+	for v := int64(1); v <= 1024; v++ {
+		u.Observe(v)
+	}
+	s := u.snapshot()
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		// p50: target 512 falls 1 observation into bucket [512,1024) which
+		// holds 512..1023 → 512 + (1/512)*512 = 513.
+		{0.5, 513},
+		// p99: target 1013.76 → 502.76 obs into [512,1024) → 512 + 502.
+		{0.99, 1014},
+		// p100: 1024 is the sole occupant of bucket [1024,2048); with no
+		// within-bucket placement information the estimate clamps to the
+		// bucket's inclusive top.
+		{1.0, 2047},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("uniform q%.2f = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// A point mass mid-bucket: all observations are 700, in [512, 1024).
+	// Interpolation cannot see within-bucket placement, so the documented
+	// semantic is uniform-within-bucket: p50 = 512 + 0.5*512 = 768 — still
+	// far better than the old fixed answer of 1024 (the upper edge).
+	var p Histogram
+	for i := 0; i < 1000; i++ {
+		p.Observe(700)
+	}
+	if got := p.snapshot().Quantile(0.5); got != 768 {
+		t.Errorf("point-mass p50 = %d, want 768", got)
+	}
+	if got := p.snapshot().Quantile(0.99); got >= 1024 {
+		t.Errorf("point-mass p99 = %d, must stay inside the bucket", got)
+	}
+
+	// All ones: every quantile is 1 (bucket [1,2) is a single value).
+	var ones Histogram
+	for i := 0; i < 100; i++ {
+		ones.Observe(1)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := ones.snapshot().Quantile(q); got != 1 {
+			t.Errorf("all-ones q%.2f = %d, want 1", q, got)
+		}
+	}
+
+	// Monotonicity across a mixed distribution.
+	var m Histogram
+	for _, v := range []int64{1, 5, 5, 9, 30, 100, 100, 350, 4000, 70000} {
+		m.Observe(v)
+	}
+	ms := m.snapshot()
+	prev := int64(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		got := ms.Quantile(q)
+		if got < prev {
+			t.Errorf("quantile not monotone: q%.2f = %d < %d", q, got, prev)
+		}
+		prev = got
+	}
+	if ms.Quantile(1.0) < 65536 || ms.Quantile(1.0) > 131071 {
+		t.Errorf("max quantile %d outside 70000's bucket", ms.Quantile(1.0))
+	}
+}
+
+// TestRemovePrefixRace hammers the PR 6 pool-teardown path: RemovePrefix
+// racing concurrent Snapshot and RegisterStruct on the same registry.
+// Exists primarily for -race; the assertions pin the end state.
+func TestRemovePrefixRace(t *testing.T) {
+	r := NewRegistry()
+	keep := r.Counter("keep.reads")
+	keep.Add(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				prefix := "pool" + string(rune('a'+i))
+				var st fakeStats
+				RegisterStruct(r, prefix, &st)
+				r.Gauge(prefix + ".Slots")
+				_ = r.Snapshot()
+				r.RemovePrefix(prefix)
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		_ = r.Snapshot().String()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Get("keep.reads") != 1 {
+		t.Fatal("unrelated metric lost")
+	}
+	for name := range s.Values {
+		if strings.HasPrefix(name, "pool") {
+			t.Fatalf("metric %q survived RemovePrefix", name)
+		}
 	}
 }
 

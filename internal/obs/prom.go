@@ -1,0 +1,112 @@
+// prom.go renders a registry snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `_bucket{le="..."}` series over the
+// power-of-two edges plus `_sum`/`_count` and interpolated p50/p99
+// convenience gauges. This is the `/metrics` endpoint's payload.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders s to w with every metric name prefixed by
+// namespace (typically "hive"). Metric names are mangled to the
+// Prometheus charset: dots become underscores, CamelCase field names
+// become snake_case, anything else non-alphanumeric is dropped.
+func WritePrometheus(w io.Writer, s Snapshot, namespace string) error {
+	names := make([]string, 0, len(s.Values))
+	for name := range s.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := s.Values[name]
+		pn := PromName(namespace, name)
+		var err error
+		switch v.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v.N)
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v.N)
+		case KindHistogram:
+			err = writePromHist(w, pn, v.Hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, pn string, h HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	// Power-of-two bucket i counts v with bits.Len64(v)==i, i.e.
+	// v <= 2^i - 1; emit the occupied prefix of edges cumulatively, then
+	// +Inf. Skipping the empty tail keeps /metrics readable — cumulative
+	// counts make the dropped series redundant with +Inf.
+	last := 0
+	for i, c := range h.Buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		le := int64(^uint64(0) >> 1)
+		if i < 63 {
+			le = (int64(1) << i) - 1
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+		return err
+	}
+	// Interpolated quantiles as companion gauges: Prometheus can derive
+	// them from the buckets, but a curl or the sys.metrics table cannot.
+	_, err := fmt.Fprintf(w, "# TYPE %s_p50 gauge\n%s_p50 %d\n# TYPE %s_p99 gauge\n%s_p99 %d\n",
+		pn, pn, h.Quantile(0.5), pn, pn, h.Quantile(0.99))
+	return err
+}
+
+// PromName mangles a registry metric name ("wm.interactive.WaitNanos")
+// into a Prometheus-legal one ("hive_wm_interactive_wait_nanos").
+func PromName(namespace, name string) string {
+	var sb strings.Builder
+	sb.Grow(len(namespace) + len(name) + 8)
+	sb.WriteString(namespace)
+	prevLower := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			if sb.Len() == len(namespace) {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+			prevLower = true
+		case c >= 'A' && c <= 'Z':
+			if prevLower || sb.Len() == len(namespace) {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c + 'a' - 'A')
+			prevLower = false
+		default: // '.', '-', anything exotic → word break
+			if prevLower {
+				sb.WriteByte('_')
+			}
+			prevLower = false
+		}
+	}
+	return strings.TrimRight(sb.String(), "_")
+}

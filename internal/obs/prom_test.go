@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"dfs.BytesRead":            "hive_dfs_bytes_read",
+		"wm.interactive.WaitNanos": "hive_wm_interactive_wait_nanos",
+		"mapred.TasksLaunched":     "hive_mapred_tasks_launched",
+		"llap.cache.Hits":          "hive_llap_cache_hits",
+		"query.latency":            "hive_query_latency",
+		"sysdb.Recorded":           "hive_sysdb_recorded",
+		"weird-name..x":            "hive_weird_name_x",
+		"txn.Open":                 "hive_txn_open",
+	}
+	for in, want := range cases {
+		if got := PromName("hive", in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheus checks the exposition is well-formed: every sample
+// line parses, histogram buckets are cumulative and end at +Inf, and the
+// interpolated quantile gauges are present.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dfs.BytesRead").Add(12345)
+	r.Gauge("wm.interactive.Running").Set(3)
+	h := r.Histogram("query.latency")
+	for v := int64(1); v <= 1024; v++ {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot(), "hive"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE hive_dfs_bytes_read counter\nhive_dfs_bytes_read 12345\n",
+		"# TYPE hive_wm_interactive_running gauge\nhive_wm_interactive_running 3\n",
+		"# TYPE hive_query_latency histogram\n",
+		`hive_query_latency_bucket{le="+Inf"} 1024`,
+		"hive_query_latency_sum " + strconv.Itoa(1024*1025/2),
+		"hive_query_latency_count 1024",
+		"hive_query_latency_p50 513",
+		"hive_query_latency_p99 1014",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative (non-decreasing) and every line must be
+	// "name value" or a comment.
+	var prevBucket int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			t.Fatalf("non-integer sample %q", line)
+		}
+		if strings.HasPrefix(fields[0], "hive_query_latency_bucket") {
+			v, _ := strconv.ParseInt(fields[1], 10, 64)
+			if v < prevBucket {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			prevBucket = v
+		}
+	}
+	if prevBucket != 1024 {
+		t.Fatalf("final cumulative bucket = %d, want 1024", prevBucket)
+	}
+}

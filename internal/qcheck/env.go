@@ -37,6 +37,13 @@ type Cell struct {
 	// a reference replay of exactly the transactions committed at that
 	// snapshot (see txncell.go).
 	Txn bool
+	// Sys reconciles the observability plane against the execution it
+	// observed: after the query's rows are checked against the reference,
+	// the cell demands that the query-history record agree exactly with
+	// the returned ExecStats (row count, DFS/cache/total bytes), then
+	// re-reads the same numbers through `SELECT ... FROM sys.queries` —
+	// the sys-table path must report precisely what the engine did.
+	Sys bool
 	// CBO turns on cost-based optimization (join reordering from catalog
 	// statistics, estimated map-join build sizes). CBO cells additionally
 	// diff the optimized plan against the same cell with CBO off — the
@@ -68,6 +75,9 @@ func (c Cell) ID() string {
 	}
 	if c.CBO {
 		id += "/cbo"
+	}
+	if c.Sys {
+		id += "/sys"
 	}
 	return id
 }
@@ -127,6 +137,10 @@ func Matrix(fullFaults bool) []Cell {
 	// configuration with CBO off, and the results must still match the
 	// reference regardless of how the plan changed.
 	cells = append(cells, Cell{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, CBO: true})
+	// One observability-reconciliation cell (see Cell.Sys): the history
+	// record and the sys.queries row for each query must agree exactly with
+	// the ExecStats the query returned.
+	cells = append(cells, Cell{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, Sys: true})
 	return cells
 }
 

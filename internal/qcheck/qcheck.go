@@ -190,6 +190,13 @@ func runOne(envs *envSet, cells []Cell, table *Table, stmt *sql.SelectStmt, quer
 		}
 		env := envs.get(c)
 		env.configure(c)
+		if c.Sys {
+			*execs += 2 // the query itself plus the sys.queries dogfood read
+			if f := runSysCell(env, c, stmt, query, refErr, want); f != nil {
+				return f
+			}
+			continue
+		}
 		if c.Concurrent {
 			*execs += concurrentSessions
 			allRows, errs := runConcurrent(env.driver, query)

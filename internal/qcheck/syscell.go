@@ -1,0 +1,79 @@
+// syscell.go is the observability-reconciliation axis (Cell.Sys): the
+// fuzzer's oracle for S26. The driver's query history and the sys.queries
+// virtual table are derived views of execution — so for every generated
+// query they must agree *exactly* with the ExecStats the execution itself
+// returned. Any drift (a missed record, a double-counted byte, a sys-table
+// snapshot taken at the wrong moment) is a disagreement like any other:
+// reported with the query text and minimized by the shrinker.
+package qcheck
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// runSysCell runs the query once on the cell's configuration, checks the
+// rows against the reference as usual, then reconciles the history record
+// and the sys.queries row with the execution's ExecStats.
+func runSysCell(env *scenarioEnv, c Cell, stmt *sql.SelectStmt, query string, refErr error, want []types.Row) *Failure {
+	res, err := env.driver.Run(query)
+	var rows []types.Row
+	if err == nil {
+		rows = res.Rows
+	}
+	if f := checkAgainstRef(stmt, query, c, rows, err, refErr, want); f != nil {
+		return f
+	}
+
+	// Whatever the outcome, the run must have left a record; its state must
+	// reflect the outcome.
+	rec, ok := env.driver.History().Last()
+	if !ok {
+		return &Failure{Query: query, Cell: c, Detail: "no history record after query"}
+	}
+	if err != nil {
+		if rec.State != "failed" {
+			return &Failure{Query: query, Cell: c,
+				Detail: fmt.Sprintf("query errored but history state = %q", rec.State)}
+		}
+		return nil // errored in agreement with the reference; nothing to reconcile
+	}
+	if rec.State != "ok" {
+		return &Failure{Query: query, Cell: c,
+			Detail: fmt.Sprintf("history state = %q, want ok", rec.State)}
+	}
+	s := res.Stats
+	if rec.ActualRows != int64(len(res.Rows)) ||
+		rec.DFSBytes != s.DFSBytesRead ||
+		rec.CacheBytes != s.CacheBytesRead ||
+		rec.TotalBytes != s.TotalBytesRead {
+		return &Failure{Query: query, Cell: c, Detail: fmt.Sprintf(
+			"history record disagrees with ExecStats: rows %d/%d dfs %d/%d cache %d/%d total %d/%d",
+			rec.ActualRows, len(res.Rows), rec.DFSBytes, s.DFSBytesRead,
+			rec.CacheBytes, s.CacheBytesRead, rec.TotalBytes, s.TotalBytesRead)}
+	}
+
+	// Dogfood: read the same record back through the SQL surface. The
+	// sys.queries scan is itself a query on the same engine, so this also
+	// exercises the virtual-table path under the cell's configuration.
+	dog := fmt.Sprintf(
+		"SELECT qid, actual_rows, bytes_dfs, bytes_cache, bytes_total FROM sys.queries WHERE qid = %d", rec.ID)
+	dres, derr := env.driver.Run(dog)
+	if derr != nil {
+		return &Failure{Query: query, Cell: c, Detail: fmt.Sprintf("sys.queries read failed: %v", derr)}
+	}
+	if len(dres.Rows) != 1 {
+		return &Failure{Query: query, Cell: c,
+			Detail: fmt.Sprintf("sys.queries returned %d rows for qid %d, want 1", len(dres.Rows), rec.ID)}
+	}
+	r := dres.Rows[0]
+	got := [4]int64{r[1].(int64), r[2].(int64), r[3].(int64), r[4].(int64)}
+	wanted := [4]int64{rec.ActualRows, rec.DFSBytes, rec.CacheBytes, rec.TotalBytes}
+	if got != wanted {
+		return &Failure{Query: query, Cell: c, Detail: fmt.Sprintf(
+			"sys.queries row disagrees with history record: got %v, want %v", got, wanted)}
+	}
+	return nil
+}

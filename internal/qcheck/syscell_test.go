@@ -1,0 +1,63 @@
+package qcheck
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fileformat"
+)
+
+// TestSysCellInMatrix pins the observability axis's place in the matrix:
+// exactly one sys cell, clean, identifiable by its /sys suffix, last so
+// every other cell's queries precede its Last()-record reconciliation.
+func TestSysCellInMatrix(t *testing.T) {
+	cells := Matrix(false)
+	var sys int
+	for _, c := range cells {
+		if !c.Sys {
+			continue
+		}
+		sys++
+		if c.Faulted {
+			t.Errorf("sys cell %s is faulted; reconciliation needs clean stats", c.ID())
+		}
+		if id := c.ID(); id[len(id)-4:] != "/sys" {
+			t.Errorf("sys cell ID %q lacks the /sys suffix", id)
+		}
+	}
+	if sys != 1 {
+		t.Fatalf("matrix has %d sys cells, want 1", sys)
+	}
+	if !cells[len(cells)-1].Sys {
+		t.Error("sys cell must be the last matrix cell")
+	}
+}
+
+// TestSysCellReconciles runs the observability cell at volume over just
+// {reference, sys}: every fuzzed query's history record and sys.queries
+// row must reconcile exactly with its ExecStats.
+func TestSysCellReconciles(t *testing.T) {
+	cfg := Config{
+		Seed:            9,
+		Queries:         120,
+		QueriesPerTable: 12,
+		NoShrink:        true,
+		MaxFailures:     100,
+		cells: []Cell{
+			{Engine: allEngines[0], Format: allFormats[0], Reference: true},
+			{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, Sys: true},
+		},
+	}
+	if testing.Short() {
+		cfg.Queries = 40
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed %d: %d queries, %d scenarios, %d executions",
+		rep.Seed, rep.Queries, rep.Scenarios, rep.Executions)
+	for _, f := range rep.Failures {
+		t.Errorf("observability drift:\n%s", failureText(f))
+	}
+}

@@ -1,0 +1,145 @@
+// http.go is the operational admin plane (S26c): an http.Handler a
+// deployment mounts next to the query surface (`hive -serve -http
+// :8080`). Four families of endpoints: Prometheus-text /metrics rendered
+// from the driver's unified registry (cumulative power-of-two buckets
+// plus interpolated p50/p99 gauges), /debug/queries (history ring + live
+// queries, JSON), /debug/trace/<qid> (the Chrome trace of a captured
+// slow/sampled query), and /healthz + /readyz (readiness gated on
+// workload-manager and LLAP-daemon liveness).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Handler returns the admin-plane mux. It holds no state of its own —
+// every request renders live server state — so one handler stays valid
+// for the server's lifetime.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleQueries)
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.driver.Registry().Snapshot(), "hive")
+}
+
+// debugQueries is the /debug/queries payload.
+type debugQueries struct {
+	Total    int64             `json:"total"`
+	Live     []liveJSON        `json:"live"`
+	Queries  []json.RawMessage `json:"queries"`  // history records, oldest first
+	Captures []int64           `json:"captures"` // qids with retrievable traces
+}
+
+type liveJSON struct {
+	ID      int64  `json:"qid"`
+	Query   string `json:"query"`
+	Engine  string `json:"engine"`
+	Session string `json:"session,omitempty"`
+	Pool    string `json:"pool,omitempty"`
+	Elapsed int64  `json:"elapsed_ms"`
+	Traced  bool   `json:"traced"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	h := s.driver.History()
+	out := debugQueries{Total: h.Total(), Captures: h.Captures()}
+	for _, lq := range h.Live() {
+		out.Live = append(out.Live, liveJSON{
+			ID: lq.ID, Query: lq.Query, Engine: lq.Engine,
+			Session: lq.Session, Pool: lq.Pool,
+			Elapsed: lq.Elapsed.Milliseconds(), Traced: lq.Traced,
+		})
+	}
+	for _, rec := range h.Records() {
+		line, err := json.Marshal(&rec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out.Queries = append(out.Queries, line)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad query id", http.StatusBadRequest)
+		return
+	}
+	cap, ok := s.driver.History().Capture(id)
+	if !ok {
+		http.Error(w, "no capture for query (not slow enough, not sampled, or evicted)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", "attachment; filename=\"trace-q"+idStr+".json\"")
+	cap.Tracer.WriteJSON(w)
+}
+
+// handleHealthz is liveness: the server process is up and not closed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: liveness plus the workload manager accepting
+// admissions and, if the LLAP daemon has been started, the daemon
+// accepting work. A never-started daemon is not a readiness failure —
+// MapReduce/Tez-only deployments never start one.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	switch {
+	case closed:
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+	case !s.wm.Alive():
+		http.Error(w, "workload manager closed", http.StatusServiceUnavailable)
+	case func() bool { d := s.driver.StartedLLAP(); return d != nil && !d.Alive() }():
+		http.Error(w, "llap daemon closed", http.StatusServiceUnavailable)
+	default:
+		w.Write([]byte("ready\n"))
+	}
+}
+
+// Serve runs the admin plane until the context is cancelled, then shuts
+// it down gracefully; cmd/hive wires `-http` through it.
+func Serve(ctx context.Context, srv *http.Server) error {
+	go func() {
+		<-ctx.Done()
+		c, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(c)
+	}()
+	err := srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

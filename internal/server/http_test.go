@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysdb"
+)
+
+// get issues one request against the admin mux and returns status + body.
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestAdminPlane drives every endpoint of the HTTP admin plane against a
+// live server: /metrics exposition with wm gauges (present while open,
+// gone after Close), /debug/queries JSON, /debug/trace for a captured
+// slow query, and /healthz + /readyz flipping to 503 on shutdown.
+func TestAdminPlane(t *testing.T) {
+	d := newTestDriver(t, core.Config{
+		Engine: core.ModeLLAP,
+		History: sysdb.Config{
+			SlowBytes: 256, // everything over the sales table is "slow"
+			SlowWall:  -1,
+		},
+	})
+	defer d.Close()
+	srv := New(d, ManagerConfig{Pools: []PoolConfig{
+		{Name: "interactive", Interactive: true, Slots: 2, QueueDepth: 8},
+		{Name: "batch", Slots: 2, QueueDepth: 8},
+	}})
+	h := srv.Handler()
+
+	sess, err := srv.OpenSession("interactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), "SELECT item_id, SUM(qty) FROM sales GROUP BY item_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+
+	// Health while open.
+	if code, body := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+
+	// /metrics: well-formed exposition with wm pool gauges and the
+	// interpolated query-latency quantiles.
+	code, body := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE hive_wm_interactive_admitted counter",
+		"hive_wm_interactive_admitted 1",
+		"hive_core_query_nanos_p99",
+		"hive_core_query_nanos_count 1",
+		"le=\"+Inf\"",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/queries: the finished query shows up with its session/pool.
+	code, body = get(t, h, "/debug/queries")
+	if code != 200 {
+		t.Fatalf("/debug/queries = %d", code)
+	}
+	var dq struct {
+		Total    int64             `json:"total"`
+		Queries  []json.RawMessage `json:"queries"`
+		Captures []int64           `json:"captures"`
+	}
+	if err := json.Unmarshal([]byte(body), &dq); err != nil {
+		t.Fatalf("/debug/queries not JSON: %v\n%s", err, body)
+	}
+	if dq.Total < 1 || len(dq.Queries) < 1 {
+		t.Fatalf("/debug/queries total=%d queries=%d, want >=1", dq.Total, len(dq.Queries))
+	}
+	var rec sysdb.QueryRecord
+	if err := json.Unmarshal(dq.Queries[len(dq.Queries)-1], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Session != sess.ID() || rec.Pool != "interactive" || rec.State != "ok" {
+		t.Fatalf("record = %+v, want session %s pool interactive state ok", rec, sess.ID())
+	}
+	if len(dq.Captures) == 0 {
+		t.Fatal("no captures despite SlowBytes threshold")
+	}
+
+	// /debug/trace/<qid>: a Chrome trace for the captured slow query.
+	qid := strconv.FormatInt(dq.Captures[0], 10)
+	code, body = get(t, h, "/debug/trace/"+qid)
+	if code != 200 {
+		t.Fatalf("/debug/trace/%s = %d %s", qid, code, body)
+	}
+	if !strings.Contains(body, "traceEvents") || !strings.Contains(body, "\"q"+qid+"\"") {
+		t.Fatalf("trace missing traceEvents/span: %.200s", body)
+	}
+	if code, _ := get(t, h, "/debug/trace/999999"); code != 404 {
+		t.Fatalf("missing capture = %d, want 404", code)
+	}
+	if code, _ := get(t, h, "/debug/trace/nope"); code != 400 {
+		t.Fatalf("bad id = %d, want 400", code)
+	}
+
+	// Close: wm gauges vanish from /metrics, probes flip to 503. The
+	// handler itself stays valid.
+	srv.Close()
+	if code, body := get(t, h, "/metrics"); code != 200 || strings.Contains(body, "hive_wm_") {
+		t.Fatalf("wm metrics survived Close (code %d):\n%.300s", code, body)
+	}
+	if code, _ := get(t, h, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after close = %d, want 503", code)
+	}
+	if code, _ := get(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after close = %d, want 503", code)
+	}
+}
+
+// TestReadyzLLAPGate: readiness fails if a started LLAP daemon is closed
+// underneath the server, but a never-started daemon is fine (covered in
+// TestAdminPlane's pre-query probe where only the wm is up).
+func TestReadyzLLAPGate(t *testing.T) {
+	d := newTestDriver(t, core.Config{})
+	defer d.Close()
+	srv := New(d, ManagerConfig{})
+	defer srv.Close()
+	h := srv.Handler()
+
+	if code, _ := get(t, h, "/readyz"); code != 200 {
+		t.Fatalf("/readyz with no daemon = %d, want 200", code)
+	}
+	d.LLAP() // start it
+	if code, _ := get(t, h, "/readyz"); code != 200 {
+		t.Fatalf("/readyz with live daemon = %d, want 200", code)
+	}
+	d.LLAP().Close()
+	if code, body := get(t, h, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "llap") {
+		t.Fatalf("/readyz with closed daemon = %d %q, want 503 llap", code, body)
+	}
+}
+
+// TestSysPoolsAndSessionsTables: the server-owned sys tables are
+// queryable through a session and disappear when the server closes.
+func TestSysPoolsAndSessionsTables(t *testing.T) {
+	d := newTestDriver(t, core.Config{})
+	defer d.Close()
+	srv := New(d, ManagerConfig{Pools: []PoolConfig{
+		{Name: "interactive", Interactive: true, Slots: 3, QueueDepth: 8},
+		{Name: "batch", Slots: 5, QueueDepth: 8},
+	}})
+
+	sess, err := srv.OpenSession("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), "SELECT pool, slots FROM sys.pools WHERE interactive = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "batch" || res.Rows[0][1] != int64(5) {
+		t.Fatalf("sys.pools rows = %v", res.Rows)
+	}
+	// The querying session sees itself (queries counts completions, so the
+	// in-flight sys query itself still reads 0).
+	res, err = sess.Run(context.Background(), "SELECT id, pool FROM sys.sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != sess.ID() || res.Rows[0][1] != "batch" {
+		t.Fatalf("sys.sessions rows = %v", res.Rows)
+	}
+
+	srv.Close()
+	if _, err := d.Run("SELECT pool FROM sys.pools"); err == nil {
+		t.Fatal("sys.pools still queryable after server Close")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sysdb"
+	"repro/internal/types"
 )
 
 // Server is the multi-tenant front end over one driver. All methods are
@@ -32,10 +34,76 @@ func New(d *core.Driver, cfg ManagerConfig) *Server {
 	if len(cfg.Pools) == 0 {
 		cfg.Pools = []PoolConfig{{Name: "default"}}
 	}
-	return &Server{
+	s := &Server{
 		driver:   d,
 		wm:       NewManager(cfg, d.Registry()),
 		sessions: map[string]*Session{},
+	}
+	// The server owns pool and session state, so it registers the sys
+	// tables over them; Close unregisters, mirroring the metric prefixes.
+	d.RegisterSysTable(s.poolsTable())
+	d.RegisterSysTable(s.sessionsTable())
+	return s
+}
+
+// poolsTable exposes workload-manager pool state as sys.pools.
+func (s *Server) poolsTable() sysdb.TableDef {
+	return sysdb.TableDef{
+		Name: "sys.pools",
+		Schema: types.NewSchema(
+			types.Col("pool", types.Primitive(types.String)),
+			types.Col("interactive", types.Primitive(types.Long)),
+			types.Col("slots", types.Primitive(types.Long)),
+			types.Col("running", types.Primitive(types.Long)),
+			types.Col("queued", types.Primitive(types.Long)),
+			types.Col("mem_used", types.Primitive(types.Long)),
+			types.Col("mem_budget", types.Primitive(types.Long)),
+			types.Col("admitted", types.Primitive(types.Long)),
+			types.Col("rejected", types.Primitive(types.Long)),
+			types.Col("timed_out", types.Primitive(types.Long)),
+			types.Col("preempted", types.Primitive(types.Long)),
+		),
+		Rows: func() []types.Row {
+			stats := s.wm.Stats()
+			rows := make([]types.Row, 0, len(stats))
+			for _, ps := range stats {
+				interactive := int64(0)
+				if ps.Interactive {
+					interactive = 1
+				}
+				rows = append(rows, types.Row{
+					ps.Name, interactive, int64(ps.Slots), int64(ps.Running),
+					int64(ps.Queued), ps.MemUsed, ps.MemBudget,
+					ps.Admitted, ps.Rejected, ps.TimedOut, ps.Preempted,
+				})
+			}
+			return rows
+		},
+	}
+}
+
+// sessionsTable exposes open sessions as sys.sessions.
+func (s *Server) sessionsTable() sysdb.TableDef {
+	return sysdb.TableDef{
+		Name: "sys.sessions",
+		Schema: types.NewSchema(
+			types.Col("id", types.Primitive(types.String)),
+			types.Col("pool", types.Primitive(types.String)),
+			types.Col("engine", types.Primitive(types.String)),
+			types.Col("queries", types.Primitive(types.Long)),
+			types.Col("preemptions", types.Primitive(types.Long)),
+		),
+		Rows: func() []types.Row {
+			sessions := s.Sessions()
+			rows := make([]types.Row, 0, len(sessions))
+			for _, sess := range sessions {
+				rows = append(rows, types.Row{
+					sess.ID(), sess.Pool(), sess.Config().Engine.String(),
+					sess.Queries(), sess.Preemptions(),
+				})
+			}
+			return rows
+		},
 	}
 }
 
@@ -118,4 +186,6 @@ func (s *Server) Close() {
 	}
 	s.wm.Close()
 	s.driver.Registry().RemovePrefix("wm.")
+	s.driver.UnregisterSysTable("sys.pools")
+	s.driver.UnregisterSysTable("sys.sessions")
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/llap"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/sysdb"
 )
 
 // Session is one client's handle. Safe for concurrent use; one session may
@@ -121,6 +122,24 @@ func (s *Session) run(ctx context.Context, query string, profiled bool) (*core.R
 		}
 		qctx, cancel := context.WithCancelCause(llap.WithTenant(ctx, s.id))
 		t.SetCancel(cancel)
+		// Label the query's history record with who ran it and what it
+		// cost to admit; Classify turns a workload-manager preemption —
+		// indistinguishable from a plain cancellation inside the driver —
+		// into state "preempted" (each preempted attempt is its own
+		// record; the requeued attempt finishes as "ok").
+		qctx = sysdb.WithMeta(qctx, sysdb.Meta{
+			Session:     s.id,
+			Pool:        poolName,
+			Tenant:      s.id,
+			QueueWait:   t.Wait(),
+			Preemptions: s.preempted.Load(),
+			Classify: func(err, cause error) string {
+				if errors.Is(cause, ErrPreempted) {
+					return "preempted"
+				}
+				return ""
+			},
+		})
 		var (
 			res  *core.Result
 			p    *plan.Plan

@@ -115,10 +115,10 @@ type pool struct {
 	// Lifetime counters, under Manager.mu.
 	admitted, rejected, timedOut, preempted int64
 	// Registry mirrors; nil (and nil-safe) without a registry.
-	gRunning, gQueued                 *obs.Gauge
-	cAdmitted, cRejected, cPreempted  *obs.Counter
-	cTimedOut                         *obs.Counter
-	hWait, hRun                       *obs.Histogram
+	gRunning, gQueued                *obs.Gauge
+	cAdmitted, cRejected, cPreempted *obs.Counter
+	cTimedOut                        *obs.Counter
+	hWait, hRun                      *obs.Histogram
 }
 
 // Ticket is one admitted (or queued) query's claim on pool resources.
@@ -129,10 +129,10 @@ type Ticket struct {
 	preemptable bool
 	grant       chan error // buffered 1: nil on admission, error on rejection
 	enqueued    time.Time
-	start       time.Time // admission time; zero while queued
-	granted     bool      // under Manager.mu
-	released    bool      // under Manager.mu
-	preempted   bool      // under Manager.mu
+	start       time.Time               // admission time; zero while queued
+	granted     bool                    // under Manager.mu
+	released    bool                    // under Manager.mu
+	preempted   bool                    // under Manager.mu
 	cancel      context.CancelCauseFunc // under Manager.mu
 }
 
@@ -390,6 +390,25 @@ func (t *Ticket) Preempted() bool {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
 	return t.preempted
+}
+
+// Wait returns how long the ticket sat in the admission queue before its
+// grant — the queue_ms column of the query-history record.
+func (t *Ticket) Wait() time.Duration {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.start.IsZero() {
+		return time.Since(t.enqueued)
+	}
+	return t.start.Sub(t.enqueued)
+}
+
+// Alive reports whether the manager accepts Acquires (the admin plane's
+// readiness probe).
+func (m *Manager) Alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
 }
 
 // Release returns the ticket's slot and memory to its pool and dispatches

@@ -202,6 +202,14 @@ func (p *parser) parseTableRef() (TableRef, error) {
 		return ref, err
 	}
 	ref.Table = t.text
+	if p.accept(tokSymbol, ".") {
+		// Qualified name (database.table), e.g. the sys.* virtual tables.
+		t2, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ref, fmt.Errorf("sql: qualified table name %q.: %w", ref.Table, err)
+		}
+		ref.Table = ref.Table + "." + t2.text
+	}
 	if p.accept(tokKeyword, "AS") {
 		a, err := p.expect(tokIdent, "")
 		if err != nil {

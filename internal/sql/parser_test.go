@@ -50,6 +50,30 @@ func TestParseAggregatesAndGroupBy(t *testing.T) {
 	}
 }
 
+func TestParseQualifiedTableName(t *testing.T) {
+	s := mustParse(t, "SELECT qid, wall_ms FROM sys.queries WHERE wall_ms > 1000 ORDER BY wall_ms DESC")
+	if s.From.Table != "sys.queries" {
+		t.Fatalf("table = %q, want sys.queries", s.From.Table)
+	}
+	// Qualified names compose with aliases.
+	s = mustParse(t, "SELECT q.qid FROM sys.queries AS q")
+	if s.From.Table != "sys.queries" || s.From.Alias != "q" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	s = mustParse(t, "SELECT q.qid FROM sys.queries q")
+	if s.From.Table != "sys.queries" || s.From.Alias != "q" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	// Round-trip: the rendered statement must re-parse to the same table.
+	if got := mustParse(t, s.String()).From.Table; got != "sys.queries" {
+		t.Fatalf("re-parse table = %q", got)
+	}
+	// A dangling dot is still an error.
+	if _, err := Parse("SELECT a FROM sys. WHERE a > 1"); err == nil {
+		t.Fatal("dangling qualified name should not parse")
+	}
+}
+
 func TestParseJoins(t *testing.T) {
 	s := mustParse(t, `SELECT a.x, b.y FROM big a
 		JOIN small b ON a.k = b.k

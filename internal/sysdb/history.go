@@ -1,0 +1,630 @@
+// Package sysdb is the operational observability plane (S26): a bounded
+// in-memory ring of structured per-query records persisted as rotated
+// JSONL segments on the DFS, a slow-query capture store that retains the
+// full span trace and operator profile for queries over a configurable
+// latency/bytes threshold (plus a sampled 1-in-N), and the `sys.*`
+// virtual-table definitions that make all of it queryable through the
+// ordinary SQL surface — the reproduction's answer to Hive's `sys`
+// database and information_schema.
+//
+// The non-captured path is deliberately cheap: a query that is neither
+// sampled nor a slow candidate allocates no tracer, no spans and no
+// profile (the S21 nil path); finishing it copies one record into a
+// preallocated ring slot and appends it to the pending JSONL batch.
+package sysdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/obs"
+)
+
+// Config sizes the history. The zero value enables everything with
+// defaults; set Disabled to turn the whole plane off (benchmark
+// baselines), or a threshold negative to disable just that trigger.
+type Config struct {
+	// Disabled turns query history off entirely: Begin returns nil and
+	// every downstream call no-ops.
+	Disabled bool
+	// RingSize bounds the in-memory record ring (default 512).
+	RingSize int
+	// SampleEvery captures the trace of one query in N regardless of
+	// speed (default 16; negative disables sampling).
+	SampleEvery int
+	// SlowWall retains a query's capture when its wall time reaches this
+	// threshold (default 1s; negative disables).
+	SlowWall time.Duration
+	// SlowBytes marks a query a slow *candidate* — worth tracing — when
+	// its estimated scan footprint reaches this many bytes, and retains
+	// the capture when its actual TotalBytes does (default 32 MiB;
+	// negative disables).
+	SlowBytes int64
+	// MaxCaptures bounds retained trace+profile captures, oldest evicted
+	// first (default 32).
+	MaxCaptures int
+	// Dir is the DFS directory for JSONL history segments (default
+	// "/sys/history").
+	Dir string
+	// FlushEvery is the records-per-segment rotation size (default 64).
+	FlushEvery int
+	// KeepSegments bounds on-DFS segments, oldest removed first
+	// (default 8).
+	KeepSegments int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize <= 0 {
+		c.RingSize = 512
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 16
+	}
+	if c.SlowWall == 0 {
+		c.SlowWall = time.Second
+	}
+	if c.SlowBytes == 0 {
+		c.SlowBytes = 32 << 20
+	}
+	if c.MaxCaptures <= 0 {
+		c.MaxCaptures = 32
+	}
+	if c.Dir == "" {
+		c.Dir = "/sys/history"
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 64
+	}
+	if c.KeepSegments <= 0 {
+		c.KeepSegments = 8
+	}
+	return c
+}
+
+// QueryRecord is one finished query's structured history entry; the JSON
+// shape is the JSONL persistence format.
+type QueryRecord struct {
+	ID          int64         `json:"qid"`
+	Query       string        `json:"query"`
+	Fingerprint uint64        `json:"fingerprint"` // literal-normalized query hash
+	PlanHash    uint64        `json:"plan_hash"`   // hash of the optimized plan rendering
+	Session     string        `json:"session,omitempty"`
+	Pool        string        `json:"pool,omitempty"`
+	Tenant      string        `json:"tenant,omitempty"`
+	Engine      string        `json:"engine"`
+	State       string        `json:"state"` // ok | failed | cancelled | preempted
+	Error       string        `json:"error,omitempty"`
+	EstRows     int64         `json:"est_rows"` // -1 when the optimizer produced no estimate
+	ActualRows  int64         `json:"actual_rows"`
+	QueueWait   time.Duration `json:"queue_ns"` // admission wait (server sessions)
+	Wall        time.Duration `json:"wall_ns"`  // driver-side run wall
+	Total       time.Duration `json:"total_ns"` // QueueWait + Wall
+	DFSBytes    int64         `json:"bytes_dfs"`
+	CacheBytes  int64         `json:"bytes_cache"`
+	TotalBytes  int64         `json:"bytes_total"`
+	Shuffle     int64         `json:"bytes_shuffle"`
+	Retries     int64         `json:"retries"`
+	FailedTasks int64         `json:"failed_tasks"`
+	Preemptions int64         `json:"preemptions"` // absorbed before this attempt ran
+	Sampled     bool          `json:"sampled"`
+	Traced      bool          `json:"traced"` // capture retained; /debug/trace/<qid>
+	Start       time.Time     `json:"start"`
+}
+
+// Outcome is what the driver knows when a query finishes; Finish folds it
+// into the record.
+type Outcome struct {
+	Err                                            error
+	Cancelled                                      bool   // the query's context was cancelled
+	State                                          string // optional override (e.g. "preempted"); "" derives from Err
+	ActualRows                                     int64
+	DFSBytes, CacheBytes, TotalBytes, ShuffleBytes int64
+	Retries, FailedTasks                           int64
+	Wall                                           time.Duration
+}
+
+// Capture is a retained slow/sampled query's full observability state.
+type Capture struct {
+	ID      int64
+	Query   string
+	Wall    time.Duration
+	Sampled bool // retained by the 1-in-N sampler rather than a threshold
+	Tracer  *obs.Tracer
+	Profile *obs.PlanProfile
+}
+
+// Stats counts the history's own work; registered in the driver registry
+// under "sysdb.".
+type Stats struct {
+	Recorded    atomic.Int64
+	Sampled     atomic.Int64
+	Captured    atomic.Int64
+	Flushes     atomic.Int64
+	FlushErrors atomic.Int64
+}
+
+// History is the per-driver query history. Safe for concurrent use; a nil
+// *History no-ops everywhere.
+type History struct {
+	cfg   Config
+	fs    *dfs.FS
+	stats Stats
+
+	sampleTick atomic.Int64
+
+	mu       sync.Mutex
+	ring     []QueryRecord // preallocated; ring[next] is the oldest once wrapped
+	next     int
+	total    int64
+	live     map[int64]*LiveQuery
+	caps     map[int64]*Capture
+	capOrder []int64 // insertion order, for MaxCaptures eviction
+	pending  []QueryRecord
+	segSeq   int64
+	segments []string // written segment paths, oldest first
+}
+
+// New builds a history persisting JSONL segments through fs (nil fs keeps
+// the history purely in memory). A Disabled config still returns a
+// non-nil handle whose Begin returns nil.
+func New(fs *dfs.FS, cfg Config) *History {
+	cfg = cfg.withDefaults()
+	h := &History{cfg: cfg, fs: fs}
+	if !cfg.Disabled {
+		h.ring = make([]QueryRecord, cfg.RingSize)
+		h.live = map[int64]*LiveQuery{}
+		h.caps = map[int64]*Capture{}
+	}
+	return h
+}
+
+// Enabled reports whether the history records anything.
+func (h *History) Enabled() bool { return h != nil && !h.cfg.Disabled }
+
+// Config returns the effective (default-filled) configuration.
+func (h *History) Config() Config { return h.cfg }
+
+// Stats exposes the history's own counters for registry adoption.
+func (h *History) Stats() *Stats { return &h.stats }
+
+// SampleNext consumes one sampling tick: true for the first query and
+// every SampleEvery-th after it.
+func (h *History) SampleNext() bool {
+	if !h.Enabled() || h.cfg.SampleEvery < 0 {
+		return false
+	}
+	return h.sampleTick.Add(1)%int64(h.cfg.SampleEvery) == 1 || h.cfg.SampleEvery == 1
+}
+
+// SlowCandidate reports whether a query with the given estimated scan
+// footprint is worth tracing up front: the predictive half of slow-query
+// capture (the wall-time half can only be judged after the run, when it
+// is too late to have traced).
+func (h *History) SlowCandidate(estBytes int64) bool {
+	return h.Enabled() && h.cfg.SlowBytes > 0 && estBytes >= h.cfg.SlowBytes
+}
+
+// LiveQuery is one in-flight query's handle: Begin returns it, the driver
+// annotates it as planning/tracing decisions are made, Finish retires it
+// into the ring. A nil *LiveQuery no-ops everywhere.
+type LiveQuery struct {
+	h      *History
+	ID     int64
+	Query  string
+	Engine string
+	Meta   Meta
+	Start  time.Time
+
+	mu       sync.Mutex
+	planHash uint64
+	estRows  int64
+	tracer   *obs.Tracer
+	sampled  bool
+}
+
+// Begin registers a starting query and returns its live handle (nil when
+// the history is disabled — the zero-cost path).
+func (h *History) Begin(id int64, query, engine string, meta Meta) *LiveQuery {
+	if !h.Enabled() {
+		return nil
+	}
+	lq := &LiveQuery{h: h, ID: id, Query: query, Engine: engine, Meta: meta, Start: time.Now(), estRows: -1}
+	h.mu.Lock()
+	h.live[id] = lq
+	h.mu.Unlock()
+	return lq
+}
+
+// SetPlan records the optimized plan's hash and root cardinality estimate
+// (estRows -1 when the optimizer produced none).
+func (lq *LiveQuery) SetPlan(hash uint64, estRows int64) {
+	if lq == nil {
+		return
+	}
+	lq.mu.Lock()
+	lq.planHash = hash
+	lq.estRows = estRows
+	lq.mu.Unlock()
+}
+
+// AttachTrace hands the query's tracer to the history so Finish can
+// retain it; sampled marks the 1-in-N sampler (retain unconditionally)
+// versus a slow candidate or caller-installed tracer (retain only if the
+// run proves slow).
+func (lq *LiveQuery) AttachTrace(t *obs.Tracer, sampled bool) {
+	if lq == nil {
+		return
+	}
+	lq.mu.Lock()
+	lq.tracer = t
+	lq.sampled = lq.sampled || sampled
+	lq.mu.Unlock()
+}
+
+// Traced reports whether a tracer is attached.
+func (lq *LiveQuery) Traced() bool {
+	if lq == nil {
+		return false
+	}
+	lq.mu.Lock()
+	defer lq.mu.Unlock()
+	return lq.tracer != nil
+}
+
+// Finish retires the query into the ring (and the pending JSONL batch),
+// deciding capture retention: keep the trace+profile when the query was
+// sampled or crossed a slow threshold (wall or bytes).
+func (lq *LiveQuery) Finish(o Outcome, prof *obs.PlanProfile) {
+	if lq == nil {
+		return
+	}
+	h := lq.h
+	lq.mu.Lock()
+	rec := QueryRecord{
+		ID:          lq.ID,
+		Query:       lq.Query,
+		Fingerprint: Fingerprint(lq.Query),
+		PlanHash:    lq.planHash,
+		Session:     lq.Meta.Session,
+		Pool:        lq.Meta.Pool,
+		Tenant:      lq.Meta.Tenant,
+		Engine:      lq.Engine,
+		EstRows:     lq.estRows,
+		ActualRows:  o.ActualRows,
+		QueueWait:   lq.Meta.QueueWait,
+		Wall:        o.Wall,
+		Total:       lq.Meta.QueueWait + o.Wall,
+		DFSBytes:    o.DFSBytes,
+		CacheBytes:  o.CacheBytes,
+		TotalBytes:  o.TotalBytes,
+		Shuffle:     o.ShuffleBytes,
+		Retries:     o.Retries,
+		FailedTasks: o.FailedTasks,
+		Preemptions: lq.Meta.Preemptions,
+		Sampled:     lq.sampled,
+		Start:       lq.Start,
+	}
+	tracer, sampled := lq.tracer, lq.sampled
+	lq.mu.Unlock()
+
+	rec.State = o.State
+	if rec.State == "" {
+		switch {
+		case o.Err == nil:
+			rec.State = "ok"
+		case o.Cancelled:
+			rec.State = "cancelled"
+		default:
+			rec.State = "failed"
+		}
+	}
+	if o.Err != nil {
+		rec.Error = o.Err.Error()
+	}
+
+	slow := (h.cfg.SlowWall > 0 && o.Wall >= h.cfg.SlowWall) ||
+		(h.cfg.SlowBytes > 0 && o.TotalBytes >= h.cfg.SlowBytes)
+	capture := tracer != nil && (slow || sampled)
+	rec.Traced = capture
+
+	h.stats.Recorded.Add(1)
+	if sampled {
+		h.stats.Sampled.Add(1)
+	}
+
+	var flush []QueryRecord
+	var seq int64
+	h.mu.Lock()
+	delete(h.live, lq.ID)
+	h.ring[h.next] = rec
+	h.next = (h.next + 1) % len(h.ring)
+	h.total++
+	if capture {
+		h.stats.Captured.Add(1)
+		h.caps[rec.ID] = &Capture{ID: rec.ID, Query: rec.Query, Wall: o.Wall, Sampled: sampled, Tracer: tracer, Profile: prof}
+		h.capOrder = append(h.capOrder, rec.ID)
+		for len(h.capOrder) > h.cfg.MaxCaptures {
+			delete(h.caps, h.capOrder[0])
+			h.capOrder = h.capOrder[1:]
+		}
+	}
+	h.pending = append(h.pending, rec)
+	if len(h.pending) >= h.cfg.FlushEvery {
+		flush = h.pending
+		h.pending = nil
+		h.segSeq++
+		seq = h.segSeq
+	}
+	h.mu.Unlock()
+	if flush != nil {
+		h.writeSegment(seq, flush)
+	}
+}
+
+// Flush persists any pending records as a (short) JSONL segment; the
+// driver calls it on Close so no finished query is lost.
+func (h *History) Flush() {
+	if !h.Enabled() {
+		return
+	}
+	h.mu.Lock()
+	flush := h.pending
+	h.pending = nil
+	var seq int64
+	if flush != nil {
+		h.segSeq++
+		seq = h.segSeq
+	}
+	h.mu.Unlock()
+	if flush != nil {
+		h.writeSegment(seq, flush)
+	}
+}
+
+// writeSegment publishes one immutable JSONL segment via the atomic
+// temp+CRC+rename path and prunes segments beyond KeepSegments.
+func (h *History) writeSegment(seq int64, recs []QueryRecord) {
+	if h.fs == nil {
+		return
+	}
+	var buf []byte
+	for i := range recs {
+		line, err := json.Marshal(&recs[i])
+		if err != nil {
+			h.stats.FlushErrors.Add(1)
+			return
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	path := fmt.Sprintf("%s/history-%06d.jsonl", h.cfg.Dir, seq)
+	if err := h.fs.WriteAtomic(path, buf); err != nil {
+		h.stats.FlushErrors.Add(1)
+		return
+	}
+	h.stats.Flushes.Add(1)
+	var drop []string
+	h.mu.Lock()
+	h.segments = append(h.segments, path)
+	for len(h.segments) > h.cfg.KeepSegments {
+		drop = append(drop, h.segments[0])
+		h.segments = h.segments[1:]
+	}
+	h.mu.Unlock()
+	for _, p := range drop {
+		h.fs.Remove(p)
+	}
+}
+
+// Segments lists the currently retained JSONL segment paths, oldest
+// first.
+func (h *History) Segments() []string {
+	if !h.Enabled() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.segments...)
+}
+
+// Records returns the ring's contents, oldest first.
+func (h *History) Records() []QueryRecord {
+	if !h.Enabled() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.recordsLocked()
+}
+
+func (h *History) recordsLocked() []QueryRecord {
+	n := int(h.total)
+	if n > len(h.ring) {
+		n = len(h.ring)
+	}
+	out := make([]QueryRecord, 0, n)
+	start := h.next - n
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, h.ring[(start+i)%len(h.ring)])
+	}
+	return out
+}
+
+// Tail returns the most recent n records, newest first.
+func (h *History) Tail(n int) []QueryRecord {
+	recs := h.Records()
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	return recs
+}
+
+// Record returns the record with the given query id, if still in the
+// ring.
+func (h *History) Record(id int64) (QueryRecord, bool) {
+	if !h.Enabled() {
+		return QueryRecord{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rec := range h.recordsLocked() {
+		if rec.ID == id {
+			return rec, true
+		}
+	}
+	return QueryRecord{}, false
+}
+
+// Last returns the most recently finished record.
+func (h *History) Last() (QueryRecord, bool) {
+	recs := h.Tail(1)
+	if len(recs) == 0 {
+		return QueryRecord{}, false
+	}
+	return recs[0], true
+}
+
+// Total counts every record ever finished (the ring holds the most recent
+// RingSize of them).
+func (h *History) Total() int64 {
+	if !h.Enabled() {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// LiveInfo is a snapshot of one in-flight query.
+type LiveInfo struct {
+	ID      int64
+	Query   string
+	Engine  string
+	Session string
+	Pool    string
+	Elapsed time.Duration
+	Traced  bool
+}
+
+// Live snapshots the in-flight queries, oldest first.
+func (h *History) Live() []LiveInfo {
+	if !h.Enabled() {
+		return nil
+	}
+	h.mu.Lock()
+	lqs := make([]*LiveQuery, 0, len(h.live))
+	for _, lq := range h.live {
+		lqs = append(lqs, lq)
+	}
+	h.mu.Unlock()
+	out := make([]LiveInfo, 0, len(lqs))
+	for _, lq := range lqs {
+		lq.mu.Lock()
+		out = append(out, LiveInfo{
+			ID: lq.ID, Query: lq.Query, Engine: lq.Engine,
+			Session: lq.Meta.Session, Pool: lq.Meta.Pool,
+			Elapsed: time.Since(lq.Start), Traced: lq.tracer != nil,
+		})
+		lq.mu.Unlock()
+	}
+	sortLive(out)
+	return out
+}
+
+func sortLive(out []LiveInfo) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+// Capture returns a retained slow/sampled query's trace+profile.
+func (h *History) Capture(id int64) (*Capture, bool) {
+	if !h.Enabled() {
+		return nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.caps[id]
+	return c, ok
+}
+
+// Captures lists retained capture ids, oldest first.
+func (h *History) Captures() []int64 {
+	if !h.Enabled() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.capOrder...)
+}
+
+// Fingerprint hashes a query text with literals normalized away (numbers
+// and string literals replaced by '?', case folded, whitespace collapsed)
+// so repeated parameterized traffic shares one fingerprint.
+func Fingerprint(query string) uint64 {
+	h := fnv.New64a()
+	var one [1]byte
+	emit := func(c byte) {
+		one[0] = c
+		h.Write(one[:])
+	}
+	prevIdent := false // previous emitted char continued an identifier
+	i, n := 0, len(query)
+	for i < n {
+		c := query[i]
+		switch {
+		case c == '\'':
+			// String literal; '' escapes a quote.
+			i++
+			for i < n {
+				if query[i] == '\'' {
+					if i+1 < n && query[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			emit('?')
+			prevIdent = false
+		case c >= '0' && c <= '9' && !prevIdent:
+			for i < n && ((query[i] >= '0' && query[i] <= '9') || query[i] == '.') {
+				i++
+			}
+			emit('?')
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			for i < n {
+				c = query[i]
+				if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+					break
+				}
+				i++
+			}
+			emit(' ')
+			prevIdent = false
+		default:
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			emit(c)
+			prevIdent = c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+			i++
+		}
+	}
+	return h.Sum64()
+}

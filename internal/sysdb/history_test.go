@@ -1,0 +1,308 @@
+package sysdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/obs"
+)
+
+func TestRingBounded(t *testing.T) {
+	h := New(nil, Config{RingSize: 4, SampleEvery: -1})
+	for i := 1; i <= 10; i++ {
+		lq := h.Begin(int64(i), fmt.Sprintf("select %d", i), "mr", Meta{})
+		lq.Finish(Outcome{ActualRows: int64(i), Wall: time.Duration(i) * time.Millisecond}, nil)
+	}
+	recs := h.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring length = %d, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := int64(7 + i); rec.ID != want {
+			t.Fatalf("ring[%d].ID = %d, want %d (oldest-first)", i, rec.ID, want)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", h.Total())
+	}
+	tail := h.Tail(2)
+	if len(tail) != 2 || tail[0].ID != 10 || tail[1].ID != 9 {
+		t.Fatalf("Tail(2) = %+v, want ids 10,9 newest-first", tail)
+	}
+	if rec, ok := h.Last(); !ok || rec.ID != 10 || rec.State != "ok" {
+		t.Fatalf("Last = %+v ok=%v", rec, ok)
+	}
+	if rec, ok := h.Record(8); !ok || rec.ActualRows != 8 {
+		t.Fatalf("Record(8) = %+v ok=%v", rec, ok)
+	}
+	if _, ok := h.Record(3); ok {
+		t.Fatal("Record(3) should have been evicted from the ring")
+	}
+}
+
+func TestStates(t *testing.T) {
+	h := New(nil, Config{SampleEvery: -1})
+	h.Begin(1, "q", "tez", Meta{}).Finish(Outcome{}, nil)
+	h.Begin(2, "q", "tez", Meta{}).Finish(Outcome{Err: errors.New("boom")}, nil)
+	h.Begin(3, "q", "tez", Meta{}).Finish(Outcome{Err: errors.New("ctx"), Cancelled: true}, nil)
+	h.Begin(4, "q", "tez", Meta{}).Finish(Outcome{Err: errors.New("pre"), State: "preempted"}, nil)
+	want := map[int64]string{1: "ok", 2: "failed", 3: "cancelled", 4: "preempted"}
+	for id, state := range want {
+		rec, ok := h.Record(id)
+		if !ok || rec.State != state {
+			t.Fatalf("record %d state = %q ok=%v, want %q", id, rec.State, ok, state)
+		}
+	}
+	if rec, _ := h.Record(2); rec.Error != "boom" {
+		t.Fatalf("record 2 error = %q", rec.Error)
+	}
+}
+
+func TestFingerprintNormalizesLiterals(t *testing.T) {
+	a := Fingerprint("SELECT a FROM t WHERE x = 10 AND s = 'foo'")
+	b := Fingerprint("select a from  t where x = 99999 and s = 'other''quoted'")
+	if a != b {
+		t.Fatalf("literal-normalized fingerprints differ: %x vs %x", a, b)
+	}
+	c := Fingerprint("select b from t where x = 10 and s = 'foo'")
+	if a == c {
+		t.Fatal("different column should change the fingerprint")
+	}
+	// Digits inside identifiers are part of the name, not a literal.
+	if Fingerprint("select c1 from t") == Fingerprint("select c2 from t") {
+		t.Fatal("identifier digits must not be normalized away")
+	}
+}
+
+func TestJSONLFlushAndRotation(t *testing.T) {
+	fs := dfs.New()
+	h := New(fs, Config{FlushEvery: 3, KeepSegments: 2, SampleEvery: -1, Dir: "/sys/history"})
+	for i := 1; i <= 10; i++ {
+		lq := h.Begin(int64(i), "select 1", "mr", Meta{})
+		lq.Finish(Outcome{ActualRows: 1}, nil)
+	}
+	// 10 finishes at FlushEvery=3 → 3 segments written, KeepSegments=2 kept.
+	segs := h.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v, want 2 retained", segs)
+	}
+	h.Flush() // records 10 (pending=1) → third retained segment
+	segs = h.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments after flush = %v, want 2 retained", segs)
+	}
+	if got := len(fs.List("/sys/history")); got != 2 {
+		t.Fatalf("on-DFS segments = %d, want pruned to 2", got)
+	}
+	// The last segment holds exactly record 10 as one JSON line.
+	data, err := fs.ReadVerified(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	var ids []int64
+	for sc.Scan() {
+		var rec QueryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	if len(ids) != 1 || ids[0] != 10 {
+		t.Fatalf("final segment ids = %v, want [10]", ids)
+	}
+	if h.Stats().Flushes.Load() != 4 {
+		t.Fatalf("flushes = %d, want 4", h.Stats().Flushes.Load())
+	}
+}
+
+func TestCaptureRetention(t *testing.T) {
+	h := New(nil, Config{SlowWall: 50 * time.Millisecond, SlowBytes: 1000, SampleEvery: -1, MaxCaptures: 2})
+
+	// Fast, small, untraced: no capture.
+	h.Begin(1, "q1", "mr", Meta{}).Finish(Outcome{Wall: time.Millisecond}, nil)
+	// Traced but fast and small: trace discarded.
+	lq := h.Begin(2, "q2", "mr", Meta{})
+	lq.AttachTrace(obs.NewTracer(), false)
+	lq.Finish(Outcome{Wall: time.Millisecond}, nil)
+	// Traced and slow by wall: captured.
+	lq = h.Begin(3, "q3", "mr", Meta{})
+	lq.AttachTrace(obs.NewTracer(), false)
+	lq.Finish(Outcome{Wall: time.Second}, nil)
+	// Traced and big by bytes: captured.
+	lq = h.Begin(4, "q4", "mr", Meta{})
+	lq.AttachTrace(obs.NewTracer(), false)
+	lq.Finish(Outcome{Wall: time.Millisecond, TotalBytes: 4000}, nil)
+	// Sampled: captured regardless of speed.
+	lq = h.Begin(5, "q5", "mr", Meta{})
+	lq.AttachTrace(obs.NewTracer(), true)
+	lq.Finish(Outcome{Wall: time.Microsecond}, nil)
+
+	if _, ok := h.Capture(1); ok {
+		t.Fatal("untraced query must not be captured")
+	}
+	if _, ok := h.Capture(2); ok {
+		t.Fatal("fast small traced query must not be retained")
+	}
+	// MaxCaptures=2 → 3 evicted, 4 and 5 retained.
+	if _, ok := h.Capture(3); ok {
+		t.Fatal("capture 3 should have been evicted (MaxCaptures=2)")
+	}
+	for _, id := range []int64{4, 5} {
+		c, ok := h.Capture(id)
+		if !ok || c.Tracer == nil {
+			t.Fatalf("capture %d missing", id)
+		}
+	}
+	if rec, _ := h.Record(3); rec.Traced != true {
+		t.Fatal("record 3 was captured at finish; Traced should be recorded true")
+	}
+	if rec, _ := h.Record(2); rec.Traced {
+		t.Fatal("record 2 trace was discarded; Traced should be false")
+	}
+	if got := h.Captures(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("Captures() = %v, want [4 5]", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	h := New(nil, Config{SampleEvery: 4})
+	var hits int
+	for i := 0; i < 16; i++ {
+		if h.SampleNext() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("SampleNext hit %d of 16 at SampleEvery=4, want 4", hits)
+	}
+	if !New(nil, Config{SampleEvery: 1}).SampleNext() {
+		t.Fatal("SampleEvery=1 must sample every query")
+	}
+	if New(nil, Config{SampleEvery: -1}).SampleNext() {
+		t.Fatal("negative SampleEvery must disable sampling")
+	}
+}
+
+func TestDisabledAndNilSafety(t *testing.T) {
+	h := New(dfs.New(), Config{Disabled: true})
+	if h.Enabled() {
+		t.Fatal("disabled history reports Enabled")
+	}
+	lq := h.Begin(1, "q", "mr", Meta{})
+	if lq != nil {
+		t.Fatal("disabled Begin must return nil")
+	}
+	// All of these must no-op on the nil handle.
+	lq.SetPlan(1, 2)
+	lq.AttachTrace(obs.NewTracer(), true)
+	if lq.Traced() {
+		t.Fatal("nil LiveQuery reports traced")
+	}
+	lq.Finish(Outcome{}, nil)
+	h.Flush()
+	if h.SampleNext() || h.SlowCandidate(1<<40) || h.Total() != 0 {
+		t.Fatal("disabled history must be inert")
+	}
+	if h.Records() != nil || h.Live() != nil || h.Segments() != nil {
+		t.Fatal("disabled history must return empty views")
+	}
+	var nilH *History
+	if nilH.Enabled() || nilH.SampleNext() {
+		t.Fatal("nil *History must be inert")
+	}
+	nilH.Flush()
+}
+
+func TestLiveQueries(t *testing.T) {
+	h := New(nil, Config{SampleEvery: -1})
+	lq1 := h.Begin(1, "long running", "llap", Meta{Session: "s1", Pool: "interactive"})
+	h.Begin(2, "other", "llap", Meta{})
+	live := h.Live()
+	if len(live) != 2 || live[0].ID != 1 || live[0].Session != "s1" || live[0].Pool != "interactive" {
+		t.Fatalf("Live() = %+v", live)
+	}
+	lq1.Finish(Outcome{}, nil)
+	if live = h.Live(); len(live) != 1 || live[0].ID != 2 {
+		t.Fatalf("after finish Live() = %+v", live)
+	}
+}
+
+func TestConcurrentFinish(t *testing.T) {
+	fs := dfs.New()
+	h := New(fs, Config{RingSize: 64, FlushEvery: 8, SampleEvery: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := int64(g*1000 + i)
+				lq := h.Begin(id, "select 1", "tez", Meta{})
+				if h.SampleNext() {
+					lq.AttachTrace(obs.NewTracer(), true)
+				}
+				lq.Finish(Outcome{ActualRows: 1}, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Total() != 400 {
+		t.Fatalf("Total = %d, want 400", h.Total())
+	}
+	if len(h.Records()) != 64 {
+		t.Fatalf("ring = %d, want 64", len(h.Records()))
+	}
+}
+
+func TestSysTableDefs(t *testing.T) {
+	h := New(nil, Config{SampleEvery: -1})
+	lq := h.Begin(7, "select x", "mr", Meta{Session: "s", Pool: "p", Tenant: "t"})
+	lq.SetPlan(0xabc, 42)
+	lq.Finish(Outcome{ActualRows: 5, DFSBytes: 100, CacheBytes: 20, TotalBytes: 120, Wall: 3 * time.Millisecond}, nil)
+	h.Begin(8, "running", "tez", Meta{})
+
+	q := h.QueriesTable()
+	if q.Name != "sys.queries" {
+		t.Fatalf("name = %s", q.Name)
+	}
+	rows := q.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("sys.queries rows = %d", len(rows))
+	}
+	if len(rows[0]) != len(q.Schema.Columns) {
+		t.Fatalf("row width %d != schema width %d", len(rows[0]), len(q.Schema.Columns))
+	}
+	for i, v := range rows[0] {
+		switch v.(type) {
+		case int64, string:
+		default:
+			t.Fatalf("sys.queries col %s has non-Long/String value %T", q.Schema.Columns[i].Name, v)
+		}
+	}
+	if rows[0][0] != int64(7) || rows[0][1] != "select x" || rows[0][11] != int64(5) {
+		t.Fatalf("sys.queries row = %v", rows[0])
+	}
+
+	lv := h.LiveQueriesTable()
+	rows = lv.Rows()
+	if len(rows) != 1 || rows[0][0] != int64(8) {
+		t.Fatalf("sys.live_queries rows = %v", rows)
+	}
+	if len(rows[0]) != len(lv.Schema.Columns) {
+		t.Fatalf("live row width %d != schema width %d", len(rows[0]), len(lv.Schema.Columns))
+	}
+}
+
+func TestIsSysTable(t *testing.T) {
+	if !IsSysTable("sys.queries") || IsSysTable("lineitem") || IsSysTable("system") {
+		t.Fatal("IsSysTable misclassifies")
+	}
+}

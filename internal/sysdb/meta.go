@@ -1,0 +1,39 @@
+package sysdb
+
+import (
+	"context"
+	"time"
+)
+
+// Meta is who/where context for a query record, supplied by whatever
+// admitted the query: the server's session loop sets session, pool,
+// tenant, admission wait and prior-preemption count before dispatching to
+// the driver; bare driver callers (REPL, tests) leave it zero.
+type Meta struct {
+	Session string
+	Pool    string
+	Tenant  string
+	// QueueWait is the admission-queue wait that preceded this attempt.
+	QueueWait time.Duration
+	// Preemptions counts earlier attempts of this statement that were
+	// cancel-and-requeued before this one ran.
+	Preemptions int64
+	// Classify, when set, maps a run error (and the context cancel cause)
+	// to a final state string — the server uses it to label preemptions,
+	// which look like ordinary cancellations from inside the driver.
+	Classify func(err, cause error) string
+}
+
+type metaKey struct{}
+
+// WithMeta attaches query-record metadata to a context; the driver reads
+// it at query start.
+func WithMeta(ctx context.Context, m Meta) context.Context {
+	return context.WithValue(ctx, metaKey{}, m)
+}
+
+// MetaFrom extracts the metadata attached by WithMeta (zero when absent).
+func MetaFrom(ctx context.Context) Meta {
+	m, _ := ctx.Value(metaKey{}).(Meta)
+	return m
+}

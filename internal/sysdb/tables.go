@@ -1,0 +1,113 @@
+package sysdb
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// TableDef is one `sys.*` virtual table: a fixed schema plus a snapshot
+// function producing its rows at scan time. Definitions are registered on
+// the driver (builtins) or by subsystems that own the state (the server
+// registers sys.pools and sys.sessions).
+type TableDef struct {
+	Name   string // fully qualified, e.g. "sys.queries"
+	Schema *types.Schema
+	Rows   func() []types.Row
+}
+
+// IsSysTable reports whether a table reference names the sys database.
+func IsSysTable(name string) bool { return strings.HasPrefix(name, "sys.") }
+
+func long() *types.Type { return types.Primitive(types.Long) }
+func str() *types.Type  { return types.Primitive(types.String) }
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// QueriesTable exposes the history ring as sys.queries. Durations are in
+// milliseconds (wall_ms etc.) so threshold predicates read naturally.
+func (h *History) QueriesTable() TableDef {
+	return TableDef{
+		Name: "sys.queries",
+		Schema: types.NewSchema(
+			types.Col("qid", long()),
+			types.Col("query", str()),
+			types.Col("fingerprint", long()),
+			types.Col("plan_hash", long()),
+			types.Col("session", str()),
+			types.Col("pool", str()),
+			types.Col("tenant", str()),
+			types.Col("engine", str()),
+			types.Col("state", str()),
+			types.Col("error", str()),
+			types.Col("est_rows", long()),
+			types.Col("actual_rows", long()),
+			types.Col("queue_ms", long()),
+			types.Col("wall_ms", long()),
+			types.Col("total_ms", long()),
+			types.Col("bytes_dfs", long()),
+			types.Col("bytes_cache", long()),
+			types.Col("bytes_total", long()),
+			types.Col("shuffle_bytes", long()),
+			types.Col("retries", long()),
+			types.Col("failed_tasks", long()),
+			types.Col("preemptions", long()),
+			types.Col("sampled", long()),
+			types.Col("traced", long()),
+			types.Col("start_ms", long()),
+		),
+		Rows: func() []types.Row {
+			recs := h.Records()
+			rows := make([]types.Row, 0, len(recs))
+			for _, r := range recs {
+				rows = append(rows, types.Row{
+					r.ID, r.Query, int64(r.Fingerprint), int64(r.PlanHash),
+					r.Session, r.Pool, r.Tenant, r.Engine, r.State, r.Error,
+					r.EstRows, r.ActualRows,
+					r.QueueWait.Milliseconds(), r.Wall.Milliseconds(), r.Total.Milliseconds(),
+					r.DFSBytes, r.CacheBytes, r.TotalBytes, r.Shuffle,
+					r.Retries, r.FailedTasks, r.Preemptions,
+					b2i(r.Sampled), b2i(r.Traced), r.Start.UnixMilli(),
+				})
+			}
+			return rows
+		},
+	}
+}
+
+// LiveQueriesTable exposes in-flight queries as sys.live_queries.
+func (h *History) LiveQueriesTable() TableDef {
+	return TableDef{
+		Name: "sys.live_queries",
+		Schema: types.NewSchema(
+			types.Col("qid", long()),
+			types.Col("query", str()),
+			types.Col("session", str()),
+			types.Col("pool", str()),
+			types.Col("engine", str()),
+			types.Col("elapsed_ms", long()),
+			types.Col("traced", long()),
+		),
+		Rows: func() []types.Row {
+			live := h.Live()
+			rows := make([]types.Row, 0, len(live))
+			for _, q := range live {
+				rows = append(rows, types.Row{
+					q.ID, q.Query, q.Session, q.Pool, q.Engine,
+					q.Elapsed.Milliseconds(), b2i(q.Traced),
+				})
+			}
+			return rows
+		},
+	}
+}
+
+// SortDefs orders table definitions by name for stable listings.
+func SortDefs(defs []TableDef) {
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+}
