@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-core bench-llap bench-join bench-cbo bench-concurrency bench-acid bench-ops faults difftest obs
+.PHONY: check vet build test race race-core bench-llap bench-join bench-cbo bench-concurrency bench-acid bench-ops bench-prune faults difftest obs
 
 # check is the tier-1 gate plus the targeted race pass: everything a PR
 # must pass. `make race` remains the full-repo race sweep. The bench steps
@@ -20,16 +20,19 @@ check: vet build test race-core
 	$(GO) test -run=TestOpsShape -count=1 ./internal/bench
 	$(GO) test -run=TestAdminPlane -count=1 ./internal/server
 	$(GO) test -run=TestSysTablesAllEngines -count=1 ./internal/core
+	$(GO) test -run=TestPruneShape -count=1 ./internal/core
 
 # race-core is the fast race pass over the correctness-critical packages
 # (the differential harness, the engine layers it drives, the multi-tenant
 # server dispatching them in parallel, the transaction manager whose
 # commits and compactions race those queries, the vector batch/pool
 # primitives shared across concurrent tasks, the observability
-# counters those layers mutate while queries run, and the statistics
-# catalog that write commits and query planning update concurrently).
+# counters those layers mutate while queries run, the statistics
+# catalog that write commits and query planning update concurrently, the
+# physical operators bucket joins route splits through, and the optimizer
+# passes that prune the layout those splits come from).
 race-core:
-	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap ./internal/stats ./internal/sysdb
+	$(GO) test -race ./internal/qcheck ./internal/core ./internal/server ./internal/txn ./internal/mapred ./internal/vexec ./internal/vector ./internal/obs ./internal/dfs ./internal/llap ./internal/stats ./internal/sysdb ./internal/exec ./internal/optimizer
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +78,13 @@ bench-acid:
 # scraper over loopback HTTP), reporting the throughput overhead.
 bench-ops:
 	$(GO) run ./cmd/benchrunner -exp ops
+
+# bench-prune reproduces E18: partition pruning, hash bucketing and
+# HAIL-style replica-divergent indexing — bytes read with the layout
+# optimizations off vs on, shuffle bytes across join strategies, and
+# replica-routing hit rates with and without a lost replica.
+bench-prune:
+	$(GO) run ./cmd/benchrunner -exp prune
 
 # faults runs the E10 fault matrix: seeded task crashes, read faults, a
 # corrupt block, stragglers and cache faults on all three engines.

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|cbo|llap|concurrency|faults|obs|acid|ops|ablations|all, or diff (E11, only when named explicitly)")
+	exp := flag.String("exp", "all", "experiment: table2|fig9|fig10|fig11a|fig11b|fig12|tez|join|cbo|llap|concurrency|faults|obs|acid|ops|prune|ablations|all, or diff (E11, only when named explicitly)")
 	tracePath := flag.String("trace", "", "write the obs experiment's spans as Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	runs := flag.Int("runs", 3, "repetitions for timing experiments")
@@ -35,6 +35,7 @@ func main() {
 	opsClients := flag.Int("ops-clients", 64, "client count for the observability-overhead experiment (E17)")
 	acidRows := flag.Int("acid-rows", 24000, "rows streamed into the ACID table for E15")
 	acidReads := flag.Int("acid-reads", 24, "measurement reads for E15's compaction phases")
+	pruneRows := flag.Int("prune-rows", 48000, "fact-table rows for the physical-layout experiment (E18)")
 	flag.Parse()
 
 	cfg := bench.EnvConfig{
@@ -176,6 +177,14 @@ func main() {
 			return err
 		}
 		bench.PrintOps(os.Stdout, rep)
+		return nil
+	})
+	run("prune", func() error {
+		rep, err := bench.RunPrune(cfg, *pruneRows, *runs)
+		if err != nil {
+			return err
+		}
+		bench.PrintPrune(os.Stdout, rep)
 		return nil
 	})
 	run("obs", func() error {

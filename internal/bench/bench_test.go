@@ -535,3 +535,45 @@ func TestACIDShape(t *testing.T) {
 		}
 	}
 }
+
+// TestPruneBenchShape is the E18 smoke: at tiny scale the layout arm must
+// still read >=5x fewer bytes than the baseline, the bucketed joins must
+// shuffle nothing, and replica routing must keep a majority hit rate even
+// with a divergent replica lost — all while every arm stays row-identical.
+func TestPruneBenchShape(t *testing.T) {
+	rep, err := RunPrune(EnvConfig{DiskBandwidth: -1}, 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent {
+		t.Error("a layout arm returned different rows than its counterpart")
+	}
+	if rep.ScanBytesLayout*5 > rep.ScanBytesBase {
+		t.Errorf("selective scan: layout read %d bytes, want <= 1/5 of baseline %d",
+			rep.ScanBytesLayout, rep.ScanBytesBase)
+	}
+	if rep.StarBytesLayout >= rep.StarBytesBase {
+		t.Errorf("star join: layout read %d bytes, baseline %d", rep.StarBytesLayout, rep.StarBytesBase)
+	}
+	if rep.ShuffleJoinBytes == 0 {
+		t.Error("shuffle-join baseline shuffled no bytes")
+	}
+	if rep.BucketMapBytes != 0 || rep.SMBBytes != 0 {
+		t.Errorf("bucketed joins shuffled bytes: bucket map %d, SMB %d", rep.BucketMapBytes, rep.SMBBytes)
+	}
+	if rep.HitRateAllUp <= 0.5 || rep.HitRateOneLost <= 0.5 {
+		t.Errorf("replica routing hit rates too low: %.2f all up, %.2f one lost",
+			rep.HitRateAllUp, rep.HitRateOneLost)
+	}
+	if rep.FallbacksOneLost == 0 {
+		t.Error("losing a replica recorded no fallbacks")
+	}
+	var buf bytes.Buffer
+	PrintPrune(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"E18", "SS-DB q1", "TPC-DS q27", "SMB", "replica routing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintPrune output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// prune.go drives E18, the physical-layout experiment (DESIGN.md S27):
+// partition pruning, hash bucketing and HAIL-style replica-divergent
+// indexing, measured as bytes *not read* and bytes *not shuffled* rather
+// than raw scan speed. Three phases: a selective scan and a star join with
+// the layout optimizations off vs on (SS-DB q1 / TPC-DS q27 shapes), the
+// same join executed as a shuffle join vs a bucket map join vs an SMB
+// join, and replica-routing hit rates with every replica up vs one
+// divergent replica lost. Every arm's rows are cross-checked against its
+// counterpart — a layout optimization that changes an answer is a bug,
+// not a speedup.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/types"
+)
+
+// PruneReport is E18's outcome.
+type PruneReport struct {
+	FactRows   int
+	Partitions int
+	Buckets    int
+
+	// Selective scan (SS-DB q1 shape): one day, one uid. Three arms — the
+	// zero-optimization baseline, everything on except the layout axes
+	// (ORC pushdown skips inside files), everything on (pruning never
+	// opens the files at all).
+	ScanBytesBase, ScanBytesPush, ScanBytesLayout int64
+	ScanBase, ScanPush, ScanLayout                time.Duration
+
+	// Star join (TPC-DS q27 shape): pruned fact joined to a co-bucketed
+	// dimension with a grouped aggregate on top; same three arms.
+	StarBytesBase, StarBytesPush, StarBytesLayout int64
+	StarBase, StarPush, StarLayout                time.Duration
+
+	// The same logical join under three physical strategies.
+	ShuffleJoinBytes, BucketMapBytes, SMBBytes int64
+	ShuffleJoinTime, BucketMapTime, SMBTime    time.Duration
+
+	// Replica routing over the divergently replicated table: hit rate =
+	// routed hits / (hits + fallbacks) across the query set, with all
+	// replicas up and with replica 1 (the uid-sorted copies) lost.
+	RoutedQueries    int
+	HitRateAllUp     float64
+	HitRateOneLost   float64
+	FallbacksOneLost int64
+
+	// Consistent is false if any arm's rows disagreed with its counterpart.
+	Consistent bool
+}
+
+const (
+	pruneDays    = 8
+	pruneBuckets = 8
+	pruneUIDs    = 64
+)
+
+// layoutOnOff returns the fully optimized configuration with just the
+// three layout axes toggled, so the off arm differs from the on arm in
+// nothing but the layout optimizations.
+func layoutOnOff(on bool) optimizer.Options {
+	o := optimizer.AllOn()
+	o.PartitionPruning = on
+	o.BucketJoin = on
+	o.ReplicaRouting = on
+	return o
+}
+
+func pruneDay(i int) string { return fmt.Sprintf("2014-01-%02d", i%pruneDays+1) }
+
+// pruneSalesRow decorrelates day and uid (uid cycles within each day) so
+// every (day, uid) pair occurs and a conjunctive predicate has matches.
+func pruneSalesRow(i int) types.Row {
+	return types.Row{pruneDay(i / pruneUIDs), int64(i % pruneUIDs), int64(i % 7)}
+}
+
+// newPruneBenchDriver builds the E18 warehouse: a partitioned+bucketed
+// fact table, the same rows flat (the off-arm strawman is the same table
+// scanned without pruning, but the flat copy anchors result checks), an
+// SMB-compatible copy, a co-bucketed sorted dimension, and a
+// replica-divergent log table.
+func newPruneBenchDriver(cfg EnvConfig, factRows int) (*core.Driver, *dfs.FS, error) {
+	c := cfg.withDefaults()
+	fs := dfs.New(dfs.WithBlockSize(8<<20), dfs.WithSimulatedDisk(c.DiskBandwidth, c.SeekLatency))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4, JobLaunchOverhead: c.LaunchOverhead})
+	d := core.NewDriver(fs, engine, core.Config{
+		DefaultFormat: fileformat.ORC,
+		Opt:           layoutOnOff(true),
+	})
+	load := func(ddl, name string, n int, row func(int) types.Row) error {
+		if _, err := d.Run(ddl); err != nil {
+			return err
+		}
+		l, err := d.Loader(name)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := l.Write(row(i)); err != nil {
+				return err
+			}
+		}
+		return l.Close()
+	}
+	steps := []func() error{
+		func() error {
+			return load(fmt.Sprintf(`CREATE TABLE sales (ds string, uid bigint, qty bigint)
+				PARTITIONED BY (ds) CLUSTERED BY (uid) INTO %d BUCKETS STORED AS orc`, pruneBuckets),
+				"sales", factRows, pruneSalesRow)
+		},
+		func() error {
+			return load(fmt.Sprintf(`CREATE TABLE sales_s (ds string, uid bigint, qty bigint)
+				CLUSTERED BY (uid) SORTED BY (uid) INTO %d BUCKETS STORED AS orc`, pruneBuckets),
+				"sales_s", factRows, pruneSalesRow)
+		},
+		func() error {
+			return load(fmt.Sprintf(`CREATE TABLE users (uid bigint, name string)
+				CLUSTERED BY (uid) SORTED BY (uid) INTO %d BUCKETS STORED AS orc`, pruneBuckets),
+				"users", pruneUIDs, func(i int) types.Row {
+					return types.Row{int64(i), fmt.Sprintf("user-%03d", i)}
+				})
+		},
+		func() error {
+			return load(`CREATE TABLE logs (ds string, uid bigint, val bigint)
+				REPLICATED BY (ds, uid) STORED AS orc`,
+				"logs", factRows/2, func(i int) types.Row {
+					return types.Row{pruneDay(i / pruneUIDs), int64(i % pruneUIDs), int64(i)}
+				})
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			d.Close()
+			return nil, nil, err
+		}
+	}
+	return d, fs, nil
+}
+
+// pruneRun executes one query under the given optimizer options, runs
+// times, returning the sorted rows, the per-run scan stats (identical
+// across runs) and the median latency.
+func pruneRun(d *core.Driver, opt optimizer.Options, query string, runs int) ([]types.Row, core.ExecStats, time.Duration, error) {
+	conf := d.Config()
+	conf.Opt = opt
+	var lats []time.Duration
+	var res *core.Result
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		r, err := d.RunWith(context.Background(), conf, query)
+		if err != nil {
+			return nil, core.ExecStats{}, 0, fmt.Errorf("%s: %w", query, err)
+		}
+		lats = append(lats, time.Since(start))
+		res = r
+	}
+	rows := append([]types.Row(nil), res.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j]) })
+	return rows, res.Stats, quantileDur(lats, 0.50), nil
+}
+
+// RunPrune runs E18 with factRows rows in the fact tables, runs
+// repetitions per timing measurement.
+func RunPrune(cfg EnvConfig, factRows, runs int) (*PruneReport, error) {
+	d, fs, err := newPruneBenchDriver(cfg, factRows)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	rep := &PruneReport{
+		FactRows:   factRows,
+		Partitions: pruneDays,
+		Buckets:    pruneBuckets,
+		Consistent: true,
+	}
+
+	// Phases 1 and 2: the scan-reduction arms. The baseline is the
+	// zero-optimization original-Hive path; the pushdown arm turns
+	// everything on except the layout axes (ORC statistics skip stripes
+	// and index groups *inside* every file); the layout arm additionally
+	// prunes partitions and pins buckets (unqualified files are never
+	// opened at all).
+	arms := []struct {
+		name string
+		opt  optimizer.Options
+	}{
+		{"baseline", optimizer.Options{}},
+		{"pushdown", layoutOnOff(false)},
+		{"layout", layoutOnOff(true)},
+	}
+	// Phase 1: selective scan, SS-DB q1 shape — one partition of eight and
+	// one bucket of eight survive pruning.
+	scanQ := `SELECT uid, qty FROM sales WHERE ds = '2014-01-03' AND uid = 7`
+	// Phase 2: star join, TPC-DS q27 shape — partition predicate on the
+	// fact, bucket join to the dimension, grouped aggregate on top.
+	starQ := `SELECT name, COUNT(*), SUM(qty) FROM sales JOIN users ON sales.uid = users.uid
+		WHERE ds = '2014-01-03' GROUP BY name`
+	measure := func(query string, bytes [3]*int64, lat [3]*time.Duration) error {
+		var want []types.Row
+		for i, arm := range arms {
+			rows, stats, med, err := pruneRun(d, arm.opt, query, runs)
+			if err != nil {
+				return err
+			}
+			*bytes[i], *lat[i] = stats.TotalBytesRead, med
+			if i == 0 {
+				want = rows
+			} else if !reflect.DeepEqual(want, rows) {
+				rep.Consistent = false
+			}
+		}
+		return nil
+	}
+	if err := measure(scanQ,
+		[3]*int64{&rep.ScanBytesBase, &rep.ScanBytesPush, &rep.ScanBytesLayout},
+		[3]*time.Duration{&rep.ScanBase, &rep.ScanPush, &rep.ScanLayout}); err != nil {
+		return nil, err
+	}
+	if err := measure(starQ,
+		[3]*int64{&rep.StarBytesBase, &rep.StarBytesPush, &rep.StarBytesLayout},
+		[3]*time.Duration{&rep.StarBase, &rep.StarPush, &rep.StarLayout}); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: the same logical join as a shuffle join (zero optimizer
+	// options — the classic reduce-side join), a bucket map join (sales is
+	// bucketed but unsorted) and an SMB join (sales_s and users are both
+	// bucketed and sorted on the key).
+	joinQ := `SELECT sales.uid, qty, name FROM sales JOIN users ON sales.uid = users.uid`
+	smbQ := `SELECT sales_s.uid, qty, name FROM sales_s JOIN users ON sales_s.uid = users.uid`
+	want, shStats, shLat, err := pruneRun(d, optimizer.Options{}, joinQ, runs)
+	if err != nil {
+		return nil, err
+	}
+	rep.ShuffleJoinBytes, rep.ShuffleJoinTime = shStats.ShuffleBytes, shLat
+	bmRows, bmStats, bmLat, err := pruneRun(d, layoutOnOff(true), joinQ, runs)
+	if err != nil {
+		return nil, err
+	}
+	rep.BucketMapBytes, rep.BucketMapTime = bmStats.ShuffleBytes, bmLat
+	smbRows, smbStats, smbLat, err := pruneRun(d, layoutOnOff(true), smbQ, runs)
+	if err != nil {
+		return nil, err
+	}
+	rep.SMBBytes, rep.SMBTime = smbStats.ShuffleBytes, smbLat
+	if !reflect.DeepEqual(want, bmRows) || !reflect.DeepEqual(want, smbRows) {
+		rep.Consistent = false
+	}
+
+	// Phase 4: replica routing. Half the probe queries filter on ds (routed
+	// to replica 0, sorted by ds), half on uid (routed to replica 1). Then
+	// replica 1 is lost and the same set re-runs: uid probes fall back to a
+	// surviving copy, ds probes keep their routed replica, and every answer
+	// must survive the loss unchanged.
+	probes := []string{
+		`SELECT uid, val FROM logs WHERE ds = '2014-01-02'`,
+		`SELECT ds, val FROM logs WHERE uid >= 10 AND uid < 20`,
+		`SELECT uid, val FROM logs WHERE ds >= '2014-01-06'`,
+		`SELECT ds, val FROM logs WHERE uid = 33`,
+		`SELECT uid, val FROM logs WHERE ds < '2014-01-03'`,
+	}
+	rep.RoutedQueries = len(probes)
+	routedRate := func() (float64, int64, [][]types.Row, error) {
+		st := fs.Stats()
+		hits0, fb0 := st.ReplicaRoutedHits.Load(), st.ReplicaFallbacks.Load()
+		var all [][]types.Row
+		for _, q := range probes {
+			rows, _, _, err := pruneRun(d, layoutOnOff(true), q, 1)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			all = append(all, rows)
+		}
+		hits, fb := st.ReplicaRoutedHits.Load()-hits0, st.ReplicaFallbacks.Load()-fb0
+		if hits+fb == 0 {
+			return 0, 0, all, nil
+		}
+		return float64(hits) / float64(hits+fb), fb, all, nil
+	}
+	rateUp, _, wantRows, err := routedRate()
+	if err != nil {
+		return nil, err
+	}
+	rep.HitRateAllUp = rateUp
+	meta, err := d.Metastore().Table("logs")
+	if err != nil {
+		return nil, err
+	}
+	lost := 0
+	for _, fi := range fs.List(meta.Path) {
+		if idx, ok := core.IsReplicaFile(fi.Name); ok && idx == 1 {
+			fs.SetUnavailable(fi.Name, true)
+			lost++
+		}
+	}
+	if lost == 0 {
+		return nil, fmt.Errorf("prune: no replica-1 files found under %s", meta.Path)
+	}
+	rateLost, fbLost, gotRows, err := routedRate()
+	if err != nil {
+		return nil, err
+	}
+	rep.HitRateOneLost, rep.FallbacksOneLost = rateLost, fbLost
+	if !reflect.DeepEqual(wantRows, gotRows) {
+		rep.Consistent = false
+	}
+	return rep, nil
+}
+
+// PrintPrune renders the E18 report.
+func PrintPrune(w io.Writer, rep *PruneReport) {
+	fmt.Fprintln(w, "E18: partition pruning, bucketing and replica-divergent indexing (S27)")
+	fmt.Fprintf(w, "fact: %d rows across %d partitions x %d buckets\n",
+		rep.FactRows, rep.Partitions, rep.Buckets)
+	ratio := func(off, on int64) float64 {
+		if on == 0 {
+			return 0
+		}
+		return float64(off) / float64(on)
+	}
+	fmt.Fprintf(w, "selective scan (SS-DB q1 shape): baseline %d B / %s, pushdown %d B / %s, layout %d B / %s (%.0fx fewer bytes than baseline)\n",
+		rep.ScanBytesBase, rep.ScanBase.Round(time.Millisecond),
+		rep.ScanBytesPush, rep.ScanPush.Round(time.Millisecond),
+		rep.ScanBytesLayout, rep.ScanLayout.Round(time.Millisecond),
+		ratio(rep.ScanBytesBase, rep.ScanBytesLayout))
+	fmt.Fprintf(w, "star join (TPC-DS q27 shape): baseline %d B / %s, pushdown %d B / %s, layout %d B / %s (%.0fx fewer bytes than baseline)\n",
+		rep.StarBytesBase, rep.StarBase.Round(time.Millisecond),
+		rep.StarBytesPush, rep.StarPush.Round(time.Millisecond),
+		rep.StarBytesLayout, rep.StarLayout.Round(time.Millisecond),
+		ratio(rep.StarBytesBase, rep.StarBytesLayout))
+	fmt.Fprintf(w, "join shuffle bytes: shuffle join %d B / %s, bucket map join %d B / %s, SMB join %d B / %s\n",
+		rep.ShuffleJoinBytes, rep.ShuffleJoinTime.Round(time.Millisecond),
+		rep.BucketMapBytes, rep.BucketMapTime.Round(time.Millisecond),
+		rep.SMBBytes, rep.SMBTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "replica routing (%d probes): hit rate %.0f%% all replicas up, %.0f%% with replica 1 lost (%d fallbacks)\n",
+		rep.RoutedQueries, 100*rep.HitRateAllUp, 100*rep.HitRateOneLost, rep.FallbacksOneLost)
+	ok := "yes"
+	if !rep.Consistent {
+		ok = "NO"
+	}
+	fmt.Fprintf(w, "all arms row-identical: %s\n", ok)
+}

@@ -173,18 +173,3 @@ func (ex *executor) acidView(table string) (txn.View, bool, error) {
 	ex.mu.Unlock()
 	return v, true, nil
 }
-
-// scanFiles resolves the files a scan of the named table reads: ACID
-// tables through their snapshot-resolved manifest view, regular tables by
-// listing the directory.
-func (ex *executor) scanFiles(table, path string) ([]string, error) {
-	if view, acid, err := ex.acidView(table); acid || err != nil {
-		return view.Files, err
-	}
-	infos := ex.d.fs.List(path)
-	files := make([]string, len(infos))
-	for i, fi := range infos {
-		files[i] = fi.Name
-	}
-	return files, nil
-}

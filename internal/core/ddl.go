@@ -1,0 +1,76 @@
+// ddl.go executes parsed DDL: CREATE TABLE registers the table (and its
+// partition/bucket/replica layout spec) in the metastore. Data arrives
+// through a TableLoader — Loader reopens one for a registered table — so
+// CREATE is pure catalog work, like Hive's.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fileformat"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// executeDDL applies one DDL statement under the query's config snapshot.
+func (d *Driver) executeDDL(conf *Config, stmt *sql.CreateTableStmt) (*Result, error) {
+	cols := make([]types.Field, len(stmt.Cols))
+	for i, c := range stmt.Cols {
+		kind, ok := types.KindFromName(c.Type)
+		if !ok {
+			return nil, fmt.Errorf("core: column %q has unknown type %q", c.Name, c.Type)
+		}
+		cols[i] = types.Col(c.Name, types.Primitive(kind))
+	}
+	schema := types.NewSchema(cols...)
+	format := conf.DefaultFormat
+	if stmt.Format != "" {
+		f, err := formatFromName(stmt.Format)
+		if err != nil {
+			return nil, err
+		}
+		format = f
+	}
+	var spec *PartitionSpec
+	if len(stmt.PartitionBy)+len(stmt.ClusterBy)+len(stmt.ReplicaBy) > 0 {
+		spec = &PartitionSpec{
+			PartitionBy:    stmt.PartitionBy,
+			BucketBy:       stmt.ClusterBy,
+			NumBuckets:     stmt.NumBuckets,
+			SortBy:         stmt.SortBy,
+			ReplicaLayouts: stmt.ReplicaBy,
+		}
+	}
+	if _, err := d.CreateTableSpec(stmt.Name, schema, format, nil, spec); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// Loader reopens a loader for a registered table, the load path behind
+// SQL-created tables (this dialect has no INSERT). Each loader writes a
+// full load: reloading a layout-spec table replaces its partition files.
+func (d *Driver) Loader(name string) (*TableLoader, error) {
+	meta, err := d.meta.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	if meta.ACID {
+		return nil, fmt.Errorf("core: table %q is transactional; write through transactions", name)
+	}
+	return &TableLoader{d: d, meta: meta}, nil
+}
+
+func formatFromName(name string) (fileformat.Kind, error) {
+	switch name {
+	case "textfile", "text":
+		return fileformat.Text, nil
+	case "sequencefile", "seq":
+		return fileformat.Sequence, nil
+	case "rcfile", "rc":
+		return fileformat.RC, nil
+	case "orc":
+		return fileformat.ORC, nil
+	}
+	return 0, fmt.Errorf("core: unknown storage format %q", name)
+}

@@ -108,6 +108,10 @@ type Driver struct {
 
 	sysMu    sync.Mutex
 	sysExtra map[string]sysdb.TableDef // subsystem-registered sys.* tables
+
+	// scanStats counts layout-aware scan resolution (partitions pruned and
+	// scanned, bucket files skipped); registered under the "scan" prefix.
+	scanStats scanStats
 }
 
 // NewDriver assembles a driver over a DFS and a MapReduce engine.
@@ -185,6 +189,7 @@ func (d *Driver) Registry() *obs.Registry {
 		d.reg = obs.NewRegistry()
 		obs.RegisterStruct(d.reg, "dfs", d.fs.Stats())
 		obs.RegisterStruct(d.reg, "mapred", d.engine.Counters())
+		obs.RegisterStruct(d.reg, "scan", &d.scanStats)
 		d.engine.SetTaskHistogram(d.reg.Histogram("mapred.TaskNanos"))
 		d.queryHist.Store(d.reg.Histogram("core.QueryNanos"))
 	}
@@ -252,8 +257,18 @@ func (d *Driver) SetConfig(conf Config) {
 
 // CreateTable registers a table and returns a loader for its data.
 func (d *Driver) CreateTable(name string, schema *types.Schema, format fileformat.Kind, opts *fileformat.Options) (*TableLoader, error) {
+	return d.CreateTableSpec(name, schema, format, opts, nil)
+}
+
+// CreateTableSpec is CreateTable with a physical-layout spec: partition
+// columns, hash buckets, a within-bucket sort order, or per-replica
+// divergent layouts. A nil spec is a plain table.
+func (d *Driver) CreateTableSpec(name string, schema *types.Schema, format fileformat.Kind, opts *fileformat.Options, spec *PartitionSpec) (*TableLoader, error) {
 	if _, err := d.meta.Table(name); err == nil {
 		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	if err := spec.Validate(schema); err != nil {
+		return nil, err
 	}
 	o := fileformat.Options{}
 	if opts != nil {
@@ -263,17 +278,20 @@ func (d *Driver) CreateTable(name string, schema *types.Schema, format fileforma
 	warehouse := d.conf.WarehouseDir
 	d.confMu.RUnlock()
 	meta := &TableMeta{
-		Name:    name,
-		Schema:  schema,
-		Format:  format,
-		Path:    warehouse + "/" + name,
-		Options: o,
+		Name:         name,
+		Schema:       schema,
+		Format:       format,
+		Path:         warehouse + "/" + name,
+		Options:      o,
+		Partitioning: spec,
 	}
 	d.meta.Register(meta)
 	return &TableLoader{d: d, meta: meta}, nil
 }
 
-// TableLoader writes data files into a table.
+// TableLoader writes data files into a table. For tables with a layout
+// spec the loader buffers rows and materializes the partition/bucket/
+// replica layout at Close; for plain tables it streams part files.
 type TableLoader struct {
 	d     *Driver
 	meta  *TableMeta
@@ -281,10 +299,19 @@ type TableLoader struct {
 	w     fileformat.Writer
 	path  string // current part file, for stats recording at seal
 	count int64
+
+	// Layout-spec buffering: partition key -> rows, plus the partition
+	// values behind each key (insertion order kept for determinism).
+	buf      map[string][]types.Row
+	bufVals  map[string][]any
+	bufOrder []string
 }
 
 // Write appends one row, opening a part file on demand.
 func (l *TableLoader) Write(row types.Row) error {
+	if l.meta.Partitioning != nil {
+		return l.bufferRow(row)
+	}
 	if l.w == nil {
 		path := fmt.Sprintf("%s/part-%05d", l.meta.Path, l.part)
 		w, err := fileformat.Create(l.d.fs, path, l.meta.Schema, l.meta.Format, &l.meta.Options)
@@ -301,7 +328,8 @@ func (l *TableLoader) Write(row types.Row) error {
 
 // NextFile closes the current part file so subsequent writes open a new
 // one; loaders use it to spread a table over multiple DFS files (and thus
-// multiple map tasks).
+// multiple map tasks). Layout-spec tables place files by partition and
+// bucket instead, so it is a no-op for them.
 func (l *TableLoader) NextFile() error {
 	if l.w == nil {
 		return nil
@@ -341,8 +369,15 @@ func (d *Driver) noteTableWrite(name string) {
 	}
 }
 
-// Close finishes loading.
-func (l *TableLoader) Close() error { return l.NextFile() }
+// Close finishes loading. Layout-spec tables materialize their buffered
+// rows here: one directory per partition, one file per hash bucket, rows
+// sorted per the spec, and divergent per-replica copies.
+func (l *TableLoader) Close() error {
+	if l.meta.Partitioning != nil {
+		return l.flushPartitioned()
+	}
+	return l.NextFile()
+}
 
 // Rows returns how many rows were loaded.
 func (l *TableLoader) Rows() int64 { return l.count }
@@ -435,6 +470,21 @@ func (d *Driver) explainStaged(ctx context.Context, conf *Config, query string) 
 	return stmt, p, compiled, nil
 }
 
+// logicalTableBytes is the table's primary-replica on-disk size: for
+// layout-spec tables the partition registry's byte totals (divergent
+// replica copies hold the same rows, so counting them would double every
+// size estimate), for plain tables the directory total.
+func (d *Driver) logicalTableBytes(meta *TableMeta) int64 {
+	if meta.Partitioning == nil {
+		return d.fs.TotalSize(meta.Path)
+	}
+	var total int64
+	for _, p := range d.meta.Partitions(meta.Name) {
+		total += p.Bytes
+	}
+	return total
+}
+
 func (d *Driver) optimizerEnv(conf *Config) *optimizer.Env {
 	return &optimizer.Env{
 		Options: conf.Opt,
@@ -443,7 +493,7 @@ func (d *Driver) optimizerEnv(conf *Config) *optimizer.Env {
 			if err != nil {
 				return 0, err
 			}
-			return d.fs.TotalSize(meta.Path), nil
+			return d.logicalTableBytes(meta), nil
 		},
 		TableFormat: func(name string) (fileformat.Kind, bool) {
 			meta, err := d.meta.Table(name)
@@ -453,6 +503,30 @@ func (d *Driver) optimizerEnv(conf *Config) *optimizer.Env {
 			return meta.Format, true
 		},
 		TableStats: d.TableStats,
+		TableLayout: func(name string) (*optimizer.TableLayout, bool) {
+			meta, err := d.meta.Table(name)
+			if err != nil || meta.Partitioning == nil {
+				return nil, false
+			}
+			spec := meta.Partitioning
+			tl := &optimizer.TableLayout{
+				PartitionBy:    spec.PartitionBy,
+				BucketBy:       spec.BucketBy,
+				NumBuckets:     spec.NumBuckets,
+				SortBy:         spec.SortBy,
+				ReplicaLayouts: spec.ReplicaLayouts,
+			}
+			for _, pi := range d.meta.Partitions(name) {
+				tl.Partitions = append(tl.Partitions, optimizer.PartitionMeta{
+					Key:    pi.Key,
+					Path:   pi.Path,
+					Values: pi.Values,
+					Rows:   pi.Rows,
+					Bytes:  pi.Bytes,
+				})
+			}
+			return tl, true
+		},
 	}
 }
 
@@ -479,21 +553,66 @@ func (d *Driver) TableStats(name string) (*stats.TableStats, bool) {
 		files = v.Files
 	} else {
 		infos := d.fs.List(meta.Path)
-		files = make([]string, len(infos))
-		for i, fi := range infos {
-			files[i] = fi.Name
+		files = make([]string, 0, len(infos))
+		for _, fi := range infos {
+			if _, isRep := IsReplicaFile(fi.Name); isRep {
+				// Divergent replica copies hold the same rows as the
+				// primary and carry no catalog stats; counting them would
+				// double every row count (or sink the derivation).
+				continue
+			}
+			files = append(files, fi.Name)
 		}
 	}
 	return d.meta.Stats().Derive(name, version, files)
 }
 
-// EstimateScanBytes returns the total on-disk size of every base table the
-// query references — FROM, JOINs and derived tables, each counted once.
-// The server's workload manager uses it as the memory-admission estimate:
-// a proxy for the query's working set, available before planning. Unknown
-// tables and unparseable queries estimate 0, so admission for them gates on
-// slots alone (the parse error itself surfaces when the query runs).
+// EstimateScanBytes returns the bytes the query will actually read from
+// base tables — each table counted once. The server's workload manager
+// uses it as the memory-admission estimate: a proxy for the query's
+// working set. The estimate is plan-based: the query is planned and
+// optimized so partition pruning applies, and a pruned scan charges only
+// its selected partitions' (primary-replica) bytes — a query over one
+// partition of a large table no longer reserves the whole table's worth of
+// pool memory and queues behind phantom budgets. Plans that don't optimize
+// (unknown tables, unparseable or DDL input) fall back to a parse-only sum
+// of referenced table sizes, or 0, so admission gates on slots alone.
 func (d *Driver) EstimateScanBytes(query string) int64 {
+	conf := d.Config()
+	if _, p, _, err := d.explainStaged(context.Background(), &conf, query); err == nil {
+		perTable := map[string]int64{}
+		p.Walk(func(n plan.Node) {
+			ts, ok := n.(*plan.TableScan)
+			if !ok {
+				return
+			}
+			var bytes int64
+			if ts.Part != nil {
+				bytes = ts.Part.SelBytes
+			} else if meta, err := d.meta.Table(ts.Table); err == nil {
+				bytes = d.logicalTableBytes(meta)
+			} else {
+				return // temp or sys table: no DFS bytes at admission time
+			}
+			// Several scans of one table (self-join, shared scan): charge
+			// the largest working set, not the sum — the data is read from
+			// the same files.
+			if bytes > perTable[ts.Table] {
+				perTable[ts.Table] = bytes
+			}
+		})
+		var total int64
+		for _, b := range perTable {
+			total += b
+		}
+		return total
+	}
+	return d.parseOnlyScanBytes(query)
+}
+
+// parseOnlyScanBytes is the pre-planning fallback estimate: the summed
+// on-disk (primary-replica) size of every referenced table.
+func (d *Driver) parseOnlyScanBytes(query string) int64 {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return 0
@@ -511,7 +630,7 @@ func (d *Driver) EstimateScanBytes(query string) int64 {
 		}
 		seen[r.Table] = true
 		if meta, err := d.meta.Table(r.Table); err == nil {
-			total += d.fs.TotalSize(meta.Path)
+			total += d.logicalTableBytes(meta)
 		}
 	}
 	walk = func(s *sql.SelectStmt) {
@@ -607,6 +726,13 @@ func (d *Driver) runTracked(ctx context.Context, conf *Config, query string, pro
 }
 
 func (d *Driver) runStaged(ctx context.Context, conf *Config, qid int64, query string, profiled bool, lq *sysdb.LiveQuery, h *sysdb.History) (*Result, *plan.Plan, *obs.PlanProfile, error) {
+	if ddl, isDDL, err := sql.MaybeDDL(query); isDDL {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		res, err := d.executeDDL(conf, ddl)
+		return res, nil, nil, err
+	}
 	stmt, p, compiled, err := d.explainStaged(ctx, conf, query)
 	if err != nil {
 		return nil, nil, nil, err

@@ -257,7 +257,7 @@ func (ex *executor) runTask(task *compiler.Task, chained bool) error {
 		if err != nil {
 			return err
 		}
-		files, err := ex.scanFiles(scan.Table, path)
+		files, err := ex.resolveScanFiles(scan, path, -1)
 		if err != nil {
 			return err
 		}
@@ -397,7 +397,9 @@ func (s *sinkSet) abort() {
 // execContext builds the runtime context for one task attempt. aprof is
 // the attempt's private profile (nil when unprofiled); map-join local
 // scans attribute their rows and I/O to the scanned node through it.
-func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapred.Collector, numReduces int, aprof *obs.PlanProfile) *exec.Context {
+// taskBucket is the hash bucket this map task's split is aligned to (-1
+// when not bucket-aligned); bucketed joins build per-bucket sides from it.
+func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapred.Collector, numReduces int, aprof *obs.PlanProfile, taskBucket int) *exec.Context {
 	return &exec.Context{
 		EmitShuffle: func(rs *plan.ReduceSink, key []byte, tag int, value []byte) error {
 			part := 0
@@ -408,10 +410,31 @@ func (ex *executor) execContext(tc *mapred.TaskContext, sinks *sinkSet, out mapr
 		},
 		SinkRow: sinks.sinkRow,
 		ScanRows: func(ts *plan.TableScan) (func() (types.Row, error), error) {
-			return ex.openScan(ts, tc.Ctx, 0, aprof.Op(ts.ID))
+			return ex.openScan(ts, tc.Ctx, 0, aprof.Op(ts.ID), -1)
 		},
+		ScanRowsBucket: func(ts *plan.TableScan, bucket int) (func() (types.Row, error), error) {
+			return ex.openScan(ts, tc.Ctx, 0, aprof.Op(ts.ID), bucket)
+		},
+		TaskBucket:      taskBucket,
 		SharedHashTable: ex.sharedHashTable,
 	}
+}
+
+// splitBucket returns the hash bucket a map split is aligned to: splits of
+// bucketed layout tables read exactly one bucket_%05d file. -1 for
+// anything else (plain tables, Tez edges, sys tables, ACID manifests).
+func (ex *executor) splitBucket(scan *plan.TableScan, sp split) int {
+	if sp.rows != nil || sp.path == "" {
+		return -1
+	}
+	meta, err := ex.d.meta.Table(scan.Table)
+	if err != nil || !meta.Partitioning.Bucketed() {
+		return -1
+	}
+	if b, ok := BucketOfFile(sp.path); ok {
+		return b
+	}
+	return -1
 }
 
 // scanInclude resolves a scan's reader projection and the scatter mapping
@@ -439,10 +462,11 @@ func widen(row types.Row, scatter []int, width int) types.Row {
 	return full
 }
 
-// openScan opens a row iterator over every file of a scan's table (used
-// for map-join local work). stats, when non-nil, receives the scan's
+// openScan opens a row iterator over the files of a scan's table (used
+// for map-join local work). bucket >= 0 restricts a bucketed layout table
+// to that hash bucket's files. stats, when non-nil, receives the scan's
 // rows, I/O attribution and ORC selection counters.
-func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, stats *obs.OpStats) (func() (types.Row, error), error) {
+func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, stats *obs.OpStats, bucket int) (func() (types.Row, error), error) {
 	if sysdb.IsSysTable(ts.Table) {
 		rows, err := ex.sysRows(ts.Table)
 		if err != nil {
@@ -483,7 +507,7 @@ func (ex *executor) openScan(ts *plan.TableScan, ctx context.Context, node int, 
 		return nil, err
 	}
 	include, scatter := scanInclude(ts)
-	files, err := ex.scanFiles(ts.Table, path)
+	files, err := ex.resolveScanFiles(ts, path, bucket)
 	if err != nil {
 		return nil, err
 	}
@@ -539,7 +563,7 @@ func (ex *executor) runMapTask(task *compiler.Task, tc *mapred.TaskContext, sp s
 	sinks := ex.newSinkSet(attemptKey(tc))
 	ex.registerSinks(attemptKey(tc), sinks)
 	aprof := ex.attemptProfile(attemptKey(tc))
-	ctx := ex.execContext(tc, sinks, out, task.NumReducers, aprof)
+	ctx := ex.execContext(tc, sinks, out, task.NumReducers, aprof, ex.splitBucket(scan, sp))
 	scanStats := aprof.Op(scan.ID) // nil aprof -> nil stats; methods no-op
 
 	if sp.rows != nil {
@@ -656,7 +680,7 @@ func (ex *executor) runReduceTask(task *compiler.Task, tc *mapred.TaskContext, t
 	sinks := ex.newSinkSet(attemptKey(tc))
 	ex.registerSinks(attemptKey(tc), sinks)
 	aprof := ex.attemptProfile(attemptKey(tc))
-	ctx := ex.execContext(tc, sinks, nil, 0, aprof)
+	ctx := ex.execContext(tc, sinks, nil, 0, aprof, -1)
 	// The entry operator is driven directly (its taps cover only edges
 	// below it), so its rows and wall are recorded here.
 	entryStats := aprof.Op(task.ReduceEntry.Base().ID)

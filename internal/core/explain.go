@@ -68,6 +68,9 @@ func planRows(p *plan.Plan, prof *obs.PlanProfile, stats *ExecStats) []types.Row
 	var dump func(n plan.Node, depth int)
 	dump = func(n plan.Node, depth int) {
 		line := strings.Repeat("  ", depth) + n.Label()
+		if ts, ok := n.(*plan.TableScan); ok && ts.Part != nil {
+			line += partSummary(ts.Part)
+		}
 		if seen[n] {
 			rows = append(rows, types.Row{line + " (shared)"})
 			return
@@ -91,6 +94,22 @@ func planRows(p *plan.Plan, prof *obs.PlanProfile, stats *ExecStats) []types.Row
 	return rows
 }
 
+// partSummary renders a scan's partition selection: how many partition
+// directories survive pruning, any pinned hash bucket, and the divergent
+// replica the scan was routed to.
+func partSummary(ps *plan.PartSel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  {partitions=%d/%d", len(ps.Selected), ps.Total)
+	if ps.Bucket >= 0 {
+		fmt.Fprintf(&b, " bucket=%d/%d", ps.Bucket, ps.NumBuckets)
+	}
+	if ps.ReplicaIdx >= 0 {
+		fmt.Fprintf(&b, " replica=%s", ps.ReplicaCol)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
 // annotate formats one operator's profile: row count and inclusive wall
 // time for everyone; byte attribution and pushdown selectivity for scans.
 // An operator with no stats cell never ran (e.g. pruned or empty input).
@@ -107,12 +126,15 @@ func annotate(n plan.Node, st *obs.OpStats) string {
 		fmt.Fprintf(&b, " batches=%d", batches)
 	}
 	fmt.Fprintf(&b, " wall=%v", st.Wall().Round(0))
-	if _, ok := n.(*plan.TableScan); ok {
+	if ts, ok := n.(*plan.TableScan); ok {
 		fmt.Fprintf(&b, " dfs=%dB cache=%dB", st.IO.DFSBytes.Load(), st.IO.CacheBytes.Load())
 		sr, ss := st.StripesRead.Load(), st.StripesSkipped.Load()
 		gr, gs := st.GroupsRead.Load(), st.GroupsSkipped.Load()
 		if sr+ss > 0 {
 			fmt.Fprintf(&b, " stripes=%d/%d groups=%d/%d", sr, sr+ss, gr, gr+gs)
+		}
+		if ts.Part != nil && ts.Part.TotalBytes > ts.Part.SelBytes {
+			fmt.Fprintf(&b, " pruned_bytes=%d", ts.Part.TotalBytes-ts.Part.SelBytes)
 		}
 	}
 	if _, ok := n.(*plan.MapJoin); ok {

@@ -26,6 +26,11 @@ type TableMeta struct {
 	// transactions, and readers resolve files through the transaction
 	// manager's manifest instead of listing Path.
 	ACID bool
+	// Partitioning, when non-nil, marks a horizontally partitioned and/or
+	// hash-bucketed table: data lives under per-partition directories, each
+	// registered in the metastore's partition registry with its own file
+	// set and stats.
+	Partitioning *PartitionSpec
 }
 
 // Metastore is the in-process catalog (paper §2: the Driver contacts the
@@ -35,6 +40,8 @@ type Metastore struct {
 	tables   map[string]*TableMeta
 	versions map[string]int64 // snapshot counters, bumped on every write
 	stats    *stats.Catalog   // per-file column statistics (S25)
+	// parts is the partition registry: table -> partition key -> info.
+	parts map[string]map[string]*PartitionInfo
 }
 
 // NewMetastore creates an empty catalog.
@@ -43,6 +50,7 @@ func NewMetastore() *Metastore {
 		tables:   make(map[string]*TableMeta),
 		versions: make(map[string]int64),
 		stats:    stats.NewCatalog(),
+		parts:    make(map[string]map[string]*PartitionInfo),
 	}
 }
 
@@ -63,6 +71,7 @@ func (m *Metastore) Register(meta *TableMeta) {
 func (m *Metastore) Drop(name string) {
 	m.mu.Lock()
 	delete(m.tables, name)
+	delete(m.parts, name)
 	m.versions[name]++
 	m.mu.Unlock()
 	m.stats.DropTable(name)

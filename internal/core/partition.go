@@ -1,0 +1,227 @@
+// partition.go is the horizontal-partitioning and hash-bucketing data
+// model (Hive's `PARTITIONED BY` directories and `CLUSTERED BY ... INTO N
+// BUCKETS` files), plus the HAIL-style extension: per-partition file sets
+// live in a metastore partition registry with their own row/byte stats so
+// the planner can prune whole partitions, bucket files are named by hash
+// bucket so key-equality queries and bucket joins can read one file per
+// task, and each DFS replica of a bucket may be laid out sorted on a
+// *different* column so the scan scheduler can route a read to the replica
+// whose min-max indexes match the predicate.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// PartitionSpec declares a table's physical layout.
+type PartitionSpec struct {
+	// PartitionBy are the partition columns (Hive: one directory level per
+	// column, `col=value/`). Partition columns remain ordinary schema
+	// columns here — rows carry their values — which keeps every engine
+	// and format path unchanged.
+	PartitionBy []string
+	// BucketBy/NumBuckets hash-cluster each partition's rows into
+	// NumBuckets files named bucket_%05d.
+	BucketBy   []string
+	NumBuckets int
+	// SortBy orders rows within each bucket file (required equal to
+	// BucketBy for sort-merge bucket joins). Mutually exclusive with
+	// ReplicaLayouts.
+	SortBy []string
+	// ReplicaLayouts stores each DFS replica of every data file sorted on
+	// a different column: replica i is laid out sorted by
+	// ReplicaLayouts[i] (replica 0 is the primary copy; replicas i>0 are
+	// stored under the `.r<i>` suffix). Scans are routed to the replica
+	// whose layout matches the predicate column.
+	ReplicaLayouts []string
+}
+
+// Partitioned reports whether the spec declares partition columns.
+func (s *PartitionSpec) Partitioned() bool { return s != nil && len(s.PartitionBy) > 0 }
+
+// Bucketed reports whether the spec declares hash buckets.
+func (s *PartitionSpec) Bucketed() bool { return s != nil && len(s.BucketBy) > 0 && s.NumBuckets > 0 }
+
+// Validate checks the spec against the table schema.
+func (s *PartitionSpec) Validate(schema *types.Schema) error {
+	if s == nil {
+		return nil
+	}
+	check := func(role string, cols []string, noFloat bool) error {
+		for _, c := range cols {
+			i := schema.ColumnIndex(c)
+			if i < 0 {
+				return fmt.Errorf("core: %s column %q is not in the table schema", role, c)
+			}
+			k := schema.Columns[i].Type.Kind
+			if !k.IsPrimitive() {
+				return fmt.Errorf("core: %s column %q has complex type %s", role, c, k)
+			}
+			if noFloat && k.IsFloating() {
+				return fmt.Errorf("core: %s column %q is floating-point; hashing floats is not supported", role, c)
+			}
+		}
+		return nil
+	}
+	if err := check("partition", s.PartitionBy, false); err != nil {
+		return err
+	}
+	if err := check("bucketing", s.BucketBy, true); err != nil {
+		return err
+	}
+	if err := check("sort", s.SortBy, false); err != nil {
+		return err
+	}
+	if err := check("replica-layout", s.ReplicaLayouts, false); err != nil {
+		return err
+	}
+	if (len(s.BucketBy) > 0) != (s.NumBuckets > 0) {
+		return fmt.Errorf("core: CLUSTERED BY and INTO n BUCKETS must be given together")
+	}
+	if len(s.SortBy) > 0 && !s.Bucketed() {
+		return fmt.Errorf("core: SORTED BY requires CLUSTERED BY buckets")
+	}
+	if len(s.SortBy) > 0 && len(s.ReplicaLayouts) > 0 {
+		return fmt.Errorf("core: SORTED BY and REPLICATED BY are mutually exclusive (a replica layout is a sort order)")
+	}
+	if !s.Partitioned() && !s.Bucketed() && len(s.ReplicaLayouts) == 0 {
+		return fmt.Errorf("core: empty partition spec")
+	}
+	return nil
+}
+
+// SMBCompatible reports whether bucket files are sorted on exactly the
+// bucketing columns — the layout sort-merge bucket joins require.
+func (s *PartitionSpec) SMBCompatible() bool {
+	if !s.Bucketed() || len(s.SortBy) != len(s.BucketBy) {
+		return false
+	}
+	for i := range s.SortBy {
+		if s.SortBy[i] != s.BucketBy[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PartitionInfo is one registered partition: its identifying values, DFS
+// directory, and write-path stats. An unpartitioned-but-bucketed (or
+// replica-laid-out) table registers a single partition with Key "" rooted
+// at the table path.
+type PartitionInfo struct {
+	Values []any  // one per PartitionBy column
+	Key    string // rendered directory form, e.g. "ds=2014-01-01/region=eu"
+	Path   string
+	Rows   int64
+	Bytes  int64 // primary-replica (logical) bytes
+	Files  int   // primary-replica file count
+}
+
+// PartKey renders partition values in Hive directory form. NULL partition
+// values get Hive's default-partition directory name.
+func PartKey(cols []string, vals []any) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c + "=" + partValueString(vals[i])
+	}
+	return strings.Join(parts, "/")
+}
+
+func partValueString(v any) string {
+	if v == nil {
+		return "__HIVE_DEFAULT_PARTITION__"
+	}
+	var s string
+	switch x := v.(type) {
+	case int64:
+		s = strconv.FormatInt(x, 10)
+	case bool:
+		s = strconv.FormatBool(x)
+	case float64:
+		s = strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		s = x
+	default:
+		s = fmt.Sprint(x)
+	}
+	// Keep directory separators and spec syntax out of the path segment.
+	s = strings.NewReplacer("/", "%2F", "=", "%3D").Replace(s)
+	if s == "" {
+		s = "__EMPTY__"
+	}
+	return s
+}
+
+// RegisterPartition adds (or, on reload, replaces) one partition of a
+// table. Callers bump the table version separately via the unified write
+// path.
+func (m *Metastore) RegisterPartition(table string, info *PartitionInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.parts[table] == nil {
+		m.parts[table] = make(map[string]*PartitionInfo)
+	}
+	m.parts[table][info.Key] = info
+}
+
+// Partitions lists a table's registered partitions sorted by key. The
+// returned infos are shared; callers must not mutate them.
+func (m *Metastore) Partitions(table string) []*PartitionInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*PartitionInfo, 0, len(m.parts[table]))
+	for _, p := range m.parts[table] {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ReplicaSuffix names replica i's copy of a data file: replica 0 is the
+// bare (primary) file, higher replicas append ".r<i>".
+func ReplicaSuffix(i int) string {
+	if i <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(".r%d", i)
+}
+
+// IsReplicaFile reports whether a file name is a non-primary replica copy
+// (".r<i>" suffix), and which replica it is.
+func IsReplicaFile(name string) (int, bool) {
+	dot := strings.LastIndex(name, ".r")
+	if dot < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[dot+2:])
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// BucketOfFile parses the hash bucket out of a bucket file's base name
+// (bucket_%05d, any replica suffix stripped); ok is false for non-bucket
+// files.
+func BucketOfFile(name string) (int, bool) {
+	base := name
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	if r, isRep := IsReplicaFile(base); isRep {
+		base = strings.TrimSuffix(base, ReplicaSuffix(r))
+	}
+	if !strings.HasPrefix(base, "bucket_") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(base, "bucket_"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

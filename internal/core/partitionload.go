@@ -1,0 +1,193 @@
+// partitionload.go is the write path for layout-spec tables: the loader
+// buffers rows per partition, and at Close hashes each partition's rows
+// into bucket files, sorts within buckets, and writes divergent replica
+// copies — each replica of a file sorted on a different column, so its ORC
+// stripe/row-group min-max indexes select on that column (HAIL). Catalog
+// stats and partition-registry rows/bytes are recorded from the primary
+// replica only: the other copies hold the same row multiset, and counting
+// them would double every logical size the planner and admission use.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/fileformat"
+	"repro/internal/types"
+)
+
+// bufferRow stages one row under its partition key.
+func (l *TableLoader) bufferRow(row types.Row) error {
+	spec := l.meta.Partitioning
+	if l.buf == nil {
+		l.buf = make(map[string][]types.Row)
+		l.bufVals = make(map[string][]any)
+	}
+	vals := make([]any, len(spec.PartitionBy))
+	for i, c := range spec.PartitionBy {
+		idx := l.meta.Schema.ColumnIndex(c)
+		vals[i] = row[idx]
+	}
+	key := PartKey(spec.PartitionBy, vals)
+	if _, ok := l.buf[key]; !ok {
+		l.bufOrder = append(l.bufOrder, key)
+		l.bufVals[key] = vals
+	}
+	l.buf[key] = append(l.buf[key], row.Clone())
+	l.count++
+	return nil
+}
+
+// flushPartitioned writes every buffered partition and registers it.
+func (l *TableLoader) flushPartitioned() error {
+	spec := l.meta.Partitioning
+	keys := append([]string(nil), l.bufOrder...)
+	sort.Strings(keys)
+	if len(keys) == 0 && !spec.Partitioned() {
+		keys = []string{""} // register the empty single partition
+		l.buf = map[string][]types.Row{"": nil}
+		l.bufVals = map[string][]any{"": {}}
+	}
+	for _, key := range keys {
+		dir := l.meta.Path
+		if key != "" {
+			dir += "/" + key
+		}
+		info := &PartitionInfo{
+			Values: l.bufVals[key],
+			Key:    key,
+			Path:   dir,
+			Rows:   int64(len(l.buf[key])),
+		}
+		for b, rows := range l.bucketRows(l.buf[key]) {
+			name := fmt.Sprintf("%s/bucket_%05d", dir, b)
+			if !spec.Bucketed() {
+				name = fmt.Sprintf("%s/part-%05d", dir, b)
+			}
+			if len(rows) == 0 && spec.Bucketed() {
+				continue // empty buckets write no file
+			}
+			if len(rows) == 0 && !spec.Partitioned() {
+				continue // the synthetic empty partition has no rows
+			}
+			written, err := l.writeReplicas(name, rows)
+			if err != nil {
+				return err
+			}
+			info.Files++
+			info.Bytes += written
+		}
+		l.d.meta.RegisterPartition(l.meta.Name, info)
+	}
+	l.buf, l.bufVals, l.bufOrder = nil, nil, nil
+	l.d.noteTableWrite(l.meta.Name)
+	return nil
+}
+
+// bucketRows splits a partition's rows by hash bucket (a single slot for
+// unbucketed specs); the slice index is the bucket number.
+func (l *TableLoader) bucketRows(rows []types.Row) [][]types.Row {
+	spec := l.meta.Partitioning
+	if !spec.Bucketed() {
+		return [][]types.Row{rows}
+	}
+	idxs := l.colIdxs(spec.BucketBy)
+	out := make([][]types.Row, spec.NumBuckets)
+	for _, row := range rows {
+		vals := make([]any, len(idxs))
+		for i, idx := range idxs {
+			vals[i] = row[idx]
+		}
+		b, err := exec.BucketFor(vals, spec.NumBuckets)
+		if err != nil {
+			b = 0 // unhashable values all land in bucket 0
+		}
+		out[b] = append(out[b], row)
+	}
+	return out
+}
+
+// writeReplicas writes one data file and its divergent replica copies,
+// returning the primary (logical) bytes written. With ReplicaLayouts, the
+// primary copy is sorted by layout 0 and replica i by layout i; with
+// SortBy, the single copy is sorted by those columns; otherwise rows keep
+// load order.
+func (l *TableLoader) writeReplicas(name string, rows []types.Row) (int64, error) {
+	spec := l.meta.Partitioning
+	layouts := [][]types.Row{rows}
+	suffixes := []string{""}
+	switch {
+	case len(spec.ReplicaLayouts) > 0:
+		layouts = layouts[:0]
+		suffixes = suffixes[:0]
+		for i, col := range spec.ReplicaLayouts {
+			layouts = append(layouts, l.sortedBy(rows, []string{col}))
+			suffixes = append(suffixes, ReplicaSuffix(i))
+		}
+	case len(spec.SortBy) > 0:
+		layouts[0] = l.sortedBy(rows, spec.SortBy)
+	}
+	var primary int64
+	for i, suffix := range suffixes {
+		path := name + suffix
+		w, err := fileformat.Create(l.d.fs, path, l.meta.Schema, l.meta.Format, &l.meta.Options)
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range layouts[i] {
+			if err := w.Write(row); err != nil {
+				return 0, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			if src, ok := w.(fileformat.FileStatsSource); ok {
+				l.d.meta.Stats().RecordFile(l.meta.Name, path, src.FileStatistics())
+			}
+			if fi, err := l.d.fs.Stat(path); err == nil {
+				primary = fi.Size
+			}
+		}
+	}
+	return primary, nil
+}
+
+// sortedBy returns rows stably ordered by the named columns (SQL order via
+// the order-preserving key encoding; unencodable values keep load order).
+func (l *TableLoader) sortedBy(rows []types.Row, cols []string) []types.Row {
+	idxs := l.colIdxs(cols)
+	type keyed struct {
+		key []byte
+		row types.Row
+	}
+	ks := make([]keyed, len(rows))
+	for i, row := range rows {
+		vals := make([]any, len(idxs))
+		for j, idx := range idxs {
+			vals[j] = row[idx]
+		}
+		key, err := exec.EncodeKey(vals, nil)
+		if err != nil {
+			key = nil
+		}
+		ks[i] = keyed{key: key, row: row}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return bytes.Compare(ks[i].key, ks[j].key) < 0 })
+	out := make([]types.Row, len(ks))
+	for i, k := range ks {
+		out[i] = k.row
+	}
+	return out
+}
+
+func (l *TableLoader) colIdxs(cols []string) []int {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		out[i] = l.meta.Schema.ColumnIndex(c)
+	}
+	return out
+}

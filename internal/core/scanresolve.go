@@ -1,0 +1,131 @@
+// scanresolve.go resolves which files a table scan reads. For layout-spec
+// tables the resolution is partition-, bucket- and replica-aware: only the
+// optimizer-selected partition directories are listed, a bucket-pinned scan
+// keeps one bucket file per partition, and reads are routed to the DFS
+// replica whose divergent sort layout matches the query's predicate —
+// falling back to the primary copy (or any surviving replica) when the
+// routed copy is unavailable. Plain tables list their directory; ACID
+// tables resolve through their snapshot manifest as before.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/plan"
+)
+
+// scanStats counts layout-aware scan resolution outcomes; registered in the
+// driver's metrics registry under the "scan" prefix.
+type scanStats struct {
+	// PartitionsPruned counts partition directories skipped by the
+	// optimizer's partition selection; PartitionsScanned the survivors.
+	PartitionsPruned  atomic.Int64
+	PartitionsScanned atomic.Int64
+	// BucketFilesSkipped counts bucket files excluded by a bucket-pinned
+	// scan (key-equality pruning or a bucket-restricted join side).
+	BucketFilesSkipped atomic.Int64
+}
+
+// resolveScanFiles returns the files one scan reads. bucket >= 0 restricts
+// a bucketed layout table to that hash bucket (on top of any bucket the
+// optimizer already pinned on the scan); -1 keeps the scan's own selection.
+func (ex *executor) resolveScanFiles(ts *plan.TableScan, path string, bucket int) ([]string, error) {
+	if view, acid, err := ex.acidView(ts.Table); acid || err != nil {
+		return view.Files, err
+	}
+	if meta, err := ex.d.meta.Table(ts.Table); err == nil && meta.Partitioning != nil {
+		return ex.layoutFiles(ts, meta, bucket), nil
+	}
+	infos := ex.d.fs.List(path)
+	files := make([]string, len(infos))
+	for i, fi := range infos {
+		files[i] = fi.Name
+	}
+	return files, nil
+}
+
+// layoutFiles lists a layout-spec table's primary data files under the
+// scan's partition selection, applies the bucket filter, and routes each
+// file to its layout-matched replica.
+func (ex *executor) layoutFiles(ts *plan.TableScan, meta *TableMeta, bucketOverride int) []string {
+	var dirs []string
+	if ts.Part != nil {
+		for _, pr := range ts.Part.Selected {
+			dirs = append(dirs, pr.Path)
+		}
+		ex.d.scanStats.PartitionsPruned.Add(int64(ts.Part.Total - len(ts.Part.Selected)))
+		ex.d.scanStats.PartitionsScanned.Add(int64(len(ts.Part.Selected)))
+	} else {
+		// No optimizer selection (pruning off, or a plan built outside the
+		// optimizer): every registered partition.
+		for _, pi := range ex.d.meta.Partitions(meta.Name) {
+			dirs = append(dirs, pi.Path)
+		}
+	}
+	bucket := bucketOverride
+	if bucket < 0 && ts.Part != nil {
+		bucket = ts.Part.Bucket
+	}
+	replicaIdx := -1
+	if ts.Part != nil {
+		replicaIdx = ts.Part.ReplicaIdx
+	}
+	layouts := len(meta.Partitioning.ReplicaLayouts)
+	var files []string
+	for _, dir := range dirs {
+		for _, fi := range ex.d.fs.List(dir) {
+			name := fi.Name
+			if _, isRep := IsReplicaFile(name); isRep {
+				continue // replicas are chosen per primary file below
+			}
+			if bucket >= 0 {
+				if b, ok := BucketOfFile(name); ok && b != bucket {
+					ex.d.scanStats.BucketFilesSkipped.Add(1)
+					continue
+				}
+			}
+			files = append(files, ex.pickReplica(name, replicaIdx, layouts))
+		}
+	}
+	return files
+}
+
+// pickReplica chooses which copy of a data file to read. A routed replica
+// (idx >= 0) counts a hit when readable and a fallback when not; after a
+// fallback — or with no routing at all — the primary is preferred, then any
+// surviving replica, so replica loss degrades to a slower scan rather than
+// a failed one.
+func (ex *executor) pickReplica(name string, idx, layouts int) string {
+	if layouts == 0 {
+		return name
+	}
+	st := ex.d.fs.Stats()
+	if idx >= 0 {
+		routed := name + ReplicaSuffix(idx)
+		if ex.fileReadable(routed) {
+			st.ReplicaRoutedHits.Add(1)
+			return routed
+		}
+		st.ReplicaFallbacks.Add(1)
+	}
+	if ex.fileReadable(name) {
+		return name
+	}
+	for i := 1; i < layouts; i++ {
+		if i == idx {
+			continue
+		}
+		if c := name + ReplicaSuffix(i); ex.fileReadable(c) {
+			return c
+		}
+	}
+	return name // nothing survives: let the open error surface
+}
+
+func (ex *executor) fileReadable(name string) bool {
+	if ex.d.fs.Unavailable(name) {
+		return false
+	}
+	_, err := ex.d.fs.Stat(name)
+	return err == nil
+}

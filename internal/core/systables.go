@@ -104,6 +104,43 @@ func (d *Driver) builtinSysTables() []sysdb.TableDef {
 		d.metricsTable(),
 		d.cachesTable(),
 		d.txnsTable(),
+		d.partitionsTable(),
+	}
+}
+
+// partitionsTable reports every registered partition of every layout-spec
+// table: its directory, row/byte/file stats, and the table's bucket and
+// replica-layout shape — the catalog view behind partition pruning.
+func (d *Driver) partitionsTable() sysdb.TableDef {
+	return sysdb.TableDef{
+		Name: "sys.partitions",
+		Schema: types.NewSchema(
+			types.Col("table_name", str()),
+			types.Col("partition", str()),
+			types.Col("path", str()),
+			types.Col("rows", long()),
+			types.Col("bytes", long()),
+			types.Col("files", long()),
+			types.Col("num_buckets", long()),
+			types.Col("num_replicas", long()),
+		),
+		Rows: func() []types.Row {
+			var rows []types.Row
+			for _, name := range d.meta.Names() {
+				meta, err := d.meta.Table(name)
+				if err != nil || meta.Partitioning == nil {
+					continue
+				}
+				spec := meta.Partitioning
+				for _, pi := range d.meta.Partitions(name) {
+					rows = append(rows, types.Row{
+						name, pi.Key, pi.Path, pi.Rows, pi.Bytes, int64(pi.Files),
+						int64(spec.NumBuckets), int64(len(spec.ReplicaLayouts)),
+					})
+				}
+			}
+			return rows
+		},
 	}
 }
 

@@ -50,6 +50,12 @@ type Stats struct {
 	// InjectedReadFaults counts reads failed by the fault policy's
 	// simulated datanode errors.
 	InjectedReadFaults atomic.Int64
+	// ReplicaRoutedHits counts scans routed to a divergent replica whose
+	// sort/index layout matched the query predicate (HAIL-style routing);
+	// ReplicaFallbacks counts scans that wanted a routed replica but read
+	// another copy because the routed one was unavailable.
+	ReplicaRoutedHits atomic.Int64
+	ReplicaFallbacks  atomic.Int64
 }
 
 // statsScopeKey carries a per-query *Stats through a context.
@@ -87,6 +93,8 @@ type Snapshot struct {
 	IOTime             time.Duration
 	CorruptReads       int64
 	InjectedReadFaults int64
+	ReplicaRoutedHits  int64
+	ReplicaFallbacks   int64
 }
 
 // Snapshot copies the current counter values (obs.ReadStruct maps the
@@ -150,6 +158,7 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 type FS struct {
 	mu        sync.RWMutex
 	files     map[string]*file
+	down      map[string]bool // unavailable files (simulated replica loss)
 	blockSize int64
 	numNodes  int
 	nextNode  int   // round-robin placement cursor
@@ -214,6 +223,7 @@ func WithSimulatedDisk(bytesPerSec int64, seek time.Duration) Option {
 func New(opts ...Option) *FS {
 	f := &FS{
 		files:     make(map[string]*file),
+		down:      make(map[string]bool),
 		blockSize: 128 << 20,
 		numNodes:  10,
 	}
@@ -289,14 +299,41 @@ func (fs *FS) Create(name string) (*FileWriter, error) {
 	return &FileWriter{fs: fs, f: f, name: name}, nil
 }
 
+// SetUnavailable marks a file unavailable (down=true) or restores it,
+// simulating the loss of the datanode holding that replica. Open fails for
+// unavailable files; the scan scheduler uses Unavailable to fall back to a
+// different replica layout before ever issuing the read.
+func (fs *FS) SetUnavailable(name string, down bool) {
+	name = clean(name)
+	fs.mu.Lock()
+	if down {
+		fs.down[name] = true
+	} else {
+		delete(fs.down, name)
+	}
+	fs.mu.Unlock()
+}
+
+// Unavailable reports whether the file has been marked lost.
+func (fs *FS) Unavailable(name string) bool {
+	name = clean(name)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.down[name]
+}
+
 // Open opens a file for random-access reads.
 func (fs *FS) Open(name string) (*FileReader, error) {
 	name = clean(name)
 	fs.mu.RLock()
 	f, ok := fs.files[name]
+	downNow := fs.down[name]
 	fs.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("dfs: open %s: file does not exist", name)
+	}
+	if downNow {
+		return nil, fmt.Errorf("dfs: open %s: replica unavailable", name)
 	}
 	f.mu.RLock()
 	closed := f.closed

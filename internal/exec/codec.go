@@ -11,11 +11,29 @@ package exec
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"repro/internal/plan"
 	"repro/internal/types"
 )
+
+// BucketFor maps a row's bucketing-column values to a bucket in [0, n).
+// It hashes the order-preserving key encoding with FNV-1a, so the writer,
+// the optimizer's bucket pruning, and bucket-restricted scans all agree on
+// which bucket any key lands in.
+func BucketFor(vals []any, n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("exec: bucket count %d must be positive", n)
+	}
+	key, err := EncodeKey(vals, nil)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n)), nil
+}
 
 // EncodeKey renders key values into bytes whose lexicographic order matches
 // SQL order. NULLs sort first (ascending). desc may be nil (all ascending)

@@ -141,3 +141,31 @@ func BuildHashTable(ctx *Context, src plan.Node, keys []plan.Expr) (*HashTable, 
 	}
 	return ht, nil
 }
+
+// BuildHashTableBucket is BuildHashTable restricted to one hash bucket of
+// the small table — the bucket map join's per-task build, which reads the
+// single bucket file matching the task's big-side split instead of the
+// whole table.
+func BuildHashTableBucket(ctx *Context, src plan.Node, keys []plan.Expr, bucket int) (*HashTable, error) {
+	ht := &HashTable{Table: make(map[string][]types.Row)}
+	sink := func(row types.Row) error {
+		keyVals := make([]any, len(keys))
+		for i, k := range keys {
+			keyVals[i] = k.Eval(row)
+		}
+		kb, err := EncodeKey(keyVals, nil)
+		if err != nil {
+			return err
+		}
+		ht.Table[string(kb)] = append(ht.Table[string(kb)], row.Clone())
+		ht.Rows++
+		return nil
+	}
+	open := func(ts *plan.TableScan) (func() (types.Row, error), error) {
+		return ctx.ScanRowsBucket(ts, bucket)
+	}
+	if err := runLocalChainScan(ctx, src, open, sink); err != nil {
+		return nil, err
+	}
+	return ht, nil
+}

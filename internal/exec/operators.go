@@ -25,10 +25,19 @@ type Context struct {
 	// ScanRows opens a row iterator over a table for map-join hash-table
 	// builds (the "local work" of §5.1).
 	ScanRows func(ts *plan.TableScan) (func() (types.Row, error), error)
+	// ScanRowsBucket opens a row iterator restricted to one hash bucket of
+	// a bucketed table. Bucket map joins use it to build only the bucket
+	// matching the task's big-side split. Nil when the warehouse has no
+	// bucketed layouts.
+	ScanRowsBucket func(ts *plan.TableScan, bucket int) (func() (types.Row, error), error)
+	// TaskBucket is the hash bucket the task's big-side split belongs to,
+	// or -1 when the split is not bucket-aligned.
+	TaskBucket int
 	// SharedHashTable, when set, resolves the map-join build side for
 	// small input `input` of mj, calling build at most once per query and
 	// sharing the result across tasks and attempts. Nil falls back to a
-	// local per-operator build.
+	// local per-operator build. Bucket map joins bypass it: their builds
+	// are per-bucket, cheap, and differ across tasks.
 	SharedHashTable func(mj *plan.MapJoin, input int, build func() (*HashTable, error)) (*HashTable, error)
 }
 
@@ -446,23 +455,41 @@ type mapJoinOp struct {
 	// tables[i] is the hash table for small input i (nil for the big
 	// input).
 	tables []*HashTable
+	// sorted[i] is the sorted small side for SMB joins (nil otherwise).
+	sorted []*sortedSide
 	// smallScans[i] is the plan subtree root feeding small input i.
 	smallSources []plan.Node
 }
 
 func (o *mapJoinOp) Init(ctx *Context) error {
 	o.tables = make([]*HashTable, len(o.node.Keys))
+	o.sorted = make([]*sortedSide, len(o.node.Keys))
+	// Bucket map joins build only the bucket matching this task's big-side
+	// split, locally: the per-bucket build is small and differs per task,
+	// so the query-wide shared-table machinery would only add contention.
+	bucketed := o.node.Bucketed && ctx.ScanRowsBucket != nil && ctx.TaskBucket >= 0
 	for i, src := range o.smallSources {
 		if i == o.node.BigIdx {
 			continue
 		}
 		i, src := i, src
+		if o.node.SMB && bucketed {
+			side, err := buildSortedSide(ctx, src, o.node.Keys[i], ctx.TaskBucket)
+			if err != nil {
+				return err
+			}
+			o.sorted[i] = side
+			continue
+		}
 		build := func() (*HashTable, error) {
+			if bucketed {
+				return BuildHashTableBucket(ctx, src, o.node.Keys[i], ctx.TaskBucket)
+			}
 			return BuildHashTable(ctx, src, o.node.Keys[i])
 		}
 		var table *HashTable
 		var err error
-		if ctx.SharedHashTable != nil {
+		if ctx.SharedHashTable != nil && !bucketed {
 			table, err = ctx.SharedHashTable(o.node, i, build)
 		} else {
 			table, err = build()
@@ -478,6 +505,12 @@ func (o *mapJoinOp) Init(ctx *Context) error {
 // runLocalChain evaluates a map-side chain rooted at a TableScan directly
 // (no MapReduce), pushing final rows into sink.
 func runLocalChain(ctx *Context, top plan.Node, sink func(types.Row) error) error {
+	return runLocalChainScan(ctx, top, ctx.ScanRows, sink)
+}
+
+// runLocalChainScan is runLocalChain with an explicit scan opener, letting
+// bucket map joins restrict the small side to one hash bucket.
+func runLocalChainScan(ctx *Context, top plan.Node, open func(*plan.TableScan) (func() (types.Row, error), error), sink func(types.Row) error) error {
 	// Build the chain from top down to the scan.
 	var chain []plan.Node
 	cur := top
@@ -492,7 +525,7 @@ func runLocalChain(ctx *Context, top plan.Node, sink func(types.Row) error) erro
 		cur = cur.Base().Parents[0]
 	}
 	scan := chain[len(chain)-1].(*plan.TableScan)
-	next, err := ctx.ScanRows(scan)
+	next, err := open(scan)
 	if err != nil {
 		return err
 	}
@@ -570,7 +603,13 @@ func (o *mapJoinOp) probe(input int, bigRow types.Row, acc types.Row) error {
 	if err != nil {
 		return err
 	}
-	for _, match := range o.tables[input].Table[string(kb)] {
+	var matches []types.Row
+	if o.sorted[input] != nil {
+		matches = o.sorted[input].matches(kb)
+	} else {
+		matches = o.tables[input].Table[string(kb)]
+	}
+	for _, match := range matches {
 		next := append(acc, match...)
 		if err := o.probe(input+1, bigRow, next); err != nil {
 			return err

@@ -1,0 +1,97 @@
+// smb.go holds the sort-merge bucket join's small side. Where a bucket map
+// join hashes its bucket, an SMB join keeps the bucket's rows as one sorted
+// run keyed by the order-preserving join-key encoding: because the table
+// was written sorted on its bucketing columns, loading preserves the order
+// and no hash table is ever built. The big side streams its own sorted
+// bucket file; each probe advances a cursor through the run (with a
+// binary-search restart if the stream ever regresses), so the per-bucket
+// join is a merge of two sorted inputs.
+package exec
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// sortedSide is one SMB small input: rows of a single bucket ordered by
+// encoded join key.
+type sortedSide struct {
+	keys [][]byte
+	rows []types.Row
+	// pos is the cursor into keys: the start of the group the last probe
+	// matched (or where it would be). Probes from a sorted big side only
+	// ever move it forward.
+	pos int
+}
+
+// matches returns the rows whose join key equals kb, advancing the merge
+// cursor. Out-of-order probes restart with a binary search, so correctness
+// never depends on the big side actually being sorted.
+func (s *sortedSide) matches(kb []byte) []types.Row {
+	if s.pos > 0 && bytes.Compare(kb, s.keys[s.pos-1]) < 0 {
+		// The stream regressed below the current group: restart.
+		s.pos = sort.Search(len(s.keys), func(i int) bool {
+			return bytes.Compare(s.keys[i], kb) >= 0
+		})
+	}
+	for s.pos < len(s.keys) && bytes.Compare(s.keys[s.pos], kb) < 0 {
+		s.pos++
+	}
+	start := s.pos
+	end := start
+	for end < len(s.keys) && bytes.Equal(s.keys[end], kb) {
+		end++
+	}
+	if start == end {
+		return nil
+	}
+	return s.rows[start:end]
+}
+
+// buildSortedSide loads one bucket of an SMB small input through its local
+// chain, keyed and ordered by the join-key encoding. The bucket file is
+// written sorted on the bucketing columns, so the stable sort is a no-op
+// pass in the common case and purely defensive otherwise.
+func buildSortedSide(ctx *Context, src plan.Node, keys []plan.Expr, bucket int) (*sortedSide, error) {
+	side := &sortedSide{}
+	open := func(ts *plan.TableScan) (func() (types.Row, error), error) {
+		return ctx.ScanRowsBucket(ts, bucket)
+	}
+	sink := func(row types.Row) error {
+		keyVals := make([]any, len(keys))
+		for i, k := range keys {
+			keyVals[i] = k.Eval(row)
+		}
+		kb, err := EncodeKey(keyVals, nil)
+		if err != nil {
+			return err
+		}
+		side.keys = append(side.keys, kb)
+		side.rows = append(side.rows, row.Clone())
+		return nil
+	}
+	if err := runLocalChainScan(ctx, src, open, sink); err != nil {
+		return nil, err
+	}
+	if !sort.SliceIsSorted(side.keys, func(i, j int) bool {
+		return bytes.Compare(side.keys[i], side.keys[j]) < 0
+	}) {
+		idx := make([]int, len(side.keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool {
+			return bytes.Compare(side.keys[idx[i]], side.keys[idx[j]]) < 0
+		})
+		keysOut := make([][]byte, len(idx))
+		rowsOut := make([]types.Row, len(idx))
+		for i, j := range idx {
+			keysOut[i], rowsOut[i] = side.keys[j], side.rows[j]
+		}
+		side.keys, side.rows = keysOut, rowsOut
+	}
+	return side, nil
+}

@@ -1,0 +1,139 @@
+// bucketjoin.go implements bucket map joins and sort-merge-bucket (SMB)
+// joins (S27). When both join inputs are hash-bucketed on exactly the join
+// keys with the same bucket count, a row in big-side bucket b can only
+// match small-side bucket b: the map join then builds a per-bucket hash
+// table instead of the whole small table, and — when both layouts are also
+// sorted by the bucketing columns — degenerates to a merge of sorted bucket
+// files with no hash table and no shuffle at all.
+package optimizer
+
+import (
+	"repro/internal/plan"
+)
+
+// ConvertBucketJoins marks co-bucketed map joins for per-bucket builds and
+// converts reduce joins over SMB-compatible layouts into SMB map joins.
+// Runs after ConvertMapJoins so size-qualified joins are already MapJoins;
+// SMB conversion needs no size test (no hash table is built), so it also
+// rescues reduce joins whose sides were too big to hash.
+func ConvertBucketJoins(p *plan.Plan, env *Env) {
+	if env.TableLayout == nil {
+		return
+	}
+	for _, n := range p.Nodes() {
+		if mj, ok := n.(*plan.MapJoin); ok {
+			markBucketed(mj, env)
+		}
+	}
+	for _, n := range p.Nodes() {
+		if join, ok := n.(*plan.Join); ok {
+			convertSMBJoin(p, join, env)
+		}
+	}
+}
+
+// markBucketed flags a two-way map join whose sides are co-bucketed on the
+// join keys; SMB additionally requires both layouts sorted by those keys.
+func markBucketed(mj *plan.MapJoin, env *Env) {
+	if len(mj.Parents) != 2 || mj.BigIdx >= 2 {
+		return
+	}
+	smallIdx := 1 - mj.BigIdx
+	bigKeys := mj.ProbeKeys[smallIdx] // big-side exprs probing the build table
+	smallKeys := mj.Keys[smallIdx]
+	bigLayout, ok := bucketSideLayout(mj.Parents[mj.BigIdx], bigKeys, env)
+	if !ok {
+		return
+	}
+	smallLayout, ok := bucketSideLayout(mj.Parents[smallIdx], smallKeys, env)
+	if !ok || bigLayout.NumBuckets != smallLayout.NumBuckets {
+		return
+	}
+	mj.Bucketed = true
+	if bigLayout.SMBCompatible() && smallLayout.SMBCompatible() {
+		mj.SMB = true
+	}
+}
+
+// convertSMBJoin rewrites a reduce join into an SMB map join when both
+// inputs are Filter-only chains over tables bucketed AND sorted on exactly
+// the join keys with equal bucket counts. The shuffle (both ReduceSinks)
+// disappears; the executor merges aligned sorted bucket files.
+func convertSMBJoin(p *plan.Plan, join *plan.Join, env *Env) {
+	if len(join.Parents) != 2 {
+		return
+	}
+	rss := make([]*plan.ReduceSink, 2)
+	srcs := make([]plan.Node, 2)
+	layouts := make([]*TableLayout, 2)
+	for i, parent := range join.Parents {
+		rs, ok := parent.(*plan.ReduceSink)
+		if !ok {
+			return
+		}
+		rss[i] = rs
+		srcs[i] = rs.Parents[0]
+		layout, ok := bucketSideLayout(srcs[i], rs.Keys, env)
+		if !ok || !layout.SMBCompatible() {
+			return
+		}
+		layouts[i] = layout
+	}
+	if layouts[0].NumBuckets != layouts[1].NumBuckets {
+		return
+	}
+
+	// Stream the left side by convention, as map-join conversion does when
+	// both sides qualify.
+	mj := p.NewNode(&plan.MapJoin{BigIdx: 0, Bucketed: true, SMB: true}).(*plan.MapJoin)
+	mj.Out = join.Out
+	mj.Keys = [][]plan.Expr{rss[0].Keys, rss[1].Keys}
+	mj.ProbeKeys = make([][]plan.Expr, 2)
+	mj.ProbeKeys[1] = rss[0].Keys
+	for i := range srcs {
+		plan.Disconnect(srcs[i], rss[i])
+		plan.Disconnect(rss[i], join)
+		plan.Connect(srcs[i], mj)
+	}
+	for _, child := range append([]plan.Node(nil), join.Children...) {
+		plan.ReplaceParent(child, join, mj)
+	}
+	if !env.Options.MergeMapOnlyJobs && len(mj.Children) > 0 {
+		for _, child := range append([]plan.Node(nil), mj.Children...) {
+			spliceBoundary(p, mj, child)
+		}
+	}
+}
+
+// bucketSideLayout checks one join input: a Filter-only chain (Select
+// would reindex columns) down to a base-table scan whose layout is
+// bucketed on exactly the key expressions, in order. Filters are safe: a
+// filtered bucket is still a subset of the same bucket.
+func bucketSideLayout(n plan.Node, keys []plan.Expr, env *Env) (*TableLayout, bool) {
+	for {
+		switch t := n.(type) {
+		case *plan.TableScan:
+			layout, ok := env.TableLayout(t.Table)
+			if !ok || !layout.Bucketed() || len(keys) != len(layout.BucketBy) {
+				return nil, false
+			}
+			for i, k := range keys {
+				col, ok := k.(*plan.ColExpr)
+				if !ok || col.Idx < 0 || col.Idx >= len(t.Cols) {
+					return nil, false
+				}
+				if t.Cols[col.Idx] != layout.BucketBy[i] {
+					return nil, false
+				}
+			}
+			return layout, true
+		case *plan.Filter:
+			if len(t.Parents) != 1 {
+				return nil, false
+			}
+			n = t.Parents[0]
+		default:
+			return nil, false
+		}
+	}
+}

@@ -79,6 +79,11 @@ func (e *estimator) rows(n plan.Node) (float64, bool) {
 func (e *estimator) computeRows(n plan.Node) (float64, bool) {
 	switch t := n.(type) {
 	case *plan.TableScan:
+		if t.Part != nil {
+			// The partition registry gives exact row counts for the
+			// selected partitions — better than any catalog estimate.
+			return float64(t.Part.SelRows), true
+		}
 		if isTemp(t.Table) || e.env.TableStats == nil {
 			return 0, false
 		}
@@ -92,7 +97,7 @@ func (e *estimator) computeRows(n plan.Node) (float64, bool) {
 		if !ok {
 			return 0, false
 		}
-		return in * e.selectivity(t.Cond, parentSchema(n)), true
+		return in * e.filterSelectivity(t, n), true
 	case *plan.Join:
 		return e.joinRows(t)
 	case *plan.MapJoin:
@@ -257,6 +262,54 @@ func (e *estimator) colStats(expr plan.Expr, schema *plan.Schema) *stats.ColumnS
 // selectivity estimates the fraction of rows a predicate keeps.
 func (e *estimator) selectivity(cond plan.Expr, schema *plan.Schema) float64 {
 	return clamp01(e.sel(cond, schema))
+}
+
+// filterSelectivity estimates one Filter node, skipping conjuncts already
+// absorbed by partition pruning: a partition-column predicate is uniform
+// over each directory, so after pruning every surviving row satisfies it
+// and charging its selectivity again would double-count. Only applies when
+// the pruning pass actually evaluated predicates (PartitionPruning on).
+func (e *estimator) filterSelectivity(f *plan.Filter, n plan.Node) float64 {
+	schema := parentSchema(n)
+	scan, partCols := e.prunedScanBelow(n)
+	sel := 1.0
+	for _, c := range conjuncts(f.Cond) {
+		if scan != nil {
+			if pred, ok := toPredicate(c, scan); ok && partCols[pred.Column] {
+				continue
+			}
+		}
+		sel *= e.sel(c, schema)
+	}
+	return clamp01(sel)
+}
+
+// prunedScanBelow walks the Filter-only chain below n to a scan whose
+// partition selection was pruned, returning its partition-column set.
+func (e *estimator) prunedScanBelow(n plan.Node) (*plan.TableScan, map[string]bool) {
+	if !e.env.Options.PartitionPruning || e.env.TableLayout == nil {
+		return nil, nil
+	}
+	for len(n.Base().Parents) == 1 {
+		n = n.Base().Parents[0]
+		if _, ok := n.(*plan.Filter); ok {
+			continue
+		}
+		t, ok := n.(*plan.TableScan)
+		if !ok || t.Part == nil {
+			return nil, nil
+		}
+		layout, ok := e.env.TableLayout(t.Table)
+		if !ok || len(layout.PartitionBy) == 0 {
+			return nil, nil
+		}
+		cols := make(map[string]bool, len(layout.PartitionBy))
+		for _, c := range layout.PartitionBy {
+			cols[c] = true
+		}
+		return t, cols
+	}
+	return nil, nil
 }
 
 func (e *estimator) sel(cond plan.Expr, schema *plan.Schema) float64 {

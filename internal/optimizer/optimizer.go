@@ -45,6 +45,21 @@ type Options struct {
 	// formats, empty catalogs) each decision falls back to the rule-only
 	// behavior, so enabling CBO is always safe.
 	CBO bool
+	// PartitionPruning prunes partition directories (and, on key equality,
+	// hash buckets) of layout-spec tables against the scan's filter
+	// conjuncts (S27). The surviving set is recorded on the scan so the
+	// executor reads only matching files and EXPLAIN shows partitions=K/N.
+	PartitionPruning bool
+	// BucketJoin upgrades joins whose sides are co-bucketed on the join
+	// keys: map joins build per-bucket hash tables (no full-table build),
+	// and reduce joins over SMB-compatible layouts (SORTED BY == CLUSTERED
+	// BY) become sort-merge-bucket map joins with no shuffle at all (S27).
+	BucketJoin bool
+	// ReplicaRouting routes each scan to the DFS replica whose divergent
+	// sort layout matches the query's predicate columns (HAIL), so ORC
+	// min-max indexes actually select. Falls back to the primary replica
+	// when no layout matches or the routed copy is unavailable.
+	ReplicaRouting bool
 }
 
 // AllOn returns the fully optimized configuration the paper advocates.
@@ -59,6 +74,9 @@ func AllOn() Options {
 		MergeMapOnlyJobs:  true,
 		Correlation:       true,
 		Vectorize:         true,
+		PartitionPruning:  true,
+		BucketJoin:        true,
+		ReplicaRouting:    true,
 	}
 }
 
@@ -75,6 +93,11 @@ type Env struct {
 	// per-column NDV/min-max/histograms), or ok=false when coverage is
 	// incomplete. Nil disables all stats-based decisions.
 	TableStats func(name string) (*stats.TableStats, bool)
+	// TableLayout returns a table's physical layout — partition columns and
+	// registered partitions, bucket spec, replica layouts — or ok=false for
+	// tables without a layout spec. Nil disables partition pruning, bucket
+	// joins and replica routing.
+	TableLayout func(name string) (*TableLayout, bool)
 }
 
 // DefaultMapJoinThreshold mirrors a typical hive.mapjoin.smalltable size
@@ -91,6 +114,11 @@ func Apply(p *plan.Plan, env *Env) error {
 			return err
 		}
 	}
+	if env.Options.PartitionPruning || env.Options.ReplicaRouting {
+		// Before join decisions: pruned cardinalities feed the map-join
+		// smallness test through the estimator.
+		PrunePartitions(p, env)
+	}
 	if env.Options.CBO {
 		// Reorder before map-join conversion so conversion sees the
 		// cost-chosen join shape.
@@ -100,6 +128,9 @@ func Apply(p *plan.Plan, env *Env) error {
 		if err := ConvertMapJoins(p, env); err != nil {
 			return err
 		}
+	}
+	if env.Options.BucketJoin {
+		ConvertBucketJoins(p, env)
 	}
 	if env.Options.PredicatePushdown {
 		if err := PushdownPredicates(p, env); err != nil {

@@ -1,0 +1,337 @@
+// prunepartitions.go implements partition pruning, bucket pruning and
+// HAIL-style replica routing (S27) over layout-spec tables. The pass
+// evaluates each scan's filter conjuncts against the partition registry:
+// partition-column predicates are uniform over a partition directory, so a
+// non-matching directory is skipped entirely; an equality constant on every
+// bucketing column pins the scan to one hash bucket; and a predicate on a
+// replica-layout column routes the read to the DFS copy sorted on that
+// column, where ORC min-max indexes actually select. Pruning decisions are
+// recorded on the TableScan (plan.PartSel) for the executor and EXPLAIN.
+package optimizer
+
+import (
+	"repro/internal/exec"
+	"repro/internal/orc"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// TableLayout is the optimizer's view of a table's physical layout spec and
+// its registered partitions.
+type TableLayout struct {
+	PartitionBy    []string
+	BucketBy       []string
+	NumBuckets     int
+	SortBy         []string
+	ReplicaLayouts []string
+	Partitions     []PartitionMeta
+}
+
+// PartitionMeta describes one registered partition.
+type PartitionMeta struct {
+	Key    string
+	Path   string
+	Values []any // aligned with PartitionBy
+	Rows   int64
+	Bytes  int64
+}
+
+// Bucketed reports whether the layout hashes rows into buckets.
+func (l *TableLayout) Bucketed() bool { return len(l.BucketBy) > 0 && l.NumBuckets > 0 }
+
+// SMBCompatible reports whether bucket files are sorted by exactly the
+// bucketing columns, the precondition for sort-merge-bucket joins.
+func (l *TableLayout) SMBCompatible() bool {
+	if !l.Bucketed() || len(l.SortBy) != len(l.BucketBy) {
+		return false
+	}
+	for i := range l.SortBy {
+		if l.SortBy[i] != l.BucketBy[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrunePartitions records a partition selection on every scan of a
+// layout-spec table. With PartitionPruning the selection is filtered by the
+// scan's partition-column predicates (and a bucket is pinned when equality
+// constants cover the bucketing key); with ReplicaRouting a matching
+// divergent replica is chosen. Pruning is conservative: a predicate that
+// cannot be evaluated against a partition value keeps the partition.
+func PrunePartitions(p *plan.Plan, env *Env) {
+	if env.TableLayout == nil {
+		return
+	}
+	for _, n := range p.Nodes() {
+		scan, ok := n.(*plan.TableScan)
+		if !ok {
+			continue
+		}
+		layout, ok := env.TableLayout(scan.Table)
+		if !ok {
+			continue
+		}
+		preds := chainPredicates(scan)
+		part := &plan.PartSel{
+			Total:      len(layout.Partitions),
+			Bucket:     -1,
+			NumBuckets: layout.NumBuckets,
+			ReplicaIdx: -1,
+		}
+		partPos := make(map[string]int, len(layout.PartitionBy))
+		for i, c := range layout.PartitionBy {
+			partPos[c] = i
+		}
+		for _, pm := range layout.Partitions {
+			part.TotalRows += pm.Rows
+			part.TotalBytes += pm.Bytes
+			keep := true
+			if env.Options.PartitionPruning {
+				for _, pr := range preds {
+					pos, onPart := partPos[pr.Column]
+					if !onPart || pos >= len(pm.Values) {
+						continue
+					}
+					if !matchesValue(pr, pm.Values[pos]) {
+						keep = false
+						break
+					}
+				}
+			}
+			if keep {
+				part.Selected = append(part.Selected, plan.PartRef{Key: pm.Key, Path: pm.Path})
+				part.SelRows += pm.Rows
+				part.SelBytes += pm.Bytes
+			}
+		}
+		if env.Options.PartitionPruning && layout.Bucketed() {
+			if vals, ok := bucketKeyValues(layout, scan, preds); ok {
+				if b, err := exec.BucketFor(vals, layout.NumBuckets); err == nil {
+					part.Bucket = b
+				}
+			}
+		}
+		if env.Options.ReplicaRouting {
+			part.ReplicaCol, part.ReplicaIdx = routeReplica(layout, preds)
+		}
+		scan.Part = part
+	}
+}
+
+// chainPredicates collects the sargable conjuncts of the filter chain
+// stacked directly on the scan (the same walk predicate pushdown uses).
+func chainPredicates(scan *plan.TableScan) []orc.Predicate {
+	var preds []orc.Predicate
+	node := plan.Node(scan)
+	for len(node.Base().Children) == 1 {
+		f, ok := node.Base().Children[0].(*plan.Filter)
+		if !ok {
+			break
+		}
+		preds = append(preds, extractSargable(f.Cond, scan)...)
+		node = f
+	}
+	return preds
+}
+
+// bucketKeyValues extracts the equality constant for every bucketing
+// column, coerced to the column's runtime representation so the hash agrees
+// with what the loader computed over stored rows.
+func bucketKeyValues(layout *TableLayout, scan *plan.TableScan, preds []orc.Predicate) ([]any, bool) {
+	vals := make([]any, len(layout.BucketBy))
+	for i, col := range layout.BucketBy {
+		found := false
+		for _, pr := range preds {
+			if pr.Column != col || pr.Op != orc.PredEQ || len(pr.Literals) != 1 {
+				continue
+			}
+			v, ok := coerceToColumn(scan, col, pr.Literals[0])
+			if !ok {
+				return nil, false
+			}
+			vals[i] = v
+			found = true
+			break
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+// coerceToColumn converts a literal to the Go representation rows of the
+// named scan column use (all integers are int64 at runtime, floats are
+// float64). A literal the column's kind cannot represent exactly fails.
+func coerceToColumn(scan *plan.TableScan, col string, v any) (any, bool) {
+	var kind types.Kind
+	found := false
+	for i, c := range scan.Cols {
+		if c == col && i < len(scan.Schema().Cols) {
+			kind = scan.Schema().Cols[i].Kind
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	switch {
+	case kind.IsInteger(), kind == types.Timestamp:
+		switch x := v.(type) {
+		case int64:
+			return x, true
+		case float64:
+			if x == float64(int64(x)) {
+				return int64(x), true
+			}
+		}
+	case kind.IsFloating():
+		switch x := v.(type) {
+		case float64:
+			return x, true
+		case int64:
+			return float64(x), true
+		}
+	case kind == types.String:
+		if s, ok := v.(string); ok {
+			return s, true
+		}
+	case kind == types.Boolean:
+		if b, ok := v.(bool); ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// routeReplica picks the replica whose sort layout matches the first
+// predicate over a layout column (IS NULL gains nothing from a sort order
+// and is skipped). Returns ("", -1) when no layout matches.
+func routeReplica(layout *TableLayout, preds []orc.Predicate) (string, int) {
+	for _, pr := range preds {
+		if pr.Op == orc.PredIsNull {
+			continue
+		}
+		for i, col := range layout.ReplicaLayouts {
+			if pr.Column == col {
+				return col, i
+			}
+		}
+	}
+	return "", -1
+}
+
+// matchesValue evaluates one predicate against a concrete partition value.
+// False only on a definitive non-match; incomparable values keep the
+// partition (pruning must never drop rows).
+func matchesValue(pr orc.Predicate, val any) bool {
+	if pr.Op == orc.PredIsNull {
+		return val == nil
+	}
+	if val == nil {
+		return false // non-null comparisons never match NULL
+	}
+	switch pr.Op {
+	case orc.PredEQ, orc.PredLT, orc.PredLE, orc.PredGT, orc.PredGE:
+		if len(pr.Literals) != 1 {
+			return true
+		}
+		c, ok := compareValues(val, pr.Literals[0])
+		if !ok {
+			return true
+		}
+		switch pr.Op {
+		case orc.PredEQ:
+			return c == 0
+		case orc.PredLT:
+			return c < 0
+		case orc.PredLE:
+			return c <= 0
+		case orc.PredGT:
+			return c > 0
+		default:
+			return c >= 0
+		}
+	case orc.PredBetween:
+		if len(pr.Literals) != 2 {
+			return true
+		}
+		lo, lok := compareValues(val, pr.Literals[0])
+		hi, hok := compareValues(val, pr.Literals[1])
+		if !lok || !hok {
+			return true
+		}
+		return lo >= 0 && hi <= 0
+	case orc.PredIn:
+		comparable := false
+		for _, lit := range pr.Literals {
+			c, ok := compareValues(val, lit)
+			if !ok {
+				continue
+			}
+			comparable = true
+			if c == 0 {
+				return true
+			}
+		}
+		return !comparable // no comparable literal: keep conservatively
+	}
+	return true
+}
+
+// compareValues orders two scalar values with numeric coercion across
+// int64/float64. ok is false for incomparable type pairs.
+func compareValues(a, b any) (int, bool) {
+	if af, aok := asFloat(a); aok {
+		bf, bok := asFloat(b)
+		if !bok {
+			return 0, false
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	case bool:
+		y, ok := b.(bool)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case x == y:
+			return 0, true
+		case !x:
+			return -1, true
+		}
+		return 1, true
+	}
+	return 0, false
+}
+
+func asFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}

@@ -55,6 +55,12 @@ func chainVectorizable(scan *plan.TableScan) bool {
 				}
 			}
 		case *plan.MapJoin:
+			// Bucketed builds and SMB merges are bucket-scoped per map
+			// task; the vectorized probe only knows the shared full-table
+			// hash table, so these stay on the row engine.
+			if t.Bucketed || t.SMB {
+				return false
+			}
 			// Vectorized probing drives the join from the big side; a chain
 			// arriving over a small parent is the build side, which runs on
 			// the row engine inside BuildHashTable.

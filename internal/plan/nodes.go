@@ -86,6 +86,39 @@ func removeNode(list []Node, n Node) []Node {
 	return out
 }
 
+// PartRef names one selected partition of a partitioned table.
+type PartRef struct {
+	Key  string // e.g. "ds=2014-01-01/region=eu"
+	Path string // DFS directory holding the partition's files
+}
+
+// PartSel records the partition-pruning decision for a scan of a
+// partitioned table. The optimizer attaches it whenever partition pruning
+// is enabled and the table is partitioned (even when nothing is pruned),
+// so the executor always plans splits from the partition registry and
+// EXPLAIN can print `partitions=K/N`.
+type PartSel struct {
+	// Selected are the partitions surviving pruning, in registry order.
+	Selected []PartRef
+	// Total is the table's partition count before pruning.
+	Total int
+	// Bucket restricts the scan to one hash bucket (-1 = all buckets),
+	// set when equality predicates pin every bucketing column.
+	Bucket     int
+	NumBuckets int
+	// ReplicaCol/ReplicaIdx route the scan to the divergent replica whose
+	// sort/index layout matches the predicate (HAIL); ReplicaIdx is -1
+	// when no layout matches and the scan reads primary replicas.
+	ReplicaCol string
+	ReplicaIdx int
+	// Cardinality/size bookkeeping from per-partition stats, feeding the
+	// CBO's residual estimates and admission's scan-bytes estimate.
+	SelRows    int64
+	TotalRows  int64
+	SelBytes   int64
+	TotalBytes int64
+}
+
 // TableScan reads a table (or an intermediate result registered as a temp
 // table). Cols is the projection pushed to the reader; SArg is the
 // predicate pushed to the ORC reader by the pushdown optimizer (§4.2).
@@ -102,6 +135,9 @@ type TableScan struct {
 	// reads; nil means all. Set by column pruning; readers fetch only
 	// these and leave the rest NULL.
 	Needed []int
+	// Part is the partition/bucket/replica selection for partitioned
+	// tables; nil for unpartitioned tables or with pruning disabled.
+	Part *PartSel
 }
 
 // Label implements Node.
@@ -203,10 +239,26 @@ type MapJoin struct {
 	// big parent's schema (used to probe small table i); unused at
 	// BigIdx.
 	ProbeKeys [][]Expr
+	// Bucketed marks a bucket map join: both sides are co-bucketed on the
+	// join keys, so each map task builds only the small side's matching
+	// bucket instead of the whole table.
+	Bucketed bool
+	// SMB additionally marks a sort-merge bucket join: both sides are
+	// sorted on the bucket keys within each bucket, so the per-bucket
+	// join streams both sorted inputs with no hash table at all.
+	SMB bool
 }
 
 // Label implements Node.
-func (m *MapJoin) Label() string { return fmt.Sprintf("MAPJOIN-%d", m.ID) }
+func (m *MapJoin) Label() string {
+	switch {
+	case m.SMB:
+		return fmt.Sprintf("SMBJOIN-%d", m.ID)
+	case m.Bucketed:
+		return fmt.Sprintf("MAPJOIN-%d[bucket]", m.ID)
+	}
+	return fmt.Sprintf("MAPJOIN-%d", m.ID)
+}
 
 // Limit passes at most N rows.
 type Limit struct {

@@ -37,6 +37,12 @@ type Cell struct {
 	// a reference replay of exactly the transactions committed at that
 	// snapshot (see txncell.go).
 	Txn bool
+	// Prune runs the query against a warehouse whose scenario tables carry
+	// a deterministically derived partition/bucket/replica layout, under
+	// every combination of partition pruning and replica routing; each
+	// answer must match the flat reference (see prunecell.go). Failures
+	// additionally ddmin-shrink the layout spec itself.
+	Prune bool
 	// Sys reconciles the observability plane against the execution it
 	// observed: after the query's rows are checked against the reference,
 	// the cell demands that the query-history record agree exactly with
@@ -78,6 +84,9 @@ func (c Cell) ID() string {
 	}
 	if c.Sys {
 		id += "/sys"
+	}
+	if c.Prune {
+		id += "/prune"
 	}
 	return id
 }
@@ -137,9 +146,17 @@ func Matrix(fullFaults bool) []Cell {
 	// configuration with CBO off, and the results must still match the
 	// reference regardless of how the plan changed.
 	cells = append(cells, Cell{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, CBO: true})
+	// Two physical-layout cells (see Cell.Prune): the same queries over a
+	// partitioned/bucketed/replica-laid-out copy of the warehouse, across
+	// the pruning × routing mode grid. MapReduce covers the plain task
+	// path; LLAP covers chunk caching of routed replica files.
+	cells = append(cells,
+		Cell{Engine: core.ModeMapReduce, Format: fileformat.ORC, Pushdown: true, Prune: true},
+		Cell{Engine: core.ModeLLAP, Format: fileformat.ORC, Pushdown: true, Prune: true})
 	// One observability-reconciliation cell (see Cell.Sys): the history
 	// record and the sys.queries row for each query must agree exactly with
-	// the ExecStats the query returned.
+	// the ExecStats the query returned. Kept last so every other cell's
+	// queries precede its Last()-record reconciliation.
 	cells = append(cells, Cell{Engine: core.ModeTez, Format: fileformat.ORC, Pushdown: true, Sys: true})
 	return cells
 }
@@ -162,6 +179,7 @@ func faultConfig(seed int64) faultinject.Config {
 // (format, faulted) coordinates.
 type scenarioEnv struct {
 	driver  *core.Driver
+	fs      *dfs.FS
 	format  fileformat.Kind
 	faulted bool
 }
@@ -245,10 +263,13 @@ func (e *scenarioEnv) planString(c Cell, query string) (string, error) {
 	return p.String(), nil
 }
 
-// envSet is the warehouses for one scenario, keyed by (format, faulted).
+// envSet is the warehouses for one scenario, keyed by (format, faulted),
+// plus the layout warehouse the prune cells share (nil when the scenario
+// table offers no layout to test).
 type envSet struct {
-	envs map[[2]int]*scenarioEnv
-	seed int64
+	envs  map[[2]int]*scenarioEnv
+	prune *scenarioEnv
+	seed  int64
 }
 
 func envKey(format fileformat.Kind, faulted bool) [2]int {
@@ -263,6 +284,17 @@ func envKey(format fileformat.Kind, faulted bool) [2]int {
 func newEnvSet(t *Table, cells []Cell, seed int64) (*envSet, error) {
 	s := &envSet{envs: map[[2]int]*scenarioEnv{}, seed: seed}
 	for _, c := range cells {
+		if c.Prune {
+			if s.prune == nil {
+				env, err := newPruneEnv(t, nil)
+				if err != nil {
+					s.close()
+					return nil, err
+				}
+				s.prune = env // may stay nil: no usable layout
+			}
+			continue
+		}
 		k := envKey(c.Format, c.Faulted)
 		if _, ok := s.envs[k]; ok {
 			continue
@@ -277,10 +309,18 @@ func newEnvSet(t *Table, cells []Cell, seed int64) (*envSet, error) {
 	return s, nil
 }
 
-func (s *envSet) get(c Cell) *scenarioEnv { return s.envs[envKey(c.Format, c.Faulted)] }
+func (s *envSet) get(c Cell) *scenarioEnv {
+	if c.Prune {
+		return s.prune
+	}
+	return s.envs[envKey(c.Format, c.Faulted)]
+}
 
 func (s *envSet) close() {
 	for _, e := range s.envs {
 		e.close()
+	}
+	if s.prune != nil {
+		s.prune.close()
 	}
 }

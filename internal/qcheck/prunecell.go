@@ -1,0 +1,332 @@
+// prunecell.go: the physical-layout axis. The fuzzed query runs against a
+// copy of the scenario warehouse whose fact table carries a deterministic
+// partition/bucket/replica layout (and whose dimension tables are
+// co-bucketed when the join key allows it), under every combination of
+// partition pruning, bucket joins, and replica routing. However the layout
+// optimizations slice the file set — pruned directories, pinned bucket
+// files, divergently sorted replicas — the rows must equal the flat
+// reference cell's answer exactly. A disagreement ddmin-shrinks the layout
+// spec itself to the minimal clause set that still disagrees.
+package qcheck
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/fileformat"
+	"repro/internal/mapred"
+	"repro/internal/optimizer"
+	"repro/internal/orc"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// pruneBuckets is the bucket count layout specs use; small enough that
+// every bucket gets rows at repro scale, large enough to prune.
+const pruneBuckets = 4
+
+// choosePruneSpec derives the scenario's layout deterministically from the
+// table alone (so shrinking and replay recompute the identical spec): the
+// first low-cardinality groupable column partitions, the first remaining
+// integer column buckets, and — alternating by row-count parity — bucket
+// files are either sorted on the bucket key (the SMB-compatible variant)
+// or replicated with divergent sort layouts (the HAIL variant). nil means
+// the table offers nothing to lay out.
+func choosePruneSpec(t *Table) *core.PartitionSpec {
+	if t.Schema == nil || len(t.Schema.Columns) == 0 {
+		return nil
+	}
+	distinct := func(idx int) int {
+		seen := map[string]bool{}
+		for _, row := range t.Rows {
+			seen[fmt.Sprint(row[idx])] = true
+			if len(seen) > 12 {
+				break
+			}
+		}
+		return len(seen)
+	}
+	var partCol string
+	for i, col := range t.Schema.Columns {
+		k := col.Type.Kind
+		if k != types.Long && k != types.String && k != types.Boolean {
+			continue
+		}
+		if distinct(i) <= 12 {
+			partCol = col.Name
+			break
+		}
+	}
+	var bucketCol string
+	for _, col := range t.Schema.Columns {
+		if col.Type.Kind.IsInteger() && col.Name != partCol {
+			bucketCol = col.Name
+			break
+		}
+	}
+	var sortable []string
+	for _, col := range t.Schema.Columns {
+		k := col.Type.Kind
+		if (k.IsInteger() || k.IsFloating() || k == types.String) &&
+			col.Name != partCol && col.Name != bucketCol {
+			sortable = append(sortable, col.Name)
+		}
+	}
+	spec := &core.PartitionSpec{}
+	if partCol != "" {
+		spec.PartitionBy = []string{partCol}
+	}
+	if bucketCol != "" {
+		spec.BucketBy = []string{bucketCol}
+		spec.NumBuckets = pruneBuckets
+	}
+	if len(t.Rows)%2 == 0 && bucketCol != "" {
+		spec.SortBy = []string{bucketCol}
+	} else if len(sortable) > 0 {
+		n := len(sortable)
+		if n > 2 {
+			n = 2
+		}
+		spec.ReplicaLayouts = sortable[:n]
+	}
+	if len(spec.PartitionBy)+len(spec.BucketBy)+len(spec.ReplicaLayouts) == 0 {
+		return nil
+	}
+	return spec
+}
+
+// dimPruneSpec co-buckets a dimension table with the fact layout when the
+// join's first (and only) key pair lands on the fact's bucket column:
+// sorted bucket files, so both bucket map joins and SMB joins can engage.
+func dimPruneSpec(spec *core.PartitionSpec, dim *Table) *core.PartitionSpec {
+	if !spec.Bucketed() || len(dim.JoinOn) != 1 || dim.JoinOn[0][1] != spec.BucketBy[0] {
+		return nil
+	}
+	key := dim.JoinOn[0][0]
+	return &core.PartitionSpec{
+		BucketBy:   []string{key},
+		NumBuckets: spec.NumBuckets,
+		SortBy:     []string{key},
+	}
+}
+
+// newPruneEnv builds the layout warehouse: the scenario rows under the
+// derived (or explicitly given) spec. A nil env with nil error means the
+// table offers no layout to test.
+func newPruneEnv(t *Table, spec *core.PartitionSpec) (*scenarioEnv, error) {
+	if spec == nil {
+		spec = choosePruneSpec(t)
+	}
+	if spec == nil {
+		return nil, nil
+	}
+	fs := dfs.New(dfs.WithBlockSize(1 << 20))
+	engine := mapred.NewEngine(mapred.Config{Slots: 4})
+	d := core.NewDriver(fs, engine, core.Config{DefaultFormat: fileformat.ORC})
+	opts := &fileformat.Options{ORCOptions: &orc.WriterOptions{StripeSize: 2 << 10, RowIndexStride: 16}}
+	load := func(tbl *Table, sp *core.PartitionSpec) error {
+		loader, err := d.CreateTableSpec(tbl.Name, tbl.Schema, fileformat.ORC, opts, sp)
+		if err != nil {
+			return err
+		}
+		for _, row := range tbl.Rows {
+			if err := loader.Write(row); err != nil {
+				return err
+			}
+		}
+		return loader.Close()
+	}
+	if err := load(t, spec); err != nil {
+		d.Close()
+		return nil, err
+	}
+	for _, dim := range t.Dims {
+		if err := load(dim, dimPruneSpec(spec, dim)); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return &scenarioEnv{driver: d, fs: fs, format: fileformat.ORC}, nil
+}
+
+// layoutOpts is AllOn with just the layout axes toggled.
+func layoutOpts(prune, bucket, route bool) optimizer.Options {
+	o := optimizer.AllOn()
+	o.PartitionPruning = prune
+	o.BucketJoin = bucket
+	o.ReplicaRouting = route
+	return o
+}
+
+// pruneModes are the on/off combinations every query runs under: the
+// layout table scanned flat (no layout optimization at all), pruning and
+// bucket joins without routing, routing alone, and everything together.
+var pruneModes = []struct {
+	name string
+	opt  optimizer.Options
+}{
+	{"layout-off", layoutOpts(false, false, false)},
+	{"prune", layoutOpts(true, true, false)},
+	{"route", layoutOpts(false, false, true)},
+	{"prune+route", layoutOpts(true, true, true)},
+}
+
+// runPruneCell executes the layout cell for one query: each pruning/
+// routing mode against the layout warehouse, every answer checked against
+// the flat reference cell's rows.
+func runPruneCell(env *scenarioEnv, c Cell, stmt *sql.SelectStmt, query string, refErr error, want []types.Row, execs *int64) *Failure {
+	conf := env.driver.Config()
+	conf.Engine = c.Engine
+	for _, m := range pruneModes {
+		conf.Opt = m.opt
+		*execs++
+		res, err := env.driver.RunWith(context.Background(), conf, query)
+		var rows []types.Row
+		if err == nil {
+			rows = res.Rows
+		}
+		if f := checkAgainstRef(stmt, query, c, rows, err, refErr, want); f != nil {
+			f.Detail = fmt.Sprintf("layout mode %s: %s", m.name, f.Detail)
+			return f
+		}
+	}
+	return nil
+}
+
+// specAtom is one droppable clause of a layout spec.
+type specAtom struct {
+	kind string // "partition", "bucket", "sort", "replica"
+	col  string
+}
+
+func specAtoms(spec *core.PartitionSpec) []specAtom {
+	var atoms []specAtom
+	for _, c := range spec.PartitionBy {
+		atoms = append(atoms, specAtom{"partition", c})
+	}
+	if spec.Bucketed() {
+		atoms = append(atoms, specAtom{"bucket", spec.BucketBy[0]})
+	}
+	for _, c := range spec.SortBy {
+		atoms = append(atoms, specAtom{"sort", c})
+	}
+	for _, c := range spec.ReplicaLayouts {
+		atoms = append(atoms, specAtom{"replica", c})
+	}
+	return atoms
+}
+
+// specFromAtoms reassembles a spec from an atom subset; nil when the
+// subset is not a valid spec (sort without bucket, or nothing left).
+func specFromAtoms(atoms []specAtom, idxs []int) *core.PartitionSpec {
+	spec := &core.PartitionSpec{}
+	for _, i := range idxs {
+		a := atoms[i]
+		switch a.kind {
+		case "partition":
+			spec.PartitionBy = append(spec.PartitionBy, a.col)
+		case "bucket":
+			spec.BucketBy = []string{a.col}
+			spec.NumBuckets = pruneBuckets
+		case "sort":
+			spec.SortBy = append(spec.SortBy, a.col)
+		case "replica":
+			spec.ReplicaLayouts = append(spec.ReplicaLayouts, a.col)
+		}
+	}
+	if len(spec.SortBy) > 0 && !spec.Bucketed() {
+		return nil
+	}
+	if len(spec.PartitionBy)+len(spec.BucketBy)+len(spec.ReplicaLayouts) == 0 {
+		return nil
+	}
+	return spec
+}
+
+func specString(spec *core.PartitionSpec) string {
+	var parts []string
+	if len(spec.PartitionBy) > 0 {
+		parts = append(parts, "PARTITIONED BY ("+strings.Join(spec.PartitionBy, ", ")+")")
+	}
+	if spec.Bucketed() {
+		s := "CLUSTERED BY (" + strings.Join(spec.BucketBy, ", ") + ")"
+		if len(spec.SortBy) > 0 {
+			s += " SORTED BY (" + strings.Join(spec.SortBy, ", ") + ")"
+		}
+		parts = append(parts, fmt.Sprintf("%s INTO %d BUCKETS", s, spec.NumBuckets))
+	}
+	if len(spec.ReplicaLayouts) > 0 {
+		parts = append(parts, "REPLICATED BY ("+strings.Join(spec.ReplicaLayouts, ", ")+")")
+	}
+	return strings.Join(parts, " ")
+}
+
+// pruneSpecDisagrees is the spec shrinker's predicate: load the scenario
+// under the candidate spec, run the query with every layout optimization
+// on, and compare against a clean reference replay.
+func pruneSpecDisagrees(t *Table, c Cell, stmt *sql.SelectStmt, query string, spec *core.PartitionSpec, seed int64) bool {
+	ref, err := newScenarioEnv(t, fileformat.Text, false, seed)
+	if err != nil {
+		return false
+	}
+	defer ref.close()
+	ref.configure(Cell{Engine: allEngines[0], Format: fileformat.Text, Reference: true})
+	refRes, refErr := ref.driver.Run(query)
+	var want []types.Row
+	if refErr == nil {
+		want = normalizeRows(refRes.Rows)
+	}
+	env, err := newPruneEnv(t, spec)
+	if env == nil || err != nil {
+		return false
+	}
+	defer env.close()
+	conf := env.driver.Config()
+	conf.Engine = c.Engine
+	conf.Opt = layoutOpts(true, true, true)
+	res, rerr := env.driver.RunWith(context.Background(), conf, query)
+	var rows []types.Row
+	if rerr == nil {
+		rows = res.Rows
+	}
+	return checkAgainstRef(stmt, query, c, rows, rerr, refErr, want) != nil
+}
+
+// specShrinkBudget bounds predicate evaluations per spec shrink; each one
+// builds two warehouses and runs the query twice.
+const specShrinkBudget = 40
+
+// ShrinkSpec ddmin-minimizes a layout-cell failure's partition spec: the
+// smallest clause subset whose layout still makes the query disagree with
+// the flat reference. ok is false when the full derived spec no longer
+// reproduces the disagreement (e.g. a mode-dependent failure).
+func ShrinkSpec(f *Failure, seed int64) (minimal string, evals int, ok bool) {
+	spec := choosePruneSpec(f.Table)
+	if spec == nil {
+		return "", 0, false
+	}
+	atoms := specAtoms(spec)
+	all := make([]int, len(atoms))
+	for i := range all {
+		all[i] = i
+	}
+	pred := func(idxs []int) bool {
+		if evals >= specShrinkBudget {
+			return false
+		}
+		sub := specFromAtoms(atoms, idxs)
+		if sub == nil {
+			return false
+		}
+		evals++
+		return pruneSpecDisagrees(f.Table, f.Cell, f.Stmt, f.Query, sub, seed)
+	}
+	if !pred(all) {
+		return "", evals, false
+	}
+	min := ddminIdxs(all, pred)
+	return specString(specFromAtoms(atoms, min)), evals, true
+}

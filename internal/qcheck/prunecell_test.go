@@ -1,0 +1,190 @@
+package qcheck
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fileformat"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// TestPruneCellInMatrix pins the layout axis's place in the matrix: two
+// prune cells (MapReduce and LLAP), clean, identifiable by /prune.
+func TestPruneCellInMatrix(t *testing.T) {
+	var engines []core.EngineMode
+	for _, c := range Matrix(false) {
+		if !c.Prune {
+			continue
+		}
+		engines = append(engines, c.Engine)
+		if c.Faulted {
+			t.Errorf("prune cell %s is faulted; the layout axis runs clean", c.ID())
+		}
+		if !strings.HasSuffix(c.ID(), "/prune") {
+			t.Errorf("prune cell ID %q lacks the /prune suffix", c.ID())
+		}
+	}
+	if len(engines) != 2 || engines[0] != core.ModeMapReduce || engines[1] != core.ModeLLAP {
+		t.Fatalf("prune cells run on %v, want [mapreduce llap]", engines)
+	}
+}
+
+// TestChoosePruneSpecDeterministic pins that the derived layout is a pure
+// function of the table (shrinking and replay depend on it) and valid
+// against the schema.
+func TestChoosePruneSpecDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := 0
+	for i := 0; i < 20; i++ {
+		table := GenTable(rng, GenOptions{AllowEmpty: true, Dims: true})
+		a, b := choosePruneSpec(table), choosePruneSpec(table)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("scenario %d: spec derivation not deterministic", i)
+		}
+		if a == nil {
+			continue
+		}
+		specs++
+		if specString(a) != specString(b) {
+			t.Fatalf("scenario %d: %q vs %q", i, specString(a), specString(b))
+		}
+		if err := a.Validate(table.Schema); err != nil {
+			t.Fatalf("scenario %d: derived spec invalid: %v", i, err)
+		}
+	}
+	if specs == 0 {
+		t.Fatal("no scenario produced a layout spec")
+	}
+}
+
+// TestPruneCellAgrees runs the layout cells at volume over just
+// {reference, prune×2}: every fuzzed query must return the flat
+// reference's rows under every pruning/routing mode.
+func TestPruneCellAgrees(t *testing.T) {
+	cfg := Config{
+		Seed:            11,
+		Queries:         100,
+		QueriesPerTable: 10,
+		NoShrink:        true,
+		MaxFailures:     100,
+		cells: []Cell{
+			{Engine: allEngines[0], Format: allFormats[0], Reference: true},
+			{Engine: core.ModeMapReduce, Format: fileformat.ORC, Pushdown: true, Prune: true},
+			{Engine: core.ModeLLAP, Format: fileformat.ORC, Pushdown: true, Prune: true},
+		},
+	}
+	if testing.Short() {
+		cfg.Queries = 30
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed %d: %d queries, %d scenarios, %d executions",
+		rep.Seed, rep.Queries, rep.Scenarios, rep.Executions)
+	for _, f := range rep.Failures {
+		t.Errorf("%s: %s\n  %s", f.Cell.ID(), f.Query, f.Detail)
+	}
+}
+
+// TestShrinkSpecMinimizes drives the spec shrinker against a synthetic
+// disagreement predicate to pin ddmin behavior: with a spec of several
+// atoms, the minimal subset containing the single "bad" atom comes back.
+func TestShrinkSpecMinimizes(t *testing.T) {
+	spec := &core.PartitionSpec{
+		PartitionBy:    []string{"c1"},
+		BucketBy:       []string{"c0"},
+		NumBuckets:     pruneBuckets,
+		ReplicaLayouts: []string{"c2", "c3"},
+	}
+	atoms := specAtoms(spec)
+	if len(atoms) != 4 {
+		t.Fatalf("atoms = %d, want 4", len(atoms))
+	}
+	// "Bad" iff the replica layout on c3 survives.
+	pred := func(idxs []int) bool {
+		sub := specFromAtoms(atoms, idxs)
+		if sub == nil {
+			return false
+		}
+		for _, c := range sub.ReplicaLayouts {
+			if c == "c3" {
+				return true
+			}
+		}
+		return false
+	}
+	all := []int{0, 1, 2, 3}
+	min := ddminIdxs(all, pred)
+	got := specFromAtoms(atoms, min)
+	if got == nil || len(got.ReplicaLayouts) != 1 || got.ReplicaLayouts[0] != "c3" ||
+		len(got.PartitionBy) != 0 || len(got.BucketBy) != 0 {
+		t.Fatalf("ddmin kept %v, want just REPLICATED BY (c3)", specString(got))
+	}
+}
+
+// TestPruneCellCatchesPlantedBug pins the oracle's teeth end to end: a
+// layout warehouse whose bucketed table silently lost one bucket file must
+// disagree with the reference. We simulate the bug by deleting a bucket
+// file from the layout warehouse behind the cell's back.
+func TestPruneCellCatchesPlantedBug(t *testing.T) {
+	table := &Table{Name: "t", Schema: types.NewSchema(
+		types.Col("c0", types.Primitive(types.Long)),
+		types.Col("c1", types.Primitive(types.Long)),
+	)}
+	for i := 0; i < 80; i++ {
+		table.Rows = append(table.Rows, types.Row{int64(i), int64(i % 9)})
+	}
+	spec := choosePruneSpec(table)
+	if spec == nil || !spec.Bucketed() {
+		t.Fatalf("expected a bucketed spec, got %v", spec)
+	}
+	env, err := newPruneEnv(table, nil)
+	if err != nil || env == nil {
+		t.Fatalf("newPruneEnv: env=%v err=%v", env, err)
+	}
+	defer env.close()
+
+	query := "SELECT c0, c1 FROM t"
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := env.driver.RunWith(t.Context(), env.driver.Config(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeRows(ref.Rows)
+
+	// Plant the bug: delete one bucket file from the layout warehouse
+	// behind the cell's back, so scans silently lose that bucket's rows.
+	parts, err := env.driver.Run("SELECT path FROM sys.partitions WHERE table_name = 't'")
+	if err != nil || len(parts.Rows) == 0 {
+		t.Fatalf("sys.partitions: rows=%d err=%v", len(parts.Rows), err)
+	}
+	dropped := false
+	for _, fi := range env.fs.List(parts.Rows[0][0].(string)) {
+		if strings.HasPrefix(fi.Name[strings.LastIndex(fi.Name, "/")+1:], "bucket_") {
+			if err := env.fs.Remove(fi.Name); err != nil {
+				t.Fatal(err)
+			}
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		t.Fatal("no bucket file found to drop")
+	}
+	c := Cell{Engine: core.ModeMapReduce, Format: fileformat.ORC, Pushdown: true, Prune: true}
+	var execs int64
+	f := runPruneCell(env, c, stmt, query, nil, want, &execs)
+	if f == nil {
+		t.Fatal("planted missing-bucket bug went undetected")
+	}
+	if !strings.Contains(f.Detail, "layout mode") {
+		t.Fatalf("failure detail lacks layout mode: %s", f.Detail)
+	}
+}

@@ -148,6 +148,14 @@ func Run(cfg Config) (*Report, error) {
 					f.Detail += fmt.Sprintf(" [minimal schedule: batches %v, %d evals]", minimal, evals)
 				}
 			}
+			if f.Cell.Prune {
+				// Minimize the layout first: the smallest partition-spec
+				// clause subset that still disagrees is the layout axis's
+				// analogue of row minimization.
+				if minimal, evals, ok := ShrinkSpec(f, cfg.Seed); ok {
+					f.Detail += fmt.Sprintf(" [minimal layout: %s, %d evals]", minimal, evals)
+				}
+			}
 			f.Repro = ShrinkFailure(f, cfg.Seed)
 		}
 	}
@@ -185,6 +193,17 @@ func runOne(envs *envSet, cells []Cell, table *Table, stmt *sql.SelectStmt, quer
 			// replay oracles rather than the shared reference result.
 			if f := runTxnCell(table, c, stmt, query, envs.seed, execs); f != nil {
 				return f
+			}
+			continue
+		}
+		if c.Prune {
+			// The layout cell owns its warehouse (the scenario rows under a
+			// derived partition/bucket/replica spec) and swaps configs per
+			// mode itself; a nil env means this table offers no layout.
+			if env := envs.get(c); env != nil {
+				if f := runPruneCell(env, c, stmt, query, refErr, want, execs); f != nil {
+					return f
+				}
 			}
 			continue
 		}

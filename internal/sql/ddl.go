@@ -1,0 +1,185 @@
+// ddl.go parses the data-definition subset: CREATE TABLE with Hive's
+// physical-layout clauses — PARTITIONED BY directories, CLUSTERED BY hash
+// buckets with an optional within-bucket SORTED BY order, and the
+// HAIL-style REPLICATED BY clause that lays each DFS replica out sorted on
+// a different column.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ColumnDef is one column of a CREATE TABLE, its type still a DDL spelling
+// (the driver resolves it against the type system).
+type ColumnDef struct {
+	Name string
+	Type string
+}
+
+// CreateTableStmt is a parsed CREATE TABLE.
+type CreateTableStmt struct {
+	Name        string
+	Cols        []ColumnDef
+	PartitionBy []string
+	ClusterBy   []string
+	SortBy      []string
+	NumBuckets  int
+	ReplicaBy   []string // REPLICATED BY: one layout column per DFS replica
+	Format      string   // STORED AS spelling, "" for the session default
+}
+
+// String renders the statement back to DDL.
+func (s *CreateTableStmt) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE " + s.Name + " (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name + " " + c.Type)
+	}
+	b.WriteString(")")
+	if len(s.PartitionBy) > 0 {
+		b.WriteString(" PARTITIONED BY (" + strings.Join(s.PartitionBy, ", ") + ")")
+	}
+	if len(s.ClusterBy) > 0 {
+		b.WriteString(" CLUSTERED BY (" + strings.Join(s.ClusterBy, ", ") + ")")
+		if len(s.SortBy) > 0 {
+			b.WriteString(" SORTED BY (" + strings.Join(s.SortBy, ", ") + ")")
+		}
+		b.WriteString(fmt.Sprintf(" INTO %d BUCKETS", s.NumBuckets))
+	}
+	if len(s.ReplicaBy) > 0 {
+		b.WriteString(" REPLICATED BY (" + strings.Join(s.ReplicaBy, ", ") + ")")
+	}
+	if s.Format != "" {
+		b.WriteString(" STORED AS " + s.Format)
+	}
+	return b.String()
+}
+
+// MaybeDDL parses src as a DDL statement if it starts with CREATE. ok
+// reports whether the input is DDL at all; err is non-nil only for
+// malformed DDL. Non-DDL input returns (nil, false, nil) untouched for the
+// SELECT parser.
+func MaybeDDL(src string) (*CreateTableStmt, bool, error) {
+	toks, err := (&lexer{src: src}).lex()
+	if err != nil {
+		return nil, false, nil // let Parse report lex errors uniformly
+	}
+	p := &parser{toks: toks}
+	if !p.accept(tokKeyword, "CREATE") {
+		return nil, false, nil
+	}
+	stmt, err := p.parseCreateTable()
+	if err != nil {
+		return nil, true, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, true, p.errorf("trailing input %q", p.cur().text)
+	}
+	return stmt, true, nil
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name.text}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, fmt.Errorf("sql: column %q needs a type: %w", col.text, err)
+		}
+		stmt.Cols = append(stmt.Cols, ColumnDef{Name: col.text, Type: typ.text})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "PARTITIONED") {
+		if stmt.PartitionBy, err = p.parseByColumnList(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "CLUSTERED") {
+		if stmt.ClusterBy, err = p.parseByColumnList(); err != nil {
+			return nil, err
+		}
+		if p.accept(tokKeyword, "SORTED") {
+			if stmt.SortBy, err = p.parseByColumnList(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		stmt.NumBuckets, err = strconv.Atoi(n.text)
+		if err != nil || stmt.NumBuckets <= 0 {
+			return nil, p.errorf("bad bucket count %q", n.text)
+		}
+		if _, err := p.expect(tokKeyword, "BUCKETS"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "REPLICATED") {
+		if stmt.ReplicaBy, err = p.parseByColumnList(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "STORED") {
+		if _, err := p.expect(tokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		f, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Format = f.text
+	}
+	return stmt, nil
+}
+
+// parseByColumnList parses `BY ( ident [, ident ...] )`.
+func (p *parser) parseByColumnList() ([]string, error) {
+	if _, err := p.expect(tokKeyword, "BY"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.text)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}

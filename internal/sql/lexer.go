@@ -30,6 +30,10 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
 	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "ASC": true,
 	"DESC": true, "INNER": true, "EXPLAIN": true, "ANALYZE": true,
+	// DDL keywords (CREATE TABLE and its physical-layout clauses).
+	"CREATE": true, "TABLE": true, "PARTITIONED": true, "CLUSTERED": true,
+	"SORTED": true, "INTO": true, "BUCKETS": true, "STORED": true,
+	"REPLICATED": true,
 }
 
 type lexer struct {

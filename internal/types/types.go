@@ -58,6 +58,19 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// KindFromName resolves a Hive DDL type spelling (case-insensitive) back to
+// its Kind. It only resolves primitive kinds — complex types carry structure
+// a bare name cannot express — and is used by the CREATE TABLE parser.
+func KindFromName(name string) (Kind, bool) {
+	name = strings.ToLower(name)
+	for k, n := range kindNames {
+		if n == name && k.IsPrimitive() {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // IsPrimitive reports whether the kind is a primitive (leaf) type.
 func (k Kind) IsPrimitive() bool { return k < Array }
 

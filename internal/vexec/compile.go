@@ -244,6 +244,16 @@ func constOperand(e plan.Expr) (any, bool) {
 	return nil, false
 }
 
+// numericConst reports whether a constant carries a numeric runtime value
+// (the only shapes toF accepts).
+func numericConst(v any) bool {
+	switch v.(type) {
+	case int64, float64:
+		return true
+	}
+	return false
+}
+
 func toF(v any) float64 {
 	switch x := v.(type) {
 	case int64:
@@ -315,6 +325,20 @@ func (c *compiler) compileFilter(e plan.Expr) (vector.FilterExpression, error) {
 		hi, _ := constOperand(t.Hi)
 		if lo == nil || hi == nil {
 			return nil, fmt.Errorf("vexec: BETWEEN requires constant bounds")
+		}
+		if kind == types.String {
+			loS, okLo := lo.(string)
+			hiS, okHi := hi.(string)
+			if !okLo || !okHi {
+				return nil, fmt.Errorf("vexec: BETWEEN bounds type mismatch for string column")
+			}
+			return &vector.FilterAnd{Children: []vector.FilterExpression{
+				&vector.FilterBytesColScalar{Op: vector.GE, Input: col, Scalar: []byte(loS)},
+				&vector.FilterBytesColScalar{Op: vector.LE, Input: col, Scalar: []byte(hiS)},
+			}}, nil
+		}
+		if !numericConst(lo) || !numericConst(hi) {
+			return nil, fmt.Errorf("vexec: BETWEEN bounds type mismatch for %s column", kind)
 		}
 		if kind.IsFloating() {
 			return &vector.FilterBetweenDouble{Input: col, Lo: toF(lo), Hi: toF(hi)}, nil
